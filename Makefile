@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench experiments examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+experiments:
+	dune exec bin/main.exe -- experiments
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/crash_storm.exe
+	dune exec examples/model_showdown.exe
+	dune exec examples/bridge_async.exe
+	dune exec examples/lower_bound_tour.exe
+	dune exec examples/snapshot_demo.exe
+
+clean:
+	dune clean
