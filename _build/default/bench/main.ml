@@ -1,0 +1,243 @@
+(* Bench harness.
+
+   Phase 1 regenerates every evaluation table of the paper (the experiment
+   registry — EXP-F1 .. EXP-CL); phase 2 runs one Bechamel micro-benchmark
+   per table, timing the computational kernel behind it, plus a few engine
+   throughput benches.  Absolute times are machine-local; the reproduced
+   shapes live in the phase-1 tables. *)
+
+open Bechamel
+open Toolkit
+open Model
+open Sync_sim
+
+(* --- Phase 2 kernels: one per experiment table --------------------------- *)
+
+let silent ~n ~f =
+  Adversary.Strategies.coordinator_killer ~n ~f ~style:Adversary.Strategies.Silent
+
+let greedy ~n ~f =
+  Adversary.Strategies.coordinator_killer ~n ~f ~style:Adversary.Strategies.Greedy
+
+let rwwc_run ~n ~t ~schedule () =
+  ignore
+    (Harness.Runners.Rwwc_runner.run
+       (Engine.config ~schedule ~n ~t ~proposals:(Harness.Workloads.distinct n) ()))
+
+let bench_f1 () =
+  ignore
+    (Harness.Runners.Rwwc_runner.run
+       (Engine.config ~record_trace:true ~schedule:(silent ~n:8 ~f:3) ~n:8 ~t:6
+          ~proposals:(Harness.Workloads.distinct 8) ()))
+
+let bench_t1 () = rwwc_run ~n:32 ~t:30 ~schedule:(silent ~n:32 ~f:6) ()
+
+let bench_t2_best () = rwwc_run ~n:32 ~t:30 ~schedule:Schedule.empty ()
+
+let bench_t2_worst () = rwwc_run ~n:32 ~t:30 ~schedule:(greedy ~n:32 ~f:8) ()
+
+let bench_s22 () =
+  ignore
+    (Harness.Runners.Es_runner.run
+       (Engine.config ~schedule:(silent ~n:16 ~f:4) ~n:16 ~t:14
+          ~proposals:(Harness.Workloads.distinct 16) ()))
+
+module Ex = Lower_bound.Explorer.Make (Core.Rwwc)
+
+let bench_lb () =
+  ignore
+    (Ex.truncation_violation ~n:4 ~decide_by:2
+       ~proposals:(Harness.Workloads.distinct 4))
+
+module Biv = Lower_bound.Bivalency.Make (Core.Rwwc)
+
+let bench_biv () =
+  ignore (Biv.analyze ~n:4 ~t:2 ~proposals:(Harness.Workloads.binary ~n:4 ~zeros:1) ())
+
+let bench_sim () =
+  let n = 8 and t = 6 in
+  let schedule = Harness.Runners.Compiled.translate_schedule ~n (silent ~n ~f:2) in
+  ignore
+    (Harness.Runners.Compiled_runner.run
+       (Engine.config ~max_rounds:(n * (t + 2)) ~schedule ~n ~t
+          ~proposals:(Harness.Workloads.distinct n) ()))
+
+module Paced = Fastfd.Paced.Make (struct
+  let d = 1.0
+  let big_d = 100.0
+end)
+
+module Paced_runner = Timed_sim.Timed_engine.Make (Paced)
+
+let bench_ffd () =
+  let n = 8 in
+  let crashes =
+    [
+      { Timed_sim.Timed_engine.victim = Pid.of_int 1; at = 0.0; batch_prefix = 0 };
+      {
+        Timed_sim.Timed_engine.victim = Pid.of_int 2;
+        at = Paced.slot_time 2;
+        batch_prefix = 0;
+      };
+    ]
+  in
+  let crash_times =
+    List.map (fun (c : Timed_sim.Timed_engine.crash_spec) -> (c.victim, c.at)) crashes
+  in
+  ignore
+    (Paced_runner.run
+       (Timed_sim.Timed_engine.config
+          ~latency:(Timed_sim.Timed_engine.Fixed 100.0)
+          ~crashes
+          ~fd_plan:(Fastfd.Device.plan ~n ~d:1.0 ~crashes:crash_times ())
+          ~n ~t:(n - 1) ~proposals:(Harness.Workloads.distinct n) ()))
+
+module Mr99_runner = Timed_sim.Timed_engine.Make (Async_cons.Mr99)
+
+let bench_mr99 () =
+  let n = 5 in
+  let rng = Prng.Rng.of_int 13 in
+  ignore
+    (Mr99_runner.run
+       (Timed_sim.Timed_engine.config
+          ~latency:(Timed_sim.Timed_engine.Exponential { mean = 1.0; cap = 8.0 })
+          ~fd_plan:
+            (Async_cons.Fd_s.plan ~rng ~n ~crashes:[] ~trusted:(Pid.of_int 1)
+               ~gst:50.0 ~detect_lag:2.0 ~noise_events:2)
+          ~deadline:100000.0 ~n ~t:2
+          ~proposals:(Harness.Workloads.distinct n) ()))
+
+let bench_cl () =
+  ignore (Snapshot.Chandy_lamport.run (Snapshot.Chandy_lamport.config ~n:5 ()))
+
+module Abl_probe = Sync_sim.Engine.Make (Core.Rwwc_variants.Data_decide)
+
+let bench_abl () =
+  (* The ablation kernel: one broken-variant run over a witness schedule. *)
+  ignore
+    (Abl_probe.run
+       (Engine.config
+          ~schedule:
+            (Schedule.of_list
+               [
+                 ( Pid.of_int 1,
+                   Model.Crash.make ~round:1
+                     (Model.Crash.During_data (Pid.set_of_ints [ 4 ])) );
+               ])
+          ~n:4 ~t:2 ~proposals:(Harness.Workloads.distinct 4) ()))
+
+module Nu_runner = Sync_sim.Engine.Make (Baselines.Nonuniform_early)
+
+let bench_uni () =
+  ignore
+    (Nu_runner.run
+       (Engine.config ~schedule:(silent ~n:8 ~f:2) ~n:8 ~t:3
+          ~proposals:(Harness.Workloads.distinct 8) ()))
+
+module Lan_rwwc =
+  Lan.Realization.Make
+    (Core.Rwwc)
+    (struct
+      let big_d = 100.0
+      let delta = 2.0
+    end)
+
+module Lan_runner = Timed_sim.Timed_engine.Make (Lan_rwwc)
+
+let bench_lan () =
+  let n = 8 in
+  let schedule = silent ~n ~f:2 in
+  ignore
+    (Lan_runner.run
+       (Timed_sim.Timed_engine.config
+          ~latency:(Timed_sim.Timed_engine.Uniform { lo = 1.0; hi = 100.0 })
+          ~crashes:
+            (Lan.Realization.translate_rwwc_schedule ~n ~big_d:100.0 ~delta:2.0
+               schedule)
+          ~n ~t:(n - 2) ~proposals:(Harness.Workloads.distinct n) ()))
+
+(* Engine throughput references. *)
+
+let bench_eff () =
+  ignore
+    (Harness.Runners.Flood_runner.run
+       (Engine.config ~schedule:(silent ~n:32 ~f:2) ~n:32 ~t:30
+          ~proposals:(Harness.Workloads.distinct 32) ()))
+
+let bench_engine_large () = rwwc_run ~n:64 ~t:62 ~schedule:(silent ~n:64 ~f:16) ()
+
+let bench_floodset () =
+  ignore
+    (Harness.Runners.Flood_runner.run
+       (Engine.config ~n:16 ~t:8 ~proposals:(Harness.Workloads.distinct 16) ()))
+
+let bench_heap () =
+  let h = Timed_sim.Heap.create () in
+  for i = 0 to 999 do
+    Timed_sim.Heap.add h ~time:(float_of_int ((i * 7919) mod 997)) ~rank:0 i
+  done;
+  let rec drain () = match Timed_sim.Heap.pop h with Some _ -> drain () | None -> () in
+  drain ()
+
+let tests =
+  [
+    Test.make ~name:"table-F1/rwwc-traced-n8-f3" (Staged.stage bench_f1);
+    Test.make ~name:"table-T1/rwwc-silent-n32-f6" (Staged.stage bench_t1);
+    Test.make ~name:"table-T2a/rwwc-best-n32" (Staged.stage bench_t2_best);
+    Test.make ~name:"table-T2b/rwwc-greedy-n32-f8" (Staged.stage bench_t2_worst);
+    Test.make ~name:"table-S22/early-stopping-n16-f4" (Staged.stage bench_s22);
+    Test.make ~name:"table-LB/truncation-witness-n4" (Staged.stage bench_lb);
+    Test.make ~name:"table-BIV/valence-n4-t2" (Staged.stage bench_biv);
+    Test.make ~name:"table-SIM/compiled-rwwc-n8-f2" (Staged.stage bench_sim);
+    Test.make ~name:"table-FFD/paced-n8-f2" (Staged.stage bench_ffd);
+    Test.make ~name:"table-MR99/async-run-n5" (Staged.stage bench_mr99);
+    Test.make ~name:"table-CL/snapshot-n5" (Staged.stage bench_cl);
+    Test.make ~name:"table-ABL/broken-variant-n4" (Staged.stage bench_abl);
+    Test.make ~name:"table-UNI/nonuniform-n8-f2" (Staged.stage bench_uni);
+    Test.make ~name:"table-LAN/rwwc-on-lan-n8-f2" (Staged.stage bench_lan);
+    Test.make ~name:"table-EFF/floodset-n32" (Staged.stage bench_eff);
+    Test.make ~name:"engine/rwwc-n64-f16" (Staged.stage bench_engine_large);
+    Test.make ~name:"engine/floodset-n16-t8" (Staged.stage bench_floodset);
+    Test.make ~name:"engine/heap-1k-push-pop" (Staged.stage bench_heap);
+  ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:true ()
+  in
+  let table =
+    Diag.Table.create ~title:"Micro-benchmarks (monotonic clock)"
+      ~header:[ "benchmark"; "ns/run"; "r^2" ] ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> Printf.sprintf "%.0f" e
+            | Some [] | None -> "-"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          Diag.Table.add_row table [ name; ns; r2 ])
+        analyzed)
+    tests;
+  print_string (Diag.Table.render table)
+
+let () =
+  print_endline
+    "=== Reproduction tables (one experiment per paper artefact) ===\n";
+  List.iter (Harness.Experiment.print ~markdown:false) Harness.Registry.all;
+  print_endline "=== Micro-benchmarks ===\n";
+  run_benchmarks ()

@@ -1,0 +1,341 @@
+(* sync-agreement — command-line front end of the reproduction.
+
+   Subcommands:
+     run          run one consensus algorithm under a chosen adversary
+     check        exhaustively model-check an algorithm for a small system
+     experiments  regenerate the paper's tables (all or one by id)
+     lower-bound  tightness certificate + truncation violation witness
+     bivalency    valence analysis of the configuration graph
+     snapshot     Chandy-Lamport demo run *)
+
+open Cmdliner
+open Model
+open Sync_sim
+
+(* --- shared helpers ------------------------------------------------------- *)
+
+type algo = Rwwc | Flood | Early_stopping | Rwwc_on_classic
+
+let algo_conv =
+  Arg.enum
+    [
+      ("rwwc", Rwwc);
+      ("flood", Flood);
+      ("early-stopping", Early_stopping);
+      ("rwwc-on-classic", Rwwc_on_classic);
+    ]
+
+let algo_model = function
+  | Rwwc -> Model_kind.Extended
+  | Flood | Early_stopping | Rwwc_on_classic -> Model_kind.Classic
+
+type adversary = No_crash | Silent | Greedy | Random
+
+let adversary_conv =
+  Arg.enum
+    [
+      ("none", No_crash);
+      ("silent", Silent);
+      ("greedy", Greedy);
+      ("random", Random);
+    ]
+
+let schedule_of ~adversary ~model ~n ~t ~f ~seed =
+  match adversary with
+  | No_crash -> Schedule.empty
+  | Silent ->
+    Adversary.Strategies.coordinator_killer ~n ~f ~style:Adversary.Strategies.Silent
+  | Greedy ->
+    Adversary.Strategies.coordinator_killer ~n ~f ~style:Adversary.Strategies.Greedy
+  | Random ->
+    Adversary.Strategies.random ~rng:(Prng.Rng.of_int seed) ~model ~n ~f
+      ~max_round:(t + 1)
+
+let print_run ~bound res =
+  Format.printf "%a@." Run_result.pp res;
+  if res.Run_result.trace <> [] then
+    Format.printf "trace:@.%a@." Trace.pp res.Run_result.trace;
+  let checks = Spec.Properties.uniform_consensus ?bound res in
+  List.iter (fun c -> Format.printf "%a@." Spec.Properties.pp_check c) checks;
+  if Spec.Properties.all_ok checks then 0 else 1
+
+(* --- run ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let algo =
+    Arg.(value & opt algo_conv Rwwc & info [ "a"; "algorithm" ] ~doc:"Algorithm: $(docv).")
+  in
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of processes.") in
+  let t = Arg.(value & opt (some int) None & info [ "t" ] ~doc:"Resilience (default n-2).") in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Crashes for the adversary.") in
+  let adversary =
+    Arg.(value & opt adversary_conv Silent & info [ "adversary" ] ~doc:"Crash adversary: $(docv).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace.") in
+  let invariants =
+    Arg.(value & flag
+         & info [ "invariants" ]
+             ~doc:"Also check the Figure 1 trace invariants (rwwc only).")
+  in
+  let go algo n t f adversary seed trace invariants =
+    let t = Option.value t ~default:(max 1 (n - 2)) in
+    let model = algo_model algo in
+    let schedule = schedule_of ~adversary ~model ~n ~t ~f ~seed in
+    let proposals = Harness.Workloads.distinct n in
+    let cfg ?max_rounds schedule =
+      Engine.config ?max_rounds
+        ~record_trace:(trace || invariants)
+        ~schedule ~n ~t ~proposals ()
+    in
+    match algo with
+    | Rwwc ->
+      let res = Harness.Runners.Rwwc_runner.run (cfg schedule) in
+      let code = print_run ~bound:(Some (Harness.Runners.f_actual res + 1)) res in
+      if invariants then begin
+        let checks = Spec.Figure1_invariants.all res in
+        List.iter
+          (fun c -> Format.printf "%a@." Spec.Properties.pp_check c)
+          checks;
+        if Spec.Properties.all_ok checks then code else 1
+      end
+      else code
+    | Flood ->
+      let res = Harness.Runners.Flood_runner.run (cfg schedule) in
+      print_run ~bound:(Some (t + 1)) res
+    | Early_stopping ->
+      let res = Harness.Runners.Es_runner.run (cfg schedule) in
+      print_run ~bound:(Some (min (t + 1) (Harness.Runners.f_actual res + 2))) res
+    | Rwwc_on_classic ->
+      (* The schedule is interpreted in the extended model, then compiled. *)
+      let ext_schedule =
+        schedule_of ~adversary ~model:Model_kind.Extended ~n ~t ~f ~seed
+      in
+      let res =
+        Harness.Runners.Compiled_runner.run
+          (cfg ~max_rounds:(n * (t + 2))
+             (Harness.Runners.Compiled.translate_schedule ~n ext_schedule))
+      in
+      print_run ~bound:None res
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one consensus algorithm under an adversary.")
+    Term.(const go $ algo $ n $ t $ f $ adversary $ seed $ trace $ invariants)
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check_cmd =
+  let algo = Arg.(value & opt algo_conv Rwwc & info [ "a"; "algorithm" ] ~doc:"Algorithm.") in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes (keep small).") in
+  let max_f = Arg.(value & opt int 2 & info [ "max-f" ] ~doc:"Max crashes to enumerate.") in
+  let max_round =
+    Arg.(value & opt int 3 & info [ "max-round" ] ~doc:"Latest crash round to enumerate.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Worker domains for the search.")
+  in
+  let go algo n max_f max_round domains =
+    let t = max 1 (n - 2) in
+    let model = algo_model algo in
+    let proposals = Harness.Workloads.distinct n in
+    let verdict schedule =
+      let cfg = Engine.config ~schedule ~n ~t ~proposals () in
+      let res, bound =
+        match algo with
+        | Rwwc ->
+          let res = Harness.Runners.Rwwc_runner.run cfg in
+          (res, Harness.Runners.f_actual res + 1)
+        | Flood -> (Harness.Runners.Flood_runner.run cfg, t + 1)
+        | Early_stopping ->
+          let res = Harness.Runners.Es_runner.run cfg in
+          (res, min (t + 1) (Harness.Runners.f_actual res + 2))
+        | Rwwc_on_classic ->
+          failwith "check: use rwwc and the transform tests instead"
+      in
+      (schedule, Spec.Properties.uniform_consensus ~bound res)
+    in
+    let schedules =
+      Array.of_seq (Adversary.Enumerate.schedules ~model ~n ~max_f ~max_round)
+    in
+    let verdicts = Parallel.Pool.map ~domains verdict schedules in
+    let failures = ref 0 in
+    Array.iter
+      (fun (schedule, checks) ->
+        if not (Spec.Properties.all_ok checks) then begin
+          incr failures;
+          Format.printf "VIOLATION on %s@." (Schedule.to_string schedule);
+          List.iter
+            (fun c -> Format.printf "  %a@." Spec.Properties.pp_check c)
+            (Spec.Properties.failures checks)
+        end)
+      verdicts;
+    Format.printf "checked %d schedules, %d violations@."
+      (Array.length schedules) !failures;
+    if !failures = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exhaustively model-check an algorithm over every crash schedule.")
+    Term.(const go $ algo $ n $ max_f $ max_round $ domains)
+
+(* --- experiments ---------------------------------------------------------- *)
+
+let experiments_cmd =
+  let id =
+    Arg.(value & opt (some string) None & info [ "id" ] ~doc:"Run only experiment $(docv).")
+  in
+  let markdown = Arg.(value & flag & info [ "markdown" ] ~doc:"Markdown tables.") in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids.") in
+  let csv_dir =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
+  in
+  let write_csv dir e =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iteri
+      (fun i table ->
+        let file =
+          Filename.concat dir
+            (Printf.sprintf "exp-%s-%d.csv"
+               (String.lowercase_ascii e.Harness.Experiment.id)
+               (i + 1))
+        in
+        let oc = open_out file in
+        output_string oc (Diag.Table.render_csv table);
+        close_out oc;
+        Format.printf "wrote %s@." file)
+      (e.Harness.Experiment.run ())
+  in
+  let go id markdown list_only csv_dir =
+    if list_only then begin
+      List.iter
+        (fun e ->
+          Format.printf "%-5s %s (%s)@." e.Harness.Experiment.id
+            e.Harness.Experiment.title e.Harness.Experiment.paper_ref)
+        Harness.Registry.all;
+      0
+    end
+    else begin
+      let selected =
+        match id with
+        | None -> Ok Harness.Registry.all
+        | Some id -> begin
+          match Harness.Registry.find id with
+          | Some e -> Ok [ e ]
+          | None -> Error id
+        end
+      in
+      match selected with
+      | Error id ->
+        Format.eprintf "unknown experiment %S; known: %s@." id
+          (String.concat ", " Harness.Registry.ids);
+        2
+      | Ok experiments ->
+        List.iter
+          (fun e ->
+            match csv_dir with
+            | Some dir -> write_csv dir e
+            | None -> Harness.Experiment.print ~markdown e)
+          experiments;
+        0
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's evaluation tables.")
+    Term.(const go $ id $ markdown $ list_only $ csv_dir)
+
+(* --- lower-bound ---------------------------------------------------------- *)
+
+let lower_bound_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.") in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Crash budget / truncation round.") in
+  let go n f =
+    let module Ex = Lower_bound.Explorer.Make (Core.Rwwc) in
+    let proposals = Harness.Workloads.distinct n in
+    let cert = Ex.tightness ~n ~f ~proposals in
+    Format.printf "tightness: with %d silent crashes the last decision is at round %d (= f+1: %b)@."
+      f cert.Lower_bound.Explorer.max_decision_round
+      (cert.Lower_bound.Explorer.max_decision_round = f + 1);
+    (if f >= 1 && f <= n - 2 then
+       match Ex.truncation_violation ~n ~decide_by:f ~proposals with
+       | Some w ->
+         Format.printf
+           "impossibility: deciding by round %d breaks uniform agreement on %s \
+            (decided: %s; %d schedules searched)@."
+           f
+           (Schedule.to_string w.Lower_bound.Explorer.schedule)
+           (String.concat ","
+              (List.map string_of_int
+                 (Run_result.decided_values w.Lower_bound.Explorer.result)))
+           w.Lower_bound.Explorer.schedules_searched
+       | None -> Format.printf "impossibility: no witness found (unexpected)@.");
+    0
+  in
+  Cmd.v
+    (Cmd.info "lower-bound" ~doc:"Certificates for the f+1 lower bound.")
+    Term.(const go $ n $ f)
+
+(* --- bivalency ------------------------------------------------------------ *)
+
+let bivalency_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes (keep small).") in
+  let t = Arg.(value & opt int 2 & info [ "t" ] ~doc:"Crash budget.") in
+  let go n t =
+    let module Biv = Lower_bound.Bivalency.Make (Core.Rwwc) in
+    let report = Biv.analyze ~n ~t ~proposals:(Harness.Workloads.binary ~n ~zeros:1) () in
+    Format.printf
+      "n=%d t=%d proposals=0,1,..,1@.initial: %a@.max bivalent depth: %d@.decision inside a bivalent config: %b@.configs explored: %d@."
+      n t Lower_bound.Bivalency.pp_valence
+      report.Lower_bound.Bivalency.initial_valence
+      report.Lower_bound.Bivalency.max_bivalent_depth
+      report.Lower_bound.Bivalency.bivalent_with_decision
+      report.Lower_bound.Bivalency.configs_explored;
+    0
+  in
+  Cmd.v
+    (Cmd.info "bivalency" ~doc:"Valence analysis of the configuration graph.")
+    Term.(const go $ n $ t)
+
+(* --- snapshot ------------------------------------------------------------- *)
+
+let snapshot_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Scheduler seed.") in
+  let go n seed =
+    let r = Snapshot.Chandy_lamport.run (Snapshot.Chandy_lamport.config ~n ~seed ()) in
+    Format.printf "recorded balances: %s@."
+      (String.concat " "
+         (Array.to_list
+            (Array.map string_of_int r.Snapshot.Chandy_lamport.snapshot.Snapshot.Chandy_lamport.locals)));
+    List.iter
+      (fun ((i, j), c) -> Format.printf "in transit p%d->p%d: %d token(s)@." i j c)
+      r.Snapshot.Chandy_lamport.snapshot.Snapshot.Chandy_lamport.channels;
+    Format.printf "recorded total %d / expected %d; conservation %b; consistent cut %b@."
+      r.Snapshot.Chandy_lamport.recorded_total
+      r.Snapshot.Chandy_lamport.expected_total
+      r.Snapshot.Chandy_lamport.conservation_ok
+      r.Snapshot.Chandy_lamport.consistent_cut;
+    if r.Snapshot.Chandy_lamport.conservation_ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc:"Chandy-Lamport snapshot demo (marker messages).")
+    Term.(const go $ n $ seed)
+
+let () =
+  let info =
+    Cmd.info "sync-agreement"
+      ~doc:
+        "Reproduction of 'The Power and Limit of Adding Synchronization \
+         Messages for Synchronous Agreement' (ICPP 2006)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            run_cmd;
+            check_cmd;
+            experiments_cmd;
+            lower_bound_cmd;
+            bivalency_cmd;
+            snapshot_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bridge_async.ml: Adversary Async_cons Core Format List Model Pid Prng Sync_sim Timed_sim

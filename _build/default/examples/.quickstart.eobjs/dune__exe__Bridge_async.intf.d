@@ -1,0 +1,1 @@
+examples/bridge_async.mli:

@@ -1,0 +1,1 @@
+examples/crash_storm.ml: Adversary Core Diag Engine Harness Model Model_kind Pid Printf Prng Run_result Spec Sync_sim

@@ -1,0 +1,1 @@
+examples/lower_bound_tour.ml: Core Format Harness List Lower_bound Model Printf Schedule String Sync_sim

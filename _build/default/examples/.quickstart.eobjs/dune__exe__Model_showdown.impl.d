@@ -1,0 +1,1 @@
+examples/model_showdown.ml: Adversary Baselines Core Diag Engine Fastfd Harness List Model Option Pid Printf Run_result Sync_sim Timed_sim Timing

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Crash Engine Format List Model Pid Run_result Schedule Spec Sync_sim Trace

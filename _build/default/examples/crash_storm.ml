@@ -1,0 +1,60 @@
+(* Crash storm: hammer the Figure 1 algorithm with thousands of random
+   crash schedules and summarize how early stopping behaves — decision
+   rounds track f, not t.
+
+     dune exec examples/crash_storm.exe *)
+
+open Model
+open Sync_sim
+
+module Runner = Engine.Make (Core.Rwwc)
+
+let () =
+  let n = 12 and t = 10 in
+  let reps = 2000 in
+  let rng = Prng.Rng.of_int 2006 in
+  let table =
+    Diag.Table.create
+      ~title:
+        (Printf.sprintf
+           "rwwc under %d random schedules per f (n = %d, t = %d)" reps n t)
+      ~header:
+        [ "f"; "bound f+1"; "mean rounds"; "p90"; "max"; "violations" ]
+      ()
+  in
+  for f = 0 to 6 do
+    let rounds = ref [] and violations = ref 0 in
+    for _ = 1 to reps do
+      let schedule =
+        Adversary.Strategies.random ~rng ~model:Model_kind.Extended ~n ~f
+          ~max_round:(t + 1)
+      in
+      let res =
+        Runner.run
+          (Engine.config ~schedule ~n ~t
+             ~proposals:(Harness.Workloads.distinct n) ())
+      in
+      let f_actual = Pid.Set.cardinal (Run_result.crashed res) in
+      let checks =
+        Spec.Properties.uniform_consensus ~bound:(f_actual + 1) res
+      in
+      if not (Spec.Properties.all_ok checks) then incr violations;
+      match Run_result.max_decision_round res with
+      | Some r -> rounds := r :: !rounds
+      | None -> ()
+    done;
+    let s = Diag.Stats.summarize_ints !rounds in
+    Diag.Table.add_row table
+      [
+        Diag.Table.fmt_int f;
+        Diag.Table.fmt_int (f + 1);
+        Diag.Table.fmt_float s.Diag.Stats.mean;
+        Diag.Table.fmt_float ~decimals:0 s.Diag.Stats.p90;
+        Diag.Table.fmt_float ~decimals:0 s.Diag.Stats.max;
+        Diag.Table.fmt_int !violations;
+      ]
+  done;
+  print_string (Diag.Table.render table);
+  print_endline
+    "\nEven with t = 10, runs with few crashes decide in 1-2 rounds: the\n\
+     algorithm pays for failures that happen, not failures that could."

@@ -1,0 +1,90 @@
+(* Model showdown: the same consensus job in four models, timed with the
+   Section 2.2 cost model.
+
+   - classic synchronous FloodSet        (t+1 rounds of D)
+   - classic synchronous early stopping  (min(t+1, f+2) rounds of D)
+   - extended synchronous rwwc           (f+1 rounds of D + delta)
+   - fast-FD paced (timed simulation)    (measured; published bound D + f d)
+
+     dune exec examples/model_showdown.exe *)
+
+open Model
+open Sync_sim
+
+module Rwwc_runner = Engine.Make (Core.Rwwc)
+module Flood_runner = Engine.Make (Baselines.Flood_set)
+module Es_runner = Engine.Make (Baselines.Early_stopping)
+
+let big_d = 100.0
+let small_d = 1.0
+let delta = 1.0
+
+module Paced = Fastfd.Paced.Make (struct
+  let d = small_d
+  let big_d = big_d
+end)
+
+module Paced_runner = Timed_sim.Timed_engine.Make (Paced)
+
+let paced_time ~n ~f =
+  let crashes =
+    List.init f (fun i ->
+        {
+          Timed_sim.Timed_engine.victim = Pid.of_int (i + 1);
+          at = Paced.slot_time (i + 1);
+          batch_prefix = 0;
+        })
+  in
+  let crash_times =
+    List.map
+      (fun (c : Timed_sim.Timed_engine.crash_spec) -> (c.victim, c.at))
+      crashes
+  in
+  let res =
+    Paced_runner.run
+      (Timed_sim.Timed_engine.config
+         ~latency:(Timed_sim.Timed_engine.Fixed big_d)
+         ~crashes
+         ~fd_plan:(Fastfd.Device.plan ~n ~d:small_d ~crashes:crash_times ())
+         ~n ~t:(n - 1) ~proposals:(Harness.Workloads.distinct n) ())
+  in
+  Option.get (Timed_sim.Timed_engine.max_decision_time res)
+
+let () =
+  let n = 10 and t = 8 in
+  let cm = Timing.Cost_model.make ~d_round:big_d ~delta ~d_detect:small_d () in
+  let table =
+    Diag.Table.create
+      ~title:
+        (Printf.sprintf
+           "Decision wall-clock by model (n = %d, t = %d, D = %.0f, delta = %.0f, d = %.0f)"
+           n t big_d delta small_d)
+      ~header:
+        [ "f"; "floodset"; "early-stopping"; "rwwc extended"; "fast-FD paced"; "published D+fd" ]
+      ()
+  in
+  for f = 0 to 5 do
+    let schedule =
+      Adversary.Strategies.coordinator_killer ~n ~f
+        ~style:Adversary.Strategies.Silent
+    in
+    let proposals = Harness.Workloads.distinct n in
+    let flood =
+      Flood_runner.run (Engine.config ~schedule ~n ~t ~proposals ())
+    and es = Es_runner.run (Engine.config ~schedule ~n ~t ~proposals ())
+    and ext = Rwwc_runner.run (Engine.config ~schedule ~n ~t ~proposals ()) in
+    let rounds res = Option.value (Run_result.max_decision_round res) ~default:0 in
+    Diag.Table.add_row table
+      [
+        Diag.Table.fmt_int f;
+        Diag.Table.fmt_float (Timing.Cost_model.classic_time cm ~rounds:(rounds flood));
+        Diag.Table.fmt_float (Timing.Cost_model.classic_time cm ~rounds:(rounds es));
+        Diag.Table.fmt_float (Timing.Cost_model.extended_time cm ~rounds:(rounds ext));
+        Diag.Table.fmt_float (paced_time ~n ~f);
+        Diag.Table.fmt_float (Fastfd.Device.published_decision_bound ~big_d ~d:small_d ~f);
+      ]
+  done;
+  print_string (Diag.Table.render table);
+  print_endline
+    "\nFloodSet always pays t+1 rounds; early stopping pays f+2; the extended\n\
+     model pays f+1 rounds of D+delta — ahead of both for every realistic f."

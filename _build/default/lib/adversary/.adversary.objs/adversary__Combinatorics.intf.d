@@ -1,0 +1,1 @@
+lib/adversary/combinatorics.mli: Seq

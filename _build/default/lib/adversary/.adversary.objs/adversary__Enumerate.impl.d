@@ -1,0 +1,1 @@
+lib/adversary/enumerate.ml: Combinatorics Crash List Model Model_kind Pid Schedule Seq

@@ -1,0 +1,1 @@
+lib/adversary/enumerate.mli: Crash Model Model_kind Pid Schedule Seq

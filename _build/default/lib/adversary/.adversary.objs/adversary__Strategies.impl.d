@@ -1,0 +1,1 @@
+lib/adversary/strategies.ml: Crash List Model Model_kind Pid Prng Schedule

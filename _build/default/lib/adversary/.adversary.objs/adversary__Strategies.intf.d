@@ -1,0 +1,1 @@
+lib/adversary/strategies.mli: Model Model_kind Prng Schedule

@@ -1,0 +1,27 @@
+let rec subsets = function
+  | [] -> Seq.return []
+  | x :: rest ->
+    let tails = subsets rest in
+    Seq.append tails (Seq.map (fun s -> x :: s) tails)
+
+let rec choose k xs =
+  if k = 0 then Seq.return []
+  else
+    match xs with
+    | [] -> Seq.empty
+    | x :: rest ->
+      Seq.append
+        (Seq.map (fun s -> x :: s) (choose (k - 1) rest))
+        (choose k rest)
+
+let upto k = Seq.init (max 0 (k + 1)) Fun.id
+
+let range lo hi = Seq.init (max 0 (hi - lo + 1)) (fun i -> lo + i)
+
+let product sa sb =
+  Seq.concat_map (fun a -> Seq.map (fun b -> (a, b)) sb) sa
+
+let rec sequence = function
+  | [] -> Seq.return []
+  | s :: rest ->
+    Seq.concat_map (fun x -> Seq.map (fun xs -> x :: xs) (sequence rest)) s

@@ -1,0 +1,20 @@
+(** Small enumeration helpers for the exhaustive adversary. *)
+
+val subsets : 'a list -> 'a list Seq.t
+(** All [2^n] subsets, each preserving the input order.  Lazily produced. *)
+
+val choose : int -> 'a list -> 'a list Seq.t
+(** All size-[k] subsets in input order. *)
+
+val upto : int -> int Seq.t
+(** [upto k] is [0; 1; ...; k]. *)
+
+val range : int -> int -> int Seq.t
+(** [range lo hi] is [lo; ...; hi] (empty when [lo > hi]). *)
+
+val product : 'a Seq.t -> 'b Seq.t -> ('a * 'b) Seq.t
+(** Cartesian product, left-major order.  The right sequence is re-evaluated
+    per left element, so both may be ephemeral generators of pure values. *)
+
+val sequence : ('a Seq.t) list -> 'a list Seq.t
+(** All ways to pick one element from each sequence, in order. *)

@@ -1,0 +1,44 @@
+open Model
+
+let points ~model ~n ~victim =
+  let others =
+    List.filter (fun p -> not (Pid.equal p victim)) (Pid.all ~n)
+  in
+  let before = Seq.return Crash.Before_send in
+  let during =
+    Seq.map
+      (fun s -> Crash.During_data (Pid.Set.of_list s))
+      (Combinatorics.subsets others)
+  in
+  let after_data =
+    match model with
+    | Model_kind.Classic -> Seq.empty
+    | Model_kind.Extended ->
+      Seq.map (fun k -> Crash.After_data k) (Combinatorics.upto (n - 1))
+  in
+  let after = Seq.return Crash.After_send in
+  Seq.append before (Seq.append during (Seq.append after_data after))
+
+let events ~model ~n ~max_round ~victim =
+  Seq.concat_map
+    (fun round ->
+      Seq.map (fun p -> Crash.make ~round p) (points ~model ~n ~victim))
+    (Combinatorics.range 1 max_round)
+
+let schedules ~model ~n ~max_f ~max_round =
+  let pids = Pid.all ~n in
+  Seq.concat_map
+    (fun f ->
+      Seq.concat_map
+        (fun victims ->
+          Seq.map Schedule.of_list
+            (Combinatorics.sequence
+               (List.map
+                  (fun v ->
+                    Seq.map (fun ev -> (v, ev))
+                      (events ~model ~n ~max_round ~victim:v))
+                  victims)))
+        (Combinatorics.choose f pids))
+    (Combinatorics.upto max_f)
+
+let count s = Seq.fold_left (fun acc _ -> acc + 1) 0 s

@@ -1,0 +1,30 @@
+(** Exhaustive schedule enumeration for model checking small systems.
+
+    For small [n] the space of crash schedules is finite once delivery
+    subsets are restricted to actual process sets and prefixes to
+    [0 .. n-1]; enumerating it turns property testing into genuine model
+    checking — EXP-LB's agreement-violation witnesses are found this way,
+    and the unit suites run the consensus algorithms against {e every}
+    schedule for [n <= 5]. *)
+
+open Model
+
+val points :
+  model:Model_kind.t -> n:int -> victim:Pid.t -> Crash.point Seq.t
+(** Every semantically distinct crash point for [victim]: [Before_send],
+    [During_data s] for each subset [s] of the other processes,
+    [After_data k] for [k] in [0 .. n-1] (extended model only) and
+    [After_send]. *)
+
+val events :
+  model:Model_kind.t -> n:int -> max_round:int -> victim:Pid.t ->
+  Crash.event Seq.t
+(** Every (round, point) combination with round in [1 .. max_round]. *)
+
+val schedules :
+  model:Model_kind.t -> n:int -> max_f:int -> max_round:int -> Schedule.t Seq.t
+(** Every schedule with at most [max_f] victims, lazily.  The failure-free
+    schedule comes first. *)
+
+val count : 'a Seq.t -> int
+(** Length of a finite sequence (for reporting state-space sizes). *)

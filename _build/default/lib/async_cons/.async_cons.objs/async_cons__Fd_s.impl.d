@@ -1,0 +1,1 @@
+lib/async_cons/fd_s.ml: Float List Model Pid Prng Timed_sim

@@ -1,0 +1,1 @@
+lib/async_cons/fd_s.mli: Model Pid Prng Timed_sim

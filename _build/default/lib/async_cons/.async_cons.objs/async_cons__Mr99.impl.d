@@ -1,0 +1,1 @@
+lib/async_cons/mr99.ml: Format Fun Hashtbl List Model Pid Process_intf Timed_sim

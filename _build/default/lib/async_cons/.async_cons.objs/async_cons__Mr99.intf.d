@@ -1,0 +1,1 @@
+lib/async_cons/mr99.mli: Timed_sim

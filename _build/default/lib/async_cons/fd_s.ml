@@ -1,0 +1,79 @@
+open Model
+
+let plan ~rng ~n ~crashes ~trusted ~gst ~detect_lag ~noise_events =
+  if List.mem_assoc trusted crashes then
+    invalid_arg "Fd_s.plan: the trusted process must be correct";
+  if gst < 0.0 || detect_lag <= 0.0 then invalid_arg "Fd_s.plan: bad times";
+  let updates = ref [] in
+  let push observer at suspects =
+    updates := { Timed_sim.Timed_engine.observer; at; suspects } :: !updates
+  in
+  List.iter
+    (fun observer ->
+      (* Pre-GST noise: arbitrary (possibly wrong) suspect sets. *)
+      for _ = 1 to noise_events do
+        let at = Prng.Rng.float rng gst in
+        let suspects =
+          Pid.set_of_ints
+            (List.filter_map
+               (fun p ->
+                 if p <> Pid.to_int observer && Prng.Rng.bool rng then Some p
+                 else None)
+               (List.init n (fun i -> i + 1)))
+        in
+        push observer at suspects
+      done;
+      (* From GST on: exactly the crashed processes, never the trusted one.
+         (Stronger than ◇S requires — simpler and sufficient.) *)
+      let crashed_by tau =
+        List.fold_left
+          (fun acc (victim, ct) ->
+            if ct <= tau && not (Pid.equal victim trusted) then
+              Pid.Set.add victim acc
+            else acc)
+          Pid.Set.empty crashes
+      in
+      push observer gst (Pid.Set.remove observer (crashed_by (gst -. detect_lag)));
+      List.iter
+        (fun (victim, ct) ->
+          if not (Pid.equal victim observer) then begin
+            let at = Float.max gst (ct +. detect_lag) in
+            push observer at (Pid.Set.remove observer (crashed_by ct))
+          end)
+        crashes)
+    (Pid.all ~n);
+  List.sort
+    (fun (a : Timed_sim.Timed_engine.fd_update) (b : Timed_sim.Timed_engine.fd_update) ->
+      compare (a.at, Pid.to_int a.observer) (b.at, Pid.to_int b.observer))
+    !updates
+
+let eventually_accurate ~trusted ~gst plan =
+  List.for_all
+    (fun (u : Timed_sim.Timed_engine.fd_update) ->
+      u.at < gst || not (Pid.Set.mem trusted u.suspects))
+    plan
+
+let complete ~n ~crashes ~gst ~detect_lag plan =
+  List.for_all
+    (fun (victim, ct) ->
+      List.for_all
+        (fun observer ->
+          Pid.equal observer victim
+          || List.mem_assoc observer crashes
+          ||
+          let threshold = Float.max gst (ct +. detect_lag) in
+          (* The last update at or before [threshold] must suspect the
+             victim. *)
+          let last =
+            List.fold_left
+              (fun acc (u : Timed_sim.Timed_engine.fd_update) ->
+                if Pid.equal u.observer observer && u.at <= threshold then
+                  Some u
+                else acc)
+              None plan
+          in
+          match last with
+          | Some u -> Pid.Set.mem victim u.suspects
+          | None -> false)
+        (Pid.all ~n))
+    crashes

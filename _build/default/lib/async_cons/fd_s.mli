@@ -1,0 +1,44 @@
+(** A failure detector of class ◇S (eventually strong) for the asynchronous
+    simulator.
+
+    ◇S is defined by (Chandra & Toueg):
+    - {e strong completeness}: every crashed process is eventually suspected
+      by every correct process;
+    - {e eventual weak accuracy}: there is a time after which some correct
+      process is never suspected by any correct process.
+
+    The generator compiles these properties into a suspicion plan: before a
+    global stabilization time [gst] it injects arbitrary false suspicions
+    (the rng's choice, possibly of the trusted process); from [gst] on,
+    suspect sets equal exactly the crashed-so-far processes minus the
+    designated trusted (correct) process, with new crashes detected within
+    [detect_lag]. *)
+
+open Model
+
+val plan :
+  rng:Prng.Rng.t ->
+  n:int ->
+  crashes:(Pid.t * float) list ->
+  trusted:Pid.t ->
+  gst:float ->
+  detect_lag:float ->
+  noise_events:int ->
+  Timed_sim.Timed_engine.fd_update list
+(** [trusted] must not appear in [crashes].  [noise_events] false-suspicion
+    updates per observer are scattered uniformly before [gst]. *)
+
+val eventually_accurate :
+  trusted:Pid.t -> gst:float -> Timed_sim.Timed_engine.fd_update list -> bool
+(** No update at time [>= gst] suspects the trusted process. *)
+
+val complete :
+  n:int ->
+  crashes:(Pid.t * float) list ->
+  gst:float ->
+  detect_lag:float ->
+  Timed_sim.Timed_engine.fd_update list ->
+  bool
+(** Every crash is suspected by every other process from
+    [max gst (crash + detect_lag)] on (as witnessed by the last update at or
+    before that time). *)

@@ -1,0 +1,1 @@
+lib/baselines/early_stopping.ml: Format List Model Model_kind Pid Printf

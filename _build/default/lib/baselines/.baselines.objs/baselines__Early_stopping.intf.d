@@ -1,0 +1,1 @@
+lib/baselines/early_stopping.mli: Sync_sim

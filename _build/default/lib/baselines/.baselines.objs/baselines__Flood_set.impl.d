@@ -1,0 +1,1 @@
+lib/baselines/flood_set.ml: Format Fun Int List Model Model_kind Pid Set String

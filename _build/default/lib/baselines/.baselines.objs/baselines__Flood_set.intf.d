@@ -1,0 +1,1 @@
+lib/baselines/flood_set.mli: Sync_sim

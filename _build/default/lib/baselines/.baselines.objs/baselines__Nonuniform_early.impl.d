@@ -1,0 +1,1 @@
+lib/baselines/nonuniform_early.ml: Format List Model Model_kind Pid

@@ -1,0 +1,1 @@
+lib/baselines/nonuniform_early.mli: Sync_sim

@@ -1,0 +1,50 @@
+open Model
+
+type msg = Est of { est : int; early : bool }
+
+type state = { me : int; n : int; t : int; est : int; early : bool }
+
+let name = "early-stopping"
+let model = Model_kind.Classic
+let decision_mode = `Halt
+
+let msg_bits ~value_bits (Est _) = value_bits + 1
+
+let pp_msg ppf (Est { est; early }) =
+  Format.fprintf ppf "%d%s" est (if early then "!" else "")
+
+let init ~n ~t ~me ~proposal =
+  { me = Pid.to_int me; n; t; est = proposal; early = false }
+
+let data_sends state ~round:_ =
+  let payload = Est { est = state.est; early = state.early } in
+  List.filter_map
+    (fun dest ->
+      if Pid.to_int dest = state.me then None else Some (dest, payload))
+    (Pid.all ~n:state.n)
+
+let sync_sends _state ~round:_ = []
+
+let compute state ~round ~data ~syncs =
+  assert (syncs = []);
+  if state.early then
+    (* The flag was raised in an earlier round; this round's full broadcast
+       of (est, early=true) completed (otherwise we would have crashed), so
+       every live process now holds est and will raise its own flag. *)
+    (state, Some state.est)
+  else begin
+    let est =
+      List.fold_left (fun acc (_, Est { est; _ }) -> min acc est) state.est data
+    in
+    let flagged = List.exists (fun (_, Est { early; _ }) -> early) data in
+    let perceived_crashed = state.n - (List.length data + 1) in
+    let early = flagged || perceived_crashed < round in
+    let state = { state with est; early } in
+    if round >= state.t + 1 then (state, Some est) else (state, None)
+  end
+
+let estimate state = state.est
+let early state = state.early
+
+let fingerprint state =
+  Printf.sprintf "es:%d:%d:%b" state.me state.est state.early

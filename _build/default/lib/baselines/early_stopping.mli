@@ -1,0 +1,29 @@
+(** Early-deciding uniform consensus for the classic synchronous model,
+    deciding in [min(f + 2, t + 1)] rounds.
+
+    This is the baseline against which the paper's Section 2.2 cost analysis
+    compares the extended model: the classic model's lower bound is
+    [min(t + 1, f + 2)] rounds [Charron-Bost & Schiper 04, Keidar & Rajsbaum
+    03], and this algorithm (the standard "early stopping" protocol, cf.
+    Raynal's guided tour [16]) matches it.
+
+    Mechanism: every process broadcasts its minimum estimate each round,
+    tagged with an [early] flag.  A process raises the flag at the end of
+    round [r] when it perceives fewer than [r] crashed processes (so some
+    past round looked failure-free to it and its estimate is the global
+    minimum of the surviving values), or when it receives a flagged message.
+    A flagged process broadcasts once more in the next round and then
+    decides — the extra full broadcast before deciding is what locks the
+    value and makes agreement uniform.  At round [t + 1] everybody decides
+    unconditionally. *)
+
+type msg = Est of { est : int; early : bool }
+
+include Sync_sim.Algorithm_intf.S with type msg := msg
+(** [model] is [Classic]. *)
+
+val estimate : state -> int
+val early : state -> bool
+
+val fingerprint : state -> string
+(** Canonical state encoding for the lower-bound machinery. *)

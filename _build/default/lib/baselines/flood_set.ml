@@ -1,0 +1,40 @@
+open Model
+module Int_set = Set.Make (Int)
+
+type msg = Values of int list
+
+type state = { me : int; n : int; t : int; values : Int_set.t }
+
+let name = "flood-set"
+let model = Model_kind.Classic
+let decision_mode = `Halt
+
+let msg_bits ~value_bits (Values vs) = value_bits * List.length vs
+
+let pp_msg ppf (Values vs) =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int vs))
+
+let init ~n ~t ~me ~proposal =
+  { me = Pid.to_int me; n; t; values = Int_set.singleton proposal }
+
+let data_sends state ~round:_ =
+  let payload = Values (Int_set.elements state.values) in
+  List.filter_map
+    (fun dest ->
+      if Pid.to_int dest = state.me then None else Some (dest, payload))
+    (Pid.all ~n:state.n)
+
+let sync_sends _state ~round:_ = []
+
+let compute state ~round ~data ~syncs =
+  assert (syncs = []);
+  let values =
+    List.fold_left
+      (fun acc (_, Values vs) -> List.fold_left (Fun.flip Int_set.add) acc vs)
+      state.values data
+  in
+  let state = { state with values } in
+  if round >= state.t + 1 then (state, Some (Int_set.min_elt values))
+  else (state, None)
+
+let known state = Int_set.elements state.values

@@ -1,0 +1,17 @@
+(** FloodSet: the textbook t+1-round uniform consensus for the classic
+    synchronous model (Lynch 96; the "flooding strategy" the paper contrasts
+    with in Section 3.2, footnote 5).
+
+    Every process broadcasts the set of proposal values it knows in every
+    round; after [t + 1] rounds all correct (indeed, all surviving) processes
+    hold the same set because at least one of the rounds was crash-free, and
+    everybody decides its minimum.  Always takes [t + 1] rounds, regardless
+    of [f] — the non-early-stopping baseline. *)
+
+type msg = Values of int list  (** sorted, distinct *)
+
+include Sync_sim.Algorithm_intf.S with type msg := msg
+(** [model] is [Classic]. *)
+
+val known : state -> int list
+(** Values currently known, sorted (for tests). *)

@@ -1,0 +1,44 @@
+open Model
+
+type msg = Est of int
+
+type state = { me : int; n : int; t : int; est : int; announced : bool }
+
+let name = "nonuniform-early"
+let model = Model_kind.Classic
+
+(* Early deciding, not early stopping: a decided process keeps relaying its
+   estimate — halting immediately would let a decided process take a value
+   to its grave and leave correct survivors on a different one. *)
+let decision_mode = `Announce
+
+let msg_bits ~value_bits (Est _) = value_bits
+
+let pp_msg ppf (Est v) = Format.fprintf ppf "%d" v
+
+let init ~n ~t ~me ~proposal =
+  { me = Pid.to_int me; n; t; est = proposal; announced = false }
+
+let data_sends state ~round =
+  if round > state.t + 1 then []
+  else
+    List.filter_map
+      (fun dest ->
+        if Pid.to_int dest = state.me then None
+        else Some (dest, Est state.est))
+      (Pid.all ~n:state.n)
+
+let sync_sends _state ~round:_ = []
+
+let compute state ~round ~data ~syncs =
+  assert (syncs = []);
+  let est =
+    List.fold_left (fun acc (_, Est v) -> min acc v) state.est data
+  in
+  let perceived_crashed = state.n - (List.length data + 1) in
+  let state = { state with est } in
+  if (not state.announced) && (perceived_crashed < round || round >= state.t + 1)
+  then ({ state with announced = true }, Some est)
+  else (state, None)
+
+let estimate state = state.est

@@ -1,0 +1,27 @@
+(** Early-deciding {e non-uniform} consensus for the classic synchronous
+    model, deciding in [min(f + 1, t + 1)] rounds.
+
+    This baseline makes the paper's central trade visible.  In the classic
+    model, plain consensus (agreement among {e correct} processes only) is
+    solvable in f+1 rounds — this algorithm does it — but {e uniform}
+    consensus needs f+2 [Charron-Bost & Schiper 04].  The extended model's
+    contribution is exactly to buy uniformity at the f+1 price.  Run
+    against the exhaustive adversary, this algorithm:
+    - satisfies validity, termination, non-uniform agreement, and the
+      [min(f+1, t+1)] bound, but
+    - admits schedules where a process decides and then crashes while the
+      survivors decide differently — a uniform-agreement violation the
+      EXP-UNI experiment exhibits as a witness.
+
+    Mechanism: broadcast the minimum estimate every round; decide at the
+    end of round [r] as soon as fewer than [r] processes are perceived
+    crashed (some past round looked clean, so my estimate agrees with
+    every {e alive} process's estimate — the dead ones are exactly whom
+    non-uniform agreement lets us ignore), or at round [t + 1]. *)
+
+type msg = Est of int
+
+include Sync_sim.Algorithm_intf.S with type msg := msg
+(** [model] is [Classic]. *)
+
+val estimate : state -> int

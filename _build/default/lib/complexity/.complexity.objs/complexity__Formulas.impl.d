@@ -1,0 +1,1 @@
+lib/complexity/formulas.ml:

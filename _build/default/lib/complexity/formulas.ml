@@ -1,0 +1,32 @@
+let check_nf ~n ~f =
+  if n < 2 then invalid_arg "Formulas: n < 2";
+  if f < 0 || f >= n then invalid_arg "Formulas: need 0 <= f < n"
+
+let rwwc_round_bound ~f = f + 1
+
+let classic_round_lower_bound ~t ~f = min (t + 1) (f + 2)
+
+let extended_round_lower_bound ~f = f + 1
+
+let best_case_bits ~n ~value_bits = (n - 1) * (value_bits + 1)
+
+let worst_case_data_msgs ~n ~f =
+  check_nf ~n ~f;
+  (* (f+1)(n-1) - (1 + 2 + ... + f) *)
+  ((f + 1) * (n - 1)) - (f * (f + 1) / 2)
+
+let worst_case_data_bits ~n ~f ~value_bits = worst_case_data_msgs ~n ~f * value_bits
+
+let worst_case_commit_msgs_paper ~n ~f =
+  check_nf ~n ~f;
+  (f + 1) * (n - f)
+
+let worst_case_commit_msgs_exact ~n ~f =
+  check_nf ~n ~f;
+  (f + 1) * (n - f - 1)
+
+let worst_case_bits_paper ~n ~f ~value_bits =
+  worst_case_data_bits ~n ~f ~value_bits + worst_case_commit_msgs_paper ~n ~f
+
+let worst_case_total_msgs_paper ~n ~f =
+  worst_case_data_msgs ~n ~f + worst_case_commit_msgs_paper ~n ~f

@@ -1,0 +1,41 @@
+(** Closed-form complexity results of the paper, used as the "paper" column
+    next to measured values in every experiment table. *)
+
+val rwwc_round_bound : f:int -> int
+(** Theorem 1: the Figure 1 algorithm decides by round [f + 1]. *)
+
+val classic_round_lower_bound : t:int -> f:int -> int
+(** The classic synchronous model's uniform consensus lower bound
+    [min(t + 1, f + 2)] (Charron-Bost & Schiper, Keidar & Rajsbaum). *)
+
+val extended_round_lower_bound : f:int -> int
+(** Theorem 4: [f + 1] rounds are necessary in the extended model. *)
+
+val best_case_bits : n:int -> value_bits:int -> int
+(** Theorem 2, best case (no crash): [(n-1)(|v| + 1)]. *)
+
+val worst_case_data_msgs : n:int -> f:int -> int
+(** Theorem 2's worst-case count of data messages,
+    [(f+1)(n - 1 - f/2)] — an integer because [(f+1)·f] is even; computed
+    exactly as [(f+1)(n-1) - f(f+1)/2]. *)
+
+val worst_case_data_bits : n:int -> f:int -> value_bits:int -> int
+(** [worst_case_data_msgs * |v|]. *)
+
+val worst_case_commit_msgs_paper : n:int -> f:int -> int
+(** The paper's commit-message upper bound [(f+1)(n-f)].  It overcounts
+    slightly: in the schedule it narrates, the commit reaching [p_{f+1}]
+    would make [p_{f+1}] decide in round 1 and skip its own coordination
+    round.  See {!worst_case_commit_msgs_exact}. *)
+
+val worst_case_commit_msgs_exact : n:int -> f:int -> int
+(** Exact commit count of the true worst-case run (commits stop at
+    [p_{f+2}], keeping [p_{f+1}] active): [(f+1)(n-f-1)]. *)
+
+val worst_case_bits_paper : n:int -> f:int -> value_bits:int -> int
+(** Theorem 2's worst-case bit bound
+    [(f+1)(n-1-f/2)|v| + (f+1)(n-f)]. *)
+
+val worst_case_total_msgs_paper : n:int -> f:int -> int
+(** Theorem 2's total message bound [(f+1)(2n - 1 - 3f/2)], kept in exact
+    arithmetic as data + commit bounds. *)

@@ -1,0 +1,1 @@
+lib/core/classic_on_extended.ml: Model Sync_sim

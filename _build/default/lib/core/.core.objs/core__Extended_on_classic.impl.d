@@ -1,0 +1,1 @@
+lib/core/extended_on_classic.ml: Crash Format List Model Model_kind Pid Schedule Sync_sim

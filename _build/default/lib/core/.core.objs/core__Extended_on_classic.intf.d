@@ -1,0 +1,1 @@
+lib/core/extended_on_classic.mli: Model Sync_sim

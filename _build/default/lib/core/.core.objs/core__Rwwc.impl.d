@@ -1,0 +1,1 @@
+lib/core/rwwc.ml: Format List Model Model_kind Pid Printf

@@ -1,0 +1,1 @@
+lib/core/rwwc.mli: Sync_sim

@@ -1,0 +1,1 @@
+lib/core/rwwc_variants.ml: Format List Model Model_kind Pid Printf

@@ -1,0 +1,1 @@
+lib/core/rwwc_variants.mli: Sync_sim

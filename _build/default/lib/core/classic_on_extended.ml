@@ -1,0 +1,6 @@
+module Make (A : Sync_sim.Algorithm_intf.S) = struct
+  include A
+
+  let name = A.name ^ "-on-extended"
+  let model = Model.Model_kind.Extended
+end

@@ -1,0 +1,10 @@
+(** Embedding of the classic model into the extended model (Section 2.2).
+
+    Trivial direction of the equivalence: a classic algorithm runs unchanged
+    in the extended model by never using the control step.  The functor only
+    re-labels the model so the engine accepts extended-model schedules
+    (whose [After_data] points degenerate to [After_send] for a process that
+    sends no control messages). *)
+
+module Make (A : Sync_sim.Algorithm_intf.S) :
+  Sync_sim.Algorithm_intf.S with type msg = A.msg

@@ -1,0 +1,91 @@
+open Model
+
+module Make (A : Sync_sim.Algorithm_intf.S) = struct
+  type msg = Data of A.msg | Ctl
+
+  type state = {
+    a : A.state;
+    n : int;
+    buf_data : (Pid.t * A.msg) list;  (* reverse arrival order *)
+    buf_syncs : Pid.t list;
+  }
+
+  let name = A.name ^ "-on-classic"
+  let model = Model_kind.Classic
+  let decision_mode = A.decision_mode
+
+  let msg_bits ~value_bits = function
+    | Data m -> A.msg_bits ~value_bits m
+    | Ctl -> 1
+
+  let pp_msg ppf = function
+    | Data m -> A.pp_msg ppf m
+    | Ctl -> Format.pp_print_string ppf "ctl"
+
+  let init ~n ~t ~me ~proposal =
+    { a = A.init ~n ~t ~me ~proposal; n; buf_data = []; buf_syncs = [] }
+
+  let block_size ~n = n
+
+  let to_extended_round ~n round = ((round - 1) / n) + 1
+
+  (* Position of [round] within its block: 1 = data sub-round,
+     [s] in 2..n = control sub-round serving destination s-1. *)
+  let slot ~n round = ((round - 1) mod n) + 1
+
+  let data_sends state ~round =
+    let rho = to_extended_round ~n:state.n round in
+    match slot ~n:state.n round with
+    | 1 ->
+      List.map (fun (dest, m) -> (dest, Data m)) (A.data_sends state.a ~round:rho)
+    | s ->
+      (* The underlying state is untouched between the block's sub-rounds
+         (compute runs in the last one), so re-asking for the control
+         sequence is deterministic and cheap. *)
+      let dests = A.sync_sends state.a ~round:rho in
+      (match List.nth_opt dests (s - 2) with
+      | Some dest -> [ (dest, Ctl) ]
+      | None -> [])
+
+  let sync_sends _state ~round:_ = []
+
+  let compute state ~round ~data ~syncs =
+    assert (syncs = []);
+    let buf_data = ref state.buf_data and buf_syncs = ref state.buf_syncs in
+    List.iter
+      (fun (from, m) ->
+        match m with
+        | Data payload -> buf_data := (from, payload) :: !buf_data
+        | Ctl -> buf_syncs := from :: !buf_syncs)
+      data;
+    if slot ~n:state.n round < state.n then
+      ({ state with buf_data = !buf_data; buf_syncs = !buf_syncs }, None)
+    else begin
+      let rho = to_extended_round ~n:state.n round in
+      let block_data =
+        List.sort (fun (a, _) (b, _) -> Pid.compare a b) !buf_data
+      and block_syncs = List.sort Pid.compare !buf_syncs in
+      let a, decision =
+        A.compute state.a ~round:rho ~data:block_data ~syncs:block_syncs
+      in
+      ({ state with a; buf_data = []; buf_syncs = [] }, decision)
+    end
+
+  let translate_schedule ~n sched =
+    let translate (ev : Crash.event) =
+      let base = (ev.round - 1) * n in
+      match ev.point with
+      | Crash.Before_send -> Crash.make ~round:(base + 1) Crash.Before_send
+      | Crash.During_data survivors ->
+        Crash.make ~round:(base + 1) (Crash.During_data survivors)
+      | Crash.After_data prefix ->
+        (* Data sub-round and the first [prefix] control sub-rounds complete;
+           the process dies at the start of control sub-round prefix+1 (or at
+           the very end of the block when every control slot was served). *)
+        if prefix >= n - 1 then Crash.make ~round:(base + n) Crash.After_send
+        else Crash.make ~round:(base + prefix + 2) Crash.Before_send
+      | Crash.After_send -> Crash.make ~round:(base + n) Crash.After_send
+    in
+    Schedule.of_list
+      (List.map (fun (pid, ev) -> (pid, translate ev)) (Schedule.bindings sched))
+end

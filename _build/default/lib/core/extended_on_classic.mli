@@ -1,0 +1,30 @@
+(** Simulation of the extended model on top of the classic model
+    (Section 2.2, "computability power").
+
+    Each extended round is expanded into a block of [n] classic sub-rounds:
+    sub-round 1 carries the data messages, and sub-round [s+1]
+    ([1 <= s <= n-1]) carries the control message to the [s]-th destination
+    of the ordered control sequence.  Because a classic-model crash during a
+    sub-round can only truncate that sub-round's sends, the destinations
+    that receive the control message always form a prefix of the sequence —
+    exactly the extended model's guarantee.  The algorithm's computation
+    phase runs in the last sub-round of the block.
+
+    The price is the round blow-up factor [n], measured by EXP-SIM. *)
+
+module Make (A : Sync_sim.Algorithm_intf.S) : sig
+  include Sync_sim.Algorithm_intf.S
+  (** The compiled algorithm; [model] is [Classic]. *)
+
+  val block_size : n:int -> int
+  (** Number of classic sub-rounds per extended round ([= n]). *)
+
+  val to_extended_round : n:int -> int -> int
+  (** Map a classic round of the compiled run back to the extended round it
+      simulates. *)
+
+  val translate_schedule : n:int -> Model.Schedule.t -> Model.Schedule.t
+  (** Translate an extended-model crash schedule into the equivalent
+      classic-model schedule over sub-rounds, preserving exactly which
+      messages of each simulated round get delivered. *)
+end

@@ -1,0 +1,50 @@
+open Model
+
+type msg = Data of int
+
+type state = { me : int; n : int; est : int }
+
+let name = "rwwc"
+let model = Model_kind.Extended
+let decision_mode = `Halt
+
+let msg_bits ~value_bits (Data _) = value_bits
+
+let pp_msg ppf (Data v) = Format.fprintf ppf "%d" v
+
+let init ~n ~t:_ ~me ~proposal = { me = Pid.to_int me; n; est = proposal }
+
+(* Line 4: the coordinator sends its estimate to every higher-id process. *)
+let data_sends state ~round =
+  if round = state.me then
+    List.map
+      (fun dest -> (dest, Data state.est))
+      (Pid.range ~lo:(state.me + 1) ~hi:state.n)
+  else []
+
+(* Line 5: commit messages from p_n down to p_{r+1}. *)
+let sync_sends state ~round =
+  if round = state.me then Pid.range_desc ~hi:state.n ~lo:(state.me + 1)
+  else []
+
+let compute state ~round ~data ~syncs =
+  if round = state.me then
+    (* Line 6: the coordinator survived its send phase and decides. *)
+    (state, Some state.est)
+  else begin
+    (* Line 9: i < r cannot happen — p_i either decided or crashed when it
+       coordinated round i. *)
+    assert (state.me > round);
+    let coord = Pid.of_int round in
+    let est =
+      match List.assoc_opt coord data with
+      | Some (Data v) -> v (* line 7 *)
+      | None -> state.est
+    in
+    let committed = List.exists (Pid.equal coord) syncs in
+    ({ state with est }, if committed then Some est (* line 8 *) else None)
+  end
+
+let estimate state = state.est
+
+let fingerprint state = Printf.sprintf "rwwc:%d:%d" state.me state.est

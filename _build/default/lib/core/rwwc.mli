@@ -1,0 +1,24 @@
+(** The paper's uniform consensus algorithm (Figure 1).
+
+    Rotating coordinator over the extended synchronous model.  In round [r]
+    the coordinator [p_r] sends its estimate as a data message to
+    [p_{r+1} .. p_n], then a commit (synchronization) message in the order
+    [p_n, p_{n-1}, .., p_{r+1}], then decides.  A non-coordinator adopts the
+    coordinator's estimate if the data message arrives and decides if the
+    commit message arrives too.
+
+    Guarantees (Theorems 1 and 2): uniform consensus, decision by round
+    [f + 1]; one round when [p_1] survives round 1; bit complexity between
+    [(n-1)(|v|+1)] and [(f+1)(n-1-f/2)|v| + (f+1)(n-f)]. *)
+
+type msg = Data of int
+
+include Sync_sim.Algorithm_intf.S with type msg := msg
+(** [model] is [Extended]. *)
+
+val estimate : state -> int
+(** Current estimate (for tests and the bivalency explorer). *)
+
+val fingerprint : state -> string
+(** Canonical short encoding of the state, used by the lower-bound
+    machinery to memoize configurations. *)

@@ -1,0 +1,142 @@
+open Model
+
+(* Shared skeleton: rotating coordinator with estimate adoption. *)
+
+type base_state = { me : int; n : int; t : int; est : int }
+
+let base_init ~n ~t ~me ~proposal = { me = Pid.to_int me; n; t; est = proposal }
+
+let higher state = Pid.range ~lo:(state.me + 1) ~hi:state.n
+
+module Ascending_commit = struct
+  type msg = Data of int
+
+  type state = base_state
+
+  let name = "rwwc-ascending-commit"
+  let model = Model_kind.Extended
+  let decision_mode = `Halt
+  let msg_bits ~value_bits (Data _) = value_bits
+  let pp_msg ppf (Data v) = Format.fprintf ppf "%d" v
+  let init = base_init
+
+  (* Figure 1's loop runs r = 1 .. t+1 only; a process whose coordination
+     round lies beyond it never coordinates (the paper's line 2). *)
+  let in_loop state ~round = round <= state.t + 1
+
+  let data_sends state ~round =
+    if round = state.me && in_loop state ~round then
+      List.map (fun p -> (p, Data state.est)) (higher state)
+    else []
+
+  (* The ablation: p_{r+1} first instead of p_n first. *)
+  let sync_sends state ~round =
+    if round = state.me && in_loop state ~round then higher state else []
+
+  let compute state ~round ~data ~syncs =
+    if not (in_loop state ~round) then (state, None)
+    else if round = state.me then (state, Some state.est)
+    else begin
+      let coord = Pid.of_int round in
+      let est =
+        match List.assoc_opt coord data with
+        | Some (Data v) -> v
+        | None -> state.est
+      in
+      let committed = List.exists (Pid.equal coord) syncs in
+      ({ state with est }, if committed then Some est else None)
+    end
+
+  let estimate state = state.est
+  let fingerprint state = Printf.sprintf "asc:%d:%d" state.me state.est
+end
+
+module Data_decide = struct
+  type msg = Data of int
+
+  type state = base_state
+
+  let name = "rwwc-no-commit"
+  let model = Model_kind.Extended
+  let decision_mode = `Halt
+  let msg_bits ~value_bits (Data _) = value_bits
+  let pp_msg ppf (Data v) = Format.fprintf ppf "%d" v
+  let init = base_init
+
+  let data_sends state ~round =
+    if round = state.me then List.map (fun p -> (p, Data state.est)) (higher state)
+    else []
+
+  let sync_sends _state ~round:_ = []
+
+  (* The ablation: the data message alone triggers the decision. *)
+  let compute state ~round ~data ~syncs:_ =
+    if round = state.me then (state, Some state.est)
+    else begin
+      match List.assoc_opt (Pid.of_int round) data with
+      | Some (Data v) -> ({ state with est = v }, Some v)
+      | None -> (state, None)
+    end
+
+  let estimate state = state.est
+  let fingerprint state = Printf.sprintf "nocommit:%d:%d" state.me state.est
+end
+
+module Piggyback_commit = struct
+  type msg = Data of int | Commit of int
+
+  type state = base_state
+
+  let name = "rwwc-piggyback-commit"
+  let model = Model_kind.Extended
+  let decision_mode = `Halt
+
+  let msg_bits ~value_bits = function Data _ -> value_bits | Commit _ -> 1
+
+  let pp_msg ppf = function
+    | Data v -> Format.fprintf ppf "%d" v
+    | Commit v -> Format.fprintf ppf "commit(%d)" v
+
+  let init = base_init
+
+  (* The ablation: both waves travel in the data step — the sends still
+     happen data-first, commit-last, but a crash now delivers an arbitrary
+     {e subset} of them instead of the extended model's prefix of an
+     ordered second step. *)
+  let data_sends state ~round =
+    if round = state.me then
+      List.map (fun p -> (p, Data state.est)) (higher state)
+      @ List.map
+          (fun p -> (p, Commit state.est))
+          (Pid.range_desc ~hi:state.n ~lo:(state.me + 1))
+    else []
+
+  let sync_sends _state ~round:_ = []
+
+  let compute state ~round ~data ~syncs:_ =
+    if round = state.me then (state, Some state.est)
+    else begin
+      let coord = Pid.of_int round in
+      let from_coord =
+        List.filter_map
+          (fun (p, m) -> if Pid.equal p coord then Some m else None)
+          data
+      in
+      let est =
+        List.fold_left
+          (fun est m -> match m with Data v -> v | Commit _ -> est)
+          state.est from_coord
+      in
+      let committed =
+        List.find_map
+          (function Commit v -> Some v | Data _ -> None)
+          from_coord
+      in
+      match committed with
+      | Some v -> ({ state with est = v }, Some v)
+      | None -> ({ state with est }, None)
+    end
+
+  let estimate state = state.est
+  let fingerprint state = Printf.sprintf "piggy:%d:%d" state.me state.est
+end

@@ -1,0 +1,47 @@
+(** Deliberately broken variants of the Figure 1 algorithm — ablations.
+
+    Each variant removes one ingredient of the design; the ablation
+    experiment (EXP-ABL) finds, by exhaustive schedule search, exactly which
+    consensus property dies with it.  Together they show that nothing in
+    Figure 1 is decorative:
+
+    - {!Ascending_commit} sends the commit messages in the order
+      [p_{r+1} .. p_n] instead of the paper's [p_n .. p_{r+1}].  Uniform
+      agreement survives (the value is still locked by a completed data
+      step), but early stopping and even termination break: a crashed
+      coordinator's commit prefix can now reach exactly the processes that
+      are scheduled to coordinate next, which then halt as deciders and
+      never relay — the paper's descending order guarantees instead that
+      whenever anybody decides early, every process beyond the faulty
+      prefix has decided too (the Lemma 3 case-1 argument).
+
+    - {!Data_decide} drops the commit step entirely and decides on receipt
+      of the coordinator's data message.  Uniform agreement dies: a partial
+      data broadcast makes one process decide a value the next coordinator
+      never saw.
+
+    - {!Piggyback_commit} keeps a commit but sends it {e inside} the data
+      step (one combined message), i.e. with arbitrary-subset instead of
+      prefix crash semantics.  Uniform agreement dies: the subset can skip
+      the very processes that would have relayed the locked value. *)
+
+module Ascending_commit : sig
+  include Sync_sim.Algorithm_intf.S
+
+  val estimate : state -> int
+  val fingerprint : state -> string
+end
+
+module Data_decide : sig
+  include Sync_sim.Algorithm_intf.S
+
+  val estimate : state -> int
+  val fingerprint : state -> string
+end
+
+module Piggyback_commit : sig
+  include Sync_sim.Algorithm_intf.S
+
+  val estimate : state -> int
+  val fingerprint : state -> string
+end

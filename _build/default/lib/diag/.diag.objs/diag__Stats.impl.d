@@ -1,0 +1,1 @@
+lib/diag/stats.ml: Array Float Format List

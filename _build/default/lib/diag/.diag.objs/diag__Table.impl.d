@@ -1,0 +1,1 @@
+lib/diag/table.ml: Array Buffer List Printf String

@@ -1,0 +1,127 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  header : string list;
+  arity : int;
+  mutable rev_rows : string list list;
+}
+
+let create ?title ~header () =
+  { title; header; arity = List.length header; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> t.arity then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d" t.arity
+         (List.length row));
+  t.rev_rows <- row :: t.rev_rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let title t = t.title
+
+let rows t = List.rev t.rev_rows
+
+let row_count t = List.length t.rev_rows
+
+let cell t ~row ~col = List.nth (List.nth (rows t) row) col
+
+let default_align arity = Left :: List.init (max 0 (arity - 1)) (fun _ -> Right)
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let widths t =
+  let w = Array.of_list (List.map String.length t.header) in
+  List.iter
+    (List.iteri (fun i c -> w.(i) <- max w.(i) (String.length c)))
+    (rows t);
+  w
+
+let render ?align t =
+  let align =
+    match align with
+    | Some a when List.length a = t.arity -> a
+    | Some _ -> invalid_arg "Table.render: align arity mismatch"
+    | None -> default_align t.arity
+  in
+  let w = widths t in
+  let buf = Buffer.create 256 in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun width ->
+        Buffer.add_string buf (String.make (width + 2) ch);
+        Buffer.add_char buf '+')
+      w;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad (List.nth align i) w.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some s ->
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  line '-';
+  row t.header;
+  line '=';
+  List.iter row (rows t);
+  line '-';
+  Buffer.contents buf
+
+let render_markdown t =
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "**%s**\n\n" s)
+  | None -> ());
+  let row cells =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " cells);
+    Buffer.add_string buf " |\n"
+  in
+  row t.header;
+  row (List.map (fun _ -> "---") t.header);
+  List.iter row (rows t);
+  Buffer.contents buf
+
+let csv_cell c =
+  let needs_quoting =
+    String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c
+  in
+  if needs_quoting then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let render_csv t =
+  let buf = Buffer.create 256 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.header;
+  List.iter row (rows t);
+  Buffer.contents buf
+
+let fmt_int = string_of_int
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_ratio a b =
+  if b = 0.0 then "inf" else Printf.sprintf "%.2fx" (a /. b)
+
+let fmt_bool b = if b then "yes" else "no"

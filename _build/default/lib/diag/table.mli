@@ -1,0 +1,54 @@
+(** ASCII tables for experiment reports.
+
+    Every experiment in the reproduction emits one or more tables; this
+    module renders them uniformly for the terminal, EXPERIMENTS.md and the
+    bench harness. *)
+
+type align = Left | Right
+(** Column alignment. *)
+
+type t
+(** A table under construction: a title, a header row and data rows. *)
+
+val create : ?title:string -> header:string list -> unit -> t
+(** [create ~title ~header ()] starts a table whose rows must all have
+    [List.length header] cells. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Raises [Invalid_argument] if the arity does not match the
+    header. *)
+
+val add_rows : t -> string list list -> unit
+(** Append several rows. *)
+
+val title : t -> string option
+(** The table's title, if any. *)
+
+val row_count : t -> int
+(** Number of data rows added so far. *)
+
+val cell : t -> row:int -> col:int -> string
+(** [cell t ~row ~col] reads back a data cell (0-indexed); for tests. *)
+
+val render : ?align:align list -> t -> string
+(** Render with box-drawing rules.  [align] gives per-column alignment and
+    defaults to left for the first column and right for the rest (the common
+    shape of our tables: a key column then measurements). *)
+
+val render_markdown : t -> string
+(** Render as a GitHub-flavoured markdown table (used for EXPERIMENTS.md). *)
+
+val render_csv : t -> string
+(** Render as RFC-4180-ish CSV: cells containing commas, quotes or newlines
+    are quoted, quotes doubled. *)
+
+(** Cell formatting helpers used across experiments. *)
+
+val fmt_int : int -> string
+val fmt_float : ?decimals:int -> float -> string
+val fmt_ratio : float -> float -> string
+(** [fmt_ratio a b] renders [a /. b] as e.g. ["1.50x"]; ["inf"] when [b] is
+    zero. *)
+
+val fmt_bool : bool -> string
+(** ["yes"] / ["no"]. *)

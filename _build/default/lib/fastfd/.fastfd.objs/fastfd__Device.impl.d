@@ -1,0 +1,1 @@
+lib/fastfd/device.ml: Float List Model Pid Prng Timed_sim

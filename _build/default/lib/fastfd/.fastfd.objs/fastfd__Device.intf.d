@@ -1,0 +1,1 @@
+lib/fastfd/device.mli: Model Pid Prng Timed_sim

@@ -1,0 +1,1 @@
+lib/fastfd/paced.ml: Format List Model Pid Process_intf Timed_sim

@@ -1,0 +1,1 @@
+lib/fastfd/paced.mli: Timed_sim

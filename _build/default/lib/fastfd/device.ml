@@ -1,0 +1,69 @@
+open Model
+
+let crash_time crashes pid =
+  match List.assoc_opt pid crashes with Some t -> t | None -> infinity
+
+let plan ?rng ~n ~d ~crashes () =
+  if d <= 0.0 then invalid_arg "Device.plan: d <= 0";
+  List.iter
+    (fun (_, t) -> if t < 0.0 then invalid_arg "Device.plan: negative crash time")
+    crashes;
+  let updates = ref [] in
+  List.iter
+    (fun observer ->
+      let own_crash = crash_time crashes observer in
+      (* Detection delay per victim, then cumulative suspect sets in
+         detection order. *)
+      let detections =
+        List.filter_map
+          (fun (victim, tau) ->
+            if Pid.equal victim observer then None
+            else
+              let delay =
+                match rng with
+                | None -> d
+                | Some rng -> Float.max 1e-9 (Prng.Rng.float rng d)
+              in
+              Some (tau +. delay, victim))
+          crashes
+        |> List.sort compare
+      in
+      let suspects = ref Pid.Set.empty in
+      List.iter
+        (fun (at, victim) ->
+          suspects := Pid.Set.add victim !suspects;
+          if at <= own_crash then
+            updates :=
+              { Timed_sim.Timed_engine.observer; at; suspects = !suspects }
+              :: !updates)
+        detections)
+    (Pid.all ~n);
+  List.sort
+    (fun (a : Timed_sim.Timed_engine.fd_update) (b : Timed_sim.Timed_engine.fd_update) ->
+      compare a.at b.at)
+    !updates
+
+let published_decision_bound ~big_d ~d ~f = big_d +. (float_of_int f *. d)
+
+let safe ~crashes plan =
+  List.for_all
+    (fun (u : Timed_sim.Timed_engine.fd_update) ->
+      Pid.Set.for_all (fun q -> crash_time crashes q <= u.at) u.suspects)
+    plan
+
+let live ~n ~d ~crashes ~horizon plan =
+  List.for_all
+    (fun (victim, tau) ->
+      tau +. d > horizon
+      || List.for_all
+           (fun observer ->
+             Pid.equal observer victim
+             || crash_time crashes observer < tau +. d
+             || List.exists
+                  (fun (u : Timed_sim.Timed_engine.fd_update) ->
+                    Pid.equal u.observer observer
+                    && u.at <= tau +. d
+                    && Pid.Set.mem victim u.suspects)
+                  plan)
+           (Pid.all ~n))
+    crashes

@@ -1,0 +1,46 @@
+(** The fast failure detector device of Aguilera, Le Lann & Toueg (DISC'02),
+    as a behavioural specification compiled into a suspicion plan for the
+    timed engine.
+
+    Spec (Section 1, related work): each process reads a local variable
+    [suspect(p)] that is
+    - {e safe}: it only ever contains crashed processes, and
+    - {e live}: a process crashing at time [τ] is in every live process's
+      suspect set by [τ + d],
+    with [d << D].  The generator below produces the per-observer timeline
+    of suspect-set updates implied by a crash schedule; the engine delivers
+    them as [on_suspicion] events. *)
+
+open Model
+
+val plan :
+  ?rng:Prng.Rng.t ->
+  n:int ->
+  d:float ->
+  crashes:(Pid.t * float) list ->
+  unit ->
+  Timed_sim.Timed_engine.fd_update list
+(** Suspicion timeline: observer [p] learns of the crash of [q] at
+    [τ_q + delay] where [delay = d] (the latest the spec allows) or, when
+    [rng] is given, uniform in [(0, d]] per (observer, victim) pair.
+    Observers that crash themselves still receive updates until their own
+    crash (the engine drops the rest).  Updates are cumulative. *)
+
+val published_decision_bound : big_d:float -> d:float -> f:int -> float
+(** The decision-time bound the DISC'02 paper reports for its consensus
+    algorithm: [D + f·d].  Used as the analytic comparison column in
+    EXP-FFD. *)
+
+val safe : crashes:(Pid.t * float) list -> Timed_sim.Timed_engine.fd_update list -> bool
+(** Check the safety property of a plan: every suspected process really has
+    crashed, no later than the update's time. *)
+
+val live :
+  n:int ->
+  d:float ->
+  crashes:(Pid.t * float) list ->
+  horizon:float ->
+  Timed_sim.Timed_engine.fd_update list ->
+  bool
+(** Check liveness: for every crash at [τ <= horizon - d] and every observer
+    alive at [τ + d], some update at time [<= τ + d] contains the victim. *)

@@ -1,0 +1,89 @@
+open Model
+open Timed_sim
+
+module Make (Params : sig
+  val d : float
+  val big_d : float
+end) =
+struct
+  type msg =
+    | Est of { slot : int; value : int }
+    | Commit of { slot : int; value : int }
+
+  type state = {
+    me : int;
+    n : int;
+    est : int;
+    est_slot : int;  (* slot of the coordinator the estimate came from *)
+    suspects : Pid.Set.t;
+  }
+
+  let name = "fastfd-paced"
+
+  let () =
+    if Params.d <= 0.0 || Params.big_d <= 0.0 then
+      invalid_arg "Paced: d and D must be positive"
+
+  let slot_time i = float_of_int (i - 1) *. (Params.d +. Params.big_d)
+
+  let worst_case_decision_time ~f = slot_time (f + 1) +. Params.big_d
+
+  let pp_msg ppf = function
+    | Est { slot; value } -> Format.fprintf ppf "est(%d,%d)" slot value
+    | Commit { slot; value } -> Format.fprintf ppf "commit(%d,%d)" slot value
+
+  (* The coordinator's batch: estimates to everyone (any order), then — only
+     after all of them — ordered commits from p_n downwards, then its own
+     decision.  The engine's batch-prefix crash semantics make "all data
+     before any commit" and "commit prefix" hold exactly as in Figure 1. *)
+  let coordinator_batch state =
+    let others =
+      List.filter (fun p -> Pid.to_int p <> state.me) (Pid.all ~n:state.n)
+    in
+    let ests =
+      List.map
+        (fun p ->
+          Process_intf.Send (p, Est { slot = state.me; value = state.est }))
+        others
+    and commits =
+      List.map
+        (fun p ->
+          Process_intf.Send (p, Commit { slot = state.me; value = state.est }))
+        (List.rev others)
+    in
+    ests @ commits @ [ Process_intf.Decide state.est ]
+
+  let init (ctx : Process_intf.ctx) ~me ~proposal =
+    let state =
+      {
+        me = Pid.to_int me;
+        n = ctx.n;
+        est = proposal;
+        est_slot = 0;
+        suspects = Pid.Set.empty;
+      }
+    in
+    if state.me = 1 then (state, coordinator_batch state)
+    else
+      ( state,
+        [ Process_intf.Set_timer { at = slot_time state.me; tag = 0 } ] )
+
+  let on_message state ~now:_ ~from:_ msg =
+    match msg with
+    | Est { slot; value } ->
+      if slot > state.est_slot then
+        ({ state with est = value; est_slot = slot }, [])
+      else (state, [])
+    | Commit { value; _ } -> (state, [ Process_intf.Decide value ])
+
+  let on_timer state ~now:_ ~tag:_ =
+    let smaller = Pid.range ~lo:1 ~hi:(state.me - 1) in
+    if List.for_all (fun p -> Pid.Set.mem p state.suspects) smaller then
+      (state, coordinator_batch state)
+    else
+      (* Some smaller process is alive past its slot: it completed its
+         broadcast, so a COMMIT for its value is on its way to us. *)
+      (state, [])
+
+  let on_suspicion state ~now:_ ~suspects = ({ state with suspects }, [])
+end

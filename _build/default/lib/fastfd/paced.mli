@@ -1,0 +1,42 @@
+(** Rotating-coordinator uniform consensus paced by a fast failure
+    detector (the timed-model comparison point of EXP-FFD).
+
+    Reconstruction note (see DESIGN.md §5): the DISC'02 algorithm's
+    internals are not in the reproduced paper, which only uses its decision
+    bound [D + f·d].  This implementation is a correct algorithm in {e our}
+    timed model (message delay [<= D], fast FD with bound [d], ordered
+    action batches): coordinator [p_i] owns the time slot
+    [T_i = (i-1)(d + D)]; at [T_i], if it is undecided and suspects all
+    smaller processes, it broadcasts its estimate to everyone and then — in
+    a second, ordered step, exactly like Figure 1's commit — a COMMIT
+    carrying the value; it then decides.  Everyone else decides on the
+    first COMMIT received.
+
+    Correctness sketch: slot spacing [d + D > D] means a completed estimate
+    broadcast is adopted by every live process before the next slot opens,
+    so once any COMMIT exists its value is locked; the fast FD guarantees
+    that an undecided coordinator sees all smaller processes suspected at
+    its slot (any unsuspected smaller process must have completed its slot,
+    which contradicts being undecided past [T_j + D]).
+
+    Decision time: at most [T_{f+1} + D = D + f(D + d)] — and exactly [D]
+    when [p_1] is correct, matching the published bound's [f = 0] case.
+    Our conservative network (in-flight messages can take the full [D]
+    after a crash) is what turns the published per-failure cost [d] into
+    [d + D]; EXP-FFD tabulates both. *)
+
+module Make (Params : sig
+  val d : float
+  (** fast failure detector bound *)
+
+  val big_d : float
+  (** message delay bound D *)
+end) : sig
+  include Timed_sim.Process_intf.S
+
+  val slot_time : int -> float
+  (** [slot_time i] is [T_i = (i-1)(d + D)]. *)
+
+  val worst_case_decision_time : f:int -> float
+  (** [T_{f+1} + D = D + f(D + d)]. *)
+end

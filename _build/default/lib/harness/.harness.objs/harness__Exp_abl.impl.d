@@ -1,0 +1,1 @@
+lib/harness/exp_abl.ml: Adversary Algorithm_intf Core Diag Engine Experiment Model Model_kind Pid Printf Run_result Schedule Seq Spec Sync_sim Workloads

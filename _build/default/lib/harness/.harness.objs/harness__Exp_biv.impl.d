@@ -1,0 +1,1 @@
+lib/harness/exp_biv.ml: Baselines Core Diag Experiment Format List Lower_bound Model Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_cl.ml: Diag Experiment List Snapshot

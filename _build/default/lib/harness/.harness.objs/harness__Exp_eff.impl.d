@@ -1,0 +1,1 @@
+lib/harness/exp_eff.ml: Adversary Baselines Diag Engine Experiment List Printf Run_result Runners Spec Sync_sim Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_f1.ml: Adversary Crash Diag Engine Experiment Format List Model Pid Printf Run_result Runners Schedule String Sync_sim Trace Workloads

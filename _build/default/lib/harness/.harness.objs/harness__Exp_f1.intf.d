@@ -1,0 +1,1 @@
+lib/harness/exp_f1.mli: Experiment

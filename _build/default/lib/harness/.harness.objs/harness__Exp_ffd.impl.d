@@ -1,0 +1,1 @@
+lib/harness/exp_ffd.ml: Adversary Diag Experiment Fastfd List Model Option Pid Printf Runners Sync_sim Timed_sim Timing Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_lan.ml: Adversary Core Diag Experiment Lan List Option Printf Runners String Sync_sim Timed_sim Workloads

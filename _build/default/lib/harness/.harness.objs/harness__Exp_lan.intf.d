@@ -1,0 +1,1 @@
+lib/harness/exp_lan.mli: Experiment

@@ -1,0 +1,1 @@
+lib/harness/exp_lb.ml: Core Diag Experiment List Lower_bound Model Printf Schedule String Sync_sim Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_mr99.ml: Adversary Async_cons Diag Experiment Int64 List Model Pid Printf Prng Runners String Sync_sim Timed_sim Workloads

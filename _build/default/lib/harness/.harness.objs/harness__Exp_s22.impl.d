@@ -1,0 +1,1 @@
+lib/harness/exp_s22.ml: Adversary Diag Engine Experiment List Printf Runners Sync_sim Timing Workloads

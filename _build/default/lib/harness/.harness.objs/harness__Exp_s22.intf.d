@@ -1,0 +1,1 @@
+lib/harness/exp_s22.mli: Experiment

@@ -1,0 +1,1 @@
+lib/harness/exp_sim.ml: Adversary Crash Diag Engine Experiment List Model Pid Run_result Runners Schedule Spec Sync_sim Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_t1.ml: Adversary Array Complexity Diag Engine Experiment Fun List Model Model_kind Parallel Printf Prng Runners Sync_sim Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_t1.mli: Experiment

@@ -1,0 +1,1 @@
+lib/harness/exp_t2.ml: Adversary Complexity Diag Engine Experiment List Printf Run_result Runners Sync_sim Workloads

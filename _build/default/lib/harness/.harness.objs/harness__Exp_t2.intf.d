@@ -1,0 +1,1 @@
+lib/harness/exp_t2.mli: Experiment

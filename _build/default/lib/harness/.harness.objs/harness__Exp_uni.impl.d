@@ -1,0 +1,1 @@
+lib/harness/exp_uni.ml: Adversary Algorithm_intf Baselines Core Diag Engine Experiment Model Option Pid Printf Run_result Schedule Seq Spec Sync_sim Workloads

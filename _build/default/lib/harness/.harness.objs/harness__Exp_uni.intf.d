@@ -1,0 +1,1 @@
+lib/harness/exp_uni.mli: Experiment

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Exp_abl Exp_biv Exp_cl Exp_eff Exp_f1 Exp_ffd Exp_lan Exp_lb Exp_mr99 Exp_s22 Exp_sim Exp_t1 Exp_t2 Exp_uni Experiment List String

@@ -1,0 +1,1 @@
+lib/harness/runners.ml: Baselines Core Engine Model Option Run_result Spec Sync_sim

@@ -1,0 +1,1 @@
+lib/harness/runners.mli: Algorithm_intf Engine Model Run_result Sync_sim

@@ -1,0 +1,87 @@
+(** EXP-EFF — the introduction's efficiency claim, in messages and bits.
+
+    The paper motivates the coordinator paradigm against the flooding
+    strategy used by "all the consensus algorithms for synchronous systems
+    that we are aware of" (Section 3.2, footnote 5).  This table puts the
+    four algorithms side by side on identical failure scenarios: Figure 1
+    touches the wire n-1 + n-1 times in the failure-free case where
+    flooding moves n(n-1) set-valued messages per round for t+1 rounds. *)
+
+open Sync_sim
+
+let run () =
+  let value_bits = 32 in
+  let table =
+    Diag.Table.create
+      ~title:
+        (Printf.sprintf
+           "Messages / bits / rounds per algorithm (silent killer, |v| = %d, \
+            t = n-2)"
+           value_bits)
+      ~header:
+        [ "n"; "f"; "algorithm"; "model"; "msgs"; "bits"; "rounds"; "uniform" ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let t = n - 2 in
+      List.iter
+        (fun f ->
+          let schedule =
+            Adversary.Strategies.coordinator_killer ~n ~f
+              ~style:Adversary.Strategies.Silent
+          in
+          let cfg = Engine.config ~value_bits ~schedule ~n ~t
+              ~proposals:(Workloads.distinct n) () in
+          let row name model res ~uniform ~bound =
+            let res = Runners.checked ~context:("EFF " ^ name) ~bound res in
+            Diag.Table.add_row table
+              [
+                Diag.Table.fmt_int n;
+                Diag.Table.fmt_int f;
+                name;
+                model;
+                Diag.Table.fmt_int (Run_result.total_msgs res);
+                Diag.Table.fmt_int (Run_result.total_bits res);
+                Diag.Table.fmt_int (Runners.max_round res);
+                uniform;
+              ]
+          in
+          row "rwwc (Figure 1)" "extended" (Runners.Rwwc_runner.run cfg)
+            ~uniform:"yes" ~bound:(f + 1);
+          row "early-stopping" "classic" (Runners.Es_runner.run cfg)
+            ~uniform:"yes"
+            ~bound:(min (t + 1) (f + 2));
+          row "flood-set" "classic" (Runners.Flood_runner.run cfg)
+            ~uniform:"yes" ~bound:(t + 1);
+          (* The non-uniform baseline is checked for its own contract only. *)
+          let module Nu = Engine.Make (Baselines.Nonuniform_early) in
+          let nu = Nu.run cfg in
+          Spec.Properties.assert_ok ~context:"EFF nonuniform"
+            [
+              Spec.Properties.validity nu;
+              Spec.Properties.agreement nu;
+              Spec.Properties.termination nu;
+            ];
+          Diag.Table.add_row table
+            [
+              Diag.Table.fmt_int n;
+              Diag.Table.fmt_int f;
+              "nonuniform-early";
+              "classic";
+              Diag.Table.fmt_int (Run_result.total_msgs nu);
+              Diag.Table.fmt_int (Run_result.total_bits nu);
+              Diag.Table.fmt_int (Runners.max_round nu);
+              "no";
+            ])
+        [ 0; 2 ])
+    [ 8; 16; 32 ];
+  [ table ]
+
+let experiment =
+  {
+    Experiment.id = "EFF";
+    title = "coordinator vs flooding: wire cost of a decision";
+    paper_ref = "Introduction; Section 3.2 footnote 5; Theorem 2";
+    run;
+  }

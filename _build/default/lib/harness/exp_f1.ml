@@ -1,0 +1,79 @@
+(** EXP-F1 — Figure 1 in motion: round-by-round traces of the algorithm
+    under the crash patterns discussed in Section 3.2. *)
+
+open Model
+open Sync_sim
+
+let scenarios ~n =
+  [
+    ("no crash", Schedule.empty);
+    ( "p1 silent",
+      Adversary.Strategies.coordinator_killer ~n ~f:1
+        ~style:Adversary.Strategies.Silent );
+    ( "p1..p3 silent",
+      Adversary.Strategies.coordinator_killer ~n ~f:3
+        ~style:Adversary.Strategies.Silent );
+    ( "p1 partial data to p2",
+      Schedule.of_list
+        [
+          ( Pid.of_int 1,
+            Crash.make ~round:1 (Crash.During_data (Pid.set_of_ints [ 2 ])) );
+        ] );
+    ( "p1 commits reach p8 only",
+      Schedule.of_list
+        [ (Pid.of_int 1, Crash.make ~round:1 (Crash.After_data 1)) ] );
+  ]
+
+let run () =
+  let n = 8 in
+  let summary =
+    Diag.Table.create ~title:(Printf.sprintf "Figure 1 scenarios (n = %d)" n)
+      ~header:
+        [ "scenario"; "f"; "decided value"; "first decision"; "last decision"; "rounds"; "msgs" ]
+      ()
+  in
+  let traces = ref [] in
+  List.iter
+    (fun (label, schedule) ->
+      let res =
+        Runners.Rwwc_runner.run
+          (Engine.config ~record_trace:true ~schedule ~n ~t:(n - 2)
+             ~proposals:(Workloads.distinct n) ())
+      in
+      let f = Runners.f_actual res in
+      let res = Runners.checked ~context:("F1 " ^ label) ~bound:(f + 1) res in
+      let decisions = Run_result.decisions res in
+      let rounds = List.map (fun (_, _, r) -> r) decisions in
+      Diag.Table.add_row summary
+        [
+          label;
+          Diag.Table.fmt_int f;
+          String.concat "," (List.map string_of_int (Run_result.decided_values res));
+          Diag.Table.fmt_int (List.fold_left min max_int rounds);
+          Diag.Table.fmt_int (List.fold_left max 0 rounds);
+          Diag.Table.fmt_int res.Run_result.rounds_executed;
+          Diag.Table.fmt_int (Run_result.total_msgs res);
+        ];
+      (* Event-level view for the first two scenarios only (the table stays
+         readable). *)
+      if List.length !traces < 2 then begin
+        let t =
+          Diag.Table.create ~title:(Printf.sprintf "trace: %s" label)
+            ~header:[ "event" ] ()
+        in
+        List.iter
+          (fun ev ->
+            Diag.Table.add_row t [ Format.asprintf "%a" Trace.pp_event ev ])
+          res.Run_result.trace;
+        traces := t :: !traces
+      end)
+    (scenarios ~n);
+  summary :: List.rev !traces
+
+let experiment =
+  {
+    Experiment.id = "F1";
+    title = "the Figure 1 algorithm, round by round";
+    paper_ref = "Figure 1, Section 3.2";
+    run;
+  }

@@ -1,0 +1,5 @@
+(** EXP-F1 — see the implementation header for what this experiment
+    reproduces and how. *)
+
+val experiment : Experiment.t
+(** Registered in {!Registry.all}; run via [bin/main.exe experiments]. *)

@@ -1,0 +1,5 @@
+(** EXP-MR99 — see the implementation header for what this experiment
+    reproduces and how. *)
+
+val experiment : Experiment.t
+(** Registered in {!Registry.all}; run via [bin/main.exe experiments]. *)

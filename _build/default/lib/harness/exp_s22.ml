@@ -1,0 +1,116 @@
+(** EXP-S22 — Section 2.2's cost analysis: an (f+1)-round extended-model run
+    (rounds of cost D+δ) against an (f+2)-round classic run (rounds of cost
+    D), with measured round counts, for several D/δ ratios.  The paper's
+    claim: the extended model wins whenever f+1 < D/δ — i.e. always, for
+    realistic f. *)
+
+open Sync_sim
+
+let measured_rounds ~n ~t ~f =
+  (* Both algorithms face the silent coordinator killer. *)
+  let schedule =
+    Adversary.Strategies.coordinator_killer ~n ~f
+      ~style:Adversary.Strategies.Silent
+  in
+  let ext =
+    Runners.Rwwc_runner.run
+      (Engine.config ~schedule ~n ~t ~proposals:(Workloads.distinct n) ())
+  in
+  let ext =
+    Runners.checked ~context:(Printf.sprintf "S22 ext f=%d" f) ~bound:(f + 1) ext
+  in
+  let classic =
+    Runners.Es_runner.run
+      (Engine.config ~schedule ~n ~t ~proposals:(Workloads.distinct n) ())
+  in
+  let classic =
+    Runners.checked
+      ~context:(Printf.sprintf "S22 classic f=%d" f)
+      ~bound:(min (t + 1) (f + 2))
+      classic
+  in
+  (Runners.max_round ext, Runners.max_round classic)
+
+let run () =
+  let n = 16 in
+  let t = n - 2 in
+  let table =
+    Diag.Table.create
+      ~title:
+        (Printf.sprintf
+           "Wall-clock: rwwc (extended, measured rounds x (D+delta)) vs \
+            early-stopping (classic, measured rounds x D), n = %d"
+           n)
+      ~header:
+        [
+          "D/delta";
+          "f";
+          "ext rounds";
+          "classic rounds";
+          "ext time";
+          "classic time";
+          "speedup";
+          "extended wins";
+          "analytic crossover f";
+        ]
+      ()
+  in
+  List.iter
+    (fun ratio ->
+      let d_round = 100.0 in
+      let cm =
+        Timing.Cost_model.make ~d_round ~delta:(d_round /. float_of_int ratio) ()
+      in
+      List.iter
+        (fun f ->
+          let ext_rounds, classic_rounds = measured_rounds ~n ~t ~f in
+          let ext_time = Timing.Cost_model.extended_time cm ~rounds:ext_rounds
+          and classic_time =
+            Timing.Cost_model.classic_time cm ~rounds:classic_rounds
+          in
+          Diag.Table.add_row table
+            [
+              Diag.Table.fmt_int ratio;
+              Diag.Table.fmt_int f;
+              Diag.Table.fmt_int ext_rounds;
+              Diag.Table.fmt_int classic_rounds;
+              Diag.Table.fmt_float ext_time;
+              Diag.Table.fmt_float classic_time;
+              Diag.Table.fmt_ratio classic_time ext_time;
+              Diag.Table.fmt_bool (ext_time < classic_time);
+              Diag.Table.fmt_int (Timing.Cost_model.crossover_f cm);
+            ])
+        [ 0; 1; 2; 4; 8; 13 ])
+    [ 5; 10; 50; 100 ];
+  (* The analytic crossover, shown directly: smallest f where the extended
+     model stops winning, per ratio. *)
+  let crossover =
+    Diag.Table.create
+      ~title:"Analytic crossover (f+1 = D/delta): beyond realistic f"
+      ~header:[ "D/delta"; "crossover f"; "(f+1)(D+d) at crossover"; "(f+2)D" ]
+      ()
+  in
+  List.iter
+    (fun ratio ->
+      let d_round = 100.0 in
+      let cm =
+        Timing.Cost_model.make ~d_round ~delta:(d_round /. float_of_int ratio) ()
+      in
+      let f = Timing.Cost_model.crossover_f cm in
+      Diag.Table.add_row crossover
+        [
+          Diag.Table.fmt_int ratio;
+          Diag.Table.fmt_int f;
+          Diag.Table.fmt_float (Timing.Cost_model.extended_time cm ~rounds:(f + 1));
+          Diag.Table.fmt_float (Timing.Cost_model.classic_time cm ~rounds:(f + 2));
+        ])
+    [ 5; 10; 50; 100; 1000 ];
+  [ table; crossover ]
+
+let experiment =
+  {
+    Experiment.id = "S22";
+    title = "cost of a round: (f+1)(D+delta) vs (f+2)D";
+    paper_ref = "Section 2.2";
+    run;
+  }

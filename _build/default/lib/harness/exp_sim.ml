@@ -1,0 +1,92 @@
+(** EXP-SIM — Section 2.2's computability equivalence: the Figure 1
+    algorithm compiled onto the classic model still solves uniform
+    consensus, at an n-fold round cost. *)
+
+open Model
+open Sync_sim
+
+let scenarios ~n =
+  [
+    ("no crash", Schedule.empty);
+    ( "p1 silent",
+      Adversary.Strategies.coordinator_killer ~n ~f:1
+        ~style:Adversary.Strategies.Silent );
+    ( "greedy f=2",
+      Adversary.Strategies.coordinator_killer ~n ~f:2
+        ~style:Adversary.Strategies.Greedy );
+    ( "commit prefix 1",
+      Schedule.of_list
+        [ (Pid.of_int 1, Crash.make ~round:1 (Crash.After_data 1)) ] );
+  ]
+
+let run () =
+  let table =
+    Diag.Table.create
+      ~title:
+        "Extended-on-classic compilation: same decisions, n sub-rounds per \
+         simulated round"
+      ~header:
+        [
+          "n";
+          "scenario";
+          "native rounds";
+          "compiled rounds";
+          "blow-up";
+          "same decisions";
+        ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let t = n - 2 in
+      let proposals = Workloads.distinct n in
+      List.iter
+        (fun (label, ext_schedule) ->
+          let native =
+            Runners.Rwwc_runner.run
+              (Engine.config ~schedule:ext_schedule ~n ~t ~proposals ())
+          in
+          let f = Runners.f_actual native in
+          let native =
+            Runners.checked ~context:("SIM native " ^ label) ~bound:(f + 1)
+              native
+          in
+          let compiled =
+            Runners.Compiled_runner.run
+              (Engine.config
+                 ~schedule:(Runners.Compiled.translate_schedule ~n ext_schedule)
+                 ~max_rounds:(n * (t + 2)) ~n ~t ~proposals ())
+          in
+          Spec.Properties.assert_ok ~context:("SIM compiled " ^ label)
+            (Spec.Properties.uniform_consensus compiled);
+          let native_decisions = Run_result.decisions native
+          and compiled_decisions =
+            List.map
+              (fun (pid, v, r) ->
+                (pid, v, Runners.Compiled.to_extended_round ~n r))
+              (Run_result.decisions compiled)
+          in
+          let native_rounds = Runners.max_round native in
+          let compiled_rounds = Runners.max_round compiled in
+          Diag.Table.add_row table
+            [
+              Diag.Table.fmt_int n;
+              label;
+              Diag.Table.fmt_int native_rounds;
+              Diag.Table.fmt_int compiled_rounds;
+              Diag.Table.fmt_ratio
+                (float_of_int compiled_rounds)
+                (float_of_int native_rounds);
+              Diag.Table.fmt_bool (native_decisions = compiled_decisions);
+            ])
+        (scenarios ~n))
+    [ 4; 8; 16 ];
+  [ table ]
+
+let experiment =
+  {
+    Experiment.id = "SIM";
+    title = "simulating the extended model on the classic one";
+    paper_ref = "Section 2.2 (computability power)";
+    run;
+  }

@@ -1,0 +1,88 @@
+(** EXP-T1 — Theorem 1 / Lemma 3: decisions complete by round f+1; one
+    round when p1 survives.  Sweeps n and f under the worst-case silent
+    killer and a pool of random schedules. *)
+
+open Model
+open Sync_sim
+
+(* One repetition per derived seed; run under the domain pool — results are
+   order-preserved, so the sweep is deterministic at any domain count. *)
+let random_max_round ~base_seed ~n ~t ~f ~reps =
+  let one rep =
+    let rng = Prng.Rng.of_int (base_seed + rep) in
+    let schedule =
+      Adversary.Strategies.random ~rng ~model:Model_kind.Extended ~n ~f
+        ~max_round:(t + 1)
+    in
+    let res =
+      Runners.Rwwc_runner.run
+        (Engine.config ~schedule ~n ~t ~proposals:(Workloads.distinct n) ())
+    in
+    let fa = Runners.f_actual res in
+    let res =
+      Runners.checked ~context:(Printf.sprintf "T1 random n=%d f=%d" n f)
+        ~bound:(fa + 1) res
+    in
+    Runners.max_round res
+  in
+  Array.fold_left max 0 (Parallel.Pool.map one (Array.init reps Fun.id))
+
+let run () =
+  let base_seed = 20060601 in
+  let reps = 200 in
+  let table =
+    Diag.Table.create
+      ~title:
+        (Printf.sprintf
+           "Decision rounds vs f (silent-killer worst case + %d random \
+            schedules per cell)"
+           reps)
+      ~header:
+        [ "n"; "f"; "paper bound f+1"; "silent killer"; "random worst"; "holds" ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let t = n - 2 in
+      List.iter
+        (fun f ->
+          if f <= t then begin
+            let silent =
+              Runners.Rwwc_runner.run
+                (Engine.config
+                   ~schedule:
+                     (Adversary.Strategies.coordinator_killer ~n ~f
+                        ~style:Adversary.Strategies.Silent)
+                   ~n ~t ~proposals:(Workloads.distinct n) ())
+            in
+            let silent =
+              Runners.checked ~context:(Printf.sprintf "T1 silent n=%d f=%d" n f)
+                ~bound:(f + 1) silent
+            in
+            let silent_round = Runners.max_round silent in
+            let random_round =
+              random_max_round ~base_seed:(base_seed + (1000 * n) + f) ~n ~t ~f
+                ~reps
+            in
+            Diag.Table.add_row table
+              [
+                Diag.Table.fmt_int n;
+                Diag.Table.fmt_int f;
+                Diag.Table.fmt_int (Complexity.Formulas.rwwc_round_bound ~f);
+                Diag.Table.fmt_int silent_round;
+                Diag.Table.fmt_int random_round;
+                Diag.Table.fmt_bool
+                  (silent_round = f + 1 && random_round <= f + 1);
+              ]
+          end)
+        [ 0; 1; 2; 3; 6; 14; 30 ])
+    [ 4; 8; 16; 32 ];
+  [ table ]
+
+let experiment =
+  {
+    Experiment.id = "T1";
+    title = "decision by round f+1 (early stopping)";
+    paper_ref = "Theorem 1, Lemma 3";
+    run;
+  }

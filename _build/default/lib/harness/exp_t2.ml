@@ -1,0 +1,107 @@
+(** EXP-T2 — Theorem 2: bit and message complexity, best and worst case,
+    measured against the closed forms. *)
+
+open Sync_sim
+
+let best_case () =
+  let table =
+    Diag.Table.create ~title:"Theorem 2 best case: no crash"
+      ~header:[ "n"; "|v|"; "measured bits"; "paper (n-1)(|v|+1)"; "match" ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun value_bits ->
+          let res =
+            Runners.Rwwc_runner.run
+              (Engine.config ~value_bits ~n ~t:(n - 2)
+                 ~proposals:(Workloads.distinct n) ())
+          in
+          let res = Runners.checked ~context:"T2 best" ~bound:1 res in
+          let paper = Complexity.Formulas.best_case_bits ~n ~value_bits in
+          Diag.Table.add_row table
+            [
+              Diag.Table.fmt_int n;
+              Diag.Table.fmt_int value_bits;
+              Diag.Table.fmt_int (Run_result.total_bits res);
+              Diag.Table.fmt_int paper;
+              Diag.Table.fmt_bool (Run_result.total_bits res = paper);
+            ])
+        [ 2; 8; 32; 64 ])
+    [ 4; 8; 16; 32 ];
+  table
+
+let worst_case () =
+  let value_bits = 32 in
+  let table =
+    Diag.Table.create
+      ~title:
+        (Printf.sprintf
+           "Theorem 2 worst case: greedy coordinator killer (|v| = %d)"
+           value_bits)
+      ~header:
+        [
+          "n";
+          "f";
+          "data msgs";
+          "paper (f+1)(n-1-f/2)";
+          "commit msgs";
+          "exact (f+1)(n-f-1)";
+          "paper bound (f+1)(n-f)";
+          "total bits";
+          "paper bit bound";
+          "within";
+        ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun f ->
+          if f <= n - 2 then begin
+            let res =
+              Runners.Rwwc_runner.run
+                (Engine.config ~value_bits
+                   ~schedule:
+                     (Adversary.Strategies.coordinator_killer ~n ~f
+                        ~style:Adversary.Strategies.Greedy)
+                   ~n ~t:(n - 2) ~proposals:(Workloads.distinct n) ())
+            in
+            let res =
+              Runners.checked
+                ~context:(Printf.sprintf "T2 worst n=%d f=%d" n f)
+                ~bound:(f + 1) res
+            in
+            let bit_bound =
+              Complexity.Formulas.worst_case_bits_paper ~n ~f ~value_bits
+            in
+            Diag.Table.add_row table
+              [
+                Diag.Table.fmt_int n;
+                Diag.Table.fmt_int f;
+                Diag.Table.fmt_int res.Run_result.data_msgs;
+                Diag.Table.fmt_int (Complexity.Formulas.worst_case_data_msgs ~n ~f);
+                Diag.Table.fmt_int res.Run_result.sync_msgs;
+                Diag.Table.fmt_int
+                  (Complexity.Formulas.worst_case_commit_msgs_exact ~n ~f);
+                Diag.Table.fmt_int
+                  (Complexity.Formulas.worst_case_commit_msgs_paper ~n ~f);
+                Diag.Table.fmt_int (Run_result.total_bits res);
+                Diag.Table.fmt_int bit_bound;
+                Diag.Table.fmt_bool (Run_result.total_bits res <= bit_bound);
+              ]
+          end)
+        [ 0; 1; 2; 4; 8 ])
+    [ 4; 8; 16; 32 ];
+  table
+
+let run () = [ best_case (); worst_case () ]
+
+let experiment =
+  {
+    Experiment.id = "T2";
+    title = "bit and message complexity";
+    paper_ref = "Theorem 2";
+    run;
+  }

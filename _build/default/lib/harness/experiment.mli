@@ -1,0 +1,15 @@
+(** The experiment abstraction: each value regenerates one of the paper's
+    evaluation artefacts as tables with a "paper" column next to the
+    measured one. *)
+
+type t = {
+  id : string;  (** the DESIGN.md experiment index key, e.g. "T1" *)
+  title : string;
+  paper_ref : string;  (** which theorem / section / figure it reproduces *)
+  run : unit -> Diag.Table.t list;
+}
+
+val pp_header : Format.formatter -> t -> unit
+
+val print : ?markdown:bool -> t -> unit
+(** Run the experiment and print its tables to stdout. *)

@@ -1,0 +1,23 @@
+let all =
+  [
+    Exp_f1.experiment;
+    Exp_t1.experiment;
+    Exp_t2.experiment;
+    Exp_s22.experiment;
+    Exp_lb.experiment;
+    Exp_biv.experiment;
+    Exp_sim.experiment;
+    Exp_ffd.experiment;
+    Exp_mr99.experiment;
+    Exp_cl.experiment;
+    Exp_abl.experiment;
+    Exp_uni.experiment;
+    Exp_lan.experiment;
+    Exp_eff.experiment;
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun e -> String.uppercase_ascii e.Experiment.id = id) all
+
+let ids = List.map (fun e -> e.Experiment.id) all

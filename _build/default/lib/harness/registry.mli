@@ -1,0 +1,9 @@
+(** The experiment registry: every table/figure reproduction, by id. *)
+
+val all : Experiment.t list
+(** In the order of DESIGN.md's experiment index. *)
+
+val find : string -> Experiment.t option
+(** Case-insensitive lookup by id ("T1", "lb", ...). *)
+
+val ids : string list

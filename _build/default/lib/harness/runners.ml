@@ -1,0 +1,16 @@
+open Sync_sim
+
+module Rwwc_runner = Engine.Make (Core.Rwwc)
+module Flood_runner = Engine.Make (Baselines.Flood_set)
+module Es_runner = Engine.Make (Baselines.Early_stopping)
+module Compiled = Core.Extended_on_classic.Make (Core.Rwwc)
+module Compiled_runner = Engine.Make (Compiled)
+
+let f_actual res = Model.Pid.Set.cardinal (Run_result.crashed res)
+
+let checked ~context ~bound res =
+  Spec.Properties.assert_ok ~context
+    (Spec.Properties.uniform_consensus ~bound res);
+  res
+
+let max_round res = Option.value (Run_result.max_decision_round res) ~default:0

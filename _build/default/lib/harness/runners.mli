@@ -1,0 +1,38 @@
+(** Shared engine instantiations and helpers for the experiments. *)
+
+open Sync_sim
+
+module Rwwc_runner : sig
+  val run : Engine.config -> Run_result.t
+end
+
+module Flood_runner : sig
+  val run : Engine.config -> Run_result.t
+end
+
+module Es_runner : sig
+  val run : Engine.config -> Run_result.t
+end
+
+module Compiled : sig
+  include Algorithm_intf.S
+
+  val block_size : n:int -> int
+  val to_extended_round : n:int -> int -> int
+  val translate_schedule : n:int -> Model.Schedule.t -> Model.Schedule.t
+end
+(** [Core.Rwwc] compiled to the classic model. *)
+
+module Compiled_runner : sig
+  val run : Engine.config -> Run_result.t
+end
+
+val f_actual : Run_result.t -> int
+(** Crashes that actually happened during the run. *)
+
+val checked : context:string -> bound:int -> Run_result.t -> Run_result.t
+(** Assert uniform consensus with the round bound; experiments never report
+    numbers from an incorrect run. *)
+
+val max_round : Run_result.t -> int
+(** Latest decision round; 0 when nobody decided. *)

@@ -1,0 +1,9 @@
+let distinct n = Array.init n (fun i -> i + 1)
+
+let binary ~n ~zeros =
+  if zeros < 0 || zeros > n then invalid_arg "Workloads.binary";
+  Array.init n (fun i -> if i < zeros then 0 else 1)
+
+let constant ~n ~value = Array.make n value
+
+let random ~rng ~n ~range = Array.init n (fun _ -> Prng.Rng.int rng range)

@@ -1,0 +1,12 @@
+(** Proposal-vector generators for the experiments. *)
+
+val distinct : int -> int array
+(** [p_i] proposes [i] — every decision is traceable to its proposer. *)
+
+val binary : n:int -> zeros:int -> int array
+(** The first [zeros] processes propose 0, the rest 1 — the workload of the
+    valence analysis. *)
+
+val constant : n:int -> value:int -> int array
+
+val random : rng:Prng.Rng.t -> n:int -> range:int -> int array

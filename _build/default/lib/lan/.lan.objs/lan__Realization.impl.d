@@ -1,0 +1,1 @@
+lib/lan/realization.ml: Crash Float Format List Model Pid Process_intf Schedule Sync_sim Timed_engine Timed_sim

@@ -1,0 +1,1 @@
+lib/lan/realization.mli: Model Schedule Sync_sim Timed_sim

@@ -1,0 +1,152 @@
+open Model
+open Timed_sim
+
+module Make
+    (A : Sync_sim.Algorithm_intf.S)
+    (Params : sig
+      val big_d : float
+      val delta : float
+    end) =
+struct
+  type msg = Data of A.msg | Ctl
+
+  type state = {
+    a : A.state;
+    me : Pid.t;
+    max_round : int;  (* abstract engine default horizon: t + 2 *)
+    buf_data : (Pid.t * A.msg) list;  (* reverse arrival order *)
+    buf_syncs : Pid.t list;
+  }
+
+  let name = A.name ^ "-on-lan"
+
+  let () =
+    if Params.big_d <= 0.0 || Params.delta <= 0.0 then
+      invalid_arg "Lan.Realization: D and delta must be positive";
+    if Params.delta > Params.big_d then
+      invalid_arg "Lan.Realization: the model premise is delta << D"
+
+  let period = Params.big_d +. Params.delta
+
+  let round_start r = float_of_int (r - 1) *. period
+
+  (* The computation phase of round [r] sits inside the delta window: after
+     every round-[r] message has arrived (by T_r + D) and before the next
+     send instant (T_{r+1} = T_r + D + delta). *)
+  let compute_time r = round_start r +. Params.big_d +. (Params.delta /. 2.0)
+
+  let round_of_time time =
+    int_of_float (Float.round ((time +. (Params.delta /. 2.0)) /. period))
+
+  let send_tag r = 2 * r
+
+  let compute_tag r = (2 * r) + 1
+
+  let pp_msg ppf = function
+    | Data m -> A.pp_msg ppf m
+    | Ctl -> Format.pp_print_string ppf "ctl"
+
+  (* One uninterruptible batch: data messages first, then the ordered
+     control messages — so a crash prefix can only truncate the control
+     sequence to a prefix, and never lets a control message overtake data. *)
+  let send_batch state ~round =
+    List.map
+      (fun (dest, m) -> Process_intf.Send (dest, Data m))
+      (A.data_sends state.a ~round)
+    @ List.map
+        (fun dest -> Process_intf.Send (dest, Ctl))
+        (A.sync_sends state.a ~round)
+
+  let open_round state ~round =
+    send_batch state ~round
+    @ [ Process_intf.Set_timer { at = compute_time round; tag = compute_tag round } ]
+
+  let init (ctx : Process_intf.ctx) ~me ~proposal =
+    let state =
+      {
+        a = A.init ~n:ctx.n ~t:ctx.t ~me ~proposal;
+        me;
+        max_round = ctx.t + 2;
+        buf_data = [];
+        buf_syncs = [];
+      }
+    in
+    (state, open_round state ~round:1)
+
+  let on_message state ~now:_ ~from msg =
+    match msg with
+    | Data m -> ({ state with buf_data = (from, m) :: state.buf_data }, [])
+    | Ctl -> ({ state with buf_syncs = from :: state.buf_syncs }, [])
+
+  let on_timer state ~now:_ ~tag =
+    if tag mod 2 = 1 then begin
+      (* computation phase of round r *)
+      let r = (tag - 1) / 2 in
+      let data =
+        List.sort (fun (a, _) (b, _) -> Pid.compare a b) state.buf_data
+      and syncs = List.sort Pid.compare state.buf_syncs in
+      let a, decision = A.compute state.a ~round:r ~data ~syncs in
+      let state = { state with a; buf_data = []; buf_syncs = [] } in
+      match decision with
+      | Some v -> (state, [ Process_intf.Decide v ])
+      | None ->
+        if r + 1 > state.max_round then (state, [])
+        else
+          ( state,
+            [
+              Process_intf.Set_timer
+                { at = round_start (r + 1); tag = send_tag (r + 1) };
+            ] )
+    end
+    else begin
+      let r = tag / 2 in
+      (state, open_round state ~round:r)
+    end
+
+  let on_suspicion state ~now:_ ~suspects:_ = (state, [])
+end
+
+let translate_rwwc_schedule ~n ~big_d ~delta schedule =
+  let period = big_d +. delta in
+  let start r = float_of_int (r - 1) *. period in
+  List.map
+    (fun (pid, (ev : Crash.event)) ->
+      let r = ev.round in
+      (* Only the coordinator of round r sends anything in Figure 1. *)
+      let is_coordinator = Pid.to_int pid = r in
+      let data_count = if is_coordinator then n - r else 0 in
+      let sync_order = Pid.range_desc ~hi:n ~lo:(r + 1) in
+      let data_order = Pid.range ~lo:(r + 1) ~hi:n in
+      let prefix_of_subset survivors =
+        (* A subset is realizable on the wire only if it is a prefix of the
+           coordinator's send order p_{r+1} .. p_n. *)
+        let rec count k = function
+          | [] -> k
+          | dest :: rest ->
+            if Pid.Set.mem dest survivors then count (k + 1) rest else k
+        in
+        let k = count 0 data_order in
+        if k <> Pid.Set.cardinal (Pid.Set.inter survivors (Pid.Set.of_list data_order))
+        then
+          invalid_arg
+            "translate_rwwc_schedule: During_data subset is not a send-order \
+             prefix";
+        k
+      in
+      let at, batch_prefix =
+        match ev.point with
+        | Crash.Before_send -> (start r, 0)
+        | Crash.During_data survivors ->
+          if is_coordinator then (start r, prefix_of_subset survivors)
+          else (start r, 0)
+        | Crash.After_data k ->
+          if is_coordinator then
+            (start r, data_count + min k (List.length sync_order))
+          else (start r, 0)
+        | Crash.After_send ->
+          (* Just after the batch, well before the computation phase at
+             T_r + D + delta/2. *)
+          (start r +. (delta /. 4.0), 0)
+      in
+      { Timed_engine.victim = pid; at; batch_prefix })
+    (Schedule.bindings schedule)

@@ -1,0 +1,1 @@
+lib/lower_bound/algo_intf.ml: Sync_sim

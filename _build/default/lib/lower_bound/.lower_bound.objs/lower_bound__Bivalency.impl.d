@@ -1,0 +1,1 @@
+lib/lower_bound/bivalency.ml: Adversary Algo_intf Array Format Hashtbl Int List Model Model_kind Printf Seq Stepper String

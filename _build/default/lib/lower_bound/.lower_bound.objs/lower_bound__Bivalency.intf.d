@@ -1,0 +1,1 @@
+lib/lower_bound/bivalency.mli: Algo_intf Format Model Stepper

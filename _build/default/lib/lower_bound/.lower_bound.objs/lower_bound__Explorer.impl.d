@@ -1,0 +1,1 @@
+lib/lower_bound/explorer.ml: Adversary Algo_intf Array Int List Model Model_kind Option Printf Schedule Seq Spec Sync_sim Truncated

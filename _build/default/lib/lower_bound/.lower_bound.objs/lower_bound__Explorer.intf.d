@@ -1,0 +1,1 @@
+lib/lower_bound/explorer.mli: Algo_intf Model Schedule Sync_sim

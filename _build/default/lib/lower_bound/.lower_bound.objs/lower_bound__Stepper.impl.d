@@ -1,0 +1,1 @@
+lib/lower_bound/stepper.ml: Algo_intf Array Buffer Crash Int List Model Pid Sync_sim

@@ -1,0 +1,1 @@
+lib/lower_bound/stepper.mli: Algo_intf Crash Model Pid Sync_sim

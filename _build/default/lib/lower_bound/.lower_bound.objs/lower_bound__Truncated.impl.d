@@ -1,0 +1,1 @@
+lib/lower_bound/truncated.ml: Algo_intf Printf

@@ -1,0 +1,1 @@
+lib/lower_bound/truncated.mli: Algo_intf

@@ -1,0 +1,14 @@
+(** Extra capabilities the lower-bound machinery needs from an algorithm
+    beyond {!Sync_sim.Algorithm_intf.S}. *)
+
+module type S = sig
+  include Sync_sim.Algorithm_intf.S
+
+  val estimate : state -> int
+  (** The value the process would decide if forced to decide now — used by
+      {!Truncated} to build hypothetical "decide by round R" algorithms. *)
+
+  val fingerprint : state -> string
+  (** Canonical encoding of the state, injective on reachable states — used
+      to memoize configurations during valence exploration. *)
+end

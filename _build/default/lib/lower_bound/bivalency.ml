@@ -1,0 +1,130 @@
+open Model
+
+type valence = Univalent of int | Bivalent of int list
+
+type report = {
+  n : int;
+  t : int;
+  proposals : int array;
+  initial_valence : valence;
+  max_bivalent_depth : int;
+  bivalent_with_decision : bool;
+  configs_explored : int;
+}
+
+let pp_valence ppf = function
+  | Univalent v -> Format.fprintf ppf "univalent(%d)" v
+  | Bivalent vs ->
+    Format.fprintf ppf "bivalent{%s}"
+      (String.concat "," (List.map string_of_int vs))
+
+module Make (A : Algo_intf.S) = struct
+  module S = Stepper.Make (A)
+
+  (* The Theorem 3 adversary: per round, either no crash or one crash of a
+     running process at any crash point of the given model. *)
+  let choices ~model config =
+    let none = Seq.return None in
+    if S.crashes_used config >= S.resilience config then none
+    else
+      Seq.append none
+        (Seq.concat_map
+           (fun pid ->
+             Seq.map
+               (fun point -> Some (pid, point))
+               (Adversary.Enumerate.points ~model ~n:(S.size config)
+                  ~victim:pid))
+           (List.to_seq (S.running config)))
+
+  let horizon config = S.resilience config + 2
+
+  module String_tbl = Hashtbl
+
+  let make_reachable ~model =
+    let memo : (string, int list) String_tbl.t = String_tbl.create 1024 in
+    let rec go config =
+      let key = S.fingerprint config in
+      match String_tbl.find_opt memo key with
+      | Some vs -> vs
+      | None ->
+        let vs =
+          if S.running config = [] then S.decided_values config
+          else if S.next_round config > horizon config then
+            failwith
+              (Printf.sprintf
+                 "Bivalency: algorithm %s still undecided after round %d"
+                 A.name
+                 (horizon config))
+          else
+            Seq.fold_left
+              (fun acc crash ->
+                List.fold_left
+                  (fun acc v -> if List.mem v acc then acc else v :: acc)
+                  acc
+                  (go (S.step config ~crash)))
+              [] (choices ~model config)
+            |> List.sort Int.compare
+        in
+        String_tbl.replace memo key vs;
+        vs
+    in
+    (memo, go)
+
+  let reachable_values ?(model = Model_kind.Extended) config =
+    let _, go = make_reachable ~model in
+    go config
+
+  let analyze ?(model = Model_kind.Extended) ~n ~t ~proposals () =
+    let memo, go = make_reachable ~model in
+    let initial = S.initial ~n ~t ~proposals in
+    let valence_of config =
+      match go config with
+      | [ v ] -> Univalent v
+      | [] -> Bivalent [] (* unreachable for terminating algorithms *)
+      | vs -> Bivalent vs
+    in
+    let initial_valence = valence_of initial in
+    (* Breadth-first sweep over configuration layers, deduplicated per
+       layer, tracking the deepest layer containing a bivalent config. *)
+    let max_bivalent_depth = ref 0 and bivalent_with_decision = ref false in
+    let layer = ref [ initial ] in
+    let seen = String_tbl.create 1024 in
+    let depth = ref 0 in
+    while !layer <> [] do
+      incr depth;
+      let next = ref [] in
+      List.iter
+        (fun config ->
+          if S.running config <> [] && S.next_round config <= horizon config
+          then
+            Seq.iter
+              (fun crash ->
+                let c' = S.step config ~crash in
+                let key = S.fingerprint c' in
+                if not (String_tbl.mem seen key) then begin
+                  String_tbl.replace seen key ();
+                  next := c' :: !next;
+                  match go c' with
+                  | [] | [ _ ] -> ()
+                  | _ :: _ :: _ ->
+                    max_bivalent_depth := max !max_bivalent_depth !depth;
+                    if S.decided_values c' <> [] then
+                      bivalent_with_decision := true
+                end)
+              (choices ~model config))
+        !layer;
+      layer := !next
+    done;
+    {
+      n;
+      t;
+      proposals = Array.copy proposals;
+      initial_valence;
+      max_bivalent_depth =
+        (match initial_valence with
+        | Univalent _ -> 0
+        | Bivalent _ -> !max_bivalent_depth);
+      bivalent_with_decision = !bivalent_with_decision;
+      configs_explored = String_tbl.length memo;
+    }
+end

@@ -1,0 +1,79 @@
+open Model
+
+type witness = {
+  schedule : Schedule.t;
+  result : Sync_sim.Run_result.t;
+  schedules_searched : int;
+}
+
+type tightness = {
+  f : int;
+  max_decision_round : int;
+  schedule : Schedule.t;
+}
+
+module Make (A : Algo_intf.S) = struct
+  module Runner = Sync_sim.Engine.Make (A)
+
+  let tightness ~n ~f ~proposals =
+    if f < 0 || f > n - 2 then invalid_arg "Explorer.tightness: need 0 <= f <= n-2";
+    let t = max f 1 in
+    let schedule =
+      Adversary.Strategies.coordinator_killer ~n ~f
+        ~style:Adversary.Strategies.Silent
+    in
+    let result =
+      Runner.run (Sync_sim.Engine.config ~schedule ~n ~t ~proposals ())
+    in
+    Spec.Properties.assert_ok
+      ~context:(Printf.sprintf "tightness n=%d f=%d" n f)
+      (Spec.Properties.uniform_consensus ~bound:(f + 1) result);
+    {
+      f;
+      max_decision_round =
+        Option.value (Sync_sim.Run_result.max_decision_round result) ~default:0;
+      schedule;
+    }
+
+  let truncation_violation ~n ~decide_by ~proposals =
+    if decide_by < 1 || decide_by > n - 2 then
+      invalid_arg "Explorer.truncation_violation: need 1 <= decide_by <= n-2";
+    let module T =
+      Truncated.Make
+        (A)
+        (struct
+          let decide_by = decide_by
+        end)
+    in
+    let module E = Sync_sim.Engine.Make (T) in
+    let t = decide_by in
+    let searched = ref 0 in
+    let violation schedule =
+      incr searched;
+      let result =
+        E.run (Sync_sim.Engine.config ~schedule ~n ~t ~proposals ())
+      in
+      let bad =
+        not
+          (Spec.Properties.all_ok
+             [
+               Spec.Properties.uniform_agreement result;
+               Spec.Properties.validity result;
+             ])
+      in
+      if bad then Some { schedule; result; schedules_searched = !searched }
+      else None
+    in
+    Seq.find_map violation
+      (Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n
+         ~max_f:decide_by ~max_round:decide_by)
+
+  let zero_round_impossible ~n ~proposals =
+    ignore n;
+    (* A 0-round algorithm exchanges nothing, so each process can only output
+       its own proposal. *)
+    let distinct =
+      Array.to_list proposals |> List.sort_uniq Int.compare |> List.length
+    in
+    distinct > 1
+end

@@ -1,0 +1,146 @@
+open Model
+
+module Make (A : Algo_intf.S) = struct
+  type proc = {
+    state : A.state;
+    status : Sync_sim.Run_result.status;  (* Undecided = still running *)
+  }
+
+  type config = { procs : proc array; t : int; next_round : int; crashes : int }
+
+  let initial ~n ~t ~proposals =
+    if Array.length proposals <> n then invalid_arg "Stepper.initial: arity";
+    {
+      procs =
+        Array.init n (fun i ->
+            {
+              state =
+                A.init ~n ~t ~me:(Pid.of_int (i + 1)) ~proposal:proposals.(i);
+              status = Sync_sim.Run_result.Undecided;
+            });
+      t;
+      next_round = 1;
+      crashes = 0;
+    }
+
+  let next_round c = c.next_round
+
+  let crashes_used c = c.crashes
+
+  let resilience c = c.t
+
+  let size c = Array.length c.procs
+
+  let is_running p = p.status = Sync_sim.Run_result.Undecided
+
+  let running c =
+    Array.to_list c.procs
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter_map (fun (i, p) ->
+           if is_running p then Some (Pid.of_int (i + 1)) else None)
+
+  let statuses c = Array.map (fun p -> p.status) c.procs
+
+  let decided_values c =
+    Array.to_list c.procs
+    |> List.filter_map (fun p ->
+           match p.status with
+           | Sync_sim.Run_result.Decided { value; _ } -> Some value
+           | Sync_sim.Run_result.Crashed _ | Sync_sim.Run_result.Undecided ->
+             None)
+    |> List.sort_uniq Int.compare
+
+  let step c ~crash =
+    let n = Array.length c.procs in
+    let r = c.next_round in
+    (match crash with
+    | None -> ()
+    | Some (pid, _) ->
+      if c.crashes >= c.t then invalid_arg "Stepper.step: crash budget spent";
+      if not (is_running c.procs.(Pid.to_int pid - 1)) then
+        invalid_arg "Stepper.step: victim not running");
+    let inbox_data = Array.make n [] and inbox_syncs = Array.make n [] in
+    let deliver_data from (dest, msg) =
+      let i = Pid.to_int dest - 1 in
+      inbox_data.(i) <- (from, msg) :: inbox_data.(i)
+    and deliver_sync from dest =
+      let i = Pid.to_int dest - 1 in
+      inbox_syncs.(i) <- from :: inbox_syncs.(i)
+    in
+    Array.iteri
+      (fun i p ->
+        if is_running p then begin
+          let pid = Pid.of_int (i + 1) in
+          let planned_data = A.data_sends p.state ~round:r
+          and planned_sync = A.sync_sends p.state ~round:r in
+          match crash with
+          | Some (victim, point) when Pid.equal victim pid -> begin
+            match point with
+            | Crash.Before_send -> ()
+            | Crash.During_data survivors ->
+              List.iter
+                (fun (dest, msg) ->
+                  if Pid.Set.mem dest survivors then
+                    deliver_data pid (dest, msg))
+                planned_data
+            | Crash.After_data prefix ->
+              List.iter (deliver_data pid) planned_data;
+              List.iteri
+                (fun k dest -> if k < prefix then deliver_sync pid dest)
+                planned_sync
+            | Crash.After_send ->
+              List.iter (deliver_data pid) planned_data;
+              List.iter (deliver_sync pid) planned_sync
+          end
+          | Some _ | None ->
+            List.iter (deliver_data pid) planned_data;
+            List.iter (deliver_sync pid) planned_sync
+        end)
+      c.procs;
+    let procs =
+      Array.mapi
+        (fun i p ->
+          let pid = Pid.of_int (i + 1) in
+          if not (is_running p) then p
+          else
+            match crash with
+            | Some (victim, _) when Pid.equal victim pid ->
+              { p with status = Sync_sim.Run_result.Crashed { at_round = r } }
+            | Some _ | None ->
+              let data =
+                List.sort (fun (a, _) (b, _) -> Pid.compare a b) inbox_data.(i)
+              and syncs = List.sort Pid.compare inbox_syncs.(i) in
+              let state, decision = A.compute p.state ~round:r ~data ~syncs in
+              let status =
+                match decision with
+                | None -> Sync_sim.Run_result.Undecided
+                | Some value ->
+                  Sync_sim.Run_result.Decided { value; at_round = r }
+              in
+              { state; status })
+        c.procs
+    in
+    {
+      procs;
+      t = c.t;
+      next_round = r + 1;
+      crashes = (c.crashes + match crash with Some _ -> 1 | None -> 0);
+    }
+
+  let fingerprint c =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (string_of_int c.next_round);
+    Buffer.add_char buf '|';
+    Array.iter
+      (fun p ->
+        (match p.status with
+        | Sync_sim.Run_result.Undecided ->
+          Buffer.add_string buf ("R:" ^ A.fingerprint p.state)
+        | Sync_sim.Run_result.Decided { value; _ } ->
+          Buffer.add_string buf ("D:" ^ string_of_int value)
+        | Sync_sim.Run_result.Crashed _ -> Buffer.add_string buf "X");
+        Buffer.add_char buf ';')
+      c.procs;
+    Buffer.add_string buf (string_of_int c.crashes);
+    Buffer.contents buf
+end

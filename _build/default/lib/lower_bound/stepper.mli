@@ -1,0 +1,47 @@
+(** Single-round stepping of a synchronous computation under explicit
+    adversary choices.
+
+    Where {!Sync_sim.Engine} runs a complete schedule, the stepper advances
+    one round at a time with the crash decision supplied per round — the
+    shape the valence (bivalency) argument of Theorem 3 needs, where the
+    adversary crashes at most one process per round and we quantify over its
+    next choice.  Tests cross-validate the stepper against the engine on
+    complete schedules. *)
+
+open Model
+
+module Make (A : Algo_intf.S) : sig
+  type config
+  (** An immutable global configuration: every process's local state and
+      status, plus the upcoming round number. *)
+
+  val initial : n:int -> t:int -> proposals:int array -> config
+
+  val next_round : config -> int
+  (** The round the next {!step} will execute (1 for a fresh config). *)
+
+  val crashes_used : config -> int
+
+  val resilience : config -> int
+  (** The crash budget [t] the configuration was created with. *)
+
+  val size : config -> int
+  (** The number of processes [n]. *)
+
+  val running : config -> Pid.t list
+  (** Processes that are alive and undecided. *)
+
+  val statuses : config -> Sync_sim.Run_result.status array
+
+  val decided_values : config -> int list
+  (** De-duplicated values decided so far. *)
+
+  val step : config -> crash:(Pid.t * Crash.point) option -> config
+  (** Execute one round in the extended model.  [crash = Some (p, point)]
+      crashes the (running) process [p] at [point] during this round; [None]
+      runs the round failure-free.  Raises [Invalid_argument] if [p] is not
+      running or the crash budget [t] is exhausted. *)
+
+  val fingerprint : config -> string
+  (** Injective encoding of (round, statuses, states); memoization key. *)
+end

@@ -1,0 +1,18 @@
+module Make
+    (A : Algo_intf.S) (R : sig
+      val decide_by : int
+    end) =
+struct
+  include A
+
+  let () = if R.decide_by < 1 then invalid_arg "Truncated: decide_by < 1"
+
+  let name = Printf.sprintf "%s-truncated@%d" A.name R.decide_by
+
+  let compute state ~round ~data ~syncs =
+    let state, decision = A.compute state ~round ~data ~syncs in
+    match decision with
+    | Some _ -> (state, decision)
+    | None when round >= R.decide_by -> (state, Some (A.estimate state))
+    | None -> (state, None)
+end

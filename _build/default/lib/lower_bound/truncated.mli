@@ -1,0 +1,14 @@
+(** Hypothetical "decide by round R" truncations of an algorithm.
+
+    Theorem 4 says no extended-model algorithm can always decide within [f]
+    rounds.  To exhibit the impossibility concretely, we take a correct
+    algorithm and force any still-undecided process to decide its current
+    estimate at the end of round [R]; the explorer then finds crash
+    schedules (with at most [R] crashes) on which this truncation violates
+    uniform agreement — the machine-checked counterpart of the paper's
+    indistinguishability argument. *)
+
+module Make (A : Algo_intf.S) (R : sig
+  val decide_by : int
+  (** Round at which undecided processes are forced to decide ([>= 1]). *)
+end) : Algo_intf.S

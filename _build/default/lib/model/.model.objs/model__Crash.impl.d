@@ -1,0 +1,1 @@
+lib/model/crash.ml: Format Int Model_kind Pid

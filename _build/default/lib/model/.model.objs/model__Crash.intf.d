@@ -1,0 +1,1 @@
+lib/model/crash.mli: Format Model_kind Pid

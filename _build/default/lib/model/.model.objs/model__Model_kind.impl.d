@@ -1,0 +1,1 @@
+lib/model/model_kind.ml: Format

@@ -1,0 +1,1 @@
+lib/model/pid.ml: Format Int List Map Printf Set String

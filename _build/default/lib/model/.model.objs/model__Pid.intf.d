@@ -1,0 +1,1 @@
+lib/model/pid.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Crash Format Int List Map Pid Printf Result

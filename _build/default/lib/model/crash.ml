@@ -1,0 +1,37 @@
+type point =
+  | Before_send
+  | During_data of Pid.Set.t
+  | After_data of int
+  | After_send
+
+type event = { round : int; point : point }
+
+let make ~round point =
+  if round < 1 then invalid_arg "Crash.make: round < 1";
+  (match point with
+  | After_data k when k < 0 -> invalid_arg "Crash.make: negative prefix"
+  | Before_send | During_data _ | After_data _ | After_send -> ());
+  { round; point }
+
+let valid_for kind event =
+  match (kind, event.point) with
+  | Model_kind.Classic, After_data _ ->
+    Error "After_data crash point requires the extended model"
+  | (Model_kind.Classic | Model_kind.Extended), _ -> Ok ()
+
+let pp_point ppf = function
+  | Before_send -> Format.pp_print_string ppf "before-send"
+  | During_data s -> Format.fprintf ppf "during-data%a" Pid.pp_set s
+  | After_data k -> Format.fprintf ppf "after-data(prefix=%d)" k
+  | After_send -> Format.pp_print_string ppf "after-send"
+
+let pp ppf e = Format.fprintf ppf "@@r%d %a" e.round pp_point e.point
+
+let equal_point a b =
+  match (a, b) with
+  | Before_send, Before_send | After_send, After_send -> true
+  | During_data s1, During_data s2 -> Pid.Set.equal s1 s2
+  | After_data k1, After_data k2 -> Int.equal k1 k2
+  | (Before_send | During_data _ | After_data _ | After_send), _ -> false
+
+let equal a b = Int.equal a.round b.round && equal_point a.point b.point

@@ -1,0 +1,45 @@
+(** Crash events: when within a round a process dies, and what its last
+    partial send delivered.
+
+    The paper's failure semantics (Section 2.1):
+    - a crash during the {e data} step delivers an arbitrary subset of the
+      planned data messages;
+    - a crash during the {e control} step delivers the control message to an
+      arbitrary prefix of the ordered destination sequence (and implies the
+      data step completed);
+    - crashes can also strike before any send or after all sends of the
+      round. *)
+
+type point =
+  | Before_send
+      (** The process crashes at the start of the round: nothing it planned
+          to send this round is delivered. *)
+  | During_data of Pid.Set.t
+      (** The process crashes during the data step.  The payload is the set
+          of destinations that actually receive their data message (the
+          adversary's choice; intersected with the planned destinations).
+          No control message is sent. *)
+  | After_data of int
+      (** Extended model only: the data step completed, and the control
+          message reaches the first [k] destinations of the ordered control
+          sequence ([k = 0] means none).  [During_data s] with [s] = all
+          destinations is {e not} equivalent: [After_data 0] guarantees all
+          data was delivered. *)
+  | After_send
+      (** Every planned message of the round (data and control) was
+          delivered, but the process dies before its computation phase — in
+          particular before it can decide this round. *)
+
+type event = { round : int; point : point }
+(** A crash in round [round] (1-based) at the given point. *)
+
+val make : round:int -> point -> event
+(** Validates [round >= 1] and, for [After_data k], [k >= 0]. *)
+
+val valid_for : Model_kind.t -> event -> (unit, string) result
+(** [After_data _] is only meaningful in the extended model. *)
+
+val pp_point : Format.formatter -> point -> unit
+val pp : Format.formatter -> event -> unit
+val equal_point : point -> point -> bool
+val equal : event -> event -> bool

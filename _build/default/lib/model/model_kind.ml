@@ -1,0 +1,9 @@
+type t = Classic | Extended
+
+let equal a b =
+  match (a, b) with
+  | Classic, Classic | Extended, Extended -> true
+  | Classic, Extended | Extended, Classic -> false
+
+let to_string = function Classic -> "classic" | Extended -> "extended"
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,16 @@
+(** The two round-based synchronous models of the paper (Section 2).
+
+    [Classic] is the traditional model: a round is send / receive / compute,
+    and a sender crashing mid-send delivers to an arbitrary subset of its
+    destinations.
+
+    [Extended] adds a second, control ("synchronization") sending step
+    executed immediately after the data step with no intervening computation.
+    Its destinations are an ordered sequence, and a sender crashing mid-step
+    delivers to an arbitrary {e prefix} of that sequence. *)
+
+type t = Classic | Extended
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,30 @@
+type t = int
+
+let of_int i =
+  if i < 1 then invalid_arg (Printf.sprintf "Pid.of_int: %d < 1" i);
+  i
+
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf i = Format.fprintf ppf "p%d" i
+let to_string i = "p" ^ string_of_int i
+
+let range ~lo ~hi =
+  if lo < 1 then invalid_arg "Pid.range: lo < 1";
+  List.init (max 0 (hi - lo + 1)) (fun k -> lo + k)
+
+let range_desc ~hi ~lo =
+  if lo < 1 then invalid_arg "Pid.range_desc: lo < 1";
+  List.init (max 0 (hi - lo + 1)) (fun k -> hi - k)
+
+let all ~n = range ~lo:1 ~hi:n
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_ints is = Set.of_list (List.map of_int is)
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map to_string (Set.elements s)))

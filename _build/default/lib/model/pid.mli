@@ -1,0 +1,36 @@
+(** Process identifiers.
+
+    The paper numbers processes [p_1 .. p_n]; identifiers are therefore
+    1-based.  The rotating-coordinator algorithm relies on this total order
+    (the coordinator of round [r] is [p_r]). *)
+
+type t = private int
+(** A process identifier, [>= 1]. *)
+
+val of_int : int -> t
+(** [of_int i] validates [i >= 1].  Raises [Invalid_argument] otherwise. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints ["p3"] style. *)
+
+val to_string : t -> string
+
+val all : n:int -> t list
+(** [all ~n] is [[p1; ...; pn]] in increasing order. *)
+
+val range : lo:int -> hi:int -> t list
+(** [range ~lo ~hi] is [[p_lo; ...; p_hi]] (empty when [lo > hi]). *)
+
+val range_desc : hi:int -> lo:int -> t list
+(** [range_desc ~hi ~lo] is [[p_hi; p_hi-1; ...; p_lo]] — the order in which
+    the Figure 1 coordinator sends its commit messages. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_ints : int list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit

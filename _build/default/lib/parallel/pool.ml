@@ -1,0 +1,45 @@
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+type 'b slot = Pending | Done of 'b | Raised of exn
+
+let map ?domains f xs =
+  let n = Array.length xs in
+  let domains = Option.value domains ~default:(default_domains ()) in
+  if domains <= 1 || n < 2 then Array.map f xs
+  else begin
+    let domains = min domains n in
+    let results = Array.make n Pending in
+    (* Static chunking: domain k owns indices [k*chunk, ...).  Experiment
+       workloads are uniform enough that work stealing is not worth its
+       complexity here. *)
+    let chunk = (n + domains - 1) / domains in
+    let worker k () =
+      let lo = k * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      for i = lo to hi do
+        results.(i) <- (try Done (f xs.(i)) with e -> Raised e)
+      done
+    in
+    let handles = List.init domains (fun k -> Domain.spawn (worker k)) in
+    List.iter Domain.join handles;
+    Array.map
+      (function
+        | Done v -> v
+        | Raised e -> raise e
+        | Pending -> assert false (* every index belongs to some chunk *))
+      results
+  end
+
+let map_list ?domains f xs = Array.to_list (map ?domains f (Array.of_list xs))
+
+let iter ?domains f xs = ignore (map ?domains f xs)
+
+let count_if ?domains p xs =
+  Array.fold_left
+    (fun acc b -> if b then acc + 1 else acc)
+    0 (map ?domains p xs)
+
+let find_first ?domains f xs =
+  Array.fold_left
+    (fun acc r -> match acc with Some _ -> acc | None -> r)
+    None (map ?domains f xs)

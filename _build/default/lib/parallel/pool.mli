@@ -1,0 +1,33 @@
+(** Deterministic data parallelism over OCaml 5 domains.
+
+    The experiment sweeps and exhaustive model checks are embarrassingly
+    parallel: every run is a pure function of its (seeded) inputs.  This
+    pool chunks an input array across domains and reassembles results in
+    input order, so parallel execution is observationally identical to
+    sequential execution — the tests assert exactly that.
+
+    Keep closures pure: tasks run concurrently on separate domains, and
+    shared mutable state without synchronization is a data race. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] applies [f] to every element, preserving order.
+    [domains <= 1] (or an array shorter than 2) degrades to [Array.map].
+    If any task raises, the first exception (in input order) is re-raised
+    after all domains have joined. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val iter : ?domains:int -> ('a -> unit) -> 'a array -> unit
+
+val count_if : ?domains:int -> ('a -> bool) -> 'a array -> int
+(** Parallel count of elements satisfying the predicate. *)
+
+val find_first : ?domains:int -> ('a -> 'b option) -> 'a array -> 'b option
+(** [find_first f xs] is [f x] for the first (in input order) [x] with
+    [f x <> None].  All elements may be evaluated (no early exit across
+    chunk boundaries is guaranteed), but the returned witness is always the
+    input-order first — exhaustive-search callers get deterministic
+    witnesses regardless of the domain count. *)

@@ -1,0 +1,1 @@
+lib/prng/pcg.ml: Int32 Int64

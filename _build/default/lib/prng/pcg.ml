@@ -1,0 +1,37 @@
+type t = { mutable state : int64; inc : int64 }
+
+let multiplier = 6364136223846793005L
+
+let default_stream = 0xda3e39cb94b95bdbL
+
+let step g = g.state <- Int64.(add (mul g.state multiplier) g.inc)
+
+let create ?(stream = default_stream) ~seed () =
+  (* The increment must be odd; the standard PCG seeding runs one step with
+     the state at 0, adds the seed, and steps again. *)
+  let g = { state = 0L; inc = Int64.(logor (shift_left stream 1) 1L) } in
+  step g;
+  g.state <- Int64.add g.state seed;
+  step g;
+  g
+
+(* XSH-RR output function: xorshift-high then random rotate. *)
+let output state =
+  let xorshifted =
+    Int64.to_int32
+      Int64.(shift_right_logical (logxor (shift_right_logical state 18) state) 27)
+  in
+  let rot = Int64.(to_int (shift_right_logical state 59)) in
+  let left = Int32.shift_left xorshifted (-rot land 31) in
+  let right = Int32.shift_right_logical xorshifted rot in
+  Int32.logor right left
+
+let next g =
+  let old = g.state in
+  step g;
+  output old
+
+let next64 g =
+  let hi = Int64.of_int32 (next g) in
+  let lo = Int64.of_int32 (next g) in
+  Int64.(logor (shift_left hi 32) (logand lo 0xFFFFFFFFL))

@@ -1,0 +1,21 @@
+(** PCG32 pseudo-random number generator (O'Neill, 2014).
+
+    A second, structurally unrelated generator used to cross-check the
+    statistical tests on {!Splitmix} and available to experiments that want a
+    different stream family.  Produces 32 random bits per step from a 64-bit
+    LCG state passed through a permutation output function. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?stream:int64 -> seed:int64 -> unit -> t
+(** [create ?stream ~seed ()] returns a fresh generator.  Generators with
+    different [stream] values (the LCG increment selector) produce
+    independent sequences even under the same [seed].  Default stream is
+    [0xda3e39cb94b95bdbL]. *)
+
+val next : t -> int32
+(** [next g] advances [g] and returns 32 uniformly distributed bits. *)
+
+val next64 : t -> int64
+(** [next64 g] concatenates two successive 32-bit outputs. *)

@@ -1,0 +1,81 @@
+type t = Splitmix.t
+
+let create ~seed = Splitmix.create ~seed
+let of_int s = create ~seed:(Int64.of_int s)
+let split = Splitmix.split
+let copy = Splitmix.copy
+let bits64 = Splitmix.next
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+(* 62 uniform non-negative bits as an OCaml int (always fits on 64-bit
+   platforms). *)
+let nonneg g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the largest multiple of [bound] below 2^62. *)
+  let limit = (max_int / 2 / bound) * bound in
+  let rec draw () =
+    let v = nonneg g in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let int_in g lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let float g x =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  (* 53 uniform bits scaled into [0, 1). *)
+  v /. 9007199254740992.0 *. x
+
+let choose g = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int g (List.length xs))
+
+let choose_array g a =
+  if Array.length a = 0 then invalid_arg "Rng.choose_array: empty array";
+  a.(int g (Array.length a))
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n Fun.id in
+  shuffle_in_place g a;
+  a
+
+let subset g ?(p = 0.5) xs = List.filter (fun _ -> float g 1.0 < p) xs
+
+let sample_without_replacement g k xs =
+  let n = List.length xs in
+  if k >= n then xs
+  else begin
+    (* Choose k distinct indices via a partial shuffle, then filter in
+       order. *)
+    let idx = permutation g n in
+    let keep = Hashtbl.create k in
+    for i = 0 to k - 1 do
+      Hashtbl.replace keep idx.(i) ()
+    done;
+    List.filteri (fun i _ -> Hashtbl.mem keep i) xs
+  end
+
+let geometric g ~p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Rng.geometric: p not in (0,1]";
+  if p = 1.0 then 0
+  else
+    let rec loop n = if float g 1.0 < p then n else loop (n + 1) in
+    loop 0
+
+let exponential g ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. float g 1.0 in
+  -.mean *. log u

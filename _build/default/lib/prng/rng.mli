@@ -1,0 +1,70 @@
+(** Deterministic random streams for simulations and experiments.
+
+    High-level sampling interface built on {!Splitmix}.  Every consumer of
+    randomness in the reproduction (adversaries, workload generators,
+    asynchronous schedulers) takes an explicit [Rng.t]; there is no hidden
+    global state, so any run is replayable from its seed. *)
+
+type t
+(** A mutable random stream. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] makes a stream; equal seeds give equal streams. *)
+
+val of_int : int -> t
+(** [of_int s] is [create ~seed:(Int64.of_int s)]. *)
+
+val split : t -> t
+(** [split g] derives an independent child stream, advancing [g] once.
+    Splitting lets each process / repetition own a private stream whose
+    output does not depend on how much randomness the others consumed. *)
+
+val copy : t -> t
+(** [copy g] replays [g]'s future output. *)
+
+val bits64 : t -> int64
+(** 64 uniform bits. *)
+
+val bool : t -> bool
+(** A uniform boolean. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive;
+    raises [Invalid_argument] otherwise.  Uses rejection sampling, so the
+    result is exactly uniform. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive).  Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.  Raises [Invalid_argument] on []. *)
+
+val choose_array : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation g n] is a uniform permutation of [0 .. n-1]. *)
+
+val subset : t -> ?p:float -> 'a list -> 'a list
+(** [subset g ~p xs] keeps each element independently with probability [p]
+    (default [0.5]), preserving order.  This is the sampler behind the
+    "arbitrary subset of destinations" crash semantics of the data step. *)
+
+val sample_without_replacement : t -> int -> 'a list -> 'a list
+(** [sample_without_replacement g k xs] picks [min k (length xs)] distinct
+    elements, preserving the original order. *)
+
+val geometric : t -> p:float -> int
+(** [geometric g ~p] is the number of failures before the first success of a
+    Bernoulli([p]) sequence; [p] must be in (0, 1]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed positive float with the given mean.  Used for
+    message latencies in the asynchronous simulator. *)

@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* The output function is the 64-bit variant of the MurmurHash3 finalizer
+   (mix13 in the SplitMix64 reference implementation). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+(* A distinct finalizer (mix64variant13's companion) decorrelates the child
+   stream from the parent's. *)
+let mix_gamma z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L) in
+  let z = Int64.(logxor z (shift_right_logical z 33)) in
+  (* gammas must be odd *)
+  Int64.logor z 1L
+
+let split g =
+  let seed = next g in
+  let gamma_seed = Int64.add g.state golden_gamma in
+  (* Fold the (odd) derived gamma into the child's seed so that children of
+     successive splits start far apart in state space. *)
+  { state = Int64.add seed (mix_gamma gamma_seed) }

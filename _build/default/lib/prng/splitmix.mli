@@ -1,0 +1,27 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, splittable generator (Steele, Lea & Flood, OOPSLA 2014)
+    with a 64-bit state advanced by the golden-ratio increment.  It is the
+    seeding primitive for the rest of the [prng] library: every experiment in
+    the reproduction derives its randomness from a single [int64] seed, so
+    runs are replayable bit-for-bit. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will replay [g]'s future
+    stream. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 uniformly distributed bits. *)
+
+val split : t -> t
+(** [split g] advances [g] once and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output.  Used to give each
+    simulated process or experiment repetition its own stream without
+    cross-contamination. *)

@@ -1,0 +1,1 @@
+lib/snapshot/chandy_lamport.ml: Array Fifo_net List Model Pid Prng

@@ -1,0 +1,1 @@
+lib/snapshot/chandy_lamport.mli:

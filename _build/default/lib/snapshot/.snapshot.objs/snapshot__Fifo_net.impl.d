@@ -1,0 +1,1 @@
+lib/snapshot/fifo_net.ml: Array Model Pid Prng Queue

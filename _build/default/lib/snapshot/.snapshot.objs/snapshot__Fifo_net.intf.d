@@ -1,0 +1,1 @@
+lib/snapshot/fifo_net.mli: Model Pid Prng

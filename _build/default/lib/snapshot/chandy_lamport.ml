@@ -1,0 +1,166 @@
+open Model
+
+type config = {
+  n : int;
+  initial_tokens : int;
+  total_steps : int;
+  initiate_at : int;
+  seed : int;
+}
+
+let config ?(initial_tokens = 10) ?(total_steps = 400) ?(initiate_at = 100)
+    ?(seed = 7) ~n () =
+  if n < 2 then invalid_arg "Chandy_lamport.config: n < 2";
+  if initial_tokens < 1 then invalid_arg "Chandy_lamport.config: tokens < 1";
+  if initiate_at < 0 || initiate_at >= total_steps then
+    invalid_arg "Chandy_lamport.config: initiation outside the run";
+  { n; initial_tokens; total_steps; initiate_at; seed }
+
+type snapshot = { locals : int array; channels : ((int * int) * int) list }
+
+type result = {
+  snapshot : snapshot;
+  recorded_total : int;
+  expected_total : int;
+  conservation_ok : bool;
+  consistent_cut : bool;
+  transfers_completed : int;
+  final_balance_total : int;
+  markers_sent : int;
+}
+
+type msg =
+  | Transfer of { tokens : int; post_record : bool }
+      (** [post_record]: the sender had already recorded its state when it
+          sent this — ground truth used only by the cut checker, invisible
+          to the algorithm. *)
+  | Marker
+
+type proc = {
+  mutable balance : int;
+  mutable recorded : int option;  (* balance at record time *)
+  (* for each incoming channel (by source index): Some acc while recording
+     that channel, None when closed (marker received or never opened) *)
+  mutable recording : int option array;
+  mutable marker_pending : bool array;  (* channels still awaiting a marker *)
+}
+
+let run cfg =
+  let rng = Prng.Rng.of_int cfg.seed in
+  let net : msg Fifo_net.t = Fifo_net.create ~n:cfg.n in
+  let procs =
+    Array.init cfg.n (fun _ ->
+        {
+          balance = cfg.initial_tokens;
+          recorded = None;
+          recording = Array.make cfg.n None;
+          marker_pending = Array.make cfg.n false;
+        })
+  in
+  let transfers = ref 0 and markers = ref 0 in
+  let consistent = ref true in
+  let send_markers i =
+    for j = 0 to cfg.n - 1 do
+      if j <> i then begin
+        incr markers;
+        Fifo_net.send net ~from:(Pid.of_int (i + 1)) ~dest:(Pid.of_int (j + 1))
+          Marker
+      end
+    done
+  in
+  let record i =
+    let p = procs.(i) in
+    if p.recorded = None then begin
+      p.recorded <- Some p.balance;
+      (* open recording on every incoming channel; each closes when its
+         marker arrives *)
+      for j = 0 to cfg.n - 1 do
+        if j <> i then begin
+          p.recording.(j) <- Some 0;
+          p.marker_pending.(j) <- true
+        end
+      done;
+      send_markers i
+    end
+  in
+  let spontaneous_transfer step i =
+    let p = procs.(i) in
+    if p.balance > 0 then begin
+      let j = (i + 1 + ((step + i) mod (cfg.n - 1))) mod cfg.n in
+      let j = if j = i then (j + 1) mod cfg.n else j in
+      p.balance <- p.balance - 1;
+      Fifo_net.send net ~from:(Pid.of_int (i + 1)) ~dest:(Pid.of_int (j + 1))
+        (Transfer { tokens = 1; post_record = p.recorded <> None })
+    end
+  in
+  let handle_delivery (from, dest, msg) =
+    let i = Pid.to_int dest - 1 and src = Pid.to_int from - 1 in
+    let p = procs.(i) in
+    match msg with
+    | Transfer { tokens; post_record } ->
+      if p.recorded = None && post_record then consistent := false;
+      p.balance <- p.balance + tokens;
+      incr transfers;
+      (match p.recording.(src) with
+      | Some acc when p.marker_pending.(src) ->
+        p.recording.(src) <- Some (acc + tokens)
+      | Some _ | None -> ())
+    | Marker ->
+      (* First marker (from any channel) triggers recording if not done;
+         the marker also closes its own channel's recording. *)
+      record i;
+      p.marker_pending.(src) <- false
+  in
+  for step = 0 to cfg.total_steps - 1 do
+    if step = cfg.initiate_at then record 0;
+    (* Interleave spontaneous sends and deliveries, scheduler's choice. *)
+    if Prng.Rng.bool rng then
+      spontaneous_transfer step (Prng.Rng.int rng cfg.n)
+    else
+      match Fifo_net.deliver_random rng net with
+      | Some d -> handle_delivery d
+      | None -> spontaneous_transfer step (Prng.Rng.int rng cfg.n)
+  done;
+  (* Drain: deliver everything still in flight so the snapshot completes and
+     final balances are auditable. *)
+  let rec drain () =
+    match Fifo_net.deliver_random rng net with
+    | Some d ->
+      handle_delivery d;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let locals =
+    Array.map
+      (fun p ->
+        match p.recorded with
+        | Some b -> b
+        | None -> failwith "Chandy_lamport: process never recorded")
+      procs
+  in
+  let channels = ref [] in
+  Array.iteri
+    (fun i p ->
+      Array.iteri
+        (fun src rec_state ->
+          match rec_state with
+          | Some acc when acc > 0 -> channels := ((src + 1, i + 1), acc) :: !channels
+          | Some _ | None -> ())
+        p.recording)
+    procs;
+  let recorded_total =
+    Array.fold_left ( + ) 0 locals
+    + List.fold_left (fun acc (_, c) -> acc + c) 0 !channels
+  in
+  let expected_total = cfg.n * cfg.initial_tokens in
+  {
+    snapshot = { locals; channels = List.rev !channels };
+    recorded_total;
+    expected_total;
+    conservation_ok = recorded_total = expected_total;
+    consistent_cut = !consistent;
+    transfers_completed = !transfers;
+    final_balance_total = Array.fold_left (fun acc p -> acc + p.balance) 0 procs;
+    markers_sent = !markers;
+  }

@@ -1,0 +1,57 @@
+(** Chandy–Lamport distributed snapshot over a token-transfer application.
+
+    Related-work exemplar (Section 1): the marker is a synchronization
+    message that carries no data but cleanly separates, on each FIFO
+    channel, the messages sent before a process recorded its state from
+    those sent after — letting a consistent global state be assembled
+    without freezing the computation.  The same role is played by the
+    commit message in Figure 1 (it separates "the coordinator's estimate is
+    everywhere" from "it may not be").
+
+    The application: [n] processes each start with [initial_tokens] tokens
+    and keep spontaneously wiring single tokens to pseudo-random peers while
+    the snapshot runs.  The invariant a correct snapshot must capture:
+    recorded local balances plus recorded in-channel tokens equal the total
+    money supply (conservation), and the recorded cut is consistent (no
+    message received before the receiver's record point was sent after the
+    sender's). *)
+
+type config = {
+  n : int;
+  initial_tokens : int;
+  total_steps : int;  (** scheduler steps to run *)
+  initiate_at : int;  (** step at which p_1 spontaneously records *)
+  seed : int;
+}
+
+val config :
+  ?initial_tokens:int ->
+  ?total_steps:int ->
+  ?initiate_at:int ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  config
+(** Defaults: 10 tokens, 400 steps, initiation at step 100, seed 7. *)
+
+type snapshot = {
+  locals : int array;  (** recorded balance of each process *)
+  channels : ((int * int) * int) list;
+      (** ((from, to), tokens recorded in transit), only non-empty entries *)
+}
+
+type result = {
+  snapshot : snapshot;
+  recorded_total : int;  (** locals + in-channel tokens *)
+  expected_total : int;  (** n * initial_tokens *)
+  conservation_ok : bool;
+  consistent_cut : bool;
+      (** no post-record message was consumed pre-record (checked online
+          with send-side flags; Chandy–Lamport guarantees it on FIFO
+          channels) *)
+  transfers_completed : int;
+  final_balance_total : int;  (** sanity: money is conserved at the end too *)
+  markers_sent : int;
+}
+
+val run : config -> result

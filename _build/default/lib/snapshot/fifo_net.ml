@@ -1,0 +1,51 @@
+open Model
+
+type 'msg t = { n : int; channels : 'msg Queue.t array array }
+(* channels.(i).(j) is the queue of the directed channel p_{i+1} -> p_{j+1} *)
+
+let create ~n =
+  if n < 2 then invalid_arg "Fifo_net.create: n < 2";
+  { n; channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ())) }
+
+let n net = net.n
+
+let check_pair net ~from ~dest =
+  let i = Pid.to_int from and j = Pid.to_int dest in
+  if i = j then invalid_arg "Fifo_net: self channel";
+  if i > net.n || j > net.n then invalid_arg "Fifo_net: pid out of range";
+  (i - 1, j - 1)
+
+let send net ~from ~dest msg =
+  let i, j = check_pair net ~from ~dest in
+  Queue.add msg net.channels.(i).(j)
+
+let deliver net ~from ~dest =
+  let i, j = check_pair net ~from ~dest in
+  Queue.take_opt net.channels.(i).(j)
+
+let nonempty net =
+  let acc = ref [] in
+  for i = net.n - 1 downto 0 do
+    for j = net.n - 1 downto 0 do
+      if not (Queue.is_empty net.channels.(i).(j)) then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let deliver_random rng net =
+  match nonempty net with
+  | [] -> None
+  | channels ->
+    let i, j = Prng.Rng.choose rng channels in
+    let msg = Queue.take net.channels.(i).(j) in
+    Some (Pid.of_int (i + 1), Pid.of_int (j + 1), msg)
+
+let channel_length net ~from ~dest =
+  let i, j = check_pair net ~from ~dest in
+  Queue.length net.channels.(i).(j)
+
+let in_flight net =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc q -> acc + Queue.length q) acc row)
+    0 net.channels

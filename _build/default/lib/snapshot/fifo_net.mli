@@ -1,0 +1,31 @@
+(** Reliable FIFO channels for the fault-free asynchronous setting of the
+    Chandy–Lamport snapshot (the paper's canonical example of
+    synchronization messages in fault-free computing).
+
+    Every ordered pair of distinct processes is connected by a directed
+    FIFO channel; the scheduler (the caller) picks which channel delivers
+    next, so interleavings are adversarial up to FIFO order. *)
+
+open Model
+
+type 'msg t
+
+val create : n:int -> 'msg t
+
+val n : 'msg t -> int
+
+val send : 'msg t -> from:Pid.t -> dest:Pid.t -> 'msg -> unit
+(** Enqueue at the channel tail.  [from = dest] is rejected. *)
+
+val deliver : 'msg t -> from:Pid.t -> dest:Pid.t -> 'msg option
+(** Dequeue the channel head, if any. *)
+
+val deliver_random :
+  Prng.Rng.t -> 'msg t -> (Pid.t * Pid.t * 'msg) option
+(** Dequeue the head of a uniformly chosen non-empty channel; [None] when
+    everything is quiescent. *)
+
+val channel_length : 'msg t -> from:Pid.t -> dest:Pid.t -> int
+
+val in_flight : 'msg t -> int
+(** Total queued messages. *)

@@ -1,0 +1,1 @@
+lib/spec/figure1_invariants.ml: Format List Model Pid Printf Properties Run_result Sync_sim Trace

@@ -1,0 +1,1 @@
+lib/spec/figure1_invariants.mli: Properties Run_result Sync_sim

@@ -1,0 +1,1 @@
+lib/spec/properties.ml: Array Format Int List Model Printf Run_result String Sync_sim

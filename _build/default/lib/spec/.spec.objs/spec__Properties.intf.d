@@ -1,0 +1,1 @@
+lib/spec/properties.mli: Format Run_result Sync_sim

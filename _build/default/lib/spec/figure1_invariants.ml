@@ -1,0 +1,184 @@
+open Model
+open Sync_sim
+
+let passed name = { Properties.name; ok = true; detail = "" }
+let failed name detail = { Properties.name; ok = false; detail }
+
+let require_trace res =
+  if res.Run_result.trace = [] then
+    invalid_arg "Figure1_invariants: run was not recorded (record_trace)"
+
+(* Events of the trace annotated with their round. *)
+let rounds res =
+  require_trace res;
+  let acc = ref [] and current = ref [] and round = ref 0 in
+  let flush () = if !round > 0 then acc := (!round, List.rev !current) :: !acc in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Round_begin r ->
+        flush ();
+        round := r;
+        current := []
+      | Trace.Data_sent _ | Trace.Sync_sent _ | Trace.Crashed _
+      | Trace.Decided _ ->
+        current := ev :: !current)
+    res.Run_result.trace;
+  flush ();
+  List.rev !acc
+
+let coordinator_only_sender res =
+  let offenders =
+    List.concat_map
+      (fun (r, events) ->
+        List.filter_map
+          (function
+            | Trace.Data_sent { from; _ } | Trace.Sync_sent { from; _ } ->
+              if Pid.to_int from <> r then Some (r, from) else None
+            | Trace.Round_begin _ | Trace.Crashed _ | Trace.Decided _ -> None)
+          events)
+      (rounds res)
+  in
+  match offenders with
+  | [] -> passed "coordinator-only-sender"
+  | (r, from) :: _ ->
+    failed "coordinator-only-sender"
+      (Format.asprintf "%a sent in round %d (coordinator is p%d)" Pid.pp from r r)
+
+let data_before_commit res =
+  let bad =
+    List.exists
+      (fun (_, events) ->
+        let seen_commit = ref false in
+        List.exists
+          (function
+            | Trace.Sync_sent _ ->
+              seen_commit := true;
+              false
+            | Trace.Data_sent _ -> !seen_commit
+            | Trace.Round_begin _ | Trace.Crashed _ | Trace.Decided _ -> false)
+          events)
+      (rounds res)
+  in
+  if bad then failed "data-before-commit" "a data message followed a commit"
+  else passed "data-before-commit"
+
+let commit_prefix_shape res =
+  let n = res.Run_result.n in
+  let check_round (r, events) =
+    let commits =
+      List.filter_map
+        (function
+          | Trace.Sync_sent { dest; _ } -> Some dest
+          | Trace.Round_begin _ | Trace.Data_sent _ | Trace.Crashed _
+          | Trace.Decided _ ->
+            None)
+        events
+    in
+    let expected = Pid.range_desc ~hi:n ~lo:(r + 1) in
+    let rec is_prefix xs ys =
+      match (xs, ys) with
+      | [], _ -> true
+      | x :: xs', y :: ys' -> Pid.equal x y && is_prefix xs' ys'
+      | _ :: _, [] -> false
+    in
+    if is_prefix commits expected then None else Some r
+  in
+  match List.filter_map check_round (rounds res) with
+  | [] -> passed "commit-prefix-shape"
+  | r :: _ ->
+    failed "commit-prefix-shape"
+      (Printf.sprintf "round %d commits are not a prefix of p_n..p_%d" r (r + 1))
+
+let value_locking res =
+  let n = res.Run_result.n in
+  (* First round whose coordinator delivered data to every higher process. *)
+  let locked =
+    List.find_map
+      (fun (r, events) ->
+        let data_dests, payloads =
+          List.fold_left
+            (fun (dests, payloads) ev ->
+              match ev with
+              | Trace.Data_sent { dest; payload; _ } ->
+                (Pid.Set.add dest dests, payload :: payloads)
+              | Trace.Round_begin _ | Trace.Sync_sent _ | Trace.Crashed _
+              | Trace.Decided _ ->
+                (dests, payloads))
+            (Pid.Set.empty, []) events
+        in
+        let wanted = Pid.Set.of_list (Pid.range ~lo:(r + 1) ~hi:n) in
+        if Pid.Set.subset wanted data_dests then
+          match payloads with p :: _ -> Some (r, p) | [] -> None
+        else None)
+      (rounds res)
+  in
+  match locked with
+  | None -> passed "value-locking"
+  | Some (r0, v) ->
+    let offenders =
+      List.concat_map
+        (fun (r, events) ->
+          if r <= r0 then []
+          else
+            List.filter_map
+              (function
+                | Trace.Data_sent { payload; _ } when payload <> v ->
+                  Some (Printf.sprintf "round %d carries %s" r payload)
+                | _ -> None)
+              events)
+        (rounds res)
+      @ List.filter_map
+          (fun (pid, value, round) ->
+            if string_of_int value <> v then
+              Some
+                (Format.asprintf "%a decided %d at round %d" Pid.pp pid value
+                   round)
+            else None)
+          (Trace.decisions res.Run_result.trace)
+    in
+    (match offenders with
+    | [] -> passed "value-locking"
+    | o :: _ ->
+      failed "value-locking"
+        (Printf.sprintf "value %s locked at round %d but %s" v r0 o))
+
+let decision_needs_commit res =
+  let offenders =
+    List.concat_map
+      (fun (r, events) ->
+        let committed_to =
+          List.filter_map
+            (function
+              | Trace.Sync_sent { dest; _ } -> Some dest
+              | Trace.Round_begin _ | Trace.Data_sent _ | Trace.Crashed _
+              | Trace.Decided _ ->
+                None)
+            events
+        in
+        List.filter_map
+          (function
+            | Trace.Decided { pid; _ } ->
+              if Pid.to_int pid = r then None (* the coordinator, line 6 *)
+              else if List.exists (Pid.equal pid) committed_to then None
+              else Some (r, pid)
+            | Trace.Round_begin _ | Trace.Data_sent _ | Trace.Sync_sent _
+            | Trace.Crashed _ ->
+              None)
+          events)
+      (rounds res)
+  in
+  match offenders with
+  | [] -> passed "decision-needs-commit"
+  | (r, pid) :: _ ->
+    failed "decision-needs-commit"
+      (Format.asprintf "%a decided at round %d without a commit" Pid.pp pid r)
+
+let all res =
+  [
+    coordinator_only_sender res;
+    data_before_commit res;
+    commit_prefix_shape res;
+    value_locking res;
+    decision_needs_commit res;
+  ]

@@ -1,0 +1,41 @@
+(** Trace-level invariants of the Figure 1 algorithm.
+
+    Where {!Properties} checks the consensus contract on outcomes, this
+    module checks the {e mechanism} on recorded traces — the statements the
+    paper's proof leans on:
+
+    - footnote 6's {e value locking}: once some coordinator's data step
+      completes (its estimate reached every higher-id process), no other
+      value ever travels or gets decided again;
+    - line 4/5 discipline: in each round only the coordinator sends, its
+      data messages all precede its commits, and the commit destinations
+      form a prefix of the order [p_n, .., p_{r+1}];
+    - line 8 discipline: a non-coordinator decides in round [r] only after
+      receiving both the data and the commit message from [p_r] in that
+      round.
+
+    All functions require the run to have been recorded with
+    [record_trace:true] and raise [Invalid_argument] on an empty trace. *)
+
+open Sync_sim
+
+val coordinator_only_sender : Run_result.t -> Properties.check
+(** Every message of round [r] was sent by [p_r]. *)
+
+val data_before_commit : Run_result.t -> Properties.check
+(** Within each round, no data message is sent after a commit. *)
+
+val commit_prefix_shape : Run_result.t -> Properties.check
+(** Round-[r] commits go to a prefix of [p_n, p_{n-1}, .., p_{r+1}], in
+    that order. *)
+
+val value_locking : Run_result.t -> Properties.check
+(** After the first round whose coordinator's data step completed, every
+    later data payload and every decision carries that round's value. *)
+
+val decision_needs_commit : Run_result.t -> Properties.check
+(** Every non-coordinator decision at round [r] is covered by a round-[r]
+    commit from [p_r] to the decider (and the coordinator's own decisions
+    happen in its own round). *)
+
+val all : Run_result.t -> Properties.check list

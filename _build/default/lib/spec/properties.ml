@@ -1,0 +1,86 @@
+open Sync_sim
+
+type check = { name : string; ok : bool; detail : string }
+
+let passed name = { name; ok = true; detail = "" }
+let failed name detail = { name; ok = false; detail }
+
+let validity res =
+  let proposed = Array.to_list res.Run_result.proposals in
+  match
+    List.filter (fun (_, v, _) -> not (List.mem v proposed))
+      (Run_result.decisions res)
+  with
+  | [] -> passed "validity"
+  | (pid, v, r) :: _ ->
+    failed "validity"
+      (Format.asprintf "%a decided %d at round %d, a value nobody proposed"
+         Model.Pid.pp pid v r)
+
+let uniform_agreement res =
+  match Run_result.decided_values res with
+  | [] | [ _ ] -> passed "uniform-agreement"
+  | vs ->
+    failed "uniform-agreement"
+      (Printf.sprintf "distinct decided values: %s"
+         (String.concat ", " (List.map string_of_int vs)))
+
+let agreement res =
+  let correct = Run_result.correct res in
+  let decisions =
+    List.filter
+      (fun (pid, _, _) -> Model.Pid.Set.mem pid correct)
+      (Run_result.decisions res)
+  in
+  match List.sort_uniq Int.compare (List.map (fun (_, v, _) -> v) decisions) with
+  | [] | [ _ ] -> passed "agreement"
+  | vs ->
+    failed "agreement"
+      (Printf.sprintf "correct processes decided: %s"
+         (String.concat ", " (List.map string_of_int vs)))
+
+let termination res =
+  if Run_result.all_correct_decided res then passed "termination"
+  else
+    let undecided =
+      List.filter
+        (fun pid ->
+          match Run_result.status res pid with
+          | Run_result.Undecided -> true
+          | Run_result.Decided _ | Run_result.Crashed _ -> false)
+        (Model.Pid.all ~n:res.Run_result.n)
+    in
+    failed "termination"
+      (Printf.sprintf "undecided after %d rounds: %s"
+         res.Run_result.rounds_executed
+         (String.concat ", " (List.map Model.Pid.to_string undecided)))
+
+let round_bound ~bound res =
+  match Run_result.max_decision_round res with
+  | Some r when r > bound ->
+    failed "round-bound"
+      (Printf.sprintf "a process decided at round %d > bound %d" r bound)
+  | Some _ | None -> passed "round-bound"
+
+let uniform_consensus ?bound res =
+  let base = [ validity res; uniform_agreement res; termination res ] in
+  match bound with
+  | None -> base
+  | Some bound -> base @ [ round_bound ~bound res ]
+
+let all_ok checks = List.for_all (fun c -> c.ok) checks
+
+let failures checks = List.filter (fun c -> not c.ok) checks
+
+let pp_check ppf c =
+  if c.ok then Format.fprintf ppf "%s: ok" c.name
+  else Format.fprintf ppf "%s: FAILED (%s)" c.name c.detail
+
+let assert_ok ~context checks =
+  match failures checks with
+  | [] -> ()
+  | fs ->
+    let msgs = List.map (fun c -> Format.asprintf "%a" pp_check c) fs in
+    failwith
+      (Printf.sprintf "[%s] property violation: %s" context
+         (String.concat "; " msgs))

@@ -1,0 +1,45 @@
+(** Checkers for the consensus properties of Section 3.1.
+
+    Every experiment and test funnels its runs through these predicates, so
+    "the algorithm is correct" always means "these checks passed on these
+    runs", never "by construction". *)
+
+open Sync_sim
+
+type check = { name : string; ok : bool; detail : string }
+(** One verdict; [detail] carries the counterexample description when
+    [not ok]. *)
+
+val validity : Run_result.t -> check
+(** Every decided value was proposed by some process. *)
+
+val uniform_agreement : Run_result.t -> check
+(** No two processes decide differently — crashed-after-deciding processes
+    included (the paper's Uniform Agreement). *)
+
+val agreement : Run_result.t -> check
+(** No two {e correct} processes decide differently (the weaker, non-uniform
+    property; informational). *)
+
+val termination : Run_result.t -> check
+(** Every correct process decided within the executed rounds. *)
+
+val round_bound : bound:int -> Run_result.t -> check
+(** No process decides after round [bound] (e.g. [bound = f + 1] for the
+    Figure 1 algorithm, [min (t+1) (f+2)] for the classic early-stopping
+    baseline). *)
+
+val uniform_consensus : ?bound:int -> Run_result.t -> check list
+(** Validity, uniform agreement, termination, and the round bound when
+    given. *)
+
+val all_ok : check list -> bool
+
+val failures : check list -> check list
+
+val pp_check : Format.formatter -> check -> unit
+
+val assert_ok : context:string -> check list -> unit
+(** Raise [Failure] with a readable report when some check fails; for use in
+    experiments where a property violation means the reproduction itself is
+    broken. *)

@@ -1,0 +1,1 @@
+lib/sync_sim/algorithm_intf.ml: Format Model Model_kind Pid

@@ -1,0 +1,1 @@
+lib/sync_sim/engine.ml: Algorithm_intf Array Crash Format List Model Model_kind Option Pid Run_result Schedule Trace

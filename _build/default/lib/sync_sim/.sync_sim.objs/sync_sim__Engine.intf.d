@@ -1,0 +1,1 @@
+lib/sync_sim/engine.mli: Algorithm_intf Model Run_result Schedule

@@ -1,0 +1,1 @@
+lib/sync_sim/run_result.ml: Array Format Int List Model Pid Trace

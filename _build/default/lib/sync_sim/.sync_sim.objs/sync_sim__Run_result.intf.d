@@ -1,0 +1,1 @@
+lib/sync_sim/run_result.mli: Format Model Pid Trace

@@ -1,0 +1,1 @@
+lib/sync_sim/trace.ml: Crash Format List Model Pid

@@ -1,0 +1,1 @@
+lib/sync_sim/trace.mli: Crash Format Model Pid

@@ -1,0 +1,73 @@
+(** The interface a round-based algorithm presents to the engine.
+
+    An algorithm is a deterministic per-process state machine.  In each round
+    the engine asks it, in this order, for (1) its data messages, (2) its
+    ordered control-message destinations, and then — if the process is still
+    alive — feeds it everything it received and lets it compute, possibly
+    deciding.  The two send steps happen "without a break": both are
+    computed from the state as it stood at the start of the round, never
+    from anything received during the round. *)
+
+open Model
+
+module type S = sig
+  type state
+  (** Per-process local state. *)
+
+  type msg
+  (** Data-message payloads.  Control (synchronization) messages carry no
+      payload; the engine represents them implicitly. *)
+
+  val name : string
+  (** Human-readable algorithm name for reports. *)
+
+  val model : Model_kind.t
+  (** The model the algorithm is written for.  The engine refuses to run an
+      [Extended] algorithm that emits control messages under the classic
+      model. *)
+
+  val decision_mode : [ `Halt | `Announce ]
+  (** What a decision means operationally.
+
+      [`Halt] — the paper's [return(v)]: the process terminates on deciding
+      and sends nothing afterwards (every algorithm in the paper).
+
+      [`Announce] — {e early deciding} without {e early stopping}: the
+      process records its decision but keeps executing rounds (relaying
+      information) until the run winds down.  This is the mode of the
+      classic-model non-uniform f+1 baseline, where a decided process must
+      keep relaying or correct processes could disagree; a crash after the
+      announcement is tracked separately
+      ({!Run_result.post_decision_crashes}) because the decision still
+      counts for (uniform) agreement. *)
+
+  val msg_bits : value_bits:int -> msg -> int
+  (** Size of a data message in bits, given the declared size [value_bits]
+      of a proposal value (the paper's |v|).  Control messages always count
+      for one bit (Theorem 2). *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val init : n:int -> t:int -> me:Pid.t -> proposal:int -> state
+  (** Initial state of process [me] proposing [proposal] in a system of [n]
+      processes of which at most [t] may crash. *)
+
+  val data_sends : state -> round:int -> (Pid.t * msg) list
+  (** Data messages to emit this round, in sending order. *)
+
+  val sync_sends : state -> round:int -> Pid.t list
+  (** Ordered destinations of the control message for this round; must be
+      [[]] when {!model} is [Classic].  If the process crashes during this
+      step, an arbitrary {e prefix} of the list is served. *)
+
+  val compute :
+    state ->
+    round:int ->
+    data:(Pid.t * msg) list ->
+    syncs:Pid.t list ->
+    state * int option
+  (** Computation phase: [data] are the received data messages and [syncs]
+      the senders of received control messages, both in increasing sender
+      order.  Returns the new state and an optional decision.  A decision
+      terminates the process (it sends nothing in later rounds). *)
+end

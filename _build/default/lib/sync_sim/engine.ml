@@ -1,0 +1,202 @@
+open Model
+
+type config = {
+  n : int;
+  t : int;
+  proposals : int array;
+  schedule : Schedule.t;
+  value_bits : int;
+  max_rounds : int;
+  record_trace : bool;
+}
+
+exception Model_violation of string
+
+let config ?(value_bits = 32) ?max_rounds ?(record_trace = false)
+    ?(schedule = Schedule.empty) ~n ~t ~proposals () =
+  if n < 2 then invalid_arg "Engine.config: n must be >= 2";
+  if t < 0 || t >= n then invalid_arg "Engine.config: t must satisfy 0 <= t < n";
+  if Array.length proposals <> n then
+    invalid_arg "Engine.config: proposals length must be n";
+  if value_bits < 2 then invalid_arg "Engine.config: value_bits must be >= 2";
+  let max_rounds = Option.value max_rounds ~default:(t + 2) in
+  if max_rounds < 1 then invalid_arg "Engine.config: max_rounds must be >= 1";
+  { n; t; proposals; schedule; value_bits; max_rounds; record_trace }
+
+let distinct_proposals n = Array.init n (fun i -> i + 1)
+
+(* Internal per-process run status. *)
+type proc_status =
+  | Running
+  | Halted of { value : int; at_round : int }
+  | Announced of { value : int; at_round : int }
+      (* decided but still participating (`Announce decision mode) *)
+  | Dead of { at_round : int }
+
+module Make (A : Algorithm_intf.S) = struct
+  type proc = {
+    pid : Pid.t;
+    mutable state : A.state;
+    mutable status : proc_status;
+    mutable inbox_data : (Pid.t * A.msg) list;  (* reverse arrival order *)
+    mutable inbox_syncs : Pid.t list;
+  }
+
+  let check_schedule cfg =
+    match
+      Schedule.validate ~model:A.model ~n:cfg.n ~t:cfg.t cfg.schedule
+    with
+    | Ok () -> ()
+    | Error msg -> raise (Model_violation msg)
+
+  let run cfg =
+    check_schedule cfg;
+    let procs =
+      Array.init cfg.n (fun i ->
+          let pid = Pid.of_int (i + 1) in
+          {
+            pid;
+            state = A.init ~n:cfg.n ~t:cfg.t ~me:pid ~proposal:cfg.proposals.(i);
+            status = Running;
+            inbox_data = [];
+            inbox_syncs = [];
+          })
+    in
+    let proc pid = procs.(Pid.to_int pid - 1) in
+    let data_msgs = ref 0
+    and data_bits = ref 0
+    and sync_msgs = ref 0
+    and sync_bits = ref 0 in
+    let post_decision_crashes = ref Pid.Set.empty in
+    let trace = ref [] in
+    let emit ev = if cfg.record_trace then trace := ev :: !trace in
+    let deliver_data ~round ~from (dest, msg) =
+      incr data_msgs;
+      data_bits := !data_bits + A.msg_bits ~value_bits:cfg.value_bits msg;
+      emit
+        (Trace.Data_sent
+           { round; from; dest; payload = Format.asprintf "%a" A.pp_msg msg });
+      let q = proc dest in
+      (* Channels are reliable: the message always reaches the destination;
+         a crashed or decided destination simply never processes it. *)
+      q.inbox_data <- (from, msg) :: q.inbox_data
+    in
+    let deliver_sync ~round ~from dest =
+      incr sync_msgs;
+      sync_bits := !sync_bits + 1;
+      emit (Trace.Sync_sent { round; from; dest });
+      let q = proc dest in
+      q.inbox_syncs <- from :: q.inbox_syncs
+    in
+    let some_running () =
+      Array.exists (fun p -> p.status = Running) procs
+    in
+    let round = ref 0 in
+    while some_running () && !round < cfg.max_rounds do
+      incr round;
+      let r = !round in
+      emit (Trace.Round_begin r);
+      (* Send phase: processes emit in pid order (the order is irrelevant to
+         the semantics — all round-r messages are received in round r — but
+         it keeps traces deterministic). *)
+      Array.iter
+        (fun p ->
+          match p.status with
+          | Halted _ | Dead _ -> ()
+          | Running | Announced _ ->
+            let planned_data = A.data_sends p.state ~round:r in
+            let planned_sync = A.sync_sends p.state ~round:r in
+            (match (A.model, planned_sync) with
+            | Model_kind.Classic, _ :: _ ->
+              raise
+                (Model_violation
+                   (A.name ^ " emits control messages under the classic model"))
+            | (Model_kind.Classic | Model_kind.Extended), _ -> ());
+            let crash_now =
+              match Schedule.find cfg.schedule p.pid with
+              | Some ev when ev.Crash.round = r -> Some ev.Crash.point
+              | Some _ | None -> None
+            in
+            (match crash_now with
+            | None ->
+              List.iter (deliver_data ~round:r ~from:p.pid) planned_data;
+              List.iter (deliver_sync ~round:r ~from:p.pid) planned_sync
+            | Some Crash.Before_send -> ()
+            | Some (Crash.During_data survivors) ->
+              List.iter
+                (fun (dest, msg) ->
+                  if Pid.Set.mem dest survivors then
+                    deliver_data ~round:r ~from:p.pid (dest, msg))
+                planned_data
+            | Some (Crash.After_data prefix) ->
+              List.iter (deliver_data ~round:r ~from:p.pid) planned_data;
+              List.iteri
+                (fun i dest ->
+                  if i < prefix then deliver_sync ~round:r ~from:p.pid dest)
+                planned_sync
+            | Some Crash.After_send ->
+              List.iter (deliver_data ~round:r ~from:p.pid) planned_data;
+              List.iter (deliver_sync ~round:r ~from:p.pid) planned_sync);
+            (match crash_now with
+            | None -> ()
+            | Some point ->
+              (match p.status with
+              | Announced { value; at_round } ->
+                (* The decision already happened; the crash only ends the
+                   process's participation. *)
+                post_decision_crashes := Pid.Set.add p.pid !post_decision_crashes;
+                p.status <- Halted { value; at_round }
+              | Running | Halted _ | Dead _ ->
+                p.status <- Dead { at_round = r });
+              emit (Trace.Crashed { round = r; pid = p.pid; point })))
+        procs;
+      (* Receive + compute phase: only processes that are still running (in
+         particular, not crashed this round) process their round-r inbox. *)
+      Array.iter
+        (fun p ->
+          let data =
+            List.sort (fun (a, _) (b, _) -> Pid.compare a b) p.inbox_data
+          and syncs = List.sort Pid.compare p.inbox_syncs in
+          p.inbox_data <- [];
+          p.inbox_syncs <- [];
+          match p.status with
+          | Halted _ | Dead _ -> ()
+          | Announced _ ->
+            (* Still participating: evolve the state, but the decision is
+               already fixed. *)
+            let state, _ = A.compute p.state ~round:r ~data ~syncs in
+            p.state <- state
+          | Running ->
+            let state, decision = A.compute p.state ~round:r ~data ~syncs in
+            p.state <- state;
+            (match decision with
+            | None -> ()
+            | Some value ->
+              (match A.decision_mode with
+              | `Halt -> p.status <- Halted { value; at_round = r }
+              | `Announce -> p.status <- Announced { value; at_round = r });
+              emit (Trace.Decided { round = r; pid = p.pid; value })))
+        procs
+    done;
+    {
+      Run_result.n = cfg.n;
+      t = cfg.t;
+      proposals = Array.copy cfg.proposals;
+      statuses =
+        Array.map
+          (fun p ->
+            match p.status with
+            | Running -> Run_result.Undecided
+            | Halted { value; at_round } | Announced { value; at_round } ->
+              Run_result.Decided { value; at_round }
+            | Dead { at_round } -> Run_result.Crashed { at_round })
+          procs;
+      rounds_executed = !round;
+      data_msgs = !data_msgs;
+      data_bits = !data_bits;
+      sync_msgs = !sync_msgs;
+      sync_bits = !sync_bits;
+      post_decision_crashes = !post_decision_crashes;
+      trace = List.rev !trace;
+    }
+end

@@ -1,0 +1,59 @@
+(** The round-based synchronous executor.
+
+    Implements the lockstep semantics of Section 2.1 for both models:
+    - every message sent in round [r] to a live-enough destination is
+      received in round [r] (reliable channels);
+    - a sender crashing during the data step delivers to the adversary's
+      chosen subset of its planned destinations;
+    - a sender crashing during the control step delivers to a prefix of its
+      ordered control destinations (extended model only);
+    - a process that crashes in round [r] performs no computation in round
+      [r] (and none ever after); a process that decides halts.
+
+    Bit accounting follows Theorem 2: a data message costs
+    [msg_bits ~value_bits], a control message costs one bit; only messages
+    actually put on the wire are counted. *)
+
+open Model
+
+type config = {
+  n : int;  (** number of processes, [>= 2] *)
+  t : int;  (** resilience: max tolerated crashes, [0 <= t < n] *)
+  proposals : int array;  (** length [n]; proposal of [p_i] at index [i-1] *)
+  schedule : Schedule.t;  (** the adversary's crash plan *)
+  value_bits : int;  (** the paper's |v|, [>= 2] *)
+  max_rounds : int;  (** hard stop; processes still running then stay
+                         [Undecided] *)
+  record_trace : bool;
+}
+
+val config :
+  ?value_bits:int ->
+  ?max_rounds:int ->
+  ?record_trace:bool ->
+  ?schedule:Schedule.t ->
+  n:int ->
+  t:int ->
+  proposals:int array ->
+  unit ->
+  config
+(** Smart constructor with defaults: [value_bits = 32], [max_rounds = t + 2]
+    (enough for every native algorithm in this repository: f+1, f+2 and t+1
+    round protocols all fit), [record_trace = false], empty schedule.
+    Validates all invariants listed on the record fields; raises
+    [Invalid_argument] on violation. *)
+
+val distinct_proposals : int -> int array
+(** [distinct_proposals n] is [[|1; 2; ...; n|]] — the canonical workload in
+    which every decision can be traced back to its proposer. *)
+
+exception Model_violation of string
+(** Raised when an algorithm declared [Classic] emits control messages, or
+    when the schedule contains a crash point invalid for the algorithm's
+    model. *)
+
+module Make (A : Algorithm_intf.S) : sig
+  val run : config -> Run_result.t
+  (** Execute one run to completion (all processes decided or crashed) or to
+      [max_rounds]. *)
+end

@@ -1,0 +1,92 @@
+open Model
+
+type status =
+  | Decided of { value : int; at_round : int }
+  | Crashed of { at_round : int }
+  | Undecided
+
+type t = {
+  n : int;
+  t : int;
+  proposals : int array;
+  statuses : status array;
+  rounds_executed : int;
+  data_msgs : int;
+  data_bits : int;
+  sync_msgs : int;
+  sync_bits : int;
+  post_decision_crashes : Pid.Set.t;
+  trace : Trace.event list;
+}
+
+let status res pid = res.statuses.(Pid.to_int pid - 1)
+
+let decisions res =
+  let acc = ref [] in
+  for i = res.n - 1 downto 0 do
+    match res.statuses.(i) with
+    | Decided { value; at_round } ->
+      acc := (Pid.of_int (i + 1), value, at_round) :: !acc
+    | Crashed _ | Undecided -> ()
+  done;
+  !acc
+
+let decided_values res =
+  List.sort_uniq Int.compare (List.map (fun (_, v, _) -> v) (decisions res))
+
+let crashed res =
+  let acc = ref Pid.Set.empty in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Crashed _ -> acc := Pid.Set.add (Pid.of_int (i + 1)) !acc
+      | Decided _ | Undecided -> ())
+    res.statuses;
+  !acc
+
+let all_crashes res = Pid.Set.union (crashed res) res.post_decision_crashes
+
+let correct res =
+  let acc = ref Pid.Set.empty in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Decided _ | Undecided -> acc := Pid.Set.add (Pid.of_int (i + 1)) !acc
+      | Crashed _ -> ())
+    res.statuses;
+  Pid.Set.diff !acc res.post_decision_crashes
+
+let max_decision_round res =
+  Array.fold_left
+    (fun acc st ->
+      match st with
+      | Decided { at_round; _ } ->
+        Some (match acc with None -> at_round | Some m -> max m at_round)
+      | Crashed _ | Undecided -> acc)
+    None res.statuses
+
+let all_correct_decided res =
+  Array.for_all
+    (function Decided _ | Crashed _ -> true | Undecided -> false)
+    res.statuses
+
+let total_msgs res = res.data_msgs + res.sync_msgs
+let total_bits res = res.data_bits + res.sync_bits
+
+let pp_status ppf = function
+  | Decided { value; at_round } ->
+    Format.fprintf ppf "decided %d @r%d" value at_round
+  | Crashed { at_round } -> Format.fprintf ppf "crashed @r%d" at_round
+  | Undecided -> Format.pp_print_string ppf "undecided"
+
+let pp ppf res =
+  Format.fprintf ppf "@[<v>rounds=%d msgs=%d bits=%d@," res.rounds_executed
+    (total_msgs res) (total_bits res);
+  if not (Pid.Set.is_empty res.post_decision_crashes) then
+    Format.fprintf ppf "crashed after deciding: %a@," Pid.pp_set
+      res.post_decision_crashes;
+  Array.iteri
+    (fun i st ->
+      Format.fprintf ppf "%a: %a@," Pid.pp (Pid.of_int (i + 1)) pp_status st)
+    res.statuses;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+open Model
+
+type event =
+  | Round_begin of int
+  | Data_sent of { round : int; from : Pid.t; dest : Pid.t; payload : string }
+  | Sync_sent of { round : int; from : Pid.t; dest : Pid.t }
+  | Crashed of { round : int; pid : Pid.t; point : Crash.point }
+  | Decided of { round : int; pid : Pid.t; value : int }
+
+let pp_event ppf = function
+  | Round_begin r -> Format.fprintf ppf "--- round %d ---" r
+  | Data_sent { from; dest; payload; _ } ->
+    Format.fprintf ppf "%a -> %a : DATA(%s)" Pid.pp from Pid.pp dest payload
+  | Sync_sent { from; dest; _ } ->
+    Format.fprintf ppf "%a -> %a : COMMIT" Pid.pp from Pid.pp dest
+  | Crashed { pid; point; _ } ->
+    Format.fprintf ppf "%a CRASHES (%a)" Pid.pp pid Crash.pp_point point
+  | Decided { pid; value; _ } ->
+    Format.fprintf ppf "%a DECIDES %d" Pid.pp pid value
+
+let pp ppf events =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    pp_event ppf events
+
+let to_string events = Format.asprintf "%a" pp events
+
+let decisions events =
+  List.filter_map
+    (function
+      | Decided { pid; value; round } -> Some (pid, value, round)
+      | Round_begin _ | Data_sent _ | Sync_sent _ | Crashed _ -> None)
+    events

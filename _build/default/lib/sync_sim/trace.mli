@@ -1,0 +1,24 @@
+(** Chronological event traces of simulated runs.
+
+    Traces drive the Figure 1 reproduction (EXP-F1) and make failed property
+    tests debuggable: a counterexample schedule can be replayed and printed
+    round by round. *)
+
+open Model
+
+type event =
+  | Round_begin of int
+  | Data_sent of { round : int; from : Pid.t; dest : Pid.t; payload : string }
+  | Sync_sent of { round : int; from : Pid.t; dest : Pid.t }
+  | Crashed of { round : int; pid : Pid.t; point : Crash.point }
+  | Decided of { round : int; pid : Pid.t; value : int }
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> event list -> unit
+(** One event per line, chronological order. *)
+
+val to_string : event list -> string
+
+val decisions : event list -> (Pid.t * int * int) list
+(** [(pid, value, round)] for every decision, chronological. *)

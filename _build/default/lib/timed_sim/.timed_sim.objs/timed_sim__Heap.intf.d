@@ -1,0 +1,1 @@
+lib/timed_sim/heap.mli:

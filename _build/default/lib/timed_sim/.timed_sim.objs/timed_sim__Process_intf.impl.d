@@ -1,0 +1,1 @@
+lib/timed_sim/process_intf.ml: Format Model Pid

@@ -1,0 +1,1 @@
+lib/timed_sim/timed_engine.ml: Array Float Format Heap Int List Model Pid Prng Process_intf

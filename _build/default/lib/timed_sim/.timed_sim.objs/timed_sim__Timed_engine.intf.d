@@ -1,0 +1,1 @@
+lib/timed_sim/timed_engine.mli: Model Pid Process_intf

@@ -1,0 +1,46 @@
+(** The interface a timed (event-driven) algorithm presents to the
+    continuous-time engine.
+
+    Unlike the lockstep model, a timed process is a reactive state machine:
+    it is woken by message arrivals, timer expiries and failure-detector
+    updates, and responds with a batch of actions.  Action batches are
+    emitted at one time instant; if the process crashes at exactly that
+    instant, the adversary executes an arbitrary {e prefix} of the batch —
+    the timed analogue of the paper's ordered-send semantics (this is what
+    makes "all data sent before any commit" expressible). *)
+
+open Model
+
+type 'msg action =
+  | Send of Pid.t * 'msg
+      (** Hand a message to the network; it arrives after the channel's
+          latency. *)
+  | Set_timer of { at : float; tag : int }
+      (** Request a wake-up at absolute time [at] (must not be in the
+          past). *)
+  | Decide of int
+      (** Terminate with a decision; subsequent actions of the batch and
+          all later events for this process are ignored. *)
+
+type ctx = { n : int; t : int }
+
+module type S = sig
+  type state
+  type msg
+
+  val name : string
+
+  val init : ctx -> me:Pid.t -> proposal:int -> state * msg action list
+  (** Called at time 0. *)
+
+  val on_message :
+    state -> now:float -> from:Pid.t -> msg -> state * msg action list
+
+  val on_timer : state -> now:float -> tag:int -> state * msg action list
+
+  val on_suspicion :
+    state -> now:float -> suspects:Pid.Set.t -> state * msg action list
+  (** The failure detector replaced this process's suspect set. *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+end

@@ -1,0 +1,263 @@
+open Model
+
+type latency =
+  | Fixed of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float; cap : float }
+
+type crash_spec = { victim : Pid.t; at : float; batch_prefix : int }
+
+type fd_update = { observer : Pid.t; at : float; suspects : Pid.Set.t }
+
+type config = {
+  n : int;
+  t : int;
+  proposals : int array;
+  latency : latency;
+  crashes : crash_spec list;
+  fd_plan : fd_update list;
+  deadline : float;
+  seed : int64;
+  record_trace : bool;
+}
+
+let validate_latency = function
+  | Fixed d -> if d <= 0.0 then invalid_arg "Timed_engine: latency <= 0"
+  | Uniform { lo; hi } ->
+    if lo <= 0.0 || hi < lo then invalid_arg "Timed_engine: bad uniform latency"
+  | Exponential { mean; cap } ->
+    if mean <= 0.0 || cap < mean then
+      invalid_arg "Timed_engine: bad exponential latency"
+
+let config ?(latency = Fixed 1.0) ?(crashes = []) ?(fd_plan = [])
+    ?(deadline = 1e6) ?(seed = 1L) ?(record_trace = false) ~n ~t ~proposals () =
+  if n < 2 then invalid_arg "Timed_engine.config: n < 2";
+  if t < 0 || t >= n then invalid_arg "Timed_engine.config: bad t";
+  if Array.length proposals <> n then invalid_arg "Timed_engine.config: arity";
+  validate_latency latency;
+  if deadline <= 0.0 then invalid_arg "Timed_engine.config: bad deadline";
+  List.iter
+    (fun (c : crash_spec) ->
+      if c.at < 0.0 || c.batch_prefix < 0 then
+        invalid_arg "Timed_engine.config: bad crash spec")
+    crashes;
+  let victims = List.map (fun (c : crash_spec) -> Pid.to_int c.victim) crashes in
+  if List.length victims <> List.length (List.sort_uniq Int.compare victims)
+  then invalid_arg "Timed_engine.config: duplicate crash victim";
+  { n; t; proposals; latency; crashes; fd_plan; deadline; seed; record_trace }
+
+type outcome =
+  | Decided of { value : int; at : float }
+  | Crashed of { at : float }
+  | Undecided
+
+type trace_event =
+  | Sent of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Delivered of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Fired of { at : float; pid : Pid.t; tag : int }
+  | Fd_change of { at : float; pid : Pid.t; suspects : Pid.Set.t }
+  | Died of { at : float; pid : Pid.t }
+  | Chose of { at : float; pid : Pid.t; value : int }
+
+type result = {
+  outcomes : outcome array;
+  msgs_sent : int;
+  events_processed : int;
+  end_time : float;
+  trace : trace_event list;
+}
+
+let decisions res =
+  let acc = ref [] in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Decided { value; at } -> acc := (Pid.of_int (i + 1), value, at) :: !acc
+      | Crashed _ | Undecided -> ())
+    res.outcomes;
+  List.rev !acc
+
+let decided_values res =
+  List.sort_uniq Int.compare (List.map (fun (_, v, _) -> v) (decisions res))
+
+let correct_all_decided res =
+  Array.for_all
+    (function Decided _ | Crashed _ -> true | Undecided -> false)
+    res.outcomes
+
+let max_decision_time res =
+  Array.fold_left
+    (fun acc o ->
+      match o with
+      | Decided { at; _ } ->
+        Some (match acc with None -> at | Some m -> Float.max m at)
+      | Crashed _ | Undecided -> acc)
+    None res.outcomes
+
+(* Event ranks: messages arrive "by" a time, FD knowledge holds "by" a time,
+   timers act "at" a time — so at equal times, deliveries precede FD updates
+   precede timers. *)
+let rank_msg = 0
+and rank_fd = 1
+and rank_timer = 2
+
+module Make (P : Process_intf.S) = struct
+  type event =
+    | Ev_msg of { dest : Pid.t; from : Pid.t; msg : P.msg }
+    | Ev_fd of { dest : Pid.t; suspects : Pid.Set.t }
+    | Ev_timer of { dest : Pid.t; tag : int }
+
+  let run cfg =
+    let rng = Prng.Rng.create ~seed:cfg.seed in
+    let draw_latency () =
+      match cfg.latency with
+      | Fixed d -> d
+      | Uniform { lo; hi } -> lo +. Prng.Rng.float rng (hi -. lo)
+      | Exponential { mean; cap } ->
+        Float.min cap (Float.max 1e-9 (Prng.Rng.exponential rng ~mean))
+    in
+    let queue : event Heap.t = Heap.create () in
+    let states = Array.make cfg.n None in
+    let outcomes = Array.make cfg.n Undecided in
+    let crash_of = Array.make cfg.n None in
+    List.iter
+      (fun (c : crash_spec) -> crash_of.(Pid.to_int c.victim - 1) <- Some c)
+      cfg.crashes;
+    let msgs_sent = ref 0 and events_processed = ref 0 in
+    let end_time = ref 0.0 in
+    let trace = ref [] in
+    let emit ev = if cfg.record_trace then trace := ev :: !trace in
+    let is_running i = outcomes.(i) = Undecided in
+    let crash_time i =
+      match crash_of.(i) with Some c -> c.at | None -> infinity
+    in
+    let batch_limit i now =
+      match crash_of.(i) with
+      | Some c when now = c.at -> c.batch_prefix
+      | Some _ | None -> max_int
+    in
+    let execute_actions pid now actions =
+      let i = Pid.to_int pid - 1 in
+      let limit = batch_limit i now in
+      let rec go k = function
+        | [] -> ()
+        | _ :: _ when k >= limit -> ()
+        | action :: rest ->
+          (match action with
+          | Process_intf.Send (dest, msg) ->
+            incr msgs_sent;
+            emit
+              (Sent
+                 {
+                   at = now;
+                   from = pid;
+                   dest;
+                   msg = Format.asprintf "%a" P.pp_msg msg;
+                 });
+            Heap.add queue
+              ~time:(now +. draw_latency ())
+              ~rank:rank_msg
+              (Ev_msg { dest; from = pid; msg })
+          | Process_intf.Set_timer { at; tag } ->
+            if at < now then invalid_arg (P.name ^ ": timer set in the past");
+            Heap.add queue ~time:at ~rank:rank_timer (Ev_timer { dest = pid; tag })
+          | Process_intf.Decide value ->
+            outcomes.(i) <- Decided { value; at = now };
+            emit (Chose { at = now; pid; value }));
+          if is_running i then go (k + 1) rest
+      in
+      go 0 actions
+    in
+    (* Time 0: initialize everyone (in pid order). *)
+    let ctx = { Process_intf.n = cfg.n; t = cfg.t } in
+    for i = 0 to cfg.n - 1 do
+      let pid = Pid.of_int (i + 1) in
+      if crash_time i > 0.0 || batch_limit i 0.0 > 0 then begin
+        let state, actions = P.init ctx ~me:pid ~proposal:cfg.proposals.(i) in
+        states.(i) <- Some state;
+        execute_actions pid 0.0 actions
+      end;
+      if crash_time i = 0.0 && is_running i then begin
+        outcomes.(i) <- Crashed { at = 0.0 };
+        emit (Died { at = 0.0; pid })
+      end
+    done;
+    (* FD plan. *)
+    List.iter
+      (fun u ->
+        Heap.add queue ~time:u.at ~rank:rank_fd
+          (Ev_fd { dest = u.observer; suspects = u.suspects }))
+      cfg.fd_plan;
+    (* Main loop. *)
+    let continue = ref true in
+    while !continue do
+      match Heap.pop queue with
+      | None -> continue := false
+      | Some (now, _) when now > cfg.deadline -> continue := false
+      | Some (now, ev) ->
+        incr events_processed;
+        end_time := now;
+        let dest =
+          match ev with
+          | Ev_msg { dest; _ } | Ev_fd { dest; _ } | Ev_timer { dest; _ } ->
+            dest
+        in
+        let i = Pid.to_int dest - 1 in
+        (* Mark overdue crashes lazily. *)
+        if is_running i && now > crash_time i then begin
+          outcomes.(i) <- Crashed { at = crash_time i };
+          emit (Died { at = crash_time i; pid = dest })
+        end;
+        if is_running i then begin
+          match states.(i) with
+          | None -> ()
+          | Some state ->
+            let state, actions =
+              match ev with
+              | Ev_msg { from; msg; _ } ->
+                emit
+                  (Delivered
+                     {
+                       at = now;
+                       from;
+                       dest;
+                       msg = Format.asprintf "%a" P.pp_msg msg;
+                     });
+                P.on_message state ~now ~from msg
+              | Ev_fd { suspects; _ } ->
+                emit (Fd_change { at = now; pid = dest; suspects });
+                P.on_suspicion state ~now ~suspects
+              | Ev_timer { tag; _ } ->
+                emit (Fired { at = now; pid = dest; tag });
+                P.on_timer state ~now ~tag
+            in
+            states.(i) <- Some state;
+            execute_actions dest now actions;
+            (* If this event ran exactly at the crash instant, the process
+               dies now (having executed its batch prefix). *)
+            if is_running i && now >= crash_time i then begin
+              outcomes.(i) <- Crashed { at = crash_time i };
+              emit (Died { at = crash_time i; pid = dest })
+            end
+        end
+    done;
+    (* Processes whose crash time passed without any event afterwards. *)
+    Array.iteri
+      (fun i o ->
+        match o with
+        | Undecided when crash_time i <= !end_time || crash_time i <= cfg.deadline
+          ->
+          if crash_time i < infinity then begin
+            outcomes.(i) <- Crashed { at = crash_time i };
+            emit (Died { at = crash_time i; pid = Pid.of_int (i + 1) })
+          end
+        | Undecided | Decided _ | Crashed _ -> ())
+      outcomes;
+    {
+      outcomes;
+      msgs_sent = !msgs_sent;
+      events_processed = !events_processed;
+      end_time = !end_time;
+      trace = List.rev !trace;
+    }
+end

@@ -1,0 +1,95 @@
+(** Continuous-time discrete-event executor.
+
+    Substrate for the related-work comparison points: the fast failure
+    detector consensus (EXP-FFD) and the asynchronous ◇S-based MR99
+    (EXP-MR99).  Channels deliver each message after a latency drawn from
+    the configured distribution; crashes happen at configured absolute
+    times; failure-detector knowledge is injected as a pre-computed plan of
+    suspect-set updates (produced by the [fastfd] / [async_cons] device
+    generators).
+
+    Determinism: with equal configurations the run is identical — the event
+    queue breaks time ties by (messages, FD updates, timers) and then by
+    insertion order, and all randomness comes from the seeded [rng].
+
+    Crash semantics: a process handles no event after its crash time; a
+    handler running at {e exactly} the crash time has its action batch cut
+    to the configured prefix — the timed analogue of the paper's
+    partial-send semantics. *)
+
+open Model
+
+type latency =
+  | Fixed of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float; cap : float }
+      (** capped exponential: models asynchrony while keeping runs finite *)
+
+type crash_spec = {
+  victim : Pid.t;
+  at : float;
+  batch_prefix : int;
+      (** how many actions of a batch emitted exactly at [at] still
+          execute *)
+}
+
+type fd_update = { observer : Pid.t; at : float; suspects : Pid.Set.t }
+
+type config = {
+  n : int;
+  t : int;
+  proposals : int array;
+  latency : latency;
+  crashes : crash_spec list;
+  fd_plan : fd_update list;
+  deadline : float;
+  seed : int64;
+  record_trace : bool;
+}
+
+val config :
+  ?latency:latency ->
+  ?crashes:crash_spec list ->
+  ?fd_plan:fd_update list ->
+  ?deadline:float ->
+  ?seed:int64 ->
+  ?record_trace:bool ->
+  n:int ->
+  t:int ->
+  proposals:int array ->
+  unit ->
+  config
+(** Defaults: [latency = Fixed 1.0], no crashes, empty FD plan,
+    [deadline = 1e6], [seed = 1], no trace.  Validates positivity of the
+    latency parameters, crash times and deadline; at most one crash per
+    process. *)
+
+type outcome =
+  | Decided of { value : int; at : float }
+  | Crashed of { at : float }
+  | Undecided
+
+type trace_event =
+  | Sent of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Delivered of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Fired of { at : float; pid : Pid.t; tag : int }
+  | Fd_change of { at : float; pid : Pid.t; suspects : Pid.Set.t }
+  | Died of { at : float; pid : Pid.t }
+  | Chose of { at : float; pid : Pid.t; value : int }
+
+type result = {
+  outcomes : outcome array;  (** index [i]: process [p_{i+1}] *)
+  msgs_sent : int;
+  events_processed : int;
+  end_time : float;  (** time of the last processed event *)
+  trace : trace_event list;  (** chronological when recording was on *)
+}
+
+val decisions : result -> (Pid.t * int * float) list
+val decided_values : result -> int list
+val correct_all_decided : result -> bool
+val max_decision_time : result -> float option
+
+module Make (P : Process_intf.S) : sig
+  val run : config -> result
+end

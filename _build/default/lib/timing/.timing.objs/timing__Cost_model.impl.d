@@ -1,0 +1,1 @@
+lib/timing/cost_model.ml: Float Option

@@ -1,0 +1,25 @@
+type t = { d_round : float; delta : float; d_detect : float }
+
+let make ?delta ?d_detect ~d_round () =
+  if d_round <= 0.0 then invalid_arg "Cost_model.make: D must be positive";
+  let delta = Option.value delta ~default:(d_round /. 100.0) in
+  let d_detect = Option.value d_detect ~default:(d_round /. 100.0) in
+  if delta <= 0.0 || delta > d_round then
+    invalid_arg "Cost_model.make: need 0 < delta <= D";
+  if d_detect <= 0.0 || d_detect > d_round then
+    invalid_arg "Cost_model.make: need 0 < d <= D";
+  { d_round; delta; d_detect }
+
+let classic_time t ~rounds = float_of_int rounds *. t.d_round
+
+let extended_time t ~rounds = float_of_int rounds *. (t.d_round +. t.delta)
+
+let fast_fd_time t ~f = t.d_round +. (float_of_int f *. t.d_detect)
+
+let extended_beats_classic t ~f =
+  extended_time t ~rounds:(f + 1) < classic_time t ~rounds:(f + 2)
+
+let crossover_f t =
+  (* least f with (f+1)(D+δ) >= (f+2)D, i.e. f+1 >= D/δ *)
+  let ratio = t.d_round /. t.delta in
+  max 0 (int_of_float (Float.ceil (ratio -. 1.0)))

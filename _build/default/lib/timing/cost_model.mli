@@ -1,0 +1,36 @@
+(** The wall-clock cost model of Section 2.2.
+
+    A classic round costs [d_round] (the paper's D: message transfer +
+    processing bound).  An extended round costs [d_round + delta]: the
+    pipelined second sending step adds [delta << D] because no waiting
+    separates the two steps.  The fast-failure-detector comparison point
+    [Aguilera, Le Lann & Toueg 02] decides in [D + f·d_detect]. *)
+
+type t = {
+  d_round : float;  (** D: duration of a classic round *)
+  delta : float;  (** δ: extra cost of the pipelined control step *)
+  d_detect : float;  (** d: fast failure detector latency bound *)
+}
+
+val make : ?delta:float -> ?d_detect:float -> d_round:float -> unit -> t
+(** Defaults: [delta = d_round /. 100.], [d_detect = d_round /. 100.].
+    All components must be positive; [delta] and [d_detect] must not exceed
+    [d_round] (the model's premise is [δ << D], [d << D]). *)
+
+val classic_time : t -> rounds:int -> float
+(** [rounds × D]. *)
+
+val extended_time : t -> rounds:int -> float
+(** [rounds × (D + δ)]. *)
+
+val fast_fd_time : t -> f:int -> float
+(** The published decision bound [D + f·d] of the fast-FD algorithm. *)
+
+val extended_beats_classic : t -> f:int -> bool
+(** Section 2.2's comparison: does an (f+1)-round extended algorithm finish
+    before an (f+2)-round classic one, i.e. [(f+1)(D+δ) < (f+2)D]? *)
+
+val crossover_f : t -> int
+(** Smallest [f] for which the extended algorithm {e stops} being faster,
+    i.e. the least [f] with [f + 1 >= D/δ].  The paper's point is that this
+    is far beyond realistic [f]. *)

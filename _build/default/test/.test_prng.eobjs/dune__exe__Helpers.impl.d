@@ -1,0 +1,1 @@
+test/helpers.ml: Adversary Array Baselines Core Engine Model Pid Printf Prng QCheck2 QCheck_alcotest Run_result Schedule Spec String Sync_sim

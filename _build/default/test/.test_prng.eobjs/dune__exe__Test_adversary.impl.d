@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Crash Hashtbl List Model Model_kind Pid Prng Schedule Seq

@@ -1,0 +1,1 @@
+test/test_announce.ml: Alcotest Crash Engine Format List Model Model_kind Pid Run_result Schedule Sync_sim

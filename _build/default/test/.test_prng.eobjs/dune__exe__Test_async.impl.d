@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Async_cons Int Int64 List Model Pid Printf Prng QCheck2 QCheck_alcotest String Timed_engine Timed_sim

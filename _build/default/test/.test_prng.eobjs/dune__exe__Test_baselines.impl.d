@@ -1,0 +1,1 @@
+test/test_baselines.ml: Adversary Alcotest Crash Engine Format Helpers List Model Model_kind Pid Printf QCheck2 Run_result Schedule Seq Spec Sync_sim

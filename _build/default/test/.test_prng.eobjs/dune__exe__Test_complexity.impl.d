@@ -1,0 +1,1 @@
+test/test_complexity.ml: Adversary Alcotest Complexity Engine Float Helpers List Model Printf Run_result Sync_sim Timing

@@ -1,0 +1,1 @@
+test/test_diag.ml: Alcotest Array Diag Float Helpers List Printf String

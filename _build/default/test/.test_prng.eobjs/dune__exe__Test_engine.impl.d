@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Baselines Crash Engine Format List Model Model_kind Pid Run_result Schedule Sync_sim Trace

@@ -1,0 +1,1 @@
+test/test_fastfd.ml: Alcotest Array Fastfd Int List Model Pid Printf Prng QCheck2 QCheck_alcotest String Timed_engine Timed_sim

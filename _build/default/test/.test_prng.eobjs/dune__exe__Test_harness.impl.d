@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Diag Harness Helpers List Prng

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Adversary Alcotest Engine Format Helpers List Model Model_kind Pid QCheck2 Run_result Seq Spec Sync_sim Trace

@@ -1,0 +1,1 @@
+test/test_lan.ml: Adversary Alcotest Core Crash Helpers Lan List Model Pid Printf Prng QCheck2 Schedule Sync_sim Timed_sim

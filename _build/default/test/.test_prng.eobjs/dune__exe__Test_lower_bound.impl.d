@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Adversary Alcotest Array Core Crash Engine Format Helpers List Lower_bound Model Model_kind Pid Printf Run_result Schedule Seq Spec Sync_sim

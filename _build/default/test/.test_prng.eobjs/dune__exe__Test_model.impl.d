@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Crash List Model Model_kind Pid Result Schedule

@@ -1,0 +1,1 @@
+test/test_nonuniform.ml: Adversary Alcotest Baselines Crash Engine Format Helpers List Model Model_kind Option Pid QCheck2 Run_result Schedule Seq Spec Sync_sim

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Adversary Alcotest Array Fun Helpers List Model Parallel Printf Prng Sync_sim

@@ -1,0 +1,1 @@
+test/test_rwwc.ml: Adversary Alcotest Array Crash Engine Format Helpers Int List Model Model_kind Pid Printf QCheck2 Run_result Schedule Seq Spec Sync_sim Trace

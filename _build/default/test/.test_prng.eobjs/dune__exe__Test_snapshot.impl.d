@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest List Model Pid Printf Prng Snapshot

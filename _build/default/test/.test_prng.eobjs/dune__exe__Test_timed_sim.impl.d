@@ -1,0 +1,1 @@
+test/test_timed_sim.ml: Alcotest Array Float Format Heap List Model Pid Process_intf QCheck2 QCheck_alcotest Timed_engine Timed_sim

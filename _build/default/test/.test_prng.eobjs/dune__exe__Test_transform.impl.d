@@ -1,0 +1,1 @@
+test/test_transform.ml: Adversary Alcotest Baselines Core Crash Engine Format Helpers List Model Model_kind Pid Printf QCheck2 Run_result Schedule Seq Spec Sync_sim

@@ -1,0 +1,1 @@
+test/test_variants.ml: Adversary Alcotest Core Crash Engine List Model Model_kind Pid Run_result Schedule Seq Spec Sync_sim

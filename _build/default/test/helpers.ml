@@ -1,0 +1,68 @@
+(* Shared test utilities: runners, qcheck generators and consensus-property
+   assertions used by every suite. *)
+
+open Model
+open Sync_sim
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Runners ------------------------------------------------------------ *)
+
+module Rwwc_runner = Engine.Make (Core.Rwwc)
+module Flood_runner = Engine.Make (Baselines.Flood_set)
+module Es_runner = Engine.Make (Baselines.Early_stopping)
+
+let run_rwwc ?(record_trace = false) ?value_bits ~n ~t ~schedule ~proposals () =
+  Rwwc_runner.run
+    (Engine.config ?value_bits ~record_trace ~schedule ~n ~t ~proposals ())
+
+let run_flood ?(record_trace = false) ~n ~t ~schedule ~proposals () =
+  Flood_runner.run (Engine.config ~record_trace ~schedule ~n ~t ~proposals ())
+
+let run_es ?(record_trace = false) ~n ~t ~schedule ~proposals () =
+  Es_runner.run (Engine.config ~record_trace ~schedule ~n ~t ~proposals ())
+
+(* The honest "f of the run": processes that actually crashed (a scheduled
+   crash after the run ended, or after the process decided, did not
+   happen). *)
+let f_actual result = Pid.Set.cardinal (Run_result.crashed result)
+
+let check_consensus ~context ~bound result =
+  Spec.Properties.assert_ok ~context
+    (Spec.Properties.uniform_consensus ~bound result)
+
+(* --- Generators --------------------------------------------------------- *)
+
+type scenario = {
+  n : int;
+  t : int;
+  proposals : int array;
+  schedule : Schedule.t;
+  seed : int;
+}
+
+let pp_scenario fmt_sched s =
+  Printf.sprintf "n=%d t=%d proposals=[%s] schedule=%s seed=%d" s.n s.t
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.proposals)))
+    fmt_sched s.seed
+
+let scenario_gen ?(min_n = 3) ?(max_n = 8) ~model () =
+  let open QCheck2.Gen in
+  let* n = int_range min_n max_n in
+  let* t = int_range 1 (n - 1) in
+  let* f = int_range 0 t in
+  let* proposals = array_size (return n) (int_range 0 99) in
+  let* seed = int_range 0 1_000_000 in
+  let rng = Prng.Rng.of_int seed in
+  let schedule =
+    Adversary.Strategies.random ~rng ~model ~n ~f ~max_round:(t + 1)
+  in
+  return { n; t; proposals; schedule; seed }
+
+let scenario_print s = pp_scenario (Schedule.to_string s.schedule) s

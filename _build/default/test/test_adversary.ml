@@ -1,0 +1,166 @@
+(* Tests for the adversary library: combinatorics, named strategies and the
+   exhaustive enumerator. *)
+
+open Model
+
+let test_subsets_count_and_distinct () =
+  let s = List.of_seq (Adversary.Combinatorics.subsets [ 1; 2; 3; 4 ]) in
+  Alcotest.(check int) "2^4 subsets" 16 (List.length s);
+  Alcotest.(check int) "all distinct" 16
+    (List.length (List.sort_uniq compare s));
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) "sorted (order preserved)" true
+        (List.sort compare sub = sub))
+    s
+
+let test_choose () =
+  let s = List.of_seq (Adversary.Combinatorics.choose 2 [ 1; 2; 3; 4 ]) in
+  Alcotest.(check int) "C(4,2)" 6 (List.length s);
+  List.iter (fun sub -> Alcotest.(check int) "size 2" 2 (List.length sub)) s
+
+let test_choose_degenerate () =
+  Alcotest.(check int) "C(n,0)" 1
+    (List.length (List.of_seq (Adversary.Combinatorics.choose 0 [ 1; 2 ])));
+  Alcotest.(check int) "C(2,3)" 0
+    (List.length (List.of_seq (Adversary.Combinatorics.choose 3 [ 1; 2 ])))
+
+let test_product_and_sequence () =
+  let p =
+    List.of_seq
+      (Adversary.Combinatorics.product (List.to_seq [ 1; 2 ]) (List.to_seq [ 10; 20; 30 ]))
+  in
+  Alcotest.(check int) "2x3" 6 (List.length p);
+  let s =
+    List.of_seq
+      (Adversary.Combinatorics.sequence [ List.to_seq [ 1; 2 ]; List.to_seq [ 3 ]; List.to_seq [ 4; 5 ] ])
+  in
+  Alcotest.(check (list (list int))) "sequence"
+    [ [ 1; 3; 4 ]; [ 1; 3; 5 ]; [ 2; 3; 4 ]; [ 2; 3; 5 ] ]
+    s
+
+let test_range () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ]
+    (List.of_seq (Adversary.Combinatorics.range 2 4));
+  Alcotest.(check (list int)) "empty" [] (List.of_seq (Adversary.Combinatorics.range 3 2));
+  Alcotest.(check (list int)) "upto" [ 0; 1; 2 ]
+    (List.of_seq (Adversary.Combinatorics.upto 2))
+
+let test_silent_killer_shape () =
+  let s = Adversary.Strategies.coordinator_killer ~n:5 ~f:3 ~style:Adversary.Strategies.Silent in
+  Alcotest.(check int) "f" 3 (Schedule.f s);
+  List.iter
+    (fun i ->
+      match Schedule.find s (Pid.of_int i) with
+      | Some ev ->
+        Alcotest.(check int) "crashes in own round" i ev.Crash.round;
+        Alcotest.(check bool) "before send" true
+          (Crash.equal_point ev.Crash.point Crash.Before_send)
+      | None -> Alcotest.fail "missing victim")
+    [ 1; 2; 3 ]
+
+let test_greedy_killer_shape () =
+  let n = 6 and f = 2 in
+  let s = Adversary.Strategies.coordinator_killer ~n ~f ~style:Adversary.Strategies.Greedy in
+  List.iter
+    (fun i ->
+      match Schedule.find s (Pid.of_int i) with
+      | Some ev ->
+        Alcotest.(check bool) "after-data with commit down to p_{f+2}" true
+          (Crash.equal_point ev.Crash.point (Crash.After_data (n - f - 1)))
+      | None -> Alcotest.fail "missing victim")
+    [ 1; 2 ]
+
+let test_killer_f0_is_empty () =
+  Alcotest.(check int) "f=0 empty" 0
+    (Schedule.f (Adversary.Strategies.coordinator_killer ~n:4 ~f:0 ~style:Adversary.Strategies.Silent))
+
+let test_random_schedule_valid () =
+  let rng = Prng.Rng.of_int 33 in
+  for _ = 1 to 200 do
+    let n = 2 + Prng.Rng.int rng 7 in
+    let t = 1 + Prng.Rng.int rng (n - 1) in
+    let f = Prng.Rng.int rng (t + 1) in
+    let s =
+      Adversary.Strategies.random ~rng ~model:Model_kind.Extended ~n ~f
+        ~max_round:(t + 1)
+    in
+    Alcotest.(check int) "f victims" f (Schedule.f s);
+    match Schedule.validate ~model:Model_kind.Extended ~n ~t s with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e
+  done
+
+let test_random_classic_has_no_after_data () =
+  let rng = Prng.Rng.of_int 34 in
+  for _ = 1 to 200 do
+    let s =
+      Adversary.Strategies.random ~rng ~model:Model_kind.Classic ~n:5 ~f:3
+        ~max_round:3
+    in
+    List.iter
+      (fun (_, ev) ->
+        match ev.Crash.point with
+        | Crash.After_data _ -> Alcotest.fail "After_data under classic"
+        | Crash.Before_send | Crash.During_data _ | Crash.After_send -> ())
+      (Schedule.bindings s)
+  done
+
+let test_enumerate_points_count () =
+  (* Extended, n=3: Before + 2^2 subsets + 3 prefixes + After = 9. *)
+  Alcotest.(check int) "extended points" 9
+    (Adversary.Enumerate.count
+       (Adversary.Enumerate.points ~model:Model_kind.Extended ~n:3
+          ~victim:(Pid.of_int 1)));
+  (* Classic, n=3: Before + 4 subsets + After = 6. *)
+  Alcotest.(check int) "classic points" 6
+    (Adversary.Enumerate.count
+       (Adversary.Enumerate.points ~model:Model_kind.Classic ~n:3
+          ~victim:(Pid.of_int 1)))
+
+let test_enumerate_schedules_count () =
+  (* n=3 extended, max_f=1, max_round=2: 1 + 3 victims * 2 rounds * 9 points. *)
+  Alcotest.(check int) "schedule count" (1 + (3 * 2 * 9))
+    (Adversary.Enumerate.count
+       (Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n:3 ~max_f:1
+          ~max_round:2))
+
+let test_enumerate_all_valid_and_distinct () =
+  let seen = Hashtbl.create 64 in
+  Seq.iter
+    (fun s ->
+      (match Schedule.validate ~model:Model_kind.Extended ~n:3 ~t:2 s with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      let key = Schedule.to_string s in
+      if Hashtbl.mem seen key then Alcotest.fail ("duplicate: " ^ key);
+      Hashtbl.add seen key ())
+    (Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n:3 ~max_f:2
+       ~max_round:2)
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "combinatorics",
+        [
+          Alcotest.test_case "subsets" `Quick test_subsets_count_and_distinct;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "choose-degenerate" `Quick test_choose_degenerate;
+          Alcotest.test_case "product-sequence" `Quick test_product_and_sequence;
+          Alcotest.test_case "range" `Quick test_range;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "silent-killer" `Quick test_silent_killer_shape;
+          Alcotest.test_case "greedy-killer" `Quick test_greedy_killer_shape;
+          Alcotest.test_case "killer-f0" `Quick test_killer_f0_is_empty;
+          Alcotest.test_case "random-valid" `Quick test_random_schedule_valid;
+          Alcotest.test_case "random-classic" `Quick test_random_classic_has_no_after_data;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "points" `Quick test_enumerate_points_count;
+          Alcotest.test_case "schedules" `Quick test_enumerate_schedules_count;
+          Alcotest.test_case "valid-distinct" `Quick test_enumerate_all_valid_and_distinct;
+        ] );
+    ]

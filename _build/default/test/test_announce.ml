@@ -1,0 +1,121 @@
+(* Engine-level tests for the `Announce decision mode, using a probe that
+   announces at round 1 and keeps broadcasting a counter — so we can observe
+   that announced processes really keep participating, that their later
+   crash is tracked as a post-decision crash, and that the run winds down
+   once nobody is undecided. *)
+
+open Model
+open Sync_sim
+
+module Probe = struct
+  type msg = Tick of int
+
+  type state = { me : int; n : int; ticks_seen : int }
+
+  let name = "announce-probe"
+  let model = Model_kind.Extended
+  let decision_mode = `Announce
+  let msg_bits ~value_bits:_ (Tick _) = 8
+  let pp_msg ppf (Tick k) = Format.fprintf ppf "tick(%d)" k
+
+  let init ~n ~t:_ ~me ~proposal:_ = { me = Pid.to_int me; n; ticks_seen = 0 }
+
+  let data_sends state ~round =
+    List.filter_map
+      (fun dest ->
+        if Pid.to_int dest = state.me then None else Some (dest, Tick round))
+      (Pid.all ~n:state.n)
+
+  let sync_sends _state ~round:_ = []
+
+  (* p1 announces at round 1; p2 announces at round 2; everyone else at
+     round 3 with the number of ticks they have seen. *)
+  let compute state ~round ~data ~syncs:_ =
+    let state = { state with ticks_seen = state.ticks_seen + List.length data } in
+    if round = min state.me 3 then (state, Some (100 + state.ticks_seen))
+    else (state, None)
+end
+
+module Runner = Engine.Make (Probe)
+
+let sched l =
+  Schedule.of_list
+    (List.map (fun (p, r, pt) -> (Pid.of_int p, Crash.make ~round:r pt)) l)
+
+let cfg ?(n = 4) ?(max_rounds = 5) schedule =
+  Engine.config ~max_rounds ~schedule ~n ~t:(n - 1)
+    ~proposals:(Engine.distinct_proposals n) ()
+
+let decision res pid =
+  match Run_result.status res (Pid.of_int pid) with
+  | Run_result.Decided { value; at_round } -> (value, at_round)
+  | _ -> Alcotest.fail "expected a decision"
+
+let test_announced_keep_sending () =
+  let res = Runner.run (cfg Schedule.empty) in
+  (* Everyone hears 3 ticks per round.  p1 announces at round 1 (3 ticks),
+     p2 at round 2 (6 ticks); if announced processes went silent, p3/p4
+     would see fewer than 9 ticks by round 3. *)
+  Alcotest.(check (pair int int)) "p1" (103, 1) (decision res 1);
+  Alcotest.(check (pair int int)) "p2" (106, 2) (decision res 2);
+  Alcotest.(check (pair int int)) "p3 heard every tick" (109, 3) (decision res 3);
+  Alcotest.(check (pair int int)) "p4 heard every tick" (109, 3) (decision res 4);
+  (* The run stops at round 3: nobody is undecided after that. *)
+  Alcotest.(check int) "rounds" 3 res.Run_result.rounds_executed;
+  Alcotest.(check bool) "no post-decision crashes" true
+    (Pid.Set.is_empty res.Run_result.post_decision_crashes)
+
+let test_post_decision_crash_tracked () =
+  let res = Runner.run (cfg (sched [ (1, 2, Crash.Before_send) ])) in
+  (* p1 announced at round 1, then crashed at round 2: its decision stands,
+     it is not correct, and f counts it. *)
+  Alcotest.(check (pair int int)) "p1 decision stands" (103, 1) (decision res 1);
+  Alcotest.(check bool) "tracked" true
+    (Pid.Set.mem (Pid.of_int 1) (Run_result.all_crashes res));
+  Alcotest.(check bool) "not correct" false
+    (Pid.Set.mem (Pid.of_int 1) (Run_result.correct res));
+  Alcotest.(check int) "f_all" 1 (Pid.Set.cardinal (Run_result.all_crashes res));
+  Alcotest.(check bool) "crashed-undecided set empty" true
+    (Pid.Set.is_empty (Run_result.crashed res));
+  (* p3/p4 miss p1's round-2 and round-3 ticks: 3 + 2 + 2 = 7. *)
+  Alcotest.(check (pair int int)) "p3 missed p1's later ticks" (107, 3)
+    (decision res 3)
+
+let test_partial_send_then_announce_crash () =
+  (* p1 crashes during its round-2 data step, after announcing: the partial
+     sends still happen (to p3 only), then the crash is post-decision. *)
+  let res =
+    Runner.run (cfg (sched [ (1, 2, Crash.During_data (Pid.set_of_ints [ 3 ])) ]))
+  in
+  Alcotest.(check (pair int int)) "p1 decision stands" (103, 1) (decision res 1);
+  (* p3: 3 (r1) + 3 (r2, incl p1's partial) + 2 (r3) = 8. *)
+  Alcotest.(check (pair int int)) "p3" (108, 3) (decision res 3);
+  (* p4: 3 + 2 + 2 = 7. *)
+  Alcotest.(check (pair int int)) "p4" (107, 3) (decision res 4)
+
+let test_crash_before_announce_is_plain_crash () =
+  let res = Runner.run (cfg (sched [ (3, 2, Crash.Before_send) ])) in
+  Alcotest.(check bool) "ordinary crash" true
+    (Pid.Set.mem (Pid.of_int 3) (Run_result.crashed res));
+  Alcotest.(check bool) "not post-decision" true
+    (Pid.Set.is_empty res.Run_result.post_decision_crashes)
+
+let test_max_rounds_stops_announced_senders () =
+  (* With max_rounds 2, p3/p4 never reach their announcement round. *)
+  let res = Runner.run (cfg ~max_rounds:2 Schedule.empty) in
+  Alcotest.(check bool) "p3 undecided" true
+    (Run_result.status res (Pid.of_int 3) = Run_result.Undecided);
+  Alcotest.(check (pair int int)) "p1 decided" (103, 1) (decision res 1)
+
+let () =
+  Alcotest.run "announce"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "keep-sending" `Quick test_announced_keep_sending;
+          Alcotest.test_case "post-decision-crash" `Quick test_post_decision_crash_tracked;
+          Alcotest.test_case "partial-then-crash" `Quick test_partial_send_then_announce_crash;
+          Alcotest.test_case "plain-crash" `Quick test_crash_before_announce_is_plain_crash;
+          Alcotest.test_case "max-rounds" `Quick test_max_rounds_stops_announced_senders;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Tests for the asynchronous substrate: the ◇S plan generator and MR99. *)
+
+open Model
+open Timed_sim
+
+let crash pid at = (Pid.of_int pid, at)
+
+(* --- ◇S plan -------------------------------------------------------------- *)
+
+let test_fd_s_properties () =
+  let rng = Prng.Rng.of_int 11 in
+  for _ = 1 to 30 do
+    let crashes = [ crash 2 5.0; crash 4 60.0 ] in
+    let plan =
+      Async_cons.Fd_s.plan ~rng ~n:5 ~crashes ~trusted:(Pid.of_int 1) ~gst:50.0
+        ~detect_lag:2.0 ~noise_events:3
+    in
+    Alcotest.(check bool) "eventually accurate" true
+      (Async_cons.Fd_s.eventually_accurate ~trusted:(Pid.of_int 1) ~gst:50.0 plan);
+    Alcotest.(check bool) "complete" true
+      (Async_cons.Fd_s.complete ~n:5 ~crashes ~gst:50.0 ~detect_lag:2.0 plan)
+  done
+
+let test_fd_s_rejects_faulty_trusted () =
+  let rng = Prng.Rng.of_int 12 in
+  Alcotest.(check bool) "trusted must be correct" true
+    (try
+       ignore
+         (Async_cons.Fd_s.plan ~rng ~n:3 ~crashes:[ crash 1 5.0 ]
+            ~trusted:(Pid.of_int 1) ~gst:50.0 ~detect_lag:2.0 ~noise_events:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- MR99 ----------------------------------------------------------------- *)
+
+module R = Timed_engine.Make (Async_cons.Mr99)
+
+let run_mr99 ?(n = 5) ?(t = 2) ?(crashes = []) ?(noise = 2) ?(seed = 3)
+    ?(proposals = [| 10; 20; 30; 40; 50 |]) () =
+  let rng = Prng.Rng.of_int seed in
+  let crash_times = List.map (fun (c : Timed_engine.crash_spec) -> (c.victim, c.at)) crashes in
+  let faulty = List.map fst crash_times in
+  let trusted =
+    (* lowest-id correct process *)
+    List.find
+      (fun p -> not (List.exists (Pid.equal p) faulty))
+      (Pid.all ~n)
+  in
+  let fd_plan =
+    Async_cons.Fd_s.plan ~rng ~n ~crashes:crash_times ~trusted ~gst:50.0
+      ~detect_lag:2.0 ~noise_events:noise
+  in
+  R.run
+    (Timed_engine.config
+       ~latency:(Timed_engine.Exponential { mean = 1.0; cap = 8.0 })
+       ~crashes ~fd_plan ~deadline:100000.0
+       ~seed:(Int64.of_int (seed + 1))
+       ~n ~t ~proposals ())
+
+let check_consensus ~context ~proposals res =
+  (match Timed_engine.decided_values res with
+  | [] | [ _ ] -> ()
+  | vs ->
+    Alcotest.fail
+      (Printf.sprintf "%s: agreement violated: %s" context
+         (String.concat "," (List.map string_of_int vs))));
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (context ^ ": validity") true
+        (Array.exists (Int.equal v) proposals))
+    (Timed_engine.decided_values res);
+  Alcotest.(check bool) (context ^ ": termination") true
+    (Timed_engine.correct_all_decided res)
+
+let test_no_crash_decides_coordinator_value () =
+  let proposals = [| 10; 20; 30; 40; 50 |] in
+  let res = run_mr99 ~noise:0 ~proposals () in
+  check_consensus ~context:"no crash" ~proposals res;
+  Alcotest.(check (list int)) "p1 imposes" [ 10 ]
+    (Timed_engine.decided_values res)
+
+let test_no_crash_message_structure () =
+  (* Crash-free round 1 with n = 5: (n-1) EST + n(n-1) AUX + at most n(n-1)
+     DECIDE relays — between n^2-1 and (2n+1)(n-1) messages.  This is the
+     n(n-1)-vs-(n-1) contrast of the Section 4 bridge. *)
+  let n = 5 in
+  let res = run_mr99 ~noise:0 ~proposals:[| 10; 20; 30; 40; 50 |] () in
+  let lo = (n * n) - 1 and hi = ((2 * n) + 1) * (n - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "msgs %d within [%d, %d]" res.Timed_engine.msgs_sent lo hi)
+    true
+    (res.Timed_engine.msgs_sent >= lo && res.Timed_engine.msgs_sent <= hi)
+
+let test_coordinator_crash_rotates () =
+  let proposals = [| 10; 20; 30; 40; 50 |] in
+  let res =
+    run_mr99 ~noise:0
+      ~crashes:[ { Timed_engine.victim = Pid.of_int 1; at = 0.0; batch_prefix = 0 } ]
+      ~proposals ()
+  in
+  check_consensus ~context:"p1 silent" ~proposals res;
+  Alcotest.(check (list int)) "p2 imposes in round 2" [ 20 ]
+    (Timed_engine.decided_values res)
+
+let test_partial_est_broadcast () =
+  (* p1 dies mid-EST-broadcast (2 of 4 sent): some aux = 10, some ⊥; no
+     quorum of all-10 in round 1 unless enough arrive, but agreement must
+     hold either way. *)
+  let proposals = [| 10; 20; 30; 40; 50 |] in
+  let res =
+    run_mr99 ~noise:0
+      ~crashes:[ { Timed_engine.victim = Pid.of_int 1; at = 0.0; batch_prefix = 2 } ]
+      ~proposals ()
+  in
+  check_consensus ~context:"partial est" ~proposals res
+
+let test_rejects_large_t () =
+  Alcotest.(check bool) "t >= n/2 rejected" true
+    (try
+       ignore
+         (R.run (Timed_engine.config ~n:4 ~t:2 ~proposals:[| 1; 2; 3; 4 |] ()));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_mr99_uniform =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:120 ~name:"mr99: uniform consensus under crashes + noise"
+       QCheck2.Gen.(
+         let* n = int_range 4 7 in
+         let t = (n - 1) / 2 in
+         let* f = int_range 0 t in
+         let* seed = int_range 0 100000 in
+         return (n, t, f, seed))
+       (fun (n, t, f, seed) ->
+         let rng = Prng.Rng.of_int (seed + 7919) in
+         let victims =
+           Prng.Rng.sample_without_replacement rng f (List.init n (fun i -> i + 1))
+         in
+         let crashes =
+           List.map
+             (fun v ->
+               {
+                 Timed_engine.victim = Pid.of_int v;
+                 at = Prng.Rng.float rng 60.0;
+                 batch_prefix = Prng.Rng.int rng (2 * n);
+               })
+             victims
+         in
+         let proposals = Array.init n (fun i -> (i + 1) * 7) in
+         let res = run_mr99 ~n ~t ~crashes ~noise:3 ~seed ~proposals () in
+         let ok_agreement =
+           match Timed_engine.decided_values res with
+           | [] | [ _ ] -> true
+           | _ -> false
+         in
+         let ok_validity =
+           List.for_all
+             (fun v -> Array.exists (Int.equal v) proposals)
+             (Timed_engine.decided_values res)
+         in
+         let ok_term = Timed_engine.correct_all_decided res in
+         if ok_agreement && ok_validity && ok_term then true
+         else
+           QCheck2.Test.fail_reportf
+             "n=%d t=%d f=%d seed=%d agreement=%b validity=%b termination=%b"
+             n t f seed ok_agreement ok_validity ok_term))
+
+let () =
+  Alcotest.run "async"
+    [
+      ( "fd-s",
+        [
+          Alcotest.test_case "properties" `Quick test_fd_s_properties;
+          Alcotest.test_case "faulty-trusted" `Quick test_fd_s_rejects_faulty_trusted;
+        ] );
+      ( "mr99",
+        [
+          Alcotest.test_case "no-crash" `Quick test_no_crash_decides_coordinator_value;
+          Alcotest.test_case "msg-structure" `Quick test_no_crash_message_structure;
+          Alcotest.test_case "rotation" `Quick test_coordinator_crash_rotates;
+          Alcotest.test_case "partial-est" `Quick test_partial_est_broadcast;
+          Alcotest.test_case "t-validation" `Quick test_rejects_large_t;
+          prop_mr99_uniform;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+(* Correctness tests for the classic-model baselines: FloodSet (t+1 rounds)
+   and the early-stopping algorithm (min(t+1, f+2) rounds). *)
+
+open Model
+open Sync_sim
+open Helpers
+
+let sched l =
+  Schedule.of_list
+    (List.map (fun (p, r, pt) -> (Pid.of_int p, Crash.make ~round:r pt)) l)
+
+let decision res pid =
+  match Run_result.status res (Pid.of_int pid) with
+  | Run_result.Decided { value; at_round } -> (value, at_round)
+  | Run_result.Crashed _ -> Alcotest.fail "unexpectedly crashed"
+  | Run_result.Undecided -> Alcotest.fail "unexpectedly undecided"
+
+(* --- FloodSet ------------------------------------------------------------ *)
+
+let test_flood_no_crash_decides_min_at_t1 () =
+  let res = run_flood ~n:4 ~t:2 ~schedule:Schedule.empty ~proposals:[| 5; 3; 9; 7 |] () in
+  List.iter
+    (fun p ->
+      Alcotest.(check (pair int int)) "min at t+1" (3, 3) (decision res p))
+    [ 1; 2; 3; 4 ]
+
+let test_flood_never_early () =
+  (* Even with zero crashes FloodSet burns t+1 rounds — the baseline cost the
+     paper wants to beat. *)
+  let res = run_flood ~n:6 ~t:4 ~schedule:Schedule.empty
+      ~proposals:(Engine.distinct_proposals 6) () in
+  Alcotest.(check int) "t+1 rounds" 5 res.Run_result.rounds_executed
+
+let test_flood_partial_value_spreads () =
+  (* p1's value 0 reaches only p2 before p1 dies; flooding must still carry
+     it to everyone. *)
+  let res =
+    run_flood ~n:4 ~t:2
+      ~schedule:(sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 2 ])) ])
+      ~proposals:[| 0; 5; 6; 7 |] ()
+  in
+  List.iter
+    (fun p -> Alcotest.(check (pair int int)) "decides 0" (0, 3) (decision res p))
+    [ 2; 3; 4 ]
+
+let test_flood_value_can_die_with_its_holders () =
+  (* p1 delivers 0 to p2 only; p2 dies in round 2 before relaying it: 0
+     vanishes (p2's own proposal 5 already flooded in round 1, so survivors
+     decide 5, not 0). *)
+  let res =
+    run_flood ~n:4 ~t:2
+      ~schedule:
+        (sched
+           [
+             (1, 1, Crash.During_data (Pid.set_of_ints [ 2 ]));
+             (2, 2, Crash.Before_send);
+           ])
+      ~proposals:[| 0; 5; 6; 7 |] ()
+  in
+  List.iter
+    (fun p -> Alcotest.(check (pair int int)) "decides 5" (5, 3) (decision res p))
+    [ 3; 4 ]
+
+let prop_flood_uniform_consensus =
+  qtest ~count:500 "floodset: uniform consensus at round t+1"
+    (scenario_gen ~model:Model_kind.Classic ())
+    (fun s ->
+      let res = run_flood ~n:s.n ~t:s.t ~schedule:s.schedule ~proposals:s.proposals () in
+      match
+        Spec.Properties.failures
+          (Spec.Properties.uniform_consensus ~bound:(s.t + 1) res)
+      with
+      | [] ->
+        (* and decisions happen exactly at t+1 *)
+        List.for_all (fun (_, _, r) -> r = s.t + 1) (Run_result.decisions res)
+      | c :: _ ->
+        QCheck2.Test.fail_reportf "%s on %s"
+          (Format.asprintf "%a" Spec.Properties.pp_check c)
+          (scenario_print s))
+
+(* --- Early stopping ------------------------------------------------------ *)
+
+let test_es_no_crash_decides_in_two_rounds () =
+  let res = run_es ~n:5 ~t:3 ~schedule:Schedule.empty ~proposals:[| 4; 2; 8; 6; 9 |] () in
+  List.iter
+    (fun p ->
+      Alcotest.(check (pair int int)) "min at f+2=2" (2, 2) (decision res p))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_es_one_crash_decides_by_three () =
+  let res =
+    run_es ~n:5 ~t:3
+      ~schedule:(sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 2; 3 ])) ])
+      ~proposals:[| 0; 5; 6; 7; 8 |] ()
+  in
+  check_consensus ~context:"es one crash" ~bound:3 res;
+  Alcotest.(check (list int)) "value 0 spread" [ 0 ] (Run_result.decided_values res)
+
+let test_es_never_beats_lower_bound_needlessly () =
+  (* t = 1: min(t+1, f+2) = 2 rounds even with f = 0. *)
+  let res = run_es ~n:3 ~t:1 ~schedule:Schedule.empty ~proposals:[| 3; 1; 2 |] () in
+  List.iter
+    (fun p -> Alcotest.(check (pair int int)) "two rounds" (1, 2) (decision res p))
+    [ 1; 2; 3 ]
+
+let es_bound ~t ~f = min (t + 1) (f + 2)
+
+let prop_es_uniform_consensus =
+  qtest ~count:800 "early-stopping: uniform consensus in min(t+1, f+2)"
+    (scenario_gen ~model:Model_kind.Classic ())
+    (fun s ->
+      let res = run_es ~n:s.n ~t:s.t ~schedule:s.schedule ~proposals:s.proposals () in
+      let bound = es_bound ~t:s.t ~f:(f_actual res) in
+      match
+        Spec.Properties.failures (Spec.Properties.uniform_consensus ~bound res)
+      with
+      | [] -> true
+      | c :: _ ->
+        QCheck2.Test.fail_reportf "%s on %s"
+          (Format.asprintf "%a" Spec.Properties.pp_check c)
+          (scenario_print s))
+
+(* --- Exhaustive model check over all classic schedules ------------------- *)
+
+let exhaustive_classic ~name runner ~bound_of ~n ~t ~max_f ~max_round () =
+  let proposals = Engine.distinct_proposals n in
+  let count = ref 0 in
+  Seq.iter
+    (fun schedule ->
+      incr count;
+      let res = runner ~n ~t ~schedule ~proposals () in
+      let bound = bound_of ~t ~f:(f_actual res) in
+      Spec.Properties.assert_ok
+        ~context:
+          (Printf.sprintf "%s n=%d t=%d schedule=%s" name n t
+             (Schedule.to_string schedule))
+        (Spec.Properties.uniform_consensus ~bound res))
+    (Adversary.Enumerate.schedules ~model:Model_kind.Classic ~n ~max_f ~max_round);
+  Alcotest.(check bool) "ran some" true (!count > 10)
+
+let test_flood_exhaustive_n4 () =
+  exhaustive_classic ~name:"flood" (fun ~n ~t ~schedule ~proposals () ->
+      run_flood ~n ~t ~schedule ~proposals ())
+    ~bound_of:(fun ~t ~f:_ -> t + 1)
+    ~n:4 ~t:2 ~max_f:2 ~max_round:3 ()
+
+let test_es_exhaustive_n4 () =
+  exhaustive_classic ~name:"early-stopping" (fun ~n ~t ~schedule ~proposals () ->
+      run_es ~n ~t ~schedule ~proposals ())
+    ~bound_of:(fun ~t ~f -> min (t + 1) (f + 2))
+    ~n:4 ~t:3 ~max_f:2 ~max_round:4 ()
+
+let test_es_exhaustive_n5_single () =
+  exhaustive_classic ~name:"early-stopping" (fun ~n ~t ~schedule ~proposals () ->
+      run_es ~n ~t ~schedule ~proposals ())
+    ~bound_of:(fun ~t ~f -> min (t + 1) (f + 2))
+    ~n:5 ~t:4 ~max_f:1 ~max_round:3 ()
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "flood-set",
+        [
+          Alcotest.test_case "no-crash" `Quick test_flood_no_crash_decides_min_at_t1;
+          Alcotest.test_case "never-early" `Quick test_flood_never_early;
+          Alcotest.test_case "spread" `Quick test_flood_partial_value_spreads;
+          Alcotest.test_case "value-death" `Quick test_flood_value_can_die_with_its_holders;
+          prop_flood_uniform_consensus;
+          Alcotest.test_case "exhaustive n=4" `Slow test_flood_exhaustive_n4;
+        ] );
+      ( "early-stopping",
+        [
+          Alcotest.test_case "no-crash" `Quick test_es_no_crash_decides_in_two_rounds;
+          Alcotest.test_case "one-crash" `Quick test_es_one_crash_decides_by_three;
+          Alcotest.test_case "t1-two-rounds" `Quick test_es_never_beats_lower_bound_needlessly;
+          prop_es_uniform_consensus;
+          Alcotest.test_case "exhaustive n=4" `Slow test_es_exhaustive_n4;
+          Alcotest.test_case "exhaustive n=5 f<=1" `Quick test_es_exhaustive_n5_single;
+        ] );
+    ]

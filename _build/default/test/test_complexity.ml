@@ -1,0 +1,156 @@
+(* Tests for the closed-form complexity formulas (Theorem 2, Section 2.2)
+   and the wall-clock cost model — including cross-checks against measured
+   message counts from actual worst-case runs. *)
+
+open Sync_sim
+open Helpers
+
+let test_round_bounds () =
+  Alcotest.(check int) "rwwc f=0" 1 (Complexity.Formulas.rwwc_round_bound ~f:0);
+  Alcotest.(check int) "rwwc f=3" 4 (Complexity.Formulas.rwwc_round_bound ~f:3);
+  Alcotest.(check int) "classic small f" 4
+    (Complexity.Formulas.classic_round_lower_bound ~t:5 ~f:2);
+  Alcotest.(check int) "classic capped by t+1" 6
+    (Complexity.Formulas.classic_round_lower_bound ~t:5 ~f:5);
+  Alcotest.(check int) "extended lb" 3
+    (Complexity.Formulas.extended_round_lower_bound ~f:2)
+
+let test_best_case_bits () =
+  Alcotest.(check int) "n=5 |v|=8" (4 * 9)
+    (Complexity.Formulas.best_case_bits ~n:5 ~value_bits:8)
+
+let brute_force_data_msgs ~n ~f =
+  (* Sum of (n - i) for i = 1 .. f+1: coordinator i sends to p_{i+1}..p_n. *)
+  List.fold_left ( + ) 0 (List.init (f + 1) (fun k -> n - (k + 1)))
+
+let test_worst_case_data_closed_form () =
+  for n = 2 to 12 do
+    for f = 0 to n - 2 do
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d f=%d" n f)
+        (brute_force_data_msgs ~n ~f)
+        (Complexity.Formulas.worst_case_data_msgs ~n ~f)
+    done
+  done
+
+let test_commit_paper_vs_exact () =
+  for n = 3 to 12 do
+    for f = 0 to n - 2 do
+      let paper = Complexity.Formulas.worst_case_commit_msgs_paper ~n ~f
+      and exact = Complexity.Formulas.worst_case_commit_msgs_exact ~n ~f in
+      Alcotest.(check bool)
+        (Printf.sprintf "paper bound dominates (n=%d f=%d)" n f)
+        true (exact <= paper);
+      Alcotest.(check int) "off by f+1" (f + 1) (paper - exact)
+    done
+  done
+
+let test_formula_validation () =
+  Alcotest.(check bool) "rejects f >= n" true
+    (try
+       ignore (Complexity.Formulas.worst_case_data_msgs ~n:3 ~f:3);
+       false
+     with Invalid_argument _ -> true)
+
+(* Cross-check: the greedy coordinator-killer run produces exactly the
+   closed-form worst-case counts. *)
+let test_measured_matches_formulas () =
+  let value_bits = 16 in
+  List.iter
+    (fun (n, f) ->
+      let res =
+        run_rwwc ~value_bits ~n ~t:(n - 2)
+          ~schedule:
+            (Adversary.Strategies.coordinator_killer ~n ~f
+               ~style:Adversary.Strategies.Greedy)
+          ~proposals:(Engine.distinct_proposals n) ()
+      in
+      let label what = Printf.sprintf "n=%d f=%d %s" n f what in
+      Alcotest.(check int) (label "data msgs")
+        (Complexity.Formulas.worst_case_data_msgs ~n ~f)
+        res.Run_result.data_msgs;
+      Alcotest.(check int) (label "data bits")
+        (Complexity.Formulas.worst_case_data_bits ~n ~f ~value_bits)
+        res.Run_result.data_bits;
+      Alcotest.(check int) (label "commit msgs")
+        (Complexity.Formulas.worst_case_commit_msgs_exact ~n ~f)
+        res.Run_result.sync_msgs;
+      Alcotest.(check bool) (label "paper bound respected") true
+        (Run_result.total_bits res
+        <= Complexity.Formulas.worst_case_bits_paper ~n ~f ~value_bits);
+      Alcotest.(check bool) (label "message bound respected") true
+        (Run_result.total_msgs res
+        <= Complexity.Formulas.worst_case_total_msgs_paper ~n ~f);
+      Alcotest.(check int) (label "exact total messages")
+        (Complexity.Formulas.worst_case_data_msgs ~n ~f
+        + Complexity.Formulas.worst_case_commit_msgs_exact ~n ~f)
+        (Run_result.total_msgs res))
+    [ (4, 0); (4, 1); (4, 2); (6, 3); (8, 2); (10, 6); (12, 10) ]
+
+let test_best_case_measured () =
+  let value_bits = 32 in
+  for n = 2 to 10 do
+    let res =
+      run_rwwc ~value_bits ~n ~t:(max 1 (n - 2)) ~schedule:Model.Schedule.empty
+        ~proposals:(Engine.distinct_proposals n) ()
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "n=%d best bits" n)
+      (Complexity.Formulas.best_case_bits ~n ~value_bits)
+      (Run_result.total_bits res)
+  done
+
+(* --- Cost model ----------------------------------------------------------- *)
+
+let cm = Timing.Cost_model.make ~d_round:100.0 ~delta:1.0 ~d_detect:2.0 ()
+
+let feq a b = Float.abs (a -. b) < 1e-9
+
+let test_times () =
+  Alcotest.(check bool) "classic" true (feq 300.0 (Timing.Cost_model.classic_time cm ~rounds:3));
+  Alcotest.(check bool) "extended" true (feq 303.0 (Timing.Cost_model.extended_time cm ~rounds:3));
+  Alcotest.(check bool) "fast-fd" true (feq 106.0 (Timing.Cost_model.fast_fd_time cm ~f:3))
+
+let test_crossover () =
+  (* D/delta = 100: the extended model wins until f + 1 >= 100. *)
+  Alcotest.(check int) "crossover f" 99 (Timing.Cost_model.crossover_f cm);
+  Alcotest.(check bool) "f=0 wins" true (Timing.Cost_model.extended_beats_classic cm ~f:0);
+  Alcotest.(check bool) "f=98 wins" true (Timing.Cost_model.extended_beats_classic cm ~f:98);
+  Alcotest.(check bool) "f=99 loses" false (Timing.Cost_model.extended_beats_classic cm ~f:99)
+
+let test_cost_model_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "neg D" true
+    (invalid (fun () -> Timing.Cost_model.make ~d_round:(-1.0) ()));
+  Alcotest.(check bool) "delta > D" true
+    (invalid (fun () -> Timing.Cost_model.make ~d_round:10.0 ~delta:20.0 ()));
+  Alcotest.(check bool) "defaults ok" true
+    (try ignore (Timing.Cost_model.make ~d_round:10.0 ()); true
+     with Invalid_argument _ -> false)
+
+let test_defaults_ratio () =
+  let c = Timing.Cost_model.make ~d_round:200.0 () in
+  Alcotest.(check bool) "delta defaults to D/100" true
+    (feq 2.0 c.Timing.Cost_model.delta)
+
+let () =
+  Alcotest.run "complexity"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "round-bounds" `Quick test_round_bounds;
+          Alcotest.test_case "best-case" `Quick test_best_case_bits;
+          Alcotest.test_case "worst-data-closed-form" `Quick test_worst_case_data_closed_form;
+          Alcotest.test_case "commit-paper-vs-exact" `Quick test_commit_paper_vs_exact;
+          Alcotest.test_case "validation" `Quick test_formula_validation;
+          Alcotest.test_case "measured-worst" `Quick test_measured_matches_formulas;
+          Alcotest.test_case "measured-best" `Quick test_best_case_measured;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "times" `Quick test_times;
+          Alcotest.test_case "crossover" `Quick test_crossover;
+          Alcotest.test_case "validation" `Quick test_cost_model_validation;
+          Alcotest.test_case "defaults" `Quick test_defaults_ratio;
+        ] );
+    ]

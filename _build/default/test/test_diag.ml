@@ -1,0 +1,137 @@
+(* Unit tests for the diag library (stats + table rendering). *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let check_float ?eps name expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %f got %f" name expected got)
+    true
+    (feq ?eps expected got)
+
+let test_mean () = check_float "mean" 2.5 (Diag.Stats.mean [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Diag.Stats.mean []))
+
+let test_summary () =
+  let s = Diag.Stats.summarize [ 4.0; 1.0; 3.0; 2.0 ] in
+  Alcotest.(check int) "count" 4 s.Diag.Stats.count;
+  check_float "mean" 2.5 s.Diag.Stats.mean;
+  check_float "min" 1.0 s.Diag.Stats.min;
+  check_float "max" 4.0 s.Diag.Stats.max;
+  check_float "p50" 2.5 s.Diag.Stats.p50;
+  (* sample stddev of 1..4 is sqrt(5/3) *)
+  check_float ~eps:1e-6 "stddev" (sqrt (5.0 /. 3.0)) s.Diag.Stats.stddev
+
+let test_summary_singleton () =
+  let s = Diag.Stats.summarize [ 7.0 ] in
+  check_float "mean" 7.0 s.Diag.Stats.mean;
+  check_float "stddev" 0.0 s.Diag.Stats.stddev;
+  check_float "p99" 7.0 s.Diag.Stats.p99
+
+let test_percentile_interpolation () =
+  let a = [| 10.0; 20.0; 30.0 |] in
+  check_float "q0" 10.0 (Diag.Stats.percentile a 0.0);
+  check_float "q1" 30.0 (Diag.Stats.percentile a 1.0);
+  check_float "q0.5" 20.0 (Diag.Stats.percentile a 0.5);
+  check_float "q0.25" 15.0 (Diag.Stats.percentile a 0.25)
+
+let test_histogram () =
+  let h = Diag.Stats.histogram ~bins:2 [ 0.0; 1.0; 2.0; 3.0 ] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let (_, _, c0) = h.(0) and (_, _, c1) = h.(1) in
+  Alcotest.(check int) "total" 4 (c0 + c1);
+  Alcotest.(check int) "first bin" 2 c0
+
+let test_histogram_constant_sample () =
+  let h = Diag.Stats.histogram ~bins:3 [ 5.0; 5.0; 5.0 ] in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 3 total
+
+let test_table_roundtrip () =
+  let t = Diag.Table.create ~title:"demo" ~header:[ "k"; "v" ] () in
+  Diag.Table.add_row t [ "a"; "1" ];
+  Diag.Table.add_rows t [ [ "b"; "2" ]; [ "c"; "3" ] ];
+  Alcotest.(check int) "rows" 3 (Diag.Table.row_count t);
+  Alcotest.(check string) "cell" "2" (Diag.Table.cell t ~row:1 ~col:1);
+  Alcotest.(check (option string)) "title" (Some "demo") (Diag.Table.title t)
+
+let test_table_arity_checked () =
+  let t = Diag.Table.create ~header:[ "a"; "b" ] () in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: expected 2 cells, got 1") (fun () ->
+      Diag.Table.add_row t [ "only" ])
+
+let test_table_render_contains_cells () =
+  let t = Diag.Table.create ~header:[ "name"; "rounds" ] () in
+  Diag.Table.add_row t [ "rwwc"; "3" ];
+  let s = Diag.Table.render t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %S" needle)
+        true
+        (Helpers.contains_substring s needle))
+    [ "name"; "rounds"; "rwwc"; "3" ]
+
+let test_table_custom_align () =
+  let t = Diag.Table.create ~header:[ "a"; "b" ] () in
+  Diag.Table.add_row t [ "x"; "yy" ];
+  let left = Diag.Table.render ~align:[ Diag.Table.Left; Diag.Table.Left ] t in
+  Alcotest.(check bool) "renders" true (String.length left > 0);
+  Alcotest.check_raises "arity checked"
+    (Invalid_argument "Table.render: align arity mismatch") (fun () ->
+      ignore (Diag.Table.render ~align:[ Diag.Table.Left ] t))
+
+let test_markdown_shape () =
+  let t = Diag.Table.create ~header:[ "a"; "b" ] () in
+  Diag.Table.add_row t [ "x"; "y" ];
+  let lines = String.split_on_char '\n' (Diag.Table.render_markdown t) in
+  Alcotest.(check string) "header" "| a | b |" (List.nth lines 0);
+  Alcotest.(check string) "separator" "| --- | --- |" (List.nth lines 1);
+  Alcotest.(check string) "row" "| x | y |" (List.nth lines 2)
+
+let test_csv_quoting () =
+  let t = Diag.Table.create ~header:[ "a" ] () in
+  Diag.Table.add_row t [ "plain" ];
+  Diag.Table.add_row t [ "has,comma" ];
+  Diag.Table.add_row t [ "has\"quote" ];
+  let lines = String.split_on_char '\n' (Diag.Table.render_csv t) in
+  Alcotest.(check string) "plain" "plain" (List.nth lines 1);
+  Alcotest.(check string) "comma quoted" "\"has,comma\"" (List.nth lines 2);
+  Alcotest.(check string) "quote doubled" "\"has\"\"quote\"" (List.nth lines 3)
+
+let test_formatters () =
+  Alcotest.(check string) "int" "42" (Diag.Table.fmt_int 42);
+  Alcotest.(check string) "float" "3.14" (Diag.Table.fmt_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.1416"
+    (Diag.Table.fmt_float ~decimals:4 3.14159);
+  Alcotest.(check string) "ratio" "1.50x" (Diag.Table.fmt_ratio 3.0 2.0);
+  Alcotest.(check string) "ratio div0" "inf" (Diag.Table.fmt_ratio 3.0 0.0);
+  Alcotest.(check string) "bool" "yes" (Diag.Table.fmt_bool true)
+
+let () =
+  Alcotest.run "diag"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "mean-empty" `Quick test_mean_empty;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summary-singleton" `Quick test_summary_singleton;
+          Alcotest.test_case "percentile" `Quick test_percentile_interpolation;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram-constant" `Quick test_histogram_constant_sample;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_table_roundtrip;
+          Alcotest.test_case "arity" `Quick test_table_arity_checked;
+          Alcotest.test_case "render" `Quick test_table_render_contains_cells;
+          Alcotest.test_case "custom-align" `Quick test_table_custom_align;
+          Alcotest.test_case "markdown" `Quick test_markdown_shape;
+          Alcotest.test_case "csv" `Quick test_csv_quoting;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Tests for the fast failure detector device and the paced consensus. *)
+
+open Model
+open Timed_sim
+
+let crash pid at = (Pid.of_int pid, at)
+
+(* --- Device --------------------------------------------------------------- *)
+
+let test_plan_safety_and_liveness () =
+  let crashes = [ crash 1 0.0; crash 3 7.5 ] in
+  let plan = Fastfd.Device.plan ~n:5 ~d:1.0 ~crashes () in
+  Alcotest.(check bool) "safe" true (Fastfd.Device.safe ~crashes plan);
+  Alcotest.(check bool) "live" true
+    (Fastfd.Device.live ~n:5 ~d:1.0 ~crashes ~horizon:100.0 plan)
+
+let test_plan_with_jitter () =
+  let rng = Prng.Rng.of_int 5 in
+  let crashes = [ crash 2 1.0; crash 4 3.0 ] in
+  for _ = 1 to 50 do
+    let plan = Fastfd.Device.plan ~rng ~n:5 ~d:2.0 ~crashes () in
+    Alcotest.(check bool) "safe" true (Fastfd.Device.safe ~crashes plan);
+    Alcotest.(check bool) "live" true
+      (Fastfd.Device.live ~n:5 ~d:2.0 ~crashes ~horizon:100.0 plan)
+  done
+
+let test_plan_empty () =
+  Alcotest.(check int) "no crashes, no updates" 0
+    (List.length (Fastfd.Device.plan ~n:4 ~d:1.0 ~crashes:[] ()))
+
+let test_published_bound () =
+  Alcotest.(check (float 1e-9)) "D + f d" 106.0
+    (Fastfd.Device.published_decision_bound ~big_d:100.0 ~d:2.0 ~f:3)
+
+(* --- Paced consensus ------------------------------------------------------ *)
+
+let d = 1.0
+let big_d = 10.0
+
+module P = Fastfd.Paced.Make (struct
+  let d = d
+  let big_d = big_d
+end)
+
+module R = Timed_engine.Make (P)
+
+let run ?(n = 4) ?(latency = Timed_engine.Fixed big_d) ?(crashes = [])
+    ?(proposals = [| 10; 20; 30; 40 |]) () =
+  let crash_times = List.map (fun (c : Timed_engine.crash_spec) -> (c.victim, c.at)) crashes in
+  let fd_plan = Fastfd.Device.plan ~n ~d ~crashes:crash_times () in
+  R.run
+    (Timed_engine.config ~latency ~crashes ~fd_plan ~n ~t:(n - 1) ~proposals ())
+
+let check_uniform ~context res =
+  (match Timed_engine.decided_values res with
+  | [] | [ _ ] -> ()
+  | vs ->
+    Alcotest.fail
+      (Printf.sprintf "%s: agreement violated: %s" context
+         (String.concat "," (List.map string_of_int vs))));
+  Alcotest.(check bool) (context ^ ": all correct decided") true
+    (Timed_engine.correct_all_decided res)
+
+let test_no_crash_decides_at_d () =
+  let res = run () in
+  check_uniform ~context:"no crash" res;
+  Alcotest.(check (list int)) "p1's value" [ 10 ] (Timed_engine.decided_values res);
+  match Timed_engine.max_decision_time res with
+  | Some t -> Alcotest.(check (float 1e-9)) "decision by D" big_d t
+  | None -> Alcotest.fail "nobody decided"
+
+let test_silent_crash_takeover () =
+  let res =
+    run ~crashes:[ { Timed_engine.victim = Pid.of_int 1; at = 0.0; batch_prefix = 0 } ] ()
+  in
+  check_uniform ~context:"silent p1" res;
+  Alcotest.(check (list int)) "p2's value" [ 20 ] (Timed_engine.decided_values res);
+  match Timed_engine.max_decision_time res with
+  | Some t ->
+    Alcotest.(check (float 1e-9)) "T_2 + D" (P.worst_case_decision_time ~f:1) t
+  | None -> Alcotest.fail "nobody decided"
+
+let test_partial_est_adopted () =
+  (* p1 dies after sending its estimate to p2 only (batch prefix 1; the
+     batch is ests to p2,p3,p4 then commits p4,p3,p2).  p2 takes over and
+     must impose the adopted 10. *)
+  let res =
+    run ~crashes:[ { Timed_engine.victim = Pid.of_int 1; at = 0.0; batch_prefix = 1 } ] ()
+  in
+  check_uniform ~context:"partial est" res;
+  Alcotest.(check (list int)) "adopted value" [ 10 ] (Timed_engine.decided_values res)
+
+let test_partial_commit_locks_value () =
+  (* p1 completes all 3 ests and exactly one commit (to p4): p4 decides 10
+     at D; everyone else must follow via p2's takeover with the adopted
+     estimate. *)
+  let res =
+    run ~crashes:[ { Timed_engine.victim = Pid.of_int 1; at = 0.0; batch_prefix = 4 } ] ()
+  in
+  check_uniform ~context:"partial commit" res;
+  Alcotest.(check (list int)) "locked" [ 10 ] (Timed_engine.decided_values res);
+  match res.Timed_engine.outcomes.(3) with
+  | Timed_engine.Decided { at; _ } -> Alcotest.(check (float 1e-9)) "p4 at D" big_d at
+  | _ -> Alcotest.fail "p4 should decide first"
+
+let test_two_crashes () =
+  let res =
+    run
+      ~crashes:
+        [
+          { Timed_engine.victim = Pid.of_int 1; at = 0.0; batch_prefix = 0 };
+          { Timed_engine.victim = Pid.of_int 2; at = P.slot_time 2; batch_prefix = 2 };
+        ]
+      ()
+  in
+  check_uniform ~context:"two crashes" res;
+  match Timed_engine.max_decision_time res with
+  | Some t ->
+    Alcotest.(check bool)
+      (Printf.sprintf "within worst case (%.1f <= %.1f)" t
+         (P.worst_case_decision_time ~f:2))
+      true
+      (t <= P.worst_case_decision_time ~f:2 +. 1e-9)
+  | None -> Alcotest.fail "nobody decided"
+
+let prop_paced_uniform =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"paced: uniform consensus under random crashes"
+       QCheck2.Gen.(
+         let* n = int_range 3 6 in
+         let* f = int_range 0 (n - 2) in
+         let* seed = int_range 0 100000 in
+         return (n, f, seed))
+       (fun (n, f, seed) ->
+         let rng = Prng.Rng.of_int seed in
+         let victims =
+           Prng.Rng.sample_without_replacement rng f (List.init n (fun i -> i + 1))
+         in
+         let crashes =
+           List.map
+             (fun v ->
+               {
+                 Timed_engine.victim = Pid.of_int v;
+                 at = Prng.Rng.float rng (P.slot_time n +. big_d);
+                 batch_prefix = Prng.Rng.int rng (2 * n);
+               })
+             victims
+         in
+         let proposals = Array.init n (fun i -> (i + 1) * 11) in
+         let res =
+           run ~n
+             ~latency:(Timed_engine.Uniform { lo = 0.5; hi = big_d })
+             ~crashes ~proposals ()
+         in
+         let ok_agreement =
+           match Timed_engine.decided_values res with
+           | [] | [ _ ] -> true
+           | _ -> false
+         in
+         let ok_validity =
+           List.for_all
+             (fun v -> Array.exists (Int.equal v) proposals)
+             (Timed_engine.decided_values res)
+         in
+         let ok_term = Timed_engine.correct_all_decided res in
+         let ok_time =
+           match Timed_engine.max_decision_time res with
+           | None -> true
+           | Some t -> t <= P.worst_case_decision_time ~f:(List.length victims) +. 1e-9
+         in
+         if ok_agreement && ok_validity && ok_term && ok_time then true
+         else
+           QCheck2.Test.fail_reportf
+             "n=%d f=%d seed=%d agreement=%b validity=%b termination=%b time=%b"
+             n f seed ok_agreement ok_validity ok_term ok_time))
+
+let test_slot_times () =
+  Alcotest.(check (float 1e-9)) "T_1" 0.0 (P.slot_time 1);
+  Alcotest.(check (float 1e-9)) "T_3" (2.0 *. (d +. big_d)) (P.slot_time 3);
+  Alcotest.(check (float 1e-9)) "worst f=0" big_d (P.worst_case_decision_time ~f:0)
+
+let () =
+  Alcotest.run "fastfd"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "safety-liveness" `Quick test_plan_safety_and_liveness;
+          Alcotest.test_case "jitter" `Quick test_plan_with_jitter;
+          Alcotest.test_case "empty" `Quick test_plan_empty;
+          Alcotest.test_case "published-bound" `Quick test_published_bound;
+        ] );
+      ( "paced",
+        [
+          Alcotest.test_case "slot-times" `Quick test_slot_times;
+          Alcotest.test_case "no-crash" `Quick test_no_crash_decides_at_d;
+          Alcotest.test_case "takeover" `Quick test_silent_crash_takeover;
+          Alcotest.test_case "partial-est" `Quick test_partial_est_adopted;
+          Alcotest.test_case "partial-commit" `Quick test_partial_commit_locks_value;
+          Alcotest.test_case "two-crashes" `Quick test_two_crashes;
+          prop_paced_uniform;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* Smoke and shape tests for the experiment harness: every experiment runs,
+   and the verdict columns of the key tables are unanimously positive (each
+   experiment already asserts consensus properties internally; here we also
+   check the rendered claims). *)
+
+let column_all table ~col ~expected =
+  let rows = Diag.Table.row_count table in
+  let ok = ref true in
+  for row = 0 to rows - 1 do
+    if Diag.Table.cell table ~row ~col <> expected then ok := false
+  done;
+  !ok && rows > 0
+
+let test_registry_complete () =
+  Alcotest.(check (list string)) "experiment ids"
+    [ "F1"; "T1"; "T2"; "S22"; "LB"; "BIV"; "SIM"; "FFD"; "MR99"; "CL"; "ABL"; "UNI"; "LAN"; "EFF" ]
+    Harness.Registry.ids;
+  Alcotest.(check bool) "find is case-insensitive" true
+    (Harness.Registry.find "t1" <> None);
+  Alcotest.(check bool) "unknown id" true (Harness.Registry.find "nope" = None)
+
+let run_id id =
+  match Harness.Registry.find id with
+  | Some e -> e.Harness.Experiment.run ()
+  | None -> Alcotest.fail ("missing experiment " ^ id)
+
+let test_t1_all_hold () =
+  match run_id "T1" with
+  | [ table ] ->
+    Alcotest.(check bool) "holds column all yes" true
+      (column_all table ~col:5 ~expected:"yes")
+  | _ -> Alcotest.fail "T1 should produce one table"
+
+let test_t2_shapes () =
+  match run_id "T2" with
+  | [ best; worst ] ->
+    Alcotest.(check bool) "best case matches formula" true
+      (column_all best ~col:4 ~expected:"yes");
+    Alcotest.(check bool) "worst case within paper bound" true
+      (column_all worst ~col:9 ~expected:"yes")
+  | _ -> Alcotest.fail "T2 should produce two tables"
+
+let test_lb_tightness () =
+  match run_id "LB" with
+  | [ tightness; witnesses ] ->
+    Alcotest.(check bool) "tightness = f+1 everywhere" true
+      (column_all tightness ~col:2 ~expected:"yes");
+    (* every truncation row must have found a witness *)
+    for row = 0 to Diag.Table.row_count witnesses - 1 do
+      Alcotest.(check bool) "witness found" false
+        (Diag.Table.cell witnesses ~row ~col:1 = "NOT FOUND")
+    done
+  | _ -> Alcotest.fail "LB should produce two tables"
+
+let test_sim_decisions_match () =
+  match run_id "SIM" with
+  | [ table ] ->
+    Alcotest.(check bool) "compiled = native decisions" true
+      (column_all table ~col:5 ~expected:"yes")
+  | _ -> Alcotest.fail "SIM should produce one table"
+
+let test_cl_invariants () =
+  match run_id "CL" with
+  | [ table ] ->
+    Alcotest.(check bool) "conservation everywhere" true
+      (column_all table ~col:4 ~expected:"yes");
+    Alcotest.(check bool) "consistency everywhere" true
+      (column_all table ~col:5 ~expected:"yes")
+  | _ -> Alcotest.fail "CL should produce one table"
+
+let test_abl_classification () =
+  match run_id "ABL" with
+  | [ table ] ->
+    Alcotest.(check bool) "paper variant is clean" true
+      (Helpers.contains_substring (Diag.Table.cell table ~row:0 ~col:2) "none");
+    Alcotest.(check string) "ascending loses the round bound" "round-bound"
+      (Diag.Table.cell table ~row:1 ~col:2);
+    Alcotest.(check string) "no-commit loses uniform agreement"
+      "uniform-agreement"
+      (Diag.Table.cell table ~row:2 ~col:2);
+    Alcotest.(check string) "piggyback loses uniform agreement"
+      "uniform-agreement"
+      (Diag.Table.cell table ~row:3 ~col:2)
+  | _ -> Alcotest.fail "ABL should produce one table"
+
+let test_biv_no_decision_in_bivalent () =
+  match run_id "BIV" with
+  | [ table ] ->
+    Alcotest.(check bool) "no bivalent decisions anywhere" true
+      (column_all table ~col:6 ~expected:"no")
+  | _ -> Alcotest.fail "BIV should produce one table"
+
+let test_remaining_experiments_run () =
+  List.iter
+    (fun id ->
+      let tables = run_id id in
+      Alcotest.(check bool) (id ^ " returns tables") true (tables <> []);
+      List.iter
+        (fun t ->
+          Alcotest.(check bool) (id ^ " tables non-empty") true
+            (Diag.Table.row_count t > 0))
+        tables)
+    [ "F1"; "S22"; "FFD"; "MR99"; "EFF" ]
+
+let test_workloads () =
+  Alcotest.(check (array int)) "distinct" [| 1; 2; 3 |] (Harness.Workloads.distinct 3);
+  Alcotest.(check (array int)) "binary" [| 0; 0; 1; 1 |]
+    (Harness.Workloads.binary ~n:4 ~zeros:2);
+  Alcotest.(check (array int)) "constant" [| 9; 9 |]
+    (Harness.Workloads.constant ~n:2 ~value:9);
+  let r = Harness.Workloads.random ~rng:(Prng.Rng.of_int 4) ~n:50 ~range:10 in
+  Alcotest.(check bool) "random in range" true
+    (Array.for_all (fun v -> v >= 0 && v < 10) r)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "registry",
+        [ Alcotest.test_case "complete" `Quick test_registry_complete ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "T1" `Quick test_t1_all_hold;
+          Alcotest.test_case "T2" `Quick test_t2_shapes;
+          Alcotest.test_case "LB" `Quick test_lb_tightness;
+          Alcotest.test_case "SIM" `Quick test_sim_decisions_match;
+          Alcotest.test_case "CL" `Quick test_cl_invariants;
+          Alcotest.test_case "ABL" `Slow test_abl_classification;
+          Alcotest.test_case "BIV" `Quick test_biv_no_decision_in_bivalent;
+          Alcotest.test_case "others-run" `Quick test_remaining_experiments_run;
+        ] );
+      ( "workloads", [ Alcotest.test_case "generators" `Quick test_workloads ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the Figure 1 trace invariants: they hold on every recorded run
+   of the paper's algorithm (sampled and exhaustively for small systems),
+   and individual checks actually fire on doctored traces. *)
+
+open Model
+open Sync_sim
+open Helpers
+
+let run ~n ~t ~schedule =
+  run_rwwc ~record_trace:true ~n ~t ~schedule
+    ~proposals:(Engine.distinct_proposals n) ()
+
+let test_invariants_hold_exhaustively () =
+  let n = 4 and t = 2 in
+  Seq.iter
+    (fun schedule ->
+      let res = run ~n ~t ~schedule in
+      Spec.Properties.assert_ok
+        ~context:(Model.Schedule.to_string schedule)
+        (Spec.Figure1_invariants.all res))
+    (Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n ~max_f:2
+       ~max_round:3)
+
+let prop_invariants_random =
+  qtest ~count:400 "figure1 invariants on random runs"
+    (scenario_gen ~model:Model_kind.Extended ())
+    (fun s ->
+      let res =
+        run_rwwc ~record_trace:true ~n:s.n ~t:s.t ~schedule:s.schedule
+          ~proposals:s.proposals ()
+      in
+      match Spec.Properties.failures (Spec.Figure1_invariants.all res) with
+      | [] -> true
+      | c :: _ ->
+        QCheck2.Test.fail_reportf "%s on %s"
+          (Format.asprintf "%a" Spec.Properties.pp_check c)
+          (scenario_print s))
+
+let test_requires_trace () =
+  let res =
+    run_rwwc ~n:3 ~t:1 ~schedule:Model.Schedule.empty ~proposals:[| 1; 2; 3 |] ()
+  in
+  Alcotest.(check bool) "raises without trace" true
+    (try
+       ignore (Spec.Figure1_invariants.all res);
+       false
+     with Invalid_argument _ -> true)
+
+(* Doctored traces: flip something in a legitimate result and watch the
+   right check fail.  The result record is plain data, so we can rebuild it
+   with a perturbed trace. *)
+let with_trace res trace = { res with Run_result.trace }
+
+let base () = run ~n:4 ~t:2 ~schedule:Model.Schedule.empty
+
+let test_detects_foreign_sender () =
+  let res = base () in
+  let doctored =
+    res.Run_result.trace
+    @ [
+        Trace.Round_begin 2;
+        Trace.Data_sent
+          { round = 2; from = Pid.of_int 3; dest = Pid.of_int 4; payload = "1" };
+      ]
+  in
+  let c = Spec.Figure1_invariants.coordinator_only_sender (with_trace res doctored) in
+  Alcotest.(check bool) "caught" false c.Spec.Properties.ok
+
+let test_detects_commit_overtaking () =
+  let res = base () in
+  (* Move the first commit before the first data send. *)
+  let commits, rest =
+    List.partition
+      (function Trace.Sync_sent _ -> true | _ -> false)
+      res.Run_result.trace
+  in
+  let doctored =
+    match rest with
+    | Trace.Round_begin r :: tail -> (Trace.Round_begin r :: commits) @ tail
+    | _ -> Alcotest.fail "unexpected trace shape"
+  in
+  let c = Spec.Figure1_invariants.data_before_commit (with_trace res doctored) in
+  Alcotest.(check bool) "caught" false c.Spec.Properties.ok
+
+let test_detects_bad_prefix () =
+  let res = base () in
+  (* Reverse the commit order: p2 first instead of p_n first. *)
+  let doctored =
+    List.map
+      (function
+        | Trace.Sync_sent { round; from; dest } ->
+          Trace.Sync_sent
+            {
+              round;
+              from;
+              dest = Pid.of_int (res.Run_result.n + 2 - Pid.to_int dest);
+            }
+        | ev -> ev)
+      res.Run_result.trace
+  in
+  let c = Spec.Figure1_invariants.commit_prefix_shape (with_trace res doctored) in
+  Alcotest.(check bool) "caught" false c.Spec.Properties.ok
+
+let test_detects_unlocked_value () =
+  let res = base () in
+  let doctored =
+    res.Run_result.trace
+    @ [
+        Trace.Round_begin 2;
+        Trace.Data_sent
+          { round = 2; from = Pid.of_int 2; dest = Pid.of_int 3; payload = "99" };
+      ]
+  in
+  let c = Spec.Figure1_invariants.value_locking (with_trace res doctored) in
+  Alcotest.(check bool) "caught" false c.Spec.Properties.ok
+
+let test_detects_commitless_decision () =
+  let res = base () in
+  let doctored =
+    List.filter
+      (function
+        | Trace.Sync_sent { dest; _ } -> Pid.to_int dest <> 3
+        | _ -> true)
+      res.Run_result.trace
+  in
+  let c = Spec.Figure1_invariants.decision_needs_commit (with_trace res doctored) in
+  Alcotest.(check bool) "caught" false c.Spec.Properties.ok
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "figure1",
+        [
+          Alcotest.test_case "exhaustive" `Quick test_invariants_hold_exhaustively;
+          prop_invariants_random;
+          Alcotest.test_case "requires-trace" `Quick test_requires_trace;
+          Alcotest.test_case "foreign-sender" `Quick test_detects_foreign_sender;
+          Alcotest.test_case "commit-overtaking" `Quick test_detects_commit_overtaking;
+          Alcotest.test_case "bad-prefix" `Quick test_detects_bad_prefix;
+          Alcotest.test_case "unlocked-value" `Quick test_detects_unlocked_value;
+          Alcotest.test_case "commitless-decision" `Quick test_detects_commitless_decision;
+        ] );
+    ]

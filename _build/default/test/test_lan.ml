@@ -1,0 +1,174 @@
+(* Validation of the LAN realization of the extended model: same decisions
+   as the abstract engine, wall-clock exactly rounds x (D + delta). *)
+
+open Model
+open Helpers
+
+let big_d = 10.0
+let delta = 1.0
+
+module Lan_rwwc =
+  Lan.Realization.Make
+    (Core.Rwwc)
+    (struct
+      let big_d = big_d
+      let delta = delta
+    end)
+
+module Runner = Timed_sim.Timed_engine.Make (Lan_rwwc)
+
+let run_lan ?(n = 5) ~schedule () =
+  let crashes =
+    Lan.Realization.translate_rwwc_schedule ~n ~big_d ~delta schedule
+  in
+  Runner.run
+    (Timed_sim.Timed_engine.config
+       ~latency:(Timed_sim.Timed_engine.Uniform { lo = 0.5; hi = big_d })
+       ~crashes ~seed:11L ~n ~t:(n - 2)
+       ~proposals:(Sync_sim.Engine.distinct_proposals n) ())
+
+let lan_decisions ~res =
+  List.map
+    (fun (pid, v, at) -> (Pid.to_int pid, v, Lan_rwwc.round_of_time at))
+    (Timed_sim.Timed_engine.decisions res)
+
+let abstract_decisions ~n ~schedule =
+  let res =
+    run_rwwc ~n ~t:(n - 2) ~schedule
+      ~proposals:(Sync_sim.Engine.distinct_proposals n) ()
+  in
+  List.map
+    (fun (pid, v, r) -> (Pid.to_int pid, v, r))
+    (Sync_sim.Run_result.decisions res)
+
+let sched l =
+  Schedule.of_list
+    (List.map (fun (p, r, pt) -> (Pid.of_int p, Crash.make ~round:r pt)) l)
+
+let test_timing_constants () =
+  Alcotest.(check (float 1e-9)) "period" 11.0 Lan_rwwc.period;
+  Alcotest.(check (float 1e-9)) "round 3 start" 22.0 (Lan_rwwc.round_start 3);
+  Alcotest.(check int) "round of decision time" 2
+    (Lan_rwwc.round_of_time ((2.0 *. 11.0) -. 0.5))
+
+let test_no_crash_one_period () =
+  let res = run_lan ~schedule:Schedule.empty () in
+  Alcotest.(check (list int)) "value 1" [ 1 ]
+    (Timed_sim.Timed_engine.decided_values res);
+  match Timed_sim.Timed_engine.max_decision_time res with
+  | Some t ->
+    (* decision = computation phase of round 1 = D + delta/2 *)
+    Alcotest.(check (float 1e-9)) "one round of wall clock"
+      (big_d +. (delta /. 2.0))
+      t
+  | None -> Alcotest.fail "nobody decided"
+
+let test_silent_killer_wall_clock () =
+  for f = 0 to 3 do
+    let schedule =
+      Adversary.Strategies.coordinator_killer ~n:5 ~f
+        ~style:Adversary.Strategies.Silent
+    in
+    let res = run_lan ~schedule () in
+    (match Timed_sim.Timed_engine.max_decision_time res with
+    | Some t ->
+      let expected =
+        (float_of_int f *. Lan_rwwc.period) +. big_d +. (delta /. 2.0)
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "f=%d: (f+1) rounds of D+delta" f)
+        expected t
+    | None -> Alcotest.fail "nobody decided");
+    Alcotest.(check (list int))
+      (Printf.sprintf "f=%d decides v_(f+1)" f)
+      [ f + 1 ]
+      (Timed_sim.Timed_engine.decided_values res)
+  done
+
+let scenarios =
+  [
+    sched [];
+    sched [ (1, 1, Crash.Before_send) ];
+    sched [ (1, 1, Crash.After_data 0) ];
+    sched [ (1, 1, Crash.After_data 1) ];
+    sched [ (1, 1, Crash.After_data 4) ];
+    sched [ (1, 1, Crash.After_send) ];
+    sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 2 ])) ];
+    sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 2; 3 ])) ];
+    sched [ (1, 1, Crash.Before_send); (2, 2, Crash.After_data 2) ];
+    sched [ (1, 1, Crash.After_data 1); (2, 2, Crash.Before_send) ];
+    sched [ (2, 1, Crash.Before_send) ];
+    sched [ (3, 2, Crash.After_send) ];
+  ]
+
+let test_matches_abstract_engine () =
+  List.iter
+    (fun schedule ->
+      let lan = run_lan ~schedule () in
+      Alcotest.(check (list (triple int int int)))
+        (Printf.sprintf "decisions match on %s" (Schedule.to_string schedule))
+        (abstract_decisions ~n:5 ~schedule)
+        (lan_decisions ~res:lan))
+    scenarios
+
+let test_non_prefix_subset_rejected () =
+  (* p1's send order is p2,p3,p4,p5: the subset {p3} skips p2 and cannot
+     happen on a serialized wire. *)
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Lan.Realization.translate_rwwc_schedule ~n:5 ~big_d ~delta
+            (sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 3 ])) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_lan_uniform_consensus =
+  qtest ~count:150 "lan realization: uniform consensus on prefix schedules"
+    QCheck2.Gen.(
+      let* n = int_range 3 7 in
+      let* f = int_range 0 (n - 2) in
+      let* seed = int_range 0 100_000 in
+      return (n, f, seed))
+    (fun (n, f, seed) ->
+      (* Random prefix-expressible schedule: victims p_1..p_f crash in their
+         own coordination rounds at a random batch point. *)
+      let rng = Prng.Rng.of_int seed in
+      let schedule =
+        Model.Schedule.of_list
+          (List.init f (fun i ->
+               let r = i + 1 in
+               let point =
+                 match Prng.Rng.int rng 4 with
+                 | 0 -> Crash.Before_send
+                 | 1 ->
+                   let keep = Prng.Rng.int rng (n - r + 1) in
+                   Crash.During_data
+                     (Pid.Set.of_list
+                        (List.filteri
+                           (fun k _ -> k < keep)
+                           (Pid.range ~lo:(r + 1) ~hi:n)))
+                 | 2 -> Crash.After_data (Prng.Rng.int rng (n - r))
+                 | _ -> Crash.After_send
+               in
+               (Pid.of_int r, Crash.make ~round:r point)))
+      in
+      let lan = run_lan ~n ~schedule () in
+      let abstract = abstract_decisions ~n ~schedule in
+      if lan_decisions ~res:lan = abstract then true
+      else
+        QCheck2.Test.fail_reportf "divergence on %s"
+          (Model.Schedule.to_string schedule))
+
+let () =
+  Alcotest.run "lan"
+    [
+      ( "realization",
+        [
+          Alcotest.test_case "constants" `Quick test_timing_constants;
+          Alcotest.test_case "one-period" `Quick test_no_crash_one_period;
+          Alcotest.test_case "wall-clock" `Quick test_silent_killer_wall_clock;
+          Alcotest.test_case "abstract-equivalence" `Quick test_matches_abstract_engine;
+          Alcotest.test_case "non-prefix-rejected" `Quick test_non_prefix_subset_rejected;
+          prop_lan_uniform_consensus;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the lower-bound machinery: stepper vs engine cross-validation,
+   truncation counterexamples, tightness certificates and valence
+   analysis. *)
+
+open Model
+open Sync_sim
+open Helpers
+
+module S = Lower_bound.Stepper.Make (Core.Rwwc)
+module Ex = Lower_bound.Explorer.Make (Core.Rwwc)
+module Biv = Lower_bound.Bivalency.Make (Core.Rwwc)
+
+(* Drive the stepper with the per-round choices of a complete schedule (one
+   crash per round at most) and compare the final statuses with the
+   engine's. *)
+let stepper_replay ~n ~t ~proposals schedule =
+  let crash_in_round r =
+    List.find_map
+      (fun (pid, (ev : Crash.event)) ->
+        if ev.round = r then Some (pid, ev.point) else None)
+      (Schedule.bindings schedule)
+  in
+  let rec go config =
+    if S.running config = [] || S.next_round config > t + 2 then config
+    else
+      let crash =
+        match crash_in_round (S.next_round config) with
+        | Some (pid, point)
+          when List.exists (Pid.equal pid) (S.running config) ->
+          Some (pid, point)
+        | Some _ | None -> None
+      in
+      go (S.step config ~crash)
+  in
+  S.statuses (go (S.initial ~n ~t ~proposals))
+
+let test_stepper_matches_engine_exhaustively () =
+  let n = 3 and t = 1 in
+  let proposals = [| 4; 5; 6 |] in
+  Seq.iter
+    (fun schedule ->
+      if Schedule.at_most_one_crash_per_round schedule then begin
+        let via_engine =
+          (run_rwwc ~n ~t ~schedule ~proposals ()).Run_result.statuses
+        and via_stepper = stepper_replay ~n ~t ~proposals schedule in
+        Alcotest.(check bool)
+          (Printf.sprintf "statuses agree on %s" (Schedule.to_string schedule))
+          true
+          (via_engine = via_stepper)
+      end)
+    (Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n ~max_f:1
+       ~max_round:2)
+
+let test_stepper_guards () =
+  let c = S.initial ~n:3 ~t:0 ~proposals:[| 1; 2; 3 |] in
+  Alcotest.(check bool) "budget enforced" true
+    (try
+       ignore (S.step c ~crash:(Some (Pid.of_int 1, Crash.Before_send)));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "round counter" 1 (S.next_round c);
+  let c' = S.step c ~crash:None in
+  Alcotest.(check int) "advances" 2 (S.next_round c');
+  Alcotest.(check (list int)) "all decided after round 1" [ 1 ]
+    (S.decided_values c')
+
+let test_stepper_fingerprint_distinguishes () =
+  let a = S.initial ~n:3 ~t:1 ~proposals:[| 1; 2; 3 |]
+  and b = S.initial ~n:3 ~t:1 ~proposals:[| 9; 2; 3 |] in
+  Alcotest.(check bool) "different proposals differ" false
+    (S.fingerprint a = S.fingerprint b);
+  Alcotest.(check bool) "same config same print" true
+    (S.fingerprint a = S.fingerprint (S.initial ~n:3 ~t:1 ~proposals:[| 1; 2; 3 |]))
+
+(* --- Truncation ----------------------------------------------------------- *)
+
+module Trunc1 =
+  Lower_bound.Truncated.Make
+    (Core.Rwwc)
+    (struct
+      let decide_by = 1
+    end)
+
+module Trunc_runner = Engine.Make (Trunc1)
+
+let test_truncated_forces_decisions () =
+  let res =
+    Trunc_runner.run
+      (Engine.config ~n:4 ~t:2
+         ~schedule:
+           (Schedule.of_list
+              [ (Pid.of_int 1, Crash.make ~round:1 Crash.Before_send) ])
+         ~proposals:[| 1; 2; 3; 4 |] ())
+  in
+  (* Everyone alive decided at round 1 (their own estimates: nothing was
+     received), violating agreement. *)
+  Alcotest.(check int) "one round" 1 res.Run_result.rounds_executed;
+  Alcotest.(check bool) "agreement violated" false
+    (Spec.Properties.all_ok [ Spec.Properties.uniform_agreement res ])
+
+let test_truncated_preserves_normal_decisions () =
+  (* Without crashes the truncation never fires: same outcome as native. *)
+  let res =
+    Trunc_runner.run
+      (Engine.config ~n:4 ~t:2 ~proposals:[| 7; 2; 3; 4 |] ())
+  in
+  Alcotest.(check (list int)) "decides 7" [ 7 ] (Run_result.decided_values res)
+
+(* --- Explorer ------------------------------------------------------------- *)
+
+let test_tightness_all_f () =
+  let n = 7 in
+  for f = 0 to n - 2 do
+    let cert = Ex.tightness ~n ~f ~proposals:(Engine.distinct_proposals n) in
+    Alcotest.(check int)
+      (Printf.sprintf "f=%d forces round f+1" f)
+      (f + 1) cert.Lower_bound.Explorer.max_decision_round
+  done
+
+let test_truncation_violation_found () =
+  let n = 5 in
+  for decide_by = 1 to 3 do
+    match
+      Ex.truncation_violation ~n ~decide_by
+        ~proposals:(Engine.distinct_proposals n)
+    with
+    | None ->
+      Alcotest.fail
+        (Printf.sprintf "no violation found for decide_by=%d" decide_by)
+    | Some w ->
+      (* The witness schedule must be within the claimed adversary power. *)
+      Alcotest.(check bool) "f <= decide_by" true
+        (Schedule.f w.Lower_bound.Explorer.schedule <= decide_by);
+      Alcotest.(check bool) "crashes within rounds 1..decide_by" true
+        (Schedule.max_crash_round w.Lower_bound.Explorer.schedule <= decide_by);
+      (* And the run must genuinely violate uniform agreement or validity. *)
+      Alcotest.(check bool) "violates" false
+        (Spec.Properties.all_ok
+           [
+             Spec.Properties.uniform_agreement w.Lower_bound.Explorer.result;
+             Spec.Properties.validity w.Lower_bound.Explorer.result;
+           ])
+  done
+
+let test_zero_round_case () =
+  Alcotest.(check bool) "distinct proposals" true
+    (Ex.zero_round_impossible ~n:3 ~proposals:[| 1; 2; 3 |]);
+  Alcotest.(check bool) "identical proposals" false
+    (Ex.zero_round_impossible ~n:3 ~proposals:[| 5; 5; 5 |])
+
+(* --- Bivalency ------------------------------------------------------------ *)
+
+let test_initial_bivalent_binary () =
+  let r = Biv.analyze ~n:3 ~t:1 ~proposals:[| 0; 1; 1 |] () in
+  (match r.Lower_bound.Bivalency.initial_valence with
+  | Lower_bound.Bivalency.Bivalent vs ->
+    Alcotest.(check (list int)) "both reachable" [ 0; 1 ] vs
+  | Lower_bound.Bivalency.Univalent v ->
+    Alcotest.fail (Printf.sprintf "unexpectedly univalent(%d)" v));
+  Alcotest.(check bool) "no decision in bivalent configs" false
+    r.Lower_bound.Bivalency.bivalent_with_decision
+
+let test_univalent_when_no_budget () =
+  (* t = 0: the adversary cannot crash anyone, so p1 always imposes 0. *)
+  let r = Biv.analyze ~n:3 ~t:0 ~proposals:[| 0; 1; 1 |] () in
+  match r.Lower_bound.Bivalency.initial_valence with
+  | Lower_bound.Bivalency.Univalent 0 -> ()
+  | v ->
+    Alcotest.fail
+      (Format.asprintf "expected univalent(0), got %a"
+         Lower_bound.Bivalency.pp_valence v)
+
+let test_univalent_on_unanimity () =
+  (* Validity forces unanimity to be univalent regardless of crashes. *)
+  let r = Biv.analyze ~n:3 ~t:1 ~proposals:[| 4; 4; 4 |] () in
+  match r.Lower_bound.Bivalency.initial_valence with
+  | Lower_bound.Bivalency.Univalent 4 -> ()
+  | v ->
+    Alcotest.fail
+      (Format.asprintf "expected univalent(4), got %a"
+         Lower_bound.Bivalency.pp_valence v)
+
+let test_bivalent_depth_grows_with_t () =
+  (* Bivalence can be retained one round per spendable crash beyond the one
+     needed to steer the outcome: depth t-1 for the Figure 1 algorithm. *)
+  let depth ~n ~t =
+    (Biv.analyze ~n ~t
+       ~proposals:(Array.init n (fun i -> if i = 0 then 0 else 1))
+       ())
+      .Lower_bound.Bivalency.max_bivalent_depth
+  in
+  Alcotest.(check int) "n=3 t=1" 0 (depth ~n:3 ~t:1);
+  Alcotest.(check int) "n=4 t=2" 1 (depth ~n:4 ~t:2);
+  Alcotest.(check int) "n=5 t=3" 2 (depth ~n:5 ~t:3)
+
+let test_reachable_values_mid_run () =
+  (* After p1 crashes delivering only to p2, both 0 (if p2 survives) and 1
+     (if p2 is also crashed) remain reachable with budget 2. *)
+  let c = S.initial ~n:4 ~t:2 ~proposals:[| 0; 1; 1; 1 |] in
+  let c' =
+    S.step c
+      ~crash:(Some (Pid.of_int 1, Crash.During_data (Pid.set_of_ints [ 2 ])))
+  in
+  Alcotest.(check (list int)) "bivalent after round 1" [ 0; 1 ]
+    (Biv.reachable_values c')
+
+let () =
+  Alcotest.run "lower_bound"
+    [
+      ( "stepper",
+        [
+          Alcotest.test_case "matches-engine" `Quick test_stepper_matches_engine_exhaustively;
+          Alcotest.test_case "guards" `Quick test_stepper_guards;
+          Alcotest.test_case "fingerprint" `Quick test_stepper_fingerprint_distinguishes;
+        ] );
+      ( "truncated",
+        [
+          Alcotest.test_case "forces" `Quick test_truncated_forces_decisions;
+          Alcotest.test_case "transparent" `Quick test_truncated_preserves_normal_decisions;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "tightness" `Quick test_tightness_all_f;
+          Alcotest.test_case "violations" `Quick test_truncation_violation_found;
+          Alcotest.test_case "zero-round" `Quick test_zero_round_case;
+        ] );
+      ( "bivalency",
+        [
+          Alcotest.test_case "initial-bivalent" `Quick test_initial_bivalent_binary;
+          Alcotest.test_case "no-budget" `Quick test_univalent_when_no_budget;
+          Alcotest.test_case "unanimity" `Quick test_univalent_on_unanimity;
+          Alcotest.test_case "depth" `Quick test_bivalent_depth_grows_with_t;
+          Alcotest.test_case "mid-run" `Quick test_reachable_values_mid_run;
+        ] );
+    ]

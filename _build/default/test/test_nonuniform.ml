@@ -1,0 +1,127 @@
+(* Tests for the classic-model non-uniform early-deciding baseline: decides
+   in min(f+1, t+1) rounds, keeps correct processes in agreement, but gives
+   up uniform agreement — the exact property the extended model's f+1
+   algorithm retains. *)
+
+open Model
+open Sync_sim
+open Helpers
+
+module Runner = Engine.Make (Baselines.Nonuniform_early)
+
+let sched l =
+  Schedule.of_list
+    (List.map (fun (p, r, pt) -> (Pid.of_int p, Crash.make ~round:r pt)) l)
+
+let run ?(n = 4) ?(t = 2) schedule =
+  Runner.run (Engine.config ~schedule ~n ~t ~proposals:(Engine.distinct_proposals n) ())
+
+let f_all res = Pid.Set.cardinal (Run_result.all_crashes res)
+
+let bound ~t res = min (f_all res + 1) (t + 1)
+
+let non_uniform_checks ~t res =
+  [
+    Spec.Properties.validity res;
+    Spec.Properties.agreement res;
+    Spec.Properties.termination res;
+    Spec.Properties.round_bound ~bound:(bound ~t res) res;
+  ]
+
+let test_no_crash_one_round () =
+  let res = run Schedule.empty in
+  Alcotest.(check int) "one round" 1 res.Run_result.rounds_executed;
+  List.iter
+    (fun (_, v, r) ->
+      Alcotest.(check (pair int int)) "min at round 1" (1, 1) (v, r))
+    (Run_result.decisions res)
+
+let test_decider_keeps_relaying () =
+  (* p1 delivers 0... here value 1 to p3 only; p3 announces at round 1 but
+     must relay so p2 joins the same value. *)
+  let res =
+    run ~n:3 ~t:2 (sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 3 ])) ])
+  in
+  Alcotest.(check (list int)) "both survivors decide 1" [ 1 ]
+    (Run_result.decided_values res);
+  Spec.Properties.assert_ok ~context:"relay" (non_uniform_checks ~t:2 res)
+
+let test_uniform_violation_witness () =
+  (* The decided value dies with its decider: p3 announces p1's value in
+     round 1 and crashes before relaying; survivors decide differently. *)
+  let res =
+    run ~n:3 ~t:2
+      (sched
+         [
+           (1, 1, Crash.During_data (Pid.set_of_ints [ 3 ]));
+           (3, 2, Crash.Before_send);
+         ])
+  in
+  Alcotest.(check bool) "uniform agreement violated" false
+    (Spec.Properties.all_ok [ Spec.Properties.uniform_agreement res ]);
+  Spec.Properties.assert_ok ~context:"witness still non-uniform-correct"
+    (non_uniform_checks ~t:2 res);
+  (* p3 is faulty in this run even though it decided. *)
+  Alcotest.(check int) "f counts the post-decision crash" 2 (f_all res);
+  Alcotest.(check bool) "p3 not correct" false
+    (Pid.Set.mem (Pid.of_int 3) (Run_result.correct res))
+
+let test_exhaustive_non_uniform_properties () =
+  let n = 4 and t = 2 in
+  let uniform_violations = ref 0 in
+  Seq.iter
+    (fun schedule ->
+      let res = run ~n ~t schedule in
+      Spec.Properties.assert_ok ~context:(Schedule.to_string schedule)
+        (non_uniform_checks ~t res);
+      if not (Spec.Properties.all_ok [ Spec.Properties.uniform_agreement res ])
+      then incr uniform_violations)
+    (Adversary.Enumerate.schedules ~model:Model_kind.Classic ~n ~max_f:2
+       ~max_round:3);
+  Alcotest.(check bool) "uniform agreement does break somewhere" true
+    (!uniform_violations > 0)
+
+let prop_non_uniform =
+  qtest ~count:600 "nonuniform-early: validity/agreement/termination/f+1"
+    (scenario_gen ~model:Model_kind.Classic ())
+    (fun s ->
+      let res =
+        Runner.run
+          (Engine.config ~schedule:s.schedule ~n:s.n ~t:s.t
+             ~proposals:s.proposals ())
+      in
+      match
+        Spec.Properties.failures (non_uniform_checks ~t:s.t res)
+      with
+      | [] -> true
+      | c :: _ ->
+        QCheck2.Test.fail_reportf "%s on %s"
+          (Format.asprintf "%a" Spec.Properties.pp_check c)
+          (scenario_print s))
+
+let test_faster_than_uniform_baseline () =
+  (* The point of EXP-UNI: with one crash this decides in 2 rounds where the
+     uniform classic baseline needs 3. *)
+  let schedule =
+    Adversary.Strategies.coordinator_killer ~n:6 ~f:1
+      ~style:Adversary.Strategies.Silent
+  in
+  let nu = run ~n:6 ~t:4 schedule in
+  let es = run_es ~n:6 ~t:4 ~schedule ~proposals:(Engine.distinct_proposals 6) () in
+  let last res = Option.get (Run_result.max_decision_round res) in
+  Alcotest.(check int) "non-uniform at f+1" 2 (last nu);
+  Alcotest.(check int) "uniform classic at f+2" 3 (last es)
+
+let () =
+  Alcotest.run "nonuniform"
+    [
+      ( "nonuniform-early",
+        [
+          Alcotest.test_case "no-crash" `Quick test_no_crash_one_round;
+          Alcotest.test_case "relaying" `Quick test_decider_keeps_relaying;
+          Alcotest.test_case "uniform-violation" `Quick test_uniform_violation_witness;
+          Alcotest.test_case "exhaustive" `Quick test_exhaustive_non_uniform_properties;
+          prop_non_uniform;
+          Alcotest.test_case "f+1-vs-f+2" `Quick test_faster_than_uniform_baseline;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+(* Tests for the domain pool: parallel execution must be observationally
+   identical to sequential, across domain counts, including exceptions and
+   deterministic witnesses — and running real simulations under it must
+   produce the same results as running them inline. *)
+
+open Helpers
+
+let domain_counts = [ 1; 2; 3; 4; 7 ]
+
+let test_map_matches_sequential () =
+  let xs = Array.init 257 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f xs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" domains)
+        expected
+        (Parallel.Pool.map ~domains f xs))
+    domain_counts
+
+let test_map_edge_sizes () =
+  List.iter
+    (fun n ->
+      let xs = Array.init n (fun i -> i) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "n=%d" n)
+        (Array.map succ xs)
+        (Parallel.Pool.map ~domains:4 succ xs))
+    [ 0; 1; 2; 3; 4; 5; 8 ]
+
+let test_map_list () =
+  Alcotest.(check (list int)) "list" [ 2; 4; 6 ]
+    (Parallel.Pool.map_list ~domains:2 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_exception_propagates () =
+  let f x = if x = 5 then failwith "boom" else x in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d raises" domains)
+        true
+        (try
+           ignore (Parallel.Pool.map ~domains f (Array.init 10 Fun.id));
+           false
+         with Failure m -> m = "boom"))
+    domain_counts
+
+let test_first_exception_in_input_order () =
+  let f x = if x >= 3 then failwith (string_of_int x) else x in
+  Alcotest.(check bool) "first offender wins" true
+    (try
+       ignore (Parallel.Pool.map ~domains:3 f (Array.init 9 Fun.id));
+       false
+     with Failure m -> m = "3")
+
+let test_count_if () =
+  let xs = Array.init 100 Fun.id in
+  List.iter
+    (fun domains ->
+      Alcotest.(check int)
+        (Printf.sprintf "domains=%d" domains)
+        50
+        (Parallel.Pool.count_if ~domains (fun x -> x mod 2 = 0) xs))
+    domain_counts
+
+let test_find_first_deterministic () =
+  let xs = Array.init 100 Fun.id in
+  let f x = if x mod 7 = 0 && x > 0 then Some x else None in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "domains=%d" domains)
+        (Some 7)
+        (Parallel.Pool.find_first ~domains f xs))
+    domain_counts;
+  Alcotest.(check (option int)) "none" None
+    (Parallel.Pool.find_first ~domains:4 (fun _ -> None) xs)
+
+(* Real workload: the same consensus runs, inline vs under the pool. *)
+let test_simulations_under_domains () =
+  let scenarios =
+    Array.init 40 (fun seed ->
+        let rng = Prng.Rng.of_int seed in
+        let n = 4 + Prng.Rng.int rng 5 in
+        let t = n - 2 in
+        let schedule =
+          Adversary.Strategies.random ~rng ~model:Model.Model_kind.Extended ~n
+            ~f:(Prng.Rng.int rng (t + 1))
+            ~max_round:(t + 1)
+        in
+        (n, t, schedule))
+  in
+  let run (n, t, schedule) =
+    let res =
+      run_rwwc ~n ~t ~schedule
+        ~proposals:(Sync_sim.Engine.distinct_proposals n) ()
+    in
+    (Sync_sim.Run_result.decisions res, Sync_sim.Run_result.total_bits res)
+  in
+  let inline = Array.map run scenarios in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d identical" domains)
+        true
+        (Parallel.Pool.map ~domains run scenarios = inline))
+    [ 2; 4 ]
+
+let test_default_domains_positive () =
+  Alcotest.(check bool) "at least one" true (Parallel.Pool.default_domains () >= 1)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map" `Quick test_map_matches_sequential;
+          Alcotest.test_case "edges" `Quick test_map_edge_sizes;
+          Alcotest.test_case "map-list" `Quick test_map_list;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "first-exception" `Quick test_first_exception_in_input_order;
+          Alcotest.test_case "count-if" `Quick test_count_if;
+          Alcotest.test_case "find-first" `Quick test_find_first_deterministic;
+          Alcotest.test_case "simulations" `Quick test_simulations_under_domains;
+          Alcotest.test_case "defaults" `Quick test_default_domains_positive;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* Unit and property tests for the prng library. *)
+
+let test_splitmix_deterministic () =
+  let a = Prng.Splitmix.create ~seed:42L and b = Prng.Splitmix.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.Splitmix.next a) (Prng.Splitmix.next b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Prng.Splitmix.create ~seed:1L and b = Prng.Splitmix.create ~seed:2L in
+  Alcotest.(check bool) "different seeds differ" false
+    (Prng.Splitmix.next a = Prng.Splitmix.next b)
+
+let test_splitmix_copy_replays () =
+  let a = Prng.Splitmix.create ~seed:7L in
+  ignore (Prng.Splitmix.next a);
+  let b = Prng.Splitmix.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.Splitmix.next a) (Prng.Splitmix.next b)
+
+let test_split_independence () =
+  (* The child stream must not equal the parent's continuation. *)
+  let parent = Prng.Splitmix.create ~seed:99L in
+  let child = Prng.Splitmix.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Splitmix.next parent = Prng.Splitmix.next child then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 2)
+
+let test_pcg_deterministic () =
+  let a = Prng.Pcg.create ~seed:42L () and b = Prng.Pcg.create ~seed:42L () in
+  for _ = 1 to 100 do
+    Alcotest.(check int32) "same stream" (Prng.Pcg.next a) (Prng.Pcg.next b)
+  done
+
+let test_pcg_next64 () =
+  let a = Prng.Pcg.create ~seed:5L () and b = Prng.Pcg.create ~seed:5L () in
+  (* next64 is the concatenation of two 32-bit outputs. *)
+  let hi = Int64.of_int32 (Prng.Pcg.next b) in
+  let lo = Int64.of_int32 (Prng.Pcg.next b) in
+  let expected = Int64.(logor (shift_left hi 32) (logand lo 0xFFFFFFFFL)) in
+  Alcotest.(check int64) "concatenation" expected (Prng.Pcg.next64 a)
+
+let test_pcg_streams_differ () =
+  let a = Prng.Pcg.create ~stream:1L ~seed:42L ()
+  and b = Prng.Pcg.create ~stream:2L ~seed:42L () in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Pcg.next a = Prng.Pcg.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 2)
+
+let test_int_bounds () =
+  let g = Prng.Rng.of_int 1 in
+  for _ = 1 to 10_000 do
+    let v = Prng.Rng.int g 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_int_in_bounds () =
+  let g = Prng.Rng.of_int 2 in
+  for _ = 1 to 10_000 do
+    let v = Prng.Rng.int_in g (-3) 5 in
+    Alcotest.(check bool) "in [-3,5]" true (v >= -3 && v <= 5)
+  done
+
+let test_int_rejects_bad_bound () =
+  let g = Prng.Rng.of_int 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Prng.Rng.int g 0))
+
+let test_int_uniformity () =
+  (* Chi-squared-ish sanity: each of 8 buckets within 3 sigma of mean. *)
+  let g = Prng.Rng.of_int 4 in
+  let buckets = Array.make 8 0 in
+  let trials = 80_000 in
+  for _ = 1 to trials do
+    let v = Prng.Rng.int g 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let mean = float_of_int trials /. 8.0 in
+  let sigma = sqrt (mean *. (1.0 -. (1.0 /. 8.0))) in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. mean) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d within 4 sigma (count %d)" i c)
+        true
+        (dev < 4.0 *. sigma))
+    buckets
+
+let test_float_bounds () =
+  let g = Prng.Rng.of_int 5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.Rng.float g 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_bool_balance () =
+  let g = Prng.Rng.of_int 6 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.Rng.bool g then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4600 && !trues < 5400)
+
+let test_permutation_is_permutation () =
+  let g = Prng.Rng.of_int 7 in
+  for n = 1 to 20 do
+    let p = Prng.Rng.permutation g n in
+    let sorted = Array.copy p in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "is a permutation" (Array.init n Fun.id) sorted
+  done
+
+let test_shuffle_preserves_multiset () =
+  let g = Prng.Rng.of_int 8 in
+  let a = [| 1; 2; 2; 3; 5; 8 |] in
+  let b = Array.copy a in
+  Prng.Rng.shuffle_in_place g b;
+  Array.sort compare b;
+  let a' = Array.copy a in
+  Array.sort compare a';
+  Alcotest.(check (array int)) "same elements" a' b
+
+let test_choose_member () =
+  let g = Prng.Rng.of_int 9 in
+  let xs = [ 10; 20; 30 ] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (List.mem (Prng.Rng.choose g xs) xs)
+  done
+
+let test_subset_is_subsequence () =
+  let g = Prng.Rng.of_int 10 in
+  let xs = [ 1; 2; 3; 4; 5; 6 ] in
+  for _ = 1 to 200 do
+    let s = Prng.Rng.subset g xs in
+    let rec is_subseq s xs =
+      match (s, xs) with
+      | [], _ -> true
+      | _, [] -> false
+      | a :: s', b :: xs' -> if a = b then is_subseq s' xs' else is_subseq s xs'
+    in
+    Alcotest.(check bool) "subsequence" true (is_subseq s xs)
+  done
+
+let test_sample_without_replacement () =
+  let g = Prng.Rng.of_int 11 in
+  let xs = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  for k = 0 to 10 do
+    let s = Prng.Rng.sample_without_replacement g k xs in
+    Alcotest.(check int) "size" (min k 8) (List.length s);
+    Alcotest.(check int) "distinct" (List.length s)
+      (List.length (List.sort_uniq compare s));
+    List.iter (fun x -> Alcotest.(check bool) "member" true (List.mem x xs)) s
+  done
+
+let test_geometric_support () =
+  let g = Prng.Rng.of_int 12 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "non-negative" true (Prng.Rng.geometric g ~p:0.3 >= 0)
+  done;
+  Alcotest.(check int) "p=1 is 0" 0 (Prng.Rng.geometric g ~p:1.0)
+
+let test_exponential_positive_mean () =
+  let g = Prng.Rng.of_int 13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Prng.Rng.exponential g ~mean:2.0 in
+    Alcotest.(check bool) "positive" true (v > 0.0);
+    sum := !sum +. v
+  done;
+  let m = !sum /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean close to 2 (got %f)" m) true
+    (m > 1.9 && m < 2.1)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "seed-sensitive" `Quick test_splitmix_seed_sensitivity;
+          Alcotest.test_case "copy-replays" `Quick test_splitmix_copy_replays;
+          Alcotest.test_case "split-independent" `Quick test_split_independence;
+        ] );
+      ( "pcg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_pcg_deterministic;
+          Alcotest.test_case "streams-differ" `Quick test_pcg_streams_differ;
+          Alcotest.test_case "next64" `Quick test_pcg_next64;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "int-bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in-bounds" `Quick test_int_in_bounds;
+          Alcotest.test_case "int-bad-bound" `Quick test_int_rejects_bad_bound;
+          Alcotest.test_case "int-uniform" `Quick test_int_uniformity;
+          Alcotest.test_case "float-bounds" `Quick test_float_bounds;
+          Alcotest.test_case "bool-balance" `Quick test_bool_balance;
+          Alcotest.test_case "permutation" `Quick test_permutation_is_permutation;
+          Alcotest.test_case "shuffle-multiset" `Quick test_shuffle_preserves_multiset;
+          Alcotest.test_case "choose-member" `Quick test_choose_member;
+          Alcotest.test_case "subset-subseq" `Quick test_subset_is_subsequence;
+          Alcotest.test_case "sample-wor" `Quick test_sample_without_replacement;
+          Alcotest.test_case "geometric" `Quick test_geometric_support;
+          Alcotest.test_case "exponential" `Quick test_exponential_positive_mean;
+        ] );
+    ]

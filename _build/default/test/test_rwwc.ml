@@ -1,0 +1,283 @@
+(* Correctness tests for the paper's Figure 1 algorithm: unit scenarios,
+   property tests over random schedules, and exhaustive model checking over
+   every crash schedule for small systems. *)
+
+open Model
+open Sync_sim
+open Helpers
+
+let sched l =
+  Schedule.of_list
+    (List.map (fun (p, r, pt) -> (Pid.of_int p, Crash.make ~round:r pt)) l)
+
+let decision res pid =
+  match Run_result.status res (Pid.of_int pid) with
+  | Run_result.Decided { value; at_round } -> (value, at_round)
+  | Run_result.Crashed _ -> Alcotest.fail "unexpectedly crashed"
+  | Run_result.Undecided -> Alcotest.fail "unexpectedly undecided"
+
+let test_one_round_no_crash () =
+  (* If p1 does not crash, everyone decides p1's proposal in round 1. *)
+  let res =
+    run_rwwc ~n:5 ~t:3 ~schedule:Schedule.empty ~proposals:[| 7; 1; 2; 3; 4 |] ()
+  in
+  List.iter
+    (fun p -> Alcotest.(check (pair int int)) "decides 7 at round 1" (7, 1) (decision res p))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "one round" 1 res.Run_result.rounds_executed
+
+let test_second_coordinator_takes_over () =
+  (* p1 dies silently: p2 imposes its own proposal in round 2. *)
+  let res =
+    run_rwwc ~n:4 ~t:2
+      ~schedule:(sched [ (1, 1, Crash.Before_send) ])
+      ~proposals:[| 10; 20; 30; 40 |] ()
+  in
+  List.iter
+    (fun p -> Alcotest.(check (pair int int)) "decides 20 at round 2" (20, 2) (decision res p))
+    [ 2; 3; 4 ]
+
+let test_adopted_estimate_survives_coordinator () =
+  (* p1 delivers its estimate to p2 only, then dies without commit.  p2 has
+     adopted 10, so round 2 imposes 10 — the dead coordinator's value wins
+     through adoption. *)
+  let res =
+    run_rwwc ~n:4 ~t:2
+      ~schedule:(sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 2 ])) ])
+      ~proposals:[| 10; 20; 30; 40 |] ()
+  in
+  List.iter
+    (fun p -> Alcotest.(check (pair int int)) "decides 10 at round 2" (10, 2) (decision res p))
+    [ 2; 3; 4 ]
+
+let test_commit_prefix_decides_early () =
+  (* p1 completes its data step and its commit reaches only p4 (the first
+     element of the order p_n .. p_2).  p4 decides in round 1; the others
+     must still decide the same value in round 2 via p2 (which adopted 10). *)
+  let res =
+    run_rwwc ~n:4 ~t:2
+      ~schedule:(sched [ (1, 1, Crash.After_data 1) ])
+      ~proposals:[| 10; 20; 30; 40 |] ()
+  in
+  Alcotest.(check (pair int int)) "p4 decides in round 1" (10, 1) (decision res 4);
+  Alcotest.(check (pair int int)) "p3 decides in round 2" (10, 2) (decision res 3);
+  Alcotest.(check (pair int int)) "p2 decides in round 2" (10, 2) (decision res 2)
+
+let test_silent_killer_forces_f_plus_1 () =
+  (* The tightness schedule of Theorem 4: f silent coordinators force every
+     decision to round exactly f + 1. *)
+  let n = 6 in
+  for f = 0 to n - 2 do
+    let res =
+      run_rwwc ~n ~t:(n - 2)
+        ~schedule:(Adversary.Strategies.coordinator_killer ~n ~f ~style:Adversary.Strategies.Silent)
+        ~proposals:(Engine.distinct_proposals n) ()
+    in
+    check_consensus ~context:(Printf.sprintf "silent killer f=%d" f) ~bound:(f + 1) res;
+    List.iter
+      (fun p ->
+        let v, r = decision res p in
+        Alcotest.(check int) (Printf.sprintf "f=%d p%d decides at f+1" f p) (f + 1) r;
+        Alcotest.(check int) (Printf.sprintf "f=%d p%d decides v_{f+1}" f p) (f + 1) v)
+      (List.init (n - f) (fun k -> f + 1 + k))
+  done
+
+let test_greedy_killer_locks_first_value () =
+  (* Theorem 2's worst-case schedule: every dying coordinator completes its
+     data step, so the very first coordinator's value is adopted and every
+     subsequent coordinator re-imposes it. *)
+  let n = 6 and f = 3 in
+  let res =
+    run_rwwc ~n ~t:4
+      ~schedule:(Adversary.Strategies.coordinator_killer ~n ~f ~style:Adversary.Strategies.Greedy)
+      ~proposals:[| 100; 2; 3; 4; 5; 6 |] ()
+  in
+  check_consensus ~context:"greedy killer" ~bound:(f + 1) res;
+  Alcotest.(check (list int)) "decided value is p1's" [ 100 ]
+    (Run_result.decided_values res);
+  (* Commits reached p_{f+2}..p_n in round 1 already; p_{f+1} is kept
+     undecided and wraps up in its own round. *)
+  List.iter
+    (fun p ->
+      let _, r = decision res p in
+      Alcotest.(check int) (Printf.sprintf "p%d decided round 1" p) 1 r)
+    [ 5; 6 ];
+  let _, r4 = decision res 4 in
+  Alcotest.(check int) "p4 decides in its own round" (f + 1) r4
+
+let test_teasing_killer_churns_estimates () =
+  (* The teasing adversary delivers each dying coordinator's estimate to the
+     k highest-id processes and never a commit: estimates keep being
+     overwritten, yet uniform consensus must hold and the survivor chain
+     settles on the last teaser's value. *)
+  let n = 6 and f = 3 and k = 2 in
+  let res =
+    run_rwwc ~n ~t:4
+      ~schedule:
+        (Adversary.Strategies.coordinator_killer ~n ~f
+           ~style:(Adversary.Strategies.Teasing k))
+      ~proposals:[| 10; 20; 30; 40; 50; 60 |] ()
+  in
+  check_consensus ~context:"teasing killer" ~bound:(f + 1) res;
+  (* p5 and p6 (the two highest) received every teaser's estimate; the last
+     teaser was p3, so the round-4 coordinator p4 imposes... p4 itself never
+     received any teaser value (k = 2 reaches only p5, p6), so it imposes
+     its own proposal. *)
+  Alcotest.(check (list int)) "p4's own value wins" [ 40 ]
+    (Run_result.decided_values res);
+  List.iter
+    (fun p ->
+      let _, r = decision res p in
+      Alcotest.(check int) (Printf.sprintf "p%d decides at f+1" p) (f + 1) r)
+    [ 4; 5; 6 ]
+
+let test_coordinator_decides_even_if_alone () =
+  (* n=2: p2 crashes before sending in round 1... p1 is coordinator and
+     decides its own value immediately regardless. *)
+  let res =
+    run_rwwc ~n:2 ~t:1
+      ~schedule:(sched [ (2, 1, Crash.Before_send) ])
+      ~proposals:[| 5; 9 |] ()
+  in
+  Alcotest.(check (pair int int)) "p1 decides own value" (5, 1) (decision res 1)
+
+let test_last_coordinator_correct () =
+  (* All of p1..p_t crash silently; p_{t+1} must still wrap up at t+1. *)
+  let n = 5 and t = 3 in
+  let res =
+    run_rwwc ~n ~t
+      ~schedule:(Adversary.Strategies.coordinator_killer ~n ~f:t ~style:Adversary.Strategies.Silent)
+      ~proposals:[| 1; 2; 3; 4; 5 |] ()
+  in
+  Alcotest.(check (pair int int)) "p4 decides own value at t+1" (4, 4) (decision res 4);
+  Alcotest.(check (pair int int)) "p5 follows" (4, 4) (decision res 5)
+
+let test_message_pattern_matches_figure1 () =
+  (* Only the coordinator sends; data goes to higher ids; commits from p_n
+     downwards.  Verified on the trace of a failure-free run. *)
+  let res =
+    run_rwwc ~record_trace:true ~n:4 ~t:2 ~schedule:Schedule.empty
+      ~proposals:[| 1; 2; 3; 4 |] ()
+  in
+  let data_sends =
+    List.filter_map
+      (function
+        | Trace.Data_sent { from; dest; _ } -> Some (Pid.to_int from, Pid.to_int dest)
+        | _ -> None)
+      res.Run_result.trace
+  and sync_sends =
+    List.filter_map
+      (function
+        | Trace.Sync_sent { from; dest; _ } -> Some (Pid.to_int from, Pid.to_int dest)
+        | _ -> None)
+      res.Run_result.trace
+  in
+  Alcotest.(check (list (pair int int))) "data: p1 to p2,p3,p4 in order"
+    [ (1, 2); (1, 3); (1, 4) ] data_sends;
+  Alcotest.(check (list (pair int int))) "commits: p1 to p4,p3,p2 in order"
+    [ (1, 4); (1, 3); (1, 2) ] sync_sends
+
+let test_bit_accounting_best_case () =
+  (* Theorem 2 best case: (n-1) data messages of |v| bits and (n-1) one-bit
+     commits. *)
+  let n = 7 and value_bits = 16 in
+  let res =
+    run_rwwc ~value_bits ~n ~t:5 ~schedule:Schedule.empty
+      ~proposals:(Engine.distinct_proposals n) ()
+  in
+  Alcotest.(check int) "total bits" ((n - 1) * (value_bits + 1))
+    (Run_result.total_bits res)
+
+(* --- Property tests ------------------------------------------------------ *)
+
+let prop_uniform_consensus =
+  qtest ~count:800 "random schedules: uniform consensus in <= f+1 rounds"
+    QCheck2.Gen.(
+      map (fun s -> s) (scenario_gen ~model:Model_kind.Extended ()))
+    (fun s ->
+      let res =
+        run_rwwc ~n:s.n ~t:s.t ~schedule:s.schedule ~proposals:s.proposals ()
+      in
+      let bound = f_actual res + 1 in
+      match
+        Spec.Properties.failures
+          (Spec.Properties.uniform_consensus ~bound res)
+      with
+      | [] -> true
+      | c :: _ ->
+        QCheck2.Test.fail_reportf "%s on %s"
+          (Format.asprintf "%a" Spec.Properties.pp_check c)
+          (scenario_print s))
+
+let prop_decision_value_is_adopted_chain =
+  qtest ~count:400 "decided value is the estimate of a coordinator"
+    (scenario_gen ~model:Model_kind.Extended ())
+    (fun s ->
+      let res =
+        run_rwwc ~n:s.n ~t:s.t ~schedule:s.schedule ~proposals:s.proposals ()
+      in
+      (* Validity refined: the decided value must be the proposal of some
+         process with id <= the first deciding round's coordinator. *)
+      match Run_result.decisions res with
+      | [] -> true
+      | decisions ->
+        let first_round =
+          List.fold_left (fun acc (_, _, r) -> min acc r) max_int decisions
+        in
+        List.for_all
+          (fun (_, v, _) ->
+            (* value proposed by one of p_1 .. p_{first_round} *)
+            Array.exists (Int.equal v)
+              (Array.sub s.proposals 0 first_round))
+          decisions)
+
+(* --- Exhaustive model check ---------------------------------------------- *)
+
+let exhaustive ~n ~max_f ~max_round () =
+  let proposals = Engine.distinct_proposals n in
+  let count = ref 0 in
+  Seq.iter
+    (fun schedule ->
+      incr count;
+      let res = run_rwwc ~n ~t:(n - 2) ~schedule ~proposals () in
+      let bound = f_actual res + 1 in
+      Spec.Properties.assert_ok
+        ~context:(Printf.sprintf "n=%d schedule=%s" n (Schedule.to_string schedule))
+        (Spec.Properties.uniform_consensus ~bound res))
+    (Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n ~max_f ~max_round);
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d schedules" !count)
+    true (!count > 10)
+
+let test_exhaustive_n3 () = exhaustive ~n:3 ~max_f:1 ~max_round:2 ()
+let test_exhaustive_n4 () = exhaustive ~n:4 ~max_f:2 ~max_round:3 ()
+let test_exhaustive_n5_single_fault () = exhaustive ~n:5 ~max_f:1 ~max_round:2 ()
+let test_exhaustive_n5_two_faults () = exhaustive ~n:5 ~max_f:2 ~max_round:3 ()
+
+let () =
+  Alcotest.run "rwwc"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "one-round" `Quick test_one_round_no_crash;
+          Alcotest.test_case "takeover" `Quick test_second_coordinator_takes_over;
+          Alcotest.test_case "adoption" `Quick test_adopted_estimate_survives_coordinator;
+          Alcotest.test_case "commit-prefix" `Quick test_commit_prefix_decides_early;
+          Alcotest.test_case "silent-killer" `Quick test_silent_killer_forces_f_plus_1;
+          Alcotest.test_case "greedy-killer" `Quick test_greedy_killer_locks_first_value;
+          Alcotest.test_case "teasing-killer" `Quick test_teasing_killer_churns_estimates;
+          Alcotest.test_case "lonely-coordinator" `Quick test_coordinator_decides_even_if_alone;
+          Alcotest.test_case "last-coordinator" `Quick test_last_coordinator_correct;
+          Alcotest.test_case "figure1-pattern" `Quick test_message_pattern_matches_figure1;
+          Alcotest.test_case "best-case-bits" `Quick test_bit_accounting_best_case;
+        ] );
+      ( "properties",
+        [ prop_uniform_consensus; prop_decision_value_is_adopted_chain ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "n=3 all schedules" `Quick test_exhaustive_n3;
+          Alcotest.test_case "n=4 all schedules" `Slow test_exhaustive_n4;
+          Alcotest.test_case "n=5 single fault" `Quick test_exhaustive_n5_single_fault;
+          Alcotest.test_case "n=5 two faults" `Slow test_exhaustive_n5_two_faults;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the FIFO network and the Chandy–Lamport snapshot. *)
+
+open Model
+
+(* --- FIFO network --------------------------------------------------------- *)
+
+let test_fifo_order () =
+  let net = Snapshot.Fifo_net.create ~n:3 in
+  let p1 = Pid.of_int 1 and p2 = Pid.of_int 2 in
+  Snapshot.Fifo_net.send net ~from:p1 ~dest:p2 "a";
+  Snapshot.Fifo_net.send net ~from:p1 ~dest:p2 "b";
+  Snapshot.Fifo_net.send net ~from:p1 ~dest:p2 "c";
+  Alcotest.(check (option string)) "a first" (Some "a")
+    (Snapshot.Fifo_net.deliver net ~from:p1 ~dest:p2);
+  Alcotest.(check (option string)) "b second" (Some "b")
+    (Snapshot.Fifo_net.deliver net ~from:p1 ~dest:p2);
+  Alcotest.(check int) "one left" 1
+    (Snapshot.Fifo_net.channel_length net ~from:p1 ~dest:p2)
+
+let test_fifo_channels_independent () =
+  let net = Snapshot.Fifo_net.create ~n:3 in
+  let p1 = Pid.of_int 1 and p2 = Pid.of_int 2 and p3 = Pid.of_int 3 in
+  Snapshot.Fifo_net.send net ~from:p1 ~dest:p2 "to2";
+  Snapshot.Fifo_net.send net ~from:p1 ~dest:p3 "to3";
+  Snapshot.Fifo_net.send net ~from:p2 ~dest:p1 "back";
+  Alcotest.(check int) "three in flight" 3 (Snapshot.Fifo_net.in_flight net);
+  Alcotest.(check (option string)) "directed" (Some "to3")
+    (Snapshot.Fifo_net.deliver net ~from:p1 ~dest:p3)
+
+let test_fifo_rejects_self_channel () =
+  let net = Snapshot.Fifo_net.create ~n:2 in
+  Alcotest.(check bool) "self channel" true
+    (try
+       Snapshot.Fifo_net.send net ~from:(Pid.of_int 1) ~dest:(Pid.of_int 1) "x";
+       false
+     with Invalid_argument _ -> true)
+
+let test_fifo_random_delivery_drains () =
+  let rng = Prng.Rng.of_int 3 in
+  let net = Snapshot.Fifo_net.create ~n:4 in
+  for i = 1 to 4 do
+    for j = 1 to 4 do
+      if i <> j then
+        Snapshot.Fifo_net.send net ~from:(Pid.of_int i) ~dest:(Pid.of_int j) (i, j)
+    done
+  done;
+  let seen = ref 0 in
+  let rec drain () =
+    match Snapshot.Fifo_net.deliver_random rng net with
+    | Some (from, dest, (i, j)) ->
+      Alcotest.(check (pair int int)) "payload matches channel"
+        (Pid.to_int from, Pid.to_int dest)
+        (i, j);
+      incr seen;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all delivered" 12 !seen;
+  Alcotest.(check int) "empty" 0 (Snapshot.Fifo_net.in_flight net)
+
+(* --- Chandy–Lamport ------------------------------------------------------- *)
+
+let test_snapshot_conservation_default () =
+  let r = Snapshot.Chandy_lamport.run (Snapshot.Chandy_lamport.config ~n:4 ()) in
+  Alcotest.(check int) "expected total" 40 r.Snapshot.Chandy_lamport.expected_total;
+  Alcotest.(check bool) "conservation" true r.Snapshot.Chandy_lamport.conservation_ok;
+  Alcotest.(check bool) "consistent cut" true r.Snapshot.Chandy_lamport.consistent_cut;
+  Alcotest.(check int) "final balances conserve too" 40
+    r.Snapshot.Chandy_lamport.final_balance_total
+
+let test_snapshot_many_seeds () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun n ->
+          let r =
+            Snapshot.Chandy_lamport.run
+              (Snapshot.Chandy_lamport.config ~n ~seed ())
+          in
+          let ctx = Printf.sprintf "n=%d seed=%d" n seed in
+          Alcotest.(check bool) (ctx ^ " conservation") true
+            r.Snapshot.Chandy_lamport.conservation_ok;
+          Alcotest.(check bool) (ctx ^ " consistency") true
+            r.Snapshot.Chandy_lamport.consistent_cut;
+          Alcotest.(check int) (ctx ^ " markers = n(n-1)") (n * (n - 1))
+            r.Snapshot.Chandy_lamport.markers_sent)
+        [ 2; 3; 5; 8 ])
+    [ 1; 2; 3; 17; 42; 99; 1234 ]
+
+let test_snapshot_early_initiation () =
+  (* Initiating before any transfer: the snapshot equals the initial
+     distribution with empty channels. *)
+  let r =
+    Snapshot.Chandy_lamport.run
+      (Snapshot.Chandy_lamport.config ~n:3 ~initiate_at:0 ~total_steps:200 ())
+  in
+  Alcotest.(check bool) "conservation" true r.Snapshot.Chandy_lamport.conservation_ok;
+  Alcotest.(check bool) "consistent" true r.Snapshot.Chandy_lamport.consistent_cut
+
+let test_snapshot_late_initiation () =
+  let r =
+    Snapshot.Chandy_lamport.run
+      (Snapshot.Chandy_lamport.config ~n:5 ~initiate_at:390 ~total_steps:400 ())
+  in
+  Alcotest.(check bool) "conservation" true r.Snapshot.Chandy_lamport.conservation_ok
+
+let test_snapshot_captures_in_flight_sometimes () =
+  (* Over a pool of seeds, at least one snapshot must record tokens in
+     transit — otherwise the channel-recording machinery is dead code. *)
+  let any_in_flight =
+    List.exists
+      (fun seed ->
+        let r =
+          Snapshot.Chandy_lamport.run
+            (Snapshot.Chandy_lamport.config ~n:5 ~seed ())
+        in
+        r.Snapshot.Chandy_lamport.snapshot.Snapshot.Chandy_lamport.channels <> [])
+      (List.init 20 (fun i -> i + 1))
+  in
+  Alcotest.(check bool) "some snapshot catches in-flight tokens" true any_in_flight
+
+let test_config_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "n too small" true
+    (invalid (fun () -> Snapshot.Chandy_lamport.config ~n:1 ()));
+  Alcotest.(check bool) "initiation outside run" true
+    (invalid (fun () ->
+         Snapshot.Chandy_lamport.config ~n:3 ~initiate_at:500 ~total_steps:400 ()))
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "fifo-net",
+        [
+          Alcotest.test_case "order" `Quick test_fifo_order;
+          Alcotest.test_case "independence" `Quick test_fifo_channels_independent;
+          Alcotest.test_case "self-channel" `Quick test_fifo_rejects_self_channel;
+          Alcotest.test_case "random-drain" `Quick test_fifo_random_delivery_drains;
+        ] );
+      ( "chandy-lamport",
+        [
+          Alcotest.test_case "conservation" `Quick test_snapshot_conservation_default;
+          Alcotest.test_case "many-seeds" `Quick test_snapshot_many_seeds;
+          Alcotest.test_case "early" `Quick test_snapshot_early_initiation;
+          Alcotest.test_case "late" `Quick test_snapshot_late_initiation;
+          Alcotest.test_case "in-flight" `Quick test_snapshot_captures_in_flight_sometimes;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
+    ]

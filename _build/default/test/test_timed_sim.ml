@@ -1,0 +1,267 @@
+(* Tests for the continuous-time substrate: heap ordering and the
+   discrete-event engine's delivery, timer, crash and tie-break semantics. *)
+
+open Model
+open Timed_sim
+
+(* --- Heap ----------------------------------------------------------------- *)
+
+let test_heap_orders_by_time () =
+  let h = Heap.create () in
+  List.iter (fun t -> Heap.add h ~time:t ~rank:0 (int_of_float t))
+    [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let popped = List.init 5 (fun _ -> Heap.pop h) in
+  Alcotest.(check (list (option (pair (float 0.0) int)))) "sorted"
+    [ Some (1.0, 1); Some (2.0, 2); Some (3.0, 3); Some (4.0, 4); Some (5.0, 5) ]
+    popped;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_rank_tiebreak () =
+  let h = Heap.create () in
+  Heap.add h ~time:1.0 ~rank:2 "timer";
+  Heap.add h ~time:1.0 ~rank:0 "msg";
+  Heap.add h ~time:1.0 ~rank:1 "fd";
+  Alcotest.(check (option (pair (float 0.0) string))) "msg first" (Some (1.0, "msg")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "fd second" (Some (1.0, "fd")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "timer last" (Some (1.0, "timer")) (Heap.pop h)
+
+let test_heap_insertion_order_tiebreak () =
+  let h = Heap.create () in
+  Heap.add h ~time:1.0 ~rank:0 "first";
+  Heap.add h ~time:1.0 ~rank:0 "second";
+  Alcotest.(check (option (pair (float 0.0) string))) "fifo" (Some (1.0, "first")) (Heap.pop h)
+
+let test_heap_random_sorted =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"heap pops in nondecreasing key order"
+       QCheck2.Gen.(list_size (int_range 0 200) (float_bound_inclusive 1000.0))
+       (fun times ->
+         let h = Heap.create () in
+         List.iter (fun t -> Heap.add h ~time:t ~rank:0 ()) times;
+         let rec drain acc =
+           match Heap.pop h with
+           | None -> List.rev acc
+           | Some (t, ()) -> drain (t :: acc)
+         in
+         let out = drain [] in
+         List.length out = List.length times
+         && out = List.sort Float.compare times))
+
+(* --- Engine probe --------------------------------------------------------- *)
+
+module Probe = struct
+  type msg = Hello of int
+
+  type state = { me : int; got : int }
+
+  let name = "probe"
+  let pp_msg ppf (Hello v) = Format.fprintf ppf "hello(%d)" v
+
+  let init (_ : Process_intf.ctx) ~me ~proposal =
+    let me = Pid.to_int me in
+    let actions =
+      if me = 1 then
+        [
+          Process_intf.Send (Pid.of_int 2, Hello proposal);
+          Process_intf.Set_timer { at = 10.0; tag = 7 };
+        ]
+      else []
+    in
+    ({ me; got = 0 }, actions)
+
+  let on_message state ~now:_ ~from:_ (Hello v) =
+    (state, [ Process_intf.Decide v ])
+
+  let on_timer state ~now:_ ~tag = (state, [ Process_intf.Decide (100 + tag) ])
+
+  let on_suspicion state ~now:_ ~suspects:_ = (state, [])
+end
+
+module Runner = Timed_engine.Make (Probe)
+
+let cfg ?latency ?crashes ?deadline ?seed () =
+  Timed_engine.config ?latency ?crashes ?deadline ?seed ~n:2 ~t:1
+    ~proposals:[| 42; 9 |] ()
+
+let outcome res i = res.Timed_engine.outcomes.(i - 1)
+
+let test_message_latency () =
+  let res = Runner.run (cfg ~latency:(Timed_engine.Fixed 5.0) ()) in
+  (match outcome res 2 with
+  | Timed_engine.Decided { value; at } ->
+    Alcotest.(check int) "value" 42 value;
+    Alcotest.(check (float 1e-9)) "arrival time" 5.0 at
+  | _ -> Alcotest.fail "p2 should decide");
+  match outcome res 1 with
+  | Timed_engine.Decided { value; at } ->
+    Alcotest.(check int) "timer decision" 107 value;
+    Alcotest.(check (float 1e-9)) "timer time" 10.0 at
+  | _ -> Alcotest.fail "p1 should decide on its timer"
+
+let test_crash_drops_events () =
+  let res =
+    Runner.run
+      (cfg ~latency:(Timed_engine.Fixed 5.0)
+         ~crashes:[ { Timed_engine.victim = Pid.of_int 2; at = 3.0; batch_prefix = 0 } ]
+         ())
+  in
+  match outcome res 2 with
+  | Timed_engine.Crashed { at } -> Alcotest.(check (float 1e-9)) "crash time" 3.0 at
+  | _ -> Alcotest.fail "p2 should be crashed"
+
+let test_crash_batch_prefix () =
+  (* p1 crashes at time 0 (its init batch): prefix 0 sends nothing, prefix 1
+     lets the Hello out. *)
+  let run prefix =
+    Runner.run
+      (cfg ~latency:(Timed_engine.Fixed 5.0)
+         ~crashes:[ { Timed_engine.victim = Pid.of_int 1; at = 0.0; batch_prefix = prefix } ]
+         ())
+  in
+  let res0 = run 0 in
+  Alcotest.(check int) "nothing sent" 0 res0.Timed_engine.msgs_sent;
+  (match outcome res0 2 with
+  | Timed_engine.Undecided -> ()
+  | _ -> Alcotest.fail "p2 should be undecided");
+  let res1 = run 1 in
+  Alcotest.(check int) "one message out" 1 res1.Timed_engine.msgs_sent;
+  match outcome res1 2 with
+  | Timed_engine.Decided { value; _ } -> Alcotest.(check int) "value" 42 value
+  | _ -> Alcotest.fail "p2 should decide"
+
+let test_deadline () =
+  let res =
+    Runner.run (cfg ~latency:(Timed_engine.Fixed 5.0) ~deadline:4.0 ()) in
+  match outcome res 2 with
+  | Timed_engine.Undecided -> ()
+  | _ -> Alcotest.fail "message after deadline must not be processed"
+
+let test_determinism () =
+  let go () =
+    let res =
+      Runner.run
+        (cfg ~latency:(Timed_engine.Uniform { lo = 1.0; hi = 9.0 }) ~seed:99L ())
+    in
+    Timed_engine.decisions res
+  in
+  Alcotest.(check bool) "same seed, same run" true (go () = go ())
+
+(* Tie-break check: a message arriving at exactly a timer's time is
+   processed first. *)
+module Tie = struct
+  type msg = Ping
+
+  type state = { me : int; got_ping : bool }
+
+  let name = "tie"
+  let pp_msg ppf Ping = Format.pp_print_string ppf "ping"
+
+  let init (_ : Process_intf.ctx) ~me ~proposal:_ =
+    let me = Pid.to_int me in
+    let actions =
+      if me = 1 then [ Process_intf.Send (Pid.of_int 2, Ping) ]
+      else [ Process_intf.Set_timer { at = 5.0; tag = 0 } ]
+    in
+    ({ me; got_ping = false }, actions)
+
+  let on_message state ~now:_ ~from:_ Ping = ({ state with got_ping = true }, [])
+
+  let on_timer state ~now:_ ~tag:_ =
+    (state, [ Process_intf.Decide (if state.got_ping then 1 else 0) ])
+
+  let on_suspicion state ~now:_ ~suspects:_ = (state, [])
+end
+
+module Tie_runner = Timed_engine.Make (Tie)
+
+let test_message_beats_timer_at_tie () =
+  let res =
+    Tie_runner.run
+      (Timed_engine.config ~latency:(Timed_engine.Fixed 5.0) ~n:2 ~t:1
+         ~proposals:[| 0; 0 |] ())
+  in
+  match res.Timed_engine.outcomes.(1) with
+  | Timed_engine.Decided { value; _ } ->
+    Alcotest.(check int) "ping seen before timer" 1 value
+  | _ -> Alcotest.fail "p2 should decide"
+
+let test_fd_plan_delivery () =
+  (* FD updates reach on_suspicion; use a probe that decides on first
+     suspicion. *)
+  let module Fd_probe = struct
+    type msg = unit
+
+    type state = unit
+
+    let name = "fd-probe"
+    let pp_msg ppf () = Format.pp_print_string ppf "unit"
+    let init (_ : Process_intf.ctx) ~me:_ ~proposal:_ = ((), [])
+    let on_message state ~now:_ ~from:_ () = (state, [])
+    let on_timer state ~now:_ ~tag:_ = (state, [])
+
+    let on_suspicion state ~now:_ ~suspects =
+      (state, [ Process_intf.Decide (Pid.Set.cardinal suspects) ])
+  end in
+  let module R = Timed_engine.Make (Fd_probe) in
+  let res =
+    R.run
+      (Timed_engine.config ~n:2 ~t:1 ~proposals:[| 0; 0 |]
+         ~fd_plan:
+           [
+             {
+               Timed_engine.observer = Pid.of_int 1;
+               at = 2.5;
+               suspects = Pid.set_of_ints [ 2 ];
+             };
+           ]
+         ())
+  in
+  match res.Timed_engine.outcomes.(0) with
+  | Timed_engine.Decided { value; at } ->
+    Alcotest.(check int) "one suspect" 1 value;
+    Alcotest.(check (float 1e-9)) "at plan time" 2.5 at
+  | _ -> Alcotest.fail "p1 should see the fd update"
+
+let test_config_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad latency" true
+    (invalid (fun () ->
+         Timed_engine.config ~latency:(Timed_engine.Fixed 0.0) ~n:2 ~t:1
+           ~proposals:[| 1; 2 |] ()));
+  Alcotest.(check bool) "duplicate victim" true
+    (invalid (fun () ->
+         Timed_engine.config
+           ~crashes:
+             [
+               { Timed_engine.victim = Pid.of_int 1; at = 1.0; batch_prefix = 0 };
+               { Timed_engine.victim = Pid.of_int 1; at = 2.0; batch_prefix = 0 };
+             ]
+           ~n:2 ~t:1 ~proposals:[| 1; 2 |] ()));
+  Alcotest.(check bool) "bad uniform" true
+    (invalid (fun () ->
+         Timed_engine.config
+           ~latency:(Timed_engine.Uniform { lo = 5.0; hi = 1.0 })
+           ~n:2 ~t:1 ~proposals:[| 1; 2 |] ()))
+
+let () =
+  Alcotest.run "timed_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "time-order" `Quick test_heap_orders_by_time;
+          Alcotest.test_case "rank-tiebreak" `Quick test_heap_rank_tiebreak;
+          Alcotest.test_case "fifo-tiebreak" `Quick test_heap_insertion_order_tiebreak;
+          test_heap_random_sorted;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "latency" `Quick test_message_latency;
+          Alcotest.test_case "crash-drops" `Quick test_crash_drops_events;
+          Alcotest.test_case "batch-prefix" `Quick test_crash_batch_prefix;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "tie-break" `Quick test_message_beats_timer_at_tie;
+          Alcotest.test_case "fd-plan" `Quick test_fd_plan_delivery;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
+    ]

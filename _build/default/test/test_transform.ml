@@ -1,0 +1,137 @@
+(* Tests for the Section 2.2 computability-equivalence constructions:
+   Extended_on_classic (the interesting direction) and Classic_on_extended. *)
+
+open Model
+open Sync_sim
+open Helpers
+
+module Compiled = Core.Extended_on_classic.Make (Core.Rwwc)
+module Compiled_runner = Engine.Make (Compiled)
+module Wrapped_flood = Core.Classic_on_extended.Make (Baselines.Flood_set)
+module Wrapped_runner = Engine.Make (Wrapped_flood)
+
+let sched l =
+  Schedule.of_list
+    (List.map (fun (p, r, pt) -> (Pid.of_int p, Crash.make ~round:r pt)) l)
+
+let run_compiled ~n ~t ~ext_schedule ~proposals () =
+  let schedule = Compiled.translate_schedule ~n ext_schedule in
+  Compiled_runner.run
+    (Engine.config ~max_rounds:(n * (t + 2)) ~schedule ~n ~t ~proposals ())
+
+let decisions_as_extended ~n res =
+  List.map
+    (fun (pid, v, r) -> (Pid.to_int pid, v, Compiled.to_extended_round ~n r))
+    (Run_result.decisions res)
+
+let native_decisions res =
+  List.map (fun (pid, v, r) -> (Pid.to_int pid, v, r)) (Run_result.decisions res)
+
+let test_round_mapping () =
+  Alcotest.(check int) "block size" 4 (Compiled.block_size ~n:4);
+  Alcotest.(check int) "round 1 -> 1" 1 (Compiled.to_extended_round ~n:4 1);
+  Alcotest.(check int) "round 4 -> 1" 1 (Compiled.to_extended_round ~n:4 4);
+  Alcotest.(check int) "round 5 -> 2" 2 (Compiled.to_extended_round ~n:4 5)
+
+let test_no_crash_same_decisions () =
+  let n = 4 and t = 2 in
+  let proposals = [| 9; 2; 3; 4 |] in
+  let native =
+    run_rwwc ~n ~t ~schedule:Schedule.empty ~proposals ()
+  in
+  let compiled = run_compiled ~n ~t ~ext_schedule:Schedule.empty ~proposals () in
+  Alcotest.(check (list (triple int int int))) "same decisions"
+    (native_decisions native)
+    (decisions_as_extended ~n compiled);
+  (* The compiled run pays the blow-up: n classic rounds per extended one. *)
+  Alcotest.(check int) "n sub-rounds" n compiled.Run_result.rounds_executed
+
+let equivalent_on ~n ~t ~proposals ext_schedule =
+  let native = run_rwwc ~n ~t ~schedule:ext_schedule ~proposals () in
+  let compiled = run_compiled ~n ~t ~ext_schedule ~proposals () in
+  Alcotest.(check (list (triple int int int)))
+    (Printf.sprintf "decisions match on %s" (Schedule.to_string ext_schedule))
+    (native_decisions native)
+    (decisions_as_extended ~n compiled)
+
+let test_crash_scenarios_match_native () =
+  let n = 4 and t = 2 in
+  let proposals = [| 10; 20; 30; 40 |] in
+  List.iter
+    (equivalent_on ~n ~t ~proposals)
+    [
+      sched [ (1, 1, Crash.Before_send) ];
+      sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 2 ])) ];
+      sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 3; 4 ])) ];
+      sched [ (1, 1, Crash.After_data 0) ];
+      sched [ (1, 1, Crash.After_data 1) ];
+      sched [ (1, 1, Crash.After_data 2) ];
+      sched [ (1, 1, Crash.After_data 3) ];
+      sched [ (1, 1, Crash.After_send) ];
+      sched [ (1, 1, Crash.After_data 1); (2, 2, Crash.Before_send) ];
+      sched [ (1, 1, Crash.Before_send); (2, 2, Crash.During_data (Pid.set_of_ints [ 3 ])) ];
+    ]
+
+let test_exhaustive_equivalence_n3 () =
+  (* Every extended schedule for n=3 produces identical decisions natively
+     and through the compilation. *)
+  let n = 3 and t = 1 in
+  let proposals = [| 5; 6; 7 |] in
+  Seq.iter
+    (fun ext_schedule -> equivalent_on ~n ~t ~proposals ext_schedule)
+    (Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n ~max_f:1
+       ~max_round:2)
+
+let prop_compiled_uniform_consensus =
+  qtest ~count:200 "compiled rwwc still solves uniform consensus"
+    QCheck2.Gen.(map (fun s -> s) (scenario_gen ~min_n:3 ~max_n:6 ~model:Model_kind.Extended ()))
+    (fun s ->
+      let res = run_compiled ~n:s.n ~t:s.t ~ext_schedule:s.schedule ~proposals:s.proposals () in
+      match Spec.Properties.failures (Spec.Properties.uniform_consensus res) with
+      | [] -> true
+      | c :: _ ->
+        QCheck2.Test.fail_reportf "%s on %s"
+          (Format.asprintf "%a" Spec.Properties.pp_check c)
+          (scenario_print s))
+
+let test_classic_on_extended_flood () =
+  (* The trivial embedding: FloodSet under the extended engine, including an
+     extended-only crash point, which degrades to After_send for an
+     algorithm that sends no control messages. *)
+  let n = 4 and t = 2 in
+  let res =
+    Wrapped_runner.run
+      (Engine.config ~n ~t
+         ~schedule:(sched [ (1, 1, Crash.After_data 0) ])
+         ~proposals:[| 3; 5; 6; 7 |] ())
+  in
+  Spec.Properties.assert_ok ~context:"wrapped floodset"
+    (Spec.Properties.uniform_consensus ~bound:(t + 1) res);
+  Alcotest.(check (list int)) "decides 3 (data completed)" [ 3 ]
+    (Run_result.decided_values res)
+
+let test_compiled_bit_accounting () =
+  (* Control messages still cost one bit each through the compilation. *)
+  let n = 3 and t = 1 in
+  let res =
+    run_compiled ~n ~t ~ext_schedule:Schedule.empty ~proposals:[| 1; 2; 3 |] ()
+  in
+  (* p1 sends 2 data messages (32 bits each by default) and 2 one-bit
+     controls. *)
+  Alcotest.(check int) "bits" ((2 * 32) + 2) (Run_result.total_bits res)
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "extended-on-classic",
+        [
+          Alcotest.test_case "round-mapping" `Quick test_round_mapping;
+          Alcotest.test_case "no-crash" `Quick test_no_crash_same_decisions;
+          Alcotest.test_case "crash-scenarios" `Quick test_crash_scenarios_match_native;
+          Alcotest.test_case "exhaustive n=3" `Quick test_exhaustive_equivalence_n3;
+          prop_compiled_uniform_consensus;
+          Alcotest.test_case "bit-accounting" `Quick test_compiled_bit_accounting;
+        ] );
+      ( "classic-on-extended",
+        [ Alcotest.test_case "floodset" `Quick test_classic_on_extended_flood ] );
+    ]

@@ -1,0 +1,119 @@
+(* Tests for the ablation variants: each must break exactly the property the
+   analysis predicts, and nothing more. *)
+
+open Model
+open Sync_sim
+
+module Asc_runner = Engine.Make (Core.Rwwc_variants.Ascending_commit)
+module Nocommit_runner = Engine.Make (Core.Rwwc_variants.Data_decide)
+module Piggy_runner = Engine.Make (Core.Rwwc_variants.Piggyback_commit)
+
+let sched l =
+  Schedule.of_list
+    (List.map (fun (p, r, pt) -> (Pid.of_int p, Crash.make ~round:r pt)) l)
+
+let cfg ?(n = 4) ?(t = 2) schedule =
+  Engine.config ~schedule ~n ~t ~proposals:(Engine.distinct_proposals n) ()
+
+(* On failure-free runs every variant behaves exactly like the paper's
+   algorithm: one round, coordinator's value. *)
+let test_variants_agree_without_crashes () =
+  let check name res =
+    Alcotest.(check (list int)) (name ^ " decides 1") [ 1 ]
+      (Run_result.decided_values res);
+    Alcotest.(check int) (name ^ " one round") 1 res.Run_result.rounds_executed
+  in
+  check "ascending" (Asc_runner.run (cfg Schedule.empty));
+  check "no-commit" (Nocommit_runner.run (cfg Schedule.empty));
+  check "piggyback" (Piggy_runner.run (cfg Schedule.empty))
+
+(* Ascending commits: agreement survives but the f+1 bound (and with f = t,
+   termination) dies — the commit reaches the next coordinators first, which
+   halt as deciders and leave the tail stranded. *)
+let test_ascending_breaks_round_bound () =
+  let res =
+    Asc_runner.run (cfg (sched [ (1, 1, Crash.After_data 1) ]))
+  in
+  (* p2 decided in round 1 and halted; rounds 2 plays out empty; p3 takes
+     over only in round 3 — beyond f+1 = 2. *)
+  Alcotest.(check (list int)) "agreement still holds" [ 1 ]
+    (Run_result.decided_values res);
+  match Run_result.max_decision_round res with
+  | Some r -> Alcotest.(check bool) "decision after f+1" true (r > 2)
+  | None -> Alcotest.fail "expected decisions"
+
+let test_ascending_breaks_termination_at_f_eq_t () =
+  (* With t = 1 the run ends at round t+1 = 2 whose coordinator already
+     halted: p3 and p4 are correct but never decide. *)
+  let res =
+    Asc_runner.run (cfg ~t:1 (sched [ (1, 1, Crash.After_data 1) ]))
+  in
+  Alcotest.(check bool) "termination violated" false
+    (Run_result.all_correct_decided res)
+
+let test_ascending_never_disagrees () =
+  (* Exhaustive: ascending commits lose liveness, never safety. *)
+  Seq.iter
+    (fun schedule ->
+      let res = Asc_runner.run (cfg schedule) in
+      Spec.Properties.assert_ok
+        ~context:(Schedule.to_string schedule)
+        [ Spec.Properties.uniform_agreement res; Spec.Properties.validity res ])
+    (Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n:4 ~max_f:2
+       ~max_round:3)
+
+let test_no_commit_breaks_agreement () =
+  let res =
+    Nocommit_runner.run
+      (cfg (sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 4 ])) ]))
+  in
+  Alcotest.(check bool) "two decided values" true
+    (List.length (Run_result.decided_values res) >= 2)
+
+let test_piggyback_breaks_agreement () =
+  let res =
+    Piggy_runner.run
+      (cfg (sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 4 ])) ]))
+  in
+  Alcotest.(check bool) "two decided values" true
+    (List.length (Run_result.decided_values res) >= 2)
+
+(* The paper's own algorithm survives the prefix-ordered analogue of the
+   piggyback witness: the commit can never outrun the data. *)
+let test_paper_survives_the_same_attack () =
+  let module R = Engine.Make (Core.Rwwc) in
+  let res =
+    R.run (cfg (sched [ (1, 1, Crash.During_data (Pid.set_of_ints [ 4 ])) ]))
+  in
+  Spec.Properties.assert_ok ~context:"paper vs piggyback witness"
+    (Spec.Properties.uniform_consensus ~bound:2 res)
+
+let test_piggyback_bits_still_accounted () =
+  let res = Piggy_runner.run (cfg Schedule.empty) in
+  (* 3 data messages of 32 bits + 3 one-bit commits, all in the data step. *)
+  Alcotest.(check int) "bits" ((3 * 32) + 3) res.Run_result.data_bits;
+  Alcotest.(check int) "no sync-step messages" 0 res.Run_result.sync_msgs
+
+let () =
+  Alcotest.run "variants"
+    [
+      ( "ablations",
+        [
+          Alcotest.test_case "fault-free-equivalence" `Quick
+            test_variants_agree_without_crashes;
+          Alcotest.test_case "ascending-round-bound" `Quick
+            test_ascending_breaks_round_bound;
+          Alcotest.test_case "ascending-termination" `Quick
+            test_ascending_breaks_termination_at_f_eq_t;
+          Alcotest.test_case "ascending-safety-exhaustive" `Quick
+            test_ascending_never_disagrees;
+          Alcotest.test_case "no-commit-agreement" `Quick
+            test_no_commit_breaks_agreement;
+          Alcotest.test_case "piggyback-agreement" `Quick
+            test_piggyback_breaks_agreement;
+          Alcotest.test_case "paper-survives" `Quick
+            test_paper_survives_the_same_attack;
+          Alcotest.test_case "piggyback-bits" `Quick
+            test_piggyback_bits_still_accounted;
+        ] );
+    ]
