@@ -166,6 +166,35 @@ let bench_eff () =
 
 let bench_engine_large () = rwwc_run ~n:64 ~t:62 ~schedule:(silent ~n:64 ~f:16) ()
 
+(* Observer-layer overhead: the identical engine workload under the null
+   instrument and under real sinks.  "obs/rwwc-null-n32" must sit within
+   noise of "table-T1/rwwc-silent-n32-f6" (the same run through the default
+   config) — the null path allocates no events. *)
+
+let obs_cfg instrument =
+  Engine.config ~instrument ~schedule:(silent ~n:32 ~f:6) ~n:32 ~t:30
+    ~proposals:(Harness.Workloads.distinct 32) ()
+
+let bench_obs_null () =
+  ignore (Harness.Runners.Rwwc_runner.run (obs_cfg Obs.Instrument.null))
+
+let bench_obs_metrics () =
+  let m = Obs.Metrics.create () in
+  ignore (Harness.Runners.Rwwc_runner.run (obs_cfg (Obs.Metrics.instrument m)))
+
+let bench_obs_online () =
+  let guard =
+    Obs.Online_invariants.create ~n:32 ~t:30
+      ~proposals:(Harness.Workloads.distinct 32) ()
+  in
+  ignore
+    (Harness.Runners.Rwwc_runner.run
+       (obs_cfg (Obs.Online_invariants.instrument guard)))
+
+let bench_obs_trace () =
+  let ts = Obs.Trace_sink.create () in
+  ignore (Harness.Runners.Rwwc_runner.run (obs_cfg (Obs.Trace_sink.instrument ts)))
+
 let bench_floodset () =
   ignore
     (Harness.Runners.Flood_runner.run
@@ -197,6 +226,10 @@ let tests =
     Test.make ~name:"table-LAN/rwwc-on-lan-n8-f2" (Staged.stage bench_lan);
     Test.make ~name:"table-EFF/floodset-n32" (Staged.stage bench_eff);
     Test.make ~name:"engine/rwwc-n64-f16" (Staged.stage bench_engine_large);
+    Test.make ~name:"obs/rwwc-null-n32" (Staged.stage bench_obs_null);
+    Test.make ~name:"obs/rwwc-metrics-n32" (Staged.stage bench_obs_metrics);
+    Test.make ~name:"obs/rwwc-online-n32" (Staged.stage bench_obs_online);
+    Test.make ~name:"obs/rwwc-trace-sink-n32" (Staged.stage bench_obs_trace);
     Test.make ~name:"engine/floodset-n16-t8" (Staged.stage bench_floodset);
     Test.make ~name:"engine/heap-1k-push-pop" (Staged.stage bench_heap);
   ]

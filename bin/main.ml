@@ -51,13 +51,57 @@ let schedule_of ~adversary ~model ~n ~t ~f ~seed =
     Adversary.Strategies.random ~rng:(Prng.Rng.of_int seed) ~model ~n ~f
       ~max_round:(t + 1)
 
-let print_run ~bound res =
-  Format.printf "%a@." Run_result.pp res;
-  if res.Run_result.trace <> [] then
-    Format.printf "trace:@.%a@." Trace.pp res.Run_result.trace;
-  let checks = Spec.Properties.uniform_consensus ?bound res in
-  List.iter (fun c -> Format.printf "%a@." Spec.Properties.pp_check c) checks;
-  if Spec.Properties.all_ok checks then 0 else 1
+let algo_name = function
+  | Rwwc -> "rwwc"
+  | Flood -> "flood"
+  | Early_stopping -> "early-stopping"
+  | Rwwc_on_classic -> "rwwc-on-classic"
+
+let adversary_name = function
+  | No_crash -> "none"
+  | Silent -> "silent"
+  | Greedy -> "greedy"
+  | Random -> "random"
+
+let status_json = function
+  | Run_result.Decided { value; at_round } ->
+    Obs.Json.Obj
+      [
+        ("state", Obs.Json.String "decided");
+        ("value", Obs.Json.Int value);
+        ("round", Obs.Json.Int at_round);
+      ]
+  | Run_result.Crashed { at_round } ->
+    Obs.Json.Obj
+      [ ("state", Obs.Json.String "crashed"); ("round", Obs.Json.Int at_round) ]
+  | Run_result.Undecided -> Obs.Json.Obj [ ("state", Obs.Json.String "undecided") ]
+
+let check_json (c : Spec.Properties.check) =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String c.Spec.Properties.name);
+      ("ok", Obs.Json.Bool c.Spec.Properties.ok);
+      ("detail", Obs.Json.String c.Spec.Properties.detail);
+    ]
+
+let run_json ~algo ~adversary ~seed ~checks ~metrics res =
+  Obs.Json.Obj
+    [
+      ("algorithm", Obs.Json.String (algo_name algo));
+      ("adversary", Obs.Json.String (adversary_name adversary));
+      ("seed", Obs.Json.Int seed);
+      ("n", Obs.Json.Int res.Run_result.n);
+      ("t", Obs.Json.Int res.Run_result.t);
+      ("rounds", Obs.Json.Int res.Run_result.rounds_executed);
+      ( "statuses",
+        Obs.Json.List (Array.to_list (Array.map status_json res.Run_result.statuses))
+      );
+      ("checks", Obs.Json.List (List.map check_json checks));
+      ( "metrics",
+        match metrics with
+        | Some m -> Obs.Metrics.to_json m
+        | None -> Obs.Json.Null );
+    ]
 
 (* --- run ------------------------------------------------------------------ *)
 
@@ -72,55 +116,116 @@ let run_cmd =
     Arg.(value & opt adversary_conv Silent & info [ "adversary" ] ~doc:"Crash adversary: $(docv).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
-  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace.") in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Record the event stream through a trace sink and print it.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Attach a metrics sink and print summary + per-round tables.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the run (statuses, checks, metrics) as one JSON object.")
+  in
   let invariants =
     Arg.(value & flag
          & info [ "invariants" ]
              ~doc:"Also check the Figure 1 trace invariants (rwwc only).")
   in
-  let go algo n t f adversary seed trace invariants =
+  let go algo n t f adversary seed trace metrics json invariants =
     let t = Option.value t ~default:(max 1 (n - 2)) in
     let model = algo_model algo in
     let schedule = schedule_of ~adversary ~model ~n ~t ~f ~seed in
     let proposals = Harness.Workloads.distinct n in
-    let cfg ?max_rounds schedule =
-      Engine.config ?max_rounds
-        ~record_trace:(trace || invariants)
-        ~schedule ~n ~t ~proposals ()
+    (* Observers are composed outside the engine: metrics and trace sinks on
+       demand, the online invariant guard on every run. *)
+    let m = if metrics || json then Some (Obs.Metrics.create ()) else None in
+    let ts = if trace then Some (Obs.Trace_sink.create ()) else None in
+    let online =
+      Obs.Online_invariants.create ~check_termination:false ~n ~t ~proposals ()
     in
-    match algo with
-    | Rwwc ->
-      let res = Harness.Runners.Rwwc_runner.run (cfg schedule) in
-      let code = print_run ~bound:(Some (Harness.Runners.f_actual res + 1)) res in
-      if invariants then begin
-        let checks = Spec.Figure1_invariants.all res in
-        List.iter
-          (fun c -> Format.printf "%a@." Spec.Properties.pp_check c)
-          checks;
-        if Spec.Properties.all_ok checks then code else 1
-      end
-      else code
-    | Flood ->
-      let res = Harness.Runners.Flood_runner.run (cfg schedule) in
-      print_run ~bound:(Some (t + 1)) res
-    | Early_stopping ->
-      let res = Harness.Runners.Es_runner.run (cfg schedule) in
-      print_run ~bound:(Some (min (t + 1) (Harness.Runners.f_actual res + 2))) res
-    | Rwwc_on_classic ->
-      (* The schedule is interpreted in the extended model, then compiled. *)
-      let ext_schedule =
-        schedule_of ~adversary ~model:Model_kind.Extended ~n ~t ~f ~seed
-      in
-      let res =
-        Harness.Runners.Compiled_runner.run
-          (cfg ~max_rounds:(n * (t + 2))
-             (Harness.Runners.Compiled.translate_schedule ~n ext_schedule))
-      in
-      print_run ~bound:None res
+    let instrument =
+      Obs.Instrument.compose_all
+        [
+          (match m with
+          | Some m -> Obs.Metrics.instrument m
+          | None -> Obs.Instrument.null);
+          (match ts with
+          | Some ts -> Obs.Trace_sink.instrument ts
+          | None -> Obs.Instrument.null);
+          Obs.Online_invariants.instrument online;
+        ]
+    in
+    let cfg ?max_rounds schedule =
+      Engine.config ?max_rounds ~record_trace:invariants ~instrument ~schedule
+        ~n ~t ~proposals ()
+    in
+    let report ~bound ~extra_checks res =
+      let checks = Spec.Properties.uniform_consensus ?bound res @ extra_checks in
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (run_json ~algo ~adversary ~seed ~checks ~metrics:m res))
+      else begin
+        Format.printf "%a@." Run_result.pp res;
+        (match ts with
+        | Some ts ->
+          Format.printf "trace:@.%a@." Trace.pp
+            (List.filter_map Trace.of_obs (Obs.Trace_sink.events ts))
+        | None -> ());
+        (match m with
+        | Some m when metrics ->
+          print_string (Diag.Table.render (Obs.Metrics.summary_table m));
+          print_string (Diag.Table.render (Obs.Metrics.per_round_table m))
+        | Some _ | None -> ());
+        List.iter (fun c -> Format.printf "%a@." Spec.Properties.pp_check c) checks
+      end;
+      if Spec.Properties.all_ok checks then 0 else 1
+    in
+    try
+      match algo with
+      | Rwwc ->
+        let res = Harness.Runners.Rwwc_runner.run (cfg schedule) in
+        let extra_checks = if invariants then Spec.Figure1_invariants.all res else [] in
+        report ~bound:(Some (Harness.Runners.f_actual res + 1)) ~extra_checks res
+      | Flood ->
+        let res = Harness.Runners.Flood_runner.run (cfg schedule) in
+        report ~bound:(Some (t + 1)) ~extra_checks:[] res
+      | Early_stopping ->
+        let res = Harness.Runners.Es_runner.run (cfg schedule) in
+        report
+          ~bound:(Some (min (t + 1) (Harness.Runners.f_actual res + 2)))
+          ~extra_checks:[] res
+      | Rwwc_on_classic ->
+        (* The schedule is interpreted in the extended model, then compiled. *)
+        let ext_schedule =
+          schedule_of ~adversary ~model:Model_kind.Extended ~n ~t ~f ~seed
+        in
+        let res =
+          Harness.Runners.Compiled_runner.run
+            (cfg ~max_rounds:(n * (t + 2))
+               (Harness.Runners.Compiled.translate_schedule ~n ext_schedule))
+        in
+        report ~bound:None ~extra_checks:[] res
+    with
+    | Obs.Online_invariants.Violation msg ->
+      Format.eprintf "online invariant violation: %s@." msg;
+      1
+    | Engine.Model_violation msg ->
+      Format.eprintf
+        "invalid combination: %s (greedy-style schedules need an \
+         extended-model algorithm such as rwwc)@."
+        msg;
+      1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one consensus algorithm under an adversary.")
-    Term.(const go $ algo $ n $ t $ f $ adversary $ seed $ trace $ invariants)
+    Term.(const go $ algo $ n $ t $ f $ adversary $ seed $ trace $ metrics
+          $ json $ invariants)
 
 (* --- check ---------------------------------------------------------------- *)
 

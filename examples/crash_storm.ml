@@ -2,6 +2,10 @@
    crash schedules and summarize how early stopping behaves — decision
    rounds track f, not t.
 
+   Every run carries an Obs.Online_invariants sink, so safety is checked
+   event-by-event as the run unfolds; the post-hoc Spec.Properties pass
+   re-checks the same run from its Run_result, and the table reports both.
+
      dune exec examples/crash_storm.exe *)
 
 open Model
@@ -19,29 +23,34 @@ let () =
         (Printf.sprintf
            "rwwc under %d random schedules per f (n = %d, t = %d)" reps n t)
       ~header:
-        [ "f"; "bound f+1"; "mean rounds"; "p90"; "max"; "violations" ]
+        [ "f"; "bound f+1"; "mean rounds"; "p90"; "max"; "online"; "post-hoc" ]
       ()
   in
   for f = 0 to 6 do
-    let rounds = ref [] and violations = ref 0 in
+    let rounds = ref [] and online = ref 0 and post_hoc = ref 0 in
     for _ = 1 to reps do
       let schedule =
         Adversary.Strategies.random ~rng ~model:Model_kind.Extended ~n ~f
           ~max_round:(t + 1)
       in
-      let res =
+      let proposals = Harness.Workloads.distinct n in
+      let guard = Obs.Online_invariants.create ~n ~t ~proposals () in
+      match
         Runner.run
-          (Engine.config ~schedule ~n ~t
-             ~proposals:(Harness.Workloads.distinct n) ())
-      in
-      let f_actual = Pid.Set.cardinal (Run_result.crashed res) in
-      let checks =
-        Spec.Properties.uniform_consensus ~bound:(f_actual + 1) res
-      in
-      if not (Spec.Properties.all_ok checks) then incr violations;
-      match Run_result.max_decision_round res with
-      | Some r -> rounds := r :: !rounds
-      | None -> ()
+          (Engine.config
+             ~instrument:(Obs.Online_invariants.instrument guard)
+             ~schedule ~n ~t ~proposals ())
+      with
+      | exception Obs.Online_invariants.Violation _ -> incr online
+      | res -> (
+          let f_actual = Pid.Set.cardinal (Run_result.crashed res) in
+          let checks =
+            Spec.Properties.uniform_consensus ~bound:(f_actual + 1) res
+          in
+          if not (Spec.Properties.all_ok checks) then incr post_hoc;
+          match Run_result.max_decision_round res with
+          | Some r -> rounds := r :: !rounds
+          | None -> ())
     done;
     let s = Diag.Stats.summarize_ints !rounds in
     Diag.Table.add_row table
@@ -51,7 +60,8 @@ let () =
         Diag.Table.fmt_float s.Diag.Stats.mean;
         Diag.Table.fmt_float ~decimals:0 s.Diag.Stats.p90;
         Diag.Table.fmt_float ~decimals:0 s.Diag.Stats.max;
-        Diag.Table.fmt_int !violations;
+        Diag.Table.fmt_int !online;
+        Diag.Table.fmt_int !post_hoc;
       ]
   done;
   print_string (Diag.Table.render table);

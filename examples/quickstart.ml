@@ -4,6 +4,9 @@
    crashes while sending its estimate, so its value survives only through
    adoption — exactly the scenario the commit message exists for.
 
+   Observability is composed, not built in: a trace sink and a metrics sink
+   are plugged into the engine's instrument from the outside.
+
      dune exec examples/quickstart.exe *)
 
 open Model
@@ -22,13 +25,22 @@ let () =
           Crash.make ~round:1 (Crash.During_data (Pid.set_of_ints [ 2; 5 ])) );
       ]
   in
+  let trace = Obs.Trace_sink.create () in
+  let metrics = Obs.Metrics.create () in
   let cfg =
-    Engine.config ~record_trace:true ~schedule ~n ~t
+    Engine.config
+      ~instrument:
+        (Obs.Instrument.compose
+           (Obs.Trace_sink.instrument trace)
+           (Obs.Metrics.instrument metrics))
+      ~schedule ~n ~t
       ~proposals:[| 100; 2; 3; 4; 5; 6 |] ()
   in
   let result = Runner.run cfg in
-  Format.printf "--- trace ---@.%a@.@." Trace.pp result.Run_result.trace;
+  Format.printf "--- trace (from the trace sink) ---@.%a@.@." Trace.pp
+    (List.filter_map Trace.of_obs (Obs.Trace_sink.events trace));
   Format.printf "--- outcome ---@.%a@." Run_result.pp result;
+  print_string (Diag.Table.render (Obs.Metrics.summary_table metrics));
   (* The library never asks you to trust it: check the consensus properties
      explicitly. *)
   let f = Pid.Set.cardinal (Run_result.crashed result) in

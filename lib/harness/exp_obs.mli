@@ -1,0 +1,5 @@
+(** EXP-OBS — cross-validation of the observer layer: metrics sinks must
+    reconstruct the engine's Theorem 2 accounting from the event stream,
+    with online invariants attached to every run. *)
+
+val experiment : Experiment.t

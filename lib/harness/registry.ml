@@ -14,6 +14,7 @@ let all =
     Exp_uni.experiment;
     Exp_lan.experiment;
     Exp_eff.experiment;
+    Exp_obs.experiment;
   ]
 
 let find id =

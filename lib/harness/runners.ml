@@ -8,6 +8,26 @@ module Compiled_runner = Engine.Make (Compiled)
 
 let f_actual res = Model.Pid.Set.cardinal (Run_result.crashed res)
 
+let with_instrument inst cfg =
+  {
+    cfg with
+    Engine.instrument = Obs.Instrument.compose inst cfg.Engine.instrument;
+  }
+
+let with_metrics run cfg =
+  let m = Obs.Metrics.create () in
+  let res = run (with_instrument (Obs.Metrics.instrument m) cfg) in
+  (res, m)
+
+let with_online_invariants ?check_termination ?bound ~context run cfg =
+  let guard =
+    Obs.Online_invariants.create ?check_termination ?bound ~n:cfg.Engine.n
+      ~t:cfg.Engine.t ~proposals:cfg.Engine.proposals ()
+  in
+  try run (with_instrument (Obs.Online_invariants.instrument guard) cfg)
+  with Obs.Online_invariants.Violation msg ->
+    failwith (Printf.sprintf "[%s] online invariant violation: %s" context msg)
+
 let checked ~context ~bound res =
   Spec.Properties.assert_ok ~context
     (Spec.Properties.uniform_consensus ~bound res);

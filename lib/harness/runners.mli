@@ -30,6 +30,29 @@ end
 val f_actual : Run_result.t -> int
 (** Crashes that actually happened during the run. *)
 
+val with_instrument :
+  Obs.Event.t Obs.Instrument.t -> Engine.config -> Engine.config
+(** Compose one more observer in front of whatever the config already
+    carries. *)
+
+val with_metrics :
+  (Engine.config -> Run_result.t) ->
+  Engine.config ->
+  Run_result.t * Obs.Metrics.t
+(** Run with a fresh {!Obs.Metrics} sink attached and return it alongside
+    the result. *)
+
+val with_online_invariants :
+  ?check_termination:bool ->
+  ?bound:int ->
+  context:string ->
+  (Engine.config -> Run_result.t) ->
+  Engine.config ->
+  Run_result.t
+(** Run with an {!Obs.Online_invariants} guard attached: the run aborts on
+    the first violating event, re-raised as [Failure] tagged with
+    [context]. *)
+
 val checked : context:string -> bound:int -> Run_result.t -> Run_result.t
 (** Assert uniform consensus with the round bound; experiments never report
     numbers from an incorrect run. *)

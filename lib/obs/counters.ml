@@ -1,0 +1,31 @@
+type t = {
+  mutable data_msgs : int;
+  mutable data_bits : int;
+  mutable sync_msgs : int;
+  mutable sync_bits : int;
+}
+
+let create () = { data_msgs = 0; data_bits = 0; sync_msgs = 0; sync_bits = 0 }
+
+let record_data c ~bits =
+  c.data_msgs <- c.data_msgs + 1;
+  c.data_bits <- c.data_bits + bits
+
+let record_sync c =
+  c.sync_msgs <- c.sync_msgs + 1;
+  c.sync_bits <- c.sync_bits + 1
+
+let total_msgs c = c.data_msgs + c.sync_msgs
+let total_bits c = c.data_bits + c.sync_bits
+
+let instrument c =
+  Instrument.of_fn (function
+    | Event.Data_sent { bits; _ } -> record_data c ~bits
+    | Event.Sync_sent _ -> record_sync c
+    | Event.Round_begin _ | Event.Crashed _ | Event.Decided _
+    | Event.Run_end _ ->
+      ())
+
+type timed = { mutable msgs_sent : int; mutable events_processed : int }
+
+let create_timed () = { msgs_sent = 0; events_processed = 0 }

@@ -1,0 +1,36 @@
+(** Wire-cost accumulators shared by the engines and the metrics sink.
+
+    The four counters are the run's {e semantic} bit accounting (Theorem 2):
+    they are part of every {!Sync_sim.Run_result.t} whether or not any
+    observer is attached, so engines update a [t] directly (plain field
+    mutation, no allocation) and the {!Metrics} sink derives the identical
+    numbers from the event stream — the tests assert both agree. *)
+
+type t = {
+  mutable data_msgs : int;
+  mutable data_bits : int;
+  mutable sync_msgs : int;
+  mutable sync_bits : int;
+}
+
+val create : unit -> t
+(** All zeros. *)
+
+val record_data : t -> bits:int -> unit
+(** One data message of [bits] bits on the wire. *)
+
+val record_sync : t -> unit
+(** One control message; always one bit (Theorem 2). *)
+
+val total_msgs : t -> int
+
+val total_bits : t -> int
+
+val instrument : t -> Event.t Instrument.t
+(** A sink that accumulates the same four counters from an event stream
+    ([Data_sent] / [Sync_sent]; everything else is ignored). *)
+
+(** Accumulator for the continuous-time engine. *)
+type timed = { mutable msgs_sent : int; mutable events_processed : int }
+
+val create_timed : unit -> timed

@@ -1,0 +1,37 @@
+open Model
+
+type t =
+  | Round_begin of { round : int }
+  | Data_sent of {
+      round : int;
+      from : Pid.t;
+      dest : Pid.t;
+      bits : int;
+      payload : string Lazy.t;
+    }
+  | Sync_sent of { round : int; from : Pid.t; dest : Pid.t }
+  | Crashed of { round : int; pid : Pid.t; point : Crash.point }
+  | Decided of { round : int; pid : Pid.t; value : int }
+  | Run_end of { rounds : int }
+
+let round = function
+  | Round_begin { round }
+  | Data_sent { round; _ }
+  | Sync_sent { round; _ }
+  | Crashed { round; _ }
+  | Decided { round; _ } ->
+    round
+  | Run_end { rounds } -> rounds
+
+let pp ppf = function
+  | Round_begin { round } -> Format.fprintf ppf "round %d begins" round
+  | Data_sent { from; dest; bits; payload; _ } ->
+    Format.fprintf ppf "%a -> %a : DATA(%s) [%d bits]" Pid.pp from Pid.pp dest
+      (Lazy.force payload) bits
+  | Sync_sent { from; dest; _ } ->
+    Format.fprintf ppf "%a -> %a : COMMIT" Pid.pp from Pid.pp dest
+  | Crashed { pid; point; _ } ->
+    Format.fprintf ppf "%a crashes (%a)" Pid.pp pid Crash.pp_point point
+  | Decided { pid; value; _ } ->
+    Format.fprintf ppf "%a decides %d" Pid.pp pid value
+  | Run_end { rounds } -> Format.fprintf ppf "run ends after %d rounds" rounds

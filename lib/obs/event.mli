@@ -1,0 +1,34 @@
+(** The synchronous engine's observable event vocabulary.
+
+    One run emits a single chronological stream: [Round_begin r] opens round
+    [r]; [Data_sent] / [Sync_sent] record messages actually put on the wire
+    (a planned send suppressed by a crash emits nothing); [Crashed] and
+    [Decided] record per-process state transitions; a single [Run_end]
+    closes the stream.  Sinks ({!Instrument}) consume this stream online.
+
+    [Data_sent.payload] is lazy: rendering a message is only paid by sinks
+    that force it (e.g. the trace sink), never by counting sinks. *)
+
+open Model
+
+type t =
+  | Round_begin of { round : int }
+  | Data_sent of {
+      round : int;
+      from : Pid.t;
+      dest : Pid.t;
+      bits : int;  (** wire cost per Theorem 2's accounting *)
+      payload : string Lazy.t;  (** rendered message; forced on demand *)
+    }
+  | Sync_sent of { round : int; from : Pid.t; dest : Pid.t }
+      (** A control (synchronization) message: always one bit. *)
+  | Crashed of { round : int; pid : Pid.t; point : Crash.point }
+  | Decided of { round : int; pid : Pid.t; value : int }
+  | Run_end of { rounds : int }
+      (** Last event of every observed run; [rounds] is the number of rounds
+          executed. *)
+
+val round : t -> int
+(** The round an event belongs to ([rounds] for [Run_end]). *)
+
+val pp : Format.formatter -> t -> unit

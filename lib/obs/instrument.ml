@@ -1,0 +1,29 @@
+type 'e t = Null | Sink of ('e -> unit)
+
+let null = Null
+let of_fn f = Sink f
+let is_null = function Null -> true | Sink _ -> false
+let emit t e = match t with Null -> () | Sink f -> f e
+
+let compose a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Sink f, Sink g ->
+    Sink
+      (fun e ->
+        f e;
+        g e)
+
+let compose_all ts = List.fold_left compose Null ts
+
+let filter p = function
+  | Null -> Null
+  | Sink f -> Sink (fun e -> if p e then f e)
+
+module type S = sig
+  type event
+
+  val on_event : event -> unit
+end
+
+let of_module (type e) (module M : S with type event = e) = Sink M.on_event

@@ -1,0 +1,54 @@
+(** Composable event sinks — the engine-facing half of the observer layer.
+
+    An instrument is an opaque consumer of a (polymorphic) event stream.
+    Engines emit through exactly one instrument; observers are combined
+    {e outside} the engine with {!compose} / {!filter}, so adding a new
+    observable never means editing an engine core.
+
+    The {!null} instrument is recognizable in O(1) ({!is_null}); engines use
+    that to skip event construction entirely, making the un-observed hot
+    path allocation-free.
+
+    Sink contract: events of one run arrive chronologically, from a single
+    domain, with a final [Run_end]-style terminator where the vocabulary has
+    one.  A sink must not assume it is the only observer (compose is fan-out
+    in composition order) and should only raise to abort the run on a
+    detected violation (see {!Online_invariants}). *)
+
+type 'e t
+(** A sink of events of type ['e]. *)
+
+val null : 'e t
+(** Discards everything; the engine's default.  Composing with [null] is the
+    identity. *)
+
+val of_fn : ('e -> unit) -> 'e t
+(** [of_fn f] feeds every event to [f]. *)
+
+val is_null : 'e t -> bool
+(** [true] iff the instrument is (equivalent to) {!null} — built from [null]
+    itself or from compositions/filters of it. *)
+
+val emit : 'e t -> 'e -> unit
+(** Feed one event.  Constant-time no-op on {!null}. *)
+
+val compose : 'e t -> 'e t -> 'e t
+(** [compose a b] feeds every event to [a] first, then [b].  [null] is a
+    unit: the composition collapses, preserving {!is_null}. *)
+
+val compose_all : 'e t list -> 'e t
+(** Left-to-right {!compose} of a whole list. *)
+
+val filter : ('e -> bool) -> 'e t -> 'e t
+(** [filter p s] feeds [s] only the events satisfying [p].  Filtering
+    {!null} is still {!null}. *)
+
+(** The module flavour of a sink, for observers that are naturally stateful
+    modules. *)
+module type S = sig
+  type event
+
+  val on_event : event -> unit
+end
+
+val of_module : (module S with type event = 'e) -> 'e t

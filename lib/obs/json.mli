@@ -1,0 +1,20 @@
+(** Minimal JSON emitter for structured metric export.
+
+    The repository deliberately carries no JSON dependency; this covers the
+    small subset the observer layer needs (objects, arrays, scalars) with
+    RFC 8259 string escaping.  Output is compact (no insignificant
+    whitespace) and deterministic: object fields render in the order
+    given. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats render as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

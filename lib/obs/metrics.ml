@@ -1,0 +1,202 @@
+type round_stats = {
+  round : int;
+  data_msgs : int;
+  data_bits : int;
+  sync_msgs : int;
+  crashes : int;
+  decisions : int;
+}
+
+(* Growable per-round buckets, stored round-major (index = round - 1). *)
+type bucket = {
+  mutable b_data_msgs : int;
+  mutable b_data_bits : int;
+  mutable b_sync_msgs : int;
+  mutable b_crashes : int;
+  mutable b_decisions : int;
+}
+
+type t = {
+  wire : Counters.t;
+  mutable buckets : bucket array;
+  mutable max_round : int;  (* highest round with an event so far *)
+  mutable rounds : int;  (* max Run_end rounds seen *)
+  mutable runs : int;
+  mutable decided : int;
+  mutable crashed : int;
+  mutable rev_decision_rounds : int list;
+}
+
+let fresh_bucket () =
+  {
+    b_data_msgs = 0;
+    b_data_bits = 0;
+    b_sync_msgs = 0;
+    b_crashes = 0;
+    b_decisions = 0;
+  }
+
+let create () =
+  {
+    wire = Counters.create ();
+    buckets = Array.init 8 (fun _ -> fresh_bucket ());
+    max_round = 0;
+    rounds = 0;
+    runs = 0;
+    decided = 0;
+    crashed = 0;
+    rev_decision_rounds = [];
+  }
+
+let bucket t round =
+  if round > Array.length t.buckets then begin
+    let grown =
+      Array.init
+        (max (2 * Array.length t.buckets) round)
+        (fun i ->
+          if i < Array.length t.buckets then t.buckets.(i)
+          else fresh_bucket ())
+    in
+    t.buckets <- grown
+  end;
+  if round > t.max_round then t.max_round <- round;
+  t.buckets.(round - 1)
+
+let instrument t =
+  Instrument.of_fn (function
+    | Event.Round_begin { round } -> ignore (bucket t round)
+    | Event.Data_sent { round; bits; _ } ->
+      Counters.record_data t.wire ~bits;
+      let b = bucket t round in
+      b.b_data_msgs <- b.b_data_msgs + 1;
+      b.b_data_bits <- b.b_data_bits + bits
+    | Event.Sync_sent { round; _ } ->
+      Counters.record_sync t.wire;
+      let b = bucket t round in
+      b.b_sync_msgs <- b.b_sync_msgs + 1
+    | Event.Crashed { round; _ } ->
+      t.crashed <- t.crashed + 1;
+      let b = bucket t round in
+      b.b_crashes <- b.b_crashes + 1
+    | Event.Decided { round; _ } ->
+      t.decided <- t.decided + 1;
+      t.rev_decision_rounds <- round :: t.rev_decision_rounds;
+      let b = bucket t round in
+      b.b_decisions <- b.b_decisions + 1
+    | Event.Run_end { rounds } ->
+      t.runs <- t.runs + 1;
+      if rounds > t.rounds then t.rounds <- rounds)
+
+let counters t = t.wire
+let rounds t = max t.rounds t.max_round
+let runs t = t.runs
+let decided t = t.decided
+let crashes t = t.crashed
+let decision_rounds t = List.rev t.rev_decision_rounds
+
+let decision_latency t =
+  match decision_rounds t with
+  | [] -> None
+  | rs -> Some (Diag.Stats.summarize_ints rs)
+
+let per_round t =
+  List.init (rounds t) (fun i ->
+      let b =
+        if i < Array.length t.buckets then t.buckets.(i) else fresh_bucket ()
+      in
+      {
+        round = i + 1;
+        data_msgs = b.b_data_msgs;
+        data_bits = b.b_data_bits;
+        sync_msgs = b.b_sync_msgs;
+        crashes = b.b_crashes;
+        decisions = b.b_decisions;
+      })
+
+let summary_table t =
+  let tbl =
+    Diag.Table.create ~title:"Run metrics" ~header:[ "metric"; "value" ] ()
+  in
+  let add k v = Diag.Table.add_row tbl [ k; v ] in
+  add "rounds" (Diag.Table.fmt_int (rounds t));
+  if t.runs > 1 then add "runs" (Diag.Table.fmt_int t.runs);
+  add "data msgs" (Diag.Table.fmt_int t.wire.Counters.data_msgs);
+  add "data bits" (Diag.Table.fmt_int t.wire.Counters.data_bits);
+  add "sync msgs" (Diag.Table.fmt_int t.wire.Counters.sync_msgs);
+  add "sync bits" (Diag.Table.fmt_int t.wire.Counters.sync_bits);
+  add "total msgs" (Diag.Table.fmt_int (Counters.total_msgs t.wire));
+  add "total bits" (Diag.Table.fmt_int (Counters.total_bits t.wire));
+  add "decisions" (Diag.Table.fmt_int t.decided);
+  add "crashes" (Diag.Table.fmt_int t.crashed);
+  (match decision_latency t with
+  | None -> ()
+  | Some s ->
+    add "decision round (mean)" (Diag.Table.fmt_float ~decimals:2 s.Diag.Stats.mean);
+    add "decision round (max)" (Diag.Table.fmt_float ~decimals:0 s.Diag.Stats.max));
+  tbl
+
+let per_round_table t =
+  let tbl =
+    Diag.Table.create ~title:"Per-round profile"
+      ~header:
+        [ "round"; "data msgs"; "data bits"; "sync msgs"; "crashes"; "decisions" ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Diag.Table.add_row tbl
+        [
+          Diag.Table.fmt_int r.round;
+          Diag.Table.fmt_int r.data_msgs;
+          Diag.Table.fmt_int r.data_bits;
+          Diag.Table.fmt_int r.sync_msgs;
+          Diag.Table.fmt_int r.crashes;
+          Diag.Table.fmt_int r.decisions;
+        ])
+    (per_round t);
+  tbl
+
+let to_json t =
+  let latency =
+    match decision_latency t with
+    | None -> Json.Null
+    | Some s ->
+      Json.Obj
+        [
+          ("count", Json.Int s.Diag.Stats.count);
+          ("mean", Json.Float s.Diag.Stats.mean);
+          ("min", Json.Float s.Diag.Stats.min);
+          ("max", Json.Float s.Diag.Stats.max);
+          ("p50", Json.Float s.Diag.Stats.p50);
+          ("p90", Json.Float s.Diag.Stats.p90);
+          ("p99", Json.Float s.Diag.Stats.p99);
+        ]
+  in
+  Json.Obj
+    [
+      ("rounds", Json.Int (rounds t));
+      ("runs", Json.Int t.runs);
+      ("data_msgs", Json.Int t.wire.Counters.data_msgs);
+      ("data_bits", Json.Int t.wire.Counters.data_bits);
+      ("sync_msgs", Json.Int t.wire.Counters.sync_msgs);
+      ("sync_bits", Json.Int t.wire.Counters.sync_bits);
+      ("total_msgs", Json.Int (Counters.total_msgs t.wire));
+      ("total_bits", Json.Int (Counters.total_bits t.wire));
+      ("decisions", Json.Int t.decided);
+      ("crashes", Json.Int t.crashed);
+      ("decision_latency", latency);
+      ( "per_round",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("round", Json.Int r.round);
+                   ("data_msgs", Json.Int r.data_msgs);
+                   ("data_bits", Json.Int r.data_bits);
+                   ("sync_msgs", Json.Int r.sync_msgs);
+                   ("crashes", Json.Int r.crashes);
+                   ("decisions", Json.Int r.decisions);
+                 ])
+             (per_round t)) );
+    ]

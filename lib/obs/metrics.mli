@@ -1,0 +1,57 @@
+(** The workhorse sink: counters, per-round histograms and decision-latency
+    statistics, exportable as {!Diag.Table.t} and JSON.
+
+    Attach one [Metrics.t] per run ({!instrument}), or reuse it across runs
+    of a sweep to aggregate (counters and histograms keep accumulating;
+    [runs] counts the [Run_end] events seen). *)
+
+type round_stats = {
+  round : int;
+  data_msgs : int;
+  data_bits : int;
+  sync_msgs : int;
+  crashes : int;
+  decisions : int;
+}
+(** One per-round histogram bucket (rounds are 1-based). *)
+
+type t
+
+val create : unit -> t
+
+val instrument : t -> Event.t Instrument.t
+
+val counters : t -> Counters.t
+(** Wire accounting derived from the event stream; equals the engine's
+    semantic counters for a single observed run. *)
+
+val rounds : t -> int
+(** Rounds executed: max over observed [Run_end] events (0 before any). *)
+
+val runs : t -> int
+(** Number of [Run_end] events observed. *)
+
+val decided : t -> int
+(** Number of [Decided] events. *)
+
+val crashes : t -> int
+(** Number of [Crashed] events. *)
+
+val decision_rounds : t -> int list
+(** The round of every decision, in decision order. *)
+
+val decision_latency : t -> Diag.Stats.summary option
+(** Summary over {!decision_rounds}; [None] when nobody decided. *)
+
+val per_round : t -> round_stats list
+(** Histogram buckets for rounds [1 .. rounds], in order.  Rounds beyond the
+    last event-bearing round are zero-filled up to {!rounds}. *)
+
+val summary_table : t -> Diag.Table.t
+(** A metric/value table of the headline numbers. *)
+
+val per_round_table : t -> Diag.Table.t
+(** The per-round histogram as a table. *)
+
+val to_json : t -> Json.t
+(** Everything above as one JSON object. *)

@@ -1,0 +1,97 @@
+open Model
+
+exception Violation of string
+
+type pid_state = Alive | Has_decided of int | Has_crashed
+
+type t = {
+  n : int;
+  budget : int;
+  proposals : int array;
+  bound : int option;
+  check_termination : bool;
+  states : pid_state array;  (* index = pid - 1; crash after deciding keeps
+                                [Has_decided] (uniform agreement still holds
+                                the decision against the process) *)
+  mutable first_decision : (Pid.t * int) option;
+  mutable crashed_count : int;
+  mutable events_seen : int;
+}
+
+let create ?(check_termination = true) ?bound ~n ~t ~proposals () =
+  if Array.length proposals <> n then
+    invalid_arg "Online_invariants.create: proposals length must be n";
+  {
+    n;
+    budget = t;
+    proposals;
+    bound;
+    check_termination;
+    states = Array.make n Alive;
+    first_decision = None;
+    crashed_count = 0;
+    events_seen = 0;
+  }
+
+let violation fmt = Format.kasprintf (fun msg -> raise (Violation msg)) fmt
+
+let on_decided t ~round ~pid ~value =
+  let i = Pid.to_int pid - 1 in
+  (match t.states.(i) with
+  | Alive -> ()
+  | Has_decided v ->
+    violation "%a decides twice (%d at round %d after %d)" Pid.pp pid value
+      round v
+  | Has_crashed ->
+    violation "%a decides %d at round %d after crashing" Pid.pp pid value round);
+  if not (Array.exists (Int.equal value) t.proposals) then
+    violation "validity: %a decided %d at round %d, a value nobody proposed"
+      Pid.pp pid value round;
+  (match t.first_decision with
+  | None -> t.first_decision <- Some (pid, value)
+  | Some (first_pid, first_value) ->
+    if value <> first_value then
+      violation
+        "uniform agreement: %a decided %d at round %d but %a had decided %d"
+        Pid.pp pid value round Pid.pp first_pid first_value);
+  (match t.bound with
+  | Some bound when round > bound ->
+    violation "round bound: %a decided at round %d > bound %d" Pid.pp pid
+      round bound
+  | Some _ | None -> ());
+  t.states.(i) <- Has_decided value
+
+let on_crashed t ~round ~pid =
+  let i = Pid.to_int pid - 1 in
+  (match t.states.(i) with
+  | Has_crashed -> violation "%a crashes twice (round %d)" Pid.pp pid round
+  | Alive | Has_decided _ -> ());
+  t.crashed_count <- t.crashed_count + 1;
+  if t.crashed_count > t.budget then
+    violation "crash budget: %d crashes exceed t=%d (round %d)"
+      t.crashed_count t.budget round;
+  (match t.states.(i) with
+  | Has_decided v -> t.states.(i) <- Has_decided v (* decision stands *)
+  | Alive | Has_crashed -> t.states.(i) <- Has_crashed)
+
+let on_run_end t ~rounds =
+  if t.check_termination then
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Alive ->
+          violation "termination: %a undecided after %d rounds" Pid.pp
+            (Pid.of_int (i + 1)) rounds
+        | Has_decided _ | Has_crashed -> ())
+      t.states
+
+let instrument t =
+  Instrument.of_fn (fun ev ->
+      t.events_seen <- t.events_seen + 1;
+      match ev with
+      | Event.Decided { round; pid; value } -> on_decided t ~round ~pid ~value
+      | Event.Crashed { round; pid; _ } -> on_crashed t ~round ~pid
+      | Event.Run_end { rounds } -> on_run_end t ~rounds
+      | Event.Round_begin _ | Event.Data_sent _ | Event.Sync_sent _ -> ())
+
+let events_seen t = t.events_seen

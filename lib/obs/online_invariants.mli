@@ -1,0 +1,39 @@
+(** Online (per-event) uniform-consensus checking.
+
+    Streams the engine's events through the Section 3.1 safety properties
+    and fails fast — the run aborts on the {e first} violating event, with
+    the violating round in hand, instead of a post-hoc verdict over the
+    finished run.  Attaching this sink turns every simulation, bench and
+    sweep into a correctness probe at near-zero cost.
+
+    Checked online:
+    - {b validity} — every decided value was proposed;
+    - {b uniform agreement} — all decisions (crashed-later deciders
+      included) carry one value;
+    - {b single decision} — no process decides twice, none decides after
+      crashing;
+    - {b crash budget} — at most [t] processes crash;
+    - {b round bound} — no decision after round [bound], when given;
+    - {b termination} (at [Run_end], optional) — every process decided or
+      crashed. *)
+
+exception Violation of string
+(** Raised by the sink on the first violating event. *)
+
+type t
+
+val create :
+  ?check_termination:bool ->
+  ?bound:int ->
+  n:int ->
+  t:int ->
+  proposals:int array ->
+  unit ->
+  t
+(** [check_termination] defaults to [true]; disable it for runs whose round
+    limit is deliberately too tight to finish. *)
+
+val instrument : t -> Event.t Instrument.t
+
+val events_seen : t -> int
+(** How many events this checker has consumed (for overhead reporting). *)

@@ -1,0 +1,15 @@
+type 'e t = { mutable rev_events : 'e list; mutable length : int }
+
+let create () = { rev_events = []; length = 0 }
+
+let instrument t =
+  Instrument.of_fn (fun e ->
+      t.rev_events <- e :: t.rev_events;
+      t.length <- t.length + 1)
+
+let events t = List.rev t.rev_events
+let length t = t.length
+
+let clear t =
+  t.rev_events <- [];
+  t.length <- 0

@@ -1,0 +1,20 @@
+(** A sink that records the event stream verbatim.
+
+    Polymorphic in the event vocabulary, so it serves both the round-based
+    and the continuous-time engines.  This is how [record_trace] is
+    implemented: the engines compose a trace sink with the user's
+    instrument and read the chronological list back at the end of the
+    run. *)
+
+type 'e t
+
+val create : unit -> 'e t
+
+val instrument : 'e t -> 'e Instrument.t
+
+val events : 'e t -> 'e list
+(** Everything recorded so far, in arrival (chronological) order. *)
+
+val length : 'e t -> int
+
+val clear : 'e t -> unit

@@ -8,12 +8,14 @@ type config = {
   value_bits : int;
   max_rounds : int;
   record_trace : bool;
+  instrument : Obs.Event.t Obs.Instrument.t;
 }
 
 exception Model_violation of string
 
 let config ?(value_bits = 32) ?max_rounds ?(record_trace = false)
-    ?(schedule = Schedule.empty) ~n ~t ~proposals () =
+    ?(instrument = Obs.Instrument.null) ?(schedule = Schedule.empty) ~n ~t
+    ~proposals () =
   if n < 2 then invalid_arg "Engine.config: n must be >= 2";
   if t < 0 || t >= n then invalid_arg "Engine.config: t must satisfy 0 <= t < n";
   if Array.length proposals <> n then
@@ -21,7 +23,7 @@ let config ?(value_bits = 32) ?max_rounds ?(record_trace = false)
   if value_bits < 2 then invalid_arg "Engine.config: value_bits must be >= 2";
   let max_rounds = Option.value max_rounds ~default:(t + 2) in
   if max_rounds < 1 then invalid_arg "Engine.config: max_rounds must be >= 1";
-  { n; t; proposals; schedule; value_bits; max_rounds; record_trace }
+  { n; t; proposals; schedule; value_bits; max_rounds; record_trace; instrument }
 
 let distinct_proposals n = Array.init n (fun i -> i + 1)
 
@@ -63,28 +65,44 @@ module Make (A : Algorithm_intf.S) = struct
           })
     in
     let proc pid = procs.(Pid.to_int pid - 1) in
-    let data_msgs = ref 0
-    and data_bits = ref 0
-    and sync_msgs = ref 0
-    and sync_bits = ref 0 in
+    (* Wire accounting is part of the run's semantics (Theorem 2) and is
+       accumulated unconditionally; everything else is observable only
+       through the instrument.  [record_trace] is itself a trace sink
+       composed in front of the caller's instrument. *)
+    let counters = Obs.Counters.create () in
+    let trace_sink = if cfg.record_trace then Some (Obs.Trace_sink.create ()) else None in
+    let inst =
+      match trace_sink with
+      | None -> cfg.instrument
+      | Some ts ->
+        Obs.Instrument.compose (Obs.Trace_sink.instrument ts) cfg.instrument
+    in
+    (* The null instrument costs nothing: every emission below is guarded by
+       [observing], so the un-observed hot path allocates no events. *)
+    let observing = not (Obs.Instrument.is_null inst) in
+    let emit ev = Obs.Instrument.emit inst ev in
     let post_decision_crashes = ref Pid.Set.empty in
-    let trace = ref [] in
-    let emit ev = if cfg.record_trace then trace := ev :: !trace in
     let deliver_data ~round ~from (dest, msg) =
-      incr data_msgs;
-      data_bits := !data_bits + A.msg_bits ~value_bits:cfg.value_bits msg;
-      emit
-        (Trace.Data_sent
-           { round; from; dest; payload = Format.asprintf "%a" A.pp_msg msg });
+      let bits = A.msg_bits ~value_bits:cfg.value_bits msg in
+      Obs.Counters.record_data counters ~bits;
+      if observing then
+        emit
+          (Obs.Event.Data_sent
+             {
+               round;
+               from;
+               dest;
+               bits;
+               payload = lazy (Format.asprintf "%a" A.pp_msg msg);
+             });
       let q = proc dest in
       (* Channels are reliable: the message always reaches the destination;
          a crashed or decided destination simply never processes it. *)
       q.inbox_data <- (from, msg) :: q.inbox_data
     in
     let deliver_sync ~round ~from dest =
-      incr sync_msgs;
-      sync_bits := !sync_bits + 1;
-      emit (Trace.Sync_sent { round; from; dest });
+      Obs.Counters.record_sync counters;
+      if observing then emit (Obs.Event.Sync_sent { round; from; dest });
       let q = proc dest in
       q.inbox_syncs <- from :: q.inbox_syncs
     in
@@ -95,7 +113,7 @@ module Make (A : Algorithm_intf.S) = struct
     while some_running () && !round < cfg.max_rounds do
       incr round;
       let r = !round in
-      emit (Trace.Round_begin r);
+      if observing then emit (Obs.Event.Round_begin { round = r });
       (* Send phase: processes emit in pid order (the order is irrelevant to
          the semantics — all round-r messages are received in round r — but
          it keeps traces deterministic). *)
@@ -148,7 +166,8 @@ module Make (A : Algorithm_intf.S) = struct
                 p.status <- Halted { value; at_round }
               | Running | Halted _ | Dead _ ->
                 p.status <- Dead { at_round = r });
-              emit (Trace.Crashed { round = r; pid = p.pid; point })))
+              if observing then
+                emit (Obs.Event.Crashed { round = r; pid = p.pid; point })))
         procs;
       (* Receive + compute phase: only processes that are still running (in
          particular, not crashed this round) process their round-r inbox. *)
@@ -175,9 +194,11 @@ module Make (A : Algorithm_intf.S) = struct
               (match A.decision_mode with
               | `Halt -> p.status <- Halted { value; at_round = r }
               | `Announce -> p.status <- Announced { value; at_round = r });
-              emit (Trace.Decided { round = r; pid = p.pid; value })))
+              if observing then
+                emit (Obs.Event.Decided { round = r; pid = p.pid; value })))
         procs
     done;
+    if observing then emit (Obs.Event.Run_end { rounds = !round });
     {
       Run_result.n = cfg.n;
       t = cfg.t;
@@ -192,11 +213,14 @@ module Make (A : Algorithm_intf.S) = struct
             | Dead { at_round } -> Run_result.Crashed { at_round })
           procs;
       rounds_executed = !round;
-      data_msgs = !data_msgs;
-      data_bits = !data_bits;
-      sync_msgs = !sync_msgs;
-      sync_bits = !sync_bits;
+      data_msgs = counters.Obs.Counters.data_msgs;
+      data_bits = counters.Obs.Counters.data_bits;
+      sync_msgs = counters.Obs.Counters.sync_msgs;
+      sync_bits = counters.Obs.Counters.sync_bits;
       post_decision_crashes = !post_decision_crashes;
-      trace = List.rev !trace;
+      trace =
+        (match trace_sink with
+        | None -> []
+        | Some ts -> List.filter_map Trace.of_obs (Obs.Trace_sink.events ts));
     }
 end

@@ -12,7 +12,13 @@
 
     Bit accounting follows Theorem 2: a data message costs
     [msg_bits ~value_bits], a control message costs one bit; only messages
-    actually put on the wire are counted. *)
+    actually put on the wire are counted.
+
+    Observability: the engine emits every run event ({!Obs.Event.t}) through
+    the configured {!Obs.Instrument.t}.  With the null instrument the hot
+    path constructs no events at all; [record_trace] is sugar for composing
+    an {!Obs.Trace_sink} in front of the caller's instrument and storing the
+    projection ({!Trace.of_obs}) in the result. *)
 
 open Model
 
@@ -25,12 +31,16 @@ type config = {
   max_rounds : int;  (** hard stop; processes still running then stay
                          [Undecided] *)
   record_trace : bool;
+  instrument : Obs.Event.t Obs.Instrument.t;
+      (** observer sink fed with every run event; [Obs.Instrument.null]
+          (the default) costs nothing *)
 }
 
 val config :
   ?value_bits:int ->
   ?max_rounds:int ->
   ?record_trace:bool ->
+  ?instrument:Obs.Event.t Obs.Instrument.t ->
   ?schedule:Schedule.t ->
   n:int ->
   t:int ->
@@ -39,9 +49,10 @@ val config :
   config
 (** Smart constructor with defaults: [value_bits = 32], [max_rounds = t + 2]
     (enough for every native algorithm in this repository: f+1, f+2 and t+1
-    round protocols all fit), [record_trace = false], empty schedule.
-    Validates all invariants listed on the record fields; raises
-    [Invalid_argument] on violation. *)
+    round protocols all fit), [record_trace = false],
+    [instrument = Obs.Instrument.null], empty schedule.  Validates all
+    invariants listed on the record fields; raises [Invalid_argument] on
+    violation. *)
 
 val distinct_proposals : int -> int array
 (** [distinct_proposals n] is [[|1; 2; ...; n|]] — the canonical workload in

@@ -25,6 +25,18 @@ let pp ppf events =
 
 let to_string events = Format.asprintf "%a" pp events
 
+let of_obs = function
+  | Obs.Event.Round_begin { round } -> Some (Round_begin round)
+  | Obs.Event.Data_sent { round; from; dest; payload; _ } ->
+    Some (Data_sent { round; from; dest; payload = Lazy.force payload })
+  | Obs.Event.Sync_sent { round; from; dest } ->
+    Some (Sync_sent { round; from; dest })
+  | Obs.Event.Crashed { round; pid; point } ->
+    Some (Crashed { round; pid; point })
+  | Obs.Event.Decided { round; pid; value } ->
+    Some (Decided { round; pid; value })
+  | Obs.Event.Run_end _ -> None
+
 let decisions events =
   List.filter_map
     (function

@@ -20,5 +20,9 @@ val pp : Format.formatter -> event list -> unit
 
 val to_string : event list -> string
 
+val of_obs : Obs.Event.t -> event option
+(** Project an observer-layer event onto the trace vocabulary, forcing the
+    payload.  [Run_end] has no trace counterpart and maps to [None]. *)
+
 val decisions : event list -> (Pid.t * int * int) list
 (** [(pid, value, round)] for every decision, chronological. *)

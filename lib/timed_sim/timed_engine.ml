@@ -9,6 +9,14 @@ type crash_spec = { victim : Pid.t; at : float; batch_prefix : int }
 
 type fd_update = { observer : Pid.t; at : float; suspects : Pid.Set.t }
 
+type trace_event =
+  | Sent of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Delivered of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Fired of { at : float; pid : Pid.t; tag : int }
+  | Fd_change of { at : float; pid : Pid.t; suspects : Pid.Set.t }
+  | Died of { at : float; pid : Pid.t }
+  | Chose of { at : float; pid : Pid.t; value : int }
+
 type config = {
   n : int;
   t : int;
@@ -19,6 +27,7 @@ type config = {
   deadline : float;
   seed : int64;
   record_trace : bool;
+  instrument : trace_event Obs.Instrument.t;
 }
 
 let validate_latency = function
@@ -30,7 +39,8 @@ let validate_latency = function
       invalid_arg "Timed_engine: bad exponential latency"
 
 let config ?(latency = Fixed 1.0) ?(crashes = []) ?(fd_plan = [])
-    ?(deadline = 1e6) ?(seed = 1L) ?(record_trace = false) ~n ~t ~proposals () =
+    ?(deadline = 1e6) ?(seed = 1L) ?(record_trace = false)
+    ?(instrument = Obs.Instrument.null) ~n ~t ~proposals () =
   if n < 2 then invalid_arg "Timed_engine.config: n < 2";
   if t < 0 || t >= n then invalid_arg "Timed_engine.config: bad t";
   if Array.length proposals <> n then invalid_arg "Timed_engine.config: arity";
@@ -44,20 +54,23 @@ let config ?(latency = Fixed 1.0) ?(crashes = []) ?(fd_plan = [])
   let victims = List.map (fun (c : crash_spec) -> Pid.to_int c.victim) crashes in
   if List.length victims <> List.length (List.sort_uniq Int.compare victims)
   then invalid_arg "Timed_engine.config: duplicate crash victim";
-  { n; t; proposals; latency; crashes; fd_plan; deadline; seed; record_trace }
+  {
+    n;
+    t;
+    proposals;
+    latency;
+    crashes;
+    fd_plan;
+    deadline;
+    seed;
+    record_trace;
+    instrument;
+  }
 
 type outcome =
   | Decided of { value : int; at : float }
   | Crashed of { at : float }
   | Undecided
-
-type trace_event =
-  | Sent of { at : float; from : Pid.t; dest : Pid.t; msg : string }
-  | Delivered of { at : float; from : Pid.t; dest : Pid.t; msg : string }
-  | Fired of { at : float; pid : Pid.t; tag : int }
-  | Fd_change of { at : float; pid : Pid.t; suspects : Pid.Set.t }
-  | Died of { at : float; pid : Pid.t }
-  | Chose of { at : float; pid : Pid.t; value : int }
 
 type result = {
   outcomes : outcome array;
@@ -123,10 +136,21 @@ module Make (P : Process_intf.S) = struct
     List.iter
       (fun (c : crash_spec) -> crash_of.(Pid.to_int c.victim - 1) <- Some c)
       cfg.crashes;
-    let msgs_sent = ref 0 and events_processed = ref 0 in
+    (* Counters live in the obs accumulator; traces and any further
+       observation flow through the composed instrument. *)
+    let tally = Obs.Counters.create_timed () in
     let end_time = ref 0.0 in
-    let trace = ref [] in
-    let emit ev = if cfg.record_trace then trace := ev :: !trace in
+    let trace_sink =
+      if cfg.record_trace then Some (Obs.Trace_sink.create ()) else None
+    in
+    let inst =
+      match trace_sink with
+      | None -> cfg.instrument
+      | Some ts ->
+        Obs.Instrument.compose (Obs.Trace_sink.instrument ts) cfg.instrument
+    in
+    let observing = not (Obs.Instrument.is_null inst) in
+    let emit ev = if observing then Obs.Instrument.emit inst ev in
     let is_running i = outcomes.(i) = Undecided in
     let crash_time i =
       match crash_of.(i) with Some c -> c.at | None -> infinity
@@ -145,15 +169,16 @@ module Make (P : Process_intf.S) = struct
         | action :: rest ->
           (match action with
           | Process_intf.Send (dest, msg) ->
-            incr msgs_sent;
-            emit
-              (Sent
-                 {
-                   at = now;
-                   from = pid;
-                   dest;
-                   msg = Format.asprintf "%a" P.pp_msg msg;
-                 });
+            tally.Obs.Counters.msgs_sent <- tally.Obs.Counters.msgs_sent + 1;
+            if observing then
+              emit
+                (Sent
+                   {
+                     at = now;
+                     from = pid;
+                     dest;
+                     msg = Format.asprintf "%a" P.pp_msg msg;
+                   });
             Heap.add queue
               ~time:(now +. draw_latency ())
               ~rank:rank_msg
@@ -195,7 +220,8 @@ module Make (P : Process_intf.S) = struct
       | None -> continue := false
       | Some (now, _) when now > cfg.deadline -> continue := false
       | Some (now, ev) ->
-        incr events_processed;
+        tally.Obs.Counters.events_processed <-
+          tally.Obs.Counters.events_processed + 1;
         end_time := now;
         let dest =
           match ev with
@@ -215,14 +241,15 @@ module Make (P : Process_intf.S) = struct
             let state, actions =
               match ev with
               | Ev_msg { from; msg; _ } ->
-                emit
-                  (Delivered
-                     {
-                       at = now;
-                       from;
-                       dest;
-                       msg = Format.asprintf "%a" P.pp_msg msg;
-                     });
+                if observing then
+                  emit
+                    (Delivered
+                       {
+                         at = now;
+                         from;
+                         dest;
+                         msg = Format.asprintf "%a" P.pp_msg msg;
+                       });
                 P.on_message state ~now ~from msg
               | Ev_fd { suspects; _ } ->
                 emit (Fd_change { at = now; pid = dest; suspects });
@@ -255,9 +282,12 @@ module Make (P : Process_intf.S) = struct
       outcomes;
     {
       outcomes;
-      msgs_sent = !msgs_sent;
-      events_processed = !events_processed;
+      msgs_sent = tally.Obs.Counters.msgs_sent;
+      events_processed = tally.Obs.Counters.events_processed;
       end_time = !end_time;
-      trace = List.rev !trace;
+      trace =
+        (match trace_sink with
+        | None -> []
+        | Some ts -> Obs.Trace_sink.events ts);
     }
 end

@@ -35,6 +35,16 @@ type crash_spec = {
 
 type fd_update = { observer : Pid.t; at : float; suspects : Pid.Set.t }
 
+type trace_event =
+  | Sent of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Delivered of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Fired of { at : float; pid : Pid.t; tag : int }
+  | Fd_change of { at : float; pid : Pid.t; suspects : Pid.Set.t }
+  | Died of { at : float; pid : Pid.t }
+  | Chose of { at : float; pid : Pid.t; value : int }
+      (** The continuous-time engine's event vocabulary; also what the
+          configured {!Obs.Instrument.t} consumes. *)
+
 type config = {
   n : int;
   t : int;
@@ -45,6 +55,9 @@ type config = {
   deadline : float;
   seed : int64;
   record_trace : bool;
+  instrument : trace_event Obs.Instrument.t;
+      (** observer sink fed with every engine event; the null instrument
+          (default) costs nothing *)
 }
 
 val config :
@@ -54,28 +67,21 @@ val config :
   ?deadline:float ->
   ?seed:int64 ->
   ?record_trace:bool ->
+  ?instrument:trace_event Obs.Instrument.t ->
   n:int ->
   t:int ->
   proposals:int array ->
   unit ->
   config
 (** Defaults: [latency = Fixed 1.0], no crashes, empty FD plan,
-    [deadline = 1e6], [seed = 1], no trace.  Validates positivity of the
-    latency parameters, crash times and deadline; at most one crash per
-    process. *)
+    [deadline = 1e6], [seed = 1], no trace, null instrument.  Validates
+    positivity of the latency parameters, crash times and deadline; at most
+    one crash per process. *)
 
 type outcome =
   | Decided of { value : int; at : float }
   | Crashed of { at : float }
   | Undecided
-
-type trace_event =
-  | Sent of { at : float; from : Pid.t; dest : Pid.t; msg : string }
-  | Delivered of { at : float; from : Pid.t; dest : Pid.t; msg : string }
-  | Fired of { at : float; pid : Pid.t; tag : int }
-  | Fd_change of { at : float; pid : Pid.t; suspects : Pid.Set.t }
-  | Died of { at : float; pid : Pid.t }
-  | Chose of { at : float; pid : Pid.t; value : int }
 
 type result = {
   outcomes : outcome array;  (** index [i]: process [p_{i+1}] *)

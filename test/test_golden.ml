@@ -1,0 +1,157 @@
+(* Golden outputs of the engines, captured from the pre-observer-layer
+   engine (the seed) on fixed adversary schedules.  The refactor moved all
+   observability behind instruments; these literals pin down that a run
+   under the default (null) instrument is bit-for-bit the same Run_result:
+   statuses, rounds executed, and all four Theorem 2 wire counters — plus
+   an empty trace.
+
+   Schedules: Adversary.Strategies.coordinator_killer at n = 8, f = 3
+   (Silent / Greedy) and the empty schedule; proposals 1..8.  The Greedy
+   style uses extended-model crash points, so it applies to rwwc only. *)
+
+open Model
+open Sync_sim
+open Helpers
+
+type golden = {
+  algo : string;
+  adversary : string;
+  run : Engine.config -> Run_result.t;
+  schedule : Schedule.t;
+  rounds : int;
+  data_msgs : int;
+  data_bits : int;
+  sync_msgs : int;
+  sync_bits : int;
+  statuses : Run_result.status list;  (* p1 .. p8 *)
+}
+
+let d value at_round = Run_result.Decided { value; at_round }
+let c at_round = Run_result.Crashed { at_round }
+let rep k st = List.init k (fun _ -> st)
+
+let n = 8
+let t = 6
+
+let silent =
+  Adversary.Strategies.coordinator_killer ~n ~f:3
+    ~style:Adversary.Strategies.Silent
+
+let greedy =
+  Adversary.Strategies.coordinator_killer ~n ~f:3
+    ~style:Adversary.Strategies.Greedy
+
+let goldens =
+  [
+    {
+      algo = "rwwc";
+      adversary = "none";
+      run = Rwwc_runner.run;
+      schedule = Schedule.empty;
+      rounds = 1;
+      data_msgs = 7;
+      data_bits = 224;
+      sync_msgs = 7;
+      sync_bits = 7;
+      statuses = rep 8 (d 1 1);
+    };
+    {
+      algo = "flood";
+      adversary = "none";
+      run = Flood_runner.run;
+      schedule = Schedule.empty;
+      rounds = 7;
+      data_msgs = 392;
+      data_bits = 87808;
+      sync_msgs = 0;
+      sync_bits = 0;
+      statuses = rep 8 (d 1 7);
+    };
+    {
+      algo = "early-stopping";
+      adversary = "none";
+      run = Es_runner.run;
+      schedule = Schedule.empty;
+      rounds = 2;
+      data_msgs = 112;
+      data_bits = 3696;
+      sync_msgs = 0;
+      sync_bits = 0;
+      statuses = rep 8 (d 1 2);
+    };
+    {
+      algo = "rwwc";
+      adversary = "silent-f3";
+      run = Rwwc_runner.run;
+      schedule = silent;
+      rounds = 4;
+      data_msgs = 4;
+      data_bits = 128;
+      sync_msgs = 4;
+      sync_bits = 4;
+      statuses = [ c 1; c 2; c 3 ] @ rep 5 (d 4 4);
+    };
+    {
+      algo = "flood";
+      adversary = "silent-f3";
+      run = Flood_runner.run;
+      schedule = silent;
+      rounds = 7;
+      data_msgs = 266;
+      data_bits = 50176;
+      sync_msgs = 0;
+      sync_bits = 0;
+      statuses = [ c 1; c 2; c 3 ] @ rep 5 (d 2 7);
+    };
+    {
+      algo = "early-stopping";
+      adversary = "silent-f3";
+      run = Es_runner.run;
+      schedule = silent;
+      rounds = 5;
+      data_msgs = 196;
+      data_bits = 6468;
+      sync_msgs = 0;
+      sync_bits = 0;
+      statuses = [ c 1; c 2; c 3 ] @ rep 5 (d 2 5);
+    };
+    {
+      algo = "rwwc";
+      adversary = "greedy-f3";
+      run = Rwwc_runner.run;
+      schedule = greedy;
+      rounds = 4;
+      data_msgs = 22;
+      data_bits = 704;
+      sync_msgs = 16;
+      sync_bits = 16;
+      statuses = [ c 1; c 2; c 3; d 1 4 ] @ rep 4 (d 1 1);
+    };
+  ]
+
+let check_one g () =
+  let res =
+    g.run (Engine.config ~schedule:g.schedule ~n ~t
+             ~proposals:(Engine.distinct_proposals n) ())
+  in
+  Alcotest.(check int) "rounds executed" g.rounds res.Run_result.rounds_executed;
+  Alcotest.(check int) "data msgs" g.data_msgs res.Run_result.data_msgs;
+  Alcotest.(check int) "data bits" g.data_bits res.Run_result.data_bits;
+  Alcotest.(check int) "sync msgs" g.sync_msgs res.Run_result.sync_msgs;
+  Alcotest.(check int) "sync bits" g.sync_bits res.Run_result.sync_bits;
+  Alcotest.(check bool) "statuses" true
+    (Array.to_list res.Run_result.statuses = g.statuses);
+  Alcotest.(check bool) "no trace under the null instrument" true
+    (res.Run_result.trace = [])
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "seed-engine",
+        List.map
+          (fun g ->
+            Alcotest.test_case
+              (g.algo ^ "/" ^ g.adversary)
+              `Quick (check_one g))
+          goldens );
+    ]

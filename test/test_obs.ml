@@ -1,0 +1,429 @@
+(* Tests for the observer layer: instrument combinators, the counting /
+   trace / metrics sinks (cross-checked against the engine's semantic
+   counters), JSON export, and the online invariant checker — including the
+   negative test where it must abort a run of a deliberately broken
+   algorithm variant. *)
+
+open Model
+open Sync_sim
+open Helpers
+
+let silent ~n ~f =
+  Adversary.Strategies.coordinator_killer ~n ~f
+    ~style:Adversary.Strategies.Silent
+
+let greedy ~n ~f =
+  Adversary.Strategies.coordinator_killer ~n ~f
+    ~style:Adversary.Strategies.Greedy
+
+(* --- Instrument combinators --------------------------------------------- *)
+
+let test_null_is_null () =
+  Alcotest.(check bool) "null" true (Obs.Instrument.is_null Obs.Instrument.null);
+  Alcotest.(check bool) "of_fn not null" false
+    (Obs.Instrument.is_null (Obs.Instrument.of_fn ignore));
+  Alcotest.(check bool) "compose null null" true
+    (Obs.Instrument.is_null
+       (Obs.Instrument.compose Obs.Instrument.null Obs.Instrument.null));
+  Alcotest.(check bool) "filter null" true
+    (Obs.Instrument.is_null
+       (Obs.Instrument.filter (fun _ -> true) Obs.Instrument.null));
+  Alcotest.(check bool) "compose_all []" true
+    (Obs.Instrument.is_null (Obs.Instrument.compose_all []));
+  Alcotest.(check bool) "compose_all [null;null]" true
+    (Obs.Instrument.is_null
+       (Obs.Instrument.compose_all [ Obs.Instrument.null; Obs.Instrument.null ]))
+
+let test_compose_order_and_fanout () =
+  let log = ref [] in
+  let tag name = Obs.Instrument.of_fn (fun x -> log := (name, x) :: !log) in
+  let inst =
+    Obs.Instrument.compose_all
+      [ tag "a"; Obs.Instrument.null; tag "b"; tag "c" ]
+  in
+  Obs.Instrument.emit inst 1;
+  Obs.Instrument.emit inst 2;
+  Alcotest.(check (list (pair string int)))
+    "fan-out in composition order"
+    [ ("a", 1); ("b", 1); ("c", 1); ("a", 2); ("b", 2); ("c", 2) ]
+    (List.rev !log)
+
+let test_filter () =
+  let seen = ref [] in
+  let inst =
+    Obs.Instrument.filter
+      (fun x -> x mod 2 = 0)
+      (Obs.Instrument.of_fn (fun x -> seen := x :: !seen))
+  in
+  List.iter (Obs.Instrument.emit inst) [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check (list int)) "evens only" [ 2; 4; 6 ] (List.rev !seen)
+
+let test_of_module () =
+  let count = ref 0 in
+  let module M = struct
+    type event = int
+
+    let on_event e = count := !count + e
+  end in
+  let inst = Obs.Instrument.of_module (module M : Obs.Instrument.S with type event = int) in
+  Alcotest.(check bool) "not null" false (Obs.Instrument.is_null inst);
+  List.iter (Obs.Instrument.emit inst) [ 1; 10; 100 ];
+  Alcotest.(check int) "module sink saw all" 111 !count
+
+let test_emit_on_null_is_noop () =
+  (* Must not raise, must not do anything. *)
+  Obs.Instrument.emit Obs.Instrument.null (failwith, "already evaluated");
+  Alcotest.(check pass) "no-op" () ()
+
+(* --- Counters ------------------------------------------------------------ *)
+
+let test_counters_direct () =
+  let c = Obs.Counters.create () in
+  Obs.Counters.record_data c ~bits:32;
+  Obs.Counters.record_data c ~bits:8;
+  Obs.Counters.record_sync c;
+  Obs.Counters.record_sync c;
+  Obs.Counters.record_sync c;
+  Alcotest.(check int) "data msgs" 2 c.Obs.Counters.data_msgs;
+  Alcotest.(check int) "data bits" 40 c.Obs.Counters.data_bits;
+  Alcotest.(check int) "sync msgs" 3 c.Obs.Counters.sync_msgs;
+  Alcotest.(check int) "sync bits" 3 c.Obs.Counters.sync_bits;
+  Alcotest.(check int) "total msgs" 5 (Obs.Counters.total_msgs c);
+  Alcotest.(check int) "total bits" 43 (Obs.Counters.total_bits c)
+
+(* --- Trace sink ---------------------------------------------------------- *)
+
+let test_trace_sink_order () =
+  let ts = Obs.Trace_sink.create () in
+  let inst = Obs.Trace_sink.instrument ts in
+  List.iter (Obs.Instrument.emit inst) [ "x"; "y"; "z" ];
+  Alcotest.(check (list string)) "chronological" [ "x"; "y"; "z" ]
+    (Obs.Trace_sink.events ts);
+  Alcotest.(check int) "length" 3 (Obs.Trace_sink.length ts);
+  Obs.Trace_sink.clear ts;
+  Alcotest.(check int) "cleared" 0 (Obs.Trace_sink.length ts)
+
+(* record_trace is sugar for an internal trace sink: the trace in the
+   result must equal what an external trace sink (projected through
+   Trace.of_obs) records of the same run. *)
+let test_record_trace_equals_external_sink () =
+  let n = 8 and t = 6 in
+  let proposals = Engine.distinct_proposals n in
+  let schedule = silent ~n ~f:3 in
+  let via_flag = run_rwwc ~record_trace:true ~n ~t ~schedule ~proposals () in
+  let ts = Obs.Trace_sink.create () in
+  let via_sink =
+    Rwwc_runner.run
+      (Engine.config
+         ~instrument:(Obs.Trace_sink.instrument ts)
+         ~schedule ~n ~t ~proposals ())
+  in
+  Alcotest.(check bool) "same trace" true
+    (via_flag.Run_result.trace
+    = List.filter_map Trace.of_obs (Obs.Trace_sink.events ts));
+  Alcotest.(check bool) "untraced result has empty trace" true
+    (via_sink.Run_result.trace = [])
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let test_json_scalars () =
+  let open Obs.Json in
+  Alcotest.(check string) "null" "null" (to_string Null);
+  Alcotest.(check string) "true" "true" (to_string (Bool true));
+  Alcotest.(check string) "int" "-42" (to_string (Int (-42)));
+  Alcotest.(check string) "nan -> null" "null" (to_string (Float nan));
+  Alcotest.(check string) "inf -> null" "null" (to_string (Float infinity));
+  Alcotest.(check string) "float" "1.5" (to_string (Float 1.5))
+
+let test_json_escaping () =
+  let open Obs.Json in
+  Alcotest.(check string) "quotes and backslash" {|"a\"b\\c"|}
+    (to_string (String {|a"b\c|}));
+  Alcotest.(check string) "control chars" {|"\n\t\u0001"|}
+    (to_string (String "\n\t\001"))
+
+let test_json_structures () =
+  let open Obs.Json in
+  Alcotest.(check string) "nested"
+    {|{"xs":[1,2],"o":{"k":"v"},"e":[],"eo":{}}|}
+    (to_string
+       (Obj
+          [
+            ("xs", List [ Int 1; Int 2 ]);
+            ("o", Obj [ ("k", String "v") ]);
+            ("e", List []);
+            ("eo", Obj []);
+          ]))
+
+(* --- Metrics vs. the engine's semantic counters -------------------------- *)
+
+let check_metrics_match (res : Run_result.t) (m : Obs.Metrics.t) =
+  let c = Obs.Metrics.counters m in
+  Alcotest.(check int) "data msgs" res.Run_result.data_msgs
+    c.Obs.Counters.data_msgs;
+  Alcotest.(check int) "data bits" res.Run_result.data_bits
+    c.Obs.Counters.data_bits;
+  Alcotest.(check int) "sync msgs" res.Run_result.sync_msgs
+    c.Obs.Counters.sync_msgs;
+  Alcotest.(check int) "sync bits" res.Run_result.sync_bits
+    c.Obs.Counters.sync_bits;
+  Alcotest.(check int) "rounds" res.Run_result.rounds_executed
+    (Obs.Metrics.rounds m);
+  Alcotest.(check int) "decided"
+    (List.length (Run_result.decisions res))
+    (Obs.Metrics.decided m);
+  Alcotest.(check int) "crashes"
+    (Pid.Set.cardinal (Run_result.all_crashes res))
+    (Obs.Metrics.crashes m)
+
+let run_with_metrics runner ~n ~t ~schedule =
+  let m = Obs.Metrics.create () in
+  let res =
+    runner
+      (Engine.config
+         ~instrument:(Obs.Metrics.instrument m)
+         ~schedule ~n ~t ~proposals:(Engine.distinct_proposals n) ())
+  in
+  (res, m)
+
+let test_metrics_match_result () =
+  let n = 8 and t = 6 in
+  List.iter
+    (fun (name, schedule) ->
+      List.iter
+        (fun (algo, runner) ->
+          (* Greedy schedules use extended-model crash points rwwc-only. *)
+          if not (name = "greedy-f3" && algo <> "rwwc") then begin
+            let res, m = run_with_metrics runner ~n ~t ~schedule in
+            Alcotest.(check pass) (algo ^ "/" ^ name) () ();
+            check_metrics_match res m
+          end)
+        [
+          ("rwwc", Rwwc_runner.run);
+          ("flood", Flood_runner.run);
+          ("es", Es_runner.run);
+        ])
+    [
+      ("none", Schedule.empty);
+      ("silent-f3", silent ~n ~f:3);
+      ("greedy-f3", greedy ~n ~f:3);
+    ]
+
+let test_metrics_per_round_sums () =
+  let res, m =
+    run_with_metrics Rwwc_runner.run ~n:8 ~t:6 ~schedule:(greedy ~n:8 ~f:3)
+  in
+  let rows = Obs.Metrics.per_round m in
+  Alcotest.(check int) "one bucket per round" res.Run_result.rounds_executed
+    (List.length rows);
+  List.iteri
+    (fun i (r : Obs.Metrics.round_stats) ->
+      Alcotest.(check int) "rounds are 1-based and contiguous" (i + 1) r.round)
+    rows;
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Alcotest.(check int) "data msgs sum" res.Run_result.data_msgs
+    (sum (fun (r : Obs.Metrics.round_stats) -> r.data_msgs));
+  Alcotest.(check int) "data bits sum" res.Run_result.data_bits
+    (sum (fun (r : Obs.Metrics.round_stats) -> r.data_bits));
+  Alcotest.(check int) "sync msgs sum" res.Run_result.sync_msgs
+    (sum (fun (r : Obs.Metrics.round_stats) -> r.sync_msgs));
+  Alcotest.(check int) "decisions sum"
+    (List.length (Run_result.decisions res))
+    (sum (fun (r : Obs.Metrics.round_stats) -> r.decisions));
+  Alcotest.(check int) "crashes sum"
+    (Pid.Set.cardinal (Run_result.all_crashes res))
+    (sum (fun (r : Obs.Metrics.round_stats) -> r.crashes))
+
+let test_metrics_aggregate_across_runs () =
+  let m = Obs.Metrics.create () in
+  let inst = Obs.Metrics.instrument m in
+  let n = 6 and t = 4 in
+  let one schedule =
+    Rwwc_runner.run
+      (Engine.config ~instrument:inst ~schedule ~n ~t
+         ~proposals:(Engine.distinct_proposals n) ())
+  in
+  let r1 = one Schedule.empty in
+  let r2 = one (silent ~n ~f:2) in
+  Alcotest.(check int) "runs" 2 (Obs.Metrics.runs m);
+  Alcotest.(check int) "summed data msgs"
+    (r1.Run_result.data_msgs + r2.Run_result.data_msgs)
+    (Obs.Metrics.counters m).Obs.Counters.data_msgs;
+  Alcotest.(check int) "rounds is the max"
+    (max r1.Run_result.rounds_executed r2.Run_result.rounds_executed)
+    (Obs.Metrics.rounds m)
+
+let test_metrics_json_shape () =
+  let _, m =
+    run_with_metrics Rwwc_runner.run ~n:8 ~t:6 ~schedule:(silent ~n:8 ~f:3)
+  in
+  let s = Obs.Json.to_string (Obs.Metrics.to_json m) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (contains_substring s needle))
+    [
+      {|"rounds":|};
+      {|"data_msgs":|};
+      {|"sync_bits":|};
+      {|"per_round":[|};
+      {|"decision_latency":|};
+    ]
+
+(* --- Online invariants --------------------------------------------------- *)
+
+let test_online_clean_runs () =
+  let n = 8 and t = 6 in
+  List.iter
+    (fun schedule ->
+      let proposals = Engine.distinct_proposals n in
+      let guard = Obs.Online_invariants.create ~n ~t ~proposals () in
+      let res =
+        Rwwc_runner.run
+          (Engine.config
+             ~instrument:(Obs.Online_invariants.instrument guard)
+             ~schedule ~n ~t ~proposals ())
+      in
+      Alcotest.(check bool) "terminated" true (Run_result.all_correct_decided res);
+      Alcotest.(check bool) "saw events" true
+        (Obs.Online_invariants.events_seen guard > 0))
+    [ Schedule.empty; silent ~n ~f:3; greedy ~n ~f:3 ]
+
+(* The headline negative test: Rwwc without the sync phase (Data_decide)
+   violates uniform agreement on the classic witness schedule, and the
+   online checker must abort the run with Violation — not let it finish. *)
+module Broken_runner = Engine.Make (Core.Rwwc_variants.Data_decide)
+
+let test_online_catches_broken_variant () =
+  let n = 4 and t = 2 in
+  let proposals = Engine.distinct_proposals n in
+  let schedule =
+    Schedule.of_list
+      [
+        ( Pid.of_int 1,
+          Crash.make ~round:1 (Crash.During_data (Pid.set_of_ints [ 4 ])) );
+      ]
+  in
+  let guard = Obs.Online_invariants.create ~n ~t ~proposals () in
+  Alcotest.(check bool) "aborts with Violation" true
+    (try
+       ignore
+         (Broken_runner.run
+            (Engine.config
+               ~instrument:(Obs.Online_invariants.instrument guard)
+               ~schedule ~n ~t ~proposals ()));
+       false
+     with Obs.Online_invariants.Violation msg ->
+       contains_substring msg "agree");
+  (* Sanity: without the guard the run completes and indeed disagrees. *)
+  let res =
+    Broken_runner.run (Engine.config ~schedule ~n ~t ~proposals ())
+  in
+  Alcotest.(check bool) "seed disagreement" true
+    (List.length (Run_result.decided_values res) > 1)
+
+(* Synthetic streams: drive the checker directly, one violation per case. *)
+let feed guard events =
+  let inst = Obs.Online_invariants.instrument guard in
+  List.iter (Obs.Instrument.emit inst) events
+
+let expect_violation ~substr guard events =
+  Alcotest.(check bool)
+    ("raises mentioning " ^ substr)
+    true
+    (try
+       feed guard events;
+       false
+     with Obs.Online_invariants.Violation msg -> contains_substring msg substr)
+
+let decided ~round ~pid ~value =
+  Obs.Event.Decided { round; pid = Pid.of_int pid; value }
+
+let crashed ~round ~pid =
+  Obs.Event.Crashed
+    { round; pid = Pid.of_int pid; point = Crash.Before_send }
+
+let guard ?check_termination ?bound () =
+  Obs.Online_invariants.create ?check_termination ?bound ~n:3 ~t:1
+    ~proposals:[| 10; 20; 30 |] ()
+
+let test_online_synthetic_violations () =
+  expect_violation ~substr:"validity" (guard ())
+    [ decided ~round:1 ~pid:1 ~value:99 ];
+  expect_violation ~substr:"agree" (guard ())
+    [ decided ~round:1 ~pid:1 ~value:10; decided ~round:1 ~pid:2 ~value:20 ];
+  expect_violation ~substr:"twice" (guard ())
+    [ decided ~round:1 ~pid:1 ~value:10; decided ~round:2 ~pid:1 ~value:10 ];
+  expect_violation ~substr:"crash" (guard ())
+    [ crashed ~round:1 ~pid:1; decided ~round:2 ~pid:1 ~value:10 ];
+  expect_violation ~substr:"budget" (guard ())
+    [ crashed ~round:1 ~pid:1; crashed ~round:1 ~pid:2 ];
+  expect_violation ~substr:"bound" (guard ~bound:2 ())
+    [ decided ~round:3 ~pid:1 ~value:10 ];
+  expect_violation ~substr:"termination" (guard ())
+    [ decided ~round:1 ~pid:1 ~value:10; Obs.Event.Run_end { rounds = 1 } ]
+
+let test_online_termination_check_optional () =
+  let g = guard ~check_termination:false () in
+  feed g [ decided ~round:1 ~pid:1 ~value:10; Obs.Event.Run_end { rounds = 1 } ];
+  Alcotest.(check int) "consumed both events" 2
+    (Obs.Online_invariants.events_seen g)
+
+let test_online_clean_stream_accepted () =
+  let g = guard () in
+  feed g
+    [
+      Obs.Event.Round_begin { round = 1 };
+      decided ~round:1 ~pid:1 ~value:20;
+      decided ~round:1 ~pid:2 ~value:20;
+      crashed ~round:1 ~pid:3;
+      Obs.Event.Run_end { rounds = 1 };
+    ];
+  Alcotest.(check int) "all events consumed" 5
+    (Obs.Online_invariants.events_seen g)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "instrument",
+        [
+          Alcotest.test_case "null" `Quick test_null_is_null;
+          Alcotest.test_case "compose" `Quick test_compose_order_and_fanout;
+          Alcotest.test_case "filter" `Quick test_filter;
+          Alcotest.test_case "of-module" `Quick test_of_module;
+          Alcotest.test_case "emit-null" `Quick test_emit_on_null_is_noop;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "direct" `Quick test_counters_direct ] );
+      ( "trace-sink",
+        [
+          Alcotest.test_case "order" `Quick test_trace_sink_order;
+          Alcotest.test_case "record-trace-equivalence" `Quick
+            test_record_trace_equals_external_sink;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "structures" `Quick test_json_structures;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "matches-result" `Quick test_metrics_match_result;
+          Alcotest.test_case "per-round-sums" `Quick test_metrics_per_round_sums;
+          Alcotest.test_case "aggregates" `Quick test_metrics_aggregate_across_runs;
+          Alcotest.test_case "json-shape" `Quick test_metrics_json_shape;
+        ] );
+      ( "online-invariants",
+        [
+          Alcotest.test_case "clean-runs" `Quick test_online_clean_runs;
+          Alcotest.test_case "catches-broken-variant" `Quick
+            test_online_catches_broken_variant;
+          Alcotest.test_case "synthetic-violations" `Quick
+            test_online_synthetic_violations;
+          Alcotest.test_case "termination-optional" `Quick
+            test_online_termination_check_optional;
+          Alcotest.test_case "clean-stream" `Quick
+            test_online_clean_stream_accepted;
+        ] );
+    ]

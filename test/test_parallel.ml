@@ -77,6 +77,36 @@ let test_find_first_deterministic () =
   Alcotest.(check (option int)) "none" None
     (Parallel.Pool.find_first ~domains:4 (fun _ -> None) xs)
 
+(* Witness determinism must not depend on parallelism: with many matches
+   scattered through the input, every domain count in 1..8 must report the
+   match at the smallest input index — even though a later chunk's worker
+   may well hit its own match first in wall-clock time. *)
+let test_find_first_input_order_all_domains () =
+  let xs = Array.init 500 Fun.id in
+  (* Matches at 123, 246, 369, 492; input-order winner is 123. *)
+  let f x = if x > 0 && x mod 123 = 0 then Some (10 * x) else None in
+  for domains = 1 to 8 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "domains=%d smallest-index witness" domains)
+      (Some 1230)
+      (Parallel.Pool.find_first ~domains f xs)
+  done
+
+(* Same contract for exceptions: map must re-raise the offender with the
+   smallest input index, for every domain count in 1..8. Offenders at
+   41, 82, ... — input-order first is 41. *)
+let test_map_first_exception_all_domains () =
+  let f x = if x > 0 && x mod 41 = 0 then failwith (string_of_int x) else x in
+  for domains = 1 to 8 do
+    Alcotest.(check string)
+      (Printf.sprintf "domains=%d smallest-index offender" domains)
+      "41"
+      (try
+         ignore (Parallel.Pool.map ~domains f (Array.init 300 Fun.id));
+         "no exception"
+       with Failure m -> m)
+  done
+
 (* Real workload: the same consensus runs, inline vs under the pool. *)
 let test_simulations_under_domains () =
   let scenarios =
@@ -122,6 +152,10 @@ let () =
           Alcotest.test_case "first-exception" `Quick test_first_exception_in_input_order;
           Alcotest.test_case "count-if" `Quick test_count_if;
           Alcotest.test_case "find-first" `Quick test_find_first_deterministic;
+          Alcotest.test_case "find-first-order-1-8" `Quick
+            test_find_first_input_order_all_domains;
+          Alcotest.test_case "map-exception-order-1-8" `Quick
+            test_map_first_exception_all_domains;
           Alcotest.test_case "simulations" `Quick test_simulations_under_domains;
           Alcotest.test_case "defaults" `Quick test_default_domains_positive;
         ] );
