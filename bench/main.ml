@@ -156,6 +156,32 @@ let bench_lan () =
                schedule)
           ~n ~t:(n - 2) ~proposals:(Harness.Workloads.distinct n) ()))
 
+(* Chaos: the retransmitting transport under a seeded network storm — the
+   kernel behind EXP-CHAOS.  Measures the full masked run including fault
+   draws, retries and ack bookkeeping. *)
+
+module Masked_rwwc =
+  Lan.Masked.Make
+    (Core.Rwwc)
+    (struct
+      let big_d = 10.0
+      let delta = 1.0
+      let retry_budget = 2
+    end)
+
+module Masked_runner = Timed_sim.Timed_engine.Make (Masked_rwwc)
+
+let bench_chaos () =
+  let n = 6 in
+  ignore
+    (Masked_runner.run
+       (Timed_sim.Timed_engine.config
+          ~latency:(Timed_sim.Timed_engine.Uniform { lo = 0.5; hi = 5.0 })
+          ~faults:
+            (Adversary.Net_faults.network_storm ~drop:0.1 ~duplicate:0.05
+               ~jitter:0.2 ~jitter_spread:2.5 ~seed:11L ())
+          ~seed:11L ~n ~t:(n - 2) ~proposals:(Harness.Workloads.distinct n) ()))
+
 (* Engine throughput references. *)
 
 let bench_eff () =
@@ -224,6 +250,7 @@ let tests =
     Test.make ~name:"table-ABL/broken-variant-n4" (Staged.stage bench_abl);
     Test.make ~name:"table-UNI/nonuniform-n8-f2" (Staged.stage bench_uni);
     Test.make ~name:"table-LAN/rwwc-on-lan-n8-f2" (Staged.stage bench_lan);
+    Test.make ~name:"table-CHAOS/masked-storm-n6" (Staged.stage bench_chaos);
     Test.make ~name:"table-EFF/floodset-n32" (Staged.stage bench_eff);
     Test.make ~name:"engine/rwwc-n64-f16" (Staged.stage bench_engine_large);
     Test.make ~name:"obs/rwwc-null-n32" (Staged.stage bench_obs_null);

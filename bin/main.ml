@@ -401,6 +401,77 @@ let bivalency_cmd =
     (Cmd.info "bivalency" ~doc:"Valence analysis of the configuration graph.")
     Term.(const go $ n $ t)
 
+(* --- chaos ---------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Number of processes.") in
+  let drop =
+    Arg.(value & opt float 0.1
+         & info [ "drop-rate" ] ~docv:"P"
+             ~doc:"Per-message drop probability of the network storm.")
+  in
+  let dup =
+    Arg.(value & opt (some float) None
+         & info [ "dup-rate" ] ~docv:"P"
+             ~doc:"Per-message duplication probability (default drop/2).")
+  in
+  let budget =
+    Arg.(value & opt int 1
+         & info [ "retry-budget" ] ~docv:"K"
+             ~doc:"Retransmissions per unacked message before a round is \
+                   declared lost.")
+  in
+  let runs =
+    Arg.(value & opt int 50
+         & info [ "runs" ] ~docv:"R" ~doc:"Soak: number of seeded runs.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed.") in
+  let go n drop dup budget runs seed =
+    let dup = Option.value dup ~default:(drop /. 2.0) in
+    let masked = ref 0 and detected = ref 0 and wrong = ref 0 in
+    let injected = ref 0 in
+    let sample = ref None in
+    for k = 0 to runs - 1 do
+      let faults =
+        Adversary.Net_faults.network_storm ~drop ~duplicate:dup
+          ~seed:(Int64.of_int (seed + 1000 + k))
+          ()
+      in
+      let verdict, faults_injected =
+        Harness.Exp_chaos.run_one ~n ~budget ~faults
+          ~seed:(Int64.of_int (seed + k))
+          ()
+      in
+      injected := !injected + faults_injected;
+      match verdict with
+      | Harness.Exp_chaos.Masked -> incr masked
+      | Harness.Exp_chaos.Detected v ->
+        incr detected;
+        if !sample = None then sample := Some v
+      | Harness.Exp_chaos.Wrong why ->
+        incr wrong;
+        Format.printf "WRONG (seed %d): %s@." (seed + k) why
+    done;
+    Format.printf
+      "chaos soak: n=%d drop=%.2f dup=%.2f retry-budget=%d runs=%d@." n drop
+      dup budget runs;
+    Format.printf
+      "  masked %d, detected %d, wrong %d (%d faults injected)@." !masked
+      !detected !wrong !injected;
+    (match !sample with
+    | Some v ->
+      Format.printf "  sample report: %s@." (Net.Synchrony_violation.to_string v)
+    | None -> ());
+    if !wrong = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak the fault-masking LAN transport under an unreliable network: \
+          every run must either match the abstract engine or abort with a \
+          structured synchrony-violation report.")
+    Term.(const go $ n $ drop $ dup $ budget $ runs $ seed)
+
 (* --- snapshot ------------------------------------------------------------- *)
 
 let snapshot_cmd =
@@ -442,5 +513,6 @@ let () =
             experiments_cmd;
             lower_bound_cmd;
             bivalency_cmd;
+            chaos_cmd;
             snapshot_cmd;
           ]))

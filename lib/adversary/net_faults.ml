@@ -1,0 +1,18 @@
+let network_storm ?(drop = 0.1) ?(duplicate = 0.05) ?(jitter = 0.2)
+    ?(jitter_spread = 1.0) ~seed () =
+  Net.Fault_plan.create ~name:"network-storm" ~drop ~duplicate ~jitter
+    ~jitter_spread ~seed ()
+
+let targeted_link_cut ?(from_time = 0.0) ?(until = infinity) ~src ~dst ~seed
+    () =
+  Net.Fault_plan.create ~name:"targeted-link-cut"
+    ~cuts:[ Net.Fault_plan.cut ~src ~dst ~from_time ~until () ]
+    ~seed ()
+
+let receiver_isolation ?(from_time = 0.0) ?(until = infinity) ~dst ~seed () =
+  Net.Fault_plan.create ~name:"receiver-isolation"
+    ~cuts:[ Net.Fault_plan.cut ~dst ~from_time ~until () ]
+    ~seed ()
+
+let latency_burst ?(spike = 0.05) ?(spike_factor = 3.0) ~seed () =
+  Net.Fault_plan.create ~name:"latency-burst" ~spike ~spike_factor ~seed ()

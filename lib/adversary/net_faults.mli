@@ -1,0 +1,47 @@
+(** Named network-fault adversaries — {!Net.Fault_plan} constructors.
+
+    The channel-level counterpart of {!Strategies}: each generator is a
+    deterministic seeded scenario the chaos harness (EXP-CHAOS) and the
+    [chaos] CLI subcommand sweep over.  All plans are replayable from
+    their seed. *)
+
+open Model
+
+val network_storm :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?jitter:float ->
+  ?jitter_spread:float ->
+  seed:int64 ->
+  unit ->
+  Net.Fault_plan.t
+(** Uniform chaos on every link: drops (default 10%), duplicates (5%) and
+    reordering jitter (20%, spread 1.0).  The canonical "lossy LAN". *)
+
+val targeted_link_cut :
+  ?from_time:float ->
+  ?until:float ->
+  src:Pid.t ->
+  dst:Pid.t ->
+  seed:int64 ->
+  unit ->
+  Net.Fault_plan.t
+(** Deterministically sever one directed link for a time window (default:
+    the whole run).  No retry budget masks a permanent cut — the scenario
+    that {e must} end in a detected {!Net.Synchrony_violation}. *)
+
+val receiver_isolation :
+  ?from_time:float ->
+  ?until:float ->
+  dst:Pid.t ->
+  seed:int64 ->
+  unit ->
+  Net.Fault_plan.t
+(** Cut every link into [dst]: the process is unreachable (but alive and
+    sending) — a network partition of size one. *)
+
+val latency_burst :
+  ?spike:float -> ?spike_factor:float -> seed:int64 -> unit -> Net.Fault_plan.t
+(** No losses, but a fraction of messages (default 5%) takes
+    [spike_factor ×] (default 3×) their drawn latency — breaking the [D]
+    bound without losing a byte. *)

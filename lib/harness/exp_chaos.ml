@@ -1,0 +1,201 @@
+(** EXP-CHAOS — the LAN realization under an unreliable network.
+
+    Sweeps network fault rates × retransmission budgets over seeded runs of
+    the Figure 1 algorithm on the fault-masking transport ({!Lan.Masked})
+    and checks the two regimes the masking layer promises:
+
+    - {b masked}: every completed run decides exactly like the abstract
+      {!Sync_sim.Engine} (same pids, values and rounds), with the online
+      invariant checker attached to every decision;
+    - {b detected}: every run the budget cannot cover terminates with a
+      structured {!Net.Synchrony_violation} — which round, which link,
+      observed vs. assumed latency.
+
+    The one outcome that must never appear is {b wrong}: a completed run
+    whose decisions differ from the abstract engine, or a decided value
+    that differs from the abstract one in an aborted run.  A single wrong
+    run fails the experiment (and the chaos smoke job in CI). *)
+
+open Model
+
+let big_d = 10.0
+let delta = 1.0
+let n = 6
+
+(* Latencies and reorder jitter stay jointly under D, so jitter alone never
+   breaks the synchrony assumption — only drops, cuts and spikes do. *)
+let latency = Timed_sim.Timed_engine.Uniform { lo = 0.5; hi = big_d /. 2.0 }
+let jitter_spread = big_d /. 4.0
+
+type verdict =
+  | Masked
+  | Detected of Net.Synchrony_violation.t
+  | Wrong of string
+
+let abstract_decisions ~n ~proposals =
+  let res =
+    Runners.Rwwc_runner.run
+      (Sync_sim.Engine.config ~n ~t:(n - 2) ~proposals ())
+  in
+  List.map
+    (fun (pid, v, r) -> (Pid.to_int pid, v, r))
+    (Sync_sim.Run_result.decisions res)
+
+let run_one ?(n = n) ~budget ~faults ~seed () =
+  let module M =
+    Lan.Masked.Make
+      (Core.Rwwc)
+      (struct
+        let big_d = big_d
+        let delta = delta
+        let retry_budget = budget
+      end)
+  in
+  let module R = Timed_sim.Timed_engine.Make (M) in
+  let proposals = Workloads.distinct n in
+  let abstract = abstract_decisions ~n ~proposals in
+  (* Online uniform-consensus guard, bridged from the timed event stream:
+     every decision is checked for validity/agreement the moment it lands. *)
+  let guard =
+    Obs.Online_invariants.create ~check_termination:false ~n ~t:(n - 2)
+      ~proposals ()
+  in
+  let ginst = Obs.Online_invariants.instrument guard in
+  let bridge =
+    Obs.Instrument.of_fn (function
+      | Timed_sim.Timed_engine.Chose { at; pid; value } ->
+        Obs.Instrument.emit ginst
+          (Obs.Event.Decided { round = M.round_of_time at; pid; value })
+      | _ -> ())
+  in
+  let res =
+    R.run
+      (Timed_sim.Timed_engine.config ~latency ~faults ~seed ~instrument:bridge
+         ~n ~t:(n - 2) ~proposals ())
+  in
+  let decided =
+    List.map
+      (fun (pid, v, at) -> (Pid.to_int pid, v, M.round_of_time at))
+      (Timed_sim.Timed_engine.decisions res)
+  in
+  let verdict =
+    match res.Timed_sim.Timed_engine.violations with
+    | v :: _ ->
+      (* Aborted: acceptable only if nothing decided wrongly before the
+         abort landed. *)
+      if List.for_all (fun d -> List.mem d abstract) decided then Detected v
+      else Wrong "decision diverged before the violation was detected"
+    | [] ->
+      if decided = abstract then Masked
+      else Wrong "completed run diverged from the abstract engine"
+  in
+  (verdict, Net.Fault_plan.faults_injected faults)
+
+let pp_share masked total = Printf.sprintf "%d/%d" masked total
+
+let storm_table () =
+  let table =
+    Diag.Table.create
+      ~title:
+        (Printf.sprintf
+           "network-storm sweep over rwwc-masked-lan (n = %d, D = %.0f, \
+            delta = %.0f, 20 seeds per cell; wrong must be 0)"
+           n big_d delta)
+      ~header:
+        [
+          "drop rate";
+          "retry budget";
+          "masked";
+          "detected";
+          "wrong";
+          "faults injected";
+        ]
+      ()
+  in
+  List.iter
+    (fun drop ->
+      List.iter
+        (fun budget ->
+          let masked = ref 0 and detected = ref 0 and wrong = ref 0 in
+          let injected = ref 0 in
+          for seed = 1 to 20 do
+            let faults =
+              Adversary.Net_faults.network_storm ~drop ~duplicate:(drop /. 2.0)
+                ~jitter:0.2 ~jitter_spread
+                ~seed:(Int64.of_int (1000 + seed))
+                ()
+            in
+            let verdict, faults_injected =
+              run_one ~budget ~faults ~seed:(Int64.of_int seed) ()
+            in
+            injected := !injected + faults_injected;
+            match verdict with
+            | Masked -> incr masked
+            | Detected _ -> incr detected
+            | Wrong why ->
+              incr wrong;
+              failwith
+                (Printf.sprintf
+                   "EXP-CHAOS: silently wrong run (drop %.2f budget %d seed \
+                    %d): %s"
+                   drop budget seed why)
+          done;
+          if drop = 0.0 && !detected > 0 then
+            failwith "EXP-CHAOS: zero-fault runs must all be masked";
+          Diag.Table.add_row table
+            [
+              Printf.sprintf "%.2f" drop;
+              Diag.Table.fmt_int budget;
+              pp_share !masked 20;
+              pp_share !detected 20;
+              Diag.Table.fmt_int !wrong;
+              Diag.Table.fmt_int !injected;
+            ])
+        [ 0; 1; 2; 3 ])
+    [ 0.0; 0.05; 0.15; 0.30 ];
+  table
+
+let violation_table () =
+  let table =
+    Diag.Table.create
+      ~title:
+        "over-budget scenarios: every unmasked run is detected with a \
+         structured report"
+      ~header:
+        [ "scenario"; "retry budget"; "outcome"; "synchrony violation report" ]
+      ()
+  in
+  let report scenario budget faults =
+    let verdict, _ = run_one ~budget ~faults ~seed:3L () in
+    let outcome, detail =
+      match verdict with
+      | Masked -> ("masked", "-")
+      | Detected v -> ("detected", Net.Synchrony_violation.to_string v)
+      | Wrong why -> ("WRONG", why)
+    in
+    (match verdict with
+    | Wrong why -> failwith ("EXP-CHAOS: " ^ scenario ^ ": " ^ why)
+    | Masked | Detected _ -> ());
+    Diag.Table.add_row table
+      [ scenario; Diag.Table.fmt_int budget; outcome; detail ]
+  in
+  report "cut p1->p3, whole run"
+    2
+    (Adversary.Net_faults.targeted_link_cut ~src:(Pid.of_int 1)
+       ~dst:(Pid.of_int 3) ~seed:7L ());
+  report "p4 unreachable" 3
+    (Adversary.Net_faults.receiver_isolation ~dst:(Pid.of_int 4) ~seed:7L ());
+  report "latency burst 6x, detect-only budget" 0
+    (Adversary.Net_faults.latency_burst ~spike:0.6 ~spike_factor:6.0 ~seed:7L
+       ());
+  table
+
+let run () = [ storm_table (); violation_table () ]
+
+let experiment =
+  {
+    Experiment.id = "CHAOS";
+    title = "fault masking and graceful degradation on an unreliable LAN";
+    paper_ref = "Section 2.2 (implementability), hardened";
+    run;
+  }

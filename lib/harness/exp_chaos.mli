@@ -1,0 +1,22 @@
+(** EXP-CHAOS — fault-rate × retry-budget sweep over the fault-masking LAN
+    transport: sub-budget runs must decide exactly like the abstract
+    engine, over-budget runs must abort with a structured
+    {!Net.Synchrony_violation} — never a silent wrong decision. *)
+
+(** Classification of one timed run against the abstract engine. *)
+type verdict =
+  | Masked  (** completed and decided exactly like {!Sync_sim.Engine} *)
+  | Detected of Net.Synchrony_violation.t
+      (** aborted with a structured report; no wrong decision escaped *)
+  | Wrong of string  (** silent divergence — must never happen *)
+
+val run_one :
+  ?n:int -> budget:int -> faults:Net.Fault_plan.t -> seed:int64 -> unit ->
+  verdict * int
+(** Run the Figure 1 algorithm once on the retransmitting LAN transport
+    ([retry_budget = budget]) under [faults], with the online invariant
+    checker attached, and classify the outcome.  [n] defaults to 6;
+    [t = n - 2].  Also returns the number of faults the plan injected.
+    Used by the [chaos] subcommand of [bin/main.exe] for soak runs. *)
+
+val experiment : Experiment.t

@@ -15,6 +15,7 @@ let all =
     Exp_lan.experiment;
     Exp_eff.experiment;
     Exp_obs.experiment;
+    Exp_chaos.experiment;
   ]
 
 let find id =

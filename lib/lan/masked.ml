@@ -1,0 +1,238 @@
+open Model
+open Timed_sim
+
+module Make
+    (A : Sync_sim.Algorithm_intf.S)
+    (Params : sig
+      val big_d : float
+      val delta : float
+      val retry_budget : int
+    end) =
+struct
+  type payload = Data of A.msg | Ctl
+
+  type msg =
+    | Payload of { round : int; seq : int; body : payload }
+    | Ack of { round : int; seq : int }
+
+  type pending = { dest : Pid.t; body : payload; attempts : int }
+
+  (* Keys of messages already delivered: (sender, round, seq).  A retransmit
+     or a duplicated copy of a seen message is re-acked and otherwise
+     ignored; only a *fresh* message can be late. *)
+  module Seen = Set.Make (struct
+    type t = int * int * int
+
+    let compare = compare
+  end)
+
+  type state = {
+    a : A.state;
+    me : Pid.t;
+    max_round : int;
+    round : int;  (* currently open round *)
+    computed : int;  (* highest round whose computation phase ran *)
+    outstanding : (int * pending) list;  (* this round's unacked sends *)
+    buf_data : (int * Pid.t * A.msg) list;  (* (round, from, msg) *)
+    buf_syncs : (int * Pid.t) list;
+    seen : Seen.t;
+  }
+
+  let name = A.name ^ "-masked-lan"
+
+  let () =
+    if Params.big_d <= 0.0 || Params.delta <= 0.0 then
+      invalid_arg "Lan.Masked: D and delta must be positive";
+    if Params.delta > Params.big_d then
+      invalid_arg "Lan.Masked: the model premise is delta << D";
+    if Params.retry_budget < 0 then
+      invalid_arg "Lan.Masked: retry_budget must be >= 0"
+
+  (* One transmission plus its ack takes at most 2D; a retransmission fires
+     every rto.  After the last allowed transmission (the [retry_budget]-th
+     retry, at T_r + retry_budget * rto) the ack is conclusive by
+     T_r + (retry_budget + 1) * rto — the window.  The computation phase
+     sits after the window, so "still unacked at compute time" is a sound
+     violation verdict, not a race. *)
+  let rto = 2.0 *. Params.big_d
+
+  let window = float_of_int (Params.retry_budget + 1) *. rto
+
+  let period = window +. Params.delta
+
+  let round_start r = float_of_int (r - 1) *. period
+
+  let compute_time r = round_start r +. window +. (Params.delta /. 2.0)
+
+  let round_of_time time =
+    int_of_float (Float.round ((time +. (Params.delta /. 2.0)) /. period))
+
+  let tag_open r = 4 * r
+
+  let tag_retry r = (4 * r) + 1
+
+  let tag_compute r = (4 * r) + 2
+
+  let pp_payload ppf = function
+    | Data m -> A.pp_msg ppf m
+    | Ctl -> Format.pp_print_string ppf "ctl"
+
+  let pp_msg ppf = function
+    | Payload { round; seq; body } ->
+      Format.fprintf ppf "r%d#%d:%a" round seq pp_payload body
+    | Ack { round; seq } -> Format.fprintf ppf "ack:r%d#%d" round seq
+
+  let transmit ~round (seq, p) =
+    Process_intf.Send (p.dest, Payload { round; seq; body = p.body })
+
+  (* Open round [r]: send the data batch then the ordered control batch
+     (each message sequence-numbered for ack matching), arm the retry timer
+     if there is anything to mask, and schedule the computation phase. *)
+  let open_round state ~round:r =
+    let items =
+      List.map (fun (dest, m) -> (dest, Data m)) (A.data_sends state.a ~round:r)
+      @ List.map (fun dest -> (dest, Ctl)) (A.sync_sends state.a ~round:r)
+    in
+    let outstanding =
+      List.mapi (fun seq (dest, body) -> (seq, { dest; body; attempts = 1 })) items
+    in
+    let sends = List.map (transmit ~round:r) outstanding in
+    let timers =
+      (if Params.retry_budget > 0 && outstanding <> [] then
+         [
+           Process_intf.Set_timer
+             { at = round_start r +. rto; tag = tag_retry r };
+         ]
+       else [])
+      @ [ Process_intf.Set_timer { at = compute_time r; tag = tag_compute r } ]
+    in
+    ({ state with round = r; outstanding }, sends @ timers)
+
+  let init (ctx : Process_intf.ctx) ~me ~proposal =
+    let state =
+      {
+        a = A.init ~n:ctx.n ~t:ctx.t ~me ~proposal;
+        me;
+        max_round = ctx.t + 2;
+        round = 0;
+        computed = 0;
+        outstanding = [];
+        buf_data = [];
+        buf_syncs = [];
+        seen = Seen.empty;
+      }
+    in
+    open_round state ~round:1
+
+  let on_message state ~now ~from msg =
+    match msg with
+    | Ack { round; seq } ->
+      if round = state.round then
+        ( { state with outstanding = List.remove_assoc seq state.outstanding },
+          [] )
+      else (state, []) (* an ack for an already-closed round: harmless *)
+    | Payload { round = mr; seq; body } ->
+      let key = (Pid.to_int from, mr, seq) in
+      let ack = Process_intf.Send (from, Ack { round = mr; seq }) in
+      if Seen.mem key state.seen then
+        (* Retransmit of something we have (our ack was lost or slow), or a
+           duplicated copy: re-ack, ignore the content. *)
+        (state, [ ack ])
+      else if mr <= state.computed then
+        (* Fresh content for a round whose computation already ran: the
+           channel broke the latency assumption and masking cannot repair
+           it — degrade gracefully instead of computing on a wrong view. *)
+        ( state,
+          [
+            Process_intf.Abort
+              (Net.Synchrony_violation.late_arrival ~round:mr ~src:from
+                 ~dst:state.me ~at:now
+                 ~observed:(now -. round_start mr)
+                 ~assumed:window);
+          ] )
+      else
+        let state = { state with seen = Seen.add key state.seen } in
+        let state =
+          match body with
+          | Data m -> { state with buf_data = (mr, from, m) :: state.buf_data }
+          | Ctl -> { state with buf_syncs = (mr, from) :: state.buf_syncs }
+        in
+        (state, [ ack ])
+
+  let on_timer state ~now ~tag =
+    let r = tag / 4 in
+    match tag mod 4 with
+    | 0 -> open_round state ~round:r
+    | 1 ->
+      (* Retry point: retransmit everything still unacked, and keep the
+         timer chain alive while the budget allows another attempt. *)
+      if r <> state.round || state.outstanding = [] then (state, [])
+      else begin
+        let outstanding =
+          List.map
+            (fun (seq, p) -> (seq, { p with attempts = p.attempts + 1 }))
+            state.outstanding
+        in
+        let resends = List.map (transmit ~round:r) outstanding in
+        let more_allowed =
+          List.exists
+            (fun (_, p) -> p.attempts <= Params.retry_budget)
+            outstanding
+        in
+        let timers =
+          if more_allowed then
+            [ Process_intf.Set_timer { at = now +. rto; tag = tag_retry r } ]
+          else []
+        in
+        ({ state with outstanding }, resends @ timers)
+      end
+    | _ -> begin
+      (* Computation phase of round r. *)
+      match state.outstanding with
+      | (_, p) :: _ ->
+        (* The retry budget is spent and an ack never came: either every
+           copy or every ack was lost — beyond what masking covers. *)
+        ( state,
+          [
+            Process_intf.Abort
+              (Net.Synchrony_violation.retry_exhausted ~round:r ~src:state.me
+                 ~dst:p.dest ~at:now ~attempts:p.attempts);
+          ] )
+      | [] ->
+        let mine r' = Int.equal r r' in
+        let data =
+          List.sort
+            (fun (a, _) (b, _) -> Pid.compare a b)
+            (List.filter_map
+               (fun (r', from, m) -> if mine r' then Some (from, m) else None)
+               state.buf_data)
+        and syncs =
+          List.sort Pid.compare
+            (List.filter_map
+               (fun (r', from) -> if mine r' then Some from else None)
+               state.buf_syncs)
+        in
+        let state =
+          {
+            state with
+            computed = r;
+            buf_data = List.filter (fun (r', _, _) -> not (mine r')) state.buf_data;
+            buf_syncs = List.filter (fun (r', _) -> not (mine r')) state.buf_syncs;
+          }
+        in
+        let a, decision = A.compute state.a ~round:r ~data ~syncs in
+        let state = { state with a } in
+        (match decision with
+        | Some v -> (state, [ Process_intf.Decide v ])
+        | None ->
+          if r + 1 > state.max_round then (state, [])
+          else
+            ( state,
+              [
+                Process_intf.Set_timer
+                  { at = round_start (r + 1); tag = tag_open (r + 1) };
+              ] ))
+    end
+
+  let on_suspicion state ~now:_ ~suspects:_ = (state, [])
+end

@@ -1,0 +1,66 @@
+(** A fault-masking realization of the extended round model.
+
+    {!Realization} proves Section 2.2's claim on a {e perfect} LAN: every
+    message arrives within [D], so a round costs [D + δ].  This module is
+    the same construction hardened for an {e unreliable} LAN (a
+    {!Net.Fault_plan} dropping, duplicating and delaying messages): every
+    data/control message is sequence-numbered and acknowledged, and a
+    bounded retransmission protocol masks channel faults below a
+    configurable budget.
+
+    {b Timing.}  With a retransmit timeout of [rto = 2D] (one transmission
+    plus its ack) and a budget of [k] retries per message, a round's send
+    window stretches to [(k+1) · 2D] and the realized round duration is
+    [(k+1) · 2D + δ] — masking is not free, it buys reliability with wall
+    clock, exactly the currency of Section 2.2.
+
+    {b Guarantee.}  Runs whose faults are masked (every message or one of
+    its retransmits acknowledged in its window, nothing fresh arriving
+    late) decide exactly like the abstract {!Sync_sim.Engine}.  Runs whose
+    faults exceed the budget never decide wrongly: the first process to
+    observe an unmaskable fault — a spent retry budget without ack, or a
+    fresh message landing after its round's computation phase — aborts the
+    whole run with a structured {!Net.Synchrony_violation} naming the
+    round, the link and the observed-vs-assumed latency.
+
+    {b Scope.}  The masking argument assumes the network is the only
+    adversary.  Combining fault plans with crash schedules can produce
+    deliveries no crash point of the abstract model can express (e.g. a
+    non-prefix subset of a dead coordinator's control messages, which no
+    retransmission can repair); the chaos harness therefore exercises
+    crashes and network faults separately. *)
+
+module Make
+    (A : Sync_sim.Algorithm_intf.S)
+    (Params : sig
+      val big_d : float
+      (** D: bound on one-way message transfer + processing *)
+
+      val delta : float
+      (** δ: pipelining allowance for the control step *)
+
+      val retry_budget : int
+      (** max retransmissions per message ([0] = detect-only: any loss
+          aborts) *)
+    end) : sig
+  include Timed_sim.Process_intf.S
+
+  val rto : float
+  (** Retransmit timeout, [2D]. *)
+
+  val window : float
+  (** [(retry_budget + 1) · rto]: the stretched send window of a round. *)
+
+  val period : float
+  (** [window + δ], the realized round duration. *)
+
+  val round_start : int -> float
+
+  val compute_time : int -> float
+  (** [round_start r + window + δ/2] — where round [r]'s computation phase
+      (and any decision or violation verdict) lands. *)
+
+  val round_of_time : float -> int
+  (** Map a decision timestamp back to the abstract round that produced
+      it. *)
+end

@@ -1,0 +1,144 @@
+open Model
+
+type cut = {
+  src : Pid.t option;
+  dst : Pid.t option;
+  from_time : float;
+  until : float;
+}
+
+type profile = {
+  drop : float;
+  duplicate : float;
+  jitter : float;
+  jitter_spread : float;
+  spike : float;
+  spike_factor : float;
+  cuts : cut list;
+}
+
+type stats = {
+  mutable messages : int;
+  mutable dropped : int;
+  mutable cut : int;
+  mutable duplicated : int;
+  mutable jittered : int;
+  mutable spiked : int;
+}
+
+type t =
+  | Reliable
+  | Faulty of {
+      name : string;
+      profile : profile;
+      rng : Prng.Rng.t;
+      stats : stats;
+    }
+
+let reliable = Reliable
+
+let is_reliable = function Reliable -> true | Faulty _ -> false
+
+let check_prob what p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Fault_plan: %s must be in [0, 1]" what)
+
+let cut ?src ?dst ?(from_time = 0.0) ?(until = infinity) () =
+  if from_time < 0.0 || until < from_time then
+    invalid_arg "Fault_plan.cut: need 0 <= from_time <= until";
+  { src; dst; from_time; until }
+
+let create ?(name = "faulty") ?(drop = 0.0) ?(duplicate = 0.0) ?(jitter = 0.0)
+    ?(jitter_spread = 0.0) ?(spike = 0.0) ?(spike_factor = 2.0) ?(cuts = [])
+    ~seed () =
+  check_prob "drop" drop;
+  check_prob "duplicate" duplicate;
+  check_prob "jitter" jitter;
+  check_prob "spike" spike;
+  if jitter_spread < 0.0 then
+    invalid_arg "Fault_plan: jitter_spread must be >= 0";
+  if spike_factor <= 1.0 then
+    invalid_arg "Fault_plan: spike_factor must be > 1";
+  Faulty
+    {
+      name;
+      profile =
+        { drop; duplicate; jitter; jitter_spread; spike; spike_factor; cuts };
+      rng = Prng.Rng.create ~seed;
+      stats =
+        {
+          messages = 0;
+          dropped = 0;
+          cut = 0;
+          duplicated = 0;
+          jittered = 0;
+          spiked = 0;
+        };
+    }
+
+let name = function Reliable -> "reliable" | Faulty { name; _ } -> name
+
+let in_cut c ~src ~dst ~at =
+  (match c.src with None -> true | Some p -> Pid.equal p src)
+  && (match c.dst with None -> true | Some p -> Pid.equal p dst)
+  && at >= c.from_time && at <= c.until
+
+(* Every Bernoulli draw happens unconditionally and in a fixed order, so the
+   stream of rng consumption — hence the whole run — depends only on the
+   sequence of sends, never on which faults fired. *)
+let deliveries t ~src ~dst ~at ~latency =
+  match t with
+  | Reliable -> [ latency ]
+  | Faulty { profile = p; rng; stats; _ } ->
+    stats.messages <- stats.messages + 1;
+    let draw () = Prng.Rng.float rng 1.0 in
+    let one_copy () =
+      let spiked = draw () < p.spike in
+      let jittered = draw () < p.jitter in
+      let extra =
+        if jittered then Prng.Rng.float rng (Float.max p.jitter_spread 1e-9)
+        else 0.0
+      in
+      let l = if spiked then latency *. p.spike_factor else latency in
+      if spiked then stats.spiked <- stats.spiked + 1;
+      if jittered && p.jitter_spread > 0.0 then
+        stats.jittered <- stats.jittered + 1;
+      l +. extra
+    in
+    let dropped = draw () < p.drop in
+    let duplicated = draw () < p.duplicate in
+    let first = one_copy () in
+    let second = if duplicated then Some (one_copy ()) else None in
+    if List.exists (fun c -> in_cut c ~src ~dst ~at) p.cuts then begin
+      stats.cut <- stats.cut + 1;
+      []
+    end
+    else if dropped then begin
+      stats.dropped <- stats.dropped + 1;
+      []
+    end
+    else
+      match second with
+      | None -> [ first ]
+      | Some s ->
+        stats.duplicated <- stats.duplicated + 1;
+        [ first; s ]
+
+let stats = function
+  | Reliable -> None
+  | Faulty { stats; _ } -> Some stats
+
+let faults_injected = function
+  | Reliable -> 0
+  | Faulty { stats; _ } ->
+    stats.dropped + stats.cut + stats.duplicated + stats.jittered
+    + stats.spiked
+
+let pp ppf = function
+  | Reliable -> Format.pp_print_string ppf "reliable"
+  | Faulty { name; profile = p; stats; _ } ->
+    Format.fprintf ppf
+      "%s(drop=%.2f dup=%.2f jitter=%.2f spike=%.2f cuts=%d; seen %d msgs, \
+       %d dropped, %d cut, %d duplicated, %d spiked)"
+      name p.drop p.duplicate p.jitter p.spike (List.length p.cuts)
+      stats.messages stats.dropped stats.cut stats.duplicated stats.spiked

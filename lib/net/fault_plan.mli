@@ -1,0 +1,85 @@
+(** Per-channel network fault plans — the message adversary.
+
+    A fault plan decides the fate of every message a timed engine hands to
+    the network: delivered once (possibly late), delivered twice, or not at
+    all.  It is the unreliable-network counterpart of the crash adversary
+    ({!Adversary.Strategies}): crashes break {e processes}, fault plans
+    break {e channels}.  Dolev–Gafni's hybrid message adversary motivates
+    treating the two as first-class peers.
+
+    Determinism: a plan owns a private seeded stream, and every probability
+    is drawn unconditionally in a fixed order per message — equal seeds and
+    equal send sequences give equal fault patterns, so every chaos run is
+    replayable.  The plan never touches the engine's own rng: injecting a
+    zero-rate plan leaves a run byte-identical to the {!reliable} one.
+
+    A plan is stateful across one run (it counts what it injected); build a
+    fresh plan per run. *)
+
+open Model
+
+type cut = {
+  src : Pid.t option;  (** [None] = any sender *)
+  dst : Pid.t option;  (** [None] = any receiver *)
+  from_time : float;
+  until : float;
+}
+(** A link cut: messages matching ([src], [dst]) handed to the network
+    within [\[from_time, until\]] are lost, deterministically. *)
+
+type stats = {
+  mutable messages : int;  (** messages offered to the plan *)
+  mutable dropped : int;  (** lost to the random drop rate *)
+  mutable cut : int;  (** lost to a link cut *)
+  mutable duplicated : int;  (** delivered twice *)
+  mutable jittered : int;  (** reordering jitter added *)
+  mutable spiked : int;  (** latency multiplied beyond the bound *)
+}
+
+type t
+
+val reliable : t
+(** The perfect network: every message delivered exactly once at its drawn
+    latency.  The engine default; recognizable in O(1). *)
+
+val is_reliable : t -> bool
+
+val cut :
+  ?src:Pid.t -> ?dst:Pid.t -> ?from_time:float -> ?until:float -> unit -> cut
+(** Defaults: any sender, any receiver, for the whole run. *)
+
+val create :
+  ?name:string ->
+  ?drop:float ->
+  ?duplicate:float ->
+  ?jitter:float ->
+  ?jitter_spread:float ->
+  ?spike:float ->
+  ?spike_factor:float ->
+  ?cuts:cut list ->
+  seed:int64 ->
+  unit ->
+  t
+(** [create ~seed ()] with per-message probabilities, all defaulting to 0:
+    [drop] loses the message; [duplicate] delivers a second copy; [jitter]
+    adds a uniform extra delay in [\[0, jitter_spread)] (reordering);
+    [spike] multiplies the latency by [spike_factor] (> 1), modelling a
+    burst that breaks the [D] bound.  [cuts] are checked first and are
+    deterministic.  Raises [Invalid_argument] on a probability outside
+    [0, 1], a negative spread, or [spike_factor <= 1]. *)
+
+val deliveries :
+  t -> src:Pid.t -> dst:Pid.t -> at:float -> latency:float -> float list
+(** The latencies at which copies of this message arrive: [[]] = lost,
+    one element = normal, two = duplicated.  [latency] is the engine's
+    drawn channel latency for the message. *)
+
+val name : t -> string
+
+val stats : t -> stats option
+(** [None] for {!reliable}. *)
+
+val faults_injected : t -> int
+(** Total faults of any kind injected so far; [0] for {!reliable}. *)
+
+val pp : Format.formatter -> t -> unit

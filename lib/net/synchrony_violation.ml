@@ -1,0 +1,32 @@
+open Model
+
+type kind =
+  | Retry_exhausted of { attempts : int }
+  | Late_arrival of { observed : float; assumed : float }
+
+type t = {
+  round : int;
+  src : Pid.t;
+  dst : Pid.t;
+  at : float;
+  kind : kind;
+}
+
+let retry_exhausted ~round ~src ~dst ~at ~attempts =
+  { round; src; dst; at; kind = Retry_exhausted { attempts } }
+
+let late_arrival ~round ~src ~dst ~at ~observed ~assumed =
+  { round; src; dst; at; kind = Late_arrival { observed; assumed } }
+
+let pp_kind ppf = function
+  | Retry_exhausted { attempts } ->
+    Format.fprintf ppf "no ack after %d transmission(s)" attempts
+  | Late_arrival { observed; assumed } ->
+    Format.fprintf ppf "message arrived %.3f after round start (assumed <= %.3f)"
+      observed assumed
+
+let pp ppf v =
+  Format.fprintf ppf "synchrony violation: round %d, link %a->%a, t=%.3f: %a"
+    v.round Pid.pp v.src Pid.pp v.dst v.at pp_kind v.kind
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,46 @@
+(** Structured diagnosis of a broken synchrony assumption.
+
+    The LAN realization of the extended model (Section 2.2) assumes every
+    round-[r] message is on the wire for at most [D].  Under an unreliable
+    network that assumption can fail; rather than silently producing a wrong
+    decision, the fault-masking transport aborts the run with one of these
+    reports: which round, which link, and what was observed against what was
+    assumed.  Detection is {e conservative}: a report means the masking
+    budget could not certify the round, never that a wrong decision
+    happened. *)
+
+open Model
+
+type kind =
+  | Retry_exhausted of { attempts : int }
+      (** The sender exhausted its retry budget without an acknowledgement:
+          either every copy of the message was lost, or every ack was —
+          both exceed the masking budget of the link. *)
+  | Late_arrival of { observed : float; assumed : float }
+      (** A fresh (non-duplicate) message landed after its round's
+          computation phase: observed one-way latency exceeded the window
+          the realization assumed. *)
+
+type t = {
+  round : int;  (** the abstract round whose synchrony broke *)
+  src : Pid.t;  (** sending end of the offending link *)
+  dst : Pid.t;  (** receiving end of the offending link *)
+  at : float;  (** wall-clock detection time *)
+  kind : kind;
+}
+
+val retry_exhausted :
+  round:int -> src:Pid.t -> dst:Pid.t -> at:float -> attempts:int -> t
+
+val late_arrival :
+  round:int ->
+  src:Pid.t ->
+  dst:Pid.t ->
+  at:float ->
+  observed:float ->
+  assumed:float ->
+  t
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -23,7 +23,7 @@ let instrument c =
     | Event.Data_sent { bits; _ } -> record_data c ~bits
     | Event.Sync_sent _ -> record_sync c
     | Event.Round_begin _ | Event.Crashed _ | Event.Decided _
-    | Event.Run_end _ ->
+    | Event.Round_limit _ | Event.Run_end _ ->
       ())
 
 type timed = { mutable msgs_sent : int; mutable events_processed : int }

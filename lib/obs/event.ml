@@ -12,6 +12,7 @@ type t =
   | Sync_sent of { round : int; from : Pid.t; dest : Pid.t }
   | Crashed of { round : int; pid : Pid.t; point : Crash.point }
   | Decided of { round : int; pid : Pid.t; value : int }
+  | Round_limit of { round : int; max_rounds : int; undecided : Pid.t list }
   | Run_end of { rounds : int }
 
 let round = function
@@ -19,7 +20,8 @@ let round = function
   | Data_sent { round; _ }
   | Sync_sent { round; _ }
   | Crashed { round; _ }
-  | Decided { round; _ } ->
+  | Decided { round; _ }
+  | Round_limit { round; _ } ->
     round
   | Run_end { rounds } -> rounds
 
@@ -34,4 +36,12 @@ let pp ppf = function
     Format.fprintf ppf "%a crashes (%a)" Pid.pp pid Crash.pp_point point
   | Decided { pid; value; _ } ->
     Format.fprintf ppf "%a decides %d" Pid.pp pid value
+  | Round_limit { round; max_rounds; undecided } ->
+    Format.fprintf ppf
+      "round limit: run truncated at round %d (max_rounds %d) with %a undecided"
+      round max_rounds
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Pid.pp)
+      undecided
   | Run_end { rounds } -> Format.fprintf ppf "run ends after %d rounds" rounds

@@ -24,6 +24,11 @@ type t =
       (** A control (synchronization) message: always one bit. *)
   | Crashed of { round : int; pid : Pid.t; point : Crash.point }
   | Decided of { round : int; pid : Pid.t; value : int }
+  | Round_limit of { round : int; max_rounds : int; undecided : Pid.t list }
+      (** The run hit its [max_rounds] horizon with processes still
+          undecided: a structured truncation diagnosis ([round] reached,
+          who is left), emitted just before [Run_end] instead of a silent
+          cut. *)
   | Run_end of { rounds : int }
       (** Last event of every observed run; [rounds] is the number of rounds
           executed. *)

@@ -83,6 +83,7 @@ let instrument t =
       t.rev_decision_rounds <- round :: t.rev_decision_rounds;
       let b = bucket t round in
       b.b_decisions <- b.b_decisions + 1
+    | Event.Round_limit _ -> ()
     | Event.Run_end { rounds } ->
       t.runs <- t.runs + 1;
       if rounds > t.rounds then t.rounds <- rounds)

@@ -92,6 +92,7 @@ let instrument t =
       | Event.Decided { round; pid; value } -> on_decided t ~round ~pid ~value
       | Event.Crashed { round; pid; _ } -> on_crashed t ~round ~pid
       | Event.Run_end { rounds } -> on_run_end t ~rounds
-      | Event.Round_begin _ | Event.Data_sent _ | Event.Sync_sent _ -> ())
+      | Event.Round_begin _ | Event.Data_sent _ | Event.Sync_sent _
+      | Event.Round_limit _ -> ())
 
 let events_seen t = t.events_seen

@@ -198,6 +198,21 @@ module Make (A : Algorithm_intf.S) = struct
                 emit (Obs.Event.Decided { round = r; pid = p.pid; value })))
         procs
     done;
+    (* A truncated run (horizon hit with processes still undecided) is
+       diagnosed structurally, never silently. *)
+    if observing then begin
+      let undecided =
+        Array.to_list procs
+        |> List.filter_map (fun p ->
+               match p.status with
+               | Running -> Some p.pid
+               | Halted _ | Announced _ | Dead _ -> None)
+      in
+      if undecided <> [] then
+        emit
+          (Obs.Event.Round_limit
+             { round = !round; max_rounds = cfg.max_rounds; undecided })
+    end;
     if observing then emit (Obs.Event.Run_end { rounds = !round });
     {
       Run_result.n = cfg.n;

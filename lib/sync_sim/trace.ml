@@ -35,7 +35,7 @@ let of_obs = function
     Some (Crashed { round; pid; point })
   | Obs.Event.Decided { round; pid; value } ->
     Some (Decided { round; pid; value })
-  | Obs.Event.Run_end _ -> None
+  | Obs.Event.Round_limit _ | Obs.Event.Run_end _ -> None
 
 let decisions events =
   List.filter_map

@@ -14,13 +14,19 @@ open Model
 type 'msg action =
   | Send of Pid.t * 'msg
       (** Hand a message to the network; it arrives after the channel's
-          latency. *)
+          latency — or after whatever the configured {!Net.Fault_plan}
+          decides (lost, duplicated, late). *)
   | Set_timer of { at : float; tag : int }
       (** Request a wake-up at absolute time [at] (must not be in the
           past). *)
   | Decide of int
       (** Terminate with a decision; subsequent actions of the batch and
           all later events for this process are ignored. *)
+  | Abort of Net.Synchrony_violation.t
+      (** Graceful degradation: the process detected that a synchrony
+          assumption it relies on does not hold.  The engine records the
+          structured diagnosis and ends the whole run — no process gets to
+          act on state the network could no longer certify. *)
 
 type ctx = { n : int; t : int }
 

@@ -12,16 +12,19 @@ type fd_update = { observer : Pid.t; at : float; suspects : Pid.Set.t }
 type trace_event =
   | Sent of { at : float; from : Pid.t; dest : Pid.t; msg : string }
   | Delivered of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Dropped of { at : float; from : Pid.t; dest : Pid.t; msg : string }
   | Fired of { at : float; pid : Pid.t; tag : int }
   | Fd_change of { at : float; pid : Pid.t; suspects : Pid.Set.t }
   | Died of { at : float; pid : Pid.t }
   | Chose of { at : float; pid : Pid.t; value : int }
+  | Violated of { at : float; pid : Pid.t; violation : Net.Synchrony_violation.t }
 
 type config = {
   n : int;
   t : int;
   proposals : int array;
   latency : latency;
+  faults : Net.Fault_plan.t;
   crashes : crash_spec list;
   fd_plan : fd_update list;
   deadline : float;
@@ -38,9 +41,10 @@ let validate_latency = function
     if mean <= 0.0 || cap < mean then
       invalid_arg "Timed_engine: bad exponential latency"
 
-let config ?(latency = Fixed 1.0) ?(crashes = []) ?(fd_plan = [])
-    ?(deadline = 1e6) ?(seed = 1L) ?(record_trace = false)
-    ?(instrument = Obs.Instrument.null) ~n ~t ~proposals () =
+let config ?(latency = Fixed 1.0) ?(faults = Net.Fault_plan.reliable)
+    ?(crashes = []) ?(fd_plan = []) ?(deadline = 1e6) ?(seed = 1L)
+    ?(record_trace = false) ?(instrument = Obs.Instrument.null) ~n ~t
+    ~proposals () =
   if n < 2 then invalid_arg "Timed_engine.config: n < 2";
   if t < 0 || t >= n then invalid_arg "Timed_engine.config: bad t";
   if Array.length proposals <> n then invalid_arg "Timed_engine.config: arity";
@@ -59,6 +63,7 @@ let config ?(latency = Fixed 1.0) ?(crashes = []) ?(fd_plan = [])
     t;
     proposals;
     latency;
+    faults;
     crashes;
     fd_plan;
     deadline;
@@ -78,7 +83,10 @@ type result = {
   events_processed : int;
   end_time : float;
   trace : trace_event list;
+  violations : Net.Synchrony_violation.t list;
 }
+
+let aborted res = res.violations <> []
 
 let decisions res =
   let acc = ref [] in
@@ -151,6 +159,8 @@ module Make (P : Process_intf.S) = struct
     in
     let observing = not (Obs.Instrument.is_null inst) in
     let emit ev = if observing then Obs.Instrument.emit inst ev in
+    let violations = ref [] in
+    let aborted = ref false in
     let is_running i = outcomes.(i) = Undecided in
     let crash_time i =
       match crash_of.(i) with Some c -> c.at | None -> infinity
@@ -179,17 +189,42 @@ module Make (P : Process_intf.S) = struct
                      dest;
                      msg = Format.asprintf "%a" P.pp_msg msg;
                    });
-            Heap.add queue
-              ~time:(now +. draw_latency ())
-              ~rank:rank_msg
-              (Ev_msg { dest; from = pid; msg })
+            (* The fault plan decides the message's fate: one latency per
+               delivered copy, none for a lost message.  The reliable plan
+               returns exactly the drawn latency, so un-faulted runs are
+               byte-identical to the pre-fault-plan engine. *)
+            let latency = draw_latency () in
+            (match
+               Net.Fault_plan.deliveries cfg.faults ~src:pid ~dst:dest ~at:now
+                 ~latency
+             with
+            | [] ->
+              if observing then
+                emit
+                  (Dropped
+                     {
+                       at = now;
+                       from = pid;
+                       dest;
+                       msg = Format.asprintf "%a" P.pp_msg msg;
+                     })
+            | copies ->
+              List.iter
+                (fun l ->
+                  Heap.add queue ~time:(now +. l) ~rank:rank_msg
+                    (Ev_msg { dest; from = pid; msg }))
+                copies)
           | Process_intf.Set_timer { at; tag } ->
             if at < now then invalid_arg (P.name ^ ": timer set in the past");
             Heap.add queue ~time:at ~rank:rank_timer (Ev_timer { dest = pid; tag })
           | Process_intf.Decide value ->
             outcomes.(i) <- Decided { value; at = now };
-            emit (Chose { at = now; pid; value }));
-          if is_running i then go (k + 1) rest
+            emit (Chose { at = now; pid; value })
+          | Process_intf.Abort v ->
+            violations := v :: !violations;
+            aborted := true;
+            emit (Violated { at = now; pid; violation = v }));
+          if is_running i && not !aborted then go (k + 1) rest
       in
       go 0 actions
     in
@@ -213,9 +248,9 @@ module Make (P : Process_intf.S) = struct
         Heap.add queue ~time:u.at ~rank:rank_fd
           (Ev_fd { dest = u.observer; suspects = u.suspects }))
       cfg.fd_plan;
-    (* Main loop. *)
+    (* Main loop; a structured Abort ends the whole run gracefully. *)
     let continue = ref true in
-    while !continue do
+    while !continue && not !aborted do
       match Heap.pop queue with
       | None -> continue := false
       | Some (now, _) when now > cfg.deadline -> continue := false
@@ -289,5 +324,6 @@ module Make (P : Process_intf.S) = struct
         (match trace_sink with
         | None -> []
         | Some ts -> Obs.Trace_sink.events ts);
+      violations = List.rev !violations;
     }
 end

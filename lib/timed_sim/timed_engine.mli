@@ -38,18 +38,26 @@ type fd_update = { observer : Pid.t; at : float; suspects : Pid.Set.t }
 type trace_event =
   | Sent of { at : float; from : Pid.t; dest : Pid.t; msg : string }
   | Delivered of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+  | Dropped of { at : float; from : Pid.t; dest : Pid.t; msg : string }
+      (** The fault plan lost the message (drop or link cut); [at] is the
+          send instant. *)
   | Fired of { at : float; pid : Pid.t; tag : int }
   | Fd_change of { at : float; pid : Pid.t; suspects : Pid.Set.t }
   | Died of { at : float; pid : Pid.t }
   | Chose of { at : float; pid : Pid.t; value : int }
-      (** The continuous-time engine's event vocabulary; also what the
-          configured {!Obs.Instrument.t} consumes. *)
+  | Violated of { at : float; pid : Pid.t; violation : Net.Synchrony_violation.t }
+      (** [pid] detected a broken synchrony assumption and aborted the
+          run.  The continuous-time engine's event vocabulary; also what
+          the configured {!Obs.Instrument.t} consumes. *)
 
 type config = {
   n : int;
   t : int;
   proposals : int array;
   latency : latency;
+  faults : Net.Fault_plan.t;
+      (** channel transform: decides each sent message's fate (deliver /
+          drop / duplicate / delay); {!Net.Fault_plan.reliable} by default *)
   crashes : crash_spec list;
   fd_plan : fd_update list;
   deadline : float;
@@ -62,6 +70,7 @@ type config = {
 
 val config :
   ?latency:latency ->
+  ?faults:Net.Fault_plan.t ->
   ?crashes:crash_spec list ->
   ?fd_plan:fd_update list ->
   ?deadline:float ->
@@ -73,10 +82,12 @@ val config :
   proposals:int array ->
   unit ->
   config
-(** Defaults: [latency = Fixed 1.0], no crashes, empty FD plan,
-    [deadline = 1e6], [seed = 1], no trace, null instrument.  Validates
-    positivity of the latency parameters, crash times and deadline; at most
-    one crash per process. *)
+(** Defaults: [latency = Fixed 1.0], reliable channels, no crashes, empty
+    FD plan, [deadline = 1e6], [seed = 1], no trace, null instrument.
+    Validates positivity of the latency parameters, crash times and
+    deadline; at most one crash per process.  The fault plan draws from its
+    own seeded stream, so injecting a zero-rate plan leaves the run
+    byte-identical to the reliable one. *)
 
 type outcome =
   | Decided of { value : int; at : float }
@@ -89,7 +100,14 @@ type result = {
   events_processed : int;
   end_time : float;  (** time of the last processed event *)
   trace : trace_event list;  (** chronological when recording was on *)
+  violations : Net.Synchrony_violation.t list;
+      (** non-empty iff the run was aborted by a process's [Abort] action;
+          chronological *)
 }
+
+val aborted : result -> bool
+(** [violations <> []]: the run ended in graceful degradation, not a
+    verdict. *)
 
 val decisions : result -> (Pid.t * int * float) list
 val decided_values : result -> int list

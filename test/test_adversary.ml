@@ -106,6 +106,49 @@ let test_random_classic_has_no_after_data () =
       (Schedule.bindings s)
   done
 
+(* Property: whatever the parameters, the random strategies only emit
+   schedules that are legal for their model kind — every crash round in
+   [1 .. max_round], no [After_data] point under Classic, victim counts
+   within budget, and [Schedule.validate] accepts the result. *)
+let prop_random_strategies_legal =
+  Helpers.qtest ~count:300 "random/random_f schedules are legal per model"
+    QCheck2.Gen.(
+      let* model = oneofl [ Model_kind.Classic; Model_kind.Extended ] in
+      let* n = int_range 2 9 in
+      let* t = int_range 1 (n - 1) in
+      let* f = int_range 0 t in
+      let* seed = int_range 0 1_000_000 in
+      return (model, n, t, f, seed))
+    (fun (model, n, t, f, seed) ->
+      let rng = Prng.Rng.of_int seed in
+      let max_round = t + 1 in
+      let check what s =
+        (match Schedule.validate ~model ~n ~t s with
+        | Ok () -> ()
+        | Error e -> QCheck2.Test.fail_reportf "%s: invalid schedule: %s" what e);
+        List.iter
+          (fun (_, ev) ->
+            if ev.Crash.round < 1 || ev.Crash.round > max_round then
+              QCheck2.Test.fail_reportf "%s: crash round %d outside 1..%d" what
+                ev.Crash.round max_round;
+            match (model, ev.Crash.point) with
+            | Model_kind.Classic, Crash.After_data _ ->
+              QCheck2.Test.fail_reportf "%s: After_data under classic" what
+            | _, _ -> ())
+          (Schedule.bindings s)
+      in
+      let s = Adversary.Strategies.random ~rng ~model ~n ~f ~max_round in
+      check "random" s;
+      if Schedule.f s <> f then
+        QCheck2.Test.fail_reportf "random: %d victims, asked for %d"
+          (Schedule.f s) f;
+      let sf = Adversary.Strategies.random_f ~rng ~model ~n ~t ~max_round in
+      check "random_f" sf;
+      if Schedule.f sf > t then
+        QCheck2.Test.fail_reportf "random_f: %d victims exceeds t=%d"
+          (Schedule.f sf) t;
+      true)
+
 let test_enumerate_points_count () =
   (* Extended, n=3: Before + 2^2 subsets + 3 prefixes + After = 9. *)
   Alcotest.(check int) "extended points" 9
@@ -156,6 +199,7 @@ let () =
           Alcotest.test_case "killer-f0" `Quick test_killer_f0_is_empty;
           Alcotest.test_case "random-valid" `Quick test_random_schedule_valid;
           Alcotest.test_case "random-classic" `Quick test_random_classic_has_no_after_data;
+          prop_random_strategies_legal;
         ] );
       ( "enumerate",
         [

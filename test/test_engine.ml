@@ -120,6 +120,48 @@ let test_max_rounds_cutoff () =
   Alcotest.(check bool) "termination check fails" false
     (Run_result.all_correct_decided res)
 
+let round_limit_events events =
+  List.filter_map
+    (function
+      | Obs.Event.Round_limit { round; max_rounds; undecided } ->
+        Some (round, max_rounds, List.map Pid.to_int undecided)
+      | _ -> None)
+    events
+
+let test_round_limit_event () =
+  (* Hitting max_rounds with running processes emits one structured
+     diagnostic naming the undecided set (crashed processes excluded). *)
+  let events = ref [] in
+  let inst = Obs.Instrument.of_fn (fun e -> events := e :: !events) in
+  let res =
+    Runner.run
+      (Engine.config ~instrument:inst ~max_rounds:1
+         ~schedule:(sched [ (1, 1, Crash.Before_send) ])
+         ~n:3 ~t:2 ~proposals:(Engine.distinct_proposals 3) ())
+  in
+  Alcotest.(check bool) "nobody decided" true (Run_result.decisions res = []);
+  match round_limit_events !events with
+  | [ (round, max_rounds, undecided) ] ->
+    Alcotest.(check int) "round reached" 1 round;
+    Alcotest.(check int) "configured limit" 1 max_rounds;
+    Alcotest.(check (list int)) "undecided = running, not crashed" [ 2; 3 ]
+      undecided
+  | l -> Alcotest.failf "expected one Round_limit event, got %d" (List.length l)
+
+let test_round_limit_silent_when_all_decide () =
+  (* The probe decides in round 2 exactly: a limit of 2 is reached but not
+     exceeded, so no diagnostic fires. *)
+  let events = ref [] in
+  let inst = Obs.Instrument.of_fn (fun e -> events := e :: !events) in
+  let res =
+    Runner.run
+      (Engine.config ~instrument:inst ~max_rounds:2 ~schedule:Schedule.empty
+         ~n:3 ~t:2 ~proposals:(Engine.distinct_proposals 3) ())
+  in
+  Alcotest.(check int) "all decided" 3 (List.length (Run_result.decisions res));
+  Alcotest.(check int) "no Round_limit event" 0
+    (List.length (round_limit_events !events))
+
 let test_accounting_no_crash () =
   let res = Runner.run (cfg Schedule.empty) in
   Alcotest.(check int) "data msgs" 6 res.Run_result.data_msgs;
@@ -221,6 +263,9 @@ let () =
       ( "lifecycle",
         [
           Alcotest.test_case "max-rounds" `Quick test_max_rounds_cutoff;
+          Alcotest.test_case "round-limit-event" `Quick test_round_limit_event;
+          Alcotest.test_case "round-limit-silent" `Quick
+            test_round_limit_silent_when_all_decide;
           Alcotest.test_case "trace" `Quick test_trace_consistency;
           Alcotest.test_case "trace-off" `Quick test_trace_empty_when_off;
         ] );

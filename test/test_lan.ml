@@ -17,14 +17,14 @@ module Lan_rwwc =
 
 module Runner = Timed_sim.Timed_engine.Make (Lan_rwwc)
 
-let run_lan ?(n = 5) ~schedule () =
+let run_lan ?(n = 5) ?(faults = Net.Fault_plan.reliable) ~schedule () =
   let crashes =
     Lan.Realization.translate_rwwc_schedule ~n ~big_d ~delta schedule
   in
   Runner.run
     (Timed_sim.Timed_engine.config
        ~latency:(Timed_sim.Timed_engine.Uniform { lo = 0.5; hi = big_d })
-       ~crashes ~seed:11L ~n ~t:(n - 2)
+       ~crashes ~faults ~seed:11L ~n ~t:(n - 2)
        ~proposals:(Sync_sim.Engine.distinct_proposals n) ())
 
 let lan_decisions ~res =
@@ -111,6 +111,40 @@ let test_matches_abstract_engine () =
         (lan_decisions ~res:lan))
     scenarios
 
+let test_zero_fault_plan_is_byte_identical () =
+  (* Regression pin: injecting an all-zero fault plan must leave the
+     realization byte-identical to the plain reliable-network run — same
+     decisions, same decision times, same message and event counts.  The
+     plan draws from its own stream, so the engine's rng is untouched. *)
+  List.iter
+    (fun schedule ->
+      let base = run_lan ~schedule () in
+      let plan = Net.Fault_plan.create ~seed:99L () in
+      let zero = run_lan ~faults:plan ~schedule () in
+      let ctx = Schedule.to_string schedule in
+      Alcotest.(check bool)
+        (Printf.sprintf "identical outcomes (incl. times) on %s" ctx)
+        true
+        (base.Timed_sim.Timed_engine.outcomes
+        = zero.Timed_sim.Timed_engine.outcomes);
+      Alcotest.(check int)
+        (Printf.sprintf "same msgs_sent on %s" ctx)
+        base.Timed_sim.Timed_engine.msgs_sent
+        zero.Timed_sim.Timed_engine.msgs_sent;
+      Alcotest.(check int)
+        (Printf.sprintf "same events_processed on %s" ctx)
+        base.Timed_sim.Timed_engine.events_processed
+        zero.Timed_sim.Timed_engine.events_processed;
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "same end_time on %s" ctx)
+        base.Timed_sim.Timed_engine.end_time
+        zero.Timed_sim.Timed_engine.end_time;
+      Alcotest.(check int)
+        (Printf.sprintf "plan injected nothing on %s" ctx)
+        0
+        (Net.Fault_plan.faults_injected plan))
+    scenarios
+
 let test_non_prefix_subset_rejected () =
   (* p1's send order is p2,p3,p4,p5: the subset {p3} skips p2 and cannot
      happen on a serialized wire. *)
@@ -168,6 +202,8 @@ let () =
           Alcotest.test_case "one-period" `Quick test_no_crash_one_period;
           Alcotest.test_case "wall-clock" `Quick test_silent_killer_wall_clock;
           Alcotest.test_case "abstract-equivalence" `Quick test_matches_abstract_engine;
+          Alcotest.test_case "zero-fault-identical" `Quick
+            test_zero_fault_plan_is_byte_identical;
           Alcotest.test_case "non-prefix-rejected" `Quick test_non_prefix_subset_rejected;
           prop_lan_uniform_consensus;
         ] );

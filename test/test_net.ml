@@ -1,0 +1,296 @@
+(* Tests for the net library (fault plans, synchrony violations) and the
+   fault-masking LAN transport built on top of it: fault plans are
+   deterministic and transparent at zero rates, the retransmitting transport
+   masks sub-budget faults decision-for-decision, and over-budget faults end
+   in a structured violation report — never a silent wrong decision. *)
+
+open Model
+open Helpers
+
+let p = Pid.of_int
+let big_d = 10.0
+let delta = 1.0
+
+(* --- Fault_plan ---------------------------------------------------------- *)
+
+let floats = Alcotest.(list (float 1e-9))
+
+let test_reliable_identity () =
+  let plan = Net.Fault_plan.reliable in
+  Alcotest.(check bool) "is_reliable" true (Net.Fault_plan.is_reliable plan);
+  Alcotest.check floats "passes the latency through" [ 3.25 ]
+    (Net.Fault_plan.deliveries plan ~src:(p 1) ~dst:(p 2) ~at:0.0 ~latency:3.25);
+  Alcotest.(check int) "no faults" 0 (Net.Fault_plan.faults_injected plan);
+  Alcotest.(check bool) "no stats" true (Net.Fault_plan.stats plan = None)
+
+let test_zero_rate_plan_is_transparent () =
+  (* All-zero rates: every message delivered exactly once at its drawn
+     latency, zero faults injected — the plan is an identity transform. *)
+  let plan = Net.Fault_plan.create ~seed:5L () in
+  Alcotest.(check bool) "not the reliable fast path" false
+    (Net.Fault_plan.is_reliable plan);
+  for i = 1 to 50 do
+    let latency = 0.5 +. (0.1 *. float_of_int i) in
+    Alcotest.check floats "delivered once, unchanged" [ latency ]
+      (Net.Fault_plan.deliveries plan ~src:(p 1) ~dst:(p 2)
+         ~at:(float_of_int i) ~latency)
+  done;
+  Alcotest.(check int) "no faults injected" 0
+    (Net.Fault_plan.faults_injected plan)
+
+let test_drop_all () =
+  let plan = Net.Fault_plan.create ~drop:1.0 ~seed:5L () in
+  for i = 1 to 10 do
+    Alcotest.check floats "lost" []
+      (Net.Fault_plan.deliveries plan ~src:(p 1) ~dst:(p 2)
+         ~at:(float_of_int i) ~latency:1.0)
+  done;
+  match Net.Fault_plan.stats plan with
+  | None -> Alcotest.fail "faulty plan must expose stats"
+  | Some s ->
+    Alcotest.(check int) "messages" 10 s.Net.Fault_plan.messages;
+    Alcotest.(check int) "dropped" 10 s.Net.Fault_plan.dropped;
+    Alcotest.(check int) "faults" 10 (Net.Fault_plan.faults_injected plan)
+
+let test_duplicate_all () =
+  let plan = Net.Fault_plan.create ~duplicate:1.0 ~seed:5L () in
+  Alcotest.check floats "two copies at the drawn latency" [ 2.0; 2.0 ]
+    (Net.Fault_plan.deliveries plan ~src:(p 1) ~dst:(p 2) ~at:0.0 ~latency:2.0)
+
+let test_determinism () =
+  let profile seed =
+    Net.Fault_plan.create ~drop:0.3 ~duplicate:0.2 ~jitter:0.5
+      ~jitter_spread:2.0 ~spike:0.1 ~spike_factor:3.0 ~seed ()
+  in
+  let feed plan =
+    List.init 100 (fun i ->
+        Net.Fault_plan.deliveries plan
+          ~src:(p ((i mod 4) + 1))
+          ~dst:(p (((i + 1) mod 4) + 1))
+          ~at:(float_of_int i)
+          ~latency:(1.0 +. (0.01 *. float_of_int i)))
+  in
+  Alcotest.(check bool) "equal seeds replay the same fault pattern" true
+    (feed (profile 42L) = feed (profile 42L));
+  Alcotest.(check bool) "different seeds give a different pattern" true
+    (feed (profile 42L) <> feed (profile 43L))
+
+let test_cut_matching () =
+  let plan =
+    Net.Fault_plan.create
+      ~cuts:
+        [ Net.Fault_plan.cut ~src:(p 1) ~dst:(p 3) ~from_time:10.0 ~until:20.0 () ]
+      ~seed:5L ()
+  in
+  let d ~src ~dst ~at =
+    Net.Fault_plan.deliveries plan ~src ~dst ~at ~latency:1.0
+  in
+  Alcotest.check floats "inside the window, matching link: lost" []
+    (d ~src:(p 1) ~dst:(p 3) ~at:15.0);
+  Alcotest.check floats "before the window: delivered" [ 1.0 ]
+    (d ~src:(p 1) ~dst:(p 3) ~at:5.0);
+  Alcotest.check floats "after the window: delivered" [ 1.0 ]
+    (d ~src:(p 1) ~dst:(p 3) ~at:25.0);
+  Alcotest.check floats "other destination: delivered" [ 1.0 ]
+    (d ~src:(p 1) ~dst:(p 2) ~at:15.0);
+  Alcotest.check floats "other sender: delivered" [ 1.0 ]
+    (d ~src:(p 2) ~dst:(p 3) ~at:15.0);
+  (* A wildcard cut isolates the receiver from every sender. *)
+  let iso =
+    Adversary.Net_faults.receiver_isolation ~dst:(p 4) ~seed:5L ()
+  in
+  Alcotest.check floats "wildcard src matches all" []
+    (Net.Fault_plan.deliveries iso ~src:(p 2) ~dst:(p 4) ~at:0.0 ~latency:1.0);
+  Alcotest.check floats "other receivers untouched" [ 1.0 ]
+    (Net.Fault_plan.deliveries iso ~src:(p 2) ~dst:(p 1) ~at:0.0 ~latency:1.0)
+
+let test_plan_validation () =
+  let invalid name f =
+    Alcotest.(check bool) name true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  invalid "drop > 1" (fun () -> Net.Fault_plan.create ~drop:1.5 ~seed:1L ());
+  invalid "negative jitter" (fun () ->
+      Net.Fault_plan.create ~jitter:(-0.1) ~seed:1L ());
+  invalid "spike_factor <= 1" (fun () ->
+      Net.Fault_plan.create ~spike:0.1 ~spike_factor:1.0 ~seed:1L ());
+  invalid "cut window backwards" (fun () ->
+      Net.Fault_plan.cut ~from_time:5.0 ~until:1.0 ())
+
+(* --- Masked transport on the timed engine -------------------------------- *)
+
+module Masked =
+  Lan.Masked.Make
+    (Core.Rwwc)
+    (struct
+      let big_d = big_d
+      let delta = delta
+      let retry_budget = 2
+    end)
+
+module Runner = Timed_sim.Timed_engine.Make (Masked)
+
+let n = 5
+
+let run_masked ?(instrument = Obs.Instrument.null) ~faults () =
+  Runner.run
+    (Timed_sim.Timed_engine.config
+       ~latency:(Timed_sim.Timed_engine.Uniform { lo = 0.5; hi = big_d /. 2.0 })
+       ~faults ~instrument ~seed:11L ~n ~t:(n - 2)
+       ~proposals:(Sync_sim.Engine.distinct_proposals n) ())
+
+let abstract =
+  lazy
+    (let res =
+       run_rwwc ~n ~t:(n - 2) ~schedule:Schedule.empty
+         ~proposals:(Sync_sim.Engine.distinct_proposals n) ()
+     in
+     List.map
+       (fun (pid, v, r) -> (Pid.to_int pid, v, r))
+       (Sync_sim.Run_result.decisions res))
+
+let masked_decisions res =
+  List.map
+    (fun (pid, v, at) -> (Pid.to_int pid, v, Masked.round_of_time at))
+    (Timed_sim.Timed_engine.decisions res)
+
+let test_masked_zero_fault_matches_abstract () =
+  let res = run_masked ~faults:(Net.Fault_plan.create ~seed:5L ()) () in
+  Alcotest.(check bool) "no violations" false
+    (Timed_sim.Timed_engine.aborted res);
+  Alcotest.(check (list (triple int int int)))
+    "decisions match the abstract engine" (Lazy.force abstract)
+    (masked_decisions res)
+
+let test_duplication_masked_without_budget () =
+  (* Sequence numbers deduplicate: a 100% duplication rate is invisible even
+     with retry_budget = 0, and every payload is delivered twice. *)
+  let module M0 =
+    Lan.Masked.Make
+      (Core.Rwwc)
+      (struct
+        let big_d = big_d
+        let delta = delta
+        let retry_budget = 0
+      end)
+  in
+  let module R0 = Timed_sim.Timed_engine.Make (M0) in
+  let sent = ref 0 and delivered = ref 0 in
+  let counter =
+    Obs.Instrument.of_fn (function
+      | Timed_sim.Timed_engine.Sent _ -> incr sent
+      | Timed_sim.Timed_engine.Delivered _ -> incr delivered
+      | _ -> ())
+  in
+  let res =
+    R0.run
+      (Timed_sim.Timed_engine.config
+         ~latency:(Timed_sim.Timed_engine.Uniform { lo = 0.5; hi = big_d /. 2.0 })
+         ~faults:(Net.Fault_plan.create ~duplicate:1.0 ~seed:5L ())
+         ~instrument:counter ~seed:11L ~n ~t:(n - 2)
+         ~proposals:(Sync_sim.Engine.distinct_proposals n) ())
+  in
+  Alcotest.(check bool) "no violations" false
+    (Timed_sim.Timed_engine.aborted res);
+  Alcotest.(check (list (triple int int int)))
+    "decisions match the abstract engine" (Lazy.force abstract)
+    (List.map
+       (fun (pid, v, at) -> (Pid.to_int pid, v, M0.round_of_time at))
+       (Timed_sim.Timed_engine.decisions res));
+  Alcotest.(check int) "every message delivered twice" (2 * !sent) !delivered
+
+let test_link_cut_detected () =
+  let dropped = ref 0 and violated = ref 0 in
+  let counter =
+    Obs.Instrument.of_fn (function
+      | Timed_sim.Timed_engine.Dropped _ -> incr dropped
+      | Timed_sim.Timed_engine.Violated _ -> incr violated
+      | _ -> ())
+  in
+  let res =
+    run_masked ~instrument:counter
+      ~faults:
+        (Adversary.Net_faults.targeted_link_cut ~src:(p 1) ~dst:(p 3) ~seed:5L ())
+      ()
+  in
+  Alcotest.(check bool) "aborted" true (Timed_sim.Timed_engine.aborted res);
+  (match res.Timed_sim.Timed_engine.violations with
+  | [ v ] ->
+    Alcotest.(check int) "round" 1 v.Net.Synchrony_violation.round;
+    Alcotest.(check int) "src" 1 (Pid.to_int v.Net.Synchrony_violation.src);
+    Alcotest.(check int) "dst" 3 (Pid.to_int v.Net.Synchrony_violation.dst);
+    (match v.Net.Synchrony_violation.kind with
+    | Net.Synchrony_violation.Retry_exhausted { attempts } ->
+      (* budget 2: the original send plus two retries, all cut. *)
+      Alcotest.(check int) "attempts" 3 attempts
+    | Net.Synchrony_violation.Late_arrival _ ->
+      Alcotest.fail "expected Retry_exhausted")
+  | l -> Alcotest.failf "expected exactly one violation, got %d" (List.length l));
+  Alcotest.(check bool) "cut messages observed as drops" true (!dropped >= 3);
+  Alcotest.(check int) "violation event emitted" 1 !violated;
+  Alcotest.(check bool) "nobody decided wrongly" true
+    (List.for_all
+       (fun d -> List.mem d (Lazy.force abstract))
+       (masked_decisions res))
+
+let prop_never_silently_wrong =
+  qtest ~count:60 "chaos: masked or detected, never silently wrong"
+    QCheck2.Gen.(
+      let* drop = float_range 0.0 0.4 in
+      let* budget = int_range 0 3 in
+      let* seed = int_range 1 100_000 in
+      return (drop, budget, seed))
+    (fun (drop, budget, seed) ->
+      let faults =
+        Adversary.Net_faults.network_storm ~drop ~duplicate:(drop /. 2.0)
+          ~seed:(Int64.of_int (seed + 1))
+          ()
+      in
+      match
+        Harness.Exp_chaos.run_one ~budget ~faults ~seed:(Int64.of_int seed) ()
+      with
+      | Harness.Exp_chaos.Masked, _ | Harness.Exp_chaos.Detected _, _ -> true
+      | Harness.Exp_chaos.Wrong why, _ ->
+        QCheck2.Test.fail_reportf
+          "silently wrong (drop=%.2f budget=%d seed=%d): %s" drop budget seed
+          why)
+
+(* --- Synchrony_violation formatting -------------------------------------- *)
+
+let test_violation_report_fields () =
+  let v =
+    Net.Synchrony_violation.late_arrival ~round:2 ~src:(p 1) ~dst:(p 4)
+      ~at:33.25 ~observed:27.5 ~assumed:20.0
+  in
+  let s = Net.Synchrony_violation.to_string v in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report mentions " ^ needle) true
+        (contains_substring s needle))
+    [ "round 2"; "p1->p4"; "t=33.250"; "27.5"; "20.0" ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "fault-plan",
+        [
+          Alcotest.test_case "reliable" `Quick test_reliable_identity;
+          Alcotest.test_case "zero-rate" `Quick test_zero_rate_plan_is_transparent;
+          Alcotest.test_case "drop-all" `Quick test_drop_all;
+          Alcotest.test_case "duplicate-all" `Quick test_duplicate_all;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "cuts" `Quick test_cut_matching;
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+        ] );
+      ( "masked-transport",
+        [
+          Alcotest.test_case "zero-fault-equivalence" `Quick
+            test_masked_zero_fault_matches_abstract;
+          Alcotest.test_case "dedup-without-budget" `Quick
+            test_duplication_masked_without_budget;
+          Alcotest.test_case "link-cut-detected" `Quick test_link_cut_detected;
+          prop_never_silently_wrong;
+        ] );
+      ( "violation",
+        [ Alcotest.test_case "report" `Quick test_violation_report_fields ] );
+    ]
