@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples clean
+.PHONY: all build test bench check experiments examples clean
 
 all: build
 
@@ -14,7 +14,11 @@ test-verbose:
 	dune runtest --force --no-buffer
 
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- --json BENCH_RESULTS.json
+
+check:
+	dune exec bin/main.exe -- check --algo rwwc -n 4 --max-f 2
+	dune exec bin/main.exe -- check --algo rwwc -n 4 --max-f 2 --no-symmetry
 
 experiments:
 	dune exec bin/main.exe -- experiments

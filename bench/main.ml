@@ -221,6 +221,48 @@ let bench_obs_trace () =
   let ts = Obs.Trace_sink.create () in
   ignore (Harness.Runners.Rwwc_runner.run (obs_cfg (Obs.Trace_sink.instrument ts)))
 
+(* Model-check sweep kernels — the hot loop behind `sync-agreement check`
+   (EXP-MC): a reused-runner verdict fold over the full n=4 extended-model
+   schedule space, sequential vs sharded across 4 domains. *)
+
+let mc_space () =
+  Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n:4 ~max_f:2
+    ~max_round:3
+
+let mc_fold ~shards ~shard =
+  let run =
+    Harness.Runners.Rwwc_runner.runner
+      (Engine.config ~n:4 ~t:2 ~proposals:(Harness.Workloads.distinct 4) ())
+  in
+  Seq.fold_left
+    (fun acc schedule ->
+      let res = run schedule in
+      acc
+      && Spec.Properties.all_ok
+           (Spec.Properties.uniform_consensus
+              ~bound:(Harness.Runners.f_actual res + 1)
+              res))
+    true
+    (Adversary.Enumerate.shard ~shards ~shard (mc_space ()))
+
+let bench_mc_seq () = assert (mc_fold ~shards:1 ~shard:0)
+
+let bench_mc_domains () =
+  assert (List.for_all Fun.id (Parallel.Pool.shards ~domains:4 mc_fold))
+
+(* The allocation-lean fast path: the runner (and its scratch) is created
+   once, outside the timed region, so this measures the steady-state
+   per-run cost next to "table-T1/rwwc-silent-n32-f6" (fresh config+scratch
+   every run). *)
+
+let t1_runner =
+  Harness.Runners.Rwwc_runner.runner
+    (Engine.config ~n:32 ~t:30 ~proposals:(Harness.Workloads.distinct 32) ())
+
+let t1_schedule = silent ~n:32 ~f:6
+
+let bench_reused_runner () = ignore (t1_runner t1_schedule)
+
 let bench_floodset () =
   ignore
     (Harness.Runners.Flood_runner.run
@@ -253,6 +295,9 @@ let tests =
     Test.make ~name:"table-CHAOS/masked-storm-n6" (Staged.stage bench_chaos);
     Test.make ~name:"table-EFF/floodset-n32" (Staged.stage bench_eff);
     Test.make ~name:"engine/rwwc-n64-f16" (Staged.stage bench_engine_large);
+    Test.make ~name:"engine/rwwc-reused-runner-n32" (Staged.stage bench_reused_runner);
+    Test.make ~name:"mc/sweep-n4-seq" (Staged.stage bench_mc_seq);
+    Test.make ~name:"mc/sweep-n4-domains" (Staged.stage bench_mc_domains);
     Test.make ~name:"obs/rwwc-null-n32" (Staged.stage bench_obs_null);
     Test.make ~name:"obs/rwwc-metrics-n32" (Staged.stage bench_obs_metrics);
     Test.make ~name:"obs/rwwc-online-n32" (Staged.stage bench_obs_online);
@@ -274,6 +319,7 @@ let run_benchmarks () =
     Diag.Table.create ~title:"Micro-benchmarks (monotonic clock)"
       ~header:[ "benchmark"; "ns/run"; "r^2" ] ()
   in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -282,22 +328,64 @@ let run_benchmarks () =
         (fun name ols_result ->
           let ns =
             match Analyze.OLS.estimates ols_result with
-            | Some (e :: _) -> Printf.sprintf "%.0f" e
-            | Some [] | None -> "-"
+            | Some (e :: _) -> Some e
+            | Some [] | None -> None
           in
-          let r2 =
-            match Analyze.OLS.r_square ols_result with
-            | Some r -> Printf.sprintf "%.4f" r
-            | None -> "-"
-          in
-          Diag.Table.add_row table [ name; ns; r2 ])
+          let r2 = Analyze.OLS.r_square ols_result in
+          rows := (name, ns, r2) :: !rows;
+          Diag.Table.add_row table
+            [
+              name;
+              (match ns with Some e -> Printf.sprintf "%.0f" e | None -> "-");
+              (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-");
+            ])
         analyzed)
     tests;
-  print_string (Diag.Table.render table)
+  print_string (Diag.Table.render table);
+  List.rev !rows
+
+(* BENCH_RESULTS.json: the machine-readable perf trajectory.  One document
+   per bench run, one entry per registered kernel, so successive PRs can be
+   diffed without scraping the rendered table. *)
+let json_doc rows =
+  let opt_float = function Some v -> Obs.Json.Float v | None -> Obs.Json.Null in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "sync-agreement/bench/v1");
+      ("clock", Obs.Json.String "monotonic");
+      ( "results",
+        Obs.Json.List
+          (List.map
+             (fun (name, ns, r2) ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String name);
+                   ("ns_per_run", opt_float ns);
+                   ("r_squared", opt_float r2);
+                 ])
+             rows) );
+    ]
 
 let () =
+  let json_file = ref None in
+  Arg.parse
+    [
+      ( "--json",
+        Arg.String (fun f -> json_file := Some f),
+        "FILE  also write the micro-benchmark estimates as JSON to FILE" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--json FILE]";
   print_endline
     "=== Reproduction tables (one experiment per paper artefact) ===\n";
   List.iter (Harness.Experiment.print ~markdown:false) Harness.Registry.all;
   print_endline "=== Micro-benchmarks ===\n";
-  run_benchmarks ()
+  let rows = run_benchmarks () in
+  match !json_file with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Obs.Json.to_string (json_doc rows));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" file

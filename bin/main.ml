@@ -230,7 +230,10 @@ let run_cmd =
 (* --- check ---------------------------------------------------------------- *)
 
 let check_cmd =
-  let algo = Arg.(value & opt algo_conv Rwwc & info [ "a"; "algorithm" ] ~doc:"Algorithm.") in
+  let algo =
+    Arg.(value & opt algo_conv Rwwc
+         & info [ "a"; "algo"; "algorithm" ] ~doc:"Algorithm.")
+  in
   let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes (keep small).") in
   let max_f = Arg.(value & opt int 2 & info [ "max-f" ] ~doc:"Max crashes to enumerate.") in
   let max_round =
@@ -239,49 +242,94 @@ let check_cmd =
   let domains =
     Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Worker domains for the search.")
   in
-  let go algo n max_f max_round domains =
+  let no_symmetry =
+    Arg.(value & flag
+         & info [ "no-symmetry" ]
+             ~doc:"Sweep the full schedule space instead of one representative \
+                   per symmetry class.")
+  in
+  let go algo n max_f max_round domains no_symmetry =
     let t = max 1 (n - 2) in
     let model = algo_model algo in
     let proposals = Harness.Workloads.distinct n in
-    let verdict schedule =
-      let cfg = Engine.config ~schedule ~n ~t ~proposals () in
-      let res, bound =
+    let profile =
+      match algo with
+      | Rwwc -> Adversary.Canonical.rotating_coordinator ~n
+      | Flood | Early_stopping -> Adversary.Canonical.broadcast ~n ~t
+      | Rwwc_on_classic ->
+        failwith "check: use rwwc and the transform tests instead"
+    in
+    let full_size = Adversary.Enumerate.space_size ~model ~n ~max_f ~max_round in
+    (* The space is never materialized: each worker domain folds its own
+       lazy residue-class slice of the stream with a preallocated engine
+       runner, so memory stays O(violations) however large the sweep. *)
+    let enumerate () =
+      if no_symmetry then Adversary.Enumerate.schedules ~model ~n ~max_f ~max_round
+      else Adversary.Canonical.schedules profile ~n ~max_f ~max_round
+    in
+    let sweep ~shards ~shard =
+      let cfg = Engine.config ~n ~t ~proposals () in
+      let verdict =
         match algo with
         | Rwwc ->
-          let res = Harness.Runners.Rwwc_runner.run cfg in
-          (res, Harness.Runners.f_actual res + 1)
-        | Flood -> (Harness.Runners.Flood_runner.run cfg, t + 1)
+          let run = Harness.Runners.Rwwc_runner.runner cfg in
+          fun schedule ->
+            let res = run schedule in
+            Spec.Properties.uniform_consensus
+              ~bound:(Harness.Runners.f_actual res + 1)
+              res
+        | Flood ->
+          let run = Harness.Runners.Flood_runner.runner cfg in
+          fun schedule ->
+            Spec.Properties.uniform_consensus ~bound:(t + 1) (run schedule)
         | Early_stopping ->
-          let res = Harness.Runners.Es_runner.run cfg in
-          (res, min (t + 1) (Harness.Runners.f_actual res + 2))
-        | Rwwc_on_classic ->
-          failwith "check: use rwwc and the transform tests instead"
+          let run = Harness.Runners.Es_runner.runner cfg in
+          fun schedule ->
+            let res = run schedule in
+            Spec.Properties.uniform_consensus
+              ~bound:(min (t + 1) (Harness.Runners.f_actual res + 2))
+              res
+        | Rwwc_on_classic -> assert false (* rejected above *)
       in
-      (schedule, Spec.Properties.uniform_consensus ~bound res)
+      Seq.fold_left
+        (fun (checked, violations) schedule ->
+          let checks = verdict schedule in
+          ( checked + 1,
+            if Spec.Properties.all_ok checks then violations
+            else (schedule, Spec.Properties.failures checks) :: violations ))
+        (0, [])
+        (Adversary.Enumerate.shard ~shards ~shard (enumerate ()))
     in
-    let schedules =
-      Array.of_seq (Adversary.Enumerate.schedules ~model ~n ~max_f ~max_round)
+    let started = Unix.gettimeofday () in
+    let per_shard = Parallel.Pool.shards ~domains sweep in
+    let elapsed = Unix.gettimeofday () -. started in
+    let checked = List.fold_left (fun acc (c, _) -> acc + c) 0 per_shard in
+    let violations =
+      List.concat_map (fun (_, vs) -> List.rev vs) per_shard
+      |> List.sort (fun (a, _) (b, _) -> Adversary.Canonical.compare a b)
     in
-    let verdicts = Parallel.Pool.map ~domains verdict schedules in
-    let failures = ref 0 in
-    Array.iter
-      (fun (schedule, checks) ->
-        if not (Spec.Properties.all_ok checks) then begin
-          incr failures;
-          Format.printf "VIOLATION on %s@." (Schedule.to_string schedule);
-          List.iter
-            (fun c -> Format.printf "  %a@." Spec.Properties.pp_check c)
-            (Spec.Properties.failures checks)
-        end)
-      verdicts;
-    Format.printf "checked %d schedules, %d violations@."
-      (Array.length schedules) !failures;
-    if !failures = 0 then 0 else 1
+    List.iter
+      (fun (schedule, failures) ->
+        Format.printf "VIOLATION on %s@." (Schedule.to_string schedule);
+        List.iter
+          (fun c -> Format.printf "  %a@." Spec.Properties.pp_check c)
+          failures)
+      violations;
+    if not no_symmetry then
+      Format.printf
+        "symmetry: %d classes cover a space of %d schedules (%.1fx reduction)@."
+        checked full_size
+        (float_of_int full_size /. float_of_int (max 1 checked));
+    Format.printf "checked %d schedules in %.3fs (%.0f schedules/sec), %d violations@."
+      checked elapsed
+      (float_of_int checked /. Float.max elapsed 1e-9)
+      (List.length violations);
+    if violations = [] then 0 else 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Exhaustively model-check an algorithm over every crash schedule.")
-    Term.(const go $ algo $ n $ max_f $ max_round $ domains)
+    Term.(const go $ algo $ n $ max_f $ max_round $ domains $ no_symmetry)
 
 (* --- experiments ---------------------------------------------------------- *)
 

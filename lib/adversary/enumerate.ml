@@ -42,3 +42,36 @@ let schedules ~model ~n ~max_f ~max_round =
     (Combinatorics.upto max_f)
 
 let count s = Seq.fold_left (fun acc _ -> acc + 1) 0 s
+
+let point_count ~model ~n =
+  let during = 1 lsl (n - 1) in
+  match model with
+  | Model_kind.Classic -> 2 + during
+  | Model_kind.Extended -> 2 + during + n
+
+let space_size ~model ~n ~max_f ~max_round =
+  (* Every victim contributes the same number of candidate events, so the
+     space factors as sum_f C(n,f) * e^f with e = max_round * points. *)
+  let e = max_round * point_count ~model ~n in
+  let rec go f acc choose pow =
+    if f > max_f then acc
+    else go (f + 1) (acc + (choose * pow)) (choose * (n - f) / (f + 1)) (pow * e)
+  in
+  go 0 0 1 1
+
+let shard ~shards ~shard seq =
+  if shards < 1 then invalid_arg "Enumerate.shard: shards must be >= 1";
+  if shard < 0 || shard >= shards then
+    invalid_arg "Enumerate.shard: shard must be in 0 .. shards-1";
+  if shards = 1 then seq
+  else
+    (* Keep every [shards]-th element starting at index [shard]: residue
+       classes interleave cheap and expensive schedules, so shards stay
+       balanced even though verdict times are skewed. *)
+    let rec skip k seq () =
+      match seq () with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (x, rest) ->
+        if k = 0 then Seq.Cons (x, skip (shards - 1) rest) else skip (k - 1) rest ()
+    in
+    skip shard seq

@@ -28,3 +28,21 @@ val schedules :
 
 val count : 'a Seq.t -> int
 (** Length of a finite sequence (for reporting state-space sizes). *)
+
+val point_count : model:Model_kind.t -> n:int -> int
+(** Number of semantically distinct crash points per (victim, round):
+    [2 + 2^(n-1)] in the classic model, [2 + 2^(n-1) + n] extended. *)
+
+val space_size : model:Model_kind.t -> n:int -> max_f:int -> max_round:int -> int
+(** Closed-form size of {!schedules} — [sum_(f=0)^(max_f) C(n,f) * e^f] with
+    [e = max_round * point_count] — so sweeps can report coverage and
+    reduction factors without materializing (or even walking) the space. *)
+
+val shard : shards:int -> shard:int -> 'a Seq.t -> 'a Seq.t
+(** [shard ~shards ~shard s] is the lazy residue-class slice of [s] holding
+    the elements at indices congruent to [shard] modulo [shards].  The
+    [shards] slices partition [s]; each re-walks the underlying generator,
+    which must therefore be persistent (ours are).  Residue classes — rather
+    than contiguous blocks — interleave cheap and expensive schedules, so a
+    domain per shard stays busy even though verdict times are skewed.
+    Raises [Invalid_argument] unless [0 <= shard < shards]. *)

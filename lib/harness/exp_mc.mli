@@ -1,0 +1,5 @@
+(** EXP-MC — the exhaustive model checker's state-space table: full-space
+    vs symmetry-reduced sweep cardinalities and the equality of their
+    violation verdict sets (including for a deliberately broken variant). *)
+
+val experiment : Experiment.t

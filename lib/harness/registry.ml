@@ -16,6 +16,7 @@ let all =
     Exp_eff.experiment;
     Exp_obs.experiment;
     Exp_chaos.experiment;
+    Exp_mc.experiment;
   ]
 
 let find id =

@@ -4,14 +4,17 @@ open Sync_sim
 
 module Rwwc_runner : sig
   val run : Engine.config -> Run_result.t
+  val runner : Engine.config -> Model.Schedule.t -> Run_result.t
 end
 
 module Flood_runner : sig
   val run : Engine.config -> Run_result.t
+  val runner : Engine.config -> Model.Schedule.t -> Run_result.t
 end
 
 module Es_runner : sig
   val run : Engine.config -> Run_result.t
+  val runner : Engine.config -> Model.Schedule.t -> Run_result.t
 end
 
 module Compiled : sig

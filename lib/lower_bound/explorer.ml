@@ -48,11 +48,10 @@ module Make (A : Algo_intf.S) = struct
     let module E = Sync_sim.Engine.Make (T) in
     let t = decide_by in
     let searched = ref 0 in
+    let run = E.runner (Sync_sim.Engine.config ~n ~t ~proposals ()) in
     let violation schedule =
       incr searched;
-      let result =
-        E.run (Sync_sim.Engine.config ~schedule ~n ~t ~proposals ())
-      in
+      let result = run schedule in
       let bad =
         not
           (Spec.Properties.all_ok

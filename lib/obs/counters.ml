@@ -7,6 +7,12 @@ type t = {
 
 let create () = { data_msgs = 0; data_bits = 0; sync_msgs = 0; sync_bits = 0 }
 
+let reset c =
+  c.data_msgs <- 0;
+  c.data_bits <- 0;
+  c.sync_msgs <- 0;
+  c.sync_bits <- 0
+
 let record_data c ~bits =
   c.data_msgs <- c.data_msgs + 1;
   c.data_bits <- c.data_bits + bits

@@ -16,6 +16,10 @@ type t = {
 val create : unit -> t
 (** All zeros. *)
 
+val reset : t -> unit
+(** Zero all four counters in place — lets the engine's reusable runner
+    keep one accumulator across runs instead of allocating per run. *)
+
 val record_data : t -> bits:int -> unit
 (** One data message of [bits] bits on the wire. *)
 

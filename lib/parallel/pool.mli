@@ -1,33 +1,58 @@
 (** Deterministic data parallelism over OCaml 5 domains.
 
     The experiment sweeps and exhaustive model checks are embarrassingly
-    parallel: every run is a pure function of its (seeded) inputs.  This
-    pool chunks an input array across domains and reassembles results in
-    input order, so parallel execution is observationally identical to
-    sequential execution — the tests assert exactly that.
+    parallel: every run is a pure function of its (seeded) inputs.  Workers
+    pull indices from a shared atomic counter (work stealing), so parallel
+    execution stays observationally identical to sequential execution even
+    when per-element costs are heavily skewed — the tests assert exactly
+    that, for results, witnesses and exceptions alike.
 
     Keep closures pure: tasks run concurrently on separate domains, and
-    shared mutable state without synchronization is a data race. *)
+    shared mutable state without synchronization is a data race.
+
+    Cancellation: the optional [stop] flag is shared with the caller (and
+    may be set from any domain, including from inside a task).  Once it is
+    observed, workers stop pulling new elements and the call raises
+    {!Cancelled} instead of returning a partial result. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+exception Cancelled
+(** Raised by a call whose [stop] flag was set before it completed. *)
+
+val map : ?domains:int -> ?stop:bool Atomic.t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] applies [f] to every element, preserving order.
-    [domains <= 1] (or an array shorter than 2) degrades to [Array.map].
-    If any task raises, the first exception (in input order) is re-raised
-    after all domains have joined. *)
+    [domains <= 1] (or an array shorter than 2) degrades to sequential
+    application.  If any task raises, the exception of the smallest input
+    index is re-raised after all domains have joined. *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
-val iter : ?domains:int -> ('a -> unit) -> 'a array -> unit
+val iter : ?domains:int -> ?stop:bool Atomic.t -> ('a -> unit) -> 'a array -> unit
 
-val count_if : ?domains:int -> ('a -> bool) -> 'a array -> int
-(** Parallel count of elements satisfying the predicate. *)
+val count_if :
+  ?domains:int -> ?stop:bool Atomic.t -> ('a -> bool) -> 'a array -> int
+(** Parallel count of elements satisfying the predicate.  Every element is
+    evaluated (a count cannot short-circuit); use [stop] to abandon the
+    call from outside. *)
 
-val find_first : ?domains:int -> ('a -> 'b option) -> 'a array -> 'b option
+val find_first :
+  ?domains:int -> ?stop:bool Atomic.t -> ('a -> 'b option) -> 'a array -> 'b option
 (** [find_first f xs] is [f x] for the first (in input order) [x] with
-    [f x <> None].  All elements may be evaluated (no early exit across
-    chunk boundaries is guaranteed), but the returned witness is always the
-    input-order first — exhaustive-search callers get deterministic
-    witnesses regardless of the domain count. *)
+    [f x <> None] — deterministic regardless of the domain count.  The
+    search short-circuits: once a hit at index [i] is known, no element
+    beyond [i] is newly dispatched (in-flight elements finish, and every
+    index below the winning one is always evaluated, which is what makes
+    the witness the input-order first).  An exception raised at an index
+    smaller than the first hit propagates; elements past the first hit may
+    never be evaluated at all. *)
+
+val shards : ?domains:int -> (shards:int -> shard:int -> 'a) -> 'a list
+(** [shards ~domains f] runs [f ~shards:domains ~shard:k] for each
+    [k in 0 .. domains-1], one per domain (the caller's domain runs shard
+    0), and returns the results in shard order.  This is the streaming
+    entry point: each worker folds its own lazy slice (see
+    {!Adversary.Enumerate.shard}) so no caller materializes the input.
+    With [domains = 1] the single shard runs inline.  If shards raise, the
+    exception of the smallest shard index is re-raised after all joins. *)

@@ -36,40 +36,134 @@ type proc_status =
   | Dead of { at_round : int }
 
 module Make (A : Algorithm_intf.S) = struct
+  (* Inboxes are preallocated growable parallel arrays (sender pid /
+     payload), reused across rounds and — via [runner] — across whole runs:
+     steady-state delivery writes two cells and bumps a length, allocating
+     nothing.  The cons-list representation this replaces allocated a cell
+     per message plus the [List.sort] intermediates every round. *)
+  type inbox = {
+    mutable from : int array;
+    mutable msg : A.msg array;
+    mutable len : int;
+  }
+
   type proc = {
     pid : Pid.t;
     mutable state : A.state;
     mutable status : proc_status;
-    mutable inbox_data : (Pid.t * A.msg) list;  (* reverse arrival order *)
-    mutable inbox_syncs : Pid.t list;
+    inbox : inbox;
+    mutable sync_from : int array;
+    mutable sync_len : int;
   }
 
-  let check_schedule cfg =
-    match
-      Schedule.validate ~model:A.model ~n:cfg.n ~t:cfg.t cfg.schedule
-    with
-    | Ok () -> ()
-    | Error msg -> raise (Model_violation msg)
+  let push_data b ~from msg =
+    let cap = Array.length b.msg in
+    if b.len = cap then begin
+      let ncap = max 8 (2 * cap) in
+      let nf = Array.make ncap from and nm = Array.make ncap msg in
+      Array.blit b.from 0 nf 0 b.len;
+      Array.blit b.msg 0 nm 0 b.len;
+      b.from <- nf;
+      b.msg <- nm
+    end;
+    b.from.(b.len) <- from;
+    b.msg.(b.len) <- msg;
+    b.len <- b.len + 1
 
-  let run cfg =
-    check_schedule cfg;
-    let procs =
-      Array.init cfg.n (fun i ->
-          let pid = Pid.of_int (i + 1) in
-          {
-            pid;
-            state = A.init ~n:cfg.n ~t:cfg.t ~me:pid ~proposal:cfg.proposals.(i);
-            status = Running;
-            inbox_data = [];
-            inbox_syncs = [];
-          })
+  let push_sync p ~from =
+    let cap = Array.length p.sync_from in
+    if p.sync_len = cap then begin
+      let nf = Array.make (max 8 (2 * cap)) from in
+      Array.blit p.sync_from 0 nf 0 p.sync_len;
+      p.sync_from <- nf
+    end;
+    p.sync_from.(p.sync_len) <- from;
+    p.sync_len <- p.sync_len + 1
+
+  (* In-place insertion sort by sender pid; ties keep the later arrival
+     first, matching the previous representation (a stable sort of the
+     reverse-arrival cons list).  Inboxes hold at most O(n) messages. *)
+  let sort_data b =
+    for i = 1 to b.len - 1 do
+      let f = b.from.(i) and m = b.msg.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && b.from.(!j) >= f do
+        b.from.(!j + 1) <- b.from.(!j);
+        b.msg.(!j + 1) <- b.msg.(!j);
+        decr j
+      done;
+      b.from.(!j + 1) <- f;
+      b.msg.(!j + 1) <- m
+    done
+
+  let sort_syncs p =
+    for i = 1 to p.sync_len - 1 do
+      let f = p.sync_from.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && p.sync_from.(!j) >= f do
+        p.sync_from.(!j + 1) <- p.sync_from.(!j);
+        decr j
+      done;
+      p.sync_from.(!j + 1) <- f
+    done
+
+  let data_list b =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) ((Pid.of_int b.from.(i), b.msg.(i)) :: acc)
     in
+    go (b.len - 1) []
+
+  let sync_list p =
+    let rec go i acc =
+      if i < 0 then acc else go (i - 1) (Pid.of_int p.sync_from.(i) :: acc)
+    in
+    go (p.sync_len - 1) []
+
+  type scratch = { cfg : config; procs : proc array; counters : Obs.Counters.t }
+
+  let scratch_of_config cfg =
+    {
+      cfg;
+      procs =
+        Array.init cfg.n (fun i ->
+            let pid = Pid.of_int (i + 1) in
+            {
+              pid;
+              state =
+                A.init ~n:cfg.n ~t:cfg.t ~me:pid ~proposal:cfg.proposals.(i);
+              status = Running;
+              inbox = { from = [||]; msg = [||]; len = 0 };
+              sync_from = [||];
+              sync_len = 0;
+            });
+      counters = Obs.Counters.create ();
+    }
+
+  let reset s =
+    Obs.Counters.reset s.counters;
+    Array.iteri
+      (fun i p ->
+        p.state <-
+          A.init ~n:s.cfg.n ~t:s.cfg.t ~me:p.pid ~proposal:s.cfg.proposals.(i);
+        p.status <- Running;
+        p.inbox.len <- 0;
+        p.sync_len <- 0)
+      s.procs
+
+  let exec s schedule =
+    let cfg = s.cfg in
+    (match Schedule.validate ~model:A.model ~n:cfg.n ~t:cfg.t schedule with
+    | Ok () -> ()
+    | Error msg -> raise (Model_violation msg));
+    reset s;
+    let procs = s.procs in
     let proc pid = procs.(Pid.to_int pid - 1) in
     (* Wire accounting is part of the run's semantics (Theorem 2) and is
        accumulated unconditionally; everything else is observable only
        through the instrument.  [record_trace] is itself a trace sink
        composed in front of the caller's instrument. *)
-    let counters = Obs.Counters.create () in
+    let counters = s.counters in
     let trace_sink = if cfg.record_trace then Some (Obs.Trace_sink.create ()) else None in
     let inst =
       match trace_sink with
@@ -98,13 +192,12 @@ module Make (A : Algorithm_intf.S) = struct
       let q = proc dest in
       (* Channels are reliable: the message always reaches the destination;
          a crashed or decided destination simply never processes it. *)
-      q.inbox_data <- (from, msg) :: q.inbox_data
+      push_data q.inbox ~from:(Pid.to_int from) msg
     in
     let deliver_sync ~round ~from dest =
       Obs.Counters.record_sync counters;
       if observing then emit (Obs.Event.Sync_sent { round; from; dest });
-      let q = proc dest in
-      q.inbox_syncs <- from :: q.inbox_syncs
+      push_sync (proc dest) ~from:(Pid.to_int from)
     in
     let some_running () =
       Array.exists (fun p -> p.status = Running) procs
@@ -131,7 +224,7 @@ module Make (A : Algorithm_intf.S) = struct
                    (A.name ^ " emits control messages under the classic model"))
             | (Model_kind.Classic | Model_kind.Extended), _ -> ());
             let crash_now =
-              match Schedule.find cfg.schedule p.pid with
+              match Schedule.find schedule p.pid with
               | Some ev when ev.Crash.round = r -> Some ev.Crash.point
               | Some _ | None -> None
             in
@@ -173,19 +266,27 @@ module Make (A : Algorithm_intf.S) = struct
          particular, not crashed this round) process their round-r inbox. *)
       Array.iter
         (fun p ->
-          let data =
-            List.sort (fun (a, _) (b, _) -> Pid.compare a b) p.inbox_data
-          and syncs = List.sort Pid.compare p.inbox_syncs in
-          p.inbox_data <- [];
-          p.inbox_syncs <- [];
           match p.status with
-          | Halted _ | Dead _ -> ()
+          | Halted _ | Dead _ ->
+            (* Messages to dead or decided processes are simply discarded. *)
+            p.inbox.len <- 0;
+            p.sync_len <- 0
           | Announced _ ->
+            sort_data p.inbox;
+            sort_syncs p;
+            let data = data_list p.inbox and syncs = sync_list p in
+            p.inbox.len <- 0;
+            p.sync_len <- 0;
             (* Still participating: evolve the state, but the decision is
                already fixed. *)
             let state, _ = A.compute p.state ~round:r ~data ~syncs in
             p.state <- state
           | Running ->
+            sort_data p.inbox;
+            sort_syncs p;
+            let data = data_list p.inbox and syncs = sync_list p in
+            p.inbox.len <- 0;
+            p.sync_len <- 0;
             let state, decision = A.compute p.state ~round:r ~data ~syncs in
             p.state <- state;
             (match decision with
@@ -238,4 +339,10 @@ module Make (A : Algorithm_intf.S) = struct
         | None -> []
         | Some ts -> List.filter_map Trace.of_obs (Obs.Trace_sink.events ts));
     }
+
+  let run cfg = exec (scratch_of_config cfg) cfg.schedule
+
+  let runner cfg =
+    let s = scratch_of_config cfg in
+    fun schedule -> exec s schedule
 end

@@ -67,4 +67,16 @@ module Make (A : Algorithm_intf.S) : sig
   val run : config -> Run_result.t
   (** Execute one run to completion (all processes decided or crashed) or to
       [max_rounds]. *)
+
+  val runner : config -> Schedule.t -> Run_result.t
+  (** [runner cfg] preallocates the run scratch (process array, inbox
+      buffers, wire counters) once and returns a closure executing one run
+      per given schedule against it.  [cfg.schedule] is ignored — each call
+      validates and runs the schedule it is passed.  Results are identical
+      to [run { cfg with schedule }]; the point is the sweep hot path: a
+      reused runner performs no per-run allocation beyond the result record
+      and the per-round receive lists, which is what makes exhaustive
+      model checking over millions of schedules feasible.  The closure owns
+      mutable scratch and is {e not} thread-safe: create one runner per
+      domain. *)
 end

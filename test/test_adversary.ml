@@ -181,6 +181,62 @@ let test_enumerate_all_valid_and_distinct () =
     (Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n:3 ~max_f:2
        ~max_round:2)
 
+let test_space_size_matches_enumeration () =
+  List.iter
+    (fun (model, n, max_f, max_round) ->
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d max_f=%d max_round=%d" n max_f max_round)
+        (Adversary.Enumerate.count
+           (Adversary.Enumerate.schedules ~model ~n ~max_f ~max_round))
+        (Adversary.Enumerate.space_size ~model ~n ~max_f ~max_round))
+    [
+      (Model_kind.Extended, 3, 1, 2);
+      (Model_kind.Extended, 3, 2, 2);
+      (Model_kind.Extended, 4, 2, 3);
+      (Model_kind.Classic, 3, 2, 2);
+      (Model_kind.Classic, 4, 2, 3);
+    ]
+
+(* Sharding must partition the stream into residue classes: shard k holds
+   exactly the elements at indices congruent to k, so the shards are
+   disjoint and their union is the whole space. *)
+let test_shard_partitions () =
+  let space () =
+    Adversary.Enumerate.schedules ~model:Model_kind.Extended ~n:3 ~max_f:2
+      ~max_round:2
+  in
+  let all = List.map Schedule.to_string (List.of_seq (space ())) in
+  List.iter
+    (fun shards ->
+      List.iteri
+        (fun k expected_at_k ->
+          ignore expected_at_k;
+          let part =
+            List.map Schedule.to_string
+              (List.of_seq (Adversary.Enumerate.shard ~shards ~shard:k (space ())))
+          in
+          let expected =
+            List.filteri (fun i _ -> i mod shards = k) all
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "shards=%d shard=%d" shards k)
+            expected part)
+        (List.init shards Fun.id))
+    [ 1; 2; 3; 7 ]
+
+let test_shard_validates () =
+  let space = Seq.ints 0 in
+  Alcotest.(check bool) "bad shard count" true
+    (try
+       let (_ : int Seq.t) = Adversary.Enumerate.shard ~shards:0 ~shard:0 space in
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "shard out of range" true
+    (try
+       let (_ : int Seq.t) = Adversary.Enumerate.shard ~shards:4 ~shard:4 space in
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "adversary"
     [
@@ -206,5 +262,8 @@ let () =
           Alcotest.test_case "points" `Quick test_enumerate_points_count;
           Alcotest.test_case "schedules" `Quick test_enumerate_schedules_count;
           Alcotest.test_case "valid-distinct" `Quick test_enumerate_all_valid_and_distinct;
+          Alcotest.test_case "space-size" `Quick test_space_size_matches_enumeration;
+          Alcotest.test_case "shard-partition" `Quick test_shard_partitions;
+          Alcotest.test_case "shard-validate" `Quick test_shard_validates;
         ] );
     ]

@@ -247,6 +247,88 @@ let test_config_validation () =
   check_invalid "value_bits" (fun () ->
       Engine.config ~value_bits:1 ~n:3 ~t:1 ~proposals:[| 1; 2; 3 |] ())
 
+(* --- the reusable runner (allocation-lean fast path) ----------------------- *)
+
+module Rwwc_run = Engine.Make (Core.Rwwc)
+
+let runner_schedules n =
+  Schedule.empty
+  :: List.concat_map
+       (fun f ->
+         [
+           Adversary.Strategies.coordinator_killer ~n ~f
+             ~style:Adversary.Strategies.Silent;
+           Adversary.Strategies.coordinator_killer ~n ~f
+             ~style:Adversary.Strategies.Greedy;
+         ])
+       [ 1; 2; 3 ]
+
+(* One runner, many schedules: each call must equal a fresh [run] with that
+   schedule — scratch reuse leaks nothing across runs, in either order. *)
+let test_runner_matches_run () =
+  let n = 8 in
+  let t = n - 2 in
+  let proposals = Engine.distinct_proposals n in
+  let runner = Rwwc_run.runner (Engine.config ~n ~t ~proposals ()) in
+  let check schedule =
+    let fresh = Rwwc_run.run (Engine.config ~schedule ~n ~t ~proposals ()) in
+    Alcotest.(check bool)
+      (Printf.sprintf "identical on %s" (Schedule.to_string schedule))
+      true
+      (runner schedule = fresh)
+  in
+  let schedules = runner_schedules n in
+  List.iter check schedules;
+  (* And again in reverse, so a dirty scratch from a big schedule would be
+     caught by a subsequent small one. *)
+  List.iter check (List.rev schedules)
+
+let test_runner_validates () =
+  let runner =
+    Rwwc_run.runner
+      (Engine.config ~n:3 ~t:1 ~proposals:(Engine.distinct_proposals 3) ())
+  in
+  Alcotest.(check bool) "invalid schedule rejected" true
+    (try
+       ignore
+         (runner
+            (Schedule.of_list
+               [ (Pid.of_int 7, Crash.make ~round:1 Crash.Before_send) ]));
+       false
+     with Engine.Model_violation _ -> true)
+
+(* The acceptance gauge: the reused runner must allocate measurably less
+   per run than the fresh-config path on the same workload. *)
+let test_runner_allocates_less () =
+  let n = 8 in
+  let t = n - 2 in
+  let proposals = Engine.distinct_proposals n in
+  let schedule =
+    Adversary.Strategies.coordinator_killer ~n ~f:3
+      ~style:Adversary.Strategies.Greedy
+  in
+  let runs = 200 in
+  let minor_words body =
+    let before = Gc.minor_words () in
+    for _ = 1 to runs do
+      ignore (body ())
+    done;
+    Gc.minor_words () -. before
+  in
+  (* Warm both paths so one-time setup is outside the measurement. *)
+  let runner = Rwwc_run.runner (Engine.config ~n ~t ~proposals ()) in
+  ignore (runner schedule);
+  ignore (Rwwc_run.run (Engine.config ~schedule ~n ~t ~proposals ()));
+  let fresh =
+    minor_words (fun () ->
+        Rwwc_run.run (Engine.config ~schedule ~n ~t ~proposals ()))
+  in
+  let reused = minor_words (fun () -> runner schedule) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reused (%.0f words) < fresh (%.0f words)" reused fresh)
+    true
+    (reused < fresh *. 0.8)
+
 let () =
   Alcotest.run "engine"
     [
@@ -280,5 +362,11 @@ let () =
           Alcotest.test_case "classic-sync" `Quick test_classic_sync_rejected;
           Alcotest.test_case "classic-point" `Quick test_classic_schedule_point_rejected;
           Alcotest.test_case "config" `Quick test_config_validation;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "matches-run" `Quick test_runner_matches_run;
+          Alcotest.test_case "validates" `Quick test_runner_validates;
+          Alcotest.test_case "allocates-less" `Quick test_runner_allocates_less;
         ] );
     ]

@@ -13,7 +13,7 @@ let column_all table ~col ~expected =
 
 let test_registry_complete () =
   Alcotest.(check (list string)) "experiment ids"
-    [ "F1"; "T1"; "T2"; "S22"; "LB"; "BIV"; "SIM"; "FFD"; "MR99"; "CL"; "ABL"; "UNI"; "LAN"; "EFF"; "OBS"; "CHAOS" ]
+    [ "F1"; "T1"; "T2"; "S22"; "LB"; "BIV"; "SIM"; "FFD"; "MR99"; "CL"; "ABL"; "UNI"; "LAN"; "EFF"; "OBS"; "CHAOS"; "MC" ]
     Harness.Registry.ids;
   Alcotest.(check bool) "find is case-insensitive" true
     (Harness.Registry.find "t1" <> None);
@@ -83,6 +83,13 @@ let test_abl_classification () =
       (Diag.Table.cell table ~row:3 ~col:2)
   | _ -> Alcotest.fail "ABL should produce one table"
 
+let test_mc_verdict_sets_agree () =
+  match run_id "MC" with
+  | [ table ] ->
+    Alcotest.(check bool) "full and reduced sweeps agree everywhere" true
+      (column_all table ~col:6 ~expected:"yes")
+  | _ -> Alcotest.fail "MC should produce one table"
+
 let test_biv_no_decision_in_bivalent () =
   match run_id "BIV" with
   | [ table ] ->
@@ -126,6 +133,7 @@ let () =
           Alcotest.test_case "CL" `Quick test_cl_invariants;
           Alcotest.test_case "ABL" `Slow test_abl_classification;
           Alcotest.test_case "BIV" `Quick test_biv_no_decision_in_bivalent;
+          Alcotest.test_case "MC" `Slow test_mc_verdict_sets_agree;
           Alcotest.test_case "others-run" `Quick test_remaining_experiments_run;
         ] );
       ( "workloads", [ Alcotest.test_case "generators" `Quick test_workloads ] );

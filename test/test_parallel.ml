@@ -140,6 +140,93 @@ let test_simulations_under_domains () =
 let test_default_domains_positive () =
   Alcotest.(check bool) "at least one" true (Parallel.Pool.default_domains () >= 1)
 
+(* The short-circuit contract, pinned by invocation counting.  Sequentially
+   a hit at index 50 of 100 must stop the scan at exactly 51 calls — the
+   seed pool mapped f over every element even after a hit. *)
+let test_find_first_short_circuit_sequential () =
+  let calls = Atomic.make 0 in
+  let f x =
+    Atomic.incr calls;
+    if x = 50 then Some x else None
+  in
+  Alcotest.(check (option int))
+    "hit" (Some 50)
+    (Parallel.Pool.find_first ~domains:1 f (Array.init 100 Fun.id));
+  Alcotest.(check int) "exactly 51 invocations" 51 (Atomic.get calls)
+
+(* In parallel the count may overshoot by in-flight elements, but with the
+   hit near the front of a long input it must stay far below n: workers
+   stop pulling once the dispatch counter passes the best hit.  Every
+   element spins a little so no worker can race deep past the hit. *)
+let test_find_first_short_circuit_parallel () =
+  let n = 1000 in
+  let spin () =
+    let acc = ref 0 in
+    for i = 1 to 20_000 do
+      acc := !acc + (i land 7)
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  List.iter
+    (fun domains ->
+      let calls = Atomic.make 0 in
+      let f x =
+        Atomic.incr calls;
+        spin ();
+        if x = 10 then Some x else None
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "domains=%d hit" domains)
+        (Some 10)
+        (Parallel.Pool.find_first ~domains f (Array.init n Fun.id));
+      let c = Atomic.get calls in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d short-circuits (%d calls)" domains c)
+        true (c < n / 2))
+    [ 2; 4; 8 ]
+
+let test_cancelled_preset () =
+  let stop = Atomic.make true in
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "map domains=%d" domains)
+        Parallel.Pool.Cancelled
+        (fun () ->
+          ignore (Parallel.Pool.map ~domains ~stop succ (Array.init 64 Fun.id))))
+    [ 1; 4 ];
+  Alcotest.check_raises "find_first" Parallel.Pool.Cancelled (fun () ->
+      ignore
+        (Parallel.Pool.find_first ~domains:4 ~stop
+           (fun x -> Some x)
+           (Array.init 64 Fun.id)))
+
+let test_cancelled_from_inside () =
+  let stop = Atomic.make false in
+  Alcotest.check_raises "set by a task" Parallel.Pool.Cancelled (fun () ->
+      ignore
+        (Parallel.Pool.iter ~domains:4 ~stop
+           (fun x -> if x = 100 then Atomic.set stop true)
+           (Array.init 100_000 Fun.id)))
+
+let test_shards_cover_and_order () =
+  Alcotest.(check (list (pair int int)))
+    "one shard per domain, in order"
+    [ (4, 0); (4, 1); (4, 2); (4, 3) ]
+    (Parallel.Pool.shards ~domains:4 (fun ~shards ~shard -> (shards, shard)));
+  Alcotest.(check (list int))
+    "single shard runs inline" [ 0 ]
+    (Parallel.Pool.shards ~domains:1 (fun ~shards:_ ~shard -> shard))
+
+let test_shards_first_exception () =
+  Alcotest.(check string) "smallest shard index wins" "1"
+    (try
+       ignore
+         (Parallel.Pool.shards ~domains:4 (fun ~shards:_ ~shard ->
+              if shard >= 1 then failwith (string_of_int shard) else shard));
+       "no exception"
+     with Failure m -> m)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -158,5 +245,13 @@ let () =
             test_map_first_exception_all_domains;
           Alcotest.test_case "simulations" `Quick test_simulations_under_domains;
           Alcotest.test_case "defaults" `Quick test_default_domains_positive;
+          Alcotest.test_case "find-first-short-circuit-seq" `Quick
+            test_find_first_short_circuit_sequential;
+          Alcotest.test_case "find-first-short-circuit-par" `Quick
+            test_find_first_short_circuit_parallel;
+          Alcotest.test_case "cancelled-preset" `Quick test_cancelled_preset;
+          Alcotest.test_case "cancelled-inside" `Quick test_cancelled_from_inside;
+          Alcotest.test_case "shards" `Quick test_shards_cover_and_order;
+          Alcotest.test_case "shards-exception" `Quick test_shards_first_exception;
         ] );
     ]
