@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench check experiments examples clean
+.PHONY: all build test bench check shrink-smoke experiments examples clean
 
 all: build
 
@@ -19,6 +19,14 @@ bench:
 check:
 	dune exec bin/main.exe -- check --algo rwwc -n 4 --max-f 2
 	dune exec bin/main.exe -- check --algo rwwc -n 4 --max-f 2 --no-symmetry
+
+# Differential-fuzz smoke: shrink the known broken-variant witness to a
+# replayable artifact, then run bounded random schedules + recorded storms
+# through the conformance oracle (auto-shrinks on failure).
+shrink-smoke:
+	dune exec bin/main.exe -- shrink --algo data-decide -n 4 --repro repro-data-decide.json
+	dune exec bin/main.exe -- shrink --replay repro-data-decide.json
+	dune exec bin/main.exe -- fuzz --runs 40 --repro repro-fuzz.json
 
 experiments:
 	dune exec bin/main.exe -- experiments

@@ -268,6 +268,40 @@ let bench_floodset () =
     (Harness.Runners.Flood_runner.run
        (Engine.config ~n:16 ~t:8 ~proposals:(Harness.Workloads.distinct 16) ()))
 
+(* Minimize kernels — the machinery behind `sync-agreement shrink` and
+   EXP-DIFF.  The failing schedule and the algorithm record are built once,
+   outside the staged thunk, so the measurement is the greedy descent
+   (schedule re-runs per candidate) and one oracle pass respectively. *)
+
+let shrink_algo =
+  match Minimize.Algo.find "data-decide" with
+  | Ok a -> a
+  | Error why -> failwith why
+
+let shrink_input =
+  match
+    Minimize.Algo.first_violation shrink_algo ~n:4 ~t:2 ~max_f:2 ~max_round:3
+  with
+  | Some (schedule, check) -> (schedule, check.Spec.Properties.name)
+  | None -> failwith "bench: data-decide has no violation at n=4"
+
+let bench_shrink () =
+  let schedule, property = shrink_input in
+  let still_fails s =
+    let res = shrink_algo.Minimize.Algo.run ~n:4 ~t:2 s in
+    List.exists
+      (fun c -> c.Spec.Properties.name = property && not c.Spec.Properties.ok)
+      (Minimize.Algo.checks shrink_algo ~t:2 res)
+  in
+  ignore
+    (Minimize.Shrink.run ~reductions:Adversary.Enumerate.reductions ~still_fails
+       schedule)
+
+let oracle_schedule = silent ~n:4 ~f:1
+
+let bench_oracle () =
+  assert (Minimize.Oracle.agrees ~n:4 ~t:2 oracle_schedule)
+
 let bench_heap () =
   let h = Timed_sim.Heap.create () in
   for i = 0 to 999 do
@@ -303,6 +337,8 @@ let tests =
     Test.make ~name:"obs/rwwc-online-n32" (Staged.stage bench_obs_online);
     Test.make ~name:"obs/rwwc-trace-sink-n32" (Staged.stage bench_obs_trace);
     Test.make ~name:"engine/floodset-n16-t8" (Staged.stage bench_floodset);
+    Test.make ~name:"minimize/shrink-data-decide-n4" (Staged.stage bench_shrink);
+    Test.make ~name:"minimize/oracle-rwwc-n4" (Staged.stage bench_oracle);
     Test.make ~name:"engine/heap-1k-push-pop" (Staged.stage bench_heap);
   ]
 
@@ -384,8 +420,15 @@ let () =
   match !json_file with
   | None -> ()
   | Some file ->
-    let oc = open_out file in
-    output_string oc (Obs.Json.to_string (json_doc rows));
-    output_char oc '\n';
-    close_out oc;
+    (* Write-to-temp + rename: a reader (or a crashed run) never observes a
+       truncated BENCH_RESULTS.json, and the old document survives any
+       failure before the rename. *)
+    let tmp = file ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Obs.Json.to_string (json_doc rows));
+        output_char oc '\n');
+    Sys.rename tmp file;
     Printf.printf "wrote %s\n" file

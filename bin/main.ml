@@ -63,6 +63,54 @@ let adversary_name = function
   | Greedy -> "greedy"
   | Random -> "random"
 
+(* Shared by shrink/fuzz/check/chaos: shrink a failing schedule against a
+   pinned property, report the descent, optionally write + reload + replay
+   a repro artifact. *)
+
+let property_fails algo ~n ~t ~property schedule =
+  let res = algo.Minimize.Algo.run ~n ~t schedule in
+  List.exists
+    (fun c -> c.Spec.Properties.name = property && not c.Spec.Properties.ok)
+    (Minimize.Algo.checks algo ~t res)
+
+let shrink_schedule algo ~n ~t ~property schedule =
+  Minimize.Shrink.run ~reductions:Adversary.Enumerate.reductions
+    ~still_fails:(property_fails algo ~n ~t ~property)
+    schedule
+
+let print_shrink_outcome ~property (o : Schedule.t Minimize.Shrink.outcome) =
+  Format.printf "violated property: %s@." property;
+  Format.printf "original  (weight %2d): %s@."
+    (Adversary.Enumerate.weight o.Minimize.Shrink.original)
+    (Schedule.to_string o.Minimize.Shrink.original);
+  Format.printf "minimal   (weight %2d): %s@."
+    (Adversary.Enumerate.weight o.Minimize.Shrink.minimal)
+    (Schedule.to_string o.Minimize.Shrink.minimal);
+  Format.printf
+    "shrink: %d steps over %d candidates; 1-minimal (every single-step \
+     reduction passes)@."
+    o.Minimize.Shrink.steps o.Minimize.Shrink.candidates
+
+(* Write the artifact, then read it back from disk and replay it from
+   scratch — the artifact is only reported usable if the round trip
+   re-derives the violation. *)
+let save_and_verify_repro ~file repro =
+  Minimize.Repro.save ~file repro;
+  Format.printf "wrote %s@." file;
+  match Minimize.Repro.load file with
+  | Error why ->
+    Format.eprintf "repro artifact failed to reload: %s@." why;
+    1
+  | Ok loaded -> (
+    match Minimize.Repro.replay loaded with
+    | Ok details ->
+      Format.printf "replayed %s: violation reproduced@." file;
+      List.iter (fun d -> Format.printf "  %s@." d) details;
+      0
+    | Error why ->
+      Format.eprintf "replayed %s: %s@." file why;
+      1)
+
 let status_json = function
   | Run_result.Decided { value; at_round } ->
     Obs.Json.Obj
@@ -324,6 +372,20 @@ let check_cmd =
       checked elapsed
       (float_of_int checked /. Float.max elapsed 1e-9)
       (List.length violations);
+    (* Any violation is also shrunk to a 1-minimal reproducer, so the report
+       ends with the smallest schedule that still breaks the property. *)
+    (match violations with
+    | [] -> ()
+    | (schedule, failures) :: _ -> (
+      match
+        (Minimize.Algo.find (algo_name algo), failures)
+      with
+      | Ok malgo, first_failure :: _ ->
+        let property = first_failure.Spec.Properties.name in
+        let outcome = shrink_schedule malgo ~n ~t ~property schedule in
+        Format.printf "shrinking first violation:@.";
+        print_shrink_outcome ~property outcome
+      | Error _, _ | _, [] -> ()));
     if violations = [] then 0 else 1
   in
   Cmd.v
@@ -449,6 +511,279 @@ let bivalency_cmd =
     (Cmd.info "bivalency" ~doc:"Valence analysis of the configuration graph.")
     Term.(const go $ n $ t)
 
+(* --- shrink --------------------------------------------------------------- *)
+
+let shrink_cmd =
+  let algo =
+    Arg.(value & opt string "data-decide"
+         & info [ "a"; "algo"; "algorithm" ]
+             ~doc:
+               (Printf.sprintf "Algorithm to shrink against: one of %s."
+                  (String.concat ", " Minimize.Algo.names)))
+  in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes (keep small).") in
+  let max_f = Arg.(value & opt int 2 & info [ "max-f" ] ~doc:"Max crashes to enumerate.") in
+  let max_round =
+    Arg.(value & opt int 3 & info [ "max-round" ] ~doc:"Latest crash round to enumerate.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ]
+             ~doc:
+               "Shrink the first failing random schedule drawn from this \
+                seed (scanning forward) instead of the first failing \
+                schedule of the exhaustive sweep.")
+  in
+  let repro =
+    Arg.(value & opt (some string) None
+         & info [ "repro" ] ~docv:"FILE"
+             ~doc:
+               "Write the minimal reproducer as a JSON artifact, reload it \
+                and replay it.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay an existing repro artifact instead of shrinking.")
+  in
+  let go algo_name n max_f max_round seed repro replay =
+    match replay with
+    | Some file -> (
+      match Minimize.Repro.load file with
+      | Error why ->
+        Format.eprintf "cannot load %s: %s@." file why;
+        2
+      | Ok r -> (
+        Format.printf "%a@." Minimize.Repro.pp r;
+        match Minimize.Repro.replay r with
+        | Ok details ->
+          Format.printf "violation reproduced:@.";
+          List.iter (fun d -> Format.printf "  %s@." d) details;
+          0
+        | Error why ->
+          Format.eprintf "%s@." why;
+          1))
+    | None -> (
+      match Minimize.Algo.find algo_name with
+      | Error why ->
+        Format.eprintf "%s@." why;
+        2
+      | Ok algo -> (
+        let t = max 1 (n - 2) in
+        let failing =
+          match seed with
+          | None ->
+            Minimize.Algo.first_violation algo ~n ~t ~max_f ~max_round
+          | Some seed ->
+            (* Scan seeds forward until a random schedule fails; broken
+               variants usually fail within a handful of draws. *)
+            let rec scan k =
+              if k >= seed + 1000 then None
+              else
+                let rng = Prng.Rng.of_int k in
+                let schedule =
+                  Adversary.Strategies.random ~rng ~model:algo.Minimize.Algo.model
+                    ~n
+                    ~f:(Prng.Rng.int rng (max_f + 1))
+                    ~max_round
+                in
+                match Minimize.Algo.violation algo ~n ~t schedule with
+                | Some check -> Some (schedule, check)
+                | None -> scan (k + 1)
+            in
+            scan seed
+        in
+        match failing with
+        | None ->
+          Format.printf
+            "%s: no violating schedule found (n=%d, f<=%d, rounds<=%d)@."
+            algo_name n max_f max_round;
+          if algo.Minimize.Algo.broken then 1 else 0
+        | Some (schedule, check) ->
+          let property = check.Spec.Properties.name in
+          let outcome = shrink_schedule algo ~n ~t ~property schedule in
+          Format.printf "algorithm: %s (n=%d, t=%d)@." algo_name n t;
+          print_shrink_outcome ~property outcome;
+          (match
+             Minimize.Algo.violation algo ~n ~t outcome.Minimize.Shrink.minimal
+           with
+          | Some c -> Format.printf "minimal reproducer fails: %a@." Spec.Properties.pp_check c
+          | None -> Format.printf "BUG: minimal reproducer passes@.");
+          (match repro with
+          | None -> 0
+          | Some file ->
+            save_and_verify_repro ~file
+              {
+                Minimize.Repro.n;
+                t;
+                case =
+                  Minimize.Repro.Consensus
+                    {
+                      algo = algo_name;
+                      schedule = outcome.Minimize.Shrink.minimal;
+                      property;
+                    };
+                steps = outcome.Minimize.Shrink.steps;
+                candidates = outcome.Minimize.Shrink.candidates;
+                one_minimal = true;
+              })))
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Find a failing crash schedule (exhaustive sweep or seeded random), \
+          shrink it to a 1-minimal counterexample, and optionally emit a \
+          replayable --repro artifact.")
+    Term.(const go $ algo $ n $ max_f $ max_round $ seed $ repro $ replay)
+
+(* --- fuzz ----------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let runs =
+    Arg.(value & opt int 60
+         & info [ "runs" ] ~docv:"R" ~doc:"Random cases per lane (schedules and fault plans).")
+  in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Processes for the schedule lane.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed.") in
+  let budget =
+    Arg.(value & opt int 2
+         & info [ "retry-budget" ] ~docv:"K"
+             ~doc:"Retry budget for the masked-transport lane.")
+  in
+  let repro =
+    Arg.(value & opt (some string) None
+         & info [ "repro" ] ~docv:"FILE"
+             ~doc:"On failure, write the shrunk reproducer artifact here.")
+  in
+  let go runs n seed budget repro =
+    let t = max 1 (n - 2) in
+    let max_round = t + 1 in
+    (* Lane 1: random crash schedules through the cross-engine oracle. *)
+    let schedule_failure = ref None in
+    let k = ref 0 in
+    while !schedule_failure = None && !k < runs do
+      let rng = Prng.Rng.of_int (seed + !k) in
+      let schedule =
+        Adversary.Strategies.random ~rng ~model:Model_kind.Extended ~n
+          ~f:(Prng.Rng.int rng (t + 1))
+          ~max_round
+      in
+      (match Minimize.Oracle.check_schedule ~n ~t schedule with
+      | Minimize.Oracle.Agree _ -> ()
+      | Minimize.Oracle.Disagree { diffs; _ } ->
+        schedule_failure := Some (schedule, diffs));
+      incr k
+    done;
+    (* Lane 2: recorded random storms through the masked transport. *)
+    let chaos_failure = ref None in
+    let chaos_n = 6 in
+    let storm k =
+      let drop = [| 0.05; 0.15; 0.30 |].(k mod 3) in
+      Adversary.Net_faults.network_storm ~drop ~duplicate:(drop /. 2.0)
+        ~jitter:0.2 ~jitter_spread:2.5
+        ~seed:(Int64.of_int (seed + 5000 + k))
+        ()
+    in
+    let k = ref 0 in
+    while !chaos_failure = None && !k < runs do
+      let faults = Net.Fault_plan.recording (storm !k) in
+      (match
+         Minimize.Oracle.check_masked ~n:chaos_n ~budget ~faults
+           ~seed:(Int64.of_int (seed + !k))
+           ()
+       with
+      | Minimize.Oracle.Wrong why, _ ->
+        let actions = Option.get (Net.Fault_plan.recorded faults) in
+        chaos_failure := Some (seed + !k, actions, why)
+      | (Minimize.Oracle.Masked | Minimize.Oracle.Detected _), _ -> ());
+      incr k
+    done;
+    match (!schedule_failure, !chaos_failure) with
+    | None, None ->
+      Format.printf
+        "fuzz: %d random schedules (n=%d) and %d recorded storms through the \
+         differential oracle, no disagreement@."
+        runs n runs;
+      0
+    | Some (schedule, diffs), _ ->
+      Format.printf "fuzz: cross-engine DISAGREEMENT on %s@."
+        (Schedule.to_string schedule);
+      List.iter (fun d -> Format.printf "  %s@." d) diffs;
+      let outcome =
+        Minimize.Shrink.run ~reductions:Adversary.Enumerate.reductions
+          ~still_fails:(fun s -> not (Minimize.Oracle.agrees ~n ~t s))
+          schedule
+      in
+      Format.printf "minimal disagreeing schedule: %s (%d steps)@."
+        (Schedule.to_string outcome.Minimize.Shrink.minimal)
+        outcome.Minimize.Shrink.steps;
+      (match repro with
+      | None -> 1
+      | Some file ->
+        ignore
+          (save_and_verify_repro ~file
+             {
+               Minimize.Repro.n;
+               t;
+               case =
+                 Minimize.Repro.Cross_engine
+                   { schedule = outcome.Minimize.Shrink.minimal };
+               steps = outcome.Minimize.Shrink.steps;
+               candidates = outcome.Minimize.Shrink.candidates;
+               one_minimal = true;
+             });
+        1)
+    | None, Some (engine_seed, actions, why) ->
+      Format.printf "fuzz: masked transport WRONG (engine seed %d): %s@."
+        engine_seed why;
+      let wrong actions =
+        match
+          Minimize.Oracle.check_masked ~n:chaos_n ~budget
+            ~faults:(Net.Fault_plan.scripted actions)
+            ~seed:(Int64.of_int engine_seed) ()
+        with
+        | Minimize.Oracle.Wrong _, _ -> true
+        | (Minimize.Oracle.Masked | Minimize.Oracle.Detected _), _ -> false
+      in
+      let outcome =
+        Minimize.Shrink.run ~reductions:Minimize.Script.reductions
+          ~still_fails:wrong actions
+      in
+      let minimal = Minimize.Script.trim outcome.Minimize.Shrink.minimal in
+      Format.printf "minimal fault script: %d actions, %d faults (%d steps)@."
+        (Array.length minimal)
+        (Minimize.Script.weight minimal)
+        outcome.Minimize.Shrink.steps;
+      (match repro with
+      | None -> 1
+      | Some file ->
+        ignore
+          (save_and_verify_repro ~file
+             {
+               Minimize.Repro.n = chaos_n;
+               t = chaos_n - 2;
+               case =
+                 Minimize.Repro.Chaos
+                   {
+                     budget;
+                     engine_seed = Int64.of_int engine_seed;
+                     actions = minimal;
+                   };
+               steps = outcome.Minimize.Shrink.steps;
+               candidates = outcome.Minimize.Shrink.candidates;
+               one_minimal = true;
+             });
+        1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing smoke: seeded random crash schedules and \
+          recorded network storms through the conformance oracle \
+          (engine-vs-runner-vs-timed-LAN, masked transport vs abstract \
+          engine); auto-shrinks and writes a repro artifact on failure.")
+    Term.(const go $ runs $ n $ seed $ budget $ repro)
+
 (* --- chaos ---------------------------------------------------------------- *)
 
 let chaos_cmd =
@@ -498,7 +833,15 @@ let chaos_cmd =
         if !sample = None then sample := Some v
       | Harness.Exp_chaos.Wrong why ->
         incr wrong;
-        Format.printf "WRONG (seed %d): %s@." (seed + k) why
+        Format.printf "WRONG (payload seed %d, fault seed %d): %s@." (seed + k)
+          (seed + 1000 + k) why;
+        (* Run k of this soak draws payload seed [seed + k] and fault seed
+           [seed + 1000 + k]; a single-run soak based at [seed + k]
+           regenerates both streams exactly. *)
+        Format.printf
+          "  reproduce with: sync-agreement chaos --runs 1 -n %d --drop-rate \
+           %g --dup-rate %g --retry-budget %d --seed %d@."
+          n drop dup budget (seed + k)
     done;
     Format.printf
       "chaos soak: n=%d drop=%.2f dup=%.2f retry-budget=%d runs=%d@." n drop
@@ -558,6 +901,8 @@ let () =
           [
             run_cmd;
             check_cmd;
+            shrink_cmd;
+            fuzz_cmd;
             experiments_cmd;
             lower_bound_cmd;
             bivalency_cmd;

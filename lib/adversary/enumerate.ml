@@ -59,6 +59,68 @@ let space_size ~model ~n ~max_f ~max_round =
   in
   go 0 0 1 1
 
+(* ------------------------------------------------------------------ *)
+(* Shrinking support.  [reductions] enumerates every single-step        *)
+(* simplification of a schedule; [weight] is the well-founded measure   *)
+(* each step strictly decreases, so greedy descent terminates and the   *)
+(* final failed pass over [reductions] is a 1-minimality certificate.   *)
+(* ------------------------------------------------------------------ *)
+
+let point_weight = function
+  | Crash.Before_send | Crash.After_send -> 0
+  | Crash.During_data s -> Pid.Set.cardinal s
+  | Crash.After_data k -> k
+
+let weight schedule =
+  List.fold_left
+    (fun acc (_, ev) -> acc + 1 + ev.Crash.round + point_weight ev.Crash.point)
+    0
+    (Schedule.bindings schedule)
+
+let reductions schedule =
+  let bindings = Schedule.bindings schedule in
+  (* Rebuild with the event of [pid] replaced ([None] = dropped). *)
+  let rebuild pid replacement =
+    Schedule.of_list
+      (List.filter_map
+         (fun (p, ev) ->
+           if Pid.equal p pid then
+             Option.map (fun ev' -> (p, ev')) replacement
+           else Some (p, ev))
+         bindings)
+  in
+  Seq.concat_map
+    (fun (pid, ev) ->
+      let round = ev.Crash.round in
+      let drop = Seq.return (rebuild pid None) in
+      let lower_round =
+        if round > 1 then
+          Seq.return
+            (rebuild pid (Some (Crash.make ~round:(round - 1) ev.Crash.point)))
+        else Seq.empty
+      in
+      let shrink_point =
+        match ev.Crash.point with
+        | Crash.Before_send | Crash.After_send -> Seq.empty
+        | Crash.During_data s ->
+          (* Remove one surviving destination at a time, ascending pid
+             order — toward the silent crash [During_data {}]. *)
+          Seq.map
+            (fun out ->
+              rebuild pid
+                (Some
+                   (Crash.make ~round
+                      (Crash.During_data (Pid.Set.remove out s)))))
+            (List.to_seq (Pid.Set.elements s))
+        | Crash.After_data k ->
+          if k > 0 then
+            Seq.return
+              (rebuild pid (Some (Crash.make ~round (Crash.After_data (k - 1)))))
+          else Seq.empty
+      in
+      Seq.append drop (Seq.append lower_round shrink_point))
+    (List.to_seq bindings)
+
 let shard ~shards ~shard seq =
   if shards < 1 then invalid_arg "Enumerate.shard: shards must be >= 1";
   if shard < 0 || shard >= shards then

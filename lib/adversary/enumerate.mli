@@ -38,6 +38,23 @@ val space_size : model:Model_kind.t -> n:int -> max_f:int -> max_round:int -> in
     [e = max_round * point_count] — so sweeps can report coverage and
     reduction factors without materializing (or even walking) the space. *)
 
+val weight : Schedule.t -> int
+(** Well-founded shrinking measure: per crash event,
+    [1 + round + point_weight] where [Before_send]/[After_send] weigh 0,
+    [During_data s] weighs [|s|] and [After_data k] weighs [k].  Every
+    element of {!reductions} is strictly lighter than its input, so greedy
+    descent over reductions terminates. *)
+
+val reductions : Schedule.t -> Schedule.t Seq.t
+(** Every single-step simplification of a schedule, in a deterministic
+    order (per binding in ascending pid order): drop the crash event
+    entirely; lower its round by one (if [> 1]); remove one surviving
+    destination from a [During_data] set (ascending pid order, toward the
+    silent crash); shorten an [After_data] prefix by one (toward 0).
+    Empty iff the schedule is failure-free.  The shrinker in
+    {!Minimize.Shrink} descends this relation greedily; its fixpoint is
+    1-minimal: no single reduction of the result still fails. *)
+
 val shard : shards:int -> shard:int -> 'a Seq.t -> 'a Seq.t
 (** [shard ~shards ~shard s] is the lazy residue-class slice of [s] holding
     the elements at indices congruent to [shard] modulo [shards].  The

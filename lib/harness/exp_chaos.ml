@@ -22,74 +22,21 @@ let big_d = 10.0
 let delta = 1.0
 let n = 6
 
-(* Latencies and reorder jitter stay jointly under D, so jitter alone never
-   breaks the synchrony assumption — only drops, cuts and spikes do. *)
-let latency = Timed_sim.Timed_engine.Uniform { lo = 0.5; hi = big_d /. 2.0 }
+(* Latencies (drawn in the oracle) and reorder jitter stay jointly under D,
+   so jitter alone never breaks the synchrony assumption — only drops, cuts
+   and spikes do. *)
 let jitter_spread = big_d /. 4.0
 
-type verdict =
+(* The single-run classification lives in {!Minimize.Oracle} — the
+   differential oracle — so the shrinker can re-evaluate it on scripted
+   fault plans; the verdict type is re-exported here by equation. *)
+type verdict = Minimize.Oracle.masked_verdict =
   | Masked
   | Detected of Net.Synchrony_violation.t
   | Wrong of string
 
-let abstract_decisions ~n ~proposals =
-  let res =
-    Runners.Rwwc_runner.run
-      (Sync_sim.Engine.config ~n ~t:(n - 2) ~proposals ())
-  in
-  List.map
-    (fun (pid, v, r) -> (Pid.to_int pid, v, r))
-    (Sync_sim.Run_result.decisions res)
-
 let run_one ?(n = n) ~budget ~faults ~seed () =
-  let module M =
-    Lan.Masked.Make
-      (Core.Rwwc)
-      (struct
-        let big_d = big_d
-        let delta = delta
-        let retry_budget = budget
-      end)
-  in
-  let module R = Timed_sim.Timed_engine.Make (M) in
-  let proposals = Workloads.distinct n in
-  let abstract = abstract_decisions ~n ~proposals in
-  (* Online uniform-consensus guard, bridged from the timed event stream:
-     every decision is checked for validity/agreement the moment it lands. *)
-  let guard =
-    Obs.Online_invariants.create ~check_termination:false ~n ~t:(n - 2)
-      ~proposals ()
-  in
-  let ginst = Obs.Online_invariants.instrument guard in
-  let bridge =
-    Obs.Instrument.of_fn (function
-      | Timed_sim.Timed_engine.Chose { at; pid; value } ->
-        Obs.Instrument.emit ginst
-          (Obs.Event.Decided { round = M.round_of_time at; pid; value })
-      | _ -> ())
-  in
-  let res =
-    R.run
-      (Timed_sim.Timed_engine.config ~latency ~faults ~seed ~instrument:bridge
-         ~n ~t:(n - 2) ~proposals ())
-  in
-  let decided =
-    List.map
-      (fun (pid, v, at) -> (Pid.to_int pid, v, M.round_of_time at))
-      (Timed_sim.Timed_engine.decisions res)
-  in
-  let verdict =
-    match res.Timed_sim.Timed_engine.violations with
-    | v :: _ ->
-      (* Aborted: acceptable only if nothing decided wrongly before the
-         abort landed. *)
-      if List.for_all (fun d -> List.mem d abstract) decided then Detected v
-      else Wrong "decision diverged before the violation was detected"
-    | [] ->
-      if decided = abstract then Masked
-      else Wrong "completed run diverged from the abstract engine"
-  in
-  (verdict, Net.Fault_plan.faults_injected faults)
+  Minimize.Oracle.check_masked ~n ~budget ~faults ~seed ()
 
 let pp_share masked total = Printf.sprintf "%d/%d" masked total
 

@@ -1,0 +1,6 @@
+(** EXP-DIFF — cross-engine differential conformance over the full
+    canonical n = 4 sweep (abstract engine [run] vs [runner] vs the timed
+    LAN realization), plus a masked-transport differential under storm
+    seeds.  Fails loudly on any disagreement. *)
+
+val experiment : Experiment.t

@@ -17,6 +17,7 @@ let all =
     Exp_obs.experiment;
     Exp_chaos.experiment;
     Exp_mc.experiment;
+    Exp_diff.experiment;
   ]
 
 let find id =

@@ -1,0 +1,73 @@
+open Model
+open Sync_sim
+
+type t = {
+  name : string;
+  model : Model_kind.t;
+  broken : bool;
+  run : n:int -> t:int -> Schedule.t -> Run_result.t;
+  bound : t:int -> Run_result.t -> int;
+}
+
+let f_actual res = Pid.Set.cardinal (Run_result.all_crashes res)
+
+let make (module A : Algorithm_intf.S) ~name ~broken ~bound =
+  let module R = Engine.Make (A) in
+  {
+    name;
+    model = A.model;
+    broken;
+    run =
+      (fun ~n ~t schedule ->
+        R.run
+          (Engine.config ~schedule ~n ~t
+             ~proposals:(Engine.distinct_proposals n) ()));
+    bound;
+  }
+
+let rwwc_bound ~t:_ res = f_actual res + 1
+
+let all =
+  [
+    make (module Core.Rwwc) ~name:"rwwc" ~broken:false ~bound:rwwc_bound;
+    make
+      (module Core.Rwwc_variants.Data_decide)
+      ~name:"data-decide" ~broken:true ~bound:rwwc_bound;
+    make
+      (module Core.Rwwc_variants.Ascending_commit)
+      ~name:"ascending-commit" ~broken:true ~bound:rwwc_bound;
+    make
+      (module Core.Rwwc_variants.Piggyback_commit)
+      ~name:"piggyback-commit" ~broken:true ~bound:rwwc_bound;
+    make (module Baselines.Flood_set) ~name:"flood" ~broken:false
+      ~bound:(fun ~t _ -> t + 1);
+    make (module Baselines.Early_stopping) ~name:"early-stopping" ~broken:false
+      ~bound:(fun ~t res -> min (t + 1) (f_actual res + 2));
+  ]
+
+let names = List.map (fun a -> a.name) all
+
+let find name =
+  match List.find_opt (fun a -> a.name = name) all with
+  | Some a -> Ok a
+  | None ->
+    Error
+      (Printf.sprintf "unknown algorithm %S (expected one of: %s)" name
+         (String.concat ", " names))
+
+let checks algo ~t res =
+  Spec.Properties.uniform_consensus ~bound:(algo.bound ~t res) res
+
+let violation algo ~n ~t schedule =
+  let res = algo.run ~n ~t schedule in
+  List.find_opt
+    (fun c -> not c.Spec.Properties.ok)
+    (checks algo ~t res)
+
+let first_violation algo ~n ~t ~max_f ~max_round =
+  Seq.find_map
+    (fun schedule ->
+      Option.map
+        (fun check -> (schedule, check))
+        (violation algo ~n ~t schedule))
+    (Adversary.Enumerate.schedules ~model:algo.model ~n ~max_f ~max_round)

@@ -1,0 +1,43 @@
+(** The algorithm registry behind shrinking and replay.
+
+    A repro artifact names its algorithm as a string; this module maps the
+    name back to a runnable engine instantiation plus the per-run round
+    bound its specification promises.  The deliberately broken
+    {!Core.Rwwc_variants} ablations are first-class citizens — they are
+    what the shrinker most often shrinks. *)
+
+open Model
+open Sync_sim
+
+type t = {
+  name : string;
+  model : Model_kind.t;
+  broken : bool;  (** an ablation expected to violate some property *)
+  run : n:int -> t:int -> Schedule.t -> Run_result.t;
+      (** one run on the canonical distinct-proposals workload *)
+  bound : t:int -> Run_result.t -> int;
+      (** the round bound the algorithm promises for this run
+          ([f_actual + 1] for the rwwc family, [t + 1] for flood,
+          [min (t+1) (f_actual+2)] for early stopping) *)
+}
+
+val all : t list
+(** [rwwc], its three broken ablations ([data-decide], [ascending-commit],
+    [piggyback-commit]), [flood] and [early-stopping]. *)
+
+val names : string list
+
+val find : string -> (t, string) result
+
+val checks : t -> t:int -> Run_result.t -> Spec.Properties.check list
+(** Uniform consensus with the algorithm's own round bound. *)
+
+val violation : t -> n:int -> t:int -> Schedule.t -> Spec.Properties.check option
+(** Run the schedule; the first failing check, if any. *)
+
+val first_violation :
+  t -> n:int -> t:int -> max_f:int -> max_round:int ->
+  (Schedule.t * Spec.Properties.check) option
+(** The first schedule (in {!Adversary.Enumerate.schedules} order) on which
+    some uniform-consensus check fails — the shrinker's canonical entry
+    point for broken variants. *)

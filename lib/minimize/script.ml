@@ -1,0 +1,35 @@
+open Net.Fault_plan
+
+let action_weight = function
+  | Deliver -> 0
+  | Lose -> 1
+  | Copies ls -> 1 + List.length ls
+
+let weight actions =
+  Array.fold_left (fun acc a -> acc + action_weight a) 0 actions
+
+let reductions actions =
+  let len = Array.length actions in
+  let replace i a' =
+    let copy = Array.copy actions in
+    copy.(i) <- a';
+    copy
+  in
+  Seq.concat_map
+    (fun i ->
+      match actions.(i) with
+      | Deliver -> Seq.empty
+      | Lose -> Seq.return (replace i Deliver)
+      | Copies [ _ ] -> Seq.return (replace i Deliver)
+      | Copies (hd :: _ :: _) -> Seq.return (replace i (Copies [ hd ]))
+      | Copies [] ->
+        (* [] copies is a loss in disguise; normalize it the same way. *)
+        Seq.return (replace i Deliver))
+    (Seq.init len Fun.id)
+
+let trim actions =
+  let len = ref (Array.length actions) in
+  while !len > 0 && actions.(!len - 1) = Deliver do
+    decr len
+  done;
+  Array.sub actions 0 !len

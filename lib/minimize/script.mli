@@ -1,0 +1,25 @@
+(** Single-step reductions over recorded fault scripts.
+
+    The chaos counterpart of {!Adversary.Enumerate.reductions}: a failing
+    stochastic run is first re-expressed as a {!Net.Fault_plan.scripted}
+    action array (via {!Net.Fault_plan.recording}), then shrunk
+    action-by-action toward the all-[Deliver] script.  Positional replay
+    makes this sound without any rng: each candidate script is a complete
+    description of the network's behaviour, re-evaluated from scratch. *)
+
+val weight : Net.Fault_plan.action array -> int
+(** Well-founded measure: [Deliver] weighs 0, [Lose] 1, [Copies ls]
+    [1 + length ls].  Every element of {!reductions} is strictly
+    lighter. *)
+
+val reductions :
+  Net.Fault_plan.action array -> Net.Fault_plan.action array Seq.t
+(** For each position in ascending order: heal a [Lose] into [Deliver];
+    drop a duplicated [Copies] to its first copy; turn a single altered
+    copy into a faithful [Deliver].  Empty iff the script is
+    all-[Deliver]. *)
+
+val trim : Net.Fault_plan.action array -> Net.Fault_plan.action array
+(** Drop trailing [Deliver]s — behaviour-preserving, since a scripted plan
+    delivers faithfully past the end of its script.  Cosmetic
+    normalization for reports and artifacts, not a reduction step. *)

@@ -1,0 +1,26 @@
+type 'a outcome = {
+  original : 'a;
+  minimal : 'a;
+  steps : int;
+  candidates : int;
+}
+
+let run ~reductions ~still_fails x0 =
+  if not (still_fails x0) then
+    invalid_arg "Minimize.Shrink.run: the input does not fail the property";
+  let candidates = ref 0 in
+  let try_reduction x =
+    incr candidates;
+    still_fails x
+  in
+  (* Greedy first-improvement descent: take the first reduction that still
+     fails and restart from it.  [reductions] strictly decreases a
+     well-founded measure, so the descent terminates; the final pass that
+     finds no failing reduction doubles as the 1-minimality certificate. *)
+  let rec descend x steps =
+    match Seq.find try_reduction (reductions x) with
+    | Some x' -> descend x' (steps + 1)
+    | None -> (x, steps)
+  in
+  let minimal, steps = descend x0 0 in
+  { original = x0; minimal; steps; candidates = !candidates }

@@ -1,0 +1,30 @@
+(** Generic greedy counterexample shrinking.
+
+    Delta debugging specialized to a reduction relation: given a failing
+    input and a function enumerating its single-step simplifications, the
+    shrinker descends greedily — first reduction that still fails wins —
+    until no reduction fails.  Termination is the caller's obligation:
+    every element of [reductions x] must be strictly smaller than [x] in
+    some well-founded measure ({!Adversary.Enumerate.weight} for crash
+    schedules, {!Script.weight} for fault scripts).
+
+    The result is deterministic (both [reductions] order and [still_fails]
+    must be deterministic — true of every checker in this repository) and
+    {e 1-minimal}: the last descent pass checked every single-step
+    reduction of [minimal] and all of them passed, which is exactly the
+    certificate the final verdict needs. *)
+
+type 'a outcome = {
+  original : 'a;
+  minimal : 'a;  (** local minimum: no single reduction of it still fails *)
+  steps : int;  (** accepted reductions (length of the descent path) *)
+  candidates : int;  (** property evaluations on reduction candidates *)
+}
+
+val run :
+  reductions:('a -> 'a Seq.t) ->
+  still_fails:('a -> bool) ->
+  'a ->
+  'a outcome
+(** Raises [Invalid_argument] if the input itself does not fail — a
+    shrinker fed a passing input is a harness bug, not a shrink. *)

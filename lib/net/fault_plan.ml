@@ -26,6 +26,8 @@ type stats = {
   mutable spiked : int;
 }
 
+type action = Deliver | Lose | Copies of float list
+
 type t =
   | Reliable
   | Faulty of {
@@ -34,10 +36,16 @@ type t =
       rng : Prng.Rng.t;
       stats : stats;
     }
+  | Recording of { inner : t; log : action list ref }
+  | Scripted of { name : string; actions : action array; cursor : int ref;
+                  stats : stats }
 
 let reliable = Reliable
 
-let is_reliable = function Reliable -> true | Faulty _ -> false
+let is_reliable = function
+  | Reliable -> true
+  | Faulty _ | Scripted _ -> false
+  | Recording _ -> false
 
 let check_prob what p =
   if p < 0.0 || p > 1.0 then
@@ -76,7 +84,31 @@ let create ?(name = "faulty") ?(drop = 0.0) ?(duplicate = 0.0) ?(jitter = 0.0)
         };
     }
 
-let name = function Reliable -> "reliable" | Faulty { name; _ } -> name
+let rec name = function
+  | Reliable -> "reliable"
+  | Faulty { name; _ } -> name
+  | Recording { inner; _ } -> "recording:" ^ name inner
+  | Scripted { name; _ } -> name
+
+let fresh_stats () =
+  { messages = 0; dropped = 0; cut = 0; duplicated = 0; jittered = 0;
+    spiked = 0 }
+
+let recording inner =
+  match inner with
+  | Recording _ -> invalid_arg "Fault_plan.recording: already recording"
+  | _ -> Recording { inner; log = ref [] }
+
+let recorded = function
+  | Recording { log; _ } -> Some (Array.of_list (List.rev !log))
+  | Reliable | Faulty _ | Scripted _ -> None
+
+let scripted ?(name = "scripted") actions =
+  Scripted { name; actions; cursor = ref 0; stats = fresh_stats () }
+
+let script = function
+  | Scripted { actions; _ } -> Some (Array.copy actions)
+  | Reliable | Faulty _ | Recording _ -> None
 
 let in_cut c ~src ~dst ~at =
   (match c.src with None -> true | Some p -> Pid.equal p src)
@@ -86,9 +118,39 @@ let in_cut c ~src ~dst ~at =
 (* Every Bernoulli draw happens unconditionally and in a fixed order, so the
    stream of rng consumption — hence the whole run — depends only on the
    sequence of sends, never on which faults fired. *)
-let deliveries t ~src ~dst ~at ~latency =
+let rec deliveries t ~src ~dst ~at ~latency =
   match t with
   | Reliable -> [ latency ]
+  | Recording { inner; log } ->
+    let out = deliveries inner ~src ~dst ~at ~latency in
+    let action =
+      match out with
+      | [] -> Lose
+      | [ l ] when l = latency -> Deliver
+      | ls -> Copies ls
+    in
+    log := action :: !log;
+    out
+  | Scripted { actions; cursor; stats; _ } ->
+    stats.messages <- stats.messages + 1;
+    let i = !cursor in
+    cursor := i + 1;
+    (* Past the end of the script the channel heals: deliver faithfully.
+       Trimmed scripts therefore replay exactly like the original with a
+       clean tail. *)
+    if i >= Array.length actions then [ latency ]
+    else begin
+      match actions.(i) with
+      | Deliver -> [ latency ]
+      | Lose ->
+        stats.dropped <- stats.dropped + 1;
+        []
+      | Copies ls ->
+        if List.length ls > 1 then stats.duplicated <- stats.duplicated + 1;
+        if List.exists (fun l -> l <> latency) ls then
+          stats.jittered <- stats.jittered + 1;
+        ls
+    end
   | Faulty { profile = p; rng; stats; _ } ->
     stats.messages <- stats.messages + 1;
     let draw () = Prng.Rng.float rng 1.0 in
@@ -124,17 +186,30 @@ let deliveries t ~src ~dst ~at ~latency =
         stats.duplicated <- stats.duplicated + 1;
         [ first; s ]
 
-let stats = function
+let rec stats = function
   | Reliable -> None
-  | Faulty { stats; _ } -> Some stats
+  | Faulty { stats; _ } | Scripted { stats; _ } -> Some stats
+  | Recording { inner; _ } -> stats inner
 
-let faults_injected = function
+let count_faults s =
+  s.dropped + s.cut + s.duplicated + s.jittered + s.spiked
+
+let rec faults_injected = function
   | Reliable -> 0
-  | Faulty { stats; _ } ->
-    stats.dropped + stats.cut + stats.duplicated + stats.jittered
-    + stats.spiked
+  | Faulty { stats; _ } | Scripted { stats; _ } -> count_faults stats
+  | Recording { inner; _ } -> faults_injected inner
 
-let pp ppf = function
+let pp_action ppf = function
+  | Deliver -> Format.pp_print_string ppf "deliver"
+  | Lose -> Format.pp_print_string ppf "lose"
+  | Copies ls ->
+    Format.fprintf ppf "copies[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+         (fun ppf l -> Format.fprintf ppf "%g" l))
+      ls
+
+let rec pp ppf = function
   | Reliable -> Format.pp_print_string ppf "reliable"
   | Faulty { name; profile = p; stats; _ } ->
     Format.fprintf ppf
@@ -142,3 +217,9 @@ let pp ppf = function
        %d dropped, %d cut, %d duplicated, %d spiked)"
       name p.drop p.duplicate p.jitter p.spike (List.length p.cuts)
       stats.messages stats.dropped stats.cut stats.duplicated stats.spiked
+  | Recording { inner; log } ->
+    Format.fprintf ppf "recording(%d actions over %a)" (List.length !log) pp
+      inner
+  | Scripted { name; actions; cursor; _ } ->
+    Format.fprintf ppf "%s(%d scripted actions, %d consumed)" name
+      (Array.length actions) !cursor

@@ -74,6 +74,44 @@ val deliveries :
     one element = normal, two = duplicated.  [latency] is the engine's
     drawn channel latency for the message. *)
 
+(** {2 Recording and replaying fault scripts}
+
+    A chaos failure found with a stochastic plan is a function of the whole
+    rng stream; to {e shrink} it, the per-message decisions must become
+    first-class data.  [recording] taps a plan and logs what it did to each
+    message, in send order; [scripted] replays such a log positionally.
+    The shrinker ({!Minimize.Script}) then deletes faults action-by-action
+    and re-runs — no rng involved, so every shrink candidate is exactly
+    reproducible. *)
+
+type action =
+  | Deliver  (** the message arrives once, at its drawn latency *)
+  | Lose  (** the message is lost (drop or cut) *)
+  | Copies of float list
+      (** the message arrives at exactly these latencies (duplication,
+          jitter or spike — possibly a single altered copy) *)
+(** The observable fate of one message, in the order messages were offered
+    to the plan. *)
+
+val recording : t -> t
+(** [recording inner] behaves exactly like [inner] and logs one {!action}
+    per message.  Raises [Invalid_argument] on a plan that is already
+    recording. *)
+
+val recorded : t -> action array option
+(** This is [Some actions] (send order) for a {!recording} plan, [None]
+    otherwise. *)
+
+val scripted : ?name:string -> action array -> t
+(** [scripted actions] replays a recorded log positionally: the [i]-th
+    message offered gets fate [actions.(i)]; messages past the end of the
+    script are delivered faithfully (so trimming a clean tail is sound).
+    Stateful across one run (a cursor) — build a fresh plan per run, as
+    with {!create}. *)
+
+val script : t -> action array option
+(** The action array of a {!scripted} plan (a copy), [None] otherwise. *)
+
 val name : t -> string
 
 val stats : t -> stats option
@@ -81,5 +119,7 @@ val stats : t -> stats option
 
 val faults_injected : t -> int
 (** Total faults of any kind injected so far; [0] for {!reliable}. *)
+
+val pp_action : Format.formatter -> action -> unit
 
 val pp : Format.formatter -> t -> unit

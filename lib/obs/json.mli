@@ -18,3 +18,15 @@ type t =
 val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one RFC 8259 value (with optional surrounding whitespace).
+    Numbers without a fraction or exponent that fit in [int] decode as
+    [Int], everything else as [Float]; [\uXXXX] escapes (including
+    surrogate pairs) decode to UTF-8.  [to_string] output round-trips:
+    [of_string (to_string v) = Ok v] for values without non-finite floats
+    (those emit as [null]).  Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key], if any;
+    [None] on non-objects.  Decoder convenience for artifact readers. *)

@@ -6,29 +6,18 @@ type 'b slot = Pending | Done of 'b | Raised of exn
 
 let cancelled = function None -> false | Some flag -> Atomic.get flag
 
-(* Work-stealing dispatcher: workers pull indices from a shared atomic
-   counter, so a domain stuck on a slow element never strands the cheap
-   ones behind it (schedule verdict times are heavily skewed — greedy
-   schedules run f+1 rounds, silent ones decide in round 1).  The calling
-   domain doubles as worker 0.  [body] must not raise. *)
-let dispatch ~domains ~n ~stop body =
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      if not (stop ()) then begin
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          body i;
-          loop ()
-        end
-      end
-    in
-    loop ()
-  in
-  let handles = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
-  List.iter Domain.join handles
+(* Work-stealing map: workers pull indices from a shared atomic counter, so
+   a domain stuck on a slow element never strands the cheap ones behind it
+   (schedule verdict times are heavily skewed — greedy schedules run f+1
+   rounds, silent ones decide in round 1).  The calling domain doubles as
+   worker 0.
 
+   A raising element poisons the call: [best] tracks the smallest raising
+   index, and workers stop pulling once the counter passes it, so one bad
+   element at the front cancels the rest of a large array instead of
+   draining it.  Every index below the final [best] is still fully
+   evaluated, which keeps the re-raised exception the input-order first —
+   the same determinism argument as [find_first]'s witness. *)
 let map ?domains ?stop f xs =
   let n = Array.length xs in
   let domains = Option.value domains ~default:(default_domains ()) in
@@ -38,16 +27,47 @@ let map ?domains ?stop f xs =
       xs
   else begin
     let results = Array.make n Pending in
-    dispatch ~domains:(min domains n) ~n
-      ~stop:(fun () -> cancelled stop)
-      (fun i -> results.(i) <- (try Done (f xs.(i)) with e -> Raised e));
+    let best = Atomic.make max_int in
+    let record_raise i e =
+      results.(i) <- Raised e;
+      let rec lower () =
+        let b = Atomic.get best in
+        if i < b && not (Atomic.compare_and_set best b i) then lower ()
+      in
+      lower ()
+    in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        if not (cancelled stop) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n && i <= Atomic.get best then begin
+            (match f xs.(i) with
+            | v -> results.(i) <- Done v
+            | exception e -> record_raise i e);
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let handles =
+      List.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join handles;
     if cancelled stop then raise Cancelled;
-    Array.map
-      (function
-        | Done v -> v
-        | Raised e -> raise e
-        | Pending -> assert false (* only reachable when cancelled *))
-      results
+    match Atomic.get best with
+    | b when b = max_int ->
+      Array.map
+        (function
+          | Done v -> v
+          | Raised _ | Pending -> assert false (* best would have been set *))
+        results
+    | b -> (
+      match results.(b) with
+      | Raised e -> raise e
+      | Done _ | Pending -> assert false)
   end
 
 let map_list ?domains f xs = Array.to_list (map ?domains f (Array.of_list xs))

@@ -24,8 +24,12 @@ exception Cancelled
 val map : ?domains:int -> ?stop:bool Atomic.t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] applies [f] to every element, preserving order.
     [domains <= 1] (or an array shorter than 2) degrades to sequential
-    application.  If any task raises, the exception of the smallest input
-    index is re-raised after all domains have joined. *)
+    application.  If any task raises, the raise short-circuits the call:
+    workers stop pulling new indices past the smallest raising one, so
+    elements beyond it may never be evaluated at all.  Every index below
+    the winning raiser is still fully evaluated, which makes the re-raised
+    exception deterministically the one of the smallest raising input
+    index, exactly as in the sequential degradation. *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
@@ -34,8 +38,9 @@ val iter : ?domains:int -> ?stop:bool Atomic.t -> ('a -> unit) -> 'a array -> un
 val count_if :
   ?domains:int -> ?stop:bool Atomic.t -> ('a -> bool) -> 'a array -> int
 (** Parallel count of elements satisfying the predicate.  Every element is
-    evaluated (a count cannot short-circuit); use [stop] to abandon the
-    call from outside. *)
+    evaluated (a count cannot short-circuit on hits — only a raising
+    element cancels the remaining work, as in {!map}); use [stop] to
+    abandon the call from outside. *)
 
 val find_first :
   ?domains:int -> ?stop:bool Atomic.t -> ('a -> 'b option) -> 'a array -> 'b option

@@ -70,6 +70,17 @@ let all_correct_decided res =
     (function Decided _ | Crashed _ -> true | Undecided -> false)
     res.statuses
 
+let equal_observable a b =
+  a.n = b.n && a.t = b.t
+  && a.proposals = b.proposals
+  && a.statuses = b.statuses
+  && a.rounds_executed = b.rounds_executed
+  && a.data_msgs = b.data_msgs
+  && a.data_bits = b.data_bits
+  && a.sync_msgs = b.sync_msgs
+  && a.sync_bits = b.sync_bits
+  && Pid.Set.equal a.post_decision_crashes b.post_decision_crashes
+
 let total_msgs res = res.data_msgs + res.sync_msgs
 let total_bits res = res.data_bits + res.sync_bits
 

@@ -55,6 +55,13 @@ val max_decision_round : t -> int option
 
 val all_correct_decided : t -> bool
 
+val equal_observable : t -> t -> bool
+(** Equality on everything except the trace: statuses, rounds executed,
+    wire counters and post-decision crashes.  This is the relation the
+    differential oracle checks between {!Engine.run} and the reused-scratch
+    {!Engine.runner} — traces are excluded because recording is optional
+    and orthogonal to the outcome. *)
+
 val total_msgs : t -> int
 val total_bits : t -> int
 

@@ -101,6 +101,16 @@ let decisions res =
 let decided_values res =
   List.sort_uniq Int.compare (List.map (fun (_, v, _) -> v) (decisions res))
 
+let crashed res =
+  let acc = ref [] in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Crashed _ -> acc := Pid.of_int (i + 1) :: !acc
+      | Decided _ | Undecided -> ())
+    res.outcomes;
+  List.rev !acc
+
 let correct_all_decided res =
   Array.for_all
     (function Decided _ | Crashed _ -> true | Undecided -> false)

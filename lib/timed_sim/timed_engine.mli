@@ -111,6 +111,11 @@ val aborted : result -> bool
 
 val decisions : result -> (Pid.t * int * float) list
 val decided_values : result -> int list
+
+(** Processes whose outcome is [Crashed] (crashed without deciding), in
+    increasing pid order — the timed counterpart of
+    {!Sync_sim.Run_result.crashed}, compared by the differential oracle. *)
+val crashed : result -> Pid.t list
 val correct_all_decided : result -> bool
 val max_decision_time : result -> float option
 

@@ -104,6 +104,55 @@ let test_cut_matching () =
   Alcotest.check floats "other receivers untouched" [ 1.0 ]
     (Net.Fault_plan.deliveries iso ~src:(p 2) ~dst:(p 1) ~at:0.0 ~latency:1.0)
 
+(* --- Record / replay ------------------------------------------------------ *)
+
+let feed_sequence plan =
+  List.init 60 (fun i ->
+      Net.Fault_plan.deliveries plan
+        ~src:(p ((i mod 4) + 1))
+        ~dst:(p (((i + 1) mod 4) + 1))
+        ~at:(float_of_int i)
+        ~latency:(1.0 +. (0.01 *. float_of_int i)))
+
+let test_recording_is_transparent () =
+  let make () =
+    Net.Fault_plan.create ~drop:0.3 ~duplicate:0.2 ~jitter:0.4
+      ~jitter_spread:2.0 ~seed:42L ()
+  in
+  let plain = feed_sequence (make ()) in
+  let tapped = Net.Fault_plan.recording (make ()) in
+  Alcotest.(check bool) "recording does not change deliveries" true
+    (feed_sequence tapped = plain);
+  match Net.Fault_plan.recorded tapped with
+  | None -> Alcotest.fail "recording plan must expose its log"
+  | Some actions ->
+    Alcotest.(check int) "one action per message" 60 (Array.length actions)
+
+let test_scripted_replays_recording () =
+  let faulty =
+    Net.Fault_plan.recording
+      (Net.Fault_plan.create ~drop:0.3 ~duplicate:0.2 ~jitter:0.4
+         ~jitter_spread:2.0 ~spike:0.1 ~spike_factor:3.0 ~seed:42L ())
+  in
+  let original = feed_sequence faulty in
+  let actions = Option.get (Net.Fault_plan.recorded faulty) in
+  let replayed = feed_sequence (Net.Fault_plan.scripted actions) in
+  Alcotest.(check bool) "scripted replay is byte-identical" true
+    (replayed = original);
+  Alcotest.(check bool) "at least one fault in the fixture" true
+    (Net.Fault_plan.faults_injected faulty > 0)
+
+let test_scripted_past_end_delivers () =
+  let plan = Net.Fault_plan.scripted [| Net.Fault_plan.Lose |] in
+  Alcotest.check floats "scripted loss" []
+    (Net.Fault_plan.deliveries plan ~src:(p 1) ~dst:(p 2) ~at:0.0 ~latency:1.5);
+  Alcotest.check floats "beyond the script the channel heals" [ 2.5 ]
+    (Net.Fault_plan.deliveries plan ~src:(p 1) ~dst:(p 2) ~at:1.0 ~latency:2.5);
+  Alcotest.(check int) "one fault counted" 1
+    (Net.Fault_plan.faults_injected plan);
+  Alcotest.(check bool) "script is exposed" true
+    (Net.Fault_plan.script plan = Some [| Net.Fault_plan.Lose |])
+
 let test_plan_validation () =
   let invalid name f =
     Alcotest.(check bool) name true
@@ -280,6 +329,12 @@ let () =
           Alcotest.test_case "duplicate-all" `Quick test_duplicate_all;
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "cuts" `Quick test_cut_matching;
+          Alcotest.test_case "recording-transparent" `Quick
+            test_recording_is_transparent;
+          Alcotest.test_case "scripted-replay" `Quick
+            test_scripted_replays_recording;
+          Alcotest.test_case "scripted-past-end" `Quick
+            test_scripted_past_end_delivers;
           Alcotest.test_case "validation" `Quick test_plan_validation;
         ] );
       ( "masked-transport",

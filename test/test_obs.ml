@@ -155,6 +155,92 @@ let test_json_structures () =
             ("eo", Obj []);
           ]))
 
+(* --- The parser: round-trips and rejections ------------------------------ *)
+
+let test_json_parse_roundtrip () =
+  let open Obs.Json in
+  let docs =
+    [
+      Null;
+      Bool true;
+      Bool false;
+      Int 0;
+      Int (-42);
+      Int max_int;
+      Float 0.5;
+      Float (-1.25e-3);
+      Float 3.0;
+      Float 0.1;
+      String "";
+      String "plain";
+      String "quote \" slash \\ nl \n tab \t ctl \x01";
+      List [];
+      List [ Int 1; String "two"; Null ];
+      Obj [];
+      Obj
+        [
+          ("xs", List [ Int 1; Int 2 ]);
+          ("o", Obj [ ("k", String "v") ]);
+          ("f", Float 2.75);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = to_string v in
+      match of_string s with
+      | Ok v' -> Alcotest.(check string) s s (to_string v')
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    docs
+
+let test_json_parse_values () =
+  let open Obs.Json in
+  let ok s v =
+    match of_string s with
+    | Ok v' -> Alcotest.(check bool) s true (v = v')
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok "  null " Null;
+  ok "17" (Int 17);
+  ok "-0" (Int 0);
+  ok "1e3" (Float 1000.0);
+  ok "2.5" (Float 2.5);
+  ok {|"aAb"|} (String "aAb");
+  (* Surrogate pair: U+1F600 *)
+  ok {|"😀"|} (String "\xf0\x9f\x98\x80");
+  ok {|[1, 2 ,3]|} (List [ Int 1; Int 2; Int 3 ]);
+  ok {|{ "a" : 1 , "b" : [true] }|}
+    (Obj [ ("a", Int 1); ("b", List [ Bool true ]) ]);
+  Alcotest.(check bool) "member hit" true
+    (member "a" (Obj [ ("a", Int 1) ]) = Some (Int 1));
+  Alcotest.(check bool) "member miss" true
+    (member "z" (Obj [ ("a", Int 1) ]) = None);
+  Alcotest.(check bool) "member non-object" true (member "a" (Int 1) = None)
+
+let test_json_parse_rejects () =
+  let open Obs.Json in
+  List.iter
+    (fun s ->
+      match of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid input %S" s
+      | Error _ -> ())
+    [
+      "";
+      "tru";
+      "[1,]";
+      "[1 2]";
+      "{\"a\"}";
+      "{\"a\":}";
+      "{a:1}";
+      "\"unterminated";
+      "\"bad \\x escape\"";
+      "1 2";
+      "01e";
+      "-";
+      "nullx";
+      {|"\ud83d"|} (* unpaired high surrogate *);
+    ]
+
 (* --- Metrics vs. the engine's semantic counters -------------------------- *)
 
 let check_metrics_match (res : Run_result.t) (m : Obs.Metrics.t) =
@@ -406,6 +492,9 @@ let () =
           Alcotest.test_case "scalars" `Quick test_json_scalars;
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "structures" `Quick test_json_structures;
+          Alcotest.test_case "parse-roundtrip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse-values" `Quick test_json_parse_values;
+          Alcotest.test_case "parse-rejects" `Quick test_json_parse_rejects;
         ] );
       ( "metrics",
         [

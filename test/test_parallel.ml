@@ -185,6 +185,68 @@ let test_find_first_short_circuit_parallel () =
         true (c < n / 2))
     [ 2; 4; 8 ]
 
+(* The satellite bugfix: a raising element must poison [map] the same way
+   a hit poisons [find_first].  The seed pool recorded the Raised slot but
+   kept draining the whole array; now workers stop pulling once the
+   dispatch counter passes the smallest raising index.  With the poison at
+   index 0 of a long input whose elements each spin a little, the
+   evaluated count must stay far below n. *)
+let test_map_short_circuit_on_raise () =
+  let n = 100_000 in
+  let spin () =
+    let acc = ref 0 in
+    for i = 1 to 2_000 do
+      acc := !acc + (i land 7)
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  List.iter
+    (fun domains ->
+      let calls = Atomic.make 0 in
+      let f x =
+        Atomic.incr calls;
+        spin ();
+        if x = 0 then failwith "poison" else x
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "domains=%d raises the poison" domains)
+        "poison"
+        (try
+           ignore (Parallel.Pool.map ~domains f (Array.init n Fun.id));
+           "no exception"
+         with Failure m -> m);
+      let c = Atomic.get calls in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d short-circuits (%d calls)" domains c)
+        true (c < n / 2))
+    [ 2; 4; 8 ];
+  (* Sequential degradation stops at the offender too: exactly 1 call. *)
+  let calls = Atomic.make 0 in
+  Alcotest.check_raises "domains=1 stops at the offender" (Failure "poison")
+    (fun () ->
+      ignore
+        (Parallel.Pool.map ~domains:1
+           (fun x ->
+             Atomic.incr calls;
+             if x = 0 then failwith "poison" else x)
+           (Array.init 64 Fun.id)));
+  Alcotest.(check int) "domains=1 exactly 1 invocation" 1 (Atomic.get calls)
+
+(* iter and count_if are built on map and inherit the short-circuit. *)
+let test_count_if_short_circuit_on_raise () =
+  let n = 50_000 in
+  let calls = Atomic.make 0 in
+  let p x =
+    Atomic.incr calls;
+    if x = 0 then failwith "poison" else x mod 2 = 0
+  in
+  Alcotest.(check string) "raises" "poison"
+    (try
+       ignore (Parallel.Pool.count_if ~domains:4 p (Array.init n Fun.id));
+       "no exception"
+     with Failure m -> m);
+  Alcotest.(check bool) "evaluated a minority" true (Atomic.get calls < n / 2)
+
 let test_cancelled_preset () =
   let stop = Atomic.make true in
   List.iter
@@ -249,6 +311,10 @@ let () =
             test_find_first_short_circuit_sequential;
           Alcotest.test_case "find-first-short-circuit-par" `Quick
             test_find_first_short_circuit_parallel;
+          Alcotest.test_case "map-short-circuit-raise" `Quick
+            test_map_short_circuit_on_raise;
+          Alcotest.test_case "count-if-short-circuit-raise" `Quick
+            test_count_if_short_circuit_on_raise;
           Alcotest.test_case "cancelled-preset" `Quick test_cancelled_preset;
           Alcotest.test_case "cancelled-inside" `Quick test_cancelled_from_inside;
           Alcotest.test_case "shards" `Quick test_shards_cover_and_order;
