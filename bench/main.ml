@@ -302,6 +302,14 @@ let oracle_schedule = silent ~n:4 ~f:1
 let bench_oracle () =
   assert (Minimize.Oracle.agrees ~n:4 ~t:2 oracle_schedule)
 
+(* The live wire protocol without the sockets: a full n=5 f=2 loopback
+   round trip — encode, CRC, incremental decode for every frame — is the
+   per-run overhead the live runtime adds over the abstract engine. *)
+let live_script = Live.Script.default ~n:5 ~f:2
+
+let bench_live_loopback () =
+  ignore (Live.Loopback.Rwwc.run ~n:5 ~t:2 ~script:live_script ())
+
 let bench_heap () =
   let h = Timed_sim.Heap.create () in
   for i = 0 to 999 do
@@ -340,6 +348,7 @@ let tests =
     Test.make ~name:"minimize/shrink-data-decide-n4" (Staged.stage bench_shrink);
     Test.make ~name:"minimize/oracle-rwwc-n4" (Staged.stage bench_oracle);
     Test.make ~name:"engine/heap-1k-push-pop" (Staged.stage bench_heap);
+    Test.make ~name:"live/rwwc-n5-loopback" (Staged.stage bench_live_loopback);
   ]
 
 let run_benchmarks () =

@@ -3,10 +3,16 @@
    Subcommands:
      run          run one consensus algorithm under a chosen adversary
      check        exhaustively model-check an algorithm for a small system
+     live         run the algorithm as real OS processes over sockets,
+                  with scripted process kills and a judged transcript
      experiments  regenerate the paper's tables (all or one by id)
      lower-bound  tightness certificate + truncation violation witness
      bivalency    valence analysis of the configuration graph
-     snapshot     Chandy-Lamport demo run *)
+     snapshot     Chandy-Lamport demo run
+
+   Every verifying subcommand (run, check, live, chaos, fuzz, shrink
+   --replay) exits nonzero when a property is violated, a run is WRONG, or
+   the engines disagree — CI asserts both directions of that contract. *)
 
 open Cmdliner
 open Model
@@ -98,8 +104,9 @@ let save_and_verify_repro ~file repro =
   Minimize.Repro.save ~file repro;
   Format.printf "wrote %s@." file;
   match Minimize.Repro.load file with
-  | Error why ->
-    Format.eprintf "repro artifact failed to reload: %s@." why;
+  | Error err ->
+    Format.eprintf "repro artifact failed to reload: %s@."
+      (Minimize.Repro.load_error_to_string err);
     1
   | Ok loaded -> (
     match Minimize.Repro.replay loaded with
@@ -277,10 +284,56 @@ let run_cmd =
 
 (* --- check ---------------------------------------------------------------- *)
 
+(* Model-check a registry algorithm (including the deliberately broken
+   ablations) by sweeping the full schedule space; a broken variant is
+   expected to produce violations, and the nonzero exit is what CI asserts. *)
+let check_registry algo ~n ~max_f ~max_round =
+  let t = max 1 (n - 2) in
+  let started = Unix.gettimeofday () in
+  let checked = ref 0 in
+  let violations = ref [] in
+  Seq.iter
+    (fun schedule ->
+      incr checked;
+      match Minimize.Algo.violation algo ~n ~t schedule with
+      | Some c -> violations := (schedule, c) :: !violations
+      | None -> ())
+    (Adversary.Enumerate.schedules ~model:algo.Minimize.Algo.model ~n ~max_f
+       ~max_round);
+  let elapsed = Unix.gettimeofday () -. started in
+  let violations = List.rev !violations in
+  let shown, hidden =
+    match violations with
+    | a :: b :: c :: d :: e :: rest -> ([ a; b; c; d; e ], List.length rest)
+    | vs -> (vs, 0)
+  in
+  List.iter
+    (fun (schedule, c) ->
+      Format.printf "VIOLATION on %s@.  %a@."
+        (Schedule.to_string schedule)
+        Spec.Properties.pp_check c)
+    shown;
+  if hidden > 0 then Format.printf "... and %d more violations@." hidden;
+  Format.printf "checked %d schedules in %.3fs, %d violations@." !checked
+    elapsed (List.length violations);
+  (match violations with
+  | [] -> ()
+  | (schedule, c) :: _ ->
+    let property = c.Spec.Properties.name in
+    let outcome = shrink_schedule algo ~n ~t ~property schedule in
+    Format.printf "shrinking first violation:@.";
+    print_shrink_outcome ~property outcome);
+  if violations = [] then 0 else 1
+
 let check_cmd =
   let algo =
-    Arg.(value & opt algo_conv Rwwc
-         & info [ "a"; "algo"; "algorithm" ] ~doc:"Algorithm.")
+    Arg.(value & opt string "rwwc"
+         & info [ "a"; "algo"; "algorithm" ]
+             ~doc:
+               (Printf.sprintf
+                  "Algorithm: a built-in (rwwc, flood, early-stopping) or any \
+                   registry name, including the broken ablations (%s)."
+                  (String.concat ", " Minimize.Algo.names)))
   in
   let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes (keep small).") in
   let max_f = Arg.(value & opt int 2 & info [ "max-f" ] ~doc:"Max crashes to enumerate.") in
@@ -296,7 +349,24 @@ let check_cmd =
              ~doc:"Sweep the full schedule space instead of one representative \
                    per symmetry class.")
   in
-  let go algo n max_f max_round domains no_symmetry =
+  let go algo_str n max_f max_round domains no_symmetry =
+    let builtin =
+      List.assoc_opt algo_str
+        [
+          ("rwwc", Rwwc);
+          ("flood", Flood);
+          ("early-stopping", Early_stopping);
+          ("rwwc-on-classic", Rwwc_on_classic);
+        ]
+    in
+    match builtin with
+    | None -> (
+      match Minimize.Algo.find algo_str with
+      | Error why ->
+        Format.eprintf "%s@." why;
+        2
+      | Ok malgo -> check_registry malgo ~n ~max_f ~max_round)
+    | Some algo ->
     let t = max 1 (n - 2) in
     let model = algo_model algo in
     let proposals = Harness.Workloads.distinct n in
@@ -445,14 +515,22 @@ let experiments_cmd =
         Format.eprintf "unknown experiment %S; known: %s@." id
           (String.concat ", " Harness.Registry.ids);
         2
-      | Ok experiments ->
-        List.iter
-          (fun e ->
-            match csv_dir with
-            | Some dir -> write_csv dir e
-            | None -> Harness.Experiment.print ~markdown e)
-          experiments;
-        0
+      | Ok experiments -> (
+        try
+          List.iter
+            (fun e ->
+              match csv_dir with
+              | Some dir -> write_csv dir e
+              | None -> Harness.Experiment.print ~markdown e)
+            experiments;
+          0
+        with
+        | Failure why ->
+          Format.eprintf "experiment failed: %s@." why;
+          1
+        | Sys_error why ->
+          Format.eprintf "experiment failed: %s@." why;
+          1)
     end
   in
   Cmd.v
@@ -550,8 +628,9 @@ let shrink_cmd =
     match replay with
     | Some file -> (
       match Minimize.Repro.load file with
-      | Error why ->
-        Format.eprintf "cannot load %s: %s@." file why;
+      | Error err ->
+        Format.eprintf "cannot load repro: %s@."
+          (Minimize.Repro.load_error_to_string err);
         2
       | Ok r -> (
         Format.printf "%a@." Minimize.Repro.pp r;
@@ -863,6 +942,156 @@ let chaos_cmd =
           structured synchrony-violation report.")
     Term.(const go $ n $ drop $ dup $ budget $ runs $ seed)
 
+(* --- live ----------------------------------------------------------------- *)
+
+let rec ensure_dir dir =
+  if dir <> "/" && dir <> "." && dir <> "" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let live_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of node processes.") in
+  let t =
+    Arg.(value & opt (some int) None & info [ "t" ] ~doc:"Resilience (default n-2).")
+  in
+  let f =
+    Arg.(value & opt int 0
+         & info [ "f" ] ~docv:"F"
+             ~doc:
+               "Run the canonical $(docv)-kill script: coordinators p1..pF \
+                die in their own rounds, alternating mid-data-step and \
+                mid-control-step kills.")
+  in
+  let kills =
+    Arg.(value & opt_all string []
+         & info [ "kill" ] ~docv:"SPEC"
+             ~doc:
+               "Scripted kill (repeatable, overrides --f): \
+                p1@r1:data=2, p2@r2:ctl=1, p3@r1:before, p4@r3:after.")
+  in
+  let transport =
+    Arg.(value
+         & opt (enum [ ("loopback", `Loopback); ("unix", `Unix_s); ("tcp", `Tcp_s) ])
+             `Unix_s
+         & info [ "transport" ]
+             ~doc:
+               "Transport: $(b,loopback) (deterministic in-memory wire, no \
+                processes), $(b,unix) (one OS process per node over \
+                Unix-domain sockets), or $(b,tcp) (same over 127.0.0.1).")
+  in
+  let dir =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:
+               "Workspace for sockets, per-node logs and verdict.json \
+                (default: a pid-stamped directory under the system temp \
+                dir).")
+  in
+  let port =
+    Arg.(value & opt int 7800
+         & info [ "port-base" ] ~doc:"TCP port base (node i listens on base+i).")
+  in
+  let big_d =
+    Arg.(value & opt float 0.25
+         & info [ "round-d" ] ~docv:"D" ~doc:"Round window D in seconds.")
+  in
+  let delta =
+    Arg.(value & opt float 0.1
+         & info [ "round-delta" ] ~docv:"DELTA"
+             ~doc:"Computation slack delta in seconds; rounds cost D+delta.")
+  in
+  let max_rounds =
+    Arg.(value & opt (some int) None
+         & info [ "max-rounds" ] ~doc:"Round horizon (default t+2).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Supervisor progress on stderr.")
+  in
+  let report ~dir tr v =
+    Format.printf "%a@." Live.Transcript.pp tr;
+    Format.printf "%a@." Live.Judge.pp v;
+    (try
+       ensure_dir dir;
+       let file = Filename.concat dir "verdict.json" in
+       let oc = open_out file in
+       output_string oc (Obs.Json.to_string (Live.Judge.to_json tr v));
+       output_char oc '\n';
+       close_out oc;
+       Format.printf "wrote %s@." file
+     with
+    | Sys_error why -> Format.eprintf "cannot write verdict: %s@." why
+    | Unix.Unix_error (e, _, _) ->
+      Format.eprintf "cannot write verdict: %s@." (Unix.error_message e));
+    if v.Live.Judge.ok then 0 else 1
+  in
+  let go n t f kills transport dir port big_d delta max_rounds verbose =
+    let t = Option.value t ~default:(max 1 (n - 2)) in
+    let script =
+      if kills = [] then Ok (Live.Script.default ~n ~f)
+      else
+        List.fold_left
+          (fun acc spec ->
+            match (acc, Live.Script.parse_kill spec) with
+            | (Error _ as e), _ -> e
+            | Ok ks, Ok k -> Ok (k :: ks)
+            | Ok _, (Error _ as e) -> e)
+          (Ok []) kills
+        |> Result.map List.rev
+    in
+    match script with
+    | Error why ->
+      Format.eprintf "live: bad --kill: %s@." why;
+      2
+    | Ok script -> (
+      match Live.Script.validate ~n ~max_kills:t script with
+      | Error why ->
+        Format.eprintf "live: %s@." why;
+        2
+      | Ok () -> (
+        let dir =
+          match dir with
+          | Some d -> d
+          | None ->
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "sync-agreement-live-%d" (Unix.getpid ()))
+        in
+        Format.printf "live: n=%d t=%d script=[%s]@." n t
+          (Live.Script.to_string script);
+        match transport with
+        | `Loopback ->
+          let tr = Live.Loopback.Rwwc.run ?max_rounds ~n ~t ~script () in
+          let schedule =
+            Live.Script.to_schedule ~send_plan:(Live.Binding.Rwwc.send_plan ~n)
+              script
+          in
+          report ~dir tr (Live.Judge.judge ~schedule tr)
+        | (`Unix_s | `Tcp_s) as tp -> (
+          let transport =
+            match tp with `Unix_s -> `Unix dir | `Tcp_s -> `Tcp (dir, port)
+          in
+          let cfg =
+            Live.Supervisor.config ?max_rounds ~verbose ~n ~t ~script ~transport
+              ~big_d ~delta ()
+          in
+          match Live.Supervisor.run cfg with
+          | Error why ->
+            Format.eprintf "live: %s@." why;
+            2
+          | Ok (tr, v) -> report ~dir tr v)))
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:
+         "Run the Figure 1 algorithm as one OS process per node over real \
+          sockets with deadline-synchronized rounds, kill processes at \
+          scripted crash points, and judge the surviving transcript \
+          (uniform consensus within f+1 rounds, differential vs the \
+          abstract engine).")
+    Term.(const go $ n $ t $ f $ kills $ transport $ dir $ port $ big_d $ delta
+          $ max_rounds $ verbose)
+
 (* --- snapshot ------------------------------------------------------------- *)
 
 let snapshot_cmd =
@@ -895,12 +1124,20 @@ let () =
         "Reproduction of 'The Power and Limit of Adding Synchronization \
          Messages for Synchronous Agreement' (ICPP 2006)."
   in
+  (* Accept the common --n/--t/--f spellings for the single-letter options
+     (cmdliner only recognizes them as -n/-t/-f). *)
+  let argv =
+    Array.map
+      (function "--n" -> "-n" | "--t" -> "-t" | "--f" -> "-f" | s -> s)
+      Sys.argv
+  in
   exit
-    (Cmd.eval'
+    (Cmd.eval' ~argv
        (Cmd.group info
           [
             run_cmd;
             check_cmd;
+            live_cmd;
             shrink_cmd;
             fuzz_cmd;
             experiments_cmd;

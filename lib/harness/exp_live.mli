@@ -1,0 +1,7 @@
+(** EXP-LIVE — the live runtime's write-prefix crash semantics, checked
+    deterministically on the loopback transport: canonical f-kill scripts
+    decide within f+1 rounds, and every kill position maps to the abstract
+    crash point the differential judge confirms against
+    {!Sync_sim.Engine}. *)
+
+val experiment : Experiment.t

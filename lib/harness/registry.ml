@@ -18,6 +18,7 @@ let all =
     Exp_chaos.experiment;
     Exp_mc.experiment;
     Exp_diff.experiment;
+    Exp_live.experiment;
   ]
 
 let find id =

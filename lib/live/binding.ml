@@ -1,0 +1,39 @@
+open Model
+
+module type ALGO = sig
+  include Sync_sim.Algorithm_intf.S
+
+  val encode_msg : msg -> string
+  val decode_msg : string -> (msg, string) result
+  val send_plan : n:int -> me:Pid.t -> round:int -> Pid.t list * Pid.t list
+end
+
+module Rwwc = struct
+  include Core.Rwwc
+
+  let encode_msg (Core.Rwwc.Data v) =
+    let b = Bytes.create 4 in
+    Bytes.set b 0 (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set b 1 (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set b 2 (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b 3 (Char.chr (v land 0xff));
+    Bytes.to_string b
+
+  let decode_msg s =
+    if String.length s <> 4 then
+      Error (Printf.sprintf "rwwc payload: expected 4 bytes, got %d" (String.length s))
+    else
+      Ok
+        (Core.Rwwc.Data
+           ((Char.code s.[0] lsl 24)
+           lor (Char.code s.[1] lsl 16)
+           lor (Char.code s.[2] lsl 8)
+           lor Char.code s.[3]))
+
+  (* Figure 1: only the round's coordinator sends — data ascending to
+     p_{r+1}..p_n, then commits descending p_n..p_{r+1}. *)
+  let send_plan ~n ~me ~round =
+    if Pid.to_int me = round then
+      (Pid.range ~lo:(round + 1) ~hi:n, Pid.range_desc ~hi:n ~lo:(round + 1))
+    else ([], [])
+end

@@ -1,0 +1,32 @@
+(** What the live runtime needs to know about an algorithm beyond the
+    abstract {!Sync_sim.Algorithm_intf.S} contract: how its data messages
+    look on a wire, and where its sends of a given round are addressed.
+
+    [send_plan] exists for the judge, not the node: a scripted kill names a
+    write {e prefix}, and translating that prefix into an abstract
+    {!Model.Crash.point} (which names delivered {e destinations}) requires
+    the send order.  It must agree with what [data_sends]/[sync_sends]
+    return for a live, undecided process — for the Figure 1 algorithm the
+    destinations depend only on [(me, round, n)], never on the estimate. *)
+
+open Model
+
+module type ALGO = sig
+  include Sync_sim.Algorithm_intf.S
+
+  val encode_msg : msg -> string
+  (** Wire payload of a data message. *)
+
+  val decode_msg : string -> (msg, string) result
+  (** Inverse of [encode_msg]; [Error] on malformed payloads (the frame
+      layer already filtered corruption, so this only rejects
+      wrong-protocol peers). *)
+
+  val send_plan : n:int -> me:Pid.t -> round:int -> Pid.t list * Pid.t list
+  (** [(data destinations in send order, control destinations in send
+      order)] of a live undecided [me] in [round]. *)
+end
+
+module Rwwc : ALGO with type msg = Core.Rwwc.msg and type state = Core.Rwwc.state
+(** The paper's Figure 1 algorithm with a 4-byte big-endian estimate
+    payload. *)

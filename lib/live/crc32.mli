@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, the zlib/Ethernet polynomial), table-driven.
+
+    Guards every live wire frame: a frame whose body fails its checksum is
+    treated as line corruption and the connection it arrived on as dead —
+    never fed to the algorithm.  Self-contained so the live runtime adds no
+    dependency beyond [unix]. *)
+
+val digest : ?init:int32 -> string -> pos:int -> len:int -> int32
+(** Checksum of [len] bytes of the string starting at [pos].  [init]
+    continues a running digest (default: fresh). *)
+
+val string : string -> int32
+(** [string s] = [digest s ~pos:0 ~len:(String.length s)]. *)

@@ -1,0 +1,146 @@
+type t =
+  | Hello of { node : int }
+  | Data of { round : int; payload : string }
+  | Ctl of { round : int }
+
+let magic0 = '\xFA'
+let magic1 = '\xCE'
+let max_body = 65536
+
+let equal a b =
+  match (a, b) with
+  | Hello { node = a }, Hello { node = b } -> Int.equal a b
+  | Data { round = r1; payload = p1 }, Data { round = r2; payload = p2 } ->
+    Int.equal r1 r2 && String.equal p1 p2
+  | Ctl { round = a }, Ctl { round = b } -> Int.equal a b
+  | (Hello _ | Data _ | Ctl _), _ -> false
+
+let pp ppf = function
+  | Hello { node } -> Format.fprintf ppf "hello(p%d)" node
+  | Data { round; payload } ->
+    Format.fprintf ppf "data(r%d,%d bytes)" round (String.length payload)
+  | Ctl { round } -> Format.fprintf ppf "ctl(r%d)" round
+
+let add_be32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let body_of = function
+  | Hello { node } ->
+    let b = Buffer.create 5 in
+    Buffer.add_char b '\x01';
+    add_be32 b node;
+    Buffer.contents b
+  | Data { round; payload } ->
+    let b = Buffer.create (5 + String.length payload) in
+    Buffer.add_char b '\x02';
+    add_be32 b round;
+    Buffer.add_string b payload;
+    Buffer.contents b
+  | Ctl { round } ->
+    let b = Buffer.create 5 in
+    Buffer.add_char b '\x03';
+    add_be32 b round;
+    Buffer.contents b
+
+let encode frame =
+  let body = body_of frame in
+  let len = String.length body in
+  if len > max_body then invalid_arg "Frame.encode: body too large";
+  let out = Buffer.create (10 + len) in
+  Buffer.add_char out magic0;
+  Buffer.add_char out magic1;
+  add_be32 out len;
+  Buffer.add_string out body;
+  add_be32 out (Int32.to_int (Crc32.string body) land 0xFFFFFFFF);
+  Buffer.contents out
+
+(* --- Incremental decoding ------------------------------------------------- *)
+
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable stop : int;  (* one past the last valid byte *)
+  mutable corrupt : string option;  (* sticky *)
+}
+
+let decoder () =
+  { buf = Bytes.create 1024; start = 0; stop = 0; corrupt = None }
+
+let buffered d = d.stop - d.start
+
+let feed d s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Frame.feed: out of bounds";
+  let avail = Bytes.length d.buf - d.stop in
+  if avail < len then begin
+    let live = buffered d in
+    let need = live + len in
+    let cap = max (2 * Bytes.length d.buf) need in
+    let fresh = Bytes.create cap in
+    Bytes.blit d.buf d.start fresh 0 live;
+    d.buf <- fresh;
+    d.start <- 0;
+    d.stop <- live
+  end;
+  Bytes.blit_string s pos d.buf d.stop len;
+  d.stop <- d.stop + len
+
+let feed_string d s = feed d s ~pos:0 ~len:(String.length s)
+
+let be32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let fail d msg =
+  d.corrupt <- Some msg;
+  `Corrupt msg
+
+let decode_body d body =
+  let blen = String.length body in
+  if blen < 5 then fail d "body shorter than its fixed fields"
+  else
+    let v = be32 (Bytes.of_string body) 1 in
+    match body.[0] with
+    | '\x01' ->
+      if blen <> 5 then fail d "hello body has trailing bytes"
+      else `Frame (Hello { node = v })
+    | '\x02' -> `Frame (Data { round = v; payload = String.sub body 5 (blen - 5) })
+    | '\x03' ->
+      if blen <> 5 then fail d "ctl body has trailing bytes"
+      else `Frame (Ctl { round = v })
+    | c -> fail d (Printf.sprintf "unknown frame kind 0x%02x" (Char.code c))
+
+let pop d =
+  match d.corrupt with
+  | Some msg -> `Corrupt msg
+  | None ->
+    let live = buffered d in
+    if live < 6 then `Need_more
+    else if
+      Bytes.get d.buf d.start <> magic0 || Bytes.get d.buf (d.start + 1) <> magic1
+    then fail d "bad frame magic"
+    else
+      let len = be32 d.buf (d.start + 2) in
+      if len > max_body then
+        fail d (Printf.sprintf "frame length %d exceeds limit %d" len max_body)
+      else if live < 6 + len + 4 then `Need_more
+      else begin
+        let body = Bytes.sub_string d.buf (d.start + 6) len in
+        let declared = be32 d.buf (d.start + 6 + len) in
+        let actual = Int32.to_int (Crc32.string body) land 0xFFFFFFFF in
+        if declared <> actual then
+          fail d (Printf.sprintf "CRC mismatch (wire %08x, computed %08x)" declared actual)
+        else begin
+          d.start <- d.start + 6 + len + 4;
+          if d.start = d.stop then begin
+            d.start <- 0;
+            d.stop <- 0
+          end;
+          decode_body d body
+        end
+      end

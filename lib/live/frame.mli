@@ -1,0 +1,58 @@
+(** The live wire protocol: length-prefixed, CRC-checked frames.
+
+    Layout (all integers big-endian):
+
+    {v
+      +------+------+----------------+-------+
+      | 0xFA | 0xCE | len (4 bytes)  | body  |  crc32(body) (4 bytes)
+      +------+------+----------------+-------+
+    v}
+
+    The body starts with a one-byte kind tag:
+    - [0x01] Hello:  node id (4 bytes) — sent once per direction when a
+      connection opens, so the receiving end learns who is talking;
+    - [0x02] Data:   round (4 bytes) + opaque algorithm payload;
+    - [0x03] Ctl:    round (4 bytes) — a synchronization message; like the
+      paper's control messages it carries no payload (one tag, one round).
+
+    The same encoder/decoder pair runs under both the socket transport and
+    the in-memory loopback, so loopback tests exercise the exact bytes that
+    go on a real wire.  Decoding is incremental: a decoder is fed arbitrary
+    byte slices (whatever [read] returned) and pops complete frames; a
+    truncated tail — what a killed sender leaves in flight — simply never
+    completes, and any header/CRC mismatch is reported as corruption, which
+    callers treat as a dead peer. *)
+
+type t =
+  | Hello of { node : int }
+  | Data of { round : int; payload : string }
+  | Ctl of { round : int }
+
+val encode : t -> string
+(** One full frame, ready for a single sequential write. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val max_body : int
+(** Upper bound on accepted body length (64 KiB); a length prefix beyond it
+    is corruption, not a huge allocation. *)
+
+(** Incremental decoder over one connection's byte stream. *)
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> string -> pos:int -> len:int -> unit
+(** Append received bytes. *)
+
+val feed_string : decoder -> string -> unit
+
+val pop : decoder -> [ `Frame of t | `Need_more | `Corrupt of string ]
+(** Extract the next complete frame.  [`Need_more] when the buffered bytes
+    end mid-frame; [`Corrupt] on bad magic, oversized length, CRC mismatch
+    or an unknown kind tag — the stream is unusable from that point on and
+    every later [pop] returns the same error. *)
+
+val buffered : decoder -> int
+(** Bytes fed but not yet consumed by popped frames. *)

@@ -1,0 +1,118 @@
+open Model
+
+type verdict = {
+  checks : Spec.Properties.check list;
+  differential : (string, string) result option;
+  ok : bool;
+}
+
+module Abstract = Sync_sim.Engine.Make (Core.Rwwc)
+
+let pp_decisions ds =
+  if ds = [] then "none"
+  else
+    String.concat ", "
+      (List.map
+         (fun (pid, v, r) -> Printf.sprintf "%s=%d@r%d" (Pid.to_string pid) v r)
+         ds)
+
+let differential ~schedule tr =
+  match
+    Abstract.run
+      (Sync_sim.Engine.config ~schedule ~n:tr.Transcript.n ~t:tr.Transcript.t
+         ~proposals:tr.Transcript.proposals ())
+  with
+  | abstract ->
+    let live = Transcript.decisions tr in
+    let expected = Sync_sim.Run_result.decisions abstract in
+    if live = expected then Ok (pp_decisions live)
+    else
+      Error
+        (Printf.sprintf "live decided {%s} but the abstract engine decided {%s}"
+           (pp_decisions live) (pp_decisions expected))
+  | exception e ->
+    Error ("abstract engine failed on the realized schedule: " ^ Printexc.to_string e)
+
+let judge ?schedule tr =
+  let f = Transcript.f_actual tr in
+  let checks =
+    Spec.Properties.uniform_consensus ~bound:(f + 1)
+      (Transcript.to_run_result tr)
+  in
+  let all_scripted =
+    Array.for_all
+      (function
+        | Transcript.Killed { scripted = false; _ } -> false
+        | Transcript.Killed _ | Transcript.Decided _ | Transcript.Undecided ->
+          true)
+      tr.Transcript.statuses
+  in
+  let differential =
+    match schedule with
+    | Some schedule when all_scripted -> Some (differential ~schedule tr)
+    | Some _ | None -> None
+  in
+  let ok =
+    Spec.Properties.all_ok checks
+    && match differential with Some (Error _) -> false | Some (Ok _) | None -> true
+  in
+  { checks; differential; ok }
+
+let pp ppf v =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun c -> Format.fprintf ppf "%a@," Spec.Properties.pp_check c) v.checks;
+  (match v.differential with
+  | Some (Ok detail) ->
+    Format.fprintf ppf "[ok]   abstract-engine-match: %s@," detail
+  | Some (Error why) ->
+    Format.fprintf ppf "[FAIL] abstract-engine-match: %s@," why
+  | None ->
+    Format.fprintf ppf "[-]    abstract-engine-match: skipped (unscripted deaths)@,");
+  Format.fprintf ppf "verdict: %s@]" (if v.ok then "PASS" else "FAIL")
+
+let to_json tr v =
+  let status_json = function
+    | Transcript.Decided { value; at_round } ->
+      Obs.Json.Obj
+        [
+          ("state", Obs.Json.String "decided");
+          ("value", Obs.Json.Int value);
+          ("round", Obs.Json.Int at_round);
+        ]
+    | Transcript.Killed { at_round; scripted } ->
+      Obs.Json.Obj
+        [
+          ("state", Obs.Json.String "killed");
+          ("round", Obs.Json.Int at_round);
+          ("scripted", Obs.Json.Bool scripted);
+        ]
+    | Transcript.Undecided -> Obs.Json.Obj [ ("state", Obs.Json.String "undecided") ]
+  in
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int tr.Transcript.n);
+      ("t", Obs.Json.Int tr.Transcript.t);
+      ("f", Obs.Json.Int (Transcript.f_actual tr));
+      ("max_round", Obs.Json.Int tr.Transcript.max_round);
+      ( "statuses",
+        Obs.Json.List (Array.to_list (Array.map status_json tr.Transcript.statuses)) );
+      ( "checks",
+        Obs.Json.List
+          (List.map
+             (fun (c : Spec.Properties.check) ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String c.Spec.Properties.name);
+                   ("ok", Obs.Json.Bool c.Spec.Properties.ok);
+                   ("detail", Obs.Json.String c.Spec.Properties.detail);
+                 ])
+             v.checks) );
+      ( "abstract_engine_match",
+        match v.differential with
+        | Some (Ok d) ->
+          Obs.Json.Obj [ ("ok", Obs.Json.Bool true); ("detail", Obs.Json.String d) ]
+        | Some (Error why) ->
+          Obs.Json.Obj [ ("ok", Obs.Json.Bool false); ("detail", Obs.Json.String why) ]
+        | None -> Obs.Json.Null );
+      ("verdict", Obs.Json.String (if v.ok then "PASS" else "FAIL"));
+    ]

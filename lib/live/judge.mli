@@ -1,0 +1,36 @@
+(** The live-run judge: the chaos judge's property checks applied to a
+    transcript, plus an optional differential comparison against the
+    abstract engine.
+
+    A live run passes when the {!Spec.Properties.uniform_consensus} checks
+    — validity, uniform agreement, termination, and the [f + 1] round
+    bound, the exact checkers behind EXP-CHAOS — all hold of the
+    transcript, and (when every death was scripted) its decisions equal
+    those of {!Sync_sim.Engine} on the schedule the script realizes.  The
+    differential is skipped on runs with unscripted deaths: the abstract
+    crash point of a surprise [kill -9] is unknown, but the safety and
+    liveness checks still apply. *)
+
+type verdict = {
+  checks : Spec.Properties.check list;
+  differential : (string, string) result option;
+      (** [Some (Ok detail)] — decisions match the abstract engine;
+          [Some (Error why)] — they diverge; [None] — comparison skipped
+          (unscripted deaths). *)
+  ok : bool;
+}
+
+val judge :
+  ?schedule:Model.Schedule.t ->
+  Transcript.t ->
+  verdict
+(** [schedule] is the abstract realization of the kill script
+    ({!Script.to_schedule}); when present and all deaths were scripted the
+    differential runs the Figure 1 algorithm on it and compares decision
+    triples [(pid, value, round)]. *)
+
+val pp : Format.formatter -> verdict -> unit
+
+val to_json : Transcript.t -> verdict -> Obs.Json.t
+(** The verdict artifact [bin live] writes next to the node logs, so a CI
+    failure uploads machine-readable evidence. *)

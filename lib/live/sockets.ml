@@ -1,0 +1,100 @@
+let now () = Unix.gettimeofday ()
+
+let sleep_until t =
+  let rec go () =
+    let dt = t -. now () in
+    if dt > 0.0 then begin
+      (match Unix.select [] [] [] dt with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+let addr_of ~transport i =
+  match transport with
+  | `Unix dir -> Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d.sock" i))
+  | `Tcp base -> Unix.ADDR_INET (Unix.inet_addr_loopback, base + i)
+
+let listen addr =
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  (match addr with
+  | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd addr;
+  Unix.listen fd 16;
+  fd
+
+let connect_retry ~deadline addr =
+  let rec go backoff =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Unix.set_close_on_exec fd;
+    match Unix.connect fd addr with
+    | () -> Ok fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+      Unix.close fd;
+      if now () >= deadline then Error "connect: peer never came up"
+      else begin
+        sleep_until (Float.min deadline (now () +. backoff));
+        go (Float.min 0.32 (backoff *. 2.0))
+      end
+    | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      Error ("connect: " ^ Unix.error_message e)
+  in
+  go 0.02
+
+let accept_timeout ~deadline fd =
+  let rec go () =
+    let dt = deadline -. now () in
+    if dt <= 0.0 then Error "accept: timed out waiting for a peer"
+    else
+      match Unix.select [ fd ] [] [] dt with
+      | [], _, _ -> go ()
+      | _ :: _, _, _ -> (
+        match Unix.accept fd with
+        | conn, _ ->
+          Unix.set_close_on_exec conn;
+          Ok conn
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> go ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let write_all ~deadline fd s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        let dt = deadline -. now () in
+        if dt <= 0.0 then Error "send timeout"
+        else (
+          (match Unix.select [] [ fd ] [] dt with
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go off)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        Error "peer closed"
+      | exception Unix.Unix_error (e, _, _) ->
+        Error ("write: " ^ Unix.error_message e)
+  in
+  go 0
+
+let read_chunk fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> `Closed
+  | n -> `Data n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    `Nothing
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Closed

@@ -1,0 +1,42 @@
+(** Blocking-free socket plumbing for the live runtime.
+
+    Everything here degrades gracefully instead of aborting: a connect
+    retries with exponential backoff until a deadline (peers come up in
+    arbitrary order), a send gives up after a per-peer timeout, and a dead
+    peer surfaces as [Error] / [`Closed] — the caller marks it crashed and
+    keeps going, which is the whole point of running consensus under
+    [kill -9]. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday] — one clock for every process on the machine, which
+    is what makes supervisor-distributed round deadlines meaningful. *)
+
+val sleep_until : float -> unit
+(** Absolute-time sleep, EINTR-proof. *)
+
+val addr_of : transport:[ `Unix of string | `Tcp of int ] -> int -> Unix.sockaddr
+(** The rendezvous address of node [i]: [dir/node-i.sock], or
+    [127.0.0.1:(base + i)]. *)
+
+val listen : Unix.sockaddr -> Unix.file_descr
+(** Bind (unlinking a stale Unix-domain path) and listen. *)
+
+val connect_retry :
+  deadline:float -> Unix.sockaddr -> (Unix.file_descr, string) result
+(** Connect with retry and exponential backoff (20 ms doubling to 320 ms)
+    until [deadline]; refused / not-yet-bound addresses are retried,
+    anything else is an error. *)
+
+val accept_timeout :
+  deadline:float -> Unix.file_descr -> (Unix.file_descr, string) result
+
+val write_all :
+  deadline:float -> Unix.file_descr -> string -> (unit, string) result
+(** Write the whole string to a nonblocking fd, waiting for writability up
+    to [deadline] — the per-peer send timeout.  [Error] on timeout, EPIPE,
+    or reset: the peer is gone. *)
+
+val read_chunk :
+  Unix.file_descr -> bytes -> [ `Data of int | `Closed | `Nothing ]
+(** One nonblocking read: bytes read, orderly/abortive close, or nothing
+    available. *)

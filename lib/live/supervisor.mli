@@ -1,0 +1,60 @@
+(** The self-healing supervisor: spawns one OS process per node, injects
+    the scripted kills for real, and turns whatever survives into a judged
+    transcript.
+
+    Lifecycle:
+
+    + fork the fleet (one [Node] process each, with a status pipe back to
+      the supervisor, a go pipe forward, and a per-node log file);
+    + wait for every node's [ready] — a node that dies during startup is
+      respawned once (the self-healing window: before the mesh forms, a
+      fresh process can still take its place), a second death or a
+      readiness timeout aborts the run;
+    + broadcast [go t0], the common round-clock origin;
+    + collect events, watching children with [waitpid(WUNTRACED)]: a
+      SIGSTOP is a node at its scripted crash point, answered with a real
+      [SIGKILL]; an unexpected death is absorbed as one more (unscripted)
+      crash and the run continues; a watchdog kills stragglers past the
+      round horizon;
+    + always reap and kill every child and remove the socket files, then
+      judge the transcript ({!Judge.judge}, with the differential schedule
+      from {!Script.to_schedule}).
+
+    Runs the paper's Figure 1 algorithm ({!Binding.Rwwc}). *)
+
+type transport =
+  [ `Unix of string  (** workspace dir: sockets, logs *)
+  | `Tcp of string * int  (** workspace dir for logs, TCP port base *) ]
+
+type config = {
+  n : int;
+  t : int;
+  script : Script.t;
+  transport : transport;
+  big_d : float;
+  delta : float;
+  proposals : int array option;  (** default: distinct proposals 1..n *)
+  max_rounds : int option;  (** default: [t + 2] *)
+  verbose : bool;  (** progress lines on stderr *)
+}
+
+val config :
+  ?proposals:int array ->
+  ?max_rounds:int ->
+  ?verbose:bool ->
+  n:int ->
+  t:int ->
+  script:Script.t ->
+  transport:transport ->
+  big_d:float ->
+  delta:float ->
+  unit ->
+  config
+
+val workspace : config -> string
+(** The directory holding node logs (and Unix-domain sockets). *)
+
+val run : config -> (Transcript.t * Judge.verdict, string) result
+(** [Error] only for runs that never got going (invalid script, startup
+    failure); once the fleet is running, crashes — scripted or not — are
+    data, not errors. *)

@@ -138,11 +138,13 @@ let point_of_json json =
     let* k = field "point" "prefix" json in
     let* k = as_int "point.prefix" k in
     Ok (Crash.After_data k)
-  | "during_data" ->
+  | "during_data" -> (
     let* xs = field "point" "delivered" json in
     let* xs = as_list "point.delivered" xs in
     let* pids = map_result (as_int "point.delivered") xs in
-    Ok (Crash.During_data (Pid.set_of_ints pids))
+    match Pid.set_of_ints pids with
+    | s -> Ok (Crash.During_data s)
+    | exception Invalid_argument why -> Error ("point.delivered: " ^ why))
   | k -> Error (Printf.sprintf "point.kind: unknown kind %S" k)
 
 let schedule_of_json json =
@@ -156,8 +158,8 @@ let schedule_of_json json =
         let* round = as_int "crash.round" round in
         let* point = field "crash" "point" entry in
         let* point = point_of_json point in
-        match Crash.make ~round point with
-        | ev -> Ok (Pid.of_int pid, ev)
+        match (Pid.of_int pid, Crash.make ~round point) with
+        | pid, ev -> Ok (pid, ev)
         | exception Invalid_argument why -> Error ("crash: " ^ why))
       entries
   in
@@ -247,6 +249,15 @@ let save ~file r =
       output_char oc '\n');
   Sys.rename tmp file
 
+type load_error = { file : string; offset : int option; reason : string }
+
+let load_error_to_string e =
+  match e.offset with
+  | Some off -> Printf.sprintf "%s: byte %d: %s" e.file off e.reason
+  | None -> Printf.sprintf "%s: %s" e.file e.reason
+
+let pp_load_error ppf e = Format.pp_print_string ppf (load_error_to_string e)
+
 let load file =
   match
     let ic = open_in_bin file in
@@ -254,8 +265,24 @@ let load file =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | contents -> of_string contents
-  | exception Sys_error why -> Error why
+  | exception Sys_error why -> Error { file; offset = None; reason = why }
+  | contents -> (
+    match J.of_string_located contents with
+    | Error (off, reason) ->
+      Error { file; offset = Some off; reason = "JSON parse error: " ^ reason }
+    | Ok json -> (
+      match of_json json with
+      | Ok r -> Ok r
+      | Error reason -> Error { file; offset = None; reason }
+      (* Belt and braces: however mangled the artifact, loading must come
+         back as a structured error, never an exception. *)
+      | exception e ->
+        Error
+          {
+            file;
+            offset = None;
+            reason = "malformed artifact: " ^ Printexc.to_string e;
+          }))
 
 (* --- Replay --------------------------------------------------------------- *)
 

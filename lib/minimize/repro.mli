@@ -43,7 +43,23 @@ val of_string : string -> (t, string) result
 val save : file:string -> t -> unit
 (** Atomic: writes [file ^ ".tmp"], then renames. *)
 
-val load : string -> (t, string) result
+type load_error = {
+  file : string;
+  offset : int option;  (** byte offset, for JSON syntax errors *)
+  reason : string;
+}
+(** Why an artifact failed to load: unreadable file, truncated or
+    syntactically corrupt JSON (with the offending byte offset), or a
+    well-formed document that doesn't decode to a repro (bad version,
+    missing field, out-of-range pid…). *)
+
+val load_error_to_string : load_error -> string
+val pp_load_error : Format.formatter -> load_error -> unit
+
+val load : string -> (t, load_error) result
+(** Never raises, whatever the file holds — truncated saves, byte-flipped
+    JSON, deeply nested garbage and schema-valid-but-meaningless documents
+    all come back as a structured [Error]. *)
 
 val replay : t -> (string list, string) result
 (** Re-run the artifact's case from scratch.  [Ok details] means the

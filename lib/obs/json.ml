@@ -78,7 +78,12 @@ let pp ppf v = Format.pp_print_string ppf (to_string v)
 
 exception Parse_error of int * string
 
-let of_string s =
+(* Containers deeper than this are rejected instead of letting the
+   recursive-descent reader hit [Stack_overflow] on adversarial input
+   ("[[[[…"); real artifacts nest a handful of levels. *)
+let max_depth = 512
+
+let of_string_located s =
   let n = String.length s in
   let pos = ref 0 in
   let error msg = raise (Parse_error (!pos, msg)) in
@@ -108,7 +113,15 @@ let of_string s =
   in
   let hex4 () =
     if !pos + 4 > n then error "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    let lexeme = String.sub s !pos 4 in
+    if
+      not
+        (String.for_all
+           (function
+             | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+           lexeme)
+    then error (Printf.sprintf "invalid \\u escape \\u%s" lexeme);
+    let v = int_of_string ("0x" ^ lexeme) in
     pos := !pos + 4;
     v
   in
@@ -207,13 +220,23 @@ let of_string s =
       digits ()
     | _ -> ());
     let lexeme = String.sub s start (!pos - start) in
-    if !is_float then Float (float_of_string lexeme)
+    let as_float () =
+      let f = float_of_string lexeme in
+      (* 1e999 etc.: [float_of_string] silently overflows to infinity, and
+         a non-finite value would not survive a round trip (the emitter
+         writes [null]) — reject it at the gate. *)
+      if Float.is_finite f then Float f
+      else error "non-finite number literal"
+    in
+    if !is_float then as_float ()
     else
       match int_of_string_opt lexeme with
       | Some i -> Int i
-      | None -> Float (float_of_string lexeme)
+      | None -> as_float ()
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then
+      error (Printf.sprintf "nesting deeper than %d" max_depth);
     skip_ws ();
     match peek () with
     | None -> error "unexpected end of input"
@@ -230,7 +253,7 @@ let of_string s =
       end
       else begin
         let rec elems acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' -> advance (); elems (v :: acc)
@@ -252,7 +275,7 @@ let of_string s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (k, v)
         in
         let rec fields acc =
@@ -269,16 +292,19 @@ let of_string s =
     | Some c -> error (Printf.sprintf "unexpected character '%c'" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then error "trailing characters after value";
     v
   with
   | v -> Ok v
-  | exception Parse_error (at, msg) ->
-    Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
-  | exception Failure msg ->
-    Error (Printf.sprintf "JSON parse error at byte %d: %s" !pos msg)
+  | exception Parse_error (at, msg) -> Error (at, msg)
+  | exception Failure msg -> Error (!pos, msg)
+
+let of_string s =
+  match of_string_located s with
+  | Ok v -> Ok v
+  | Error (at, msg) -> Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
 
 (* Field access helpers for decoding artifacts. *)
 

@@ -25,7 +25,16 @@ val of_string : string -> (t, string) result
     [Int], everything else as [Float]; [\uXXXX] escapes (including
     surrogate pairs) decode to UTF-8.  [to_string] output round-trips:
     [of_string (to_string v) = Ok v] for values without non-finite floats
-    (those emit as [null]).  Errors carry a byte offset. *)
+    (those emit as [null]).  Errors carry a byte offset.
+
+    Hardened against adversarial input: containers nesting deeper than 512
+    levels and number literals that overflow to infinity are rejected as
+    parse errors — never [Stack_overflow], never a non-finite [Float]. *)
+
+val of_string_located : string -> (t, int * string) result
+(** [of_string] with the error split into (byte offset, reason), for
+    callers that report structured locations (e.g. repro-artifact
+    loaders). *)
 
 val member : string -> t -> t option
 (** [member key (Obj fields)] is the first binding of [key], if any;

@@ -1,0 +1,404 @@
+(* The live multi-process runtime: wire codec, crash scripts, the
+   deterministic loopback engine, the judge, and a real-socket smoke run
+   with a scripted mid-round process kill. *)
+
+open Model
+
+(* --- CRC-32 ---------------------------------------------------------------- *)
+
+let test_crc_vectors () =
+  (* The IEEE 802.3 check value. *)
+  Alcotest.(check int32) "123456789" 0xCBF43926l (Live.Crc32.string "123456789");
+  Alcotest.(check int32) "empty" 0l (Live.Crc32.string "");
+  Alcotest.(check int32) "a" 0xE8B7BE43l (Live.Crc32.string "a")
+
+let test_crc_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let split = 17 in
+  let first = Live.Crc32.digest s ~pos:0 ~len:split in
+  let rest =
+    Live.Crc32.digest ~init:first s ~pos:split ~len:(String.length s - split)
+  in
+  Alcotest.(check int32) "streaming = one-shot" (Live.Crc32.string s) rest
+
+(* --- Frames ---------------------------------------------------------------- *)
+
+let frames =
+  [
+    Live.Frame.Hello { node = 3 };
+    Live.Frame.Data { round = 2; payload = "\x00\x00\x00\x2a" };
+    Live.Frame.Ctl { round = 7 };
+    Live.Frame.Data { round = 1; payload = "" };
+  ]
+
+let pop_frame d =
+  match Live.Frame.pop d with
+  | `Frame f -> f
+  | `Need_more -> Alcotest.fail "decoder wanted more bytes"
+  | `Corrupt why -> Alcotest.fail ("decoder corrupt: " ^ why)
+
+let test_frame_roundtrip () =
+  let d = Live.Frame.decoder () in
+  List.iter
+    (fun f -> Live.Frame.feed_string d (Live.Frame.encode f))
+    frames;
+  List.iter
+    (fun expected ->
+      let got = pop_frame d in
+      Alcotest.(check bool)
+        (Format.asprintf "%a" Live.Frame.pp expected)
+        true
+        (Live.Frame.equal expected got))
+    frames;
+  Alcotest.(check int) "drained" 0 (Live.Frame.buffered d)
+
+let test_frame_byte_by_byte () =
+  (* Feeding one byte at a time exercises every Need_more path. *)
+  let wire = String.concat "" (List.map Live.Frame.encode frames) in
+  let d = Live.Frame.decoder () in
+  let popped = ref [] in
+  String.iter
+    (fun c ->
+      Live.Frame.feed d (String.make 1 c) ~pos:0 ~len:1;
+      let rec drain () =
+        match Live.Frame.pop d with
+        | `Frame f ->
+          popped := f :: !popped;
+          drain ()
+        | `Need_more -> ()
+        | `Corrupt why -> Alcotest.fail ("corrupt: " ^ why)
+      in
+      drain ())
+    wire;
+  Alcotest.(check int) "all frames" (List.length frames) (List.length !popped);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "frame equal" true (Live.Frame.equal a b))
+    frames
+    (List.rev !popped)
+
+let test_frame_truncated_tail () =
+  (* A killed sender leaves a partial frame in flight: the decoder must
+     neither produce a frame nor report corruption — the bytes simply never
+     complete. *)
+  let wire = Live.Frame.encode (Live.Frame.Data { round = 1; payload = "abcd" }) in
+  let d = Live.Frame.decoder () in
+  Live.Frame.feed d wire ~pos:0 ~len:(String.length wire - 3);
+  (match Live.Frame.pop d with
+  | `Need_more -> ()
+  | `Frame _ -> Alcotest.fail "truncated frame decoded"
+  | `Corrupt _ -> Alcotest.fail "truncated frame misread as corruption")
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_frame_corruption () =
+  let wire = Bytes.of_string (Live.Frame.encode (Live.Frame.Ctl { round = 3 })) in
+  (* Flip one body byte: the CRC must catch it. *)
+  Bytes.set wire 6 (Char.chr (Char.code (Bytes.get wire 6) lxor 0x40));
+  let d = Live.Frame.decoder () in
+  Live.Frame.feed_string d (Bytes.to_string wire);
+  (match Live.Frame.pop d with
+  | `Corrupt why ->
+    Alcotest.(check bool) "mentions CRC" true
+      (contains ~affix:"CRC" why || contains ~affix:"kind" why)
+  | `Frame _ -> Alcotest.fail "corrupt frame decoded"
+  | `Need_more -> Alcotest.fail "corrupt frame ignored");
+  (* Corruption is sticky. *)
+  match Live.Frame.pop d with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Need_more -> Alcotest.fail "corruption not sticky"
+
+let test_frame_bad_magic () =
+  let d = Live.Frame.decoder () in
+  Live.Frame.feed_string d "nonsense bytes";
+  match Live.Frame.pop d with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Need_more -> Alcotest.fail "bad magic accepted"
+
+(* --- Scripts --------------------------------------------------------------- *)
+
+let kill_eq : Live.Script.kill Alcotest.testable =
+  Alcotest.testable
+    (fun ppf k -> Format.pp_print_string ppf (Live.Script.kill_to_string k))
+    ( = )
+
+let test_script_parse () =
+  List.iter
+    (fun (s, expected) ->
+      match Live.Script.parse_kill s with
+      | Ok k -> Alcotest.check kill_eq s expected k
+      | Error why -> Alcotest.fail why)
+    [
+      ( "p1@r1:data=2",
+        { Live.Script.pid = Pid.of_int 1; round = 1; phase = Live.Script.During_data 2 } );
+      ( "p2@r2:ctl=1",
+        { Live.Script.pid = Pid.of_int 2; round = 2; phase = Live.Script.During_ctl 1 } );
+      ( "p3@r1:before",
+        { Live.Script.pid = Pid.of_int 3; round = 1; phase = Live.Script.Before_send } );
+      ( "p4@r3:after",
+        { Live.Script.pid = Pid.of_int 4; round = 3; phase = Live.Script.After_send } );
+    ]
+
+let test_script_parse_rejects () =
+  List.iter
+    (fun s ->
+      match Live.Script.parse_kill s with
+      | Error _ -> ()
+      | Ok k ->
+        Alcotest.fail
+          (Printf.sprintf "%S parsed as %s" s (Live.Script.kill_to_string k)))
+    [ ""; "p1"; "p1@r1"; "p1@r1:later"; "p0@r1:before"; "px@r1:after";
+      "p1@r0:before"; "p1@rx:after"; "p1@r1:data=-1"; "p1@r1:data=x" ]
+
+let test_script_roundtrip () =
+  List.iter
+    (fun k ->
+      match Live.Script.parse_kill (Live.Script.kill_to_string k) with
+      | Ok k' -> Alcotest.check kill_eq "print/parse" k k'
+      | Error why -> Alcotest.fail why)
+    (Live.Script.default ~n:5 ~f:3)
+
+let test_script_validate () =
+  let k pid round phase = { Live.Script.pid = Pid.of_int pid; round; phase } in
+  (match
+     Live.Script.validate ~n:4 ~max_kills:2
+       [ k 1 1 (Live.Script.During_data 1); k 2 2 (Live.Script.During_ctl 1) ]
+   with
+  | Ok () -> ()
+  | Error why -> Alcotest.fail why);
+  (match
+     Live.Script.validate ~n:4 ~max_kills:2
+       [ k 5 1 Live.Script.Before_send ]
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "pid out of range accepted");
+  (match
+     Live.Script.validate ~n:4 ~max_kills:1
+       [ k 1 1 Live.Script.Before_send; k 2 1 Live.Script.Before_send ]
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "too many kills accepted");
+  match
+    Live.Script.validate ~n:4 ~max_kills:3
+      [ k 1 1 Live.Script.Before_send; k 1 2 Live.Script.After_send ]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate victim accepted"
+
+let test_writes_completed () =
+  Alcotest.(check int) "before" 0
+    (Live.Script.writes_completed Live.Script.Before_send ~data:4 ~ctl:4);
+  Alcotest.(check int) "data=2" 2
+    (Live.Script.writes_completed (Live.Script.During_data 2) ~data:4 ~ctl:4);
+  Alcotest.(check int) "data clamp" 4
+    (Live.Script.writes_completed (Live.Script.During_data 9) ~data:4 ~ctl:4);
+  Alcotest.(check int) "ctl=1" 5
+    (Live.Script.writes_completed (Live.Script.During_ctl 1) ~data:4 ~ctl:4);
+  Alcotest.(check int) "after" 8
+    (Live.Script.writes_completed Live.Script.After_send ~data:4 ~ctl:4)
+
+(* --- Loopback -------------------------------------------------------------- *)
+
+let decisions tr =
+  List.map
+    (fun (pid, v, r) -> (Pid.to_int pid, v, r))
+    (Live.Transcript.decisions tr)
+
+let test_loopback_no_crash () =
+  let tr = Live.Loopback.Rwwc.run ~n:5 ~t:3 ~script:[] () in
+  Alcotest.(check (list (triple int int int)))
+    "everyone decides 1 in round 1"
+    [ (1, 1, 1); (2, 1, 1); (3, 1, 1); (4, 1, 1); (5, 1, 1) ]
+    (decisions tr);
+  let v = Live.Judge.judge ~schedule:Schedule.empty tr in
+  Alcotest.(check bool) "judge passes" true v.Live.Judge.ok
+
+(* The acceptance scenario: n = 5, two scripted kills — the round-1
+   coordinator dies mid-data-step (2 of 4 data writes), the round-2
+   coordinator dies mid-control-step (all data, 1 of 3 commits). *)
+let acceptance_script =
+  [
+    { Live.Script.pid = Pid.of_int 1; round = 1; phase = Live.Script.During_data 2 };
+    { Live.Script.pid = Pid.of_int 2; round = 2; phase = Live.Script.During_ctl 1 };
+  ]
+
+let test_loopback_acceptance () =
+  let tr = Live.Loopback.Rwwc.run ~n:5 ~t:3 ~script:acceptance_script () in
+  (* p1's data reaches p2,p3 (prefix 2 of p2..p5): both adopt est 1.  p2
+     relays est 1 to everyone, commits only to p5 (prefix 1 of p5,p4,p3):
+     p5 decides 1 in round 2.  p3 coordinates round 3 uncrashed: everyone
+     left decides 1 in round 3 = f + 1. *)
+  Alcotest.(check (list (triple int int int)))
+    "survivors decide 1 within f+1 rounds"
+    [ (3, 1, 3); (4, 1, 3); (5, 1, 2) ]
+    (decisions tr);
+  Alcotest.(check int) "f = 2" 2 (Live.Transcript.f_actual tr);
+  let schedule =
+    Live.Script.to_schedule
+      ~send_plan:(Live.Binding.Rwwc.send_plan ~n:5)
+      acceptance_script
+  in
+  let v = Live.Judge.judge ~schedule tr in
+  Alcotest.(check bool) "judge passes" true v.Live.Judge.ok;
+  match v.Live.Judge.differential with
+  | Some (Ok _) -> ()
+  | Some (Error why) -> Alcotest.fail why
+  | None -> Alcotest.fail "differential skipped on an all-scripted run"
+
+let test_loopback_deterministic () =
+  let run () = Live.Loopback.Rwwc.run ~n:5 ~t:3 ~script:acceptance_script () in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "byte-identical transcripts" true
+    (Live.Transcript.equal_observable a b)
+
+let all_single_kills ~n =
+  let phases data ctl =
+    [ Live.Script.Before_send; Live.Script.After_send ]
+    @ List.init (data + 1) (fun k -> Live.Script.During_data k)
+    @ List.init (ctl + 1) (fun k -> Live.Script.During_ctl k)
+  in
+  List.concat_map
+    (fun pid ->
+      List.concat_map
+        (fun round ->
+          let data, ctl =
+            let d, c = Live.Binding.Rwwc.send_plan ~n ~me:(Pid.of_int pid) ~round in
+            (List.length d, List.length c)
+          in
+          List.map
+            (fun phase -> [ { Live.Script.pid = Pid.of_int pid; round; phase } ])
+            (phases data ctl))
+        (Pid.range ~lo:1 ~hi:(n - 2) |> List.map Pid.to_int))
+    (List.map Pid.to_int (Pid.all ~n))
+
+let test_loopback_differential_sweep () =
+  (* Every single-kill script at n = 4 and n = 5: the loopback execution
+     must decide exactly like the abstract engine on the realized
+     schedule, and pass every uniform-consensus check. *)
+  List.iter
+    (fun n ->
+      let checked = ref 0 in
+      List.iter
+        (fun script ->
+          let tr = Live.Loopback.Rwwc.run ~n ~t:(n - 2) ~script () in
+          let schedule =
+            Live.Script.to_schedule
+              ~send_plan:(Live.Binding.Rwwc.send_plan ~n)
+              script
+          in
+          let v = Live.Judge.judge ~schedule tr in
+          incr checked;
+          if not v.Live.Judge.ok then
+            Alcotest.fail
+              (Format.asprintf "n=%d %a:@.%a" n Live.Script.pp script
+                 Live.Judge.pp v))
+        (all_single_kills ~n);
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: swept some scripts" n)
+        true (!checked > 20))
+    [ 4; 5 ]
+
+let test_loopback_default_scripts () =
+  (* The --f presets through every f the resilience allows. *)
+  for f = 0 to 3 do
+    let script = Live.Script.default ~n:5 ~f in
+    let tr = Live.Loopback.Rwwc.run ~n:5 ~t:3 ~script () in
+    let schedule =
+      Live.Script.to_schedule ~send_plan:(Live.Binding.Rwwc.send_plan ~n:5) script
+    in
+    let v = Live.Judge.judge ~schedule tr in
+    if not v.Live.Judge.ok then
+      Alcotest.fail (Format.asprintf "f=%d:@.%a" f Live.Judge.pp v);
+    match Sync_sim.Run_result.max_decision_round (Live.Transcript.to_run_result tr) with
+    | Some r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "f=%d: decided within f+1" f)
+        true (r <= f + 1)
+    | None -> Alcotest.fail "nobody decided"
+  done
+
+let test_judge_flags_disagreement () =
+  (* A fabricated transcript with two different decided values must fail
+     the uniform-agreement check — the judge is not a rubber stamp. *)
+  let tr = Live.Loopback.Rwwc.run ~n:4 ~t:2 ~script:[] () in
+  let statuses = Array.copy tr.Live.Transcript.statuses in
+  statuses.(3) <- Live.Transcript.Decided { value = 4; at_round = 1 };
+  let forged = { tr with Live.Transcript.statuses = statuses } in
+  let v = Live.Judge.judge forged in
+  Alcotest.(check bool) "judge fails" false v.Live.Judge.ok
+
+let test_judge_flags_missing_decision () =
+  let tr = Live.Loopback.Rwwc.run ~n:4 ~t:2 ~script:[] () in
+  let statuses = Array.copy tr.Live.Transcript.statuses in
+  statuses.(2) <- Live.Transcript.Undecided;
+  let forged = { tr with Live.Transcript.statuses = statuses } in
+  let v = Live.Judge.judge forged in
+  Alcotest.(check bool) "termination fails" false v.Live.Judge.ok
+
+(* --- Sockets --------------------------------------------------------------- *)
+
+let socket_config ~dir ~n ~script =
+  Live.Supervisor.config ~n ~t:(n - 2) ~script
+    ~transport:(`Unix dir)
+    ~big_d:0.25 ~delta:0.1 ()
+
+let test_socket_smoke () =
+  (* One real multi-process run over Unix-domain sockets: n = 4, one
+     scripted mid-data-step kill of the round-1 coordinator (the CI smoke
+     scenario).  Every survivor must decide and match the abstract
+     engine. *)
+  let script =
+    [ { Live.Script.pid = Pid.of_int 1; round = 1; phase = Live.Script.During_data 1 } ]
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "live-test-%d" (Unix.getpid ())) in
+  match Live.Supervisor.run (socket_config ~dir ~n:4 ~script) with
+  | Error why -> Alcotest.fail ("supervisor: " ^ why)
+  | Ok (tr, v) ->
+    Alcotest.(check (list (triple int int int)))
+      "survivors decide 1 (p2 relays the adopted estimate)"
+      [ (2, 1, 2); (3, 1, 2); (4, 1, 2) ]
+      (decisions tr);
+    if not v.Live.Judge.ok then
+      Alcotest.fail (Format.asprintf "judge:@.%a" Live.Judge.pp v)
+
+let () =
+  Alcotest.run "live"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc_vectors;
+          Alcotest.test_case "incremental" `Quick test_crc_incremental;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "byte-by-byte" `Quick test_frame_byte_by_byte;
+          Alcotest.test_case "truncated tail" `Quick test_frame_truncated_tail;
+          Alcotest.test_case "corruption" `Quick test_frame_corruption;
+          Alcotest.test_case "bad magic" `Quick test_frame_bad_magic;
+        ] );
+      ( "script",
+        [
+          Alcotest.test_case "parse" `Quick test_script_parse;
+          Alcotest.test_case "parse rejects" `Quick test_script_parse_rejects;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_script_roundtrip;
+          Alcotest.test_case "validate" `Quick test_script_validate;
+          Alcotest.test_case "writes completed" `Quick test_writes_completed;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "no crash" `Quick test_loopback_no_crash;
+          Alcotest.test_case "acceptance n=5 f=2" `Quick test_loopback_acceptance;
+          Alcotest.test_case "deterministic" `Quick test_loopback_deterministic;
+          Alcotest.test_case "differential sweep" `Quick test_loopback_differential_sweep;
+          Alcotest.test_case "default --f scripts" `Quick test_loopback_default_scripts;
+          Alcotest.test_case "judge flags disagreement" `Quick test_judge_flags_disagreement;
+          Alcotest.test_case "judge flags missing decision" `Quick
+            test_judge_flags_missing_decision;
+        ] );
+      ( "socket",
+        [ Alcotest.test_case "smoke n=4 mid-data kill" `Quick test_socket_smoke ] );
+    ]

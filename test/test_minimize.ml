@@ -290,7 +290,8 @@ let test_repro_save_load_replay () =
       Alcotest.(check bool) "no stale tmp file" false
         (Sys.file_exists (file ^ ".tmp"));
       match Minimize.Repro.load file with
-      | Error why -> Alcotest.failf "load failed: %s" why
+      | Error e ->
+        Alcotest.failf "load failed: %s" (Minimize.Repro.load_error_to_string e)
       | Ok r -> (
         match Minimize.Repro.replay r with
         | Ok (detail :: _) ->
@@ -322,17 +323,69 @@ let test_repro_replay_rejects_passing () =
 let test_repro_load_errors () =
   (match Minimize.Repro.load "/nonexistent/minimize-repro.json" with
   | Ok _ -> Alcotest.fail "loaded a nonexistent file"
-  | Error _ -> ());
+  | Error e ->
+    Alcotest.(check string) "names the missing file"
+      "/nonexistent/minimize-repro.json" e.Minimize.Repro.file);
   let file = Filename.temp_file "minimize" ".json" in
   Fun.protect
     ~finally:(fun () -> Sys.remove file)
     (fun () ->
-      let oc = open_out file in
-      output_string oc "{\"version\":999}";
-      close_out oc;
-      match Minimize.Repro.load file with
-      | Ok _ -> Alcotest.fail "accepted an unsupported version"
-      | Error _ -> ())
+      let write contents =
+        let oc = open_out file in
+        output_string oc contents;
+        close_out oc
+      in
+      (* [load] must come back as a structured [Error] on every corrupted
+         artifact below — never raise. *)
+      let expect_error what contents check =
+        write contents;
+        match Minimize.Repro.load file with
+        | Ok _ -> Alcotest.failf "%s: load accepted a corrupt artifact" what
+        | Error e -> check e
+        | exception e ->
+          Alcotest.failf "%s: load raised %s" what (Printexc.to_string e)
+      in
+      expect_error "unsupported version" "{\"version\":999}" (fun e ->
+          Alcotest.(check bool) "reason mentions the version" true
+            (Helpers.contains_substring e.Minimize.Repro.reason "version"));
+      (* Truncated save: a prefix of a real artifact is a JSON syntax
+         error, and the error carries the offending byte offset. *)
+      let valid =
+        Obs.Json.to_string (Minimize.Repro.to_json consensus_repro)
+      in
+      expect_error "truncated artifact"
+        (String.sub valid 0 (String.length valid / 2))
+        (fun e ->
+          Alcotest.(check bool) "syntax error carries an offset" true
+            (e.Minimize.Repro.offset <> None));
+      (* Schema-valid JSON whose pid is out of range: [Pid.of_int 0]
+         raises [Invalid_argument] internally; load must absorb it. *)
+      expect_error "pid out of range"
+        {|{"version":1,"n":4,"t":2,"case":{"kind":"consensus","algo":"rwwc","schedule":[{"pid":0,"round":1,"point":{"kind":"before_send"}}],"property":"uniform-agreement"},"shrink_steps":0,"shrink_candidates":0,"one_minimal":false}|}
+        (fun e ->
+          Alcotest.(check bool) "reason mentions the pid" true
+            (Helpers.contains_substring e.Minimize.Repro.reason "Pid"));
+      (* Deeply nested garbage: the parser rejects it at its depth bound
+         instead of overflowing the stack. *)
+      expect_error "deeply nested garbage"
+        (String.concat "" (List.init 100_000 (fun _ -> "[")))
+        (fun e ->
+          Alcotest.(check bool) "rejected at the depth bound" true
+            (Helpers.contains_substring e.Minimize.Repro.reason "nesting"));
+      (* Single-byte corruption anywhere in a valid artifact must never
+         raise; flipping a byte may still leave a loadable document, so
+         only the no-exception guarantee is asserted. *)
+      String.iteri
+        (fun i _ ->
+          let mangled = Bytes.of_string valid in
+          Bytes.set mangled i '\255';
+          write (Bytes.to_string mangled);
+          match Minimize.Repro.load file with
+          | Ok _ | Error _ -> ()
+          | exception e ->
+            Alcotest.failf "byte flip at %d: load raised %s" i
+              (Printexc.to_string e))
+        valid)
 
 (* --- Algo registry -------------------------------------------------------- *)
 

@@ -241,6 +241,128 @@ let test_json_parse_rejects () =
       {|"\ud83d"|} (* unpaired high surrogate *);
     ]
 
+(* --- Adversarial parser input ------------------------------------------- *)
+
+let test_json_adversarial_rejects () =
+  let open Obs.Json in
+  let reject what s =
+    match of_string s with
+    | Ok _ -> Alcotest.failf "%s: accepted %S" what s
+    | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "%s: parser raised %s" what (Printexc.to_string e)
+  in
+  reject "deep list nesting" (String.make 1_000_000 '[');
+  reject "deep object nesting"
+    (String.concat "" (List.init 100_000 (fun _ -> {|{"a":|})));
+  reject "huge number" "1e999";
+  reject "huge negative number" "-1e999";
+  reject "huge exponent" "1e999999999999999";
+  reject "invalid escape" {|"\q"|};
+  reject "invalid unicode escape" {|"\uZZZZ"|};
+  reject "truncated unicode escape" {|"\u12|};
+  reject "trailing garbage" {|{"a":1} trailing|};
+  reject "trailing bracket" "[1,2,3]]";
+  (* Boundary: documents within the depth bound still parse. *)
+  let deep k =
+    String.concat "" (List.init k (fun _ -> "["))
+    ^ "1"
+    ^ String.concat "" (List.init k (fun _ -> "]"))
+  in
+  (match of_string (deep 500) with
+  | Ok _ -> ()
+  | Error why -> Alcotest.failf "rejected a 500-deep document: %s" why);
+  match of_string (deep 600) with
+  | Ok _ -> Alcotest.fail "accepted a 600-deep document"
+  | Error _ -> ()
+
+let json_token_gen =
+  QCheck2.Gen.oneofl
+    [
+      "{"; "}"; "["; "]"; ","; ":"; "\""; "\\"; "\\u"; "\\ud83d"; "null";
+      "true"; "false"; "tru"; "1"; "-"; "0"; "."; "e"; "E"; "+"; "1e999";
+      "99999999999999999999"; {|"a"|}; " "; "\n"; "\t"; "\255"; "\000";
+    ]
+
+let prop_json_parser_total =
+  Helpers.qtest ~count:2000 "of_string_located is total on adversarial input"
+    QCheck2.Gen.(
+      map (String.concat "") (list_size (int_range 0 40) json_token_gen))
+    (fun s ->
+      match Obs.Json.of_string_located s with
+      | Ok _ -> true
+      | Error (off, _) ->
+        if off < 0 || off > String.length s then
+          QCheck2.Test.fail_reportf "offset %d outside 0..%d on %S" off
+            (String.length s) s
+        else true
+      | exception e ->
+        QCheck2.Test.fail_reportf "parser raised %s on %S"
+          (Printexc.to_string e) s)
+
+let json_value_gen =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) int;
+        map
+          (fun f -> Obs.Json.Float (if Float.is_finite f then f else 0.))
+          float;
+        map
+          (fun s -> Obs.Json.String s)
+          (string_size ~gen:printable (int_range 0 10));
+      ]
+  in
+  sized_size (int_range 0 3)
+  @@ fix (fun self depth ->
+         if depth = 0 then scalar
+         else
+           oneof
+             [
+               scalar;
+               map
+                 (fun xs -> Obs.Json.List xs)
+                 (list_size (int_range 0 4) (self (depth - 1)));
+               map
+                 (fun fields -> Obs.Json.Obj fields)
+                 (list_size (int_range 0 4)
+                    (pair
+                       (string_size ~gen:printable (int_range 0 6))
+                       (self (depth - 1))));
+             ])
+
+let prop_json_random_roundtrip =
+  Helpers.qtest ~count:500 "of_string inverts to_string on random values"
+    json_value_gen
+    (fun v ->
+      let s = Obs.Json.to_string v in
+      match Obs.Json.of_string s with
+      | Ok v' ->
+        if v' = v then true
+        else
+          QCheck2.Test.fail_reportf "round trip changed %S into %S" s
+            (Obs.Json.to_string v')
+      | Error why ->
+        QCheck2.Test.fail_reportf "rejected own output %S: %s" s why)
+
+let prop_json_mutation_total =
+  Helpers.qtest ~count:500 "byte-flipped documents never crash the parser"
+    QCheck2.Gen.(triple json_value_gen small_nat small_nat)
+    (fun (v, i, j) ->
+      let s = Obs.Json.to_string v in
+      let b = Bytes.of_string s in
+      if Bytes.length b > 0 then
+        Bytes.set b (i mod Bytes.length b) (Char.chr (j mod 256));
+      let mangled = Bytes.to_string b in
+      match Obs.Json.of_string mangled with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck2.Test.fail_reportf "parser raised %s on %S"
+          (Printexc.to_string e) mangled)
+
 (* --- Metrics vs. the engine's semantic counters -------------------------- *)
 
 let check_metrics_match (res : Run_result.t) (m : Obs.Metrics.t) =
@@ -495,6 +617,11 @@ let () =
           Alcotest.test_case "parse-roundtrip" `Quick test_json_parse_roundtrip;
           Alcotest.test_case "parse-values" `Quick test_json_parse_values;
           Alcotest.test_case "parse-rejects" `Quick test_json_parse_rejects;
+          Alcotest.test_case "adversarial-rejects" `Quick
+            test_json_adversarial_rejects;
+          prop_json_parser_total;
+          prop_json_random_roundtrip;
+          prop_json_mutation_total;
         ] );
       ( "metrics",
         [
