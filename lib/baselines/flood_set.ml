@@ -1,24 +1,25 @@
 open Model
-module Int_set = Set.Make (Int)
 
-type msg = Values of int list
-
-type state = { me : int; n : int; t : int; values : Int_set.t }
+type msg = Bitset.t
+type state = { me : int; n : int; t : int; values : Bitset.t }
 
 let name = "flood-set"
 let model = Model_kind.Classic
 let decision_mode = `Halt
-
-let msg_bits ~value_bits (Values vs) = value_bits * List.length vs
-
-let pp_msg ppf (Values vs) =
-  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int vs))
+let msg_bits ~value_bits vs = value_bits * Bitset.cardinal vs
+let pp_msg = Bitset.pp
 
 let init ~n ~t ~me ~proposal =
-  { me = Pid.to_int me; n; t; values = Int_set.singleton proposal }
+  let values = Bitset.create ~capacity:n in
+  Bitset.add values proposal;
+  { me = Pid.to_int me; n; t; values }
 
+(* The known-value set is one flat word bitmap mutated in place; the payload
+   must be a snapshot, not an alias — the receive phase of round [r]
+   interleaves with other processes reading what this process sent, and the
+   engine delivers physically shared copies. *)
 let data_sends state ~round:_ =
-  let payload = Values (Int_set.elements state.values) in
+  let payload = Bitset.copy state.values in
   List.filter_map
     (fun dest ->
       if Pid.to_int dest = state.me then None else Some (dest, payload))
@@ -26,15 +27,36 @@ let data_sends state ~round:_ =
 
 let sync_sends _state ~round:_ = []
 
+let decide_now state round = round >= state.t + 1
+
 let compute state ~round ~data ~syncs =
   assert (syncs = []);
-  let values =
-    List.fold_left
-      (fun acc (_, Values vs) -> List.fold_left (Fun.flip Int_set.add) acc vs)
-      state.values data
-  in
-  let state = { state with values } in
-  if round >= state.t + 1 then (state, Some (Int_set.min_elt values))
+  List.iter (fun (_, vs) -> Bitset.union_into ~src:vs ~dst:state.values) data;
+  if decide_now state round then
+    (state, Some (Option.get (Bitset.min_elt_opt state.values)))
   else (state, None)
 
-let known state = Int_set.elements state.values
+(* --- Zero-copy flat-engine path ------------------------------------------- *)
+
+(* Every process floods every round, and [receive] decides at round t+1
+   regardless of what arrived: never quiescent. *)
+let quiescence = Sync_sim.Algorithm_intf.Chatty
+
+let send state ~round:_ e =
+  let payload = Bitset.copy state.values in
+  for d = 1 to state.n do
+    if d <> state.me then Sync_sim.Emitter.data e (Pid.of_int d) payload
+  done
+
+let receive state ~round view =
+  for k = 0 to Sync_sim.Round_view.data_count view - 1 do
+    Bitset.union_into
+      ~src:(Sync_sim.Round_view.data_payload view k)
+      ~dst:state.values
+  done;
+  if decide_now state round then
+    Sync_sim.Round_view.decide view
+      (Option.get (Bitset.min_elt_opt state.values));
+  state
+
+let known state = Bitset.elements state.values

@@ -6,11 +6,20 @@
     round; after [t + 1] rounds all correct (indeed, all surviving) processes
     hold the same set because at least one of the rounds was crash-free, and
     everybody decides its minimum.  Always takes [t + 1] rounds, regardless
-    of [f] — the non-early-stopping baseline. *)
+    of [f] — the non-early-stopping baseline.
 
-type msg = Values of int list  (** sorted, distinct *)
+    Value sets are {!Model.Bitset.t} word bitmaps (one bit per proposal
+    value, merged with word-ORs) instead of the AVL [Set.Make (Int)] they
+    replaced; proposals must therefore be non-negative ([init] raises
+    [Invalid_argument] otherwise — every workload in this repository
+    proposes from [1..n]).  Observable behaviour (decisions, rounds, wire
+    bits: a message still costs [value_bits * cardinal]) is pinned
+    byte-identical to the set-based implementation by the differential
+    suite. *)
 
-include Sync_sim.Algorithm_intf.S with type msg := msg
+type msg = Model.Bitset.t  (** snapshot of the sender's known-value set *)
+
+include Sync_sim.Algorithm_intf.FLAT with type msg := msg
 (** [model] is [Classic]. *)
 
 val known : state -> int list

@@ -48,3 +48,49 @@ let compute state ~round ~data ~syncs =
 let estimate state = state.est
 
 let fingerprint state = Printf.sprintf "rwwc:%d:%d" state.me state.est
+
+(* --- Zero-copy flat-engine path ------------------------------------------- *)
+
+(* Same algorithm, emitted directly into the engine's arena buffers.  The
+   state stays immutable — the bivalency explorer and the stepper branch
+   runs from shared states, so [receive] returns a fresh record only when
+   the estimate actually changes (the steady state allocates nothing). *)
+
+(* Process [me] speaks only in round [me]; any other round with an empty
+   inbox leaves the state untouched and cannot decide (both branches of
+   [receive] below need a message or a sync to act). *)
+let quiescence = Sync_sim.Algorithm_intf.Coordinator_rounds
+
+let send state ~round e =
+  if round = state.me then begin
+    let m = Data state.est in
+    for d = state.me + 1 to state.n do
+      Sync_sim.Emitter.data e (Pid.of_int d) m
+    done;
+    for d = state.n downto state.me + 1 do
+      Sync_sim.Emitter.sync e (Pid.of_int d)
+    done
+  end
+
+let receive state ~round view =
+  if round = state.me then begin
+    Sync_sim.Round_view.decide view state.est;
+    state
+  end
+  else begin
+    assert (state.me > round);
+    let est =
+      let count = Sync_sim.Round_view.data_count view in
+      let rec find k =
+        if k >= count then state.est
+        else if Pid.to_int (Sync_sim.Round_view.data_sender view k) = round then
+          let (Data v) = Sync_sim.Round_view.data_payload view k in
+          v
+        else find (k + 1)
+      in
+      find 0
+    in
+    if Sync_sim.Round_view.has_sync view (Pid.of_int round) then
+      Sync_sim.Round_view.decide view est;
+    if est = state.est then state else { state with est }
+  end

@@ -13,8 +13,11 @@
 
 type msg = Data of int
 
-include Sync_sim.Algorithm_intf.S with type msg := msg
-(** [model] is [Extended]. *)
+include Sync_sim.Algorithm_intf.FLAT with type msg := msg
+(** [model] is [Extended].  Implements the zero-copy flat-engine API
+    natively; the state is immutable (the lower-bound explorers branch runs
+    from shared states), with [receive] returning the same state whenever
+    the estimate is unchanged. *)
 
 val estimate : state -> int
 (** Current estimate (for tests and the bivalency explorer). *)

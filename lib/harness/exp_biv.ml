@@ -2,7 +2,8 @@
     configuration graph under the one-crash-per-round adversary. *)
 
 module Biv = Lower_bound.Bivalency.Make (Core.Rwwc)
-module Biv_es = Lower_bound.Bivalency.Make (Baselines.Early_stopping)
+module Biv_es =
+  Lower_bound.Bivalency.Make (Lower_bound.Algo_intf.Of_list (Baselines.Early_stopping))
 
 let add_row table name model report =
   Diag.Table.add_row table

@@ -1,7 +1,7 @@
 open Sync_sim
 
-module Rwwc_runner = Engine.Make (Core.Rwwc)
-module Flood_runner = Engine.Make (Baselines.Flood_set)
+module Rwwc_runner = Engine.Make_flat (Core.Rwwc)
+module Flood_runner = Engine.Make_flat (Baselines.Flood_set)
 module Es_runner = Engine.Make (Baselines.Early_stopping)
 module Compiled = Core.Extended_on_classic.Make (Core.Rwwc)
 module Compiled_runner = Engine.Make (Compiled)

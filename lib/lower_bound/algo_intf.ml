@@ -2,7 +2,7 @@
     beyond {!Sync_sim.Algorithm_intf.S}. *)
 
 module type S = sig
-  include Sync_sim.Algorithm_intf.S
+  include Sync_sim.Algorithm_intf.FLAT
 
   val estimate : state -> int
   (** The value the process would decide if forced to decide now — used by
@@ -11,4 +11,23 @@ module type S = sig
   val fingerprint : state -> string
   (** Canonical encoding of the state, injective on reachable states — used
       to memoize configurations during valence exploration. *)
+end
+
+(** Legacy list-API algorithms with the two extra capabilities, lifted to
+    {!S} through the engine's {!Sync_sim.Algorithm_intf.Of_list} adapter —
+    the incremental-migration path for algorithms that have not implemented
+    the zero-copy API natively. *)
+module type LIST = sig
+  include Sync_sim.Algorithm_intf.S
+
+  val estimate : state -> int
+  val fingerprint : state -> string
+end
+
+module Of_list (A : LIST) : S with type state = A.state and type msg = A.msg =
+struct
+  include Sync_sim.Algorithm_intf.Of_list (A)
+
+  let estimate = A.estimate
+  let fingerprint = A.fingerprint
 end

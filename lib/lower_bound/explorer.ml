@@ -13,7 +13,7 @@ type tightness = {
 }
 
 module Make (A : Algo_intf.S) = struct
-  module Runner = Sync_sim.Engine.Make (A)
+  module Runner = Sync_sim.Engine.Make_flat (A)
 
   let tightness ~n ~f ~proposals =
     if f < 0 || f > n - 2 then invalid_arg "Explorer.tightness: need 0 <= f <= n-2";
@@ -45,7 +45,7 @@ module Make (A : Algo_intf.S) = struct
           let decide_by = decide_by
         end)
     in
-    let module E = Sync_sim.Engine.Make (T) in
+    let module E = Sync_sim.Engine.Make_flat (T) in
     let t = decide_by in
     let searched = ref 0 in
     let run = E.runner (Sync_sim.Engine.config ~n ~t ~proposals ()) in

@@ -15,4 +15,15 @@ struct
     | Some _ -> (state, decision)
     | None when round >= R.decide_by -> (state, Some (A.estimate state))
     | None -> (state, None)
+
+  (* The forced decision at [decide_by] fires even on an empty inbox, so
+     the wrapper can never be quiescent, whatever [A] declares. *)
+  let quiescence = Sync_sim.Algorithm_intf.Chatty
+
+  (* Flat path: same forcing, expressed through the view's decision flag. *)
+  let receive state ~round view =
+    let state = A.receive state ~round view in
+    if (not (Sync_sim.Round_view.decided view)) && round >= R.decide_by then
+      Sync_sim.Round_view.decide view (A.estimate state);
+    state
 end

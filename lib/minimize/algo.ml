@@ -25,11 +25,28 @@ let make (module A : Algorithm_intf.S) ~name ~broken ~bound =
     bound;
   }
 
+(* Natively flat algorithms skip the list adapter entirely — the registry
+   entries behave identically either way (pinned by the differential suite),
+   this is purely the faster engine path. *)
+let make_flat (module A : Algorithm_intf.FLAT) ~name ~broken ~bound =
+  let module R = Engine.Make_flat (A) in
+  {
+    name;
+    model = A.model;
+    broken;
+    run =
+      (fun ~n ~t schedule ->
+        R.run
+          (Engine.config ~schedule ~n ~t
+             ~proposals:(Engine.distinct_proposals n) ()));
+    bound;
+  }
+
 let rwwc_bound ~t:_ res = f_actual res + 1
 
 let all =
   [
-    make (module Core.Rwwc) ~name:"rwwc" ~broken:false ~bound:rwwc_bound;
+    make_flat (module Core.Rwwc) ~name:"rwwc" ~broken:false ~bound:rwwc_bound;
     make
       (module Core.Rwwc_variants.Data_decide)
       ~name:"data-decide" ~broken:true ~bound:rwwc_bound;
@@ -39,7 +56,7 @@ let all =
     make
       (module Core.Rwwc_variants.Piggyback_commit)
       ~name:"piggyback-commit" ~broken:true ~bound:rwwc_bound;
-    make (module Baselines.Flood_set) ~name:"flood" ~broken:false
+    make_flat (module Baselines.Flood_set) ~name:"flood" ~broken:false
       ~bound:(fun ~t _ -> t + 1);
     make (module Baselines.Early_stopping) ~name:"early-stopping" ~broken:false
       ~bound:(fun ~t res -> min (t + 1) (f_actual res + 2));

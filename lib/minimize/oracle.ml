@@ -31,7 +31,11 @@ module Lan_rwwc =
     end)
 
 module Lan_runner = Timed_sim.Timed_engine.Make (Lan_rwwc)
-module R = Sync_sim.Engine.Make (Core.Rwwc)
+module R = Sync_sim.Engine.Make_flat (Core.Rwwc)
+
+(* The previous engine generation, kept as an independent lane: the flat
+   engine must stay byte-identical to it on every schedule the oracle sees. *)
+module R_ref = Sync_sim.Engine_reference.Make (Core.Rwwc)
 
 let lane_of_result name res =
   {
@@ -81,6 +85,15 @@ let check_schedule ~n ~t schedule =
       @ [ "engine-runner observable result differs from engine-run \
            (statuses, rounds or wire counters)" ]
   in
+  let res_ref = R_ref.run cfg in
+  let ref_lane = lane_of_result "engine-reference" res_ref in
+  let ref_diffs =
+    if Sync_sim.Run_result.equal_observable res_run res_ref then []
+    else
+      compare_lanes reference ref_lane
+      @ [ "flat engine observable result differs from the reference engine \
+           (statuses, rounds or wire counters)" ]
+  in
   let timed_lane, timed_diffs =
     match
       Lan.Realization.translate_rwwc_schedule ~n ~big_d ~delta schedule
@@ -115,8 +128,8 @@ let check_schedule ~n ~t schedule =
       in
       (lane, compare_lanes reference lane)
   in
-  let all_lanes = [ reference; runner_lane; timed_lane ] in
-  match runner_diffs @ timed_diffs with
+  let all_lanes = [ reference; runner_lane; ref_lane; timed_lane ] in
+  match runner_diffs @ ref_diffs @ timed_diffs with
   | [] -> Agree all_lanes
   | diffs -> Disagree { lanes = all_lanes; diffs }
 

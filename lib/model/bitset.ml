@@ -1,0 +1,111 @@
+(* Growable bitset over small non-negative ints, stored as an [int array]
+   word bitmap.  One word carries [Sys.int_size] bits (63 on 64-bit), so a
+   set over values [0 .. n-1] costs [ceil (n / 63)] words — the flat
+   representation the engine uses for receive-sets and FloodSet uses for
+   value-sets, where the cons-list/AVL representations it replaces cost a
+   heap block per element. *)
+
+let bits_per_word = Sys.int_size
+
+type t = { mutable words : int array }
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make ((capacity + bits_per_word - 1) / bits_per_word) 0 }
+
+let word_count t = Array.length t.words
+
+let grow t nwords =
+  let words = Array.make (max nwords (2 * word_count t)) 0 in
+  Array.blit t.words 0 words 0 (word_count t);
+  t.words <- words
+
+let add t i =
+  if i < 0 then invalid_arg "Bitset.add: negative element";
+  let w = i / bits_per_word in
+  if w >= word_count t then grow t (w + 1);
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let mem t i =
+  if i < 0 then false
+  else
+    let w = i / bits_per_word in
+    w < word_count t && t.words.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let clear t = Array.fill t.words 0 (word_count t) 0
+
+let is_empty t =
+  let rec go k = k >= word_count t || (t.words.(k) = 0 && go (k + 1)) in
+  go 0
+
+(* Kernighan loop: one iteration per set bit — our sets are sparse (at most
+   one bit per process or proposal value). *)
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t =
+  let c = ref 0 in
+  for k = 0 to word_count t - 1 do
+    c := !c + popcount t.words.(k)
+  done;
+  !c
+
+(* dst := dst ∪ src, growing dst as needed; src is untouched. *)
+let union_into ~src ~dst =
+  let sw = word_count src in
+  if sw > word_count dst then grow dst sw;
+  for k = 0 to sw - 1 do
+    dst.words.(k) <- dst.words.(k) lor src.words.(k)
+  done
+
+let copy t = { words = Array.copy t.words }
+
+let iter f t =
+  for k = 0 to word_count t - 1 do
+    let w = ref t.words.(k) in
+    while !w <> 0 do
+      let bit = !w land (- !w) in
+      f ((k * bits_per_word) + popcount (bit - 1));
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+let elements t = List.rev (fold (fun acc i -> i :: acc) t [])
+
+let min_elt_opt t =
+  let rec go k =
+    if k >= word_count t then None
+    else if t.words.(k) = 0 then go (k + 1)
+    else
+      let bit = t.words.(k) land -t.words.(k) in
+      Some ((k * bits_per_word) + popcount (bit - 1))
+  in
+  go 0
+
+let of_list is =
+  let t = create ~capacity:0 in
+  List.iter (add t) is;
+  t
+
+(* Equality ignores trailing zero words: capacity is an implementation
+   detail, membership is the value. *)
+let equal a b =
+  let wa = word_count a and wb = word_count b in
+  let rec go k =
+    if k >= wa && k >= wb then true
+    else
+      let xa = if k < wa then a.words.(k) else 0
+      and xb = if k < wb then b.words.(k) else 0 in
+      xa = xb && go (k + 1)
+  in
+  go 0
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements t)))

@@ -1,0 +1,54 @@
+(** Growable bitset over small non-negative ints.
+
+    A flat [int array] word bitmap: [Sys.int_size] bits per word, auto-grown
+    on {!add}.  This is the value-set representation behind the flat engine
+    core — membership is one AND, union is a word sweep, and a set allocates
+    nothing once at capacity, where the [Set.Make]/cons-list representations
+    it replaces cost a heap block (and a rebalance) per element. *)
+
+type t
+
+val bits_per_word : int
+(** Bits carried per word: [Sys.int_size] (63 on 64-bit platforms). *)
+
+val create : capacity:int -> t
+(** Empty set able to hold [0 .. capacity - 1] without growing.  Raises
+    [Invalid_argument] on negative capacity. *)
+
+val add : t -> int -> unit
+(** Grows as needed.  Raises [Invalid_argument] on a negative element. *)
+
+val mem : t -> int -> bool
+(** [false] for negatives and for elements beyond the allocated words. *)
+
+val clear : t -> unit
+(** Remove every element, keeping the allocated words. *)
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Population count over the words. *)
+
+val union_into : src:t -> dst:t -> unit
+(** [dst := dst ∪ src] in place, growing [dst] as needed; [src] is
+    untouched. *)
+
+val copy : t -> t
+(** Independent snapshot — the message payload of a flat FloodSet. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Elements in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Sorted, distinct. *)
+
+val min_elt_opt : t -> int option
+
+val of_list : int list -> t
+
+val equal : t -> t -> bool
+(** Membership equality; allocated capacity is ignored. *)
+
+val pp : Format.formatter -> t -> unit

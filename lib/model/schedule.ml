@@ -11,6 +11,7 @@ let add pid event sched =
 let of_list l = List.fold_left (fun acc (pid, ev) -> add pid ev acc) empty l
 
 let find sched pid = Pid.Map.find_opt pid sched
+let iter f sched = Pid.Map.iter f sched
 
 let f sched = Pid.Map.cardinal sched
 

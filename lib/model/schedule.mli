@@ -21,6 +21,10 @@ val add : Pid.t -> Crash.event -> t -> t
 val find : t -> Pid.t -> Crash.event option
 (** The crash event of a process, if it is faulty. *)
 
+val iter : (Pid.t -> Crash.event -> unit) -> t -> unit
+(** Apply to every crash, in increasing pid order.  Allocation-free — the
+    engine uses it to flatten the crash plan into its scratch arrays. *)
+
 val f : t -> int
 (** Number of faulty processes. *)
 

@@ -10,6 +10,24 @@
 
 open Model
 
+(** A static promise about when a process is guaranteed to be inert,
+    letting the flat engine skip whole per-process steps on quiet rounds.
+
+    [Chatty] promises nothing: the engine calls [send] and [receive] for
+    every live process every round.  Always safe.
+
+    [Coordinator_rounds] declares the rotating-coordinator shape of the
+    paper's algorithms: process [p] emits messages {e only} in round [p],
+    and in any round [r <> p] a [receive] over an empty view (no data, no
+    control messages) returns the state unchanged and never decides.  The
+    engine may then, on unobserved runs, touch only the round's
+    coordinator, the processes with non-empty inboxes, and the processes
+    crashing that round — everything else provably does nothing.  The
+    observable result (statuses, decisions, wire counters) is identical to
+    the [Chatty] execution; only event {e ordering} inside a round may
+    differ, which is why traced runs always take the full path. *)
+type quiescence = Chatty | Coordinator_rounds
+
 module type S = sig
   type state
   (** Per-process local state. *)
@@ -70,4 +88,77 @@ module type S = sig
       the senders of received control messages, both in increasing sender
       order.  Returns the new state and an optional decision.  A decision
       terminates the process (it sends nothing in later rounds). *)
+end
+
+(** The zero-copy extension of {!S}: the same algorithm, additionally able
+    to run against the flat engine core without per-round list building.
+
+    [send] replaces [data_sends]/[sync_sends] by emitting directly into the
+    engine's arena buffers; [receive] replaces [compute] by reading a
+    {!Round_view.t} over them and signalling decisions through
+    {!Round_view.decide}.  The list functions stay part of the signature —
+    the lower-bound stepper and bivalency explorer still drive algorithms
+    through them, and {!Of_list} derives the flat half mechanically — so a
+    module of this type runs identically under both engine paths.
+
+    One semantic note: the flat receive-set is a bitset over senders, so
+    duplicate control messages from one sender to one destination in a
+    single round collapse into one.  Control messages are idempotent
+    liveness signals and no algorithm in this repository emits duplicates;
+    the list API preserved them only as an artifact of its representation. *)
+module type FLAT = sig
+  include S
+
+  val quiescence : quiescence
+  (** See {!type:quiescence}.  Declare [Coordinator_rounds] only when both
+      of its guarantees hold for every reachable state; when in doubt,
+      [Chatty] is always correct. *)
+
+  val send : state -> round:int -> msg Emitter.t -> unit
+  (** Emit this round's data messages and ordered control destinations,
+      all computed from the start-of-round state ("without a break").
+      Control emission order is the crash-prefix order. *)
+
+  val receive : state -> round:int -> msg Round_view.t -> state
+  (** Computation phase over the view.  Decide via {!Round_view.decide};
+      return the new state (returning [state] itself is the zero-allocation
+      steady state). *)
+end
+
+(** The thin adapter keeping the legacy list API runnable on the flat
+    engine: [send] replays [data_sends] then [sync_sends] through the
+    emitter, [receive] materializes the view as the two sorted lists
+    [compute] expects.  Per round this allocates exactly the lists the old
+    engine built anyway — migrated algorithms skip it entirely. *)
+module Of_list (A : S) : FLAT with type state = A.state and type msg = A.msg =
+struct
+  include A
+
+  (* The list API gives no visibility into [compute]'s behaviour on empty
+     inboxes, so the adapter can never promise quiescence. *)
+  let quiescence = Chatty
+
+  (* Plain recursion instead of [List.iter]: the iterated closures would
+     otherwise be two fresh allocations on every process-round. *)
+  let rec replay_data e = function
+    | [] -> ()
+    | (dest, m) :: tl ->
+      Emitter.data e dest m;
+      replay_data e tl
+
+  let rec replay_syncs e = function
+    | [] -> ()
+    | dest :: tl ->
+      Emitter.sync e dest;
+      replay_syncs e tl
+
+  let send state ~round e =
+    replay_data e (A.data_sends state ~round);
+    replay_syncs e (A.sync_sends state ~round)
+
+  let receive state ~round view =
+    let data = Round_view.data_list view and syncs = Round_view.sync_list view in
+    let state, decision = A.compute state ~round ~data ~syncs in
+    (match decision with None -> () | Some v -> Round_view.decide view v);
+    state
 end

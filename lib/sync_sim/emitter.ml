@@ -1,0 +1,23 @@
+open Model
+
+(* The engine installs its delivery closures once per execution; the
+   emitter record itself lives in the run scratch, so a steady-state send
+   phase allocates nothing.  Crash filtering (During_data subsets,
+   After_data prefixes) happens inside the closures — the algorithm always
+   emits its full plan and never sees the adversary. *)
+
+type 'msg t = {
+  mutable on_data : int -> 'msg -> unit;
+  mutable on_sync : int -> unit;
+}
+
+let ignore_data _ _ = ()
+let ignore_sync _ = ()
+let create () = { on_data = ignore_data; on_sync = ignore_sync }
+
+let install t ~on_data ~on_sync =
+  t.on_data <- on_data;
+  t.on_sync <- on_sync
+
+let data t dest msg = t.on_data (Pid.to_int dest) msg
+let sync t dest = t.on_sync (Pid.to_int dest)

@@ -1,0 +1,35 @@
+(** The send half of the zero-copy algorithm API.
+
+    In its send phase an algorithm emits messages directly into the engine's
+    flat buffers instead of returning lists: {!data} appends one data
+    message, {!sync} serves the next destination of the ordered control
+    sequence.  Emission order is the semantics: control destinations must be
+    emitted in the algorithm's chosen order, because a crash during the
+    control step delivers a {e prefix} of that sequence.  Data and control
+    emissions may interleave; both must be computed from the start-of-round
+    state only.
+
+    The engine owns the emitter and installs its delivery closures once per
+    run; emitting a message is two loads and a call — no allocation. *)
+
+open Model
+
+type 'msg t
+
+val data : 'msg t -> Pid.t -> 'msg -> unit
+(** Put one data message on the wire (subject to the adversary's crash
+    filtering, which the algorithm never observes). *)
+
+val sync : 'msg t -> Pid.t -> unit
+(** Serve the next ordered control destination.  Raises
+    {!Engine.Model_violation} when the algorithm declared the classic
+    model. *)
+
+(**/**)
+
+(* Engine-side: not for algorithms. *)
+
+val create : unit -> 'msg t
+
+val install :
+  'msg t -> on_data:(int -> 'msg -> unit) -> on_sync:(int -> unit) -> unit

@@ -27,142 +27,197 @@ let config ?(value_bits = 32) ?max_rounds ?(record_trace = false)
 
 let distinct_proposals n = Array.init n (fun i -> i + 1)
 
-(* Internal per-process run status. *)
-type proc_status =
-  | Running
-  | Halted of { value : int; at_round : int }
-  | Announced of { value : int; at_round : int }
-      (* decided but still participating (`Announce decision mode) *)
-  | Dead of { at_round : int }
+let bits_per_word = Sys.int_size
 
-module Make (A : Algorithm_intf.S) = struct
-  (* Inboxes are preallocated growable parallel arrays (sender pid /
-     payload), reused across rounds and — via [runner] — across whole runs:
-     steady-state delivery writes two cells and bumps a length, allocating
-     nothing.  The cons-list representation this replaces allocated a cell
-     per message plus the [List.sort] intermediates every round. *)
-  type inbox = {
-    mutable from : int array;
-    mutable msg : A.msg array;
-    mutable len : int;
+(* Process status, flattened into parallel int arrays so a status change
+   never allocates: 0 = running, 1 = halted (decided and stopped, or dead
+   after announcing), 2 = announced (decided, still participating),
+   3 = dead.  [st_value]/[st_round] carry the decision value and the
+   decision or crash round. *)
+let st_running = 0
+
+let st_halted = 1
+let st_announced = 2
+let st_dead = 3
+
+module Make_flat (A : Algorithm_intf.FLAT) = struct
+  (* All round buffers live in per-run scratch reused across rounds and —
+     via [runner] — across whole runs:
+
+     - Data inboxes are one arena: parallel arrays [data_from]/[data_msg]
+       of [n * cap] cells, process [i] owning segment [i*cap .. i*cap +
+       data_len.(i) - 1].  Delivery writes two cells and bumps a length;
+       the arena doubles (rarely) when any segment fills.
+     - Control receive-sets are one word bitmap [sync_words] of [n * swpp]
+       words, process [i] owning words [i*swpp ..]; bit [sender-1] set iff
+       a control message from that sender arrived this round.
+     - The crash plan is flattened into [crash_round]/[crash_point] so the
+       send phase never touches the schedule map.
+
+     A steady-state round is therefore a few array sweeps: no lists, no
+     options, no per-message heap blocks beyond what the algorithm's own
+     payloads cost. *)
+  type scratch = {
+    cfg : config;
+    n : int;
+    swpp : int;  (* sync words per process *)
+    states : A.state array;
+    status : int array;
+    st_value : int array;
+    st_round : int array;
+    mutable cap : int;  (* data-arena cells per process *)
+    mutable data_from : int array;
+    mutable data_msg : A.msg array;
+    data_len : int array;
+    sync_words : int array;
+    crash_round : int array;  (* 0 = never crashes *)
+    crash_point : Crash.point array;
+    counters : Obs.Counters.t;
+    view : A.msg Round_view.t;
+    emitter : A.msg Emitter.t;
+    (* Current-sender delivery filter, read by the emitter closures. *)
+    mutable cur_from : int;  (* 1-based pid of the sender being served *)
+    mutable cur_round : int;
+    mutable data_all : bool;  (* false: filter data by [survivors] *)
+    mutable survivors : Pid.Set.t;
+    mutable sync_left : int;  (* remaining control deliveries this sender *)
+    (* Quiet-round bookkeeping, used only on the [Coordinator_rounds]
+       fast path (see [exec]): which inboxes received anything this round,
+       and the crash plan re-sorted by round so a round's crashers are
+       found without scanning all n processes. *)
+    mutable track_dirty : bool;
+    dirty_flag : int array;  (* 1 iff the inbox got a delivery this round *)
+    dirty_idx : int array;  (* stack of dirty process indices *)
+    mutable dirty_count : int;
+    crash_by_round : int array;  (* crash entries sorted by round... *)
+    crash_by_idx : int array;  (* ...stable, so pid order within a round *)
+    mutable ncrash : int;
+    mutable crash_cursor : int;
+    (* Last successfully validated schedule: a reused runner replaying the
+       same (immutable) schedule skips re-validation. *)
+    mutable validated : Schedule.t;
   }
 
-  type proc = {
-    pid : Pid.t;
-    mutable state : A.state;
-    mutable status : proc_status;
-    inbox : inbox;
-    mutable sync_from : int array;
-    mutable sync_len : int;
-  }
+  let init_state (cfg : config) i =
+    A.init ~n:cfg.n ~t:cfg.t ~me:(Pid.of_int (i + 1)) ~proposal:cfg.proposals.(i)
 
-  let push_data b ~from msg =
-    let cap = Array.length b.msg in
-    if b.len = cap then begin
-      let ncap = max 8 (2 * cap) in
-      let nf = Array.make ncap from and nm = Array.make ncap msg in
-      Array.blit b.from 0 nf 0 b.len;
-      Array.blit b.msg 0 nm 0 b.len;
-      b.from <- nf;
-      b.msg <- nm
-    end;
-    b.from.(b.len) <- from;
-    b.msg.(b.len) <- msg;
-    b.len <- b.len + 1
-
-  let push_sync p ~from =
-    let cap = Array.length p.sync_from in
-    if p.sync_len = cap then begin
-      let nf = Array.make (max 8 (2 * cap)) from in
-      Array.blit p.sync_from 0 nf 0 p.sync_len;
-      p.sync_from <- nf
-    end;
-    p.sync_from.(p.sync_len) <- from;
-    p.sync_len <- p.sync_len + 1
-
-  (* In-place insertion sort by sender pid; ties keep the later arrival
-     first, matching the previous representation (a stable sort of the
-     reverse-arrival cons list).  Inboxes hold at most O(n) messages. *)
-  let sort_data b =
-    for i = 1 to b.len - 1 do
-      let f = b.from.(i) and m = b.msg.(i) in
-      let j = ref (i - 1) in
-      while !j >= 0 && b.from.(!j) >= f do
-        b.from.(!j + 1) <- b.from.(!j);
-        b.msg.(!j + 1) <- b.msg.(!j);
-        decr j
-      done;
-      b.from.(!j + 1) <- f;
-      b.msg.(!j + 1) <- m
-    done
-
-  let sort_syncs p =
-    for i = 1 to p.sync_len - 1 do
-      let f = p.sync_from.(i) in
-      let j = ref (i - 1) in
-      while !j >= 0 && p.sync_from.(!j) >= f do
-        p.sync_from.(!j + 1) <- p.sync_from.(!j);
-        decr j
-      done;
-      p.sync_from.(!j + 1) <- f
-    done
-
-  let data_list b =
-    let rec go i acc =
-      if i < 0 then acc
-      else go (i - 1) ((Pid.of_int b.from.(i), b.msg.(i)) :: acc)
-    in
-    go (b.len - 1) []
-
-  let sync_list p =
-    let rec go i acc =
-      if i < 0 then acc else go (i - 1) (Pid.of_int p.sync_from.(i) :: acc)
-    in
-    go (p.sync_len - 1) []
-
-  type scratch = { cfg : config; procs : proc array; counters : Obs.Counters.t }
-
-  let scratch_of_config cfg =
+  let scratch_of_config (cfg : config) =
+    let n = cfg.n in
     {
       cfg;
-      procs =
-        Array.init cfg.n (fun i ->
-            let pid = Pid.of_int (i + 1) in
-            {
-              pid;
-              state =
-                A.init ~n:cfg.n ~t:cfg.t ~me:pid ~proposal:cfg.proposals.(i);
-              status = Running;
-              inbox = { from = [||]; msg = [||]; len = 0 };
-              sync_from = [||];
-              sync_len = 0;
-            });
+      n;
+      swpp = (n + bits_per_word - 1) / bits_per_word;
+      states = Array.init n (init_state cfg);
+      status = Array.make n st_running;
+      st_value = Array.make n 0;
+      st_round = Array.make n 0;
+      cap = 0;
+      data_from = [||];
+      data_msg = [||];
+      data_len = Array.make n 0;
+      sync_words = Array.make (n * ((n + bits_per_word - 1) / bits_per_word)) 0;
+      crash_round = Array.make n 0;
+      crash_point = Array.make n Crash.Before_send;
       counters = Obs.Counters.create ();
+      view = Round_view.create ();
+      emitter = Emitter.create ();
+      cur_from = 1;
+      cur_round = 0;
+      data_all = true;
+      survivors = Pid.Set.empty;
+      sync_left = 0;
+      track_dirty = false;
+      dirty_flag = Array.make n 0;
+      dirty_idx = Array.make n 0;
+      dirty_count = 0;
+      crash_by_round = Array.make n 0;
+      crash_by_idx = Array.make n 0;
+      ncrash = 0;
+      crash_cursor = 0;
+      validated = Schedule.empty;
     }
 
-  let reset s =
+  (* Double the arena, preserving every segment.  [fill] seeds the fresh msg
+     cells (the classic growable-array trick: the first pushed message is
+     as good a dummy as any). *)
+  let grow s fill =
+    (* Start at a single cell per process: a fresh [n = 64] scratch then
+       stays under the 256-word minor-allocation limit, so one-shot [run]
+       configs never touch the major heap (large major-heap arenas per run
+       were forcing a GC slice per benchmark iteration). *)
+    let ncap = if s.cap = 0 then 1 else 2 * s.cap in
+    let nfrom = Array.make (s.n * ncap) 0 in
+    let nmsg = Array.make (s.n * ncap) fill in
+    for i = 0 to s.n - 1 do
+      Array.blit s.data_from (i * s.cap) nfrom (i * ncap) s.data_len.(i);
+      Array.blit s.data_msg (i * s.cap) nmsg (i * ncap) s.data_len.(i)
+    done;
+    s.data_from <- nfrom;
+    s.data_msg <- nmsg;
+    s.cap <- ncap
+
+  (* In-place insertion sort of one segment by sender pid; ties keep the
+     later arrival first, matching the historical list representation (a
+     stable sort of the reverse-arrival cons list).  Arrivals are already
+     grouped by ascending sender (the send phase runs in pid order), so
+     this is one near-linear sweep. *)
+  let sort_segment from msgs off len =
+    for i = 1 to len - 1 do
+      let f = Array.unsafe_get from (off + i)
+      and m = Array.unsafe_get msgs (off + i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && Array.unsafe_get from (off + !j) >= f do
+        Array.unsafe_set from (off + !j + 1) (Array.unsafe_get from (off + !j));
+        Array.unsafe_set msgs (off + !j + 1) (Array.unsafe_get msgs (off + !j));
+        decr j
+      done;
+      Array.unsafe_set from (off + !j + 1) f;
+      Array.unsafe_set msgs (off + !j + 1) m
+    done
+
+  let reset s schedule =
     Obs.Counters.reset s.counters;
-    Array.iteri
-      (fun i p ->
-        p.state <-
-          A.init ~n:s.cfg.n ~t:s.cfg.t ~me:p.pid ~proposal:s.cfg.proposals.(i);
-        p.status <- Running;
-        p.inbox.len <- 0;
-        p.sync_len <- 0)
-      s.procs
+    for i = 0 to s.n - 1 do
+      s.states.(i) <- init_state s.cfg i;
+      s.status.(i) <- st_running;
+      s.data_len.(i) <- 0;
+      s.crash_round.(i) <- 0
+    done;
+    Array.fill s.sync_words 0 (Array.length s.sync_words) 0;
+    Array.fill s.dirty_flag 0 s.n 0;
+    s.dirty_count <- 0;
+    s.ncrash <- 0;
+    s.crash_cursor <- 0;
+    Schedule.iter
+      (fun pid (ev : Crash.event) ->
+        let i = Pid.to_int pid - 1 in
+        s.crash_round.(i) <- ev.round;
+        s.crash_point.(i) <- ev.point;
+        if s.track_dirty then begin
+          (* Stable insertion by round: [Schedule.iter] ascends by pid, so
+             same-round crashers keep pid order, matching the full path's
+             send-phase scan. *)
+          let j = ref s.ncrash in
+          while !j > 0 && s.crash_by_round.(!j - 1) > ev.round do
+            s.crash_by_round.(!j) <- s.crash_by_round.(!j - 1);
+            s.crash_by_idx.(!j) <- s.crash_by_idx.(!j - 1);
+            decr j
+          done;
+          s.crash_by_round.(!j) <- ev.round;
+          s.crash_by_idx.(!j) <- i;
+          s.ncrash <- s.ncrash + 1
+        end)
+      schedule
 
   let exec s schedule =
     let cfg = s.cfg in
-    (match Schedule.validate ~model:A.model ~n:cfg.n ~t:cfg.t schedule with
-    | Ok () -> ()
-    | Error msg -> raise (Model_violation msg));
-    reset s;
-    let procs = s.procs in
-    let proc pid = procs.(Pid.to_int pid - 1) in
-    (* Wire accounting is part of the run's semantics (Theorem 2) and is
-       accumulated unconditionally; everything else is observable only
-       through the instrument.  [record_trace] is itself a trace sink
-       composed in front of the caller's instrument. *)
+    if schedule != s.validated then begin
+      (match Schedule.validate ~model:A.model ~n:cfg.n ~t:cfg.t schedule with
+      | Ok () -> ()
+      | Error msg -> raise (Model_violation msg));
+      s.validated <- schedule
+    end;
+    let n = s.n in
     let counters = s.counters in
     let trace_sink = if cfg.record_trace then Some (Obs.Trace_sink.create ()) else None in
     let inst =
@@ -174,160 +229,293 @@ module Make (A : Algorithm_intf.S) = struct
     (* The null instrument costs nothing: every emission below is guarded by
        [observing], so the un-observed hot path allocates no events. *)
     let observing = not (Obs.Instrument.is_null inst) in
+    (* Quiet-round fast path: a [Coordinator_rounds] algorithm lets each
+       round touch only its coordinator, its crashers, and the inboxes that
+       actually received something.  Observed runs take the full path — the
+       fast path reorders events {e within} a round (crashers before the
+       coordinator, receives in delivery order), which is invisible in the
+       observable result but not in a trace. *)
+    let fast =
+      (match A.quiescence with
+      | Algorithm_intf.Coordinator_rounds -> true
+      | Algorithm_intf.Chatty -> false)
+      && not observing
+    in
+    s.track_dirty <- fast;
+    reset s schedule;
     let emit ev = Obs.Instrument.emit inst ev in
     let post_decision_crashes = ref Pid.Set.empty in
-    let deliver_data ~round ~from (dest, msg) =
-      let bits = A.msg_bits ~value_bits:cfg.value_bits msg in
-      Obs.Counters.record_data counters ~bits;
+    let classic =
+      match A.model with Model_kind.Classic -> true | Model_kind.Extended -> false
+    in
+    let value_bits = cfg.value_bits in
+    (* Hot-loop array aliases: these arrays are never replaced (only the data
+       arena can move, on grow), so hoisting them saves a record load per
+       access.  [Array.unsafe_*] below is justified because every index is in
+       range by construction: [i < n] from the loops and the explicit
+       [dest <= n] guards, [o < n * cap] from the grow-on-full check, and
+       [w < n * swpp] from [dest <= n] and [b < n <= swpp * bits_per_word]. *)
+    let status = s.status and states = s.states and data_len = s.data_len in
+    let sync_words = s.sync_words and swpp = s.swpp in
+    let crash_round = s.crash_round and st_round = s.st_round in
+    let dirty_flag = s.dirty_flag and dirty_idx = s.dirty_idx in
+    let mark_dirty i =
+      if s.track_dirty && Array.unsafe_get dirty_flag i = 0 then begin
+        Array.unsafe_set dirty_flag i 1;
+        Array.unsafe_set dirty_idx s.dirty_count i;
+        s.dirty_count <- s.dirty_count + 1
+      end
+    in
+    (* Delivery closures, installed once per run.  Channels are reliable: a
+       delivered message always reaches the destination's buffers; a crashed
+       or decided destination simply never processes them. *)
+    let on_data dest msg =
+      if dest > n then
+        invalid_arg (A.name ^ ": data message addressed outside 1..n");
+      if s.data_all || Pid.Set.mem (Pid.of_int dest) s.survivors then begin
+        let bits = A.msg_bits ~value_bits msg in
+        Obs.Counters.record_data counters ~bits;
+        if observing then
+          emit
+            (Obs.Event.Data_sent
+               {
+                 round = s.cur_round;
+                 from = Pid.of_int s.cur_from;
+                 dest = Pid.of_int dest;
+                 bits;
+                 payload = lazy (Format.asprintf "%a" A.pp_msg msg);
+               });
+        let i = dest - 1 in
+        mark_dirty i;
+        let len = Array.unsafe_get data_len i in
+        if len >= s.cap then grow s msg;
+        let o = (i * s.cap) + len in
+        Array.unsafe_set s.data_from o s.cur_from;
+        Array.unsafe_set s.data_msg o msg;
+        Array.unsafe_set data_len i (len + 1)
+      end
+    in
+    let on_sync dest =
+      if classic then
+        raise
+          (Model_violation
+             (A.name ^ " emits control messages under the classic model"));
+      if dest > n then
+        invalid_arg (A.name ^ ": control message addressed outside 1..n");
+      if s.sync_left > 0 then begin
+        s.sync_left <- s.sync_left - 1;
+        Obs.Counters.record_sync counters;
+        if observing then
+          emit
+            (Obs.Event.Sync_sent
+               {
+                 round = s.cur_round;
+                 from = Pid.of_int s.cur_from;
+                 dest = Pid.of_int dest;
+               });
+        mark_dirty (dest - 1);
+        let b = s.cur_from - 1 in
+        (* All senders fit one word up to n = bits_per_word: skip the
+           division on that fast path. *)
+        let w =
+          if b < bits_per_word then (dest - 1) * swpp
+          else ((dest - 1) * swpp) + (b / bits_per_word)
+        and bit =
+          if b < bits_per_word then 1 lsl b else 1 lsl (b mod bits_per_word)
+        in
+        Array.unsafe_set sync_words w (Array.unsafe_get sync_words w lor bit)
+      end
+    in
+    Emitter.install s.emitter ~on_data ~on_sync;
+    (* One recursive closure per run, not one per round: a warm round must
+       not allocate. *)
+    let rec some_running i =
+      i < n && (Array.unsafe_get status i = st_running || some_running (i + 1))
+    in
+    (* Crash a live process at round [r]: serve its (possibly truncated)
+       sends under the crash-point's delivery filters, then record the
+       death.  [st] is its status on round entry. *)
+    let crash_proc i st r =
+      s.cur_from <- i + 1;
+      (match s.crash_point.(i) with
+      | Crash.Before_send -> ()
+      | Crash.During_data survivors ->
+        s.data_all <- false;
+        s.survivors <- survivors;
+        s.sync_left <- 0;
+        A.send (Array.unsafe_get states i) ~round:r s.emitter;
+        s.data_all <- true
+      | Crash.After_data prefix ->
+        s.data_all <- true;
+        s.sync_left <- prefix;
+        A.send (Array.unsafe_get states i) ~round:r s.emitter
+      | Crash.After_send ->
+        s.data_all <- true;
+        s.sync_left <- max_int;
+        A.send (Array.unsafe_get states i) ~round:r s.emitter);
+      if st = st_announced then begin
+        (* The decision already happened; the crash only ends the
+           process's participation. *)
+        post_decision_crashes :=
+          Pid.Set.add (Pid.of_int (i + 1)) !post_decision_crashes;
+        Array.unsafe_set status i st_halted
+      end
+      else begin
+        Array.unsafe_set status i st_dead;
+        Array.unsafe_set st_round i r
+      end;
       if observing then
         emit
-          (Obs.Event.Data_sent
-             {
-               round;
-               from;
-               dest;
-               bits;
-               payload = lazy (Format.asprintf "%a" A.pp_msg msg);
-             });
-      let q = proc dest in
-      (* Channels are reliable: the message always reaches the destination;
-         a crashed or decided destination simply never processes it. *)
-      push_data q.inbox ~from:(Pid.to_int from) msg
+          (Obs.Event.Crashed
+             { round = r; pid = Pid.of_int (i + 1); point = s.crash_point.(i) })
     in
-    let deliver_sync ~round ~from dest =
-      Obs.Counters.record_sync counters;
-      if observing then emit (Obs.Event.Sync_sent { round; from; dest });
-      push_sync (proc dest) ~from:(Pid.to_int from)
+    (* One live process's receive + compute + decision bookkeeping for round
+       [r].  Reads the arena through [s] — it may have moved since the last
+       round's reads — but [Round_view.set_arrays] is still done once per
+       round by the callers, not here. *)
+    let receive_one i st r =
+      let len = Array.unsafe_get data_len i in
+      let off = i * s.cap in
+      let swoff = i * swpp in
+      if len > 1 then sort_segment s.data_from s.data_msg off len;
+      Round_view.set_segment s.view ~off ~len ~swoff ~swlen:swpp;
+      let state = Array.unsafe_get states i in
+      let state' = A.receive state ~round:r s.view in
+      (* Steady-state processes return their state unchanged; the guard
+         skips the write barrier on that path. *)
+      if state' != state then Array.unsafe_set states i state';
+      Array.unsafe_set data_len i 0;
+      for w = swoff to swoff + swpp - 1 do
+        Array.unsafe_set sync_words w 0
+      done;
+      if Round_view.decided s.view && st = st_running then begin
+        let value = Round_view.decision s.view in
+        (match A.decision_mode with
+        | `Halt -> Array.unsafe_set status i st_halted
+        | `Announce -> Array.unsafe_set status i st_announced);
+        s.st_value.(i) <- value;
+        Array.unsafe_set st_round i r;
+        if observing then
+          emit (Obs.Event.Decided { round = r; pid = Pid.of_int (i + 1); value })
+      end
     in
-    let some_running () =
-      Array.exists (fun p -> p.status = Running) procs
+    let clear_inbox i =
+      Array.unsafe_set data_len i 0;
+      let swoff = i * swpp in
+      for w = swoff to swoff + swpp - 1 do
+        Array.unsafe_set sync_words w 0
+      done
     in
     let round = ref 0 in
-    while some_running () && !round < cfg.max_rounds do
+    while some_running 0 && !round < cfg.max_rounds do
       incr round;
       let r = !round in
       if observing then emit (Obs.Event.Round_begin { round = r });
-      (* Send phase: processes emit in pid order (the order is irrelevant to
-         the semantics — all round-r messages are received in round r — but
-         it keeps traces deterministic). *)
-      Array.iter
-        (fun p ->
-          match p.status with
-          | Halted _ | Dead _ -> ()
-          | Running | Announced _ ->
-            let planned_data = A.data_sends p.state ~round:r in
-            let planned_sync = A.sync_sends p.state ~round:r in
-            (match (A.model, planned_sync) with
-            | Model_kind.Classic, _ :: _ ->
-              raise
-                (Model_violation
-                   (A.name ^ " emits control messages under the classic model"))
-            | (Model_kind.Classic | Model_kind.Extended), _ -> ());
-            let crash_now =
-              match Schedule.find schedule p.pid with
-              | Some ev when ev.Crash.round = r -> Some ev.Crash.point
-              | Some _ | None -> None
-            in
-            (match crash_now with
-            | None ->
-              List.iter (deliver_data ~round:r ~from:p.pid) planned_data;
-              List.iter (deliver_sync ~round:r ~from:p.pid) planned_sync
-            | Some Crash.Before_send -> ()
-            | Some (Crash.During_data survivors) ->
-              List.iter
-                (fun (dest, msg) ->
-                  if Pid.Set.mem dest survivors then
-                    deliver_data ~round:r ~from:p.pid (dest, msg))
-                planned_data
-            | Some (Crash.After_data prefix) ->
-              List.iter (deliver_data ~round:r ~from:p.pid) planned_data;
-              List.iteri
-                (fun i dest ->
-                  if i < prefix then deliver_sync ~round:r ~from:p.pid dest)
-                planned_sync
-            | Some Crash.After_send ->
-              List.iter (deliver_data ~round:r ~from:p.pid) planned_data;
-              List.iter (deliver_sync ~round:r ~from:p.pid) planned_sync);
-            (match crash_now with
-            | None -> ()
-            | Some point ->
-              (match p.status with
-              | Announced { value; at_round } ->
-                (* The decision already happened; the crash only ends the
-                   process's participation. *)
-                post_decision_crashes := Pid.Set.add p.pid !post_decision_crashes;
-                p.status <- Halted { value; at_round }
-              | Running | Halted _ | Dead _ ->
-                p.status <- Dead { at_round = r });
-              if observing then
-                emit (Obs.Event.Crashed { round = r; pid = p.pid; point })))
-        procs;
-      (* Receive + compute phase: only processes that are still running (in
-         particular, not crashed this round) process their round-r inbox. *)
-      Array.iter
-        (fun p ->
-          match p.status with
-          | Halted _ | Dead _ ->
-            (* Messages to dead or decided processes are simply discarded. *)
-            p.inbox.len <- 0;
-            p.sync_len <- 0
-          | Announced _ ->
-            sort_data p.inbox;
-            sort_syncs p;
-            let data = data_list p.inbox and syncs = sync_list p in
-            p.inbox.len <- 0;
-            p.sync_len <- 0;
-            (* Still participating: evolve the state, but the decision is
-               already fixed. *)
-            let state, _ = A.compute p.state ~round:r ~data ~syncs in
-            p.state <- state
-          | Running ->
-            sort_data p.inbox;
-            sort_syncs p;
-            let data = data_list p.inbox and syncs = sync_list p in
-            p.inbox.len <- 0;
-            p.sync_len <- 0;
-            let state, decision = A.compute p.state ~round:r ~data ~syncs in
-            p.state <- state;
-            (match decision with
-            | None -> ()
-            | Some value ->
-              (match A.decision_mode with
-              | `Halt -> p.status <- Halted { value; at_round = r }
-              | `Announce -> p.status <- Announced { value; at_round = r });
-              if observing then
-                emit (Obs.Event.Decided { round = r; pid = p.pid; value })))
-        procs
+      s.cur_round <- r;
+      if fast then begin
+        (* Send phase, quiet rounds skipped: only this round's crashers and
+           its coordinator can emit or change status. *)
+        while
+          s.crash_cursor < s.ncrash
+          && Array.unsafe_get s.crash_by_round s.crash_cursor = r
+        do
+          let i = Array.unsafe_get s.crash_by_idx s.crash_cursor in
+          s.crash_cursor <- s.crash_cursor + 1;
+          let st = Array.unsafe_get status i in
+          if st = st_running || st = st_announced then crash_proc i st r
+        done;
+        (if r <= n then
+           let i = r - 1 in
+           let st = Array.unsafe_get status i in
+           if
+             (st = st_running || st = st_announced)
+             && Array.unsafe_get crash_round i <> r
+           then begin
+             s.cur_from <- r;
+             s.data_all <- true;
+             s.sync_left <- max_int;
+             A.send (Array.unsafe_get states i) ~round:r s.emitter
+           end);
+        (* Receive phase: the dirty inboxes, plus the coordinator even on an
+           empty inbox (its own round is the one round where quiescence
+           promises nothing).  Everyone else provably no-ops. *)
+        Round_view.set_arrays s.view ~from:s.data_from ~msgs:s.data_msg
+          ~sync_words;
+        let coord_live =
+          r <= n
+          &&
+          let st = Array.unsafe_get status (r - 1) in
+          st = st_running || st = st_announced
+        in
+        let coord_dirty =
+          r <= n && Array.unsafe_get dirty_flag (r - 1) = 1
+        in
+        for k = 0 to s.dirty_count - 1 do
+          let i = Array.unsafe_get dirty_idx k in
+          Array.unsafe_set dirty_flag i 0;
+          let st = Array.unsafe_get status i in
+          if st = st_halted || st = st_dead then clear_inbox i
+          else receive_one i st r
+        done;
+        s.dirty_count <- 0;
+        if coord_live && not coord_dirty then
+          receive_one (r - 1) (Array.unsafe_get status (r - 1)) r
+      end
+      else begin
+        (* Send phase: processes emit in pid order (the order is irrelevant
+           to the semantics — all round-r messages are received in round r —
+           but it keeps traces deterministic). *)
+        for i = 0 to n - 1 do
+          let st = Array.unsafe_get status i in
+          if st = st_running || st = st_announced then
+            if Array.unsafe_get crash_round i <> r then begin
+              s.cur_from <- i + 1;
+              s.data_all <- true;
+              s.sync_left <- max_int;
+              A.send (Array.unsafe_get states i) ~round:r s.emitter
+            end
+            else crash_proc i st r
+        done;
+        (* Receive + compute phase: only processes that are still running
+           (in particular, not crashed this round) process their round-r
+           buffers; messages to dead or decided processes are discarded.
+           The arena can only move during the send phase just above, so the
+           view's array pointers are refreshed once per round. *)
+        Round_view.set_arrays s.view ~from:s.data_from ~msgs:s.data_msg
+          ~sync_words;
+        for i = 0 to n - 1 do
+          let st = Array.unsafe_get status i in
+          if st = st_halted || st = st_dead then clear_inbox i
+          else receive_one i st r
+        done
+      end
     done;
     (* A truncated run (horizon hit with processes still undecided) is
        diagnosed structurally, never silently. *)
     if observing then begin
-      let undecided =
-        Array.to_list procs
-        |> List.filter_map (fun p ->
-               match p.status with
-               | Running -> Some p.pid
-               | Halted _ | Announced _ | Dead _ -> None)
-      in
-      if undecided <> [] then
+      let undecided = ref [] in
+      for i = n - 1 downto 0 do
+        if s.status.(i) = st_running then
+          undecided := Pid.of_int (i + 1) :: !undecided
+      done;
+      if !undecided <> [] then
         emit
           (Obs.Event.Round_limit
-             { round = !round; max_rounds = cfg.max_rounds; undecided })
+             { round = !round; max_rounds = cfg.max_rounds; undecided = !undecided });
+      emit (Obs.Event.Run_end { rounds = !round })
     end;
-    if observing then emit (Obs.Event.Run_end { rounds = !round });
     {
       Run_result.n = cfg.n;
       t = cfg.t;
       proposals = Array.copy cfg.proposals;
       statuses =
-        Array.map
-          (fun p ->
-            match p.status with
-            | Running -> Run_result.Undecided
-            | Halted { value; at_round } | Announced { value; at_round } ->
-              Run_result.Decided { value; at_round }
-            | Dead { at_round } -> Run_result.Crashed { at_round })
-          procs;
+        Array.init n (fun i ->
+            if s.status.(i) = st_running then Run_result.Undecided
+            else if s.status.(i) = st_dead then
+              Run_result.Crashed { at_round = s.st_round.(i) }
+            else
+              Run_result.Decided
+                { value = s.st_value.(i); at_round = s.st_round.(i) });
       rounds_executed = !round;
       data_msgs = counters.Obs.Counters.data_msgs;
       data_bits = counters.Obs.Counters.data_bits;
@@ -346,3 +534,8 @@ module Make (A : Algorithm_intf.S) = struct
     let s = scratch_of_config cfg in
     fun schedule -> exec s schedule
 end
+
+(* The legacy list-API entry point: every existing [Engine.Make (A)] call
+   site now runs on the flat core through the thin adapter, paying only the
+   per-round lists the old engine built anyway. *)
+module Make (A : Algorithm_intf.S) = Make_flat (Algorithm_intf.Of_list (A))

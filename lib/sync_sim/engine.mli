@@ -1,4 +1,4 @@
-(** The round-based synchronous executor.
+(** The round-based synchronous executor, flat-memory core.
 
     Implements the lockstep semantics of Section 2.1 for both models:
     - every message sent in round [r] to a live-enough destination is
@@ -13,6 +13,25 @@
     Bit accounting follows Theorem 2: a data message costs
     [msg_bits ~value_bits], a control message costs one bit; only messages
     actually put on the wire are counted.
+
+    Memory layout (DESIGN.md §13): all per-round receive state lives in
+    preallocated flat buffers — one data arena (parallel sender/payload
+    arrays with a fixed-size segment per process), one word bitmap for the
+    control receive-sets, and struct-of-arrays process bookkeeping.  A
+    steady-state round allocates nothing; algorithms implementing
+    {!Algorithm_intf.FLAT} run zero-copy through {!Make_flat}, while the
+    legacy list API runs unchanged through {!Make} (a thin adapter over the
+    same core).  The previous engine generation is preserved verbatim as
+    {!Engine_reference} and pinned byte-identical by the golden differential
+    suite.
+
+    Quiet-round fast path: an algorithm declaring
+    {!Algorithm_intf.Coordinator_rounds} quiescence lets unobserved runs
+    touch, per round, only the round's coordinator, the processes crashing
+    that round and the inboxes that received something; the observable
+    result is unchanged (the byte-identity suite covers this path), but
+    traced or instrumented runs always take the full per-process scan so
+    event order inside a round stays the historical one.
 
     Observability: the engine emits every run event ({!Obs.Event.t}) through
     the configured {!Obs.Instrument.t}.  With the null instrument the hot
@@ -63,20 +82,31 @@ exception Model_violation of string
     when the schedule contains a crash point invalid for the algorithm's
     model. *)
 
-module Make (A : Algorithm_intf.S) : sig
+module Make_flat (A : Algorithm_intf.FLAT) : sig
   val run : config -> Run_result.t
   (** Execute one run to completion (all processes decided or crashed) or to
       [max_rounds]. *)
 
   val runner : config -> Schedule.t -> Run_result.t
-  (** [runner cfg] preallocates the run scratch (process array, inbox
-      buffers, wire counters) once and returns a closure executing one run
-      per given schedule against it.  [cfg.schedule] is ignored — each call
-      validates and runs the schedule it is passed.  Results are identical
-      to [run { cfg with schedule }]; the point is the sweep hot path: a
-      reused runner performs no per-run allocation beyond the result record
-      and the per-round receive lists, which is what makes exhaustive
-      model checking over millions of schedules feasible.  The closure owns
-      mutable scratch and is {e not} thread-safe: create one runner per
-      domain. *)
+  (** [runner cfg] preallocates the run scratch (state/status arrays, the
+      data arena, the control bitmap, the flattened crash plan, wire
+      counters) once and returns a closure executing one run per given
+      schedule against it.  [cfg.schedule] is ignored — each call validates
+      and runs the schedule it is passed.  Results are identical to
+      [run { cfg with schedule }]; the point is the sweep hot path: a warm
+      runner round performs {e zero} minor-heap allocation for an algorithm
+      whose [send]/[receive] are themselves allocation-free (pinned by the
+      Gc-counter test), which is what makes exhaustive model checking over
+      millions of schedules and single runs at [n >= 1024] feasible.  The
+      closure owns mutable scratch and is {e not} thread-safe: create one
+      runner per domain. *)
 end
+
+module Make (A : Algorithm_intf.S) : sig
+  val run : config -> Run_result.t
+  val runner : config -> Schedule.t -> Run_result.t
+end
+(** Legacy list-API entry point: [Make (A)] is [Make_flat] over the
+    {!Algorithm_intf.Of_list} adapter.  Per round it allocates exactly the
+    receive lists the previous engine built anyway; results are
+    byte-identical. *)

@@ -1,0 +1,307 @@
+open Model
+
+(* The previous engine generation (growable per-process inboxes, list-based
+   receive API), preserved verbatim as a differential reference for the flat
+   core in [Engine].  Nothing here is a hot path: it exists so the golden
+   byte-identity suite and the minimizer's oracle can cross-check every run
+   of the flat engine against an independent implementation of the same
+   semantics.  Do not "optimize" this module — its value is that it does not
+   share buffers, layout or bugs with [Engine.Make_flat]. *)
+
+(* Internal per-process run status. *)
+type proc_status =
+  | Running
+  | Halted of { value : int; at_round : int }
+  | Announced of { value : int; at_round : int }
+      (* decided but still participating (`Announce decision mode) *)
+  | Dead of { at_round : int }
+
+module Make (A : Algorithm_intf.S) = struct
+  type inbox = {
+    mutable from : int array;
+    mutable msg : A.msg array;
+    mutable len : int;
+  }
+
+  type proc = {
+    pid : Pid.t;
+    mutable state : A.state;
+    mutable status : proc_status;
+    inbox : inbox;
+    mutable sync_from : int array;
+    mutable sync_len : int;
+  }
+
+  let push_data b ~from msg =
+    let cap = Array.length b.msg in
+    if b.len = cap then begin
+      let ncap = max 8 (2 * cap) in
+      let nf = Array.make ncap from and nm = Array.make ncap msg in
+      Array.blit b.from 0 nf 0 b.len;
+      Array.blit b.msg 0 nm 0 b.len;
+      b.from <- nf;
+      b.msg <- nm
+    end;
+    b.from.(b.len) <- from;
+    b.msg.(b.len) <- msg;
+    b.len <- b.len + 1
+
+  let push_sync p ~from =
+    let cap = Array.length p.sync_from in
+    if p.sync_len = cap then begin
+      let nf = Array.make (max 8 (2 * cap)) from in
+      Array.blit p.sync_from 0 nf 0 p.sync_len;
+      p.sync_from <- nf
+    end;
+    p.sync_from.(p.sync_len) <- from;
+    p.sync_len <- p.sync_len + 1
+
+  (* In-place insertion sort by sender pid; ties keep the later arrival
+     first, matching the original cons-list representation. *)
+  let sort_data b =
+    for i = 1 to b.len - 1 do
+      let f = b.from.(i) and m = b.msg.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && b.from.(!j) >= f do
+        b.from.(!j + 1) <- b.from.(!j);
+        b.msg.(!j + 1) <- b.msg.(!j);
+        decr j
+      done;
+      b.from.(!j + 1) <- f;
+      b.msg.(!j + 1) <- m
+    done
+
+  let sort_syncs p =
+    for i = 1 to p.sync_len - 1 do
+      let f = p.sync_from.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && p.sync_from.(!j) >= f do
+        p.sync_from.(!j + 1) <- p.sync_from.(!j);
+        decr j
+      done;
+      p.sync_from.(!j + 1) <- f
+    done
+
+  let data_list b =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) ((Pid.of_int b.from.(i), b.msg.(i)) :: acc)
+    in
+    go (b.len - 1) []
+
+  let sync_list p =
+    let rec go i acc =
+      if i < 0 then acc else go (i - 1) (Pid.of_int p.sync_from.(i) :: acc)
+    in
+    go (p.sync_len - 1) []
+
+  type scratch = {
+    cfg : Engine.config;
+    procs : proc array;
+    counters : Obs.Counters.t;
+  }
+
+  let scratch_of_config (cfg : Engine.config) =
+    {
+      cfg;
+      procs =
+        Array.init cfg.n (fun i ->
+            let pid = Pid.of_int (i + 1) in
+            {
+              pid;
+              state =
+                A.init ~n:cfg.n ~t:cfg.t ~me:pid ~proposal:cfg.proposals.(i);
+              status = Running;
+              inbox = { from = [||]; msg = [||]; len = 0 };
+              sync_from = [||];
+              sync_len = 0;
+            });
+      counters = Obs.Counters.create ();
+    }
+
+  let reset s =
+    Obs.Counters.reset s.counters;
+    Array.iteri
+      (fun i p ->
+        p.state <-
+          A.init ~n:s.cfg.n ~t:s.cfg.t ~me:p.pid ~proposal:s.cfg.proposals.(i);
+        p.status <- Running;
+        p.inbox.len <- 0;
+        p.sync_len <- 0)
+      s.procs
+
+  let exec s schedule =
+    let cfg = s.cfg in
+    (match Schedule.validate ~model:A.model ~n:cfg.n ~t:cfg.t schedule with
+    | Ok () -> ()
+    | Error msg -> raise (Engine.Model_violation msg));
+    reset s;
+    let procs = s.procs in
+    let proc pid = procs.(Pid.to_int pid - 1) in
+    let counters = s.counters in
+    let trace_sink = if cfg.record_trace then Some (Obs.Trace_sink.create ()) else None in
+    let inst =
+      match trace_sink with
+      | None -> cfg.instrument
+      | Some ts ->
+        Obs.Instrument.compose (Obs.Trace_sink.instrument ts) cfg.instrument
+    in
+    let observing = not (Obs.Instrument.is_null inst) in
+    let emit ev = Obs.Instrument.emit inst ev in
+    let post_decision_crashes = ref Pid.Set.empty in
+    let deliver_data ~round ~from (dest, msg) =
+      let bits = A.msg_bits ~value_bits:cfg.value_bits msg in
+      Obs.Counters.record_data counters ~bits;
+      if observing then
+        emit
+          (Obs.Event.Data_sent
+             {
+               round;
+               from;
+               dest;
+               bits;
+               payload = lazy (Format.asprintf "%a" A.pp_msg msg);
+             });
+      let q = proc dest in
+      push_data q.inbox ~from:(Pid.to_int from) msg
+    in
+    let deliver_sync ~round ~from dest =
+      Obs.Counters.record_sync counters;
+      if observing then emit (Obs.Event.Sync_sent { round; from; dest });
+      push_sync (proc dest) ~from:(Pid.to_int from)
+    in
+    let some_running () =
+      Array.exists (fun p -> p.status = Running) procs
+    in
+    let round = ref 0 in
+    while some_running () && !round < cfg.max_rounds do
+      incr round;
+      let r = !round in
+      if observing then emit (Obs.Event.Round_begin { round = r });
+      Array.iter
+        (fun p ->
+          match p.status with
+          | Halted _ | Dead _ -> ()
+          | Running | Announced _ ->
+            let planned_data = A.data_sends p.state ~round:r in
+            let planned_sync = A.sync_sends p.state ~round:r in
+            (match (A.model, planned_sync) with
+            | Model_kind.Classic, _ :: _ ->
+              raise
+                (Engine.Model_violation
+                   (A.name ^ " emits control messages under the classic model"))
+            | (Model_kind.Classic | Model_kind.Extended), _ -> ());
+            let crash_now =
+              match Schedule.find schedule p.pid with
+              | Some ev when ev.Crash.round = r -> Some ev.Crash.point
+              | Some _ | None -> None
+            in
+            (match crash_now with
+            | None ->
+              List.iter (deliver_data ~round:r ~from:p.pid) planned_data;
+              List.iter (deliver_sync ~round:r ~from:p.pid) planned_sync
+            | Some Crash.Before_send -> ()
+            | Some (Crash.During_data survivors) ->
+              List.iter
+                (fun (dest, msg) ->
+                  if Pid.Set.mem dest survivors then
+                    deliver_data ~round:r ~from:p.pid (dest, msg))
+                planned_data
+            | Some (Crash.After_data prefix) ->
+              List.iter (deliver_data ~round:r ~from:p.pid) planned_data;
+              List.iteri
+                (fun i dest ->
+                  if i < prefix then deliver_sync ~round:r ~from:p.pid dest)
+                planned_sync
+            | Some Crash.After_send ->
+              List.iter (deliver_data ~round:r ~from:p.pid) planned_data;
+              List.iter (deliver_sync ~round:r ~from:p.pid) planned_sync);
+            (match crash_now with
+            | None -> ()
+            | Some point ->
+              (match p.status with
+              | Announced { value; at_round } ->
+                post_decision_crashes := Pid.Set.add p.pid !post_decision_crashes;
+                p.status <- Halted { value; at_round }
+              | Running | Halted _ | Dead _ ->
+                p.status <- Dead { at_round = r });
+              if observing then
+                emit (Obs.Event.Crashed { round = r; pid = p.pid; point })))
+        procs;
+      Array.iter
+        (fun p ->
+          match p.status with
+          | Halted _ | Dead _ ->
+            p.inbox.len <- 0;
+            p.sync_len <- 0
+          | Announced _ ->
+            sort_data p.inbox;
+            sort_syncs p;
+            let data = data_list p.inbox and syncs = sync_list p in
+            p.inbox.len <- 0;
+            p.sync_len <- 0;
+            let state, _ = A.compute p.state ~round:r ~data ~syncs in
+            p.state <- state
+          | Running ->
+            sort_data p.inbox;
+            sort_syncs p;
+            let data = data_list p.inbox and syncs = sync_list p in
+            p.inbox.len <- 0;
+            p.sync_len <- 0;
+            let state, decision = A.compute p.state ~round:r ~data ~syncs in
+            p.state <- state;
+            (match decision with
+            | None -> ()
+            | Some value ->
+              (match A.decision_mode with
+              | `Halt -> p.status <- Halted { value; at_round = r }
+              | `Announce -> p.status <- Announced { value; at_round = r });
+              if observing then
+                emit (Obs.Event.Decided { round = r; pid = p.pid; value })))
+        procs
+    done;
+    if observing then begin
+      let undecided =
+        Array.to_list procs
+        |> List.filter_map (fun p ->
+               match p.status with
+               | Running -> Some p.pid
+               | Halted _ | Announced _ | Dead _ -> None)
+      in
+      if undecided <> [] then
+        emit
+          (Obs.Event.Round_limit
+             { round = !round; max_rounds = cfg.max_rounds; undecided })
+    end;
+    if observing then emit (Obs.Event.Run_end { rounds = !round });
+    {
+      Run_result.n = cfg.n;
+      t = cfg.t;
+      proposals = Array.copy cfg.proposals;
+      statuses =
+        Array.map
+          (fun p ->
+            match p.status with
+            | Running -> Run_result.Undecided
+            | Halted { value; at_round } | Announced { value; at_round } ->
+              Run_result.Decided { value; at_round }
+            | Dead { at_round } -> Run_result.Crashed { at_round })
+          procs;
+      rounds_executed = !round;
+      data_msgs = counters.Obs.Counters.data_msgs;
+      data_bits = counters.Obs.Counters.data_bits;
+      sync_msgs = counters.Obs.Counters.sync_msgs;
+      sync_bits = counters.Obs.Counters.sync_bits;
+      post_decision_crashes = !post_decision_crashes;
+      trace =
+        (match trace_sink with
+        | None -> []
+        | Some ts -> List.filter_map Trace.of_obs (Obs.Trace_sink.events ts));
+    }
+
+  let run (cfg : Engine.config) = exec (scratch_of_config cfg) cfg.schedule
+
+  let runner cfg =
+    let s = scratch_of_config cfg in
+    fun schedule -> exec s schedule
+end

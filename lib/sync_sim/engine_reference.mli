@@ -1,0 +1,18 @@
+(** The previous engine generation (PR 4: growable per-process inboxes,
+    list receive API), preserved verbatim as a {e differential reference}
+    for the flat core in {!Engine}.
+
+    Same semantics, independent implementation: no buffer, layout or code is
+    shared with {!Engine.Make_flat} beyond the config record and the
+    {!Engine.Model_violation} exception.  The golden byte-identity suite
+    ([test/test_flat.ml]) pins {!Run_result.equal_observable} equality
+    between the two engines across the whole algorithm registry and the
+    canonical schedule sweeps; the minimizer's oracle runs it as an extra
+    lane.  Not a hot path — use {!Engine} everywhere else. *)
+
+open Model
+
+module Make (A : Algorithm_intf.S) : sig
+  val run : Engine.config -> Run_result.t
+  val runner : Engine.config -> Schedule.t -> Run_result.t
+end

@@ -1,0 +1,141 @@
+open Model
+
+(* A window into the engine's flat round buffers: the data messages land in
+   one arena ([from]/[msgs], segment [off .. off+len-1], sorted by sender
+   before the view is handed out) and the control receive-set is a word
+   bitmap slice ([sync_words], [swlen] words starting at [swoff], bit
+   [sender-1] set iff a control message from that sender arrived).
+
+   One view record per run scratch: the engine repoints it at each process's
+   segment in turn, so the receive phase allocates nothing.  The view is
+   valid only for the duration of the [receive] call it is passed to —
+   algorithms must not retain it. *)
+
+let bits_per_word = Sys.int_size
+
+type 'msg t = {
+  mutable from : int array;
+  mutable msgs : 'msg array;
+  mutable off : int;
+  mutable len : int;
+  mutable sync_words : int array;
+  mutable swoff : int;
+  mutable swlen : int;
+  mutable decided : bool;
+  mutable decision : int;
+}
+
+let create () =
+  {
+    from = [||];
+    msgs = [||];
+    off = 0;
+    len = 0;
+    sync_words = [||];
+    swoff = 0;
+    swlen = 0;
+    decided = false;
+    decision = 0;
+  }
+
+(* Engine-side repointing is split in two so the per-process step writes
+   only immediate fields: [set_arrays] installs the backing arrays (once per
+   round — the data arena can move when it grows; the physical-equality
+   guards skip the caml_modify write barrier when it has not), while
+   [set_segment] selects one process's window with integer stores only. *)
+let set_arrays v ~from ~msgs ~sync_words =
+  if v.from != from then v.from <- from;
+  if v.msgs != msgs then v.msgs <- msgs;
+  if v.sync_words != sync_words then v.sync_words <- sync_words
+
+let set_segment v ~off ~len ~swoff ~swlen =
+  v.off <- off;
+  v.len <- len;
+  v.swoff <- swoff;
+  v.swlen <- swlen;
+  v.decided <- false;
+  v.decision <- 0
+
+(* --- Decisions ------------------------------------------------------------ *)
+
+let decide v value =
+  v.decided <- true;
+  v.decision <- value
+
+let decided v = v.decided
+let decision v = v.decision
+
+(* --- Data messages, in increasing sender order ---------------------------- *)
+
+let data_count v = v.len
+
+let check v k who =
+  if k < 0 || k >= v.len then
+    invalid_arg (Printf.sprintf "Round_view.%s: index %d out of 0..%d" who k (v.len - 1))
+
+let data_sender v k =
+  check v k "data_sender";
+  Pid.of_int v.from.(v.off + k)
+
+let data_payload v k =
+  check v k "data_payload";
+  v.msgs.(v.off + k)
+
+let iter_data f v =
+  for k = 0 to v.len - 1 do
+    f (Pid.of_int v.from.(v.off + k)) v.msgs.(v.off + k)
+  done
+
+let fold_data f init v =
+  let acc = ref init in
+  for k = 0 to v.len - 1 do
+    acc := f !acc (Pid.of_int v.from.(v.off + k)) v.msgs.(v.off + k)
+  done;
+  !acc
+
+let data_list v =
+  let rec go k acc =
+    if k < 0 then acc
+    else go (k - 1) ((Pid.of_int v.from.(v.off + k), v.msgs.(v.off + k)) :: acc)
+  in
+  go (v.len - 1) []
+
+(* --- Control receive-set (bitset over senders) ---------------------------- *)
+
+let has_sync v pid =
+  let b = Pid.to_int pid - 1 in
+  (* Senders fit one word for n <= 63: skip the general division. *)
+  if b < bits_per_word then
+    0 < v.swlen && v.sync_words.(v.swoff) land (1 lsl b) <> 0
+  else
+    let w = b / bits_per_word in
+    w < v.swlen
+    && v.sync_words.(v.swoff + w) land (1 lsl (b mod bits_per_word)) <> 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let sync_count v =
+  let c = ref 0 in
+  for w = 0 to v.swlen - 1 do
+    c := !c + popcount v.sync_words.(v.swoff + w)
+  done;
+  !c
+
+let iter_syncs f v =
+  for w = 0 to v.swlen - 1 do
+    let x = ref v.sync_words.(v.swoff + w) in
+    while !x <> 0 do
+      let bit = !x land - !x in
+      f (Pid.of_int ((w * bits_per_word) + popcount (bit - 1) + 1));
+      x := !x land (!x - 1)
+    done
+  done
+
+let fold_syncs f init v =
+  let acc = ref init in
+  iter_syncs (fun pid -> acc := f !acc pid) v;
+  !acc
+
+let sync_list v = List.rev (fold_syncs (fun acc p -> p :: acc) [] v)

@@ -1,0 +1,76 @@
+(** The receive half of the zero-copy algorithm API.
+
+    A ['msg t] is a read-only window into the engine's flat round buffers:
+    the data messages received this round (sorted by increasing sender, ties
+    in reverse arrival order — the historical list-API order) and the
+    control receive-set as a word bitmap over senders.  Reading through the
+    indexed accessors or the iterators allocates nothing beyond what the
+    caller's closures do.
+
+    The view is valid only during the [receive] call it is passed to: the
+    engine repoints one view record at every process's buffers in turn, so
+    retaining it observes another process's round.
+
+    A decision is signalled through {!decide} instead of an [int option]
+    return — the flat hot path constructs no options. *)
+
+open Model
+
+type 'msg t
+
+(** {1 Data messages} *)
+
+val data_count : _ t -> int
+
+val data_sender : _ t -> int -> Pid.t
+(** [data_sender v k] is the sender of the [k]-th message, [0 <= k <
+    data_count v]; senders are non-decreasing in [k].  Raises
+    [Invalid_argument] out of range. *)
+
+val data_payload : 'msg t -> int -> 'msg
+
+val iter_data : (Pid.t -> 'msg -> unit) -> 'msg t -> unit
+val fold_data : ('a -> Pid.t -> 'msg -> 'a) -> 'a -> 'msg t -> 'a
+
+val data_list : 'msg t -> (Pid.t * 'msg) list
+(** The legacy list-API receive list, materialized.  Allocates; the thin
+    adapter over {!Algorithm_intf.S} is its only hot-path caller. *)
+
+(** {1 Control receive-set} *)
+
+val has_sync : _ t -> Pid.t -> bool
+(** One word load and an AND. *)
+
+val sync_count : _ t -> int
+val iter_syncs : (Pid.t -> unit) -> _ t -> unit
+val fold_syncs : ('a -> Pid.t -> 'a) -> 'a -> _ t -> 'a
+
+val sync_list : _ t -> Pid.t list
+(** Senders in increasing order, materialized (legacy adapter). *)
+
+(** {1 Deciding} *)
+
+val decide : _ t -> int -> unit
+(** Record this round's decision; the last call in a [receive] wins.  The
+    engine resets the flag before every [receive]. *)
+
+val decided : _ t -> bool
+(** Whether {!decide} was called since the engine handed the view out —
+    wrappers such as [Truncated] use it to add fallback decisions. *)
+
+val decision : _ t -> int
+
+(**/**)
+
+(* Engine-side: not for algorithms. *)
+
+val create : unit -> 'msg t
+
+val set_arrays :
+  'msg t -> from:int array -> msgs:'msg array -> sync_words:int array -> unit
+(** Install the backing arrays (pointer writes, guarded by physical
+    equality).  Call whenever the arena may have moved. *)
+
+val set_segment : _ t -> off:int -> len:int -> swoff:int -> swlen:int -> unit
+(** Select one process's window and reset the decision flag — immediate
+    (integer) stores only, no write barrier. *)
