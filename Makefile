@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench check shrink-smoke live-smoke experiments examples clean
+.PHONY: all build test bench check shrink-smoke live-smoke dist-smoke experiments examples clean
 
 all: build
 
@@ -34,6 +34,23 @@ live-smoke:
 	dune exec bin/main.exe -- live --n 5 --f 2 --transport loopback --dir _live/loopback
 	dune exec bin/main.exe -- live --n 4 --f 1 --dir _live/sockets
 	dune exec bin/main.exe -- live --n 5 --f 2 --dir _live/acceptance
+
+# Distributed-checker smoke: a coordinator and two forked workers over a
+# unix socket, one worker killed mid-sweep by script (the lease re-grants
+# and the sweep still finds every class), then a checkpointed n=5 sweep
+# whose completed checkpoint resumes without re-executing anything.
+dist-smoke:
+	dune exec bin/main.exe -- check -a rwwc -n 4 --max-f 2 \
+	  --serve unix:/tmp/sync-agreement-dist-smoke.sock --spawn 2 --shards 16 \
+	  --kill-one-after 40 --lease-timeout 1
+	rm -f /tmp/sync-agreement-dist-smoke.ckpt.json
+	dune exec bin/main.exe -- check -a rwwc -n 5 --max-f 3 \
+	  --serve unix:/tmp/sync-agreement-dist-smoke.sock --spawn 2 --shards 24 \
+	  --checkpoint /tmp/sync-agreement-dist-smoke.ckpt.json --lease-timeout 1
+	dune exec bin/main.exe -- check -a rwwc -n 5 --max-f 3 \
+	  --serve unix:/tmp/sync-agreement-dist-smoke.sock --shards 24 \
+	  --checkpoint /tmp/sync-agreement-dist-smoke.ckpt.json
+	rm -f /tmp/sync-agreement-dist-smoke.ckpt.json
 
 experiments:
 	dune exec bin/main.exe -- experiments

@@ -334,6 +334,80 @@ let flat_kernel ~n ~f =
 let bench_flat_n256 = flat_kernel ~n:256 ~f:64
 let bench_flat_n1024 = flat_kernel ~n:1024 ~f:256
 
+(* Dist kernels: the serialization spine of the coordinator/worker path.
+   The protocol kernel is a full [Result] message round trip — JSON encode,
+   frame, CRC, incremental decode, JSON parse — the per-shard wire cost a
+   distributed sweep pays over an in-process one; the checkpoint kernel is
+   one save/load cycle of a 24-shard checkpoint through the fsync'd
+   atomic-rename path, the durability cost of acknowledging one shard. *)
+
+let dist_result_msg =
+  let violation =
+    {
+      Dist.Protocol.schedule = silent ~n:4 ~f:1;
+      property = "uniform-agreement";
+      detail = "bench fixture";
+    }
+  in
+  Dist.Protocol.Result
+    {
+      Dist.Protocol.shard = 7;
+      classes = 263;
+      violations = [ violation; violation; violation ];
+      violations_total = 3;
+      worker = "bench";
+    }
+
+let bench_dist_protocol () =
+  let json = Dist.Protocol.msg_to_json dist_result_msg in
+  let body = Obs.Json.to_string json in
+  let bytes = Live.Frame.encode (Live.Frame.Data { round = 0; payload = body }) in
+  let decoder = Live.Frame.decoder () in
+  Live.Frame.feed_string decoder bytes;
+  match Live.Frame.pop decoder with
+  | `Frame (Live.Frame.Data { payload; _ }) -> (
+    match Obs.Json.of_string payload with
+    | Error why -> failwith why
+    | Ok j -> (
+      match Dist.Protocol.msg_of_json j with
+      | Ok _ -> ()
+      | Error why -> failwith why))
+  | _ -> failwith "bench_dist_protocol: frame did not round-trip"
+
+let dist_checkpoint_file =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "sync-agreement-bench-ckpt-%d.json" (Unix.getpid ()))
+
+let dist_checkpoint =
+  let shard_result shard =
+    {
+      Dist.Protocol.shard;
+      classes = 252;
+      violations = [];
+      violations_total = 0;
+      worker = "bench";
+    }
+  in
+  {
+    Dist.Checkpoint.job =
+      {
+        Dist.Protocol.algo = "rwwc";
+        n = 5;
+        max_f = 3;
+        max_round = 3;
+        shards = 24;
+        symmetry = true;
+        heartbeat_every = 0.25;
+      };
+    results = List.init 24 shard_result;
+  }
+
+let bench_dist_checkpoint () =
+  Dist.Checkpoint.save ~file:dist_checkpoint_file dist_checkpoint;
+  match Dist.Checkpoint.load dist_checkpoint_file with
+  | Ok _ -> ()
+  | Error why -> failwith why
+
 let kernels =
   [
     ("table-F1/rwwc-traced-n8-f3", bench_f1);
@@ -367,6 +441,8 @@ let kernels =
     ("minimize/oracle-rwwc-n4", bench_oracle);
     ("engine/heap-1k-push-pop", bench_heap);
     ("live/rwwc-n5-loopback", bench_live_loopback);
+    ("dist/result-msg-roundtrip", bench_dist_protocol);
+    ("dist/checkpoint-save-load", bench_dist_checkpoint);
   ]
 
 (* Statistical quality floor: every reported estimate must come from at

@@ -325,6 +325,142 @@ let check_registry algo ~n ~max_f ~max_round =
     print_shrink_outcome ~property outcome);
   if violations = [] then 0 else 1
 
+(* --- distributed check ----------------------------------------------------- *)
+
+(* `check --serve` / `check --worker`: the same canonical sweep as the
+   in-process check, sharded over worker processes (local or remote) with
+   leases, checkpoints and resume — lib/dist does the heavy lifting, this
+   is argument plumbing and reporting. *)
+
+let parse_dist_addr s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S: expected unix:PATH or tcp:PORT" s)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" when rest <> "" -> Ok (Unix.ADDR_UNIX rest)
+    | "tcp" -> (
+      match int_of_string_opt rest with
+      | Some port when port > 0 && port < 65536 ->
+        Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+      | Some _ | None -> Error (Printf.sprintf "bad port in %S" s))
+    | _ -> Error (Printf.sprintf "bad address %S: expected unix:PATH or tcp:PORT" s))
+
+let print_dist_violations (report : Dist.Coordinator.report) =
+  let shown, hidden =
+    match report.Dist.Coordinator.violations with
+    | a :: b :: c :: d :: e :: rest -> ([ a; b; c; d; e ], List.length rest)
+    | vs -> (vs, 0)
+  in
+  List.iter
+    (fun (v : Dist.Protocol.violation) ->
+      Format.printf "VIOLATION on %s@.  [FAIL] %s: %s@."
+        (Schedule.to_string v.Dist.Protocol.schedule)
+        v.Dist.Protocol.property v.Dist.Protocol.detail)
+    shown;
+  let unreported =
+    report.Dist.Coordinator.violations_total
+    - List.length report.Dist.Coordinator.violations
+  in
+  if hidden + unreported > 0 then
+    Format.printf "... and %d more violations@." (hidden + unreported)
+
+let dist_serve ~algo_str ~n ~max_f ~max_round ~symmetry ~shards ~lease_timeout
+    ~checkpoint ~report_file ~spawn ~kill_one_after ~verbose addr_str =
+  match parse_dist_addr addr_str with
+  | Error why ->
+    Format.eprintf "%s@." why;
+    2
+  | Ok addr -> (
+    match Minimize.Algo.find algo_str with
+    | Error why ->
+      Format.eprintf "%s@." why;
+      2
+    | Ok _ ->
+      let job =
+        {
+          Dist.Protocol.algo = algo_str;
+          n;
+          max_f;
+          max_round;
+          shards;
+          symmetry;
+          heartbeat_every = Float.max 0.1 (lease_timeout /. 4.0);
+        }
+      in
+      let started = Unix.gettimeofday () in
+      let outcome =
+        if spawn > 0 then
+          match
+            Dist.Fleet.run_local ~lease_timeout ?checkpoint ~verbose
+              ?kill_one_after ~workers:spawn ~addr job
+          with
+          | Error why -> Error why
+          | Ok o ->
+            Ok
+              ( o.Dist.Fleet.report,
+                o.Dist.Fleet.worker_failures,
+                o.Dist.Fleet.chaos_deaths )
+        else
+          match
+            Dist.Coordinator.serve
+              (Dist.Coordinator.config ~lease_timeout ?checkpoint ~verbose
+                 ~addr job)
+          with
+          | Error why -> Error why
+          | Ok report -> Ok (report, 0, 0)
+      in
+      let elapsed = Unix.gettimeofday () -. started in
+      (match outcome with
+      | Error why ->
+        Format.eprintf "serve: %s@." why;
+        2
+      | Ok (report, worker_failures, chaos_deaths) ->
+        print_dist_violations report;
+        Format.printf
+          "distributed: %d shards (%d executed, %d resumed, %d regrants, %d \
+           duplicate results)@."
+          report.Dist.Coordinator.shards_total
+          (List.length report.Dist.Coordinator.executed)
+          (List.length report.Dist.Coordinator.resumed)
+          report.Dist.Coordinator.regrants report.Dist.Coordinator.duplicates;
+        if chaos_deaths > 0 then
+          Format.printf "chaos: absorbed %d scripted worker death%s@."
+            chaos_deaths
+            (if chaos_deaths = 1 then "" else "s");
+        Format.printf "checked %d schedules in %.3fs, %d violations@."
+          report.Dist.Coordinator.classes elapsed
+          report.Dist.Coordinator.violations_total;
+        (match report_file with
+        | None -> ()
+        | Some file ->
+          Obs.Json.save_atomic ~file (Dist.Coordinator.report_to_json report);
+          Format.printf "wrote %s@." file);
+        if worker_failures > 0 then begin
+          Format.eprintf "%d worker(s) failed unscripted@." worker_failures;
+          2
+        end
+        else if report.Dist.Coordinator.violations_total > 0 then 1
+        else 0))
+
+let dist_worker ~patience ~die_after ~die_on_grant ~verbose addr_str =
+  match parse_dist_addr addr_str with
+  | Error why ->
+    Format.eprintf "%s@." why;
+    2
+  | Ok addr -> (
+    let chaos =
+      { Dist.Worker.die_on_grant; die_after_schedules = die_after }
+    in
+    match Dist.Worker.run ~patience ~chaos ~verbose ~addr () with
+    | Ok shards ->
+      Format.printf "worker done: %d shards completed@." shards;
+      0
+    | Error why ->
+      Format.eprintf "worker: %s@." why;
+      3)
+
 let check_cmd =
   let algo =
     Arg.(value & opt string "rwwc"
@@ -349,7 +485,91 @@ let check_cmd =
              ~doc:"Sweep the full schedule space instead of one representative \
                    per symmetry class.")
   in
-  let go algo_str n max_f max_round domains no_symmetry =
+  let serve =
+    Arg.(value & opt (some string) None
+         & info [ "serve" ] ~docv:"ADDR"
+             ~doc:"Coordinate a distributed sweep on $(docv) (unix:PATH or \
+                   tcp:PORT), sharding the enumeration over connecting \
+                   workers with leases and a durable checkpoint.")
+  in
+  let worker =
+    Arg.(value & opt (some string) None
+         & info [ "worker" ] ~docv:"ADDR"
+             ~doc:"Run as a sweep worker against the coordinator at $(docv).")
+  in
+  let shards =
+    Arg.(value & opt int 64
+         & info [ "shards" ] ~doc:"Residue-class shards for --serve.")
+  in
+  let lease_timeout =
+    Arg.(value & opt float 5.0
+         & info [ "lease-timeout" ]
+             ~doc:"Seconds of worker silence before a leased shard is \
+                   revoked and re-granted (--serve).")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Durable sweep checkpoint: written after every accepted \
+                   shard, loaded on restart so finished shards never re-run \
+                   (--serve).")
+  in
+  let report_file =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Also write the final report (classes, violations, shard \
+                   accounting) as JSON to $(docv) (--serve).")
+  in
+  let spawn =
+    Arg.(value & opt int 0
+         & info [ "spawn" ]
+             ~doc:"With --serve: also fork $(docv) local worker processes.")
+  in
+  let kill_one_after =
+    Arg.(value & opt (some int) None
+         & info [ "kill-one-after" ] ~docv:"K"
+             ~doc:"Chaos (with --serve --spawn): the first spawned worker \
+                   dies mid-shard after checking $(docv) schedules; the \
+                   fleet must absorb it.")
+  in
+  let die_after =
+    Arg.(value & opt (some int) None
+         & info [ "die-after" ] ~docv:"K"
+             ~doc:"Chaos (with --worker): _exit mid-shard after checking \
+                   $(docv) schedules.")
+  in
+  let die_on_grant =
+    Arg.(value & opt (some int) None
+         & info [ "die-on-grant" ] ~docv:"K"
+             ~doc:"Chaos (with --worker): _exit upon receiving the $(docv)-th \
+                   lease, without returning its result.")
+  in
+  let patience =
+    Arg.(value & opt float 30.0
+         & info [ "patience" ]
+             ~doc:"Worker reconnect budget per disconnected spell, in \
+                   seconds (--worker).")
+  in
+  let dist_verbose =
+    Arg.(value & flag
+         & info [ "dist-verbose" ]
+             ~doc:"Log coordinator/worker protocol events to stderr.")
+  in
+  let rec go algo_str n max_f max_round domains no_symmetry serve worker shards
+      lease_timeout checkpoint report_file spawn kill_one_after die_after
+      die_on_grant patience dist_verbose =
+    match (serve, worker) with
+    | Some _, Some _ ->
+      Format.eprintf "check: --serve and --worker are mutually exclusive@.";
+      2
+    | None, Some addr ->
+      dist_worker ~patience ~die_after ~die_on_grant ~verbose:dist_verbose addr
+    | Some addr, None ->
+      dist_serve ~algo_str ~n ~max_f ~max_round ~symmetry:(not no_symmetry)
+        ~shards ~lease_timeout ~checkpoint ~report_file ~spawn ~kill_one_after
+        ~verbose:dist_verbose addr
+    | None, None -> go_local algo_str n max_f max_round domains no_symmetry
+  and go_local algo_str n max_f max_round domains no_symmetry =
     let builtin =
       List.assoc_opt algo_str
         [
@@ -461,7 +681,10 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Exhaustively model-check an algorithm over every crash schedule.")
-    Term.(const go $ algo $ n $ max_f $ max_round $ domains $ no_symmetry)
+    Term.(
+      const go $ algo $ n $ max_f $ max_round $ domains $ no_symmetry $ serve
+      $ worker $ shards $ lease_timeout $ checkpoint $ report_file $ spawn
+      $ kill_one_after $ die_after $ die_on_grant $ patience $ dist_verbose)
 
 (* --- experiments ---------------------------------------------------------- *)
 

@@ -1,0 +1,107 @@
+module J = Obs.Json
+
+type t = { job : Protocol.job; results : Protocol.shard_result list }
+
+let version = 1
+
+let to_json c =
+  J.Obj
+    [
+      ("version", J.Int version);
+      ("job", Protocol.job_to_json c.job);
+      ( "results",
+        J.List
+          (List.map Protocol.shard_result_to_json
+             (List.sort
+                (fun a b ->
+                  compare a.Protocol.shard b.Protocol.shard)
+                c.results)) );
+    ]
+
+let save ~file c = J.save_atomic ~file (to_json c)
+
+let ( let* ) = Result.bind
+
+let of_json json =
+  let* v =
+    match J.member "version" json with
+    | Some (J.Int v) -> Ok v
+    | Some _ -> Error "version: expected an integer"
+    | None -> Error "missing field \"version\""
+  in
+  if v <> version then
+    Error (Printf.sprintf "unsupported checkpoint version %d (expected %d)" v version)
+  else
+    let* job =
+      match J.member "job" json with
+      | Some j -> Protocol.job_of_json j
+      | None -> Error "missing field \"job\""
+    in
+    let* results =
+      match J.member "results" json with
+      | Some (J.List rs) ->
+        List.fold_left
+          (fun acc r ->
+            let* acc = acc in
+            let* r = Protocol.shard_result_of_json r in
+            Ok (r :: acc))
+          (Ok []) rs
+      | Some _ -> Error "results: expected a list"
+      | None -> Error "missing field \"results\""
+    in
+    (* Reject results that cannot belong to this job: a mangled checkpoint
+       must fail to load, not silently mark ghost shards finished. *)
+    let bad =
+      List.find_opt
+        (fun r -> r.Protocol.shard < 0 || r.Protocol.shard >= job.Protocol.shards)
+        results
+    in
+    match bad with
+    | Some r -> Error (Printf.sprintf "results: shard %d out of range" r.Protocol.shard)
+    | None ->
+      let seen = Hashtbl.create 16 in
+      let dup =
+        List.find_opt
+          (fun r ->
+            if Hashtbl.mem seen r.Protocol.shard then true
+            else begin
+              Hashtbl.add seen r.Protocol.shard ();
+              false
+            end)
+          results
+      in
+      (match dup with
+      | Some r -> Error (Printf.sprintf "results: duplicate shard %d" r.Protocol.shard)
+      | None ->
+        Ok
+          {
+            job;
+            results =
+              List.sort
+                (fun a b -> compare a.Protocol.shard b.Protocol.shard)
+                results;
+          })
+
+let load file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error why -> Error (file ^ ": " ^ why)
+  | contents -> (
+    match J.of_string_located contents with
+    | Error (off, reason) ->
+      Error (Printf.sprintf "%s: byte %d: JSON parse error: %s" file off reason)
+    | Ok json -> (
+      match of_json json with
+      | Ok c -> Ok c
+      | Error reason -> Error (file ^ ": " ^ reason)
+      | exception e ->
+        Error (file ^ ": malformed checkpoint: " ^ Printexc.to_string e)))
+
+let load_if_exists file =
+  if Sys.file_exists file then
+    match load file with Ok c -> Ok (Some c) | Error e -> Error e
+  else Ok None

@@ -1,0 +1,28 @@
+(** Durable sweep checkpoints: what lets a SIGKILL'd coordinator resume.
+
+    The checkpoint is one JSON document holding the job spec and every
+    accepted shard result, rewritten through {!Obs.Json.save_atomic} (tmp
+    write, fsync, atomic rename) after each accepted result — so at any
+    kill point the file on disk is a complete, loadable prefix of the
+    sweep.  On restart the coordinator {!load}s it, verifies the job spec
+    matches (resuming a checkpoint into a different sweep is refused, not
+    silently mixed), and only grants the shards that are not already
+    recorded.
+
+    Like {!Minimize.Repro.load}, {!load} never raises: truncated files,
+    byte-flipped JSON and schema-valid-but-meaningless documents all come
+    back as a structured [Error]. *)
+
+type t = {
+  job : Protocol.job;
+  results : Protocol.shard_result list;  (** ascending shard order *)
+}
+
+val save : file:string -> t -> unit
+
+val load : string -> (t, string) result
+(** [Error] for unreadable files, corrupt JSON (with byte offset) and
+    undecodable documents alike. *)
+
+val load_if_exists : string -> (t option, string) result
+(** [Ok None] when the file does not exist — a fresh sweep, not an error. *)

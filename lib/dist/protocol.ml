@@ -1,0 +1,309 @@
+open Model
+module J = Obs.Json
+
+type job = {
+  algo : string;
+  n : int;
+  max_f : int;
+  max_round : int;
+  shards : int;
+  symmetry : bool;
+  heartbeat_every : float;
+}
+
+let job_equal a b =
+  String.equal a.algo b.algo && a.n = b.n && a.max_f = b.max_f
+  && a.max_round = b.max_round && a.shards = b.shards
+  && a.symmetry = b.symmetry
+
+let pp_job ppf j =
+  Format.fprintf ppf "%s n=%d max_f=%d max_round=%d shards=%d%s" j.algo j.n
+    j.max_f j.max_round j.shards
+    (if j.symmetry then "" else " (no symmetry)")
+
+type violation = { schedule : Schedule.t; property : string; detail : string }
+
+type shard_result = {
+  shard : int;
+  classes : int;
+  violations : violation list;
+  violations_total : int;
+  worker : string;
+}
+
+type msg =
+  | Hello of { worker : string }
+  | Job of job
+  | Request
+  | Grant of { shard : int }
+  | Wait of { delay : float }
+  | Heartbeat of { shard : int; checked : int }
+  | Result of shard_result
+  | Ack of { shard : int }
+  | Done
+
+let pp_msg ppf = function
+  | Hello { worker } -> Format.fprintf ppf "hello(%s)" worker
+  | Job j -> Format.fprintf ppf "job(%a)" pp_job j
+  | Request -> Format.pp_print_string ppf "request"
+  | Grant { shard } -> Format.fprintf ppf "grant(%d)" shard
+  | Wait { delay } -> Format.fprintf ppf "wait(%.2fs)" delay
+  | Heartbeat { shard; checked } ->
+    Format.fprintf ppf "heartbeat(%d, %d checked)" shard checked
+  | Result r ->
+    Format.fprintf ppf "result(%d, %d classes, %d violations)" r.shard
+      r.classes r.violations_total
+  | Ack { shard } -> Format.fprintf ppf "ack(%d)" shard
+  | Done -> Format.pp_print_string ppf "done"
+
+(* --- Codec ----------------------------------------------------------------- *)
+
+let job_to_json j =
+  J.Obj
+    [
+      ("algo", J.String j.algo);
+      ("n", J.Int j.n);
+      ("max_f", J.Int j.max_f);
+      ("max_round", J.Int j.max_round);
+      ("shards", J.Int j.shards);
+      ("symmetry", J.Bool j.symmetry);
+      ("heartbeat_every", J.Float j.heartbeat_every);
+    ]
+
+let violation_to_json v =
+  J.Obj
+    [
+      ("schedule", Minimize.Repro.schedule_to_json v.schedule);
+      ("property", J.String v.property);
+      ("detail", J.String v.detail);
+    ]
+
+let shard_result_to_json r =
+  J.Obj
+    [
+      ("shard", J.Int r.shard);
+      ("classes", J.Int r.classes);
+      ("violations", J.List (List.map violation_to_json r.violations));
+      ("violations_total", J.Int r.violations_total);
+      ("worker", J.String r.worker);
+    ]
+
+let msg_to_json = function
+  | Hello { worker } ->
+    J.Obj [ ("type", J.String "hello"); ("worker", J.String worker) ]
+  | Job j -> J.Obj [ ("type", J.String "job"); ("job", job_to_json j) ]
+  | Request -> J.Obj [ ("type", J.String "request") ]
+  | Grant { shard } -> J.Obj [ ("type", J.String "grant"); ("shard", J.Int shard) ]
+  | Wait { delay } -> J.Obj [ ("type", J.String "wait"); ("delay", J.Float delay) ]
+  | Heartbeat { shard; checked } ->
+    J.Obj
+      [
+        ("type", J.String "heartbeat");
+        ("shard", J.Int shard);
+        ("checked", J.Int checked);
+      ]
+  | Result r -> J.Obj [ ("type", J.String "result"); ("result", shard_result_to_json r) ]
+  | Ack { shard } -> J.Obj [ ("type", J.String "ack"); ("shard", J.Int shard) ]
+  | Done -> J.Obj [ ("type", J.String "done") ]
+
+let ( let* ) = Result.bind
+
+let field what key json =
+  match J.member key json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" what key)
+
+let as_int what = function
+  | J.Int i -> Ok i
+  | _ -> Error (what ^ ": expected an integer")
+
+let as_float what = function
+  | J.Float f -> Ok f
+  | J.Int i -> Ok (float_of_int i)
+  | _ -> Error (what ^ ": expected a number")
+
+let as_string what = function
+  | J.String s -> Ok s
+  | _ -> Error (what ^ ": expected a string")
+
+let as_bool what = function
+  | J.Bool b -> Ok b
+  | _ -> Error (what ^ ": expected a boolean")
+
+let as_list what = function
+  | J.List xs -> Ok xs
+  | _ -> Error (what ^ ": expected a list")
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let job_of_json json =
+  let* algo = field "job" "algo" json in
+  let* algo = as_string "job.algo" algo in
+  let* n = field "job" "n" json in
+  let* n = as_int "job.n" n in
+  let* max_f = field "job" "max_f" json in
+  let* max_f = as_int "job.max_f" max_f in
+  let* max_round = field "job" "max_round" json in
+  let* max_round = as_int "job.max_round" max_round in
+  let* shards = field "job" "shards" json in
+  let* shards = as_int "job.shards" shards in
+  let* symmetry = field "job" "symmetry" json in
+  let* symmetry = as_bool "job.symmetry" symmetry in
+  let* hb = field "job" "heartbeat_every" json in
+  let* heartbeat_every = as_float "job.heartbeat_every" hb in
+  if n < 1 || shards < 1 || max_f < 0 || max_round < 1 then
+    Error "job: out-of-range parameters"
+  else Ok { algo; n; max_f; max_round; shards; symmetry; heartbeat_every }
+
+let violation_of_json json =
+  let* schedule = field "violation" "schedule" json in
+  let* schedule = Minimize.Repro.schedule_of_json schedule in
+  let* property = field "violation" "property" json in
+  let* property = as_string "violation.property" property in
+  let* detail = field "violation" "detail" json in
+  let* detail = as_string "violation.detail" detail in
+  Ok { schedule; property; detail }
+
+let shard_result_of_json json =
+  let* shard = field "result" "shard" json in
+  let* shard = as_int "result.shard" shard in
+  let* classes = field "result" "classes" json in
+  let* classes = as_int "result.classes" classes in
+  let* violations = field "result" "violations" json in
+  let* violations = as_list "result.violations" violations in
+  let* violations = map_result violation_of_json violations in
+  let* total = field "result" "violations_total" json in
+  let* violations_total = as_int "result.violations_total" total in
+  let* worker = field "result" "worker" json in
+  let* worker = as_string "result.worker" worker in
+  if shard < 0 || classes < 0 || violations_total < List.length violations then
+    Error "result: inconsistent counts"
+  else Ok { shard; classes; violations; violations_total; worker }
+
+let msg_of_json json =
+  let* ty = field "msg" "type" json in
+  let* ty = as_string "msg.type" ty in
+  match ty with
+  | "hello" ->
+    let* worker = field "hello" "worker" json in
+    let* worker = as_string "hello.worker" worker in
+    Ok (Hello { worker })
+  | "job" ->
+    let* j = field "job" "job" json in
+    let* j = job_of_json j in
+    Ok (Job j)
+  | "request" -> Ok Request
+  | "grant" ->
+    let* shard = field "grant" "shard" json in
+    let* shard = as_int "grant.shard" shard in
+    Ok (Grant { shard })
+  | "wait" ->
+    let* delay = field "wait" "delay" json in
+    let* delay = as_float "wait.delay" delay in
+    Ok (Wait { delay })
+  | "heartbeat" ->
+    let* shard = field "heartbeat" "shard" json in
+    let* shard = as_int "heartbeat.shard" shard in
+    let* checked = field "heartbeat" "checked" json in
+    let* checked = as_int "heartbeat.checked" checked in
+    Ok (Heartbeat { shard; checked })
+  | "result" ->
+    let* r = field "result" "result" json in
+    let* r = shard_result_of_json r in
+    Ok (Result r)
+  | "ack" ->
+    let* shard = field "ack" "shard" json in
+    let* shard = as_int "ack.shard" shard in
+    Ok (Ack { shard })
+  | "done" -> Ok Done
+  | ty -> Error (Printf.sprintf "msg.type: unknown type %S" ty)
+
+(* Leave generous headroom under Frame.max_body for the envelope and the
+   result fields around the violation list. *)
+let cap_violations vs =
+  let budget = Live.Frame.max_body - 4096 in
+  let rec take acc used = function
+    | [] -> List.rev acc
+    | v :: rest ->
+      let sz = String.length (J.to_string (violation_to_json v)) + 1 in
+      if used + sz > budget then List.rev acc
+      else take (v :: acc) (used + sz) rest
+  in
+  take [] 0 vs
+
+(* --- Framed transport ------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Live.Frame.decoder;
+  buf : Bytes.t;
+}
+
+let conn fd = { fd; decoder = Live.Frame.decoder (); buf = Bytes.create 65536 }
+
+let fd c = c.fd
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_deadline = 5.0
+
+let send c msg =
+  let payload = J.to_string (msg_to_json msg) in
+  let bytes = Live.Frame.encode (Live.Frame.Data { round = 0; payload }) in
+  match
+    Live.Sockets.write_all ~deadline:(Live.Sockets.now () +. send_deadline) c.fd
+      bytes
+  with
+  | Ok () -> Ok ()
+  | Error e -> Error (Live.Sockets.error_to_string e)
+
+let decode_payload payload =
+  match J.of_string payload with
+  | Error why -> Error ("bad message JSON: " ^ why)
+  | Ok json -> msg_of_json json
+
+let read_available c =
+  match Live.Sockets.read_chunk c.fd c.buf with
+  | `Data k ->
+    Live.Frame.feed c.decoder (Bytes.unsafe_to_string c.buf) ~pos:0 ~len:k;
+    `Ready
+  | `Nothing -> `Ready
+  | `Closed -> `Closed "peer closed"
+
+let rec pop c =
+  match Live.Frame.pop c.decoder with
+  | `Corrupt why -> `Closed ("corrupt stream: " ^ why)
+  | `Frame (Live.Frame.Data { payload; _ }) -> (
+    match decode_payload payload with
+    | Ok msg -> `Msg msg
+    | Error why -> `Closed why)
+  | `Frame (Live.Frame.Hello _ | Live.Frame.Ctl _) ->
+    (* Not part of this protocol; skip rather than kill the stream. *)
+    pop c
+  | `Need_more -> `None
+
+let recv ~deadline c =
+  let rec next () =
+    match pop c with
+    | (`Msg _ | `Closed _) as out -> out
+    | `None ->
+      let dt = deadline -. Live.Sockets.now () in
+      if dt <= 0.0 then `Timeout
+      else begin
+        match Unix.select [ c.fd ] [] [] dt with
+        | [], _, _ -> next ()
+        | _ :: _, _, _ -> (
+          match read_available c with
+          | `Ready -> next ()
+          | `Closed why -> `Closed why)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+        | exception Unix.Unix_error (errno, _, _) ->
+          `Closed ("select: " ^ Unix.error_message errno)
+      end
+  in
+  next ()

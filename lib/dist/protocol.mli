@@ -1,0 +1,103 @@
+(** The coordinator/worker wire protocol of the distributed model checker.
+
+    One sweep is described by a {!job}; the coordinator shards its canonical
+    enumeration with {!Adversary.Enumerate.shard} and hands out shard indices
+    under leases, and workers stream back one {!shard_result} per finished
+    shard.  Every message is a single JSON document ({!Obs.Json}, no external
+    dependency) carried as the payload of a [Frame.Data] frame with round 0 —
+    the exact length-prefixed CRC-checked framing of the live node mesh, so
+    a killed worker's truncated tail is detected by the frame decoder, not
+    by a parser reading garbage.
+
+    The message grammar is deliberately idempotent where failures bite:
+    [Result] is deduplicated by shard id on the coordinator (first writer
+    wins, later copies are acknowledged but dropped), so a worker may replay
+    its unacknowledged results after any reconnect without double counting. *)
+
+open Model
+
+type job = {
+  algo : string;  (** a {!Minimize.Algo} registry name *)
+  n : int;
+  max_f : int;
+  max_round : int;
+  shards : int;  (** residue classes the enumeration is sliced into *)
+  symmetry : bool;  (** sweep canonical representatives, not the raw space *)
+  heartbeat_every : float;
+      (** seconds between worker heartbeats while a shard is running *)
+}
+
+val job_equal : job -> job -> bool
+val pp_job : Format.formatter -> job -> unit
+
+type violation = {
+  schedule : Schedule.t;
+  property : string;  (** the first failing uniform-consensus check *)
+  detail : string;
+}
+
+type shard_result = {
+  shard : int;
+  classes : int;  (** schedules (symmetry classes) checked in this shard *)
+  violations : violation list;
+      (** capped to fit one frame; see {!cap_violations} *)
+  violations_total : int;  (** uncapped count *)
+  worker : string;  (** who computed it (diagnostic only) *)
+}
+
+type msg =
+  | Hello of { worker : string }  (** worker -> coordinator, once per connect *)
+  | Job of job  (** coordinator's reply to [Hello] *)
+  | Request  (** worker asks for a shard lease *)
+  | Grant of { shard : int }
+  | Wait of { delay : float }
+      (** nothing grantable right now (all leased); retry after [delay] *)
+  | Heartbeat of { shard : int; checked : int }
+      (** lease keep-alive with progress, sent while a shard runs *)
+  | Result of shard_result
+  | Ack of { shard : int }  (** coordinator accepted (or deduplicated) it *)
+  | Done  (** sweep complete; the worker should exit *)
+
+val pp_msg : Format.formatter -> msg -> unit
+
+(** {1 Codec} *)
+
+val msg_to_json : msg -> Obs.Json.t
+val msg_of_json : Obs.Json.t -> (msg, string) result
+
+val shard_result_to_json : shard_result -> Obs.Json.t
+val shard_result_of_json : Obs.Json.t -> (shard_result, string) result
+
+val job_to_json : job -> Obs.Json.t
+val job_of_json : Obs.Json.t -> (job, string) result
+
+val cap_violations : violation list -> violation list
+(** Longest prefix whose encoding keeps a [Result] frame under
+    [Frame.max_body]; [violations_total] preserves the true count. *)
+
+(** {1 Framed transport} *)
+
+type conn
+(** One framed JSON message stream over a socket (fd + incremental frame
+    decoder).  The fd is expected to be nonblocking. *)
+
+val conn : Unix.file_descr -> conn
+val fd : conn -> Unix.file_descr
+val close : conn -> unit
+
+val send : conn -> msg -> (unit, string) result
+(** Encode, frame and write the whole message (bounded internal deadline);
+    any failure means the connection is unusable. *)
+
+val recv : deadline:float -> conn -> [ `Msg of msg | `Timeout | `Closed of string ]
+(** Next complete message, waiting until [deadline].  [`Closed] covers EOF,
+    frame corruption and undecodable payloads alike — all are fatal to the
+    connection, never to the process. *)
+
+val read_available : conn -> [ `Ready | `Closed of string ]
+(** Nonblocking pull of whatever bytes the socket holds into the decoder —
+    the select-loop half of {!recv}: call when the fd polls readable, then
+    drain with {!pop}. *)
+
+val pop : conn -> [ `Msg of msg | `None | `Closed of string ]
+(** Next already-buffered message, never touching the socket. *)

@@ -1,0 +1,5 @@
+(** EXP-DIST — distributed sweeps equal single-machine sweeps, survive
+    scripted worker kills, and resume from a checkpoint after a coordinator
+    SIGKILL without re-executing finished shards. *)
+
+val experiment : Experiment.t

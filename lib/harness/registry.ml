@@ -19,6 +19,7 @@ let all =
     Exp_mc.experiment;
     Exp_diff.experiment;
     Exp_live.experiment;
+    Exp_dist.experiment;
   ]
 
 let find id =

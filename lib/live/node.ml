@@ -80,23 +80,30 @@ module Make (A : Binding.ALGO) = struct
      one dialer, so the handshake cannot deadlock. *)
   let establish cfg peers =
     let deadline = Sockets.now () +. handshake_timeout in
-    let lfd = Sockets.listen (Sockets.addr_of ~transport:cfg.transport cfg.me) in
+    let lfd =
+      match Sockets.listen (Sockets.addr_of ~transport:cfg.transport cfg.me) with
+      | Ok fd -> fd
+      | Error e -> failwith ("listen: " ^ Sockets.error_to_string e)
+    in
     let hello = Frame.encode (Frame.Hello { node = cfg.me }) in
     for p = cfg.me + 1 to cfg.n do
       match
         Sockets.connect_retry ~deadline (Sockets.addr_of ~transport:cfg.transport p)
       with
-      | Error why -> failwith (Printf.sprintf "connect to p%d: %s" p why)
+      | Error e ->
+        failwith (Printf.sprintf "connect to p%d: %s" p (Sockets.error_to_string e))
       | Ok fd -> (
         match Sockets.write_all ~deadline fd hello with
         | Ok () ->
           peers.(p - 1).fd <- Some fd;
           logf cfg "dialed p%d" p
-        | Error why -> failwith (Printf.sprintf "hello to p%d: %s" p why))
+        | Error e ->
+          failwith
+            (Printf.sprintf "hello to p%d: %s" p (Sockets.error_to_string e)))
     done;
     for _ = 1 to cfg.me - 1 do
       match Sockets.accept_timeout ~deadline lfd with
-      | Error why -> failwith why
+      | Error e -> failwith (Sockets.error_to_string e)
       | Ok fd -> (
         match read_exact ~deadline fd hello_size with
         | Error why -> failwith why
@@ -176,7 +183,7 @@ module Make (A : Binding.ALGO) = struct
              | Some fd -> (
                match Sockets.write_all ~deadline fd bytes with
                | Ok () -> ()
-               | Error why -> mark_dead cfg peer why));
+               | Error e -> mark_dead cfg peer (Sockets.error_to_string e)));
           emit (k + 1) rest
         end
     in

@@ -1,3 +1,20 @@
+type error = { op : string; errno : Unix.error option; detail : string }
+
+let error_to_string e =
+  match e.errno with
+  | Some errno ->
+    Printf.sprintf "%s: %s (%s)" e.op e.detail (Unix.error_message errno)
+  | None -> Printf.sprintf "%s: %s" e.op e.detail
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let err ?errno op detail = Error { op; errno; detail }
+
+let string_of_sockaddr = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (host, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+
 let now () = Unix.gettimeofday ()
 
 let sleep_until t =
@@ -17,18 +34,27 @@ let addr_of ~transport i =
   | `Unix dir -> Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d.sock" i))
   | `Tcp base -> Unix.ADDR_INET (Unix.inet_addr_loopback, base + i)
 
-let listen addr =
-  let domain = Unix.domain_of_sockaddr addr in
-  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  Unix.set_close_on_exec fd;
-  (match addr with
-  | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
-  Unix.bind fd addr;
-  Unix.listen fd 16;
-  fd
+let listen ?(backlog = 16) addr =
+  match
+    let domain = Unix.domain_of_sockaddr addr in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    Unix.set_close_on_exec fd;
+    (match addr with
+    | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+    match Unix.bind fd addr with
+    | () ->
+      Unix.listen fd backlog;
+      fd
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  with
+  | fd -> Ok fd
+  | exception Unix.Unix_error (errno, op, _) ->
+    err ~errno op (string_of_sockaddr addr)
 
-let connect_retry ~deadline addr =
+let connect_retry ?(backoff = 0.02) ?(backoff_max = 0.32) ~deadline addr =
   let rec go backoff =
     let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
     Unix.set_close_on_exec fd;
@@ -36,24 +62,29 @@ let connect_retry ~deadline addr =
     | () -> Ok fd
     | exception
         Unix.Unix_error
-          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR), _, _)
+          ( (Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR) as errno,
+            _,
+            _ )
       ->
       Unix.close fd;
-      if now () >= deadline then Error "connect: peer never came up"
+      if now () >= deadline then
+        err ~errno "connect"
+          (Printf.sprintf "peer %s never came up before the deadline"
+             (string_of_sockaddr addr))
       else begin
         sleep_until (Float.min deadline (now () +. backoff));
-        go (Float.min 0.32 (backoff *. 2.0))
+        go (Float.min backoff_max (backoff *. 2.0))
       end
-    | exception Unix.Unix_error (e, _, _) ->
+    | exception Unix.Unix_error (errno, _, _) ->
       Unix.close fd;
-      Error ("connect: " ^ Unix.error_message e)
+      err ~errno "connect" (string_of_sockaddr addr)
   in
-  go 0.02
+  go backoff
 
 let accept_timeout ~deadline fd =
   let rec go () =
     let dt = deadline -. now () in
-    if dt <= 0.0 then Error "accept: timed out waiting for a peer"
+    if dt <= 0.0 then err "accept" "timed out waiting for a peer"
     else
       match Unix.select [ fd ] [] [] dt with
       | [], _, _ -> go ()
@@ -62,8 +93,10 @@ let accept_timeout ~deadline fd =
         | conn, _ ->
           Unix.set_close_on_exec conn;
           Ok conn
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> go ())
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> go ()
+        | exception Unix.Unix_error (errno, _, _) -> err ~errno "accept" "")
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (errno, _, _) -> err ~errno "accept" "select"
   in
   go ()
 
@@ -76,17 +109,20 @@ let write_all ~deadline fd s =
       | n -> go (off + n)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         let dt = deadline -. now () in
-        if dt <= 0.0 then Error "send timeout"
+        if dt <= 0.0 then
+          err "write"
+            (Printf.sprintf "send timeout with %d of %d bytes unsent" (len - off)
+               len)
         else (
           (match Unix.select [] [ fd ] [] dt with
           | _ -> ()
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
           go off)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-        Error "peer closed"
-      | exception Unix.Unix_error (e, _, _) ->
-        Error ("write: " ^ Unix.error_message e)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET) as errno, _, _)
+        ->
+        err ~errno "write" "peer closed"
+      | exception Unix.Unix_error (errno, _, _) -> err ~errno "write" ""
   in
   go 0
 

@@ -5,7 +5,22 @@
     arbitrary order), a send gives up after a per-peer timeout, and a dead
     peer surfaces as [Error] / [`Closed] — the caller marks it crashed and
     keeps going, which is the whole point of running consensus under
-    [kill -9]. *)
+    [kill -9].
+
+    No entry point raises [Unix.Unix_error]: every failure comes back as a
+    structured {!error} carrying the operation, the errno (when there is
+    one) and a human-readable detail, so callers can match on the cause
+    (retry a refused connect, absorb a reset peer) without parsing
+    strings. *)
+
+type error = {
+  op : string;  (** the socket operation that failed: "connect", "bind", … *)
+  errno : Unix.error option;  (** the errno, when the failure was a syscall *)
+  detail : string;  (** human-readable context (address, timeout, …) *)
+}
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
 
 val now : unit -> float
 (** [Unix.gettimeofday] — one clock for every process on the machine, which
@@ -18,23 +33,30 @@ val addr_of : transport:[ `Unix of string | `Tcp of int ] -> int -> Unix.sockadd
 (** The rendezvous address of node [i]: [dir/node-i.sock], or
     [127.0.0.1:(base + i)]. *)
 
-val listen : Unix.sockaddr -> Unix.file_descr
-(** Bind (unlinking a stale Unix-domain path) and listen. *)
+val listen : ?backlog:int -> Unix.sockaddr -> (Unix.file_descr, error) result
+(** Bind (unlinking a stale Unix-domain path) and listen.  A taken port, a
+    read-only socket directory or an over-long Unix path all come back as
+    [Error], never as a raised [Unix_error]. *)
 
 val connect_retry :
-  deadline:float -> Unix.sockaddr -> (Unix.file_descr, string) result
-(** Connect with retry and exponential backoff (20 ms doubling to 320 ms)
-    until [deadline]; refused / not-yet-bound addresses are retried,
-    anything else is an error. *)
+  ?backoff:float ->
+  ?backoff_max:float ->
+  deadline:float ->
+  Unix.sockaddr ->
+  (Unix.file_descr, error) result
+(** Connect with retry and bounded exponential backoff (default 20 ms
+    doubling to 320 ms) until the overall [deadline]; refused / not-yet-bound
+    addresses are retried, anything else is an error.  [EINTR] during the
+    connect or the backoff sleep restarts the attempt, it never leaks out. *)
 
 val accept_timeout :
-  deadline:float -> Unix.file_descr -> (Unix.file_descr, string) result
+  deadline:float -> Unix.file_descr -> (Unix.file_descr, error) result
 
 val write_all :
-  deadline:float -> Unix.file_descr -> string -> (unit, string) result
-(** Write the whole string to a nonblocking fd, waiting for writability up
-    to [deadline] — the per-peer send timeout.  [Error] on timeout, EPIPE,
-    or reset: the peer is gone. *)
+  deadline:float -> Unix.file_descr -> string -> (unit, error) result
+(** Write the whole string to a fd, retrying [EINTR] and short writes, and
+    waiting for writability up to [deadline] — the per-peer send timeout.
+    [Error] on timeout, EPIPE, or reset: the peer is gone. *)
 
 val read_chunk :
   Unix.file_descr -> bytes -> [ `Data of int | `Closed | `Nothing ]

@@ -1,5 +1,16 @@
 open Model
 
+type event =
+  | Respawned of { node : int; attempt : int }
+  | Absorbed of { node : int; at_round : int }
+
+let pp_event ppf = function
+  | Respawned { node; attempt } ->
+    Format.fprintf ppf "node %d respawned (attempt %d)" node attempt
+  | Absorbed { node; at_round } ->
+    Format.fprintf ppf "node %d died unscripted in round %d; absorbed" node
+      at_round
+
 type transport = [ `Unix of string | `Tcp of string * int ]
 
 type config = {
@@ -12,11 +23,33 @@ type config = {
   proposals : int array option;
   max_rounds : int option;
   verbose : bool;
+  respawn_budget : int;
+  respawn_backoff : float;
+  instrument : event Obs.Instrument.t;
+  chaos_startup_kills : int list;
+  chaos_run_kills : (int * float) list;
 }
 
-let config ?proposals ?max_rounds ?(verbose = false) ~n ~t ~script ~transport
-    ~big_d ~delta () =
-  { n; t; script; transport; big_d; delta; proposals; max_rounds; verbose }
+let config ?proposals ?max_rounds ?(verbose = false) ?(respawn_budget = 1)
+    ?(respawn_backoff = 0.05) ?(instrument = Obs.Instrument.null)
+    ?(chaos_startup_kills = []) ?(chaos_run_kills = []) ~n ~t ~script
+    ~transport ~big_d ~delta () =
+  {
+    n;
+    t;
+    script;
+    transport;
+    big_d;
+    delta;
+    proposals;
+    max_rounds;
+    verbose;
+    respawn_budget;
+    respawn_backoff;
+    instrument;
+    chaos_startup_kills;
+    chaos_run_kills;
+  }
 
 let workspace cfg = match cfg.transport with `Unix d -> d | `Tcp (d, _) -> d
 
@@ -46,7 +79,9 @@ type child = {
   mutable ready : bool;
   mutable exit_obs : [ `Exited of int | `Signaled of int | `Stop_killed ] option;
   mutable final : Transcript.status option;
-  mutable respawned : bool;
+  mutable respawns : int;  (* startup respawns consumed *)
+  mutable awaiting_respawn : bool;  (* dead pre-mesh, backoff running *)
+  mutable next_respawn_at : float;
 }
 
 (* Parent-side pipe ends, closed inside every freshly forked child so that a
@@ -258,6 +293,22 @@ let run cfg =
             parent_fds := status_r :: go_w :: !parent_fds;
             (pid, status_r, go_w)
         in
+        (* Fault-injection bookkeeping: how many times each node is still
+           owed a chaos SIGKILL right after (re)spawn. *)
+        let startup_kills = Hashtbl.create 4 in
+        List.iter
+          (fun node ->
+            Hashtbl.replace startup_kills node
+              (1 + Option.value ~default:0 (Hashtbl.find_opt startup_kills node)))
+          cfg.chaos_startup_kills;
+        let chaos_kill_fresh node pid =
+          match Hashtbl.find_opt startup_kills node with
+          | Some k when k > 0 ->
+            Hashtbl.replace startup_kills node (k - 1);
+            vlog cfg "chaos: SIGKILL node %d during startup" node;
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+          | Some _ | None -> ()
+        in
         let children =
           Array.init n (fun idx ->
               let i = idx + 1 in
@@ -274,9 +325,12 @@ let run cfg =
                 ready = false;
                 exit_obs = None;
                 final = None;
-                respawned = false;
+                respawns = 0;
+                awaiting_respawn = false;
+                next_respawn_at = 0.0;
               })
         in
+        Array.iter (fun c -> chaos_kill_fresh c.node c.os_pid) children;
         vlog cfg "spawned %d nodes" n;
         let wait_ready () =
           let deadline = Sockets.now () +. 15.0 in
@@ -290,38 +344,58 @@ let run cfg =
               Array.iter
                 (fun c ->
                   if (not c.ready) && c.exit_obs = None && !failure = None then
-                    match Unix.waitpid [ Unix.WNOHANG ] c.os_pid with
-                    | 0, _ -> ()
-                    | _, _ ->
-                      if c.respawned then
-                        failure :=
-                          Some
-                            (Printf.sprintf
-                               "live: node %d died twice during startup" c.node)
-                      else begin
-                        (* self-healing window: before the mesh forms a
-                           fresh process can still take the dead one's
-                           place *)
-                        vlog cfg "node %d died during startup; respawning"
-                          c.node;
-                        (match c.status_fd with
-                        | Some fd ->
-                          close_parent_fd parent_fds fd;
-                          c.status_fd <- None
-                        | None -> ());
-                        (match c.go_fd with
-                        | Some fd ->
-                          close_parent_fd parent_fds fd;
-                          c.go_fd <- None
-                        | None -> ());
+                    if c.awaiting_respawn then begin
+                      (* self-healing window: before the mesh forms a fresh
+                         process can still take the dead one's place, after
+                         this attempt's backoff has elapsed *)
+                      if Sockets.now () >= c.next_respawn_at then begin
                         Buffer.clear c.buf;
                         let pid, status_r, go_w = spawn_child c.node in
                         c.os_pid <- pid;
                         c.status_fd <- Some status_r;
                         c.go_fd <- Some go_w;
-                        c.respawned <- true
+                        c.awaiting_respawn <- false;
+                        c.respawns <- c.respawns + 1;
+                        vlog cfg "node %d respawned (attempt %d of %d)" c.node
+                          c.respawns cfg.respawn_budget;
+                        Obs.Instrument.emit cfg.instrument
+                          (Respawned { node = c.node; attempt = c.respawns });
+                        chaos_kill_fresh c.node pid
                       end
-                    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ())
+                    end
+                    else
+                      match Unix.waitpid [ Unix.WNOHANG ] c.os_pid with
+                      | 0, _ -> ()
+                      | _, _ ->
+                        if c.respawns >= cfg.respawn_budget then
+                          failure :=
+                            Some
+                              (Printf.sprintf
+                                 "live: node %d died %d times during startup \
+                                  (respawn budget %d exhausted)"
+                                 c.node (c.respawns + 1) cfg.respawn_budget)
+                        else begin
+                          let backoff =
+                            cfg.respawn_backoff
+                            *. Float.of_int (1 lsl c.respawns)
+                          in
+                          vlog cfg
+                            "node %d died during startup; respawning in %.2fs"
+                            c.node backoff;
+                          (match c.status_fd with
+                          | Some fd ->
+                            close_parent_fd parent_fds fd;
+                            c.status_fd <- None
+                          | None -> ());
+                          (match c.go_fd with
+                          | Some fd ->
+                            close_parent_fd parent_fds fd;
+                            c.go_fd <- None
+                          | None -> ());
+                          c.awaiting_respawn <- true;
+                          c.next_respawn_at <- Sockets.now () +. backoff
+                        end
+                      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ())
                 children;
               match !failure with Some e -> Error e | None -> go ()
             end
@@ -348,7 +422,38 @@ let run cfg =
               t0 +. (float_of_int max_rounds *. period) +. cfg.big_d +. 2.0
             in
             let unresolved () = Array.exists (fun c -> c.final = None) children in
+            let record_final c st =
+              (match st with
+              | Transcript.Killed { at_round; scripted = false } ->
+                Obs.Instrument.emit cfg.instrument
+                  (Absorbed { node = c.node; at_round })
+              | Transcript.Killed _ | Transcript.Decided _ | Transcript.Undecided
+                ->
+                ());
+              c.final <- Some st
+            in
+            let run_kills = ref cfg.chaos_run_kills in
+            let fire_run_kills () =
+              run_kills :=
+                List.filter
+                  (fun (node, delay) ->
+                    if Sockets.now () >= t0 +. delay then begin
+                      Array.iter
+                        (fun c ->
+                          if c.node = node && c.exit_obs = None then begin
+                            vlog cfg "chaos: SIGKILL node %d at t0+%.2fs" node
+                              delay;
+                            try Unix.kill c.os_pid Sys.sigkill
+                            with Unix.Unix_error _ -> ()
+                          end)
+                        children;
+                      false
+                    end
+                    else true)
+                  !run_kills
+            in
             while unresolved () && Sockets.now () < watchdog do
+              fire_run_kills ();
               select_pump ~timeout:0.05 parent_fds children;
               Array.iter
                 (fun c ->
@@ -384,7 +489,7 @@ let run cfg =
                           Printf.sprintf "killed in round %d (%s)" at_round
                             (if scripted then "scripted" else "unscripted")
                         | Transcript.Undecided -> "undecided");
-                      c.final <- Some st
+                      record_final c st
                     | _ -> ()
                   end)
                 children
@@ -408,7 +513,7 @@ let run cfg =
                         | Some (value, at_round) ->
                           Transcript.Decided { value; at_round }
                         | None -> Transcript.Undecided)
-                  | Some obs -> c.final <- Some (finalize cfg c obs))
+                  | Some obs -> record_final c (finalize cfg c obs))
                 end)
               children;
             let statuses =

@@ -7,9 +7,10 @@
     + fork the fleet (one [Node] process each, with a status pipe back to
       the supervisor, a go pipe forward, and a per-node log file);
     + wait for every node's [ready] — a node that dies during startup is
-      respawned once (the self-healing window: before the mesh forms, a
-      fresh process can still take its place), a second death or a
-      readiness timeout aborts the run;
+      respawned with exponential backoff, up to [respawn_budget] times (the
+      self-healing window: before the mesh forms, a fresh process can still
+      take its place); exhausting the budget or the readiness timeout
+      aborts the run;
     + broadcast [go t0], the common round-clock origin;
     + collect events, watching children with [waitpid(WUNTRACED)]: a
       SIGSTOP is a node at its scripted crash point, answered with a real
@@ -20,7 +21,21 @@
       judge the transcript ({!Judge.judge}, with the differential schedule
       from {!Script.to_schedule}).
 
+    Every self-healing action is also emitted as an {!event} through the
+    configured {!Obs.Instrument} sink, so soaks can count respawns and
+    absorptions instead of grepping logs.
+
     Runs the paper's Figure 1 algorithm ({!Binding.Rwwc}). *)
+
+type event =
+  | Respawned of { node : int; attempt : int }
+      (** a node that died before the mesh formed was replaced by a fresh
+          process; [attempt] counts from 1 up to the respawn budget *)
+  | Absorbed of { node : int; at_round : int }
+      (** an unscripted post-mesh death was absorbed as one more crash and
+          the run continued *)
+
+val pp_event : Format.formatter -> event -> unit
 
 type transport =
   [ `Unix of string  (** workspace dir: sockets, logs *)
@@ -36,12 +51,33 @@ type config = {
   proposals : int array option;  (** default: distinct proposals 1..n *)
   max_rounds : int option;  (** default: [t + 2] *)
   verbose : bool;  (** progress lines on stderr *)
+  respawn_budget : int;
+      (** startup respawns allowed per node (default 1 — the historical
+          respawn-once window) *)
+  respawn_backoff : float;
+      (** base respawn delay in seconds, doubling per attempt (default
+          0.05) *)
+  instrument : event Obs.Instrument.t;
+      (** sink for {!event}s (default {!Obs.Instrument.null}) *)
+  chaos_startup_kills : int list;
+      (** fault injection for soaks: each listed node is SIGKILLed by the
+          supervisor right after (re)spawn, before it can become ready —
+          listing a node twice kills its replacement too.  Default []. *)
+  chaos_run_kills : (int * float) list;
+      (** fault injection for soaks: node [i] is SIGKILLed [delay] seconds
+          after [t0] — an unscripted death the run must absorb.
+          Default []. *)
 }
 
 val config :
   ?proposals:int array ->
   ?max_rounds:int ->
   ?verbose:bool ->
+  ?respawn_budget:int ->
+  ?respawn_backoff:float ->
+  ?instrument:event Obs.Instrument.t ->
+  ?chaos_startup_kills:int list ->
+  ?chaos_run_kills:(int * float) list ->
   n:int ->
   t:int ->
   script:Script.t ->
@@ -56,5 +92,5 @@ val workspace : config -> string
 
 val run : config -> (Transcript.t * Judge.verdict, string) result
 (** [Error] only for runs that never got going (invalid script, startup
-    failure); once the fleet is running, crashes — scripted or not — are
-    data, not errors. *)
+    failure, respawn budget exhausted); once the fleet is running,
+    crashes — scripted or not — are data, not errors. *)

@@ -237,17 +237,7 @@ let of_string s =
 
 (* --- Files ---------------------------------------------------------------- *)
 
-let save ~file r =
-  (* Write-then-rename so an interrupted save never leaves a truncated
-     artifact where a good one is expected. *)
-  let tmp = file ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (J.to_string (to_json r));
-      output_char oc '\n');
-  Sys.rename tmp file
+let save ~file r = J.save_atomic ~file (to_json r)
 
 type load_error = { file : string; offset : int option; reason : string }
 

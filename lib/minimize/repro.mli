@@ -40,8 +40,14 @@ val to_json : t -> Obs.Json.t
 val of_json : Obs.Json.t -> (t, string) result
 val of_string : string -> (t, string) result
 
+val schedule_to_json : Schedule.t -> Obs.Json.t
+val schedule_of_json : Obs.Json.t -> (Schedule.t, string) result
+(** The schedule wire encoding, exposed for other artifact formats that
+    embed schedules (distributed-sweep shard results and checkpoints). *)
+
 val save : file:string -> t -> unit
-(** Atomic: writes [file ^ ".tmp"], then renames. *)
+(** Durable and atomic ({!Obs.Json.save_atomic}): tmp write, fsync,
+    rename. *)
 
 type load_error = {
   file : string;

@@ -311,3 +311,32 @@ let of_string s =
 let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
+
+(* Durable atomic file writes — shared by every artifact saver. *)
+
+let save_atomic ~file v =
+  let tmp = file ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let doc = to_string v ^ "\n" in
+      let len = String.length doc in
+      let rec write_all off =
+        if off < len then
+          match Unix.write_substring fd doc off (len - off) with
+          | n -> write_all (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      in
+      write_all 0;
+      (* The fsync before the rename is what makes the rename atomic on a
+         crash: without it the new name can point at not-yet-written
+         blocks.  [load]ers treat any truncated leftover as corrupt. *)
+      Unix.fsync fd);
+  Sys.rename tmp file;
+  (* Best-effort directory sync so the rename itself is durable. *)
+  match Unix.openfile (Filename.dirname file) [ Unix.O_RDONLY ] 0 with
+  | dirfd ->
+    (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+    (try Unix.close dirfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()

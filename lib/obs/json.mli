@@ -39,3 +39,12 @@ val of_string_located : string -> (t, int * string) result
 val member : string -> t -> t option
 (** [member key (Obj fields)] is the first binding of [key], if any;
     [None] on non-objects.  Decoder convenience for artifact readers. *)
+
+val save_atomic : file:string -> t -> unit
+(** Durable atomic save — the shared write path of every on-disk JSON
+    artifact (repro files, distributed-sweep checkpoints): the document
+    plus a trailing newline is written to [file ^ ".tmp"], {e fsynced},
+    renamed over [file], and the containing directory is fsynced too
+    (best-effort).  A crash at any point leaves either the old complete
+    file or the new complete file — never a truncated hybrid — and a
+    rename that survives a power cut keeps its contents. *)

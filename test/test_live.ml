@@ -364,6 +364,113 @@ let test_socket_smoke () =
     if not v.Live.Judge.ok then
       Alcotest.fail (Format.asprintf "judge:@.%a" Live.Judge.pp v)
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_sockets_connect_error () =
+  (* Nobody listens here: bounded-backoff retry until the deadline, then a
+     structured error naming the operation and carrying the errno. *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "live-no-listener-%d.sock" (Unix.getpid ()))
+  in
+  let t0 = Live.Sockets.now () in
+  match
+    Live.Sockets.connect_retry ~deadline:(t0 +. 0.3) (Unix.ADDR_UNIX path)
+  with
+  | Ok _ -> Alcotest.fail "connected to a socket nobody listens on"
+  | Error e ->
+    Alcotest.(check bool) "honored the deadline" true
+      (Live.Sockets.now () -. t0 >= 0.25);
+    Alcotest.(check string) "op" "connect" e.Live.Sockets.op;
+    Alcotest.(check bool) "carries an errno" true (e.Live.Sockets.errno <> None);
+    Alcotest.(check bool) "mentions the deadline" true
+      (contains ~sub:"deadline" (Live.Sockets.error_to_string e))
+
+let test_sockets_listen_error () =
+  match
+    Live.Sockets.listen
+      (Unix.ADDR_UNIX "/no-such-directory-anywhere/live-test.sock")
+  with
+  | Ok _ -> Alcotest.fail "bound into a nonexistent directory"
+  | Error e ->
+    Alcotest.(check bool) "carries an errno" true (e.Live.Sockets.errno <> None);
+    Alcotest.(check bool) "printable" true
+      (String.length (Live.Sockets.error_to_string e) > 0)
+
+(* --- Supervisor self-healing events ---------------------------------------- *)
+
+let counting_instrument () =
+  let respawns = ref 0 and absorbed = ref 0 in
+  let instrument =
+    Obs.Instrument.of_fn (function
+      | Live.Supervisor.Respawned _ -> incr respawns
+      | Live.Supervisor.Absorbed _ -> incr absorbed)
+  in
+  (instrument, respawns, absorbed)
+
+let chaos_workspace stem =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "live-%s-%d" stem (Unix.getpid ()))
+
+let test_supervisor_respawn_event () =
+  (* Node 2 is SIGKILLed right after its first spawn, before readiness: the
+     self-healing window must replace it (one Respawned event) and the run
+     must still pass the judge. *)
+  let instrument, respawns, absorbed = counting_instrument () in
+  let cfg =
+    Live.Supervisor.config ~n:4 ~t:2 ~script:[]
+      ~transport:(`Unix (chaos_workspace "respawn"))
+      ~big_d:0.25 ~delta:0.1 ~respawn_budget:2 ~instrument
+      ~chaos_startup_kills:[ 2 ] ()
+  in
+  match Live.Supervisor.run cfg with
+  | Error why -> Alcotest.fail ("supervisor: " ^ why)
+  | Ok (_, v) ->
+    Alcotest.(check int) "one respawn event" 1 !respawns;
+    Alcotest.(check int) "no absorption" 0 !absorbed;
+    if not v.Live.Judge.ok then
+      Alcotest.fail (Format.asprintf "judge:@.%a" Live.Judge.pp v)
+
+let test_supervisor_respawn_budget_exhausted () =
+  (* The same node killed twice against a budget of 1: startup must abort
+     with a budget error after exactly one respawn attempt. *)
+  let instrument, respawns, _ = counting_instrument () in
+  let cfg =
+    Live.Supervisor.config ~n:4 ~t:2 ~script:[]
+      ~transport:(`Unix (chaos_workspace "budget"))
+      ~big_d:0.25 ~delta:0.1 ~respawn_budget:1 ~instrument
+      ~chaos_startup_kills:[ 2; 2 ] ()
+  in
+  match Live.Supervisor.run cfg with
+  | Ok _ -> Alcotest.fail "run survived an exhausted respawn budget"
+  | Error why ->
+    Alcotest.(check bool) "names the budget" true
+      (contains ~sub:"respawn budget" why);
+    Alcotest.(check int) "spent the whole budget" 1 !respawns
+
+let test_supervisor_absorbs_run_kill () =
+  (* An unscripted SIGKILL after the mesh is up: the run continues, and the
+     death is emitted as an Absorbed event.  The judge may or may not pass
+     (the differential schedule doesn't know about the unscripted crash);
+     the event accounting is the contract under test. *)
+  let instrument, respawns, absorbed = counting_instrument () in
+  let cfg =
+    Live.Supervisor.config ~n:4 ~t:2 ~script:[]
+      ~transport:(`Unix (chaos_workspace "absorb"))
+      ~big_d:0.25 ~delta:0.1 ~instrument
+      ~chaos_run_kills:[ (4, 0.05) ] ()
+  in
+  match Live.Supervisor.run cfg with
+  | Error why -> Alcotest.fail ("supervisor: " ^ why)
+  | Ok (tr, _) ->
+    Alcotest.(check int) "no respawn" 0 !respawns;
+    Alcotest.(check int) "one absorbed death" 1 !absorbed;
+    Alcotest.(check bool) "the dead node shows as crashed" true
+      (Live.Transcript.f_actual tr >= 1)
+
 let () =
   Alcotest.run "live"
     [
@@ -400,5 +507,20 @@ let () =
             test_judge_flags_missing_decision;
         ] );
       ( "socket",
-        [ Alcotest.test_case "smoke n=4 mid-data kill" `Quick test_socket_smoke ] );
+        [
+          Alcotest.test_case "smoke n=4 mid-data kill" `Quick test_socket_smoke;
+          Alcotest.test_case "structured connect error" `Quick
+            test_sockets_connect_error;
+          Alcotest.test_case "structured listen error" `Quick
+            test_sockets_listen_error;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "respawn emits an event" `Quick
+            test_supervisor_respawn_event;
+          Alcotest.test_case "respawn budget exhausted" `Quick
+            test_supervisor_respawn_budget_exhausted;
+          Alcotest.test_case "absorbs an unscripted run kill" `Quick
+            test_supervisor_absorbs_run_kill;
+        ] );
     ]
