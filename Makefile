@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench check shrink-smoke live-smoke dist-smoke experiments examples clean
+.PHONY: all build test bench check shrink-smoke live-smoke dist-smoke serve-smoke experiments examples clean
 
 all: build
 
@@ -51,6 +51,16 @@ dist-smoke:
 	  --serve unix:/tmp/sync-agreement-dist-smoke.sock --shards 24 \
 	  --checkpoint /tmp/sync-agreement-dist-smoke.ckpt.json
 	rm -f /tmp/sync-agreement-dist-smoke.ckpt.json
+
+# Consensus-as-a-service smoke: a 1000-instance loopback storm that must
+# clear the decisions/sec floor, then a real TCP fleet with a scripted
+# mid-storm node kill; every instance is judged against the abstract
+# engine and any failure exits nonzero.
+serve-smoke:
+	dune exec bin/main.exe -- serve --instances 1000 --min-dps 10000
+	dune exec bin/main.exe -- serve --transport tcp --port-base 7930 \
+	  --instances 200 --window 32 --round-d 0.15 \
+	  --kill-node 1 --kill-after-frame 57
 
 experiments:
 	dune exec bin/main.exe -- experiments

@@ -378,6 +378,23 @@ let dist_serve ~algo_str ~n ~max_f ~max_round ~symmetry ~shards ~lease_timeout
       Format.eprintf "%s@." why;
       2
     | Ok _ ->
+      (* Shard count: explicit wins; otherwise oversharded to the spawned
+         worker count so a straggling or dying worker leaves only small
+         leases behind; 64 when the workers are remote and unknown. *)
+      let shards =
+        match shards with
+        | Some s -> s
+        | None ->
+          if spawn > 0 then begin
+            let s = Dist.Fleet.auto_shards ~workers:spawn () in
+            Format.printf
+              "shards: auto-sized to %d (%d local workers, straggler factor \
+               8)@."
+              s spawn;
+            s
+          end
+          else 64
+      in
       let job =
         {
           Dist.Protocol.algo = algo_str;
@@ -498,8 +515,11 @@ let check_cmd =
              ~doc:"Run as a sweep worker against the coordinator at $(docv).")
   in
   let shards =
-    Arg.(value & opt int 64
-         & info [ "shards" ] ~doc:"Residue-class shards for --serve.")
+    Arg.(value & opt (some int) None
+         & info [ "shards" ]
+             ~doc:
+               "Residue-class shards for --serve (default: auto-sized to 8x \
+                the --spawn worker count, or 64 without --spawn).")
   in
   let lease_timeout =
     Arg.(value & opt float 5.0
@@ -1315,6 +1335,347 @@ let live_cmd =
     Term.(const go $ n $ t $ f $ kills $ transport $ dir $ port $ big_d $ delta
           $ max_rounds $ verbose)
 
+(* --- serve ---------------------------------------------------------------- *)
+
+let serve_proposals n = fun i node -> (i * n) + node
+
+let serve_report ~json ~min_dps (r : Serve.Report.t) =
+  if json then print_endline (Obs.Json.to_string (Serve.Report.to_json r))
+  else Format.printf "%a@." Serve.Report.pp r;
+  if not r.Serve.Report.ok then begin
+    Format.eprintf "serve: %d instance(s) failed their judge verdict@."
+      (List.length r.Serve.Report.failures);
+    1
+  end
+  else
+    match min_dps with
+    | Some floor when r.Serve.Report.decisions_per_sec < floor ->
+      Format.eprintf
+        "serve: %.0f decisions/sec is below the --min-dps floor of %.0f@."
+        r.Serve.Report.decisions_per_sec floor;
+      1
+    | Some _ | None -> 0
+
+let serve_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of nodes.") in
+  let t =
+    Arg.(value & opt (some int) None & info [ "t" ] ~doc:"Resilience (default n-2).")
+  in
+  let instances =
+    Arg.(value & opt int 1000
+         & info [ "instances" ] ~docv:"I" ~doc:"Consensus instances in the storm.")
+  in
+  let window =
+    Arg.(value & opt int 64
+         & info [ "window" ] ~docv:"W"
+             ~doc:"Concurrent instances in flight (client window).")
+  in
+  let transport =
+    Arg.(value
+         & opt (enum [ ("loopback", `Loopback); ("unix", `Unix_s); ("tcp", `Tcp_s) ])
+             `Loopback
+         & info [ "transport" ]
+             ~doc:
+               "Transport: $(b,loopback) (deterministic in-memory mesh, one \
+                process), $(b,unix) (one engine process per node over \
+                Unix-domain sockets), or $(b,tcp) (same over 127.0.0.1).")
+  in
+  let dir =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Workspace for sockets and engine logs (default pid-stamped \
+                   temp dir).")
+  in
+  let port =
+    Arg.(value & opt int 7900
+         & info [ "port-base" ] ~doc:"TCP port base (node i listens on base+i).")
+  in
+  let big_d =
+    Arg.(value & opt float 0.25
+         & info [ "round-d" ] ~docv:"D" ~doc:"Per-round receive window in seconds.")
+  in
+  let no_batch =
+    Arg.(value & flag
+         & info [ "no-batch" ]
+             ~doc:"One write per frame instead of per-peer coalescing — the \
+                   baseline the batching stats are judged against.")
+  in
+  let kill_node =
+    Arg.(value & opt (some int) None
+         & info [ "kill-node" ] ~docv:"P"
+             ~doc:"Kill node $(docv) mid-storm (requires --kill-after-frame).")
+  in
+  let kill_after =
+    Arg.(value & opt (some int) None
+         & info [ "kill-after-frame" ] ~docv:"K"
+             ~doc:"The victim dies before writing mesh frame $(docv)+1; every \
+                   surviving instance is judged under its realized crash \
+                   point.")
+  in
+  let min_dps =
+    Arg.(value & opt (some float) None
+         & info [ "min-dps" ] ~docv:"RATE"
+             ~doc:"Fail (exit 1) if the storm settles fewer than $(docv) \
+                   decisions per second.")
+  in
+  let max_rounds =
+    Arg.(value & opt (some int) None
+         & info [ "max-rounds" ] ~doc:"Per-instance round horizon (default t+1).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let node =
+    Arg.(value & opt (some int) None
+         & info [ "node" ] ~docv:"I"
+             ~doc:
+               "Run a single lingering engine for node $(docv) in the \
+                foreground instead of a whole storm (pair with $(b,submit)); \
+                status events go to stdout.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Fleet progress on stderr.")
+  in
+  let go n t instances window transport dir port big_d no_batch kill_node
+      kill_after min_dps max_rounds json node verbose =
+    let t = Option.value t ~default:(max 1 (n - 2)) in
+    let kill =
+      match (kill_node, kill_after) with
+      | Some node, Some after_frames -> Ok (Some { Serve.Report.node; after_frames })
+      | None, None -> Ok None
+      | Some _, None | None, Some _ ->
+        Error "serve: --kill-node and --kill-after-frame go together"
+    in
+    match kill with
+    | Error why ->
+      Format.eprintf "%s@." why;
+      2
+    | Ok kill -> (
+      let dir =
+        match dir with
+        | Some d -> d
+        | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "sync-agreement-serve-%d" (Unix.getpid ()))
+      in
+      match node with
+      | Some me ->
+        (* One lingering engine: the serving half of a `serve`/`submit`
+           pair, or one node of a hand-assembled mesh. *)
+        if me < 1 || me > n then begin
+          Format.eprintf "serve: --node must be in 1..%d@." n;
+          2
+        end
+        else begin
+          ensure_dir dir;
+          let transport =
+            match transport with
+            | `Loopback | `Unix_s -> `Unix dir
+            | `Tcp_s -> `Tcp port
+          in
+          let kill_after =
+            match kill with
+            | Some k when k.Serve.Report.node = me ->
+              Some k.Serve.Report.after_frames
+            | _ -> None
+          in
+          Serve.Engine.Rwwc.main
+            {
+              Serve.Engine.me;
+                 n;
+              t;
+              transport;
+              big_d;
+              max_rounds = Option.value max_rounds ~default:(t + 1);
+              batch = not no_batch;
+              kill_after;
+              linger = true;
+              status = stdout;
+              log = stderr;
+            };
+          0
+        end
+      | None -> (
+        match transport with
+        | `Loopback ->
+          let r =
+            Serve.Loopback.Rwwc.run
+              {
+                Serve.Loopback.Rwwc.n;
+                t;
+                instances;
+                window;
+                big_d;
+                batch = not no_batch;
+                kill;
+                max_rounds;
+                proposals = serve_proposals n;
+              }
+          in
+          serve_report ~json ~min_dps r
+        | (`Unix_s | `Tcp_s) as tp -> (
+          ensure_dir dir;
+          let transport =
+            match tp with `Unix_s -> `Unix dir | `Tcp_s -> `Tcp port
+          in
+          match
+            Serve.Fleet.run
+              {
+                Serve.Fleet.n;
+                t;
+                transport;
+                workspace = dir;
+                instances;
+                window;
+                big_d;
+                batch = not no_batch;
+                kill;
+                max_rounds;
+                proposals = serve_proposals n;
+                client_timeout = None;
+                verbose;
+              }
+          with
+          | Error why ->
+            Format.eprintf "serve: %s@." why;
+            2
+          | Ok r -> serve_report ~json ~min_dps r)))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Consensus as a service: run thousands of multiplexed Figure 1 \
+          instances over one socket mesh with a batching event loop, report \
+          decisions/sec and latency percentiles, and judge every instance — \
+          including under a scripted mid-storm node kill.")
+    Term.(const go $ n $ t $ instances $ window $ transport $ dir $ port
+          $ big_d $ no_batch $ kill_node $ kill_after $ min_dps $ max_rounds
+          $ json $ node $ verbose)
+
+let submit_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of serving nodes.") in
+  let instances =
+    Arg.(value & opt int 100
+         & info [ "instances" ] ~docv:"I" ~doc:"Instances to submit.")
+  in
+  let window =
+    Arg.(value & opt int 32
+         & info [ "window" ] ~docv:"W" ~doc:"Concurrent instances in flight.")
+  in
+  let transport =
+    Arg.(value
+         & opt (enum [ ("unix", `Unix_s); ("tcp", `Tcp_s) ]) `Unix_s
+         & info [ "transport" ] ~doc:"Transport: $(b,unix) or $(b,tcp).")
+  in
+  let dir =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Socket directory of the running engines (unix transport).")
+  in
+  let port =
+    Arg.(value & opt int 7900
+         & info [ "port-base" ] ~doc:"TCP port base of the running engines.")
+  in
+  let timeout =
+    Arg.(value & opt float 30.0
+         & info [ "timeout" ] ~doc:"Overall wall-clock budget in seconds.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the outcome as one JSON object.")
+  in
+  let go n instances window transport dir port timeout json =
+    let transport =
+      match transport with
+      | `Unix_s ->
+        `Unix
+          (Option.value dir
+             ~default:
+               (Filename.concat
+                  (Filename.get_temp_dir_name ())
+                  (Printf.sprintf "sync-agreement-serve-%d" (Unix.getpid ()))))
+      | `Tcp_s -> `Tcp port
+    in
+    match
+      Serve.Client.run
+        {
+          Serve.Client.n;
+          transport;
+          instances;
+          window;
+          proposals = serve_proposals n;
+          timeout;
+        }
+    with
+    | Error why ->
+      Format.eprintf "submit: %s@." why;
+      2
+    | Ok o ->
+      (* The client-side agreement check: every node that reported a
+         decision for an instance must have reported the same value. *)
+      let disagreements = ref [] in
+      Array.iteri
+        (fun i per_node ->
+          let values =
+            Array.to_list per_node
+            |> List.filter_map (Option.map fst)
+            |> List.sort_uniq compare
+          in
+          match values with
+          | [] | [ _ ] -> ()
+          | vs -> disagreements := (i, vs) :: !disagreements)
+        o.Serve.Client.decisions;
+      let disagreements = List.rev !disagreements in
+      let settled = instances - List.length o.Serve.Client.undecided in
+      let dps =
+        float_of_int settled /. Float.max o.Serve.Client.elapsed 1e-9
+      in
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (Obs.Json.Obj
+                [
+                  ("instances", Obs.Json.Int instances);
+                  ("settled", Obs.Json.Int settled);
+                  ( "undecided",
+                    Obs.Json.List
+                      (List.map
+                         (fun i -> Obs.Json.Int i)
+                         o.Serve.Client.undecided) );
+                  ("elapsed", Obs.Json.Float o.Serve.Client.elapsed);
+                  ("decisions_per_sec", Obs.Json.Float dps);
+                  ("disagreements", Obs.Json.Int (List.length disagreements));
+                  ( "dead_nodes",
+                    Obs.Json.List
+                      (List.map
+                         (fun p -> Obs.Json.Int p)
+                         o.Serve.Client.dead_nodes) );
+                ]))
+      else begin
+        Format.printf
+          "submitted %d instances: %d settled in %.3fs (%.0f decisions/sec)@."
+          instances settled o.Serve.Client.elapsed dps;
+        List.iter
+          (fun (i, vs) ->
+            Format.printf "DISAGREEMENT on instance %d: values %s@." i
+              (String.concat "," (List.map string_of_int vs)))
+          disagreements;
+        if o.Serve.Client.dead_nodes <> [] then
+          Format.printf "dead nodes: %s@."
+            (String.concat ","
+               (List.map string_of_int o.Serve.Client.dead_nodes))
+      end;
+      if disagreements <> [] || settled < instances then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Drive a storm of instances through already-running serve engines \
+          (see $(b,serve --node)) and check cross-node agreement on every \
+          decision.")
+    Term.(const go $ n $ instances $ window $ transport $ dir $ port $ timeout
+          $ json)
+
 (* --- snapshot ------------------------------------------------------------- *)
 
 let snapshot_cmd =
@@ -1361,6 +1722,8 @@ let () =
             run_cmd;
             check_cmd;
             live_cmd;
+            serve_cmd;
+            submit_cmd;
             shrink_cmd;
             fuzz_cmd;
             experiments_cmd;

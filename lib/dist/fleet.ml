@@ -1,4 +1,5 @@
 let failed_exit_code = 3
+let auto_shards ?(straggler = 8) ~workers () = max 1 workers * straggler
 
 let spawn_worker ?patience ?chaos ?verbose ~addr () =
   match Unix.fork () with

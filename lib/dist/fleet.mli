@@ -20,6 +20,13 @@ val spawn_worker :
 
 val failed_exit_code : int
 
+val auto_shards : ?straggler:int -> workers:int -> unit -> int
+(** Shard count for a fleet of [workers]: [workers * straggler] (default
+    straggler factor 8, minimum one worker).  Oversharding by the straggler
+    factor keeps the tail short — when one worker lags or dies, the others
+    absorb its remaining shards in small pieces instead of one half-space
+    lease. *)
+
 type outcome = {
   report : Coordinator.report;
   worker_failures : int;

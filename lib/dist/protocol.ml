@@ -254,7 +254,9 @@ let send_deadline = 5.0
 
 let send c msg =
   let payload = J.to_string (msg_to_json msg) in
-  let bytes = Live.Frame.encode (Live.Frame.Data { round = 0; payload }) in
+  let bytes =
+    Live.Frame.encode (Live.Frame.Data { instance = 0; round = 0; payload })
+  in
   match
     Live.Sockets.write_all ~deadline:(Live.Sockets.now () +. send_deadline) c.fd
       bytes
@@ -282,7 +284,9 @@ let rec pop c =
     match decode_payload payload with
     | Ok msg -> `Msg msg
     | Error why -> `Closed why)
-  | `Frame (Live.Frame.Hello _ | Live.Frame.Ctl _) ->
+  | `Frame
+      (Live.Frame.Hello _ | Live.Frame.Ctl _ | Live.Frame.Submit _
+      | Live.Frame.Decide _) ->
     (* Not part of this protocol; skip rather than kill the stream. *)
     pop c
   | `Need_more -> `None

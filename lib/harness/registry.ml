@@ -20,6 +20,7 @@ let all =
     Exp_diff.experiment;
     Exp_live.experiment;
     Exp_dist.experiment;
+    Exp_serve.experiment;
   ]
 
 let find id =

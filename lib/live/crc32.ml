@@ -24,3 +24,10 @@ let digest ?(init = 0l) s ~pos ~len =
   Int32.logxor !c 0xFFFFFFFFl
 
 let string s = digest s ~pos:0 ~len:(String.length s)
+
+let bytes ?init b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.bytes: out of bounds";
+  (* The range is validated above and [digest] only reads it, so the
+     no-copy cast is safe even if the caller mutates [b] afterwards. *)
+  digest ?init (Bytes.unsafe_to_string b) ~pos ~len

@@ -11,3 +11,7 @@ val digest : ?init:int32 -> string -> pos:int -> len:int -> int32
 
 val string : string -> int32
 (** [string s] = [digest s ~pos:0 ~len:(String.length s)]. *)
+
+val bytes : ?init:int32 -> Bytes.t -> pos:int -> len:int -> int32
+(** Same digest over a [Bytes.t] range, without copying — the decoder uses
+    this to checksum a frame body in place inside its receive buffer. *)

@@ -53,10 +53,12 @@ module Make (A : Binding.ALGO) = struct
                 (fun (dest, msg) ->
                   ( dest,
                     Frame.encode
-                      (Frame.Data { round; payload = A.encode_msg msg }) ))
+                      (Frame.Data
+                         { instance = 0; round; payload = A.encode_msg msg }) ))
                 data
               @ List.map
-                  (fun dest -> (dest, Frame.encode (Frame.Ctl { round })))
+                  (fun dest ->
+                    (dest, Frame.encode (Frame.Ctl { instance = 0; round })))
                   syncs
             in
             let budget =
@@ -97,8 +99,9 @@ module Make (A : Binding.ALGO) = struct
                 match Frame.pop d with
                 | `Need_more -> ()
                 | `Corrupt why -> failwith ("Loopback: corrupt stream: " ^ why)
-                | `Frame (Frame.Hello _) -> drain ()
-                | `Frame (Frame.Data { round = fr; payload }) ->
+                | `Frame (Frame.Hello _ | Frame.Submit _ | Frame.Decide _) ->
+                  drain ()
+                | `Frame (Frame.Data { round = fr; payload; _ }) ->
                   if fr <> round then
                     failwith
                       (Printf.sprintf "Loopback: round %d frame in round %d" fr
@@ -107,7 +110,7 @@ module Make (A : Binding.ALGO) = struct
                   | Ok msg -> data := (Pid.of_int (s + 1), msg) :: !data
                   | Error why -> failwith ("Loopback: bad payload: " ^ why));
                   drain ()
-                | `Frame (Frame.Ctl { round = fr }) ->
+                | `Frame (Frame.Ctl { round = fr; _ }) ->
                   if fr <> round then
                     failwith
                       (Printf.sprintf "Loopback: round %d ctl in round %d" fr

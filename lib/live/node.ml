@@ -153,10 +153,13 @@ module Make (A : Binding.ALGO) = struct
       List.map
         (fun (dest, msg) ->
           ( Pid.to_int dest,
-            Frame.encode (Frame.Data { round; payload = A.encode_msg msg }) ))
+            Frame.encode
+              (Frame.Data { instance = 0; round; payload = A.encode_msg msg })
+          ))
         data
       @ List.map
-          (fun dest -> (Pid.to_int dest, Frame.encode (Frame.Ctl { round })))
+          (fun dest ->
+            (Pid.to_int dest, Frame.encode (Frame.Ctl { instance = 0; round })))
           ctl
     in
     let budget =
@@ -204,13 +207,13 @@ module Make (A : Binding.ALGO) = struct
       | `Corrupt why -> mark_dead cfg peer ("corrupt stream: " ^ why)
       | `Frame f ->
         (match f with
-        | Frame.Hello _ -> ()
-        | Frame.Data { round = fr; payload } ->
+        | Frame.Hello _ | Frame.Submit _ | Frame.Decide _ -> ()
+        | Frame.Data { round = fr; payload; _ } ->
           if fr = round then consume peer (Data_item payload)
           else if fr > round then
             peer.pending <- (fr, Data_item payload) :: peer.pending
           else logf cfg "late data frame (r%d) from p%d" fr peer.pid
-        | Frame.Ctl { round = fr } ->
+        | Frame.Ctl { round = fr; _ } ->
           if fr = round then consume peer Ctl_item
           else if fr > round then peer.pending <- (fr, Ctl_item) :: peer.pending
           else logf cfg "late ctl frame (r%d) from p%d" fr peer.pid);

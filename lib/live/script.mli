@@ -29,6 +29,7 @@ type kill = { pid : Pid.t; round : int; phase : phase }
 type t = kill list
 
 val parse_kill : string -> (kill, string) result
+val phase_to_string : phase -> string
 val kill_to_string : kill -> string
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

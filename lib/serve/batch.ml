@@ -1,0 +1,47 @@
+type t = {
+  bufs : Buffer.t array;  (* index = dest: 0 client channel, 1..n peers *)
+  counts : int array;  (* frames currently coalesced per dest *)
+  batch : bool;
+  stats : Stats.t;
+  send : int -> string -> unit;
+}
+
+let create ~n ~batch ~stats ~send =
+  {
+    bufs = Array.init (n + 1) (fun _ -> Buffer.create 4096);
+    counts = Array.make (n + 1) 0;
+    batch;
+    stats;
+    send;
+  }
+
+let add t ~dest wire =
+  t.stats.Stats.frames_out <- t.stats.Stats.frames_out + 1;
+  t.stats.Stats.bytes_out <- t.stats.Stats.bytes_out + String.length wire;
+  if t.batch then begin
+    Buffer.add_string t.bufs.(dest) wire;
+    t.counts.(dest) <- t.counts.(dest) + 1
+  end
+  else begin
+    t.stats.Stats.write_calls <- t.stats.Stats.write_calls + 1;
+    t.stats.Stats.max_batch <- max t.stats.Stats.max_batch 1;
+    t.send dest wire
+  end
+
+let flush t =
+  if t.batch then begin
+    t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
+    Array.iteri
+      (fun dest buf ->
+        if Buffer.length buf > 0 then begin
+          let wire = Buffer.contents buf in
+          Buffer.clear buf;
+          t.stats.Stats.write_calls <- t.stats.Stats.write_calls + 1;
+          t.stats.Stats.max_batch <- max t.stats.Stats.max_batch t.counts.(dest);
+          t.counts.(dest) <- 0;
+          t.send dest wire
+        end)
+      t.bufs
+  end
+
+let pending t ~dest = Buffer.length t.bufs.(dest) > 0

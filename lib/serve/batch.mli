@@ -1,0 +1,27 @@
+(** Per-peer output coalescing — the serve layer's key perf lever.
+
+    Without batching every frame is its own [write(2)]; a round touching
+    hundreds of instances then costs hundreds of syscalls per peer.  The
+    batcher appends encoded frames to one buffer per destination and
+    [flush] hands each non-empty buffer to the transport as a single
+    writev-style send, counting actual sends in {!Stats.t.write_calls} so
+    a [--no-batch] run can demonstrate the difference.
+
+    Destination 0 is the client channel; 1..n are mesh peers.  In
+    [batch:false] mode [add] sends immediately and [flush] is a no-op —
+    the same code path, only the coalescing differs, which is what makes
+    the comparison honest. *)
+
+type t
+
+val create :
+  n:int -> batch:bool -> stats:Stats.t -> send:(int -> string -> unit) -> t
+(** [send dest wire] performs the actual transport write; it is invoked
+    once per frame in no-batch mode and once per destination per flush in
+    batch mode. *)
+
+val add : t -> dest:int -> string -> unit
+val flush : t -> unit
+
+val pending : t -> dest:int -> bool
+(** Batched bytes not yet flushed toward [dest]. *)

@@ -1,0 +1,25 @@
+type t = { mutable bits : Bytes.t }
+
+let create () = { bits = Bytes.make 128 '\x00' }
+
+let ensure t i =
+  let need = (i lsr 3) + 1 in
+  if need > Bytes.length t.bits then begin
+    let cap = max need (2 * Bytes.length t.bits) in
+    let fresh = Bytes.make cap '\x00' in
+    Bytes.blit t.bits 0 fresh 0 (Bytes.length t.bits);
+    t.bits <- fresh
+  end
+
+let set t i =
+  if i < 0 then invalid_arg "Bitvec.set";
+  ensure t i;
+  let b = i lsr 3 in
+  Bytes.set t.bits b
+    (Char.chr (Char.code (Bytes.get t.bits b) lor (1 lsl (i land 7))))
+
+let mem t i =
+  if i < 0 then invalid_arg "Bitvec.mem";
+  let b = i lsr 3 in
+  b < Bytes.length t.bits
+  && Char.code (Bytes.get t.bits b) land (1 lsl (i land 7)) <> 0

@@ -1,0 +1,12 @@
+(** A growable bit set over non-negative ints.
+
+    The multiplexer marks decided instance ids here: one bit per instance
+    ever served — bounded, unlike keeping released slots or a hash set
+    alive — so late frames for finished instances are recognized and
+    dropped in O(1) without resurrecting state. *)
+
+type t
+
+val create : unit -> t
+val set : t -> int -> unit
+val mem : t -> int -> bool

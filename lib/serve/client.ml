@@ -1,0 +1,217 @@
+type config = {
+  n : int;
+  transport : [ `Unix of string | `Tcp of int ];
+  instances : int;
+  window : int;
+  proposals : int -> int -> int;
+  timeout : float;  (** overall wall-clock budget, seconds *)
+}
+
+type outcome = {
+  decisions : (int * int) option array array;
+  latencies : float list;
+  elapsed : float;
+  undecided : int list;
+  dead_nodes : int list;
+}
+
+type node = {
+  pid : int;
+  mutable fd : Unix.file_descr option;
+  decoder : Live.Frame.decoder;
+}
+
+let connect_timeout = 10.0
+let send_timeout = 2.0
+
+let mark_dead node =
+  match node.fd with
+  | None -> ()
+  | Some fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    node.fd <- None
+
+let run ?(on_idle = fun () -> ()) cfg =
+  if cfg.n < 2 then Error "serve client: need n >= 2"
+  else if cfg.instances < 0 then Error "serve client: negative instances"
+  else begin
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let nodes =
+      Array.init cfg.n (fun i ->
+          { pid = i + 1; fd = None; decoder = Live.Frame.decoder () })
+    in
+    let hello = Live.Frame.encode (Live.Frame.Hello { node = 0 }) in
+    let deadline = Live.Sockets.now () +. connect_timeout in
+    let connect_err = ref None in
+    Array.iter
+      (fun node ->
+        if !connect_err = None then
+          match
+            Live.Sockets.connect_retry ~deadline
+              (Live.Sockets.addr_of ~transport:cfg.transport node.pid)
+          with
+          | Error e ->
+            connect_err :=
+              Some
+                (Printf.sprintf "connect to p%d: %s" node.pid
+                   (Live.Sockets.error_to_string e))
+          | Ok fd -> (
+            match Live.Sockets.write_all ~deadline fd hello with
+            | Ok () ->
+              Unix.set_nonblock fd;
+              node.fd <- Some fd
+            | Error e ->
+              connect_err :=
+                Some
+                  (Printf.sprintf "hello to p%d: %s" node.pid
+                     (Live.Sockets.error_to_string e))))
+      nodes;
+    match !connect_err with
+    | Some e ->
+      Array.iter mark_dead nodes;
+      Error e
+    | None ->
+      let window = max 1 cfg.window in
+      let decisions =
+        Array.init cfg.instances (fun _ -> Array.make cfg.n None)
+      in
+      let submit_t = Array.make (max 1 cfg.instances) 0.0 in
+      let latencies = ref [] in
+      let inflight = ref [] in
+      let next_submit = ref 0 in
+      let settled_count = ref 0 in
+      (* One coalesced Submit burst per node per refill: the client-side
+         mirror of the engines' per-peer batching. *)
+      let submit_batch fresh =
+        let per_node = Array.make cfg.n (Buffer.create 0) in
+        Array.iteri (fun i _ -> per_node.(i) <- Buffer.create 256) per_node;
+        List.iter
+          (fun i ->
+            submit_t.(i) <- Live.Sockets.now ();
+            inflight := i :: !inflight;
+            Array.iter
+              (fun node ->
+                if node.fd <> None then
+                  Buffer.add_string per_node.(node.pid - 1)
+                    (Live.Frame.encode
+                       (Live.Frame.Submit
+                          { instance = i; proposal = cfg.proposals i node.pid })))
+              nodes)
+          fresh;
+        Array.iter
+          (fun node ->
+            match node.fd with
+            | None -> ()
+            | Some fd ->
+              let wire = Buffer.contents per_node.(node.pid - 1) in
+              if wire <> "" then (
+                match
+                  Live.Sockets.write_all
+                    ~deadline:(Live.Sockets.now () +. send_timeout)
+                    fd wire
+                with
+                | Ok () -> ()
+                | Error _ -> mark_dead node))
+          nodes
+      in
+      let refill () =
+        let fresh = ref [] in
+        while
+          List.length !inflight + List.length !fresh < window
+          && !next_submit < cfg.instances
+        do
+          fresh := !next_submit :: !fresh;
+          incr next_submit
+        done;
+        if !fresh <> [] then submit_batch (List.rev !fresh)
+      in
+      let is_settled i =
+        let ok = ref true in
+        Array.iter
+          (fun node ->
+            if node.fd <> None && decisions.(i).(node.pid - 1) = None then
+              ok := false)
+          nodes;
+        !ok
+      in
+      let settle_pass () =
+        inflight :=
+          List.filter
+            (fun i ->
+              if is_settled i then begin
+                latencies := (Live.Sockets.now () -. submit_t.(i)) :: !latencies;
+                incr settled_count;
+                false
+              end
+              else true)
+            !inflight
+      in
+      let drain node =
+        let rec go () =
+          match Live.Frame.pop_view node.decoder with
+          | `View v ->
+            (match v.Live.Frame.kind with
+            | Live.Frame.K_decide ->
+              let i = v.Live.Frame.instance in
+              if
+                i >= 0 && i < cfg.instances
+                && decisions.(i).(node.pid - 1) = None
+              then
+                decisions.(i).(node.pid - 1) <-
+                  Some (v.Live.Frame.value, v.Live.Frame.round)
+            | _ -> ());
+            go ()
+          | `Need_more -> ()
+          | `Corrupt _ -> mark_dead node
+        in
+        go ()
+      in
+      let buf = Bytes.create 65536 in
+      let started = Live.Sockets.now () in
+      let wall_deadline = started +. cfg.timeout in
+      refill ();
+      while
+        !settled_count < cfg.instances
+        && Live.Sockets.now () < wall_deadline
+        && Array.exists (fun node -> node.fd <> None) nodes
+      do
+        let fds =
+          Array.to_list nodes |> List.filter_map (fun node -> node.fd)
+        in
+        (match Unix.select fds [] [] 0.05 with
+        | ready, _, _ ->
+          Array.iter
+            (fun node ->
+              match node.fd with
+              | Some fd when List.memq fd ready -> (
+                match Live.Sockets.read_chunk fd buf with
+                | `Data k ->
+                  Live.Frame.feed node.decoder (Bytes.unsafe_to_string buf)
+                    ~pos:0 ~len:k;
+                  drain node
+                | `Closed -> mark_dead node
+                | `Nothing -> ())
+              | _ -> ())
+            nodes
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        (* A node death un-blocks every instance waiting only on it. *)
+        settle_pass ();
+        refill ();
+        on_idle ()
+      done;
+      let elapsed = Live.Sockets.now () -. started in
+      let undecided =
+        List.sort_uniq compare
+          (!inflight
+          @ List.init
+              (max 0 (cfg.instances - !next_submit))
+              (fun k -> !next_submit + k))
+      in
+      let dead_nodes =
+        Array.to_list nodes
+        |> List.filter_map (fun node ->
+               if node.fd = None then Some node.pid else None)
+      in
+      Array.iter mark_dead nodes;
+      Ok { decisions; latencies = !latencies; elapsed; undecided; dead_nodes }
+  end

@@ -1,0 +1,32 @@
+(** The serve front-end: one process driving a whole storm through the
+    engines' client channels.
+
+    Connects to every node (Hello node 0), keeps [window] instances in
+    flight with coalesced Submit bursts, collects Decide frames, and
+    settles an instance once every still-connected node has reported —
+    a node that dies (the kill victim) stops blocking settlement the
+    moment its socket closes, exactly the judgment rule {!Report} uses.
+
+    [on_idle] runs once per select iteration (~20 Hz); the fleet uses it
+    to pump engine status pipes and catch the victim's SIGSTOP without a
+    second event loop. *)
+
+type config = {
+  n : int;
+  transport : [ `Unix of string | `Tcp of int ];
+  instances : int;
+  window : int;
+  proposals : int -> int -> int;  (** instance -> node -> proposal *)
+  timeout : float;  (** overall wall-clock budget, seconds *)
+}
+
+type outcome = {
+  decisions : (int * int) option array array;
+      (** [decisions.(instance).(node-1)] = (value, round), first report wins *)
+  latencies : float list;  (** submit-to-settle, settled instances only *)
+  elapsed : float;  (** first submit to loop exit *)
+  undecided : int list;  (** instances that never settled (incl. unsubmitted) *)
+  dead_nodes : int list;  (** nodes whose socket died during the run *)
+}
+
+val run : ?on_idle:(unit -> unit) -> config -> (outcome, string) result

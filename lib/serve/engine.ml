@@ -1,0 +1,377 @@
+type config = {
+  me : int;
+  n : int;
+  t : int;
+  transport : [ `Unix of string | `Tcp of int ];
+  big_d : float;
+  max_rounds : int;
+  batch : bool;
+  kill_after : int option;
+  linger : bool;
+  status : out_channel;
+  log : out_channel;
+}
+
+let handshake_timeout = 10.0
+let send_timeout = 2.0
+
+module Make (A : Binding.ALGO) = struct
+  module M = Mux.Make (A)
+
+  type peer = {
+    pid : int;
+    mutable fd : Unix.file_descr option;
+    decoder : Live.Frame.decoder;
+  }
+
+  type client = {
+    cfd : Unix.file_descr;
+    cdec : Live.Frame.decoder;
+    mutable alive : bool;
+  }
+
+  let logf cfg fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.fprintf cfg.log "[%.6f p%d] %s\n" (Live.Sockets.now ()) cfg.me s;
+        flush cfg.log)
+      fmt
+
+  let status_event cfg fields =
+    output_string cfg.status (Obs.Json.to_string (Obs.Json.Obj fields));
+    output_char cfg.status '\n';
+    flush cfg.status
+
+  let mark_dead cfg peer why =
+    match peer.fd with
+    | None -> ()
+    | Some fd ->
+      logf cfg "peer p%d gone: %s" peer.pid why;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      peer.fd <- None
+
+  let hello_size =
+    String.length (Live.Frame.encode (Live.Frame.Hello { node = 1 }))
+
+  let read_exact ~deadline fd n =
+    let buf = Bytes.create n in
+    let rec go off =
+      if off >= n then Ok (Bytes.to_string buf)
+      else
+        let dt = deadline -. Live.Sockets.now () in
+        if dt <= 0.0 then Error "handshake: timed out"
+        else
+          match Unix.select [ fd ] [] [] dt with
+          | [], _, _ -> go off
+          | _ :: _, _, _ -> (
+            match Unix.read fd buf off (n - off) with
+            | 0 -> Error "handshake: peer closed"
+            | k -> go (off + k)
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              go off)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+
+  let hello_of bytes =
+    let d = Live.Frame.decoder () in
+    Live.Frame.feed_string d bytes;
+    match Live.Frame.pop d with
+    | `Frame (Live.Frame.Hello { node }) -> Ok node
+    | `Frame f -> Error (Format.asprintf "handshake: unexpected %a" Live.Frame.pp f)
+    | `Corrupt why -> Error ("handshake: " ^ why)
+    | `Need_more -> Error "handshake: short hello"
+
+  (* The mesh handshake, with one serve-specific twist: the listen fd stays
+     open for the engine's whole life (clients rendezvous on the same
+     address), and a Hello carrying node 0 — a client racing the mesh — is
+     accepted into the client list instead of failing the handshake. *)
+  let establish cfg peers clients =
+    let deadline = Live.Sockets.now () +. handshake_timeout in
+    let lfd =
+      match
+        Live.Sockets.listen
+          (Live.Sockets.addr_of ~transport:cfg.transport cfg.me)
+      with
+      | Ok fd -> fd
+      | Error e -> failwith ("listen: " ^ Live.Sockets.error_to_string e)
+    in
+    let hello = Live.Frame.encode (Live.Frame.Hello { node = cfg.me }) in
+    for p = cfg.me + 1 to cfg.n do
+      match
+        Live.Sockets.connect_retry ~deadline
+          (Live.Sockets.addr_of ~transport:cfg.transport p)
+      with
+      | Error e ->
+        failwith
+          (Printf.sprintf "connect to p%d: %s" p (Live.Sockets.error_to_string e))
+      | Ok fd -> (
+        match Live.Sockets.write_all ~deadline fd hello with
+        | Ok () ->
+          peers.(p - 1).fd <- Some fd;
+          logf cfg "dialed p%d" p
+        | Error e ->
+          failwith
+            (Printf.sprintf "hello to p%d: %s" p (Live.Sockets.error_to_string e)))
+    done;
+    let expected = ref (cfg.me - 1) in
+    while !expected > 0 do
+      match Live.Sockets.accept_timeout ~deadline lfd with
+      | Error e -> failwith (Live.Sockets.error_to_string e)
+      | Ok fd -> (
+        match read_exact ~deadline fd hello_size with
+        | Error why -> failwith why
+        | Ok bytes -> (
+          match hello_of bytes with
+          | Error why -> failwith why
+          | Ok 0 ->
+            Unix.set_nonblock fd;
+            clients :=
+              { cfd = fd; cdec = Live.Frame.decoder (); alive = true }
+              :: !clients;
+            logf cfg "client connected during handshake"
+          | Ok node when node >= 1 && node < cfg.me ->
+            if peers.(node - 1).fd <> None then
+              failwith (Printf.sprintf "handshake: duplicate hello from p%d" node);
+            peers.(node - 1).fd <- Some fd;
+            decr expected;
+            logf cfg "accepted p%d" node
+          | Ok node -> failwith (Printf.sprintf "handshake: bad hello node %d" node)))
+    done;
+    lfd
+
+  let halt_forever () =
+    Unix.kill (Unix.getpid ()) Sys.sigstop;
+    let rec forever () =
+      ignore (Unix.sleep 3600);
+      forever ()
+    in
+    forever ()
+
+  let stats_json mux =
+    let s = M.stats mux in
+    s.Stats.slab_capacity <- M.slab_capacity mux;
+    s.Stats.slab_reused <- M.slab_reused mux;
+    Stats.to_json s
+
+  let main cfg =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let peers =
+      Array.init cfg.n (fun i ->
+          { pid = i + 1; fd = None; decoder = Live.Frame.decoder () })
+    in
+    let clients = ref [] in
+    let had_client = ref (!clients <> []) in
+    let lfd = establish cfg peers clients in
+    if !clients <> [] then had_client := true;
+    Array.iter
+      (fun p ->
+        if p.pid <> cfg.me then
+          match p.fd with Some fd -> Unix.set_nonblock fd | None -> ())
+      peers;
+    (* Mesh frames coalesce per peer; the Batch send closure is the only
+       place engine bytes hit a socket.  Destination 0 broadcasts to every
+       connected client — the fleet runs one, but nothing relies on that. *)
+    let send_to_client c wire =
+      if c.alive then
+        match
+          Live.Sockets.write_all
+            ~deadline:(Live.Sockets.now () +. send_timeout)
+            c.cfd wire
+        with
+        | Ok () -> ()
+        | Error e ->
+          logf cfg "client gone: %s" (Live.Sockets.error_to_string e);
+          (try Unix.close c.cfd with Unix.Unix_error _ -> ());
+          c.alive <- false
+    in
+    let send dest wire =
+      if dest = 0 then List.iter (fun c -> send_to_client c wire) !clients
+      else
+        let peer = peers.(dest - 1) in
+        match peer.fd with
+        | None -> ()
+        | Some fd -> (
+          match
+            Live.Sockets.write_all
+              ~deadline:(Live.Sockets.now () +. send_timeout)
+              fd wire
+          with
+          | Ok () -> ()
+          | Error e -> mark_dead cfg peer (Live.Sockets.error_to_string e))
+    in
+    let batch_cell : Batch.t option ref = ref None in
+    let mux =
+      M.create
+        {
+          Mux.me = cfg.me;
+          n = cfg.n;
+          t = cfg.t;
+          big_d = cfg.big_d;
+          max_rounds = cfg.max_rounds;
+          kill_after = cfg.kill_after;
+        }
+        ~emit:(fun ~dest frame ->
+          match !batch_cell with
+          | Some b -> Batch.add b ~dest (Live.Frame.encode frame)
+          | None -> assert false)
+    in
+    let batch =
+      Batch.create ~n:cfg.n ~batch:cfg.batch ~stats:(M.stats mux) ~send
+    in
+    batch_cell := Some batch;
+    status_event cfg
+      [ ("event", Obs.Json.String "ready"); ("node", Obs.Json.Int cfg.me) ];
+    logf cfg "mesh up; serving";
+    let buf = Bytes.create 65536 in
+    let drain_peer peer =
+      let rec go () =
+        if not (M.halted mux) then
+          match Live.Frame.pop_view peer.decoder with
+          | `View v ->
+            M.on_view mux ~now:(Live.Sockets.now ()) ~from:peer.pid v;
+            go ()
+          | `Need_more -> ()
+          | `Corrupt why -> mark_dead cfg peer ("corrupt stream: " ^ why)
+      in
+      go ()
+    in
+    let drain_client c =
+      let rec go () =
+        if c.alive && not (M.halted mux) then
+          match Live.Frame.pop_view c.cdec with
+          | `View v ->
+            (match v.Live.Frame.kind with
+            | Live.Frame.K_submit ->
+              M.submit mux ~now:(Live.Sockets.now ())
+                ~instance:v.Live.Frame.instance ~proposal:v.Live.Frame.value
+            | _ -> ());
+            go ()
+          | `Need_more -> ()
+          | `Corrupt why ->
+            logf cfg "client stream corrupt: %s" why;
+            (try Unix.close c.cfd with Unix.Unix_error _ -> ());
+            c.alive <- false
+      in
+      go ()
+    in
+    let read_into feed_target close_action fd =
+      match Live.Sockets.read_chunk fd buf with
+      | `Data k ->
+        feed_target (Bytes.unsafe_to_string buf) k;
+        true
+      | `Closed ->
+        close_action ();
+        false
+      | `Nothing -> true
+    in
+    let accept_pending () =
+      match Unix.accept lfd with
+      | fd, _ -> (
+        Unix.set_close_on_exec fd;
+        match read_exact ~deadline:(Live.Sockets.now () +. 2.0) fd hello_size with
+        | Error why ->
+          logf cfg "late connection dropped: %s" why;
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | Ok bytes -> (
+          match hello_of bytes with
+          | Ok 0 ->
+            Unix.set_nonblock fd;
+            clients :=
+              { cfd = fd; cdec = Live.Frame.decoder (); alive = true }
+              :: !clients;
+            had_client := true;
+            logf cfg "client connected"
+          | Ok node ->
+            logf cfg "unexpected mesh hello from p%d after startup; dropped" node;
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+          | Error why ->
+            logf cfg "bad late hello: %s" why;
+            (try Unix.close fd with Unix.Unix_error _ -> ())))
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+    in
+    let running = ref true in
+    while !running do
+      let now0 = Live.Sockets.now () in
+      let timeout =
+        match M.next_deadline mux with
+        | Some dl -> Float.max 0.0 (Float.min 0.25 (dl -. now0))
+        | None -> 0.25
+      in
+      let peer_fds =
+        Array.to_list peers
+        |> List.filter_map (fun p -> if p.pid = cfg.me then None else p.fd)
+      in
+      let client_fds = List.filter_map (fun c -> if c.alive then Some c.cfd else None) !clients in
+      (match Unix.select ((lfd :: peer_fds) @ client_fds) [] [] timeout with
+      | ready, _, _ ->
+        if List.memq lfd ready then accept_pending ();
+        Array.iter
+          (fun peer ->
+            match peer.fd with
+            | Some fd when peer.pid <> cfg.me && List.memq fd ready ->
+              ignore
+                (read_into
+                   (fun s k ->
+                     Live.Frame.feed peer.decoder s ~pos:0 ~len:k;
+                     drain_peer peer)
+                   (fun () -> mark_dead cfg peer "eof")
+                   fd)
+            | _ -> ())
+          peers;
+        List.iter
+          (fun c ->
+            if c.alive && List.memq c.cfd ready then
+              ignore
+                (read_into
+                   (fun s k ->
+                     Live.Frame.feed c.cdec s ~pos:0 ~len:k;
+                     drain_client c)
+                   (fun () ->
+                     logf cfg "client disconnected";
+                     (try Unix.close c.cfd with Unix.Unix_error _ -> ());
+                     c.alive <- false)
+                   c.cfd))
+          !clients
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      clients := List.filter (fun c -> c.alive) !clients;
+      M.expire mux ~now:(Live.Sockets.now ());
+      (* Deliver everything this iteration produced — including, on a halt,
+         the pre-crash prefix the budget allowed (the kernel would have
+         flushed those buffers; the mux already stopped counting). *)
+      Batch.flush batch;
+      if M.halted mux then begin
+        logf cfg "kill budget exhausted after %d mesh writes; stopping"
+          (M.mesh_writes mux);
+        status_event cfg
+          [
+            ("event", Obs.Json.String "halted");
+            ("node", Obs.Json.Int cfg.me);
+            ( "realized",
+              Obs.Json.List (List.map Mux.realized_to_json (M.realized mux)) );
+            ("stats", stats_json mux);
+          ];
+        halt_forever ()
+      end
+      else if
+        (not cfg.linger) && !had_client && !clients = [] && M.active mux = 0
+      then begin
+        logf cfg "last client gone and no instance active; exiting";
+        status_event cfg
+          [
+            ("event", Obs.Json.String "stats");
+            ("node", Obs.Json.Int cfg.me);
+            ("stats", stats_json mux);
+          ];
+        running := false
+      end
+    done;
+    (try Unix.close lfd with Unix.Unix_error _ -> ());
+    Array.iter (fun p -> mark_dead cfg p "shutdown") peers
+end
+
+module Rwwc = Make (Binding.Rwwc)

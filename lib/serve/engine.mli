@@ -1,0 +1,44 @@
+(** The per-node serve event loop: one single-threaded [select] loop
+    multiplexing the whole socket mesh, every connected client, and the
+    mux's round deadlines.
+
+    The loop accepts clients on the same listen socket the mesh handshake
+    used (a Hello carrying node id 0 marks a client), feeds every readable
+    fd through its incremental frame decoder into the {!Mux}, expires due
+    rounds, and flushes the per-peer {!Batch} buffers — one buffered write
+    per peer per iteration, which is where the decisions/sec headroom
+    comes from.
+
+    A [kill_after] budget makes the mux halt mid-send; the engine then
+    flushes the pre-crash prefix (the frames the budget allowed), reports
+    the realized per-instance crash points on the status channel, and
+    SIGSTOPs itself for the supervising fleet to deliver the real
+    SIGKILL — same protocol as {!Live.Node}.
+
+    Without [linger], the engine exits cleanly once it has seen at least
+    one client, the last client has disconnected, and no instance is
+    active — after emitting a final ["stats"] status event. *)
+
+type config = {
+  me : int;
+  n : int;
+  t : int;
+  transport : [ `Unix of string | `Tcp of int ];
+  big_d : float;  (** per-round receive window, seconds *)
+  max_rounds : int;
+  batch : bool;  (** coalesce mesh frames per peer per loop iteration *)
+  kill_after : int option;  (** mesh-frame kill budget (see {!Mux}) *)
+  linger : bool;  (** keep serving after the last client disconnects *)
+  status : out_channel;  (** JSON-lines: ready / halted / stats events *)
+  log : out_channel;
+}
+
+module Make (A : Binding.ALGO) : sig
+  val main : config -> unit
+  (** Runs until clean exit; raises [Failure] on handshake errors and
+      never returns after a kill-budget halt (SIGSTOP, then SIGKILL). *)
+end
+
+module Rwwc : sig
+  val main : config -> unit
+end

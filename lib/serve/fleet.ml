@@ -1,0 +1,331 @@
+type config = {
+  n : int;
+  t : int;
+  transport : [ `Unix of string | `Tcp of int ];
+  workspace : string;
+  instances : int;
+  window : int;
+  big_d : float;
+  batch : bool;
+  kill : Report.kill_spec option;
+  max_rounds : int option;
+  proposals : int -> int -> int;
+  client_timeout : float option;
+  verbose : bool;
+}
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let vlog cfg fmt =
+  Printf.ksprintf
+    (fun s -> if cfg.verbose then Printf.eprintf "serve: %s\n%!" s)
+    fmt
+
+type child = {
+  node : int;
+  os_pid : int;
+  mutable status_fd : Unix.file_descr option;
+  buf : Buffer.t;
+  mutable ready : bool;
+  mutable realized : Mux.realized list option;  (* from a "halted" event *)
+  mutable stats : Stats.t option;
+  mutable reaped : bool;
+}
+
+let close_parent_fd parent_fds fd =
+  parent_fds := List.filter (fun f -> f <> fd) !parent_fds;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let handle_event c line =
+  match Obs.Json.of_string line with
+  | Error _ -> ()
+  | Ok j -> (
+    let stats_of () =
+      match Obs.Json.member "stats" j with
+      | Some sj -> (
+        match Stats.of_json sj with Ok s -> Some s | Error _ -> None)
+      | None -> None
+    in
+    match Obs.Json.member "event" j with
+    | Some (Obs.Json.String "ready") -> c.ready <- true
+    | Some (Obs.Json.String "stats") -> c.stats <- stats_of ()
+    | Some (Obs.Json.String "halted") ->
+      c.stats <- stats_of ();
+      (match Obs.Json.member "realized" j with
+      | Some (Obs.Json.List items) ->
+        let rs =
+          List.filter_map
+            (fun item ->
+              match Mux.realized_of_json item with
+              | Ok r -> Some r
+              | Error _ -> None)
+            items
+        in
+        c.realized <- Some rs
+      | _ -> c.realized <- Some [])
+    | _ -> ())
+
+let process_lines c =
+  let rec go () =
+    let s = Buffer.contents c.buf in
+    match String.index_opt s '\n' with
+    | None -> ()
+    | Some i ->
+      let line = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      Buffer.clear c.buf;
+      Buffer.add_string c.buf rest;
+      handle_event c line;
+      go ()
+  in
+  go ()
+
+let pump parent_fds c =
+  match c.status_fd with
+  | None -> ()
+  | Some fd -> (
+    let b = Bytes.create 4096 in
+    match Unix.read fd b 0 4096 with
+    | 0 ->
+      close_parent_fd parent_fds fd;
+      c.status_fd <- None
+    | k ->
+      Buffer.add_subbytes c.buf b 0 k;
+      process_lines c
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ())
+
+let select_pump ~timeout parent_fds children =
+  let fds = Array.to_list children |> List.filter_map (fun c -> c.status_fd) in
+  if fds = [] then (
+    if timeout > 0.0 then
+      Live.Sockets.sleep_until (Live.Sockets.now () +. timeout))
+  else
+    match Unix.select fds [] [] timeout with
+    | [], _, _ -> ()
+    | ready, _, _ ->
+      Array.iter
+        (fun c ->
+          match c.status_fd with
+          | Some fd when List.mem fd ready -> pump parent_fds c
+          | _ -> ())
+        children
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* SIGSTOP from a kill-budget halt is answered with the real SIGKILL;
+   normal exits are just reaped. *)
+let reap_one cfg c =
+  if not c.reaped then
+    match Unix.waitpid [ Unix.WNOHANG; Unix.WUNTRACED ] c.os_pid with
+    | 0, _ -> ()
+    | _, Unix.WSTOPPED _ ->
+      vlog cfg "node %d stopped at its kill point; SIGKILL" c.node;
+      (try Unix.kill c.os_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] c.os_pid) with Unix.Unix_error _ -> ());
+      c.reaped <- true
+    | _, (Unix.WEXITED _ | Unix.WSIGNALED _) -> c.reaped <- true
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> c.reaped <- true
+
+let cleanup cfg parent_fds children =
+  Array.iter
+    (fun c ->
+      if not c.reaped then begin
+        (try Unix.kill c.os_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] c.os_pid) with Unix.Unix_error _ -> ());
+        c.reaped <- true
+      end)
+    children;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    !parent_fds;
+  parent_fds := [];
+  Array.iter (fun c -> c.status_fd <- None) children;
+  match cfg.transport with
+  | `Unix dir ->
+    for i = 1 to cfg.n do
+      try Unix.unlink (Filename.concat dir (Printf.sprintf "node-%d.sock" i))
+      with Unix.Unix_error _ -> ()
+    done
+  | `Tcp _ -> ()
+
+let run cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if cfg.n < 2 then Error "serve fleet: need n >= 2"
+  else if cfg.t < 0 || cfg.t >= cfg.n then Error "serve fleet: need 0 <= t < n"
+  else begin
+    let max_rounds =
+      match cfg.max_rounds with Some m -> m | None -> cfg.t + 1
+    in
+    mkdir_p cfg.workspace;
+    let parent_fds = ref [] in
+    let spawn_child i =
+      let status_r, status_w = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        (try
+           Unix.close status_r;
+           List.iter
+             (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+             !parent_fds;
+           let log =
+             open_out
+               (Filename.concat cfg.workspace (Printf.sprintf "serve-%d.log" i))
+           in
+           let kill_after =
+             match cfg.kill with
+             | Some k when k.Report.node = i -> Some k.Report.after_frames
+             | _ -> None
+           in
+           Engine.Rwwc.main
+             {
+               Engine.me = i;
+               n = cfg.n;
+               t = cfg.t;
+               transport = cfg.transport;
+               big_d = cfg.big_d;
+               max_rounds;
+               batch = cfg.batch;
+               kill_after;
+               linger = false;
+               status = Unix.out_channel_of_descr status_w;
+               log;
+             };
+           Unix._exit 0
+         with e ->
+           (try
+              let oc =
+                open_out_gen
+                  [ Open_append; Open_creat ]
+                  0o644
+                  (Filename.concat cfg.workspace
+                     (Printf.sprintf "serve-%d.log" i))
+              in
+              Printf.fprintf oc "fatal: %s\n" (Printexc.to_string e);
+              close_out oc
+            with _ -> ());
+           Unix._exit 3)
+      | pid ->
+        Unix.close status_w;
+        parent_fds := status_r :: !parent_fds;
+        (pid, status_r)
+    in
+    let children =
+      Array.init cfg.n (fun idx ->
+          let i = idx + 1 in
+          let pid, status_r = spawn_child i in
+          {
+            node = i;
+            os_pid = pid;
+            status_fd = Some status_r;
+            buf = Buffer.create 256;
+            ready = false;
+            realized = None;
+            stats = None;
+            reaped = false;
+          })
+    in
+    vlog cfg "spawned %d engines" cfg.n;
+    let body () =
+      (* Startup: every engine reports ready once its mesh is up. *)
+      let start_deadline = Live.Sockets.now () +. 15.0 in
+      let rec wait_ready () =
+        if Array.for_all (fun c -> c.ready) children then Ok ()
+        else if Live.Sockets.now () > start_deadline then
+          Error "serve fleet: startup timeout — not every engine became ready"
+        else begin
+          select_pump ~timeout:0.05 parent_fds children;
+          let died =
+            Array.exists
+              (fun c ->
+                (not c.ready)
+                &&
+                match Unix.waitpid [ Unix.WNOHANG ] c.os_pid with
+                | 0, _ -> false
+                | _, _ ->
+                  c.reaped <- true;
+                  true
+                | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                  c.reaped <- true;
+                  true)
+              children
+          in
+          if died then
+            Error "serve fleet: an engine died during startup (see logs)"
+          else wait_ready ()
+        end
+      in
+      match wait_ready () with
+      | Error e -> Error e
+      | Ok () ->
+        vlog cfg "all engines ready; starting the storm";
+        let timeout =
+          match cfg.client_timeout with
+          | Some s -> s
+          | None ->
+            (* worst case: every window-batch burns the full deadline chain *)
+            let batches =
+              float_of_int ((cfg.instances / max 1 cfg.window) + 2)
+            in
+            (batches *. cfg.big_d *. float_of_int (max_rounds + 1)) +. 10.0
+        in
+        let on_idle () =
+          select_pump ~timeout:0.0 parent_fds children;
+          Array.iter (reap_one cfg) children
+        in
+        let client_cfg =
+          {
+            Client.n = cfg.n;
+            transport = cfg.transport;
+            instances = cfg.instances;
+            window = cfg.window;
+            proposals = cfg.proposals;
+            timeout;
+          }
+        in
+        (match Client.run ~on_idle client_cfg with
+        | Error e -> Error ("serve fleet: client: " ^ e)
+        | Ok outcome ->
+          (* Engines exit once the client hangs up; drain their final
+             stats events, answer a late SIGSTOP, then close out. *)
+          let grace = Live.Sockets.now () +. 5.0 in
+          while
+            Array.exists (fun c -> c.status_fd <> None) children
+            && Live.Sockets.now () < grace
+          do
+            select_pump ~timeout:0.05 parent_fds children;
+            Array.iter (reap_one cfg) children
+          done;
+          Array.iter (reap_one cfg) children;
+          let victim =
+            Array.to_list children
+            |> List.find_map (fun c ->
+                   match c.realized with
+                   | Some rs -> Some (c.node, rs)
+                   | None -> None)
+          in
+          let stats =
+            Array.to_list children
+            |> List.filter_map (fun c ->
+                   match c.stats with
+                   | Some s -> Some (c.node, s)
+                   | None -> None)
+          in
+          Ok
+            (Report.build ~n:cfg.n ~t:cfg.t ~proposals:cfg.proposals
+               ~decisions:outcome.Client.decisions ~victim
+               ~send_plan:Binding.Rwwc.send_plan
+               ~elapsed:outcome.Client.elapsed
+               ~latencies:outcome.Client.latencies ~stats ~kill:cfg.kill))
+    in
+    let result =
+      try body ()
+      with e -> Error ("serve fleet: " ^ Printexc.to_string e)
+    in
+    cleanup cfg parent_fds children;
+    result
+  end

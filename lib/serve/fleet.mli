@@ -1,0 +1,26 @@
+(** The serve fleet: forks one {!Engine} per node, waits for the mesh,
+    drives the storm with an in-process {!Client}, and folds decisions,
+    latencies, per-engine stats, and any realized kill into a {!Report}.
+
+    Engine status pipes (ready / halted / stats JSON lines) are pumped
+    from the client's [on_idle] hook, so one select loop serves both
+    jobs; a kill-budget victim's SIGSTOP is answered with SIGKILL from
+    the same hook — mid-storm, while the other engines keep deciding. *)
+
+type config = {
+  n : int;
+  t : int;
+  transport : [ `Unix of string | `Tcp of int ];
+  workspace : string;  (** directory for socket files and engine logs *)
+  instances : int;
+  window : int;
+  big_d : float;
+  batch : bool;
+  kill : Report.kill_spec option;
+  max_rounds : int option;  (** default [t + 1] *)
+  proposals : int -> int -> int;  (** instance -> node -> proposal *)
+  client_timeout : float option;  (** default derived from the deadline chain *)
+  verbose : bool;
+}
+
+val run : config -> (Report.t, string) result

@@ -1,0 +1,215 @@
+module Make (A : Binding.ALGO) = struct
+  module M = Mux.Make (A)
+
+  type config = {
+    n : int;
+    t : int;
+    instances : int;
+    window : int;
+    big_d : float;
+    batch : bool;
+    kill : Report.kill_spec option;
+    max_rounds : int option;
+    proposals : int -> int -> int;
+  }
+
+  let run cfg =
+    if cfg.n < 2 then invalid_arg "Serve.Loopback: n must be >= 2";
+    if cfg.instances < 0 then invalid_arg "Serve.Loopback: negative instances";
+    let n = cfg.n in
+    let window = max 1 cfg.window in
+    let started = Unix.gettimeofday () in
+    let now = ref 0.0 in
+    let max_rounds =
+      match cfg.max_rounds with Some m -> m | None -> cfg.t + 1
+    in
+    (* One in-memory FIFO per directed link, one incremental decoder per
+       link on the receiving side, one Decide-stream decoder per node's
+       client channel: the exact socket topology, minus the sockets. *)
+    let links = Array.make_matrix n n [] in
+    let decoders =
+      Array.init n (fun _ -> Array.init n (fun _ -> Live.Frame.decoder ()))
+    in
+    let client_dec = Array.init n (fun _ -> Live.Frame.decoder ()) in
+    let moved = ref false in
+    let batches : Batch.t option array = Array.make n None in
+    let muxes =
+      Array.init n (fun idx ->
+          let me = idx + 1 in
+          let kill_after =
+            match cfg.kill with
+            | Some k when k.Report.node = me -> Some k.Report.after_frames
+            | _ -> None
+          in
+          let emit ~dest frame =
+            match batches.(idx) with
+            | Some b -> Batch.add b ~dest (Live.Frame.encode frame)
+            | None -> assert false
+          in
+          M.create
+            { Mux.me; n; t = cfg.t; big_d = cfg.big_d; max_rounds; kill_after }
+            ~emit)
+    in
+    Array.iteri
+      (fun idx mux ->
+        let send dest wire =
+          moved := true;
+          if dest = 0 then Live.Frame.feed_string client_dec.(idx) wire
+          else if dest >= 1 && dest <= n then
+            links.(idx).(dest - 1) <- wire :: links.(idx).(dest - 1)
+        in
+        batches.(idx) <-
+          Some (Batch.create ~n ~batch:cfg.batch ~stats:(M.stats mux) ~send))
+      muxes;
+    let decisions = Array.init cfg.instances (fun _ -> Array.make n None) in
+    let submit_t = Array.make (max 1 cfg.instances) 0.0 in
+    let latencies = ref [] in
+    let drain_link s d =
+      match links.(s).(d) with
+      | [] -> ()
+      | q ->
+        links.(s).(d) <- [];
+        let dec = decoders.(s).(d) in
+        List.iter (fun wire -> Live.Frame.feed_string dec wire) (List.rev q);
+        let rec go () =
+          match Live.Frame.pop_view dec with
+          | `View v ->
+            moved := true;
+            M.on_view muxes.(d) ~now:!now ~from:(s + 1) v;
+            go ()
+          | `Need_more -> ()
+          | `Corrupt why -> failwith ("Serve.Loopback: corrupt stream: " ^ why)
+        in
+        go ()
+    in
+    let drain_client idx =
+      let dec = client_dec.(idx) in
+      let rec go () =
+        match Live.Frame.pop_view dec with
+        | `View v ->
+          moved := true;
+          (match v.Live.Frame.kind with
+          | Live.Frame.K_decide ->
+            let i = v.Live.Frame.instance in
+            if i >= 0 && i < cfg.instances && decisions.(i).(idx) = None then
+              decisions.(i).(idx) <-
+                Some (v.Live.Frame.value, v.Live.Frame.round)
+          | _ -> ());
+          go ()
+        | `Need_more -> ()
+        | `Corrupt why ->
+          failwith ("Serve.Loopback: corrupt client stream: " ^ why)
+      in
+      go ()
+    in
+    (* Deliver until quiescent at the current virtual instant: flush every
+       batch, move link bytes, feed decoders — repeatedly, because consuming
+       a frame can emit new ones. *)
+    let deliver () =
+      let continue = ref true in
+      while !continue do
+        moved := false;
+        Array.iter
+          (function Some b -> Batch.flush b | None -> ())
+          batches;
+        for s = 0 to n - 1 do
+          for d = 0 to n - 1 do
+            drain_link s d
+          done
+        done;
+        for idx = 0 to n - 1 do
+          drain_client idx
+        done;
+        continue := !moved
+      done
+    in
+    let next_submit = ref 0 in
+    let inflight = ref [] in
+    let submit_instance i =
+      submit_t.(i) <- !now;
+      inflight := i :: !inflight;
+      (* Descending node order, so the round-1 coordinator (p1) starts its
+         sends only once every node has opened the instance — the common
+         client pattern; the mux's early-frame parking covers the rest. *)
+      for node = n downto 1 do
+        M.submit muxes.(node - 1) ~now:!now ~instance:i
+          ~proposal:(cfg.proposals i node)
+      done
+    in
+    let is_settled i =
+      let ok = ref true in
+      for j = 0 to n - 1 do
+        if decisions.(i).(j) = None && not (M.halted muxes.(j)) then ok := false
+      done;
+      !ok
+    in
+    let settle_pass () =
+      inflight :=
+        List.filter
+          (fun i ->
+            if is_settled i then begin
+              latencies := (!now -. submit_t.(i)) :: !latencies;
+              false
+            end
+            else true)
+          !inflight
+    in
+    let refill () =
+      let before = !next_submit in
+      while List.length !inflight < window && !next_submit < cfg.instances do
+        submit_instance !next_submit;
+        incr next_submit
+      done;
+      !next_submit <> before
+    in
+    let stuck = ref false in
+    let guard = ref ((cfg.instances * (max_rounds + 2)) + 64) in
+    ignore (refill ());
+    while !inflight <> [] && (not !stuck) && !guard > 0 do
+      decr guard;
+      (* message-speed fixed point at the current instant *)
+      let rec instant () =
+        deliver ();
+        settle_pass ();
+        if refill () then instant ()
+      in
+      instant ();
+      if !inflight <> [] then begin
+        let best = ref infinity in
+        Array.iter
+          (fun m ->
+            match M.next_deadline m with
+            | Some dl when dl < !best -> best := dl
+            | _ -> ())
+          muxes;
+        if !best = infinity then stuck := true
+        else begin
+          now := max !now !best;
+          Array.iter (fun m -> M.expire m ~now:!now) muxes
+        end
+      end
+    done;
+    let elapsed = Unix.gettimeofday () -. started in
+    let victim =
+      match cfg.kill with
+      | Some k ->
+        let m = muxes.(k.Report.node - 1) in
+        if M.halted m then Some (k.Report.node, M.realized m) else None
+      | None -> None
+    in
+    let stats =
+      Array.to_list
+        (Array.mapi
+           (fun idx m ->
+             let s = M.stats m in
+             s.Stats.slab_capacity <- M.slab_capacity m;
+             s.Stats.slab_reused <- M.slab_reused m;
+             (idx + 1, s))
+           muxes)
+    in
+    Report.build ~n ~t:cfg.t ~proposals:cfg.proposals ~decisions ~victim
+      ~send_plan:A.send_plan ~elapsed ~latencies:!latencies ~stats
+      ~kill:cfg.kill
+end
+
+module Rwwc = Make (Binding.Rwwc)

@@ -1,0 +1,66 @@
+type 'a slot = { mutable id : int; value : 'a }
+
+type 'a t = {
+  mutable slots : 'a slot option array;
+  mutable free : int list;
+  mutable next : int;  (* high-water mark: slots ever allocated *)
+  index : (int, int) Hashtbl.t;  (* instance id -> slot position *)
+  mutable reused : int;
+}
+
+let create ?(initial = 64) () =
+  {
+    slots = Array.make (max 1 initial) None;
+    free = [];
+    next = 0;
+    index = Hashtbl.create 64;
+    reused = 0;
+  }
+
+let capacity t = t.next
+let active t = Hashtbl.length t.index
+let reused t = t.reused
+
+let find t ~instance =
+  match Hashtbl.find_opt t.index instance with
+  | None -> None
+  | Some i -> ( match t.slots.(i) with Some s -> Some s.value | None -> None)
+
+let acquire t ~instance ~create:mk ~recycle =
+  if Hashtbl.mem t.index instance then
+    invalid_arg "Slab.acquire: instance already active";
+  match t.free with
+  | i :: rest ->
+    t.free <- rest;
+    let s = match t.slots.(i) with Some s -> s | None -> assert false in
+    s.id <- instance;
+    recycle s.value;
+    t.reused <- t.reused + 1;
+    Hashtbl.replace t.index instance i;
+    s.value
+  | [] ->
+    if t.next = Array.length t.slots then begin
+      let fresh = Array.make (2 * Array.length t.slots) None in
+      Array.blit t.slots 0 fresh 0 t.next;
+      t.slots <- fresh
+    end;
+    let v = mk () in
+    t.slots.(t.next) <- Some { id = instance; value = v };
+    Hashtbl.replace t.index instance t.next;
+    t.next <- t.next + 1;
+    v
+
+let release t ~instance =
+  match Hashtbl.find_opt t.index instance with
+  | None -> ()
+  | Some i ->
+    Hashtbl.remove t.index instance;
+    (match t.slots.(i) with Some s -> s.id <- -1 | None -> ());
+    t.free <- i :: t.free
+
+let iter t f =
+  for i = 0 to t.next - 1 do
+    match t.slots.(i) with
+    | Some s when s.id >= 0 -> f s.id s.value
+    | Some _ | None -> ()
+  done

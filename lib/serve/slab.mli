@@ -1,0 +1,33 @@
+(** A slab/free-list of per-instance state keyed by instance id.
+
+    Flat-engine style: a finished instance's slot record goes on a free
+    list and the next instance recycles it in place via its [recycle]
+    callback, so sustained storms allocate per {e concurrent} instance —
+    the client window — never per decision.  [capacity] is the high-water
+    mark of slots ever allocated and [reused] counts recycles; the slab
+    test pins capacity to the window while instances run into the
+    thousands.
+
+    Iteration is in slot order (allocation order of the underlying array),
+    which is deterministic for a deterministic operation sequence — the
+    loopback engine relies on this. *)
+
+type 'a t
+
+val create : ?initial:int -> unit -> 'a t
+
+val acquire :
+  'a t -> instance:int -> create:(unit -> 'a) -> recycle:('a -> unit) -> 'a
+(** Bind [instance] to a slot: recycles a freed slot through [recycle],
+    or allocates a fresh one with [create].  Raises [Invalid_argument] if
+    the instance is already active. *)
+
+val find : 'a t -> instance:int -> 'a option
+val release : 'a t -> instance:int -> unit
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Active slots only, in slot order. *)
+
+val active : 'a t -> int
+val capacity : 'a t -> int
+val reused : 'a t -> int

@@ -427,6 +427,17 @@ let test_resume_after_coordinator_sigkill () =
     Alcotest.(check int) "no unscripted failures" 0 o.Dist.Fleet.worker_failures);
   cleanup [ sock; ckpt ]
 
+let test_auto_shards () =
+  (* Oversharding by the straggler factor keeps the tail short: the last
+     shard a slow worker holds is 1/8 of an even split. *)
+  Alcotest.(check int) "4 workers" 32 (Dist.Fleet.auto_shards ~workers:4 ());
+  Alcotest.(check int) "1 worker" 8 (Dist.Fleet.auto_shards ~workers:1 ());
+  Alcotest.(check int) "custom factor" 12
+    (Dist.Fleet.auto_shards ~straggler:3 ~workers:4 ());
+  (* Degenerate worker counts still yield at least one shard per factor. *)
+  Alcotest.(check int) "0 workers clamps" 8
+    (Dist.Fleet.auto_shards ~workers:0 ())
+
 let () =
   Alcotest.run "dist"
     [
@@ -449,6 +460,7 @@ let () =
         ] );
       ( "fleet",
         [
+          Alcotest.test_case "auto-shards oversharding" `Quick test_auto_shards;
           Alcotest.test_case "matches the local sweep" `Quick
             test_fleet_matches_local;
           Alcotest.test_case "broken algo verdicts match" `Quick

@@ -26,9 +26,12 @@ let test_crc_incremental () =
 let frames =
   [
     Live.Frame.Hello { node = 3 };
-    Live.Frame.Data { round = 2; payload = "\x00\x00\x00\x2a" };
-    Live.Frame.Ctl { round = 7 };
-    Live.Frame.Data { round = 1; payload = "" };
+    Live.Frame.Data { instance = 0; round = 2; payload = "\x00\x00\x00\x2a" };
+    Live.Frame.Ctl { instance = 0; round = 7 };
+    Live.Frame.Data { instance = 12345; round = 1; payload = "" };
+    Live.Frame.Ctl { instance = Live.Frame.max_instance; round = 4 };
+    Live.Frame.Submit { instance = 9; proposal = 42 };
+    Live.Frame.Decide { instance = 130; value = 7; round = 2 };
   ]
 
 let pop_frame d =
@@ -80,7 +83,10 @@ let test_frame_truncated_tail () =
   (* A killed sender leaves a partial frame in flight: the decoder must
      neither produce a frame nor report corruption — the bytes simply never
      complete. *)
-  let wire = Live.Frame.encode (Live.Frame.Data { round = 1; payload = "abcd" }) in
+  let wire =
+    Live.Frame.encode
+      (Live.Frame.Data { instance = 3; round = 1; payload = "abcd" })
+  in
   let d = Live.Frame.decoder () in
   Live.Frame.feed d wire ~pos:0 ~len:(String.length wire - 3);
   (match Live.Frame.pop d with
@@ -94,7 +100,10 @@ let contains ~affix s =
   n = 0 || go 0
 
 let test_frame_corruption () =
-  let wire = Bytes.of_string (Live.Frame.encode (Live.Frame.Ctl { round = 3 })) in
+  let wire =
+    Bytes.of_string
+      (Live.Frame.encode (Live.Frame.Ctl { instance = 1; round = 3 }))
+  in
   (* Flip one body byte: the CRC must catch it. *)
   Bytes.set wire 6 (Char.chr (Char.code (Bytes.get wire 6) lxor 0x40));
   let d = Live.Frame.decoder () in
@@ -116,6 +125,200 @@ let test_frame_bad_magic () =
   match Live.Frame.pop d with
   | `Corrupt _ -> ()
   | `Frame _ | `Need_more -> Alcotest.fail "bad magic accepted"
+
+(* The LEB128 boundaries: every value where the varint grows a byte, plus
+   the largest id the codec admits. *)
+let instance_edges = [ 0; 1; 127; 128; 16383; 16384; 2097151; 2097152 ]
+
+let test_frame_varint_edges () =
+  let d = Live.Frame.decoder () in
+  List.iter
+    (fun instance ->
+      List.iter
+        (fun f ->
+          Live.Frame.feed_string d (Live.Frame.encode f);
+          Alcotest.(check bool)
+            (Printf.sprintf "instance %d survives" instance)
+            true
+            (Live.Frame.equal f (pop_frame d)))
+        [
+          Live.Frame.Data { instance; round = 1; payload = "x" };
+          Live.Frame.Ctl { instance; round = 9 };
+          Live.Frame.Submit { instance; proposal = 17 };
+          Live.Frame.Decide { instance; value = 3; round = 2 };
+        ])
+    (instance_edges @ [ Live.Frame.max_instance ]);
+  (match
+     Live.Frame.encode
+       (Live.Frame.Ctl { instance = Live.Frame.max_instance + 1; round = 1 })
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encoder accepted an id beyond max_instance")
+
+let instance_gen =
+  QCheck2.Gen.(
+    oneof
+      [ oneofl instance_edges; int_range 0 Live.Frame.max_instance ])
+
+let frame_gen =
+  QCheck2.Gen.(
+    instance_gen >>= fun instance ->
+    int_range 1 1000 >>= fun round ->
+    oneof
+      [
+        map
+          (fun payload -> Live.Frame.Data { instance; round; payload })
+          (string_size (int_range 0 24));
+        return (Live.Frame.Ctl { instance; round });
+        map
+          (fun proposal -> Live.Frame.Submit { instance; proposal })
+          (int_range 0 100_000);
+        map
+          (fun value -> Live.Frame.Decide { instance; value; round })
+          (int_range 0 100_000);
+      ])
+
+let prop_frame_varint_roundtrip =
+  Helpers.qtest ~count:1000 "varint instance ids round-trip at any width"
+    frame_gen
+    (fun f ->
+      let d = Live.Frame.decoder () in
+      Live.Frame.feed_string d (Live.Frame.encode f);
+      match Live.Frame.pop d with
+      | `Frame g when Live.Frame.equal f g -> Live.Frame.buffered d = 0
+      | `Frame g ->
+        QCheck2.Test.fail_reportf "decoded %a from %a" Live.Frame.pp g
+          Live.Frame.pp f
+      | `Need_more -> QCheck2.Test.fail_reportf "incomplete after full frame"
+      | `Corrupt why -> QCheck2.Test.fail_reportf "corrupt: %s" why)
+
+(* Many instances interleaved on one stream, delivered in awkward chunk
+   sizes, with the tail truncated as a kill would leave it: the decoder
+   yields exactly the complete prefix and never reports corruption. *)
+let prop_frame_fuzz_interleaved_truncation =
+  Helpers.qtest ~count:400 "interleaved streams survive chunking + truncation"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 12) frame_gen)
+        (int_range 1 9) (int_range 0 40))
+    (fun (fs, chunk, cut) ->
+      let wire = String.concat "" (List.map Live.Frame.encode fs) in
+      let keep = max 0 (String.length wire - cut) in
+      let d = Live.Frame.decoder () in
+      let pos = ref 0 in
+      while !pos < keep do
+        let len = min chunk (keep - !pos) in
+        Live.Frame.feed d wire ~pos:!pos ~len;
+        pos := !pos + len
+      done;
+      let rec drain acc =
+        match Live.Frame.pop d with
+        | `Frame f -> drain (f :: acc)
+        | `Need_more -> List.rev acc
+        | `Corrupt why ->
+          QCheck2.Test.fail_reportf "clean truncated stream corrupt: %s" why
+      in
+      let got = drain [] in
+      let rec is_prefix got fs =
+        match (got, fs) with
+        | [], _ -> true
+        | g :: gs, f :: rest -> Live.Frame.equal g f && is_prefix gs rest
+        | _ :: _, [] -> false
+      in
+      if not (is_prefix got fs) then
+        QCheck2.Test.fail_reportf "decoded frames are not a prefix"
+      else if cut = 0 && List.length got <> List.length fs then
+        QCheck2.Test.fail_reportf "untruncated stream lost %d frames"
+          (List.length fs - List.length got)
+      else true)
+
+(* Corruption fuzz: flip one byte anywhere in a multi-instance stream.  The
+   decoder may deliver the frames before the damage, must never invent a
+   frame that was not sent, never raises, and once corrupt stays corrupt. *)
+let prop_frame_fuzz_corruption =
+  Helpers.qtest ~count:400 "a flipped byte never crashes or fabricates frames"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 8) frame_gen)
+        small_nat (int_range 1 255))
+    (fun (fs, at, delta) ->
+      let wire = Bytes.of_string (String.concat "" (List.map Live.Frame.encode fs)) in
+      let at = at mod Bytes.length wire in
+      Bytes.set wire at (Char.chr (Char.code (Bytes.get wire at) lxor delta));
+      let d = Live.Frame.decoder () in
+      Live.Frame.feed_string d (Bytes.to_string wire);
+      let rec drain acc n =
+        if n > List.length fs + 1 then
+          QCheck2.Test.fail_reportf "decoder produced too many frames"
+        else
+          match Live.Frame.pop d with
+          | `Frame f -> drain (f :: acc) (n + 1)
+          | `Need_more -> `Stopped (List.rev acc)
+          | `Corrupt _ -> `Corrupt (List.rev acc)
+          | exception e ->
+            QCheck2.Test.fail_reportf "pop raised %s" (Printexc.to_string e)
+      in
+      let sent f = List.exists (Live.Frame.equal f) fs in
+      match drain [] 0 with
+      | `Stopped got | `Corrupt got ->
+        if not (List.for_all sent got) then
+          QCheck2.Test.fail_reportf "decoder fabricated a frame"
+        else (
+          (match Live.Frame.pop d with
+          | `Corrupt _ | `Need_more -> ()
+          | `Frame _ ->
+            QCheck2.Test.fail_reportf "decoder resumed after terminal state");
+          true))
+
+let test_frame_v1_compat () =
+  (* Captures from pre-instance-id builds still parse: v1 bytes decode to
+     the same frames with instance 0. *)
+  let olds =
+    [
+      Live.Frame.Hello { node = 2 };
+      Live.Frame.Data { instance = 0; round = 3; payload = "\x01\x02" };
+      Live.Frame.Ctl { instance = 0; round = 5 };
+    ]
+  in
+  let d = Live.Frame.decoder () in
+  List.iter
+    (fun f -> Live.Frame.feed_string d (Live.Frame.encode_v1 f))
+    olds;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "v1 frame decodes unchanged" true
+        (Live.Frame.equal f (pop_frame d)))
+    olds;
+  (* v1 cannot express a nonzero instance or the client-facing kinds. *)
+  List.iter
+    (fun f ->
+      match Live.Frame.encode_v1 f with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "encode_v1 accepted an inexpressible frame")
+    [
+      Live.Frame.Data { instance = 1; round = 1; payload = "" };
+      Live.Frame.Submit { instance = 0; proposal = 1 };
+      Live.Frame.Decide { instance = 0; value = 1; round = 1 };
+    ]
+
+let prop_frame_view_equivalence =
+  Helpers.qtest ~count:500 "pop_view sees exactly what pop sees"
+    QCheck2.Gen.(list_size (int_range 1 10) frame_gen)
+    (fun fs ->
+      let wire = String.concat "" (List.map Live.Frame.encode fs) in
+      let d1 = Live.Frame.decoder () and d2 = Live.Frame.decoder () in
+      Live.Frame.feed_string d1 wire;
+      Live.Frame.feed_string d2 wire;
+      List.iter
+        (fun _ ->
+          match (Live.Frame.pop d1, Live.Frame.pop_view d2) with
+          | `Frame f, `View v ->
+            if not (Live.Frame.equal f (Live.Frame.frame_of_view v)) then
+              QCheck2.Test.fail_reportf "view disagrees with pop on %a"
+                Live.Frame.pp f
+          | _ -> QCheck2.Test.fail_reportf "decoders diverged")
+        fs;
+      Live.Frame.buffered d2 = 0)
 
 (* --- Scripts --------------------------------------------------------------- *)
 
@@ -486,6 +689,12 @@ let () =
           Alcotest.test_case "truncated tail" `Quick test_frame_truncated_tail;
           Alcotest.test_case "corruption" `Quick test_frame_corruption;
           Alcotest.test_case "bad magic" `Quick test_frame_bad_magic;
+          Alcotest.test_case "varint edges" `Quick test_frame_varint_edges;
+          Alcotest.test_case "v1 compat" `Quick test_frame_v1_compat;
+          prop_frame_varint_roundtrip;
+          prop_frame_fuzz_interleaved_truncation;
+          prop_frame_fuzz_corruption;
+          prop_frame_view_equivalence;
         ] );
       ( "script",
         [

@@ -1,0 +1,352 @@
+(* Consensus-as-a-service: the instance slab, the multiplexer, the
+   deterministic loopback storm engine, batching, and kill-mid-storm
+   judging — socket fleet smoke lives at the bottom. *)
+
+(* --- Slab ------------------------------------------------------------------- *)
+
+let test_slab_basics () =
+  let slab = Serve.Slab.create ~initial:2 () in
+  let mk v () = ref v in
+  let a = Serve.Slab.acquire slab ~instance:7 ~create:(mk 1) ~recycle:(fun r -> r := 1) in
+  let b = Serve.Slab.acquire slab ~instance:9 ~create:(mk 2) ~recycle:(fun r -> r := 2) in
+  Alcotest.(check int) "a" 1 !a;
+  Alcotest.(check int) "b" 2 !b;
+  Alcotest.(check int) "active" 2 (Serve.Slab.active slab);
+  Alcotest.(check bool) "find 7" true (Serve.Slab.find slab ~instance:7 = Some a);
+  Alcotest.(check bool) "find 8" true (Serve.Slab.find slab ~instance:8 = None);
+  (match Serve.Slab.acquire slab ~instance:7 ~create:(mk 0) ~recycle:ignore with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double acquire accepted");
+  Serve.Slab.release slab ~instance:7;
+  Alcotest.(check bool) "released" true (Serve.Slab.find slab ~instance:7 = None);
+  Alcotest.(check int) "active after release" 1 (Serve.Slab.active slab)
+
+let test_slab_reuse_bounded () =
+  (* Thousands of sequential instances must recycle a handful of slots:
+     allocation is per concurrent instance, never per decision. *)
+  let slab = Serve.Slab.create ~initial:4 () in
+  for i = 0 to 4999 do
+    let r =
+      Serve.Slab.acquire slab ~instance:i
+        ~create:(fun () -> ref 0)
+        ~recycle:(fun r -> r := 0)
+    in
+    r := i;
+    Serve.Slab.release slab ~instance:i
+  done;
+  Alcotest.(check int) "capacity stays 1" 1 (Serve.Slab.capacity slab);
+  Alcotest.(check int) "reused" 4999 (Serve.Slab.reused slab);
+  Alcotest.(check int) "nothing active" 0 (Serve.Slab.active slab)
+
+let test_slab_iter_order () =
+  let slab = Serve.Slab.create () in
+  List.iter
+    (fun i ->
+      ignore
+        (Serve.Slab.acquire slab ~instance:i
+           ~create:(fun () -> ref i)
+           ~recycle:(fun r -> r := i)))
+    [ 30; 10; 20 ];
+  Serve.Slab.release slab ~instance:10;
+  let seen = ref [] in
+  Serve.Slab.iter slab (fun id _ -> seen := id :: !seen);
+  (* slot (allocation) order, not id order *)
+  Alcotest.(check (list int)) "iter order" [ 30; 20 ] (List.rev !seen)
+
+(* --- Bitvec ----------------------------------------------------------------- *)
+
+let test_bitvec () =
+  let bv = Serve.Bitvec.create () in
+  Alcotest.(check bool) "empty" false (Serve.Bitvec.mem bv 0);
+  Serve.Bitvec.set bv 0;
+  Serve.Bitvec.set bv 7;
+  Serve.Bitvec.set bv 100_000;
+  Alcotest.(check bool) "0" true (Serve.Bitvec.mem bv 0);
+  Alcotest.(check bool) "7" true (Serve.Bitvec.mem bv 7);
+  Alcotest.(check bool) "8" false (Serve.Bitvec.mem bv 8);
+  Alcotest.(check bool) "100000" true (Serve.Bitvec.mem bv 100_000);
+  Alcotest.(check bool) "99999" false (Serve.Bitvec.mem bv 99_999)
+
+(* --- Mux: frames arriving before the submit --------------------------------- *)
+
+module M = Serve.Mux.Make (Serve.Binding.Rwwc)
+
+let view_of_frame f =
+  let d = Live.Frame.decoder () in
+  Live.Frame.feed_string d (Live.Frame.encode f);
+  match Live.Frame.pop_view d with
+  | `View v -> v
+  | _ -> Alcotest.fail "frame did not decode"
+
+let test_mux_early_frames () =
+  (* p2 in an n=3 mesh: round-1 coordinator traffic for instance 5 arrives
+     before the local client submits it.  The mux parks the frames and the
+     late submit still decides instantly. *)
+  let emitted = ref [] in
+  let mux =
+    M.create
+      { Serve.Mux.me = 2; n = 3; t = 1; big_d = 1.0; max_rounds = 2; kill_after = None }
+      ~emit:(fun ~dest f -> emitted := (dest, f) :: !emitted)
+  in
+  let payload = Serve.Binding.Rwwc.encode_msg (Core.Rwwc.Data 41) in
+  M.on_view mux ~now:0.0 ~from:1
+    (view_of_frame (Live.Frame.Data { instance = 5; round = 1; payload }));
+  M.on_view mux ~now:0.0 ~from:1
+    (view_of_frame (Live.Frame.Ctl { instance = 5; round = 1 }));
+  Alcotest.(check int) "no decision yet" 0 (List.length !emitted);
+  M.submit mux ~now:0.0 ~instance:5 ~proposal:99;
+  (match !emitted with
+  | [ (0, Live.Frame.Decide { instance = 5; value = 41; round = 1 }) ] -> ()
+  | _ -> Alcotest.fail "expected exactly one Decide{i5,v41,r1} to the client");
+  Alcotest.(check int) "slot released" 0 (M.active mux)
+
+let test_mux_deadline_fallback () =
+  (* No coordinator traffic at all: the round expires at the deadline and
+     the instance advances to p2's own coordination round, which decides. *)
+  let emitted = ref [] in
+  let mux =
+    M.create
+      { Serve.Mux.me = 2; n = 3; t = 1; big_d = 0.5; max_rounds = 2; kill_after = None }
+      ~emit:(fun ~dest f -> emitted := (dest, f) :: !emitted)
+  in
+  M.submit mux ~now:0.0 ~instance:0 ~proposal:17;
+  Alcotest.(check (option (float 0.001))) "deadline pending" (Some 0.5)
+    (M.next_deadline mux);
+  M.expire mux ~now:0.1;
+  Alcotest.(check int) "not yet" 1 (M.active mux);
+  M.expire mux ~now:0.5;
+  (* round 2: me = coordinator, sends data+ctl to p3 and decides *)
+  let decides, mesh =
+    List.partition (fun (d, _) -> d = 0) (List.rev !emitted)
+  in
+  (match decides with
+  | [ (0, Live.Frame.Decide { instance = 0; value = 17; round = 2 }) ] -> ()
+  | _ -> Alcotest.fail "expected own-round decide at r2");
+  Alcotest.(check int) "mesh frames to p3" 2 (List.length mesh);
+  Alcotest.(check int) "expired round counted" 1
+    (M.stats mux).Serve.Stats.expired_rounds
+
+let test_mux_resubmit_served_from_log () =
+  (* Consensus as a service: once an instance decided, a re-submit (a
+     reconnecting client) is answered from the decision log, not re-run. *)
+  let emitted = ref [] in
+  let mux =
+    M.create
+      { Serve.Mux.me = 2; n = 3; t = 1; big_d = 1.0; max_rounds = 2; kill_after = None }
+      ~emit:(fun ~dest f -> emitted := (dest, f) :: !emitted)
+  in
+  let payload = Serve.Binding.Rwwc.encode_msg (Core.Rwwc.Data 41) in
+  M.on_view mux ~now:0.0 ~from:1
+    (view_of_frame (Live.Frame.Data { instance = 5; round = 1; payload }));
+  M.on_view mux ~now:0.0 ~from:1
+    (view_of_frame (Live.Frame.Ctl { instance = 5; round = 1 }));
+  M.submit mux ~now:0.0 ~instance:5 ~proposal:99;
+  let first = !emitted in
+  M.submit mux ~now:1.0 ~instance:5 ~proposal:77;
+  (match (!emitted, first) with
+  | ( (0, Live.Frame.Decide { instance = 5; value = 41; round = 1 }) :: _,
+      [ (0, Live.Frame.Decide { instance = 5; value = 41; round = 1 }) ] ) ->
+    ()
+  | _ -> Alcotest.fail "re-submit must replay the identical Decide");
+  Alcotest.(check int) "still no live slot" 0 (M.active mux);
+  Alcotest.(check int) "decided exactly once" 1
+    (M.stats mux).Serve.Stats.decides
+
+(* --- Loopback storms --------------------------------------------------------- *)
+
+let storm ?(n = 5) ?(t = 2) ?(window = 64) ?(batch = true) ?kill instances =
+  Serve.Loopback.Rwwc.run
+    {
+      Serve.Loopback.Rwwc.n;
+      t;
+      instances;
+      window;
+      big_d = 0.25;
+      batch;
+      kill;
+      max_rounds = None;
+      proposals = (fun i node -> (i * n) + node);
+    }
+
+let test_loopback_storm_decides () =
+  let r = storm 300 in
+  Alcotest.(check bool) "ok" true r.Serve.Report.ok;
+  Alcotest.(check int) "completed" 300 r.Serve.Report.completed;
+  Alcotest.(check int) "undecided" 0 r.Serve.Report.undecided;
+  (* No kill: every round completes at message speed. *)
+  Alcotest.(check int) "no expired rounds" 0
+    r.Serve.Report.total.Serve.Stats.expired_rounds;
+  Alcotest.(check bool) "latency recorded" true
+    (r.Serve.Report.latency <> None);
+  List.iter
+    (fun (node, s) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d slab bounded" node)
+        true
+        (s.Serve.Stats.slab_capacity <= 64 + 1))
+    r.Serve.Report.stats
+
+let test_loopback_deterministic () =
+  let a = storm 120 and b = storm 120 in
+  let obs (r : Serve.Report.t) =
+    ( r.Serve.Report.completed,
+      r.Serve.Report.undecided,
+      r.Serve.Report.total.Serve.Stats.frames_out,
+      r.Serve.Report.total.Serve.Stats.write_calls,
+      r.Serve.Report.total.Serve.Stats.fast_rounds,
+      r.Serve.Report.total.Serve.Stats.expired_rounds,
+      match r.Serve.Report.latency with
+      | Some l -> l.Serve.Report.p99
+      | None -> -1.0 )
+  in
+  Alcotest.(check bool) "identical observables" true (obs a = obs b)
+
+let test_loopback_batching_reduces_writes () =
+  let batched = storm 200 ~batch:true in
+  let unbatched = storm 200 ~batch:false in
+  let writes (r : Serve.Report.t) = r.Serve.Report.total.Serve.Stats.write_calls in
+  let frames (r : Serve.Report.t) = r.Serve.Report.total.Serve.Stats.frames_out in
+  Alcotest.(check bool) "both pass" true
+    (batched.Serve.Report.ok && unbatched.Serve.Report.ok);
+  Alcotest.(check int) "same frames" (frames unbatched) (frames batched);
+  Alcotest.(check bool)
+    (Printf.sprintf "batching cuts write calls (%d < %d)" (writes batched)
+       (writes unbatched))
+    true
+    (writes batched * 4 <= writes unbatched);
+  Alcotest.(check bool) "unbatched is one write per frame" true
+    (writes unbatched = frames unbatched);
+  Alcotest.(check bool) "coalescing observed" true
+    (batched.Serve.Report.total.Serve.Stats.max_batch > 1)
+
+let test_loopback_kill_mid_storm () =
+  (* p1 dies 57 mesh writes into a 200-instance storm: 7 instances fully
+     coordinated (8 frames each), the 8th caught after one data write. *)
+  let r = storm 200 ~kill:{ Serve.Report.node = 1; after_frames = 57 } in
+  Alcotest.(check bool) "ok" true r.Serve.Report.ok;
+  Alcotest.(check int) "all settle for survivors" 200 r.Serve.Report.completed;
+  Alcotest.(check bool) "rounds expired while p1 dead" true
+    (r.Serve.Report.total.Serve.Stats.expired_rounds > 0);
+  match List.assoc_opt 1 r.Serve.Report.stats with
+  | None -> Alcotest.fail "no victim stats"
+  | Some s -> Alcotest.(check int) "victim decided 7 instances" 7 s.Serve.Stats.decides
+
+let test_loopback_kill_realized_phases () =
+  (* Reach inside: the realized crash points must show the exact prefix
+     semantics — instance 7 mid-data after 1 write, every other active
+     instance before its round-1 send. *)
+  let cfg =
+    {
+      Serve.Loopback.Rwwc.n = 5;
+      t = 2;
+      instances = 100;
+      window = 32;
+      big_d = 0.25;
+      batch = true;
+      kill = Some { Serve.Report.node = 1; after_frames = 57 };
+      max_rounds = None;
+      proposals = (fun i node -> (i * 5) + node);
+    }
+  in
+  let r = Serve.Loopback.Rwwc.run cfg in
+  Alcotest.(check bool) "ok" true r.Serve.Report.ok;
+  Alcotest.(check bool) "no failures" true (r.Serve.Report.failures = [])
+
+let test_loopback_no_kill_when_budget_unreached () =
+  let r = storm 5 ~kill:{ Serve.Report.node = 2; after_frames = 10_000 } in
+  Alcotest.(check bool) "ok" true r.Serve.Report.ok;
+  Alcotest.(check int) "completed" 5 r.Serve.Report.completed
+
+(* --- Socket fleet ------------------------------------------------------------ *)
+
+let fleet_workspace tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve-%s-%d" tag (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let run_fleet ?(n = 3) ?(t = 1) ?(window = 16) ?kill ~tag instances =
+  let dir = fleet_workspace tag in
+  Serve.Fleet.run
+    {
+      Serve.Fleet.n;
+      t;
+      transport = `Unix dir;
+      workspace = dir;
+      instances;
+      window;
+      big_d = 0.3;
+      batch = true;
+      kill;
+      max_rounds = None;
+      proposals = (fun i node -> (i * n) + node);
+      client_timeout = None;
+      verbose = false;
+    }
+
+let test_fleet_smoke () =
+  match run_fleet ~tag:"smoke" 50 with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "ok" true r.Serve.Report.ok;
+    Alcotest.(check int) "completed" 50 r.Serve.Report.completed;
+    Alcotest.(check int) "undecided" 0 r.Serve.Report.undecided;
+    Alcotest.(check bool) "stats from every engine" true
+      (List.length r.Serve.Report.stats = 3);
+    Alcotest.(check bool) "batching coalesced" true
+      (r.Serve.Report.total.Serve.Stats.max_batch > 1)
+
+let test_fleet_kill_mid_storm () =
+  match
+    run_fleet ~tag:"kill" ~n:5 ~t:2
+      ~kill:{ Serve.Report.node = 1; after_frames = 57 }
+      120
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "ok" true r.Serve.Report.ok;
+    Alcotest.(check int) "survivors settle everything" 120
+      r.Serve.Report.completed;
+    Alcotest.(check bool) "kill realized" true
+      (match List.assoc_opt 1 r.Serve.Report.stats with
+      | Some _ -> true
+      | None -> false)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "slab",
+        [
+          Alcotest.test_case "basics" `Quick test_slab_basics;
+          Alcotest.test_case "reuse-bounded" `Quick test_slab_reuse_bounded;
+          Alcotest.test_case "iter-order" `Quick test_slab_iter_order;
+        ] );
+      ("bitvec", [ Alcotest.test_case "grow-set-mem" `Quick test_bitvec ]);
+      ( "mux",
+        [
+          Alcotest.test_case "early-frames" `Quick test_mux_early_frames;
+          Alcotest.test_case "deadline-fallback" `Quick test_mux_deadline_fallback;
+          Alcotest.test_case "resubmit-served-from-log" `Quick
+            test_mux_resubmit_served_from_log;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "storm-decides" `Quick test_loopback_storm_decides;
+          Alcotest.test_case "deterministic" `Quick test_loopback_deterministic;
+          Alcotest.test_case "batching-reduces-writes" `Quick
+            test_loopback_batching_reduces_writes;
+          Alcotest.test_case "kill-mid-storm" `Quick test_loopback_kill_mid_storm;
+          Alcotest.test_case "kill-realized-phases" `Quick
+            test_loopback_kill_realized_phases;
+          Alcotest.test_case "kill-budget-unreached" `Quick
+            test_loopback_no_kill_when_budget_unreached;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "unix-smoke" `Slow test_fleet_smoke;
+          Alcotest.test_case "unix-kill-mid-storm" `Slow
+            test_fleet_kill_mid_storm;
+        ] );
+    ]
