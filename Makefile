@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench check shrink-smoke live-smoke dist-smoke serve-smoke experiments examples clean
+.PHONY: all build test bench check shrink-smoke live-smoke dist-smoke serve-smoke serve-soak experiments examples clean
 
 all: build
 
@@ -54,13 +54,23 @@ dist-smoke:
 
 # Consensus-as-a-service smoke: a 1000-instance loopback storm that must
 # clear the decisions/sec floor, then a real TCP fleet with a scripted
-# mid-storm node kill; every instance is judged against the abstract
-# engine and any failure exits nonzero.
+# mid-storm node kill, then the same unix fleet on the poll(2) readiness
+# backend; every instance is judged against the abstract engine and any
+# failure exits nonzero.
 serve-smoke:
 	dune exec bin/main.exe -- serve --instances 1000 --min-dps 10000
 	dune exec bin/main.exe -- serve --transport tcp --port-base 7930 \
 	  --instances 200 --window 32 --round-d 0.15 \
 	  --kill-node 1 --kill-after-frame 57
+	dune exec bin/main.exe -- serve --transport unix --instances 200 \
+	  --backend poll
+
+# Sustained-load soak: 20 seconds of windowed storms through a unix
+# fleet on the poll backend, reporting time-bucketed latency percentiles
+# and failing on any disagreement or a sub-floor decisions/sec rate.
+serve-soak:
+	dune exec bin/main.exe -- serve --transport unix -n 5 --window 32 \
+	  --backend poll --soak 20 --bucket 5 --min-dps 200
 
 experiments:
 	dune exec bin/main.exe -- experiments

@@ -1418,6 +1418,30 @@ let serve_cmd =
              ~doc:"Fail (exit 1) if the storm settles fewer than $(docv) \
                    decisions per second.")
   in
+  let backend =
+    Arg.(value
+         & opt (enum [ ("select", Serve.Evloop.Select); ("poll", Serve.Evloop.Poll) ])
+             Serve.Evloop.Select
+         & info [ "backend" ]
+             ~doc:
+               "Readiness backend for the engine event loops: $(b,select) \
+                (portable, FD_SETSIZE-bounded) or $(b,poll) (no fd-count \
+                cliff).")
+  in
+  let soak =
+    Arg.(value & opt (some float) None
+         & info [ "soak" ] ~docv:"SECONDS"
+             ~doc:
+               "Sustained-load mode: stream instances for $(docv) seconds \
+                instead of a fixed --instances storm, and report \
+                time-bucketed latency percentiles (unix/tcp transports \
+                only).")
+  in
+  let bucket =
+    Arg.(value & opt float 5.0
+         & info [ "bucket" ] ~docv:"SECONDS"
+             ~doc:"Latency histogram bucket width for --soak.")
+  in
   let max_rounds =
     Arg.(value & opt (some int) None
          & info [ "max-rounds" ] ~doc:"Per-instance round horizon (default t+1).")
@@ -1437,7 +1461,7 @@ let serve_cmd =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Fleet progress on stderr.")
   in
   let go n t instances window transport dir port big_d no_batch kill_node
-      kill_after min_dps max_rounds json node verbose =
+      kill_after min_dps backend soak bucket max_rounds json node verbose =
     let t = Option.value t ~default:(max 1 (n - 2)) in
     let kill =
       match (kill_node, kill_after) with
@@ -1489,6 +1513,7 @@ let serve_cmd =
               big_d;
               max_rounds = Option.value max_rounds ~default:(t + 1);
               batch = not no_batch;
+              backend;
               kill_after;
               linger = true;
               status = stdout;
@@ -1498,6 +1523,10 @@ let serve_cmd =
         end
       | None -> (
         match transport with
+        | `Loopback when soak <> None ->
+          Format.eprintf
+            "serve: --soak needs a socket transport (unix or tcp)@.";
+          2
         | `Loopback ->
           let r =
             Serve.Loopback.Rwwc.run
@@ -1519,28 +1548,54 @@ let serve_cmd =
           let transport =
             match tp with `Unix_s -> `Unix dir | `Tcp_s -> `Tcp port
           in
-          match
-            Serve.Fleet.run
-              {
-                Serve.Fleet.n;
-                t;
-                transport;
-                workspace = dir;
-                instances;
-                window;
-                big_d;
-                batch = not no_batch;
-                kill;
-                max_rounds;
-                proposals = serve_proposals n;
-                client_timeout = None;
-                verbose;
-              }
-          with
-          | Error why ->
-            Format.eprintf "serve: %s@." why;
-            2
-          | Ok r -> serve_report ~json ~min_dps r)))
+          let fleet_cfg =
+            {
+              Serve.Fleet.n;
+              t;
+              transport;
+              workspace = dir;
+              instances;
+              window;
+              big_d;
+              batch = not no_batch;
+              backend;
+              kill;
+              max_rounds;
+              proposals = serve_proposals n;
+              client_timeout = None;
+              verbose;
+            }
+          in
+          match soak with
+          | Some duration -> (
+            match Serve.Soak.run fleet_cfg ~duration ~bucket with
+            | Error why ->
+              Format.eprintf "serve: %s@." why;
+              2
+            | Ok s ->
+              if json then
+                print_endline (Obs.Json.to_string (Serve.Soak.to_json s))
+              else Format.printf "%a" Serve.Soak.pp s;
+              if not s.Serve.Soak.ok then begin
+                Format.eprintf "serve: soak saw %d disagreement(s)@."
+                  s.Serve.Soak.disagreements;
+                1
+              end
+              else (
+                match min_dps with
+                | Some floor when s.Serve.Soak.decisions_per_sec < floor ->
+                  Format.eprintf
+                    "serve: %.0f decisions/sec is below the --min-dps floor \
+                     of %.0f@."
+                    s.Serve.Soak.decisions_per_sec floor;
+                  1
+                | Some _ | None -> 0))
+          | None -> (
+            match Serve.Fleet.run fleet_cfg with
+            | Error why ->
+              Format.eprintf "serve: %s@." why;
+              2
+            | Ok r -> serve_report ~json ~min_dps r))))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1550,8 +1605,8 @@ let serve_cmd =
           decisions/sec and latency percentiles, and judge every instance — \
           including under a scripted mid-storm node kill.")
     Term.(const go $ n $ t $ instances $ window $ transport $ dir $ port
-          $ big_d $ no_batch $ kill_node $ kill_after $ min_dps $ max_rounds
-          $ json $ node $ verbose)
+          $ big_d $ no_batch $ kill_node $ kill_after $ min_dps $ backend
+          $ soak $ bucket $ max_rounds $ json $ node $ verbose)
 
 let submit_cmd =
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of serving nodes.") in
@@ -1601,6 +1656,7 @@ let submit_cmd =
         {
           Serve.Client.n;
           transport;
+          first = 0;
           instances;
           window;
           proposals = serve_proposals n;

@@ -100,6 +100,21 @@ let accept_timeout ~deadline fd =
   in
   go ()
 
+let accept_nonblock fd =
+  match Unix.accept fd with
+  | conn, _ ->
+    Unix.set_close_on_exec conn;
+    Unix.set_nonblock conn;
+    `Conn conn
+  | exception
+      Unix.Unix_error
+        ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED ),
+          _,
+          _ ) ->
+    `Nothing
+  | exception Unix.Unix_error (errno, op, _) ->
+    `Error { op; errno = Some errno; detail = "accept" }
+
 let write_all ~deadline fd s =
   let len = String.length s in
   let rec go off =

@@ -52,6 +52,14 @@ val connect_retry :
 val accept_timeout :
   deadline:float -> Unix.file_descr -> (Unix.file_descr, error) result
 
+val accept_nonblock :
+  Unix.file_descr -> [ `Conn of Unix.file_descr | `Nothing | `Error of error ]
+(** One nonblocking accept on a nonblocking listen fd: the connection
+    (close-on-exec, nonblocking) or [`Nothing] when the backlog is empty
+    ([EAGAIN]/[EINTR]/an aborted handshake).  The serve event loop calls
+    this in a drain-until-[`Nothing] loop per readable wakeup, so a burst
+    of clients costs one wakeup, not one each. *)
+
 val write_all :
   deadline:float -> Unix.file_descr -> string -> (unit, error) result
 (** Write the whole string to a fd, retrying [EINTR] and short writes, and

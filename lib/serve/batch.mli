@@ -1,27 +1,40 @@
-(** Per-peer output coalescing — the serve layer's key perf lever.
+(** Per-destination output coalescing — the serve layer's key perf lever.
 
-    Without batching every frame is its own [write(2)]; a round touching
+    Without batching every frame is its own send; a round touching
     hundreds of instances then costs hundreds of syscalls per peer.  The
-    batcher appends encoded frames to one buffer per destination and
-    [flush] hands each non-empty buffer to the transport as a single
-    writev-style send, counting actual sends in {!Stats.t.write_calls} so
-    a [--no-batch] run can demonstrate the difference.
+    batcher appends encoded frames to one growable byte buffer per
+    destination and [flush] hands each non-empty buffer to the transport
+    {e without copying}: the [send] callback either takes ownership of
+    the buffer ([`Taken] — the engine wraps it in a refcounted
+    {!Outq.chunk} and the bytes come back through {!put_back} once
+    drained) or consumes it synchronously in place ([`Done] — the
+    loopback feeds its decoders straight from the buffer).  Either way
+    the [Buffer.contents] copy the old flush paid per destination per
+    wakeup is gone; {!Stats.t.copies_saved} counts how often.
 
     Destination 0 is the client channel; 1..n are mesh peers.  In
-    [batch:false] mode [add] sends immediately and [flush] is a no-op —
-    the same code path, only the coalescing differs, which is what makes
-    the comparison honest. *)
+    [batch:false] mode [add] sends each frame immediately (its own
+    buffer, its own write) and [flush] is a no-op — the same code path,
+    only the coalescing differs, which is what keeps the comparison
+    honest.  [write_calls] is counted here only for [`Done] sends;
+    [`Taken] buffers are counted by the queue at the actual [write(2)]. *)
 
 type t
 
 val create :
-  n:int -> batch:bool -> stats:Stats.t -> send:(int -> string -> unit) -> t
-(** [send dest wire] performs the actual transport write; it is invoked
-    once per frame in no-batch mode and once per destination per flush in
-    batch mode. *)
+  n:int ->
+  batch:bool ->
+  stats:Stats.t ->
+  send:(dest:int -> Bytes.t -> len:int -> [ `Taken | `Done ]) -> t
+(** [send ~dest bytes ~len] delivers the first [len] bytes of [bytes].
+    Return [`Taken] to keep the buffer (return it later via {!put_back});
+    return [`Done] if it was fully consumed before returning. *)
 
 val add : t -> dest:int -> string -> unit
 val flush : t -> unit
+
+val put_back : t -> Bytes.t -> unit
+(** Return a previously [`Taken] buffer for reuse. *)
 
 val pending : t -> dest:int -> bool
 (** Batched bytes not yet flushed toward [dest]. *)

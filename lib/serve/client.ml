@@ -1,6 +1,7 @@
 type config = {
   n : int;
   transport : [ `Unix of string | `Tcp of int ];
+  first : int;
   instances : int;
   window : int;
   proposals : int -> int -> int;
@@ -24,16 +25,10 @@ type node = {
 let connect_timeout = 10.0
 let send_timeout = 2.0
 
-let mark_dead node =
-  match node.fd with
-  | None -> ()
-  | Some fd ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    node.fd <- None
-
-let run ?(on_idle = fun () -> ()) cfg =
+let run ?on_idle ?tick cfg =
   if cfg.n < 2 then Error "serve client: need n >= 2"
   else if cfg.instances < 0 then Error "serve client: negative instances"
+  else if cfg.first < 0 then Error "serve client: negative first instance"
   else begin
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let nodes =
@@ -68,27 +63,49 @@ let run ?(on_idle = fun () -> ()) cfg =
       nodes;
     match !connect_err with
     | Some e ->
-      Array.iter mark_dead nodes;
+      Array.iter
+        (fun node ->
+          match node.fd with
+          | None -> ()
+          | Some fd ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            node.fd <- None)
+        nodes;
       Error e
     | None ->
       let window = max 1 cfg.window in
+      let live = ref cfg.n in
       let decisions =
         Array.init cfg.instances (fun _ -> Array.make cfg.n None)
       in
       let submit_t = Array.make (max 1 cfg.instances) 0.0 in
+      (* [missing.(idx)] = live nodes that have not yet reported a Decide
+         for instance [first + idx]; reaching zero *is* settlement — no
+         rescans, the bookkeeping is O(1) per Decide. *)
+      let missing = Array.make (max 1 cfg.instances) max_int in
+      let settled = Array.make (max 1 cfg.instances) false in
+      let inflight : (int, unit) Hashtbl.t = Hashtbl.create 64 in
       let latencies = ref [] in
-      let inflight = ref [] in
       let next_submit = ref 0 in
       let settled_count = ref 0 in
+      let settle idx =
+        if not settled.(idx) then begin
+          settled.(idx) <- true;
+          incr settled_count;
+          Hashtbl.remove inflight idx;
+          latencies := (Live.Sockets.now () -. submit_t.(idx)) :: !latencies
+        end
+      in
       (* One coalesced Submit burst per node per refill: the client-side
          mirror of the engines' per-peer batching. *)
       let submit_batch fresh =
-        let per_node = Array.make cfg.n (Buffer.create 0) in
-        Array.iteri (fun i _ -> per_node.(i) <- Buffer.create 256) per_node;
+        let per_node = Array.init cfg.n (fun _ -> Buffer.create 256) in
         List.iter
-          (fun i ->
-            submit_t.(i) <- Live.Sockets.now ();
-            inflight := i :: !inflight;
+          (fun idx ->
+            submit_t.(idx) <- Live.Sockets.now ();
+            missing.(idx) <- !live;
+            if !live = 0 then settle idx else Hashtbl.replace inflight idx ();
+            let i = cfg.first + idx in
             Array.iter
               (fun node ->
                 if node.fd <> None then
@@ -111,13 +128,15 @@ let run ?(on_idle = fun () -> ()) cfg =
                     fd wire
                 with
                 | Ok () -> ()
-                | Error _ -> mark_dead node))
+                | Error _ -> ()))
           nodes
       in
+      (* Pipelined streaming: called the moment settlements free window
+         slots, not once per tick. *)
       let refill () =
         let fresh = ref [] in
         while
-          List.length !inflight + List.length !fresh < window
+          Hashtbl.length inflight + List.length !fresh < window
           && !next_submit < cfg.instances
         do
           fresh := !next_submit :: !fresh;
@@ -125,26 +144,23 @@ let run ?(on_idle = fun () -> ()) cfg =
         done;
         if !fresh <> [] then submit_batch (List.rev !fresh)
       in
-      let is_settled i =
-        let ok = ref true in
-        Array.iter
-          (fun node ->
-            if node.fd <> None && decisions.(i).(node.pid - 1) = None then
-              ok := false)
-          nodes;
-        !ok
-      in
-      let settle_pass () =
-        inflight :=
-          List.filter
-            (fun i ->
-              if is_settled i then begin
-                latencies := (Live.Sockets.now () -. submit_t.(i)) :: !latencies;
-                incr settled_count;
-                false
-              end
-              else true)
-            !inflight
+      (* A node death un-blocks every instance waiting only on it. *)
+      let mark_dead node =
+        match node.fd with
+        | None -> ()
+        | Some fd ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          node.fd <- None;
+          decr live;
+          let freed = ref [] in
+          Hashtbl.iter
+            (fun idx () ->
+              if decisions.(idx).(node.pid - 1) = None then begin
+                missing.(idx) <- missing.(idx) - 1;
+                if missing.(idx) <= 0 then freed := idx :: !freed
+              end)
+            inflight;
+          List.iter settle !freed
       in
       let drain node =
         let rec go () =
@@ -152,13 +168,18 @@ let run ?(on_idle = fun () -> ()) cfg =
           | `View v ->
             (match v.Live.Frame.kind with
             | Live.Frame.K_decide ->
-              let i = v.Live.Frame.instance in
+              let idx = v.Live.Frame.instance - cfg.first in
               if
-                i >= 0 && i < cfg.instances
-                && decisions.(i).(node.pid - 1) = None
-              then
-                decisions.(i).(node.pid - 1) <-
-                  Some (v.Live.Frame.value, v.Live.Frame.round)
+                idx >= 0 && idx < cfg.instances
+                && decisions.(idx).(node.pid - 1) = None
+              then begin
+                decisions.(idx).(node.pid - 1) <-
+                  Some (v.Live.Frame.value, v.Live.Frame.round);
+                if Hashtbl.mem inflight idx then begin
+                  missing.(idx) <- missing.(idx) - 1;
+                  if missing.(idx) <= 0 then settle idx
+                end
+              end
             | _ -> ());
             go ()
           | `Need_more -> ()
@@ -178,7 +199,14 @@ let run ?(on_idle = fun () -> ()) cfg =
         let fds =
           Array.to_list nodes |> List.filter_map (fun node -> node.fd)
         in
-        (match Unix.select fds [] [] 0.05 with
+        (* Sleep until data or the wall deadline — no fixed tick, so a
+           Decide settles (and refills) the instant it arrives.  A [tick]
+           cap exists for callers whose [on_idle] polls side channels. *)
+        let timeout =
+          let dt = Float.max 0.0 (wall_deadline -. Live.Sockets.now ()) in
+          match tick with None -> Float.min dt 1.0 | Some t -> Float.min dt t
+        in
+        (match Unix.select fds [] [] timeout with
         | ready, _, _ ->
           Array.iter
             (fun node ->
@@ -194,18 +222,16 @@ let run ?(on_idle = fun () -> ()) cfg =
               | _ -> ())
             nodes
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-        (* A node death un-blocks every instance waiting only on it. *)
-        settle_pass ();
         refill ();
-        on_idle ()
+        match on_idle with Some f -> f () | None -> ()
       done;
       let elapsed = Live.Sockets.now () -. started in
       let undecided =
-        List.sort_uniq compare
-          (!inflight
-          @ List.init
-              (max 0 (cfg.instances - !next_submit))
-              (fun k -> !next_submit + k))
+        let acc = ref [] in
+        for idx = cfg.instances - 1 downto 0 do
+          if not settled.(idx) then acc := (cfg.first + idx) :: !acc
+        done;
+        !acc
       in
       let dead_nodes =
         Array.to_list nodes

@@ -3,18 +3,24 @@
 
     Connects to every node (Hello node 0), keeps [window] instances in
     flight with coalesced Submit bursts, collects Decide frames, and
-    settles an instance once every still-connected node has reported —
-    a node that dies (the kill victim) stops blocking settlement the
-    moment its socket closes, exactly the judgment rule {!Report} uses.
+    settles an instance the moment its live-node missing-count reaches
+    zero — settlement is O(1) per Decide (no per-tick rescans), and the
+    window refills immediately, so the Submit stream is pipelined rather
+    than tick-quantized.  A node that dies (the kill victim) stops
+    blocking settlement the moment its socket closes, exactly the
+    judgment rule {!Report} uses.
 
-    [on_idle] runs once per select iteration (~20 Hz); the fleet uses it
-    to pump engine status pipes and catch the victim's SIGSTOP without a
-    second event loop. *)
+    The select timeout is derived from the wall deadline, not a fixed
+    50 ms tick: a storm's p50 latency reflects the mesh, not the client's
+    polling interval.  Callers that need periodic service (the fleet
+    pumps engine status pipes and catches the victim's SIGSTOP via
+    [on_idle]) pass [tick] to cap the sleep. *)
 
 type config = {
   n : int;
   transport : [ `Unix of string | `Tcp of int ];
-  instances : int;
+  first : int;  (** first instance id to submit (ids [first..first+instances-1]) *)
+  instances : int;  (** how many instances this client drives *)
   window : int;
   proposals : int -> int -> int;  (** instance -> node -> proposal *)
   timeout : float;  (** overall wall-clock budget, seconds *)
@@ -22,11 +28,15 @@ type config = {
 
 type outcome = {
   decisions : (int * int) option array array;
-      (** [decisions.(instance).(node-1)] = (value, round), first report wins *)
+      (** [decisions.(i - first).(node-1)] = (value, round), first report wins *)
   latencies : float list;  (** submit-to-settle, settled instances only *)
   elapsed : float;  (** first submit to loop exit *)
-  undecided : int list;  (** instances that never settled (incl. unsubmitted) *)
+  undecided : int list;  (** absolute instance ids that never settled *)
   dead_nodes : int list;  (** nodes whose socket died during the run *)
 }
 
-val run : ?on_idle:(unit -> unit) -> config -> (outcome, string) result
+val run :
+  ?on_idle:(unit -> unit) -> ?tick:float -> config -> (outcome, string) result
+(** [on_idle] runs once per loop iteration; pass [tick] alongside it to
+    bound the select sleep (the fleet uses 0.05 s) — without [tick] the
+    loop sleeps until data or the wall deadline. *)

@@ -6,6 +6,7 @@ type config = {
   big_d : float;
   max_rounds : int;
   batch : bool;
+  backend : Evloop.backend;
   kill_after : int option;
   linger : bool;
   status : out_channel;
@@ -13,7 +14,21 @@ type config = {
 }
 
 let handshake_timeout = 10.0
-let send_timeout = 2.0
+
+(* A freshly accepted connection has this long to say Hello before the
+   loop drops it — a slow-loris fd costs a map entry, never a stall. *)
+let hello_deadline = 2.0
+
+(* Outbound backlog (bytes) past which a never-draining destination is
+   declared dead instead of holding memory forever.  Peers get more room
+   than clients: a peer backlog means the mesh itself is sick. *)
+let peer_hwm = 8 * 1024 * 1024
+let client_hwm = 1024 * 1024
+
+(* Frames decoded per client per wakeup before the loop moves to the next
+   client — with the round-robin rotation below, a chatty client cannot
+   starve another client's Submits. *)
+let client_frame_budget = 1024
 
 module Make (A : Binding.ALGO) = struct
   module M = Mux.Make (A)
@@ -22,13 +37,26 @@ module Make (A : Binding.ALGO) = struct
     pid : int;
     mutable fd : Unix.file_descr option;
     decoder : Live.Frame.decoder;
+    outq : Outq.t;
   }
 
   type client = {
+    id : int;
     cfd : Unix.file_descr;
     cdec : Live.Frame.decoder;
+    coutq : Outq.t;
     mutable alive : bool;
+    mutable backlog : bool;  (* decoded frames left over from a budget cut *)
   }
+
+  type pending = {
+    pfd : Unix.file_descr;
+    pbuf : Bytes.t;
+    mutable got : int;
+    pdeadline : float;
+  }
+
+  type kind = K_listen | K_peer of peer | K_client of client | K_pending of pending
 
   let logf cfg fmt =
     Printf.ksprintf
@@ -41,14 +69,6 @@ module Make (A : Binding.ALGO) = struct
     output_string cfg.status (Obs.Json.to_string (Obs.Json.Obj fields));
     output_char cfg.status '\n';
     flush cfg.status
-
-  let mark_dead cfg peer why =
-    match peer.fd with
-    | None -> ()
-    | Some fd ->
-      logf cfg "peer p%d gone: %s" peer.pid why;
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      peer.fd <- None
 
   let hello_size =
     String.length (Live.Frame.encode (Live.Frame.Hello { node = 1 }))
@@ -84,15 +104,76 @@ module Make (A : Binding.ALGO) = struct
     | `Corrupt why -> Error ("handshake: " ^ why)
     | `Need_more -> Error "handshake: short hello"
 
+  (* One loop's worth of mutable wiring: the registry maps each live fd to
+     what it is, and the client list is what the round-robin rotates over. *)
+  type loop = {
+    cfg : config;
+    ev : Evloop.t;
+    registry : (Unix.file_descr, kind) Hashtbl.t;
+    peers : peer array;
+    mutable clients : client list;
+    mutable pendings : pending list;
+    mutable next_client_id : int;
+    mutable rr : int;  (* rotation cursor for fair client draining *)
+    mutable had_client : bool;
+  }
+
+  let new_client lp fd =
+    let c =
+      {
+        id = lp.next_client_id;
+        cfd = fd;
+        cdec = Live.Frame.decoder ();
+        coutq = Outq.create ~hwm:client_hwm ();
+        alive = true;
+        backlog = false;
+      }
+    in
+    lp.next_client_id <- lp.next_client_id + 1;
+    lp.clients <- lp.clients @ [ c ];
+    lp.had_client <- true;
+    Hashtbl.replace lp.registry fd (K_client c);
+    Evloop.register lp.ev fd ~read:true ~write:false;
+    c
+
+  let drop_fd lp fd =
+    Evloop.deregister lp.ev fd;
+    Hashtbl.remove lp.registry fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+
+  let mark_dead lp peer why =
+    match peer.fd with
+    | None -> ()
+    | Some fd ->
+      logf lp.cfg "peer p%d gone: %s" peer.pid why;
+      Outq.clear peer.outq;
+      drop_fd lp fd;
+      peer.fd <- None
+
+  let client_dead lp c why =
+    if c.alive then begin
+      logf lp.cfg "client #%d gone: %s" c.id why;
+      Outq.clear c.coutq;
+      drop_fd lp c.cfd;
+      c.alive <- false;
+      c.backlog <- false
+    end
+
+  let drop_pending lp p why =
+    logf lp.cfg "late connection dropped: %s" why;
+    lp.pendings <- List.filter (fun q -> q != p) lp.pendings;
+    drop_fd lp p.pfd
+
   (* The mesh handshake, with one serve-specific twist: the listen fd stays
      open for the engine's whole life (clients rendezvous on the same
      address), and a Hello carrying node 0 — a client racing the mesh — is
      accepted into the client list instead of failing the handshake. *)
-  let establish cfg peers clients =
+  let establish lp =
+    let cfg = lp.cfg in
     let deadline = Live.Sockets.now () +. handshake_timeout in
     let lfd =
       match
-        Live.Sockets.listen
+        Live.Sockets.listen ~backlog:128
           (Live.Sockets.addr_of ~transport:cfg.transport cfg.me)
       with
       | Ok fd -> fd
@@ -110,7 +191,7 @@ module Make (A : Binding.ALGO) = struct
       | Ok fd -> (
         match Live.Sockets.write_all ~deadline fd hello with
         | Ok () ->
-          peers.(p - 1).fd <- Some fd;
+          lp.peers.(p - 1).fd <- Some fd;
           logf cfg "dialed p%d" p
         | Error e ->
           failwith
@@ -128,14 +209,12 @@ module Make (A : Binding.ALGO) = struct
           | Error why -> failwith why
           | Ok 0 ->
             Unix.set_nonblock fd;
-            clients :=
-              { cfd = fd; cdec = Live.Frame.decoder (); alive = true }
-              :: !clients;
+            ignore (new_client lp fd);
             logf cfg "client connected during handshake"
           | Ok node when node >= 1 && node < cfg.me ->
-            if peers.(node - 1).fd <> None then
+            if lp.peers.(node - 1).fd <> None then
               failwith (Printf.sprintf "handshake: duplicate hello from p%d" node);
-            peers.(node - 1).fd <- Some fd;
+            lp.peers.(node - 1).fd <- Some fd;
             decr expected;
             logf cfg "accepted p%d" node
           | Ok node -> failwith (Printf.sprintf "handshake: bad hello node %d" node)))
@@ -158,51 +237,70 @@ module Make (A : Binding.ALGO) = struct
 
   let main cfg =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let peers =
-      Array.init cfg.n (fun i ->
-          { pid = i + 1; fd = None; decoder = Live.Frame.decoder () })
+    let lp =
+      {
+        cfg;
+        ev = Evloop.create ~backend:cfg.backend ();
+        registry = Hashtbl.create 64;
+        peers =
+          Array.init cfg.n (fun i ->
+              {
+                pid = i + 1;
+                fd = None;
+                decoder = Live.Frame.decoder ();
+                outq = Outq.create ~hwm:peer_hwm ();
+              });
+        clients = [];
+        pendings = [];
+        next_client_id = 0;
+        rr = 0;
+        had_client = false;
+      }
     in
-    let clients = ref [] in
-    let had_client = ref (!clients <> []) in
-    let lfd = establish cfg peers clients in
-    if !clients <> [] then had_client := true;
+    let lfd = establish lp in
+    Unix.set_nonblock lfd;
+    Hashtbl.replace lp.registry lfd K_listen;
+    Evloop.register lp.ev lfd ~read:true ~write:false;
     Array.iter
       (fun p ->
         if p.pid <> cfg.me then
-          match p.fd with Some fd -> Unix.set_nonblock fd | None -> ())
-      peers;
-    (* Mesh frames coalesce per peer; the Batch send closure is the only
-       place engine bytes hit a socket.  Destination 0 broadcasts to every
-       connected client — the fleet runs one, but nothing relies on that. *)
-    let send_to_client c wire =
-      if c.alive then
-        match
-          Live.Sockets.write_all
-            ~deadline:(Live.Sockets.now () +. send_timeout)
-            c.cfd wire
-        with
-        | Ok () -> ()
-        | Error e ->
-          logf cfg "client gone: %s" (Live.Sockets.error_to_string e);
-          (try Unix.close c.cfd with Unix.Unix_error _ -> ());
-          c.alive <- false
-    in
-    let send dest wire =
-      if dest = 0 then List.iter (fun c -> send_to_client c wire) !clients
-      else
-        let peer = peers.(dest - 1) in
-        match peer.fd with
-        | None -> ()
-        | Some fd -> (
-          match
-            Live.Sockets.write_all
-              ~deadline:(Live.Sockets.now () +. send_timeout)
-              fd wire
-          with
-          | Ok () -> ()
-          | Error e -> mark_dead cfg peer (Live.Sockets.error_to_string e))
-    in
+          match p.fd with
+          | Some fd ->
+            Unix.set_nonblock fd;
+            Hashtbl.replace lp.registry fd (K_peer p);
+            Evloop.register lp.ev fd ~read:true ~write:false
+          | None -> ())
+      lp.peers;
     let batch_cell : Batch.t option ref = ref None in
+    let the_batch () =
+      match !batch_cell with Some b -> b | None -> assert false
+    in
+    (* Mesh frames coalesce per peer; this send closure only *enqueues* —
+       bytes hit a socket exclusively in [pump], when the fd is writable.
+       Destination 0 broadcasts to every connected client through one
+       refcounted chunk; the buffer returns to the batch pool when the
+       last client drains it. *)
+    let send ~dest bytes ~len =
+      let recycle b = Batch.put_back (the_batch ()) b in
+      if dest = 0 then begin
+        let live = List.filter (fun c -> c.alive) lp.clients in
+        match live with
+        | [] -> `Done  (* nobody listening: drop, reuse the buffer *)
+        | _ ->
+          let chunk =
+            Outq.chunk ~shares:(List.length live) ~recycle bytes ~len
+          in
+          List.iter (fun c -> Outq.push c.coutq chunk) live;
+          `Taken
+      end
+      else
+        let peer = lp.peers.(dest - 1) in
+        match peer.fd with
+        | None -> `Done  (* dead peer: drop *)
+        | Some _ ->
+          Outq.push peer.outq (Outq.chunk ~recycle bytes ~len);
+          `Taken
+    in
     let mux =
       M.create
         {
@@ -214,17 +312,55 @@ module Make (A : Binding.ALGO) = struct
           kill_after = cfg.kill_after;
         }
         ~emit:(fun ~dest frame ->
-          match !batch_cell with
-          | Some b -> Batch.add b ~dest (Live.Frame.encode frame)
-          | None -> assert false)
+          Batch.add (the_batch ()) ~dest (Live.Frame.encode frame))
     in
     let batch =
       Batch.create ~n:cfg.n ~batch:cfg.batch ~stats:(M.stats mux) ~send
     in
     batch_cell := Some batch;
+    let stats = M.stats mux in
+    (* Drain one destination's queue opportunistically and keep its write
+       interest armed exactly while bytes remain. *)
+    let pump_peer peer =
+      match peer.fd with
+      | None -> ()
+      | Some fd ->
+        if Outq.over_hwm peer.outq then begin
+          stats.Stats.overflow_kills <- stats.Stats.overflow_kills + 1;
+          mark_dead lp peer
+            (Printf.sprintf "outbound backlog over %d bytes" peer_hwm)
+        end
+        else (
+          match Outq.drain peer.outq ~stats fd with
+          | `Empty -> Evloop.register lp.ev fd ~read:true ~write:false
+          | `Blocked -> Evloop.register lp.ev fd ~read:true ~write:true
+          | `Closed why -> mark_dead lp peer why)
+    in
+    let pump_client c =
+      if c.alive then
+        if Outq.over_hwm c.coutq then begin
+          stats.Stats.overflow_kills <- stats.Stats.overflow_kills + 1;
+          client_dead lp c
+            (Printf.sprintf "outbound backlog over %d bytes (never reads?)"
+               client_hwm)
+        end
+        else
+          match Outq.drain c.coutq ~stats c.cfd with
+          | `Empty -> Evloop.register lp.ev c.cfd ~read:true ~write:false
+          | `Blocked -> Evloop.register lp.ev c.cfd ~read:true ~write:true
+          | `Closed why -> client_dead lp c why
+    in
+    let pump_all () =
+      Array.iter
+        (fun p -> if p.fd <> None && not (Outq.is_empty p.outq) then pump_peer p)
+        lp.peers;
+      List.iter
+        (fun c -> if c.alive && not (Outq.is_empty c.coutq) then pump_client c)
+        lp.clients
+    in
     status_event cfg
       [ ("event", Obs.Json.String "ready"); ("node", Obs.Json.Int cfg.me) ];
-    logf cfg "mesh up; serving";
+    logf cfg "mesh up; serving (%s backend)" (Evloop.backend_to_string cfg.backend);
     let buf = Bytes.create 65536 in
     let drain_peer peer =
       let rec go () =
@@ -234,117 +370,188 @@ module Make (A : Binding.ALGO) = struct
             M.on_view mux ~now:(Live.Sockets.now ()) ~from:peer.pid v;
             go ()
           | `Need_more -> ()
-          | `Corrupt why -> mark_dead cfg peer ("corrupt stream: " ^ why)
+          | `Corrupt why -> mark_dead lp peer ("corrupt stream: " ^ why)
       in
       go ()
     in
+    let read_peer peer =
+      match peer.fd with
+      | None -> ()
+      | Some fd -> (
+        match Live.Sockets.read_chunk fd buf with
+        | `Data k ->
+          Live.Frame.feed peer.decoder (Bytes.unsafe_to_string buf) ~pos:0 ~len:k;
+          drain_peer peer
+        | `Closed -> mark_dead lp peer "eof"
+        | `Nothing -> ())
+    in
+    (* Decode at most [client_frame_budget] frames, then yield: leftover
+       frames stay buffered and flag [backlog] so the next iteration (at
+       timeout 0) resumes — after every other client had its turn. *)
     let drain_client c =
+      let budget = ref client_frame_budget in
       let rec go () =
         if c.alive && not (M.halted mux) then
-          match Live.Frame.pop_view c.cdec with
-          | `View v ->
-            (match v.Live.Frame.kind with
-            | Live.Frame.K_submit ->
-              M.submit mux ~now:(Live.Sockets.now ())
-                ~instance:v.Live.Frame.instance ~proposal:v.Live.Frame.value
-            | _ -> ());
-            go ()
-          | `Need_more -> ()
-          | `Corrupt why ->
-            logf cfg "client stream corrupt: %s" why;
-            (try Unix.close c.cfd with Unix.Unix_error _ -> ());
-            c.alive <- false
+          if !budget = 0 then c.backlog <- true
+          else
+            match Live.Frame.pop_view c.cdec with
+            | `View v ->
+              decr budget;
+              (match v.Live.Frame.kind with
+              | Live.Frame.K_submit ->
+                M.submit mux ~now:(Live.Sockets.now ())
+                  ~instance:v.Live.Frame.instance ~proposal:v.Live.Frame.value
+              | _ -> ());
+              go ()
+            | `Need_more -> c.backlog <- false
+            | `Corrupt why -> client_dead lp c ("corrupt stream: " ^ why)
       in
       go ()
     in
-    let read_into feed_target close_action fd =
-      match Live.Sockets.read_chunk fd buf with
-      | `Data k ->
-        feed_target (Bytes.unsafe_to_string buf) k;
-        true
-      | `Closed ->
-        close_action ();
-        false
-      | `Nothing -> true
+    let read_client c =
+      if c.alive then
+        match Live.Sockets.read_chunk c.cfd buf with
+        | `Data k ->
+          Live.Frame.feed c.cdec (Bytes.unsafe_to_string buf) ~pos:0 ~len:k
+        | `Closed -> client_dead lp c "disconnected"
+        | `Nothing -> ()
     in
-    let accept_pending () =
-      match Unix.accept lfd with
-      | fd, _ -> (
-        Unix.set_close_on_exec fd;
-        match read_exact ~deadline:(Live.Sockets.now () +. 2.0) fd hello_size with
-        | Error why ->
-          logf cfg "late connection dropped: %s" why;
-          (try Unix.close fd with Unix.Unix_error _ -> ())
-        | Ok bytes -> (
-          match hello_of bytes with
+    let accept_drain () =
+      let continue = ref true in
+      while !continue do
+        match Live.Sockets.accept_nonblock lfd with
+        | `Conn fd ->
+          let p =
+            {
+              pfd = fd;
+              pbuf = Bytes.create hello_size;
+              got = 0;
+              pdeadline = Live.Sockets.now () +. hello_deadline;
+            }
+          in
+          lp.pendings <- p :: lp.pendings;
+          Hashtbl.replace lp.registry fd (K_pending p);
+          Evloop.register lp.ev fd ~read:true ~write:false
+        | `Nothing -> continue := false
+        | `Error e ->
+          logf cfg "accept: %s" (Live.Sockets.error_to_string e);
+          continue := false
+      done
+    in
+    let pending_read p =
+      match Unix.read p.pfd p.pbuf p.got (hello_size - p.got) with
+      | 0 -> drop_pending lp p "closed before hello"
+      | k ->
+        p.got <- p.got + k;
+        if p.got >= hello_size then begin
+          lp.pendings <- List.filter (fun q -> q != p) lp.pendings;
+          match hello_of (Bytes.to_string p.pbuf) with
           | Ok 0 ->
-            Unix.set_nonblock fd;
-            clients :=
-              { cfd = fd; cdec = Live.Frame.decoder (); alive = true }
-              :: !clients;
-            had_client := true;
+            Hashtbl.remove lp.registry p.pfd;
+            Evloop.deregister lp.ev p.pfd;
+            ignore (new_client lp p.pfd);
             logf cfg "client connected"
           | Ok node ->
             logf cfg "unexpected mesh hello from p%d after startup; dropped" node;
-            (try Unix.close fd with Unix.Unix_error _ -> ())
+            drop_fd lp p.pfd
           | Error why ->
             logf cfg "bad late hello: %s" why;
-            (try Unix.close fd with Unix.Unix_error _ -> ())))
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            drop_fd lp p.pfd
+        end
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
         ->
         ()
+      | exception Unix.Unix_error (errno, _, _) ->
+        drop_pending lp p (Unix.error_message errno)
+    in
+    let ready_clients : client list ref = ref [] in
+    let lfd_ready = ref false in
+    let handle fd ~readable ~writable =
+      match Hashtbl.find_opt lp.registry fd with
+      | None -> ()  (* dropped by an earlier callback this round *)
+      | Some K_listen -> if readable then lfd_ready := true
+      | Some (K_pending p) -> if readable then pending_read p
+      | Some (K_peer peer) ->
+        (* Peers are latency-critical (round progress): serve in place. *)
+        if writable then pump_peer peer;
+        if readable then read_peer peer
+      | Some (K_client c) ->
+        if writable then pump_client c;
+        if readable && not (List.memq c !ready_clients) then
+          ready_clients := c :: !ready_clients
     in
     let running = ref true in
     while !running do
       let now0 = Live.Sockets.now () in
       let timeout =
-        match M.next_deadline mux with
-        | Some dl -> Float.max 0.0 (Float.min 0.25 (dl -. now0))
-        | None -> 0.25
+        if List.exists (fun c -> c.alive && c.backlog) lp.clients then 0.0
+        else begin
+          let dl = ref (now0 +. 0.25) in
+          (match M.next_deadline mux with
+          | Some d when d < !dl -> dl := d
+          | _ -> ());
+          List.iter
+            (fun p -> if p.pdeadline < !dl then dl := p.pdeadline)
+            lp.pendings;
+          Float.max 0.0 (!dl -. now0)
+        end
       in
-      let peer_fds =
-        Array.to_list peers
-        |> List.filter_map (fun p -> if p.pid = cfg.me then None else p.fd)
+      ready_clients := [];
+      lfd_ready := false;
+      ignore (Evloop.wait lp.ev ~timeout ~handle);
+      if !lfd_ready then accept_drain ();
+      (* Fair client service: rotate the starting point, read one chunk
+         from each client that signalled, then decode under the shared
+         budget — backlogged clients rejoin even without new bytes. *)
+      let service =
+        List.filter
+          (fun c -> c.alive && (c.backlog || List.memq c !ready_clients))
+          lp.clients
       in
-      let client_fds = List.filter_map (fun c -> if c.alive then Some c.cfd else None) !clients in
-      (match Unix.select ((lfd :: peer_fds) @ client_fds) [] [] timeout with
-      | ready, _, _ ->
-        if List.memq lfd ready then accept_pending ();
+      (match service with
+      | [] -> ()
+      | _ ->
+        let m = List.length service in
+        let start = lp.rr mod m in
+        lp.rr <- lp.rr + 1;
+        let arr = Array.of_list service in
+        for k = 0 to m - 1 do
+          let c = arr.((start + k) mod m) in
+          if c.alive && not (M.halted mux) then begin
+            if List.memq c !ready_clients then read_client c;
+            drain_client c
+          end
+        done);
+      (* Expired hellos cost their fd, nothing else. *)
+      let now1 = Live.Sockets.now () in
+      List.iter
+        (fun p ->
+          if p.pdeadline <= now1 then drop_pending lp p "hello timed out")
+        lp.pendings;
+      M.expire mux ~now:(Live.Sockets.now ());
+      (* Everything this iteration produced goes to the queues — including,
+         on a halt, the pre-crash prefix the budget allowed (the kernel
+         would have flushed those buffers; the mux already stopped
+         counting) — and the queues drain only as far as the kernel
+         accepts without blocking. *)
+      Batch.flush batch;
+      pump_all ();
+      lp.clients <- List.filter (fun c -> c.alive) lp.clients;
+      if M.halted mux then begin
+        (* Off the steady-state loop now: deliver the allowed prefix with
+           a bounded synchronous flush, then stop for the SIGKILL. *)
+        let dl = Live.Sockets.now () +. 2.0 in
         Array.iter
-          (fun peer ->
-            match peer.fd with
-            | Some fd when peer.pid <> cfg.me && List.memq fd ready ->
-              ignore
-                (read_into
-                   (fun s k ->
-                     Live.Frame.feed peer.decoder s ~pos:0 ~len:k;
-                     drain_peer peer)
-                   (fun () -> mark_dead cfg peer "eof")
-                   fd)
-            | _ -> ())
-          peers;
+          (fun p ->
+            match p.fd with
+            | Some fd -> Outq.drain_blocking p.outq ~deadline:dl fd
+            | None -> ())
+          lp.peers;
         List.iter
           (fun c ->
-            if c.alive && List.memq c.cfd ready then
-              ignore
-                (read_into
-                   (fun s k ->
-                     Live.Frame.feed c.cdec s ~pos:0 ~len:k;
-                     drain_client c)
-                   (fun () ->
-                     logf cfg "client disconnected";
-                     (try Unix.close c.cfd with Unix.Unix_error _ -> ());
-                     c.alive <- false)
-                   c.cfd))
-          !clients
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      clients := List.filter (fun c -> c.alive) !clients;
-      M.expire mux ~now:(Live.Sockets.now ());
-      (* Deliver everything this iteration produced — including, on a halt,
-         the pre-crash prefix the budget allowed (the kernel would have
-         flushed those buffers; the mux already stopped counting). *)
-      Batch.flush batch;
-      if M.halted mux then begin
+            if c.alive then Outq.drain_blocking c.coutq ~deadline:dl c.cfd)
+          lp.clients;
         logf cfg "kill budget exhausted after %d mesh writes; stopping"
           (M.mesh_writes mux);
         status_event cfg
@@ -358,7 +565,7 @@ module Make (A : Binding.ALGO) = struct
         halt_forever ()
       end
       else if
-        (not cfg.linger) && !had_client && !clients = [] && M.active mux = 0
+        (not cfg.linger) && lp.had_client && lp.clients = [] && M.active mux = 0
       then begin
         logf cfg "last client gone and no instance active; exiting";
         status_event cfg
@@ -371,7 +578,7 @@ module Make (A : Binding.ALGO) = struct
       end
     done;
     (try Unix.close lfd with Unix.Unix_error _ -> ());
-    Array.iter (fun p -> mark_dead cfg p "shutdown") peers
+    Array.iter (fun p -> mark_dead lp p "shutdown") lp.peers
 end
 
 module Rwwc = Make (Binding.Rwwc)

@@ -1,19 +1,30 @@
-(** The per-node serve event loop: one single-threaded [select] loop
-    multiplexing the whole socket mesh, every connected client, and the
-    mux's round deadlines.
+(** The per-node serve event loop: one single-threaded readiness loop
+    ({!Evloop}, select- or poll-backed) multiplexing the whole socket
+    mesh, every connected client, and the mux's round deadlines — with
+    the invariant that {b no syscall inside the loop can block}.
 
-    The loop accepts clients on the same listen socket the mesh handshake
-    used (a Hello carrying node id 0 marks a client), feeds every readable
-    fd through its incremental frame decoder into the {!Mux}, expires due
-    rounds, and flushes the per-peer {!Batch} buffers — one buffered write
-    per peer per iteration, which is where the decisions/sec headroom
-    comes from.
+    Reads are nonblocking and feed incremental frame decoders into the
+    {!Mux}; writes never touch a socket directly — {!Batch.flush} hands
+    its coalesced buffers to per-destination {!Outq} queues, and the loop
+    drains a queue only when its fd reports writable (partial writes
+    resume where they stopped).  A destination whose backlog crosses the
+    queue high-water mark is declared dead and dropped; it cannot stall
+    the mesh.  Decide broadcasts reach every client through one
+    refcounted chunk, so a fan-out of [k] clients costs zero extra
+    copies.
+
+    The listen socket is drained until [EAGAIN] on every readable wakeup;
+    a new connection parks in a pending-hello state (nonblocking read,
+    2 s deadline) until its Hello arrives, so a half-open or slow-loris
+    connection costs one fd, never a stall.  Client Submits are decoded
+    under a per-client frame budget with a rotating round-robin start, so
+    one chatty client cannot starve another's instances.
 
     A [kill_after] budget makes the mux halt mid-send; the engine then
-    flushes the pre-crash prefix (the frames the budget allowed), reports
-    the realized per-instance crash points on the status channel, and
-    SIGSTOPs itself for the supervising fleet to deliver the real
-    SIGKILL — same protocol as {!Live.Node}.
+    drains the pre-crash prefix (the frames the budget allowed) with a
+    bounded synchronous flush, reports the realized per-instance crash
+    points on the status channel, and SIGSTOPs itself for the supervising
+    fleet to deliver the real SIGKILL — same protocol as {!Live.Node}.
 
     Without [linger], the engine exits cleanly once it has seen at least
     one client, the last client has disconnected, and no instance is
@@ -27,6 +38,7 @@ type config = {
   big_d : float;  (** per-round receive window, seconds *)
   max_rounds : int;
   batch : bool;  (** coalesce mesh frames per peer per loop iteration *)
+  backend : Evloop.backend;  (** readiness backend: [Select] or [Poll] *)
   kill_after : int option;  (** mesh-frame kill budget (see {!Mux}) *)
   linger : bool;  (** keep serving after the last client disconnects *)
   status : out_channel;  (** JSON-lines: ready / halted / stats events *)

@@ -1,0 +1,52 @@
+(** Readiness multiplexing for the serve event loop.
+
+    One registry of fd interest (read, write, or both) behind two
+    interchangeable backends: a portable [Unix.select] one and a
+    [poll(2)] one via a small C stub.  select silently fails past
+    [FD_SETSIZE] (1024) descriptors — the cliff that caps how many
+    clients a node can serve — while poll has no limit; the engine picks
+    at runtime via [--backend] and the qcheck suite pins both backends
+    to identical readiness sets on random interest updates.
+
+    [wait] snapshots the registry before blocking, so a callback may
+    freely register or deregister fds (accepting a connection, marking a
+    peer dead) without invalidating the iteration. *)
+
+type backend = Select | Poll
+
+val poll_available : bool
+(** Whether the poll stub is compiled in on this platform. *)
+
+val backend_of_string : string -> (backend, string) result
+val backend_to_string : backend -> string
+
+type t
+
+val create : ?backend:backend -> unit -> t
+(** Default backend: [Select] (portable, deterministic baseline). *)
+
+val backend : t -> backend
+
+val register : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Set (or update) the interest for a fd.  [read:false ~write:false]
+    keeps the fd registered with no interest — use {!deregister} to
+    drop it. *)
+
+val deregister : t -> Unix.file_descr -> unit
+(** Forget a fd.  Safe to call for a fd that was never registered. *)
+
+val interest : t -> Unix.file_descr -> (bool * bool) option
+(** [(read, write)] interest currently registered, if any. *)
+
+val registered : t -> int
+
+val wait :
+  t ->
+  timeout:float ->
+  handle:(Unix.file_descr -> readable:bool -> writable:bool -> unit) ->
+  int
+(** Block up to [timeout] seconds (negative means zero) for readiness and
+    invoke [handle] once per ready fd; returns the number of ready fds.
+    [EINTR] returns 0, like a timeout.  Callbacks may mutate the
+    registry; readiness is reported from the pre-wait snapshot, so a
+    callback must tolerate events for fds it has just dropped. *)

@@ -7,6 +7,7 @@ type config = {
   window : int;
   big_d : float;
   batch : bool;
+  backend : Evloop.backend;
   kill : Report.kill_spec option;
   max_rounds : int option;
   proposals : int -> int -> int;
@@ -153,7 +154,16 @@ let cleanup cfg parent_fds children =
     done
   | `Tcp _ -> ()
 
-let run cfg =
+type mesh = {
+  victim : (int * Mux.realized list) option;
+  node_stats : (int * Stats.t) list;
+}
+
+(* Spawn the engines, wait for every mesh handshake, run [drive] with an
+   [on_idle] that pumps status pipes and answers the victim's SIGSTOP,
+   then drain final stats and tear everything down.  [run] and the soak /
+   multi-client tests are all this skeleton with a different [drive]. *)
+let with_mesh cfg drive =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   if cfg.n < 2 then Error "serve fleet: need n >= 2"
   else if cfg.t < 0 || cfg.t >= cfg.n then Error "serve fleet: need 0 <= t < n"
@@ -190,6 +200,7 @@ let run cfg =
                big_d = cfg.big_d;
                max_rounds;
                batch = cfg.batch;
+               backend = cfg.backend;
                kill_after;
                linger = false;
                status = Unix.out_channel_of_descr status_w;
@@ -262,35 +273,15 @@ let run cfg =
       match wait_ready () with
       | Error e -> Error e
       | Ok () ->
-        vlog cfg "all engines ready; starting the storm";
-        let timeout =
-          match cfg.client_timeout with
-          | Some s -> s
-          | None ->
-            (* worst case: every window-batch burns the full deadline chain *)
-            let batches =
-              float_of_int ((cfg.instances / max 1 cfg.window) + 2)
-            in
-            (batches *. cfg.big_d *. float_of_int (max_rounds + 1)) +. 10.0
-        in
+        vlog cfg "all engines ready";
         let on_idle () =
           select_pump ~timeout:0.0 parent_fds children;
           Array.iter (reap_one cfg) children
         in
-        let client_cfg =
-          {
-            Client.n = cfg.n;
-            transport = cfg.transport;
-            instances = cfg.instances;
-            window = cfg.window;
-            proposals = cfg.proposals;
-            timeout;
-          }
-        in
-        (match Client.run ~on_idle client_cfg with
-        | Error e -> Error ("serve fleet: client: " ^ e)
-        | Ok outcome ->
-          (* Engines exit once the client hangs up; drain their final
+        (match drive ~on_idle with
+        | Error e -> Error e
+        | Ok v ->
+          (* Engines exit once the last client hangs up; drain their final
              stats events, answer a late SIGSTOP, then close out. *)
           let grace = Live.Sockets.now () +. 5.0 in
           while
@@ -308,19 +299,14 @@ let run cfg =
                    | Some rs -> Some (c.node, rs)
                    | None -> None)
           in
-          let stats =
+          let node_stats =
             Array.to_list children
             |> List.filter_map (fun c ->
                    match c.stats with
                    | Some s -> Some (c.node, s)
                    | None -> None)
           in
-          Ok
-            (Report.build ~n:cfg.n ~t:cfg.t ~proposals:cfg.proposals
-               ~decisions:outcome.Client.decisions ~victim
-               ~send_plan:Binding.Rwwc.send_plan
-               ~elapsed:outcome.Client.elapsed
-               ~latencies:outcome.Client.latencies ~stats ~kill:cfg.kill))
+          Ok (v, { victim; node_stats }))
     in
     let result =
       try body ()
@@ -329,3 +315,41 @@ let run cfg =
     cleanup cfg parent_fds children;
     result
   end
+
+let default_timeout cfg =
+  let max_rounds = match cfg.max_rounds with Some m -> m | None -> cfg.t + 1 in
+  (* worst case: every window-batch burns the full deadline chain *)
+  let batches = float_of_int ((cfg.instances / max 1 cfg.window) + 2) in
+  (batches *. cfg.big_d *. float_of_int (max_rounds + 1)) +. 10.0
+
+let run cfg =
+  let timeout =
+    match cfg.client_timeout with
+    | Some s -> s
+    | None -> default_timeout cfg
+  in
+  let drive ~on_idle =
+    let client_cfg =
+      {
+        Client.n = cfg.n;
+        transport = cfg.transport;
+        first = 0;
+        instances = cfg.instances;
+        window = cfg.window;
+        proposals = cfg.proposals;
+        timeout;
+      }
+    in
+    match Client.run ~on_idle ~tick:0.05 client_cfg with
+    | Error e -> Error ("serve fleet: client: " ^ e)
+    | Ok outcome -> Ok outcome
+  in
+  match with_mesh cfg drive with
+  | Error e -> Error e
+  | Ok (outcome, mesh) ->
+    Ok
+      (Report.build ~n:cfg.n ~t:cfg.t ~proposals:cfg.proposals
+         ~decisions:outcome.Client.decisions ~victim:mesh.victim
+         ~send_plan:Binding.Rwwc.send_plan ~elapsed:outcome.Client.elapsed
+         ~latencies:outcome.Client.latencies ~stats:mesh.node_stats
+         ~kill:cfg.kill)

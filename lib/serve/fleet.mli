@@ -3,7 +3,7 @@
     latencies, per-engine stats, and any realized kill into a {!Report}.
 
     Engine status pipes (ready / halted / stats JSON lines) are pumped
-    from the client's [on_idle] hook, so one select loop serves both
+    from the driver's [on_idle] hook, so one select loop serves both
     jobs; a kill-budget victim's SIGSTOP is answered with SIGKILL from
     the same hook — mid-storm, while the other engines keep deciding. *)
 
@@ -16,11 +16,32 @@ type config = {
   window : int;
   big_d : float;
   batch : bool;
+  backend : Evloop.backend;  (** readiness backend for every engine *)
   kill : Report.kill_spec option;
   max_rounds : int option;  (** default [t + 1] *)
   proposals : int -> int -> int;  (** instance -> node -> proposal *)
   client_timeout : float option;  (** default derived from the deadline chain *)
   verbose : bool;
 }
+
+type mesh = {
+  victim : (int * Mux.realized list) option;
+      (** the kill victim's realized per-instance crash points *)
+  node_stats : (int * Stats.t) list;  (** final per-engine event-loop stats *)
+}
+
+val with_mesh :
+  config ->
+  (on_idle:(unit -> unit) -> ('a, string) result) ->
+  ('a * mesh, string) result
+(** Spawn the engines, wait until every mesh handshake completes, run
+    [drive ~on_idle] (calling [on_idle] frequently keeps status pipes
+    drained and answers the victim's SIGSTOP), then collect final stats
+    and tear the fleet down — kills, reaps, socket unlinks included.
+    {!run}, the soak driver, and the multi-client tests are all this
+    skeleton with a different [drive]. *)
+
+val default_timeout : config -> float
+(** The storm budget {!run} uses when [client_timeout] is [None]. *)
 
 val run : config -> (Report.t, string) result

@@ -23,10 +23,11 @@ module Make (A : Binding.ALGO) = struct
     let max_rounds =
       match cfg.max_rounds with Some m -> m | None -> cfg.t + 1
     in
-    (* One in-memory FIFO per directed link, one incremental decoder per
-       link on the receiving side, one Decide-stream decoder per node's
-       client channel: the exact socket topology, minus the sockets. *)
-    let links = Array.make_matrix n n [] in
+    (* One incremental decoder per directed link, one Decide-stream decoder
+       per node's client channel: the exact socket topology, minus the
+       sockets.  A flushed batch buffer is fed to the receiving decoder in
+       place (the decoder copies into its own buffer), so no per-flush
+       string is ever materialized. *)
     let decoders =
       Array.init n (fun _ -> Array.init n (fun _ -> Live.Frame.decoder ()))
     in
@@ -52,11 +53,13 @@ module Make (A : Binding.ALGO) = struct
     in
     Array.iteri
       (fun idx mux ->
-        let send dest wire =
+        let send ~dest bytes ~len =
           moved := true;
-          if dest = 0 then Live.Frame.feed_string client_dec.(idx) wire
+          let s = Bytes.unsafe_to_string bytes in
+          if dest = 0 then Live.Frame.feed client_dec.(idx) s ~pos:0 ~len
           else if dest >= 1 && dest <= n then
-            links.(idx).(dest - 1) <- wire :: links.(idx).(dest - 1)
+            Live.Frame.feed decoders.(idx).(dest - 1) s ~pos:0 ~len;
+          `Done
         in
         batches.(idx) <-
           Some (Batch.create ~n ~batch:cfg.batch ~stats:(M.stats mux) ~send))
@@ -65,22 +68,17 @@ module Make (A : Binding.ALGO) = struct
     let submit_t = Array.make (max 1 cfg.instances) 0.0 in
     let latencies = ref [] in
     let drain_link s d =
-      match links.(s).(d) with
-      | [] -> ()
-      | q ->
-        links.(s).(d) <- [];
-        let dec = decoders.(s).(d) in
-        List.iter (fun wire -> Live.Frame.feed_string dec wire) (List.rev q);
-        let rec go () =
-          match Live.Frame.pop_view dec with
-          | `View v ->
-            moved := true;
-            M.on_view muxes.(d) ~now:!now ~from:(s + 1) v;
-            go ()
-          | `Need_more -> ()
-          | `Corrupt why -> failwith ("Serve.Loopback: corrupt stream: " ^ why)
-        in
-        go ()
+      let dec = decoders.(s).(d) in
+      let rec go () =
+        match Live.Frame.pop_view dec with
+        | `View v ->
+          moved := true;
+          M.on_view muxes.(d) ~now:!now ~from:(s + 1) v;
+          go ()
+        | `Need_more -> ()
+        | `Corrupt why -> failwith ("Serve.Loopback: corrupt stream: " ^ why)
+      in
+      go ()
     in
     let drain_client idx =
       let dec = client_dec.(idx) in

@@ -1,0 +1,93 @@
+type chunk = {
+  bytes : Bytes.t;
+  len : int;
+  mutable shares : int;  (* queues still holding this chunk *)
+  recycle : Bytes.t -> unit;
+}
+
+let chunk ?(shares = 1) ~recycle bytes ~len =
+  if shares < 1 then invalid_arg "Outq.chunk: shares < 1";
+  { bytes; len; shares; recycle }
+
+let release_share c =
+  c.shares <- c.shares - 1;
+  if c.shares = 0 then c.recycle c.bytes
+
+(* Per-queue cursor into the (shared) chunk: two clients draining the
+   same broadcast chunk at different speeds each track their own offset. *)
+type cell = { c : chunk; mutable off : int }
+
+type t = {
+  q : cell Queue.t;
+  mutable queued : int;  (* unsent bytes across all cells *)
+  hwm : int;
+}
+
+let default_hwm = 8 * 1024 * 1024
+
+let create ?(hwm = default_hwm) () = { q = Queue.create (); queued = 0; hwm }
+
+let push t c =
+  Queue.push { c; off = 0 } t.q;
+  t.queued <- t.queued + c.len
+
+let is_empty t = Queue.is_empty t.q
+let queued_bytes t = t.queued
+let over_hwm t = t.queued > t.hwm
+
+let drain t ?stats fd =
+  let count_write n full =
+    match stats with
+    | None -> ()
+    | Some s ->
+      s.Stats.write_calls <- s.Stats.write_calls + 1;
+      if not full then s.Stats.partial_writes <- s.Stats.partial_writes + 1;
+      ignore n
+  in
+  let rec go () =
+    match Queue.peek_opt t.q with
+    | None -> `Empty
+    | Some cell -> (
+      let remaining = cell.c.len - cell.off in
+      match Unix.write fd cell.c.bytes cell.off remaining with
+      | n ->
+        t.queued <- t.queued - n;
+        count_write n (n = remaining);
+        if n = remaining then begin
+          ignore (Queue.pop t.q);
+          release_share cell.c;
+          go ()
+        end
+        else begin
+          cell.off <- cell.off + n;
+          (* The kernel took a partial write: the buffer is full, a
+             longer spin would only get EAGAIN. *)
+          `Blocked
+        end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Blocked
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (errno, _, _) ->
+        `Closed (Unix.error_message errno))
+  in
+  go ()
+
+let drain_blocking t ~deadline fd =
+  let rec go () =
+    match drain t fd with
+    | `Empty | `Closed _ -> ()
+    | `Blocked ->
+      let dt = deadline -. Unix.gettimeofday () in
+      if dt > 0.0 then begin
+        (match Unix.select [] [ fd ] [] dt with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
+      end
+  in
+  go ()
+
+let clear t =
+  Queue.iter (fun cell -> release_share cell.c) t.q;
+  Queue.clear t.q;
+  t.queued <- 0

@@ -1,0 +1,286 @@
+type bucket = {
+  since : float;
+  count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t = {
+  duration : float;
+  bucket_width : float;
+  elapsed : float;
+  settled : int;
+  disagreements : int;
+  undrained : int;
+  decisions_per_sec : float;
+  buckets : bucket list;
+  ok : bool;
+}
+
+type flight = {
+  t0 : float;
+  mutable miss : int;
+  mutable value : int option;
+  mutable bad : bool;
+}
+
+let drain_grace = 3.0
+
+let run cfg ~duration ~bucket =
+  if duration <= 0.0 then Error "serve soak: duration must be positive"
+  else if bucket <= 0.0 then Error "serve soak: bucket must be positive"
+  else
+    let drive ~on_idle =
+      let nodes_fd = Array.make cfg.Fleet.n None in
+      let decoders =
+        Array.init cfg.Fleet.n (fun _ -> Live.Frame.decoder ())
+      in
+      let hello = Live.Frame.encode (Live.Frame.Hello { node = 0 }) in
+      let deadline = Live.Sockets.now () +. 10.0 in
+      let connect_err = ref None in
+      for p = 1 to cfg.Fleet.n do
+        if !connect_err = None then
+          match
+            Live.Sockets.connect_retry ~deadline
+              (Live.Sockets.addr_of ~transport:cfg.Fleet.transport p)
+          with
+          | Error e ->
+            connect_err :=
+              Some
+                (Printf.sprintf "connect to p%d: %s" p
+                   (Live.Sockets.error_to_string e))
+          | Ok fd -> (
+            match Live.Sockets.write_all ~deadline fd hello with
+            | Ok () ->
+              Unix.set_nonblock fd;
+              nodes_fd.(p - 1) <- Some fd
+            | Error e ->
+              connect_err :=
+                Some
+                  (Printf.sprintf "hello to p%d: %s" p
+                     (Live.Sockets.error_to_string e)))
+      done;
+      match !connect_err with
+      | Some e ->
+        Array.iter
+          (function
+            | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+            | None -> ())
+          nodes_fd;
+        Error ("serve soak: " ^ e)
+      | None ->
+        let window = max 1 cfg.Fleet.window in
+        let live = ref cfg.Fleet.n in
+        let inflight : (int, flight) Hashtbl.t = Hashtbl.create 256 in
+        let next_id = ref 0 in
+        let settled = ref 0 in
+        let disagreements = ref 0 in
+        (* settle-time latencies keyed by bucket index *)
+        let lat_buckets : (int, float list ref) Hashtbl.t = Hashtbl.create 32 in
+        let started = Live.Sockets.now () in
+        let soak_end = started +. duration in
+        let settle id f =
+          Hashtbl.remove inflight id;
+          incr settled;
+          let now = Live.Sockets.now () in
+          let idx = int_of_float ((now -. started) /. bucket) in
+          let cell =
+            match Hashtbl.find_opt lat_buckets idx with
+            | Some r -> r
+            | None ->
+              let r = ref [] in
+              Hashtbl.replace lat_buckets idx r;
+              r
+          in
+          cell := (now -. f.t0) :: !cell
+        in
+        let submit_burst fresh =
+          let per_node = Array.init cfg.Fleet.n (fun _ -> Buffer.create 256) in
+          List.iter
+            (fun id ->
+              Hashtbl.replace inflight id
+                { t0 = Live.Sockets.now (); miss = !live; value = None; bad = false };
+              for p = 1 to cfg.Fleet.n do
+                if nodes_fd.(p - 1) <> None then
+                  Buffer.add_string per_node.(p - 1)
+                    (Live.Frame.encode
+                       (Live.Frame.Submit
+                          { instance = id; proposal = cfg.Fleet.proposals id p }))
+              done)
+            fresh;
+          Array.iteri
+            (fun i fdo ->
+              match fdo with
+              | None -> ()
+              | Some fd ->
+                let wire = Buffer.contents per_node.(i) in
+                if wire <> "" then (
+                  match
+                    Live.Sockets.write_all
+                      ~deadline:(Live.Sockets.now () +. 2.0)
+                      fd wire
+                  with
+                  | Ok () -> ()
+                  | Error _ -> ()))
+            nodes_fd
+        in
+        let refill () =
+          if Live.Sockets.now () < soak_end then begin
+            let fresh = ref [] in
+            while Hashtbl.length inflight + List.length !fresh < window do
+              fresh := !next_id :: !fresh;
+              incr next_id
+            done;
+            if !fresh <> [] then submit_burst (List.rev !fresh)
+          end
+        in
+        let mark_dead p =
+          match nodes_fd.(p - 1) with
+          | None -> ()
+          | Some fd ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            nodes_fd.(p - 1) <- None;
+            decr live;
+            let freed = ref [] in
+            Hashtbl.iter
+              (fun id f ->
+                f.miss <- f.miss - 1;
+                if f.miss <= 0 then freed := (id, f) :: !freed)
+              inflight;
+            List.iter (fun (id, f) -> settle id f) !freed
+        in
+        let drain p =
+          let dec = decoders.(p - 1) in
+          let rec go () =
+            match Live.Frame.pop_view dec with
+            | `View v ->
+              (match v.Live.Frame.kind with
+              | Live.Frame.K_decide -> (
+                match Hashtbl.find_opt inflight v.Live.Frame.instance with
+                | None -> ()
+                | Some f ->
+                  (match f.value with
+                  | None -> f.value <- Some v.Live.Frame.value
+                  | Some w ->
+                    if w <> v.Live.Frame.value && not f.bad then begin
+                      f.bad <- true;
+                      incr disagreements
+                    end);
+                  f.miss <- f.miss - 1;
+                  if f.miss <= 0 then settle v.Live.Frame.instance f)
+              | _ -> ());
+              go ()
+            | `Need_more -> ()
+            | `Corrupt _ -> mark_dead p
+          in
+          go ()
+        in
+        let buf = Bytes.create 65536 in
+        refill ();
+        let hard_end = soak_end +. drain_grace in
+        while
+          (Live.Sockets.now () < soak_end
+          || (Hashtbl.length inflight > 0 && Live.Sockets.now () < hard_end))
+          && !live > 0
+        do
+          let fds =
+            Array.to_list nodes_fd |> List.filter_map (fun fdo -> fdo)
+          in
+          let timeout =
+            Float.min 0.05
+              (Float.max 0.0 (hard_end -. Live.Sockets.now ()))
+          in
+          (match Unix.select fds [] [] timeout with
+          | ready, _, _ ->
+            for p = 1 to cfg.Fleet.n do
+              match nodes_fd.(p - 1) with
+              | Some fd when List.memq fd ready -> (
+                match Live.Sockets.read_chunk fd buf with
+                | `Data k ->
+                  Live.Frame.feed decoders.(p - 1) (Bytes.unsafe_to_string buf)
+                    ~pos:0 ~len:k;
+                  drain p
+                | `Closed -> mark_dead p
+                | `Nothing -> ())
+              | _ -> ()
+            done
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          refill ();
+          on_idle ()
+        done;
+        let elapsed = Live.Sockets.now () -. started in
+        let undrained = Hashtbl.length inflight in
+        Array.iter
+          (function
+            | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+            | None -> ())
+          nodes_fd;
+        let buckets =
+          Hashtbl.fold (fun idx lats acc -> (idx, !lats) :: acc) lat_buckets []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> List.map (fun (idx, lats) ->
+                 let arr = Array.of_list lats in
+                 Array.sort compare arr;
+                 {
+                   since = float_of_int idx *. bucket;
+                   count = Array.length arr;
+                   p50 = Report.percentile arr 0.50;
+                   p90 = Report.percentile arr 0.90;
+                   p99 = Report.percentile arr 0.99;
+                 })
+        in
+        Ok
+          {
+            duration;
+            bucket_width = bucket;
+            elapsed;
+            settled = !settled;
+            disagreements = !disagreements;
+            undrained;
+            decisions_per_sec =
+              (if elapsed > 0.0 then float_of_int !settled /. elapsed else 0.0);
+            buckets;
+            ok = !disagreements = 0;
+          }
+    in
+    match Fleet.with_mesh cfg drive with
+    | Error e -> Error e
+    | Ok (t, _mesh) -> Ok t
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("duration", Obs.Json.Float t.duration);
+      ("bucket_width", Obs.Json.Float t.bucket_width);
+      ("elapsed", Obs.Json.Float t.elapsed);
+      ("settled", Obs.Json.Int t.settled);
+      ("disagreements", Obs.Json.Int t.disagreements);
+      ("undrained", Obs.Json.Int t.undrained);
+      ("decisions_per_sec", Obs.Json.Float t.decisions_per_sec);
+      ("ok", Obs.Json.Bool t.ok);
+      ( "buckets",
+        Obs.Json.List
+          (List.map
+             (fun b ->
+               Obs.Json.Obj
+                 [
+                   ("since", Obs.Json.Float b.since);
+                   ("count", Obs.Json.Int b.count);
+                   ("p50", Obs.Json.Float b.p50);
+                   ("p90", Obs.Json.Float b.p90);
+                   ("p99", Obs.Json.Float b.p99);
+                 ])
+             t.buckets) );
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "soak: %.0fs, %d settled (%.1f/s), %d disagreement(s)%s@."
+    t.duration t.settled t.decisions_per_sec t.disagreements
+    (if t.undrained > 0 then Printf.sprintf ", %d undrained" t.undrained else "");
+  Format.fprintf ppf "  %8s %8s %10s %10s %10s@." "t" "count" "p50" "p90" "p99";
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "  %7.0fs %8d %9.2fms %9.2fms %9.2fms@." b.since
+        b.count (1000.0 *. b.p50) (1000.0 *. b.p90) (1000.0 *. b.p99))
+    t.buckets

@@ -1,0 +1,41 @@
+(** Sustained-load soak driver: run a real fleet for a wall-clock
+    duration, stream an unbounded sequence of instances through it, and
+    report time-bucketed latency percentiles — the view that catches
+    degradation over time (queue growth, allocator drift, fd leaks)
+    which a fixed-instance storm's single aggregate hides.
+
+    Instances are submitted with the same windowed pipelining as
+    {!Client}; each settled instance files its submit-to-settle latency
+    into the bucket its settle time falls in.  Agreement is checked on
+    the fly: any instance where two nodes report different values counts
+    as a disagreement (and fails {!ok}). *)
+
+type bucket = {
+  since : float;  (** bucket start, seconds from soak start *)
+  count : int;  (** instances settled in this bucket *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t = {
+  duration : float;  (** requested soak length, seconds *)
+  bucket_width : float;
+  elapsed : float;  (** actual wall time incl. the drain grace *)
+  settled : int;
+  disagreements : int;
+  undrained : int;  (** instances still in flight when the soak closed *)
+  decisions_per_sec : float;  (** settled / elapsed *)
+  buckets : bucket list;  (** ascending by [since]; empty buckets omitted *)
+  ok : bool;  (** no disagreements *)
+}
+
+val run :
+  Fleet.config -> duration:float -> bucket:float -> (t, string) result
+(** Drives [cfg.window]-wide load over the fleet for [duration] seconds
+    (ignoring [cfg.instances] — the stream is unbounded), then allows a
+    short drain grace for in-flight instances.  [bucket] is the
+    histogram bucket width in seconds. *)
+
+val to_json : t -> Obs.Json.t
+val pp : Format.formatter -> t -> unit

@@ -2,6 +2,9 @@ type t = {
   mutable frames_out : int;
   mutable bytes_out : int;
   mutable write_calls : int;
+  mutable partial_writes : int;
+  mutable copies_saved : int;
+  mutable overflow_kills : int;
   mutable flushes : int;
   mutable max_batch : int;
   mutable frames_in : int;
@@ -20,6 +23,9 @@ let create () =
     frames_out = 0;
     bytes_out = 0;
     write_calls = 0;
+    partial_writes = 0;
+    copies_saved = 0;
+    overflow_kills = 0;
     flushes = 0;
     max_batch = 0;
     frames_in = 0;
@@ -37,6 +43,9 @@ let add a b =
   a.frames_out <- a.frames_out + b.frames_out;
   a.bytes_out <- a.bytes_out + b.bytes_out;
   a.write_calls <- a.write_calls + b.write_calls;
+  a.partial_writes <- a.partial_writes + b.partial_writes;
+  a.copies_saved <- a.copies_saved + b.copies_saved;
+  a.overflow_kills <- a.overflow_kills + b.overflow_kills;
   a.flushes <- a.flushes + b.flushes;
   a.max_batch <- max a.max_batch b.max_batch;
   a.frames_in <- a.frames_in + b.frames_in;
@@ -55,6 +64,9 @@ let to_json s =
       ("frames_out", Obs.Json.Int s.frames_out);
       ("bytes_out", Obs.Json.Int s.bytes_out);
       ("write_calls", Obs.Json.Int s.write_calls);
+      ("partial_writes", Obs.Json.Int s.partial_writes);
+      ("copies_saved", Obs.Json.Int s.copies_saved);
+      ("overflow_kills", Obs.Json.Int s.overflow_kills);
       ("flushes", Obs.Json.Int s.flushes);
       ("max_batch", Obs.Json.Int s.max_batch);
       ("frames_in", Obs.Json.Int s.frames_in);
@@ -82,6 +94,9 @@ let of_json json =
   let* frames_out = int "frames_out" in
   let* bytes_out = int "bytes_out" in
   let* write_calls = int "write_calls" in
+  let* partial_writes = int "partial_writes" in
+  let* copies_saved = int "copies_saved" in
+  let* overflow_kills = int "overflow_kills" in
   let* flushes = int "flushes" in
   let* max_batch = int "max_batch" in
   let* frames_in = int "frames_in" in
@@ -98,6 +113,9 @@ let of_json json =
       frames_out;
       bytes_out;
       write_calls;
+      partial_writes;
+      copies_saved;
+      overflow_kills;
       flushes;
       max_batch;
       frames_in;
@@ -113,9 +131,14 @@ let of_json json =
 
 let pp ppf s =
   Format.fprintf ppf
-    "out: %d frames / %d bytes in %d writes (%d flushes, max batch %d) · in: \
-     %d frames · %d submits, %d decides · rounds: %d fast / %d expired · %d \
-     late, %d dropped · slab %d slots (%d reused)"
-    s.frames_out s.bytes_out s.write_calls s.flushes s.max_batch s.frames_in
-    s.submits s.decides s.fast_rounds s.expired_rounds s.late_frames
-    s.dropped_frames s.slab_capacity s.slab_reused
+    "out: %d frames / %d bytes in %d writes (%d partial, %d flushes, max \
+     batch %d, %d copies saved) · in: %d frames · %d submits, %d decides · \
+     rounds: %d fast / %d expired · %d late, %d dropped · slab %d slots (%d \
+     reused)%s"
+    s.frames_out s.bytes_out s.write_calls s.partial_writes s.flushes
+    s.max_batch s.copies_saved s.frames_in s.submits s.decides s.fast_rounds
+    s.expired_rounds s.late_frames s.dropped_frames s.slab_capacity
+    s.slab_reused
+    (if s.overflow_kills > 0 then
+       Printf.sprintf " · %d overflow kills" s.overflow_kills
+     else "")

@@ -11,6 +11,9 @@ type t = {
   mutable frames_out : int;
   mutable bytes_out : int;
   mutable write_calls : int;  (** actual write(2)-level sends after batching *)
+  mutable partial_writes : int;  (** writes the kernel cut short (resumed later) *)
+  mutable copies_saved : int;  (** batch buffers handed over without copying *)
+  mutable overflow_kills : int;  (** destinations dropped at the queue high-water mark *)
   mutable flushes : int;  (** batch flush sweeps *)
   mutable max_batch : int;  (** most frames coalesced into one write *)
   mutable frames_in : int;

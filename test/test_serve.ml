@@ -217,7 +217,11 @@ let test_loopback_batching_reduces_writes () =
   Alcotest.(check bool) "unbatched is one write per frame" true
     (writes unbatched = frames unbatched);
   Alcotest.(check bool) "coalescing observed" true
-    (batched.Serve.Report.total.Serve.Stats.max_batch > 1)
+    (batched.Serve.Report.total.Serve.Stats.max_batch > 1);
+  (* Zero-copy flush: every batched flush hands its buffer to the send
+     callback instead of materializing a [Buffer.contents] string. *)
+  Alcotest.(check bool) "copies saved counted" true
+    (batched.Serve.Report.total.Serve.Stats.copies_saved > 0)
 
 let test_loopback_kill_mid_storm () =
   (* p1 dies 57 mesh writes into a 200-instance storm: 7 instances fully
@@ -257,6 +261,179 @@ let test_loopback_no_kill_when_budget_unreached () =
   Alcotest.(check bool) "ok" true r.Serve.Report.ok;
   Alcotest.(check int) "completed" 5 r.Serve.Report.completed
 
+(* --- Evloop ------------------------------------------------------------------ *)
+
+let wait_events ev ~timeout =
+  let seen = ref [] in
+  let n =
+    Serve.Evloop.wait ev ~timeout ~handle:(fun fd ~readable ~writable ->
+        seen := (fd, readable, writable) :: !seen)
+  in
+  (n, !seen)
+
+let test_evloop_backend backend () =
+  if backend = Serve.Evloop.Poll && not Serve.Evloop.poll_available then ()
+  else begin
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock a;
+    Unix.set_nonblock b;
+    let ev = Serve.Evloop.create ~backend () in
+    Serve.Evloop.register ev a ~read:true ~write:false;
+    Alcotest.(check int) "registered" 1 (Serve.Evloop.registered ev);
+    let n, _ = wait_events ev ~timeout:0.0 in
+    Alcotest.(check int) "quiet" 0 n;
+    ignore (Unix.write b (Bytes.of_string "x") 0 1);
+    let n, seen = wait_events ev ~timeout:1.0 in
+    Alcotest.(check int) "one ready" 1 n;
+    (match seen with
+    | [ (fd, true, false) ] when fd = a -> ()
+    | _ -> Alcotest.fail "expected a readable, not writable");
+    (* write interest: a fresh socket is writable immediately; readable
+       state must be reported in the same callback *)
+    Serve.Evloop.register ev a ~read:true ~write:true;
+    let _, seen = wait_events ev ~timeout:1.0 in
+    (match seen with
+    | [ (fd, true, true) ] when fd = a -> ()
+    | _ -> Alcotest.fail "expected a readable and writable");
+    Serve.Evloop.deregister ev a;
+    Alcotest.(check int) "deregistered" 0 (Serve.Evloop.registered ev);
+    let n, _ = wait_events ev ~timeout:0.0 in
+    Alcotest.(check int) "nothing watched" 0 n;
+    Unix.close a;
+    Unix.close b
+  end
+
+(* Property: on the same fd state and the same interest sets, the poll
+   backend reports exactly the readiness sets the select backend does. *)
+let prop_backends_agree =
+  QCheck.Test.make ~count:100 ~name:"evloop-select-vs-poll-agree"
+    QCheck.(
+      list_of_size (Gen.return 4) (triple bool bool bool))
+    (fun specs ->
+      QCheck.assume (Serve.Evloop.poll_available);
+      let pairs =
+        List.map
+          (fun spec -> (spec, Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0))
+          specs
+      in
+      let observe backend =
+        let ev = Serve.Evloop.create ~backend () in
+        List.iter
+          (fun ((read, write, _), (a, _)) ->
+            Unix.set_nonblock a;
+            Serve.Evloop.register ev a ~read ~write)
+          pairs;
+        let seen = ref [] in
+        ignore
+          (Serve.Evloop.wait ev ~timeout:0.05
+             ~handle:(fun fd ~readable ~writable ->
+               seen := (fd, readable, writable) :: !seen));
+        List.sort compare !seen
+      in
+      List.iter
+        (fun ((_, _, data), (_, b)) ->
+          if data then ignore (Unix.write b (Bytes.of_string "d") 0 1))
+        pairs;
+      let from_select = observe Serve.Evloop.Select in
+      let from_poll = observe Serve.Evloop.Poll in
+      List.iter
+        (fun (_, (a, b)) ->
+          Unix.close a;
+          Unix.close b)
+        pairs;
+      from_select = from_poll)
+
+(* --- Outq -------------------------------------------------------------------- *)
+
+let sendbuf_pair () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+   with Unix.Unix_error _ -> ());
+  (a, b)
+
+let test_outq_partial_write_resume () =
+  let a, b = sendbuf_pair () in
+  let stats = Serve.Stats.create () in
+  let q = Serve.Outq.create () in
+  let len = 512 * 1024 in
+  let payload = Bytes.init len (fun i -> Char.chr (i land 0xff)) in
+  let recycled = ref 0 in
+  Serve.Outq.push q
+    (Serve.Outq.chunk ~recycle:(fun _ -> incr recycled) payload ~len);
+  let received = Buffer.create len in
+  let rbuf = Bytes.create 65536 in
+  let rec pump guard =
+    if guard = 0 then Alcotest.fail "outq never drained"
+    else
+      match Serve.Outq.drain q ~stats a with
+      | `Closed why -> Alcotest.fail ("unexpected close: " ^ why)
+      | `Empty -> ()
+      | `Blocked ->
+        (* the reader frees socket-buffer space; the queue must resume
+           exactly where the partial write stopped *)
+        let k = Unix.read b rbuf 0 (Bytes.length rbuf) in
+        Buffer.add_subbytes received rbuf 0 k;
+        pump (guard - 1)
+  in
+  pump 1_000;
+  let rec drain_rest () =
+    match Unix.read b rbuf 0 (Bytes.length rbuf) with
+    | k ->
+      Buffer.add_subbytes received rbuf 0 k;
+      if Buffer.length received < len then drain_rest ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  Unix.set_nonblock b;
+  drain_rest ();
+  Alcotest.(check int) "all bytes arrived" len (Buffer.length received);
+  Alcotest.(check bool) "content intact" true
+    (Bytes.equal (Buffer.to_bytes received) payload);
+  Alcotest.(check int) "buffer recycled once" 1 !recycled;
+  Alcotest.(check bool) "partial writes observed" true
+    (stats.Serve.Stats.partial_writes > 0);
+  Alcotest.(check bool) "write calls counted" true
+    (stats.Serve.Stats.write_calls > 0);
+  Unix.close a;
+  Unix.close b
+
+let test_outq_refcounted_broadcast () =
+  (* One chunk fanned out to two queues: the recycle callback must fire
+     exactly once, after the *last* queue lets go. *)
+  let a1, b1 = sendbuf_pair () in
+  let a2, b2 = sendbuf_pair () in
+  let q1 = Serve.Outq.create () in
+  let q2 = Serve.Outq.create () in
+  let recycled = ref 0 in
+  let len = 64 in
+  let payload = Bytes.make len 'z' in
+  let chunk =
+    Serve.Outq.chunk ~shares:2 ~recycle:(fun _ -> incr recycled) payload ~len
+  in
+  Serve.Outq.push q1 chunk;
+  Serve.Outq.push q2 chunk;
+  (match Serve.Outq.drain q1 a1 with
+  | `Empty -> ()
+  | _ -> Alcotest.fail "q1 should drain in one write");
+  Alcotest.(check int) "not recycled while q2 holds a share" 0 !recycled;
+  (match Serve.Outq.drain q2 a2 with
+  | `Empty -> ()
+  | _ -> Alcotest.fail "q2 should drain in one write");
+  Alcotest.(check int) "recycled exactly once" 1 !recycled;
+  List.iter Unix.close [ a1; b1; a2; b2 ]
+
+let test_outq_hwm_and_clear () =
+  let q = Serve.Outq.create ~hwm:100 () in
+  let recycled = ref 0 in
+  let payload = Bytes.make 200 'q' in
+  Serve.Outq.push q
+    (Serve.Outq.chunk ~recycle:(fun _ -> incr recycled) payload ~len:200);
+  Alcotest.(check bool) "over hwm" true (Serve.Outq.over_hwm q);
+  Alcotest.(check int) "queued" 200 (Serve.Outq.queued_bytes q);
+  Serve.Outq.clear q;
+  Alcotest.(check bool) "empty after clear" true (Serve.Outq.is_empty q);
+  Alcotest.(check int) "share released" 1 !recycled
+
 (* --- Socket fleet ------------------------------------------------------------ *)
 
 let fleet_workspace tag =
@@ -267,24 +444,28 @@ let fleet_workspace tag =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   dir
 
-let run_fleet ?(n = 3) ?(t = 1) ?(window = 16) ?kill ~tag instances =
+let fleet_config ?(n = 3) ?(t = 1) ?(window = 16)
+    ?(backend = Serve.Evloop.Select) ?kill ~tag instances =
   let dir = fleet_workspace tag in
-  Serve.Fleet.run
-    {
-      Serve.Fleet.n;
-      t;
-      transport = `Unix dir;
-      workspace = dir;
-      instances;
-      window;
-      big_d = 0.3;
-      batch = true;
-      kill;
-      max_rounds = None;
-      proposals = (fun i node -> (i * n) + node);
-      client_timeout = None;
-      verbose = false;
-    }
+  {
+    Serve.Fleet.n;
+    t;
+    transport = `Unix dir;
+    workspace = dir;
+    instances;
+    window;
+    big_d = 0.3;
+    batch = true;
+    backend;
+    kill;
+    max_rounds = None;
+    proposals = (fun i node -> (i * n) + node);
+    client_timeout = None;
+    verbose = false;
+  }
+
+let run_fleet ?n ?t ?window ?backend ?kill ~tag instances =
+  Serve.Fleet.run (fleet_config ?n ?t ?window ?backend ?kill ~tag instances)
 
 let test_fleet_smoke () =
   match run_fleet ~tag:"smoke" 50 with
@@ -297,6 +478,257 @@ let test_fleet_smoke () =
       (List.length r.Serve.Report.stats = 3);
     Alcotest.(check bool) "batching coalesced" true
       (r.Serve.Report.total.Serve.Stats.max_batch > 1)
+
+(* Open a raw client connection (Hello node 0) that will never read —
+   the head-of-line-blocking scenario the outbound queues exist for. *)
+let stalled_conn ~transport node =
+  let deadline = Live.Sockets.now () +. 5.0 in
+  match
+    Live.Sockets.connect_retry ~deadline
+      (Live.Sockets.addr_of ~transport node)
+  with
+  | Error e -> Alcotest.fail (Live.Sockets.error_to_string e)
+  | Ok fd -> (
+    match
+      Live.Sockets.write_all ~deadline fd
+        (Live.Frame.encode (Live.Frame.Hello { node = 0 }))
+    with
+    | Ok () -> fd
+    | Error e -> Alcotest.fail (Live.Sockets.error_to_string e))
+
+let storm_drive cfg ~on_idle =
+  Serve.Client.run ~on_idle ~tick:0.05
+    {
+      Serve.Client.n = cfg.Serve.Fleet.n;
+      transport = cfg.Serve.Fleet.transport;
+      first = 0;
+      instances = cfg.Serve.Fleet.instances;
+      window = cfg.Serve.Fleet.window;
+      proposals = cfg.Serve.Fleet.proposals;
+      timeout = Serve.Fleet.default_timeout cfg;
+    }
+
+let test_fleet_stalled_client_does_not_stall () =
+  (* Regression: a connected client that never reads its Decide stream
+     must not delay mesh progress.  With blocking sends it froze the
+     whole engine for 2 s per write; with outbound queues the storm runs
+     at the same speed as without the parasite. *)
+  let instances = 150 in
+  let baseline =
+    match run_fleet ~tag:"stall-base" instances with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+      Alcotest.(check int) "baseline completes" instances
+        r.Serve.Report.completed;
+      r.Serve.Report.elapsed
+  in
+  let cfg = fleet_config ~tag:"stall" instances in
+  match
+    Serve.Fleet.with_mesh cfg (fun ~on_idle ->
+        let stalled =
+          List.init cfg.Serve.Fleet.n (fun i ->
+              stalled_conn ~transport:cfg.Serve.Fleet.transport (i + 1))
+        in
+        let r = storm_drive cfg ~on_idle in
+        List.iter Unix.close stalled;
+        r)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (outcome, _) ->
+    Alcotest.(check (list int)) "everything settles" []
+      outcome.Serve.Client.undecided;
+    let budget = (2.0 *. baseline) +. 0.75 in
+    Alcotest.(check bool)
+      (Printf.sprintf "no head-of-line stall (%.3fs vs %.3fs baseline)"
+         outcome.Serve.Client.elapsed baseline)
+      true
+      (outcome.Serve.Client.elapsed <= budget)
+
+let test_fleet_half_open_handshake () =
+  (* A connection that never says Hello parks in pending state and gets
+     dropped at its deadline; in-flight instances must not notice. *)
+  let cfg = fleet_config ~tag:"halfopen" 60 in
+  match
+    Serve.Fleet.with_mesh cfg (fun ~on_idle ->
+        let deadline = Live.Sockets.now () +. 5.0 in
+        let half_open =
+          match
+            Live.Sockets.connect_retry ~deadline
+              (Live.Sockets.addr_of ~transport:cfg.Serve.Fleet.transport 1)
+          with
+          | Error e -> Alcotest.fail (Live.Sockets.error_to_string e)
+          | Ok fd -> fd
+        in
+        let r = storm_drive cfg ~on_idle in
+        (try Unix.close half_open with Unix.Unix_error _ -> ());
+        r)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (outcome, _) ->
+    Alcotest.(check (list int)) "storm unaffected" []
+      outcome.Serve.Client.undecided;
+    Alcotest.(check (list int)) "no node died" []
+      outcome.Serve.Client.dead_nodes
+
+let test_fleet_latency_not_tick_quantized () =
+  (* The client settles on Decide arrival, not on a 50 ms poll tick: a
+     small message-speed storm's p50 must resolve well below the old
+     tick. *)
+  match run_fleet ~tag:"latency" ~window:8 80 with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+    Alcotest.(check int) "completed" 80 r.Serve.Report.completed;
+    match r.Serve.Report.latency with
+    | None -> Alcotest.fail "no latency measured"
+    | Some l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p50 %.4fs below the old 50ms tick" l.Serve.Report.p50)
+        true
+        (l.Serve.Report.p50 < 0.05))
+
+(* 64 concurrent client processes against one mesh: every child drives
+   its own instance range, reports each instance's decided values, and
+   the merged verdict map must be identical across Evloop backends. *)
+let many_clients_verdicts ~backend ~tag =
+  let n_clients = 64 and per_client = 3 in
+  let cfg = fleet_config ~backend ~window:4 ~tag (n_clients * per_client) in
+  let result =
+    Serve.Fleet.with_mesh cfg (fun ~on_idle ->
+        (* Engines exit once their last client disconnects with nothing
+           active — racy under staggered children, so an anchor client
+           connection pins the fleet up until every child is reaped.  (It
+           never reads: it also exercises the broadcast fan-out path.) *)
+        let anchor =
+          List.init cfg.Serve.Fleet.n (fun i ->
+              stalled_conn ~transport:cfg.Serve.Fleet.transport (i + 1))
+        in
+        let children =
+          List.init n_clients (fun c ->
+              let r, w = Unix.pipe () in
+              match Unix.fork () with
+              | 0 ->
+                (try
+                   Unix.close r;
+                   let oc = Unix.out_channel_of_descr w in
+                   (match
+                      Serve.Client.run
+                        {
+                          Serve.Client.n = cfg.Serve.Fleet.n;
+                          transport = cfg.Serve.Fleet.transport;
+                          first = c * per_client;
+                          instances = per_client;
+                          window = 4;
+                          proposals = cfg.Serve.Fleet.proposals;
+                          timeout = 30.0;
+                        }
+                    with
+                   | Error _ -> Unix._exit 1
+                   | Ok o ->
+                     Array.iteri
+                       (fun idx per_node ->
+                         let values =
+                           Array.to_list per_node
+                           |> List.filter_map (Option.map fst)
+                           |> List.sort_uniq compare
+                         in
+                         Printf.fprintf oc "%d %s\n"
+                           ((c * per_client) + idx)
+                           (String.concat ","
+                              (List.map string_of_int values)))
+                       o.Serve.Client.decisions;
+                     flush oc;
+                     Unix._exit 0)
+                 with _ -> Unix._exit 2)
+              | pid ->
+                Unix.close w;
+                (pid, r))
+        in
+        (* Reap every client while keeping the fleet pumped. *)
+        let deadline = Live.Sockets.now () +. 60.0 in
+        let remaining = ref (List.map fst children) in
+        let failures = ref 0 in
+        while !remaining <> [] && Live.Sockets.now () < deadline do
+          remaining :=
+            List.filter
+              (fun pid ->
+                match Unix.waitpid [ Unix.WNOHANG ] pid with
+                | 0, _ -> true
+                | _, Unix.WEXITED 0 -> false
+                | _, _ ->
+                  incr failures;
+                  false
+                | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false)
+              !remaining;
+          on_idle ();
+          if !remaining <> [] then
+            Live.Sockets.sleep_until (Live.Sockets.now () +. 0.02)
+        done;
+        List.iter
+          (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+          !remaining;
+        List.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          anchor;
+        if !remaining <> [] then Error "clients did not finish in 60s"
+        else if !failures > 0 then
+          Error (Printf.sprintf "%d client(s) failed" !failures)
+        else begin
+          let verdicts = Hashtbl.create 256 in
+          List.iter
+            (fun (_, r) ->
+              let ic = Unix.in_channel_of_descr r in
+              (try
+                 while true do
+                   match String.split_on_char ' ' (input_line ic) with
+                   | [ i; vs ] ->
+                     Hashtbl.replace verdicts (int_of_string i) vs
+                   | _ -> ()
+                 done
+               with End_of_file -> ());
+              close_in ic)
+            children;
+          Ok verdicts
+        end)
+  in
+  match result with
+  | Error e -> Alcotest.fail (tag ^ ": " ^ e)
+  | Ok (verdicts, _mesh) ->
+    Alcotest.(check int)
+      (tag ^ ": every instance reported")
+      (n_clients * per_client) (Hashtbl.length verdicts);
+    Hashtbl.iter
+      (fun i vs ->
+        if String.contains vs ',' then
+          Alcotest.fail
+            (Printf.sprintf "%s: instance %d disagreement: %s" tag i vs))
+      verdicts;
+    verdicts
+
+let test_fleet_many_clients_both_backends () =
+  let from_select = many_clients_verdicts ~backend:Serve.Evloop.Select ~tag:"mc-select" in
+  if Serve.Evloop.poll_available then begin
+    let from_poll = many_clients_verdicts ~backend:Serve.Evloop.Poll ~tag:"mc-poll" in
+    Alcotest.(check int) "same instance count"
+      (Hashtbl.length from_select) (Hashtbl.length from_poll);
+    Hashtbl.iter
+      (fun i vs ->
+        match Hashtbl.find_opt from_poll i with
+        | Some vs' when vs = vs' -> ()
+        | Some vs' ->
+          Alcotest.fail
+            (Printf.sprintf "instance %d: select=%s poll=%s" i vs vs')
+        | None ->
+          Alcotest.fail (Printf.sprintf "instance %d missing under poll" i))
+      from_select
+  end
+
+let test_fleet_poll_backend_smoke () =
+  if Serve.Evloop.poll_available then
+    match run_fleet ~backend:Serve.Evloop.Poll ~tag:"poll-smoke" 50 with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+      Alcotest.(check bool) "ok" true r.Serve.Report.ok;
+      Alcotest.(check int) "completed" 50 r.Serve.Report.completed
 
 let test_fleet_kill_mid_storm () =
   match
@@ -343,10 +775,36 @@ let () =
           Alcotest.test_case "kill-budget-unreached" `Quick
             test_loopback_no_kill_when_budget_unreached;
         ] );
+      ( "evloop",
+        [
+          Alcotest.test_case "select-backend" `Quick
+            (test_evloop_backend Serve.Evloop.Select);
+          Alcotest.test_case "poll-backend" `Quick
+            (test_evloop_backend Serve.Evloop.Poll);
+          QCheck_alcotest.to_alcotest prop_backends_agree;
+        ] );
+      ( "outq",
+        [
+          Alcotest.test_case "partial-write-resume" `Quick
+            test_outq_partial_write_resume;
+          Alcotest.test_case "refcounted-broadcast" `Quick
+            test_outq_refcounted_broadcast;
+          Alcotest.test_case "hwm-and-clear" `Quick test_outq_hwm_and_clear;
+        ] );
       ( "fleet",
         [
           Alcotest.test_case "unix-smoke" `Slow test_fleet_smoke;
+          Alcotest.test_case "unix-poll-smoke" `Slow
+            test_fleet_poll_backend_smoke;
           Alcotest.test_case "unix-kill-mid-storm" `Slow
             test_fleet_kill_mid_storm;
+          Alcotest.test_case "stalled-client-no-stall" `Slow
+            test_fleet_stalled_client_does_not_stall;
+          Alcotest.test_case "half-open-handshake" `Slow
+            test_fleet_half_open_handshake;
+          Alcotest.test_case "latency-not-tick-quantized" `Slow
+            test_fleet_latency_not_tick_quantized;
+          Alcotest.test_case "sixty-four-clients-both-backends" `Slow
+            test_fleet_many_clients_both_backends;
         ] );
     ]
