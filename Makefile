@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench check shrink-smoke live-smoke dist-smoke serve-smoke serve-soak experiments examples clean
+.PHONY: all build test bench check shrink-smoke live-smoke dist-smoke serve-smoke serve-soak serve-recover experiments examples clean
 
 all: build
 
@@ -71,6 +71,22 @@ serve-smoke:
 serve-soak:
 	dune exec bin/main.exe -- serve --transport unix -n 5 --window 32 \
 	  --backend poll --soak 20 --bucket 5 --min-dps 200
+
+# Crash-recovery contract: a SIGKILLed engine is respawned, replays its
+# fsync'd decision WAL, catches up over the mesh, and the judged storm
+# stays clean on both readiness backends; a sub-big_d chaos cut is
+# delay, not failure; and a kill-storm soak holds the decisions/sec
+# floor across the recovery dips.
+serve-recover:
+	dune exec bin/main.exe -- serve --transport unix --instances 200 \
+	  --respawn --kill-node 1 --kill-after-frame 57
+	dune exec bin/main.exe -- serve --transport unix --instances 120 \
+	  --backend poll --respawn --kill-node 1 --kill-after-frame 157
+	dune exec bin/main.exe -- serve --transport unix --instances 100 \
+	  --chaos-link 1:2 --chaos-cuts 3 --chaos-seed 11
+	dune exec bin/main.exe -- serve --transport unix -n 3 --window 32 \
+	  --soak 10 --bucket 2 --respawn --kill-every 3 --min-dps 200
+	dune exec bin/main.exe -- experiments --id RECOVER
 
 experiments:
 	dune exec bin/main.exe -- experiments

@@ -1446,6 +1446,73 @@ let serve_cmd =
     Arg.(value & opt (some int) None
          & info [ "max-rounds" ] ~doc:"Per-instance round horizon (default t+1).")
   in
+  let respawn =
+    Arg.(value & flag
+         & info [ "respawn" ]
+             ~doc:
+               "Respawn killed engines: each victim is re-forked in rejoin \
+                mode (replay its decision WAL, re-dial the mesh, catch up \
+                from the peers' logs) under a budgeted exponential backoff; \
+                the storm client re-dials and re-submits. Implies durable \
+                WALs in the workspace.")
+  in
+  let respawn_budget =
+    Arg.(value & opt int 3
+         & info [ "respawn-budget" ] ~docv:"K"
+             ~doc:"Respawn attempts per node (with --respawn).")
+  in
+  let wal =
+    Arg.(value & flag
+         & info [ "wal" ]
+             ~doc:
+               "Write per-engine fsync'd decision WALs in the workspace even \
+                without --respawn.")
+  in
+  let kill_every =
+    Arg.(value & opt (some float) None
+         & info [ "kill-every" ] ~docv:"SECONDS"
+             ~doc:
+               "With --soak and --respawn: SIGKILL the next engine \
+                (round-robin) every $(docv) seconds and let the respawn \
+                policy bring it back.")
+  in
+  let chaos_links =
+    Arg.(value & opt_all (pair ~sep:':' int int) []
+         & info [ "chaos-link" ] ~docv:"SRC:DST"
+             ~doc:
+               "Interpose a socket-level chaos proxy on the mesh link dialed \
+                by node $(i,SRC) toward node $(i,DST) (repeatable). The \
+                proxy runs the seeded fault script set by the other \
+                $(b,--chaos-*) options.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 42
+         & info [ "chaos-seed" ] ~docv:"SEED"
+             ~doc:"Seed for the per-link chaos scripts (deterministic).")
+  in
+  let chaos_cuts =
+    Arg.(value & opt int 0
+         & info [ "chaos-cuts" ] ~docv:"N"
+             ~doc:"Timed link cuts (stalled bytes, healed delivery) per \
+                   chaos link.")
+  in
+  let chaos_resets =
+    Arg.(value & opt int 0
+         & info [ "chaos-resets" ] ~docv:"N"
+             ~doc:"Abrupt link resets per chaos link.")
+  in
+  let chaos_corrupts =
+    Arg.(value & opt int 0
+         & info [ "chaos-corrupts" ] ~docv:"N"
+             ~doc:"Single-byte corruptions per chaos link (must be caught \
+                   by the CRC framing).")
+  in
+  let chaos_horizon =
+    Arg.(value & opt float 10.0
+         & info [ "chaos-horizon" ] ~docv:"SECONDS"
+             ~doc:"Window after startup over which chaos actions are \
+                   scheduled.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
   in
@@ -1461,7 +1528,9 @@ let serve_cmd =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Fleet progress on stderr.")
   in
   let go n t instances window transport dir port big_d no_batch kill_node
-      kill_after min_dps backend soak bucket max_rounds json node verbose =
+      kill_after min_dps backend soak bucket max_rounds respawn respawn_budget
+      wal kill_every chaos_links chaos_seed chaos_cuts chaos_resets
+      chaos_corrupts chaos_horizon json node verbose =
     let t = Option.value t ~default:(max 1 (n - 2)) in
     let kill =
       match (kill_node, kill_after) with
@@ -1516,6 +1585,9 @@ let serve_cmd =
               backend;
               kill_after;
               linger = true;
+              wal_dir = (if wal || respawn then Some dir else None);
+              rejoin = respawn;
+              dial = None;
               status = stdout;
               log = stderr;
             };
@@ -1548,6 +1620,33 @@ let serve_cmd =
           let transport =
             match tp with `Unix_s -> `Unix dir | `Tcp_s -> `Tcp port
           in
+          let bad_link =
+            List.find_opt
+              (fun (src, dst) ->
+                src < 1 || src > n || dst < 1 || dst > n || src = dst)
+              chaos_links
+          in
+          match bad_link with
+          | Some (src, dst) ->
+            Format.eprintf
+              "serve: --chaos-link %d:%d is not a mesh link of 1..%d@." src
+              dst n;
+            2
+          | None -> (
+          let chaos =
+            List.map
+              (fun (src, dst) ->
+                {
+                  Serve.Chaosproxy.src;
+                  dst;
+                  actions =
+                    Serve.Chaosproxy.generate
+                      ~seed:(chaos_seed + (src * 31) + dst)
+                      ~horizon:chaos_horizon ~cuts:chaos_cuts
+                      ~resets:chaos_resets ~corrupts:chaos_corrupts ();
+                })
+              chaos_links
+          in
           let fleet_cfg =
             {
               Serve.Fleet.n;
@@ -1563,12 +1662,17 @@ let serve_cmd =
               max_rounds;
               proposals = serve_proposals n;
               client_timeout = None;
+              respawn;
+              respawn_budget;
+              respawn_backoff = 0.2;
+              wal;
+              chaos;
               verbose;
             }
           in
           match soak with
           | Some duration -> (
-            match Serve.Soak.run fleet_cfg ~duration ~bucket with
+            match Serve.Soak.run ?kill_every fleet_cfg ~duration ~bucket with
             | Error why ->
               Format.eprintf "serve: %s@." why;
               2
@@ -1595,7 +1699,7 @@ let serve_cmd =
             | Error why ->
               Format.eprintf "serve: %s@." why;
               2
-            | Ok r -> serve_report ~json ~min_dps r))))
+            | Ok r -> serve_report ~json ~min_dps r)))))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1606,7 +1710,9 @@ let serve_cmd =
           including under a scripted mid-storm node kill.")
     Term.(const go $ n $ t $ instances $ window $ transport $ dir $ port
           $ big_d $ no_batch $ kill_node $ kill_after $ min_dps $ backend
-          $ soak $ bucket $ max_rounds $ json $ node $ verbose)
+          $ soak $ bucket $ max_rounds $ respawn $ respawn_budget $ wal
+          $ kill_every $ chaos_links $ chaos_seed $ chaos_cuts $ chaos_resets
+          $ chaos_corrupts $ chaos_horizon $ json $ node $ verbose)
 
 let submit_cmd =
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of serving nodes.") in
@@ -1636,10 +1742,17 @@ let submit_cmd =
     Arg.(value & opt float 30.0
          & info [ "timeout" ] ~doc:"Overall wall-clock budget in seconds.")
   in
+  let reconnect =
+    Arg.(value & flag
+         & info [ "reconnect" ]
+             ~doc:
+               "Re-dial a dead engine with jittered backoff and re-submit \
+                its unanswered instances (pair with serve --respawn).")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the outcome as one JSON object.")
   in
-  let go n instances window transport dir port timeout json =
+  let go n instances window transport dir port timeout reconnect json =
     let transport =
       match transport with
       | `Unix_s ->
@@ -1661,6 +1774,7 @@ let submit_cmd =
           window;
           proposals = serve_proposals n;
           timeout;
+          reconnect;
         }
     with
     | Error why ->
@@ -1706,6 +1820,8 @@ let submit_cmd =
                       (List.map
                          (fun p -> Obs.Json.Int p)
                          o.Serve.Client.dead_nodes) );
+                  ("reconnects", Obs.Json.Int o.Serve.Client.reconnects);
+                  ("resubmits", Obs.Json.Int o.Serve.Client.resubmits);
                 ]))
       else begin
         Format.printf
@@ -1719,7 +1835,10 @@ let submit_cmd =
         if o.Serve.Client.dead_nodes <> [] then
           Format.printf "dead nodes: %s@."
             (String.concat ","
-               (List.map string_of_int o.Serve.Client.dead_nodes))
+               (List.map string_of_int o.Serve.Client.dead_nodes));
+        if o.Serve.Client.reconnects > 0 then
+          Format.printf "reconnects: %d (resubmitted %d instance(s))@."
+            o.Serve.Client.reconnects o.Serve.Client.resubmits
       end;
       if disagreements <> [] || settled < instances then 1 else 0
   in
@@ -1730,7 +1849,7 @@ let submit_cmd =
           (see $(b,serve --node)) and check cross-node agreement on every \
           decision.")
     Term.(const go $ n $ instances $ window $ transport $ dir $ port $ timeout
-          $ json)
+          $ reconnect $ json)
 
 (* --- snapshot ------------------------------------------------------------- *)
 

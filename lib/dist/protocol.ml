@@ -286,7 +286,7 @@ let rec pop c =
     | Error why -> `Closed why)
   | `Frame
       (Live.Frame.Hello _ | Live.Frame.Ctl _ | Live.Frame.Submit _
-      | Live.Frame.Decide _) ->
+      | Live.Frame.Decide _ | Live.Frame.Catchup _) ->
     (* Not part of this protocol; skip rather than kill the stream. *)
     pop c
   | `Need_more -> `None

@@ -1,0 +1,8 @@
+(** EXP-RECOVER — crash-recovery on a real socket fleet: a kill x
+    partition x restart grid where every cell must settle every instance
+    with zero wrong verdicts.  SIGKILL victims are respawned, replay
+    their fsync'd decision WAL, catch up over the mesh and are re-dialed
+    by the client; chaos-proxy cuts stay shorter than big_d so they are
+    delay, never loss, per the crash model's safe envelope. *)
+
+val experiment : Experiment.t

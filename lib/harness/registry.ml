@@ -21,6 +21,7 @@ let all =
     Exp_live.experiment;
     Exp_dist.experiment;
     Exp_serve.experiment;
+    Exp_recover.experiment;
   ]
 
 let find id =

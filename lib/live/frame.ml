@@ -4,10 +4,12 @@ type t =
   | Ctl of { instance : int; round : int }
   | Submit of { instance : int; proposal : int }
   | Decide of { instance : int; value : int; round : int }
+  | Catchup of { instance : int; value : int; round : int }
 
 let magic0 = '\xFA'
 let magic1_v1 = '\xCE'
 let magic1_v2 = '\xCF'
+let magic1_v3 = '\xD0'
 let max_body = 65536
 let max_instance = (1 lsl 30) - 1
 
@@ -25,7 +27,10 @@ let equal a b =
   | ( Decide { instance = i1; value = v1; round = r1 },
       Decide { instance = i2; value = v2; round = r2 } ) ->
     Int.equal i1 i2 && Int.equal v1 v2 && Int.equal r1 r2
-  | (Hello _ | Data _ | Ctl _ | Submit _ | Decide _), _ -> false
+  | ( Catchup { instance = i1; value = v1; round = r1 },
+      Catchup { instance = i2; value = v2; round = r2 } ) ->
+    Int.equal i1 i2 && Int.equal v1 v2 && Int.equal r1 r2
+  | (Hello _ | Data _ | Ctl _ | Submit _ | Decide _ | Catchup _), _ -> false
 
 let pp ppf = function
   | Hello { node } -> Format.fprintf ppf "hello(p%d)" node
@@ -37,6 +42,8 @@ let pp ppf = function
     Format.fprintf ppf "submit(i%d,v%d)" instance proposal
   | Decide { instance; value; round } ->
     Format.fprintf ppf "decide(i%d,v%d,r%d)" instance value round
+  | Catchup { instance; value; round } ->
+    Format.fprintf ppf "catchup(i%d,v%d,r%d)" instance value round
 
 let add_be32 buf v =
   Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
@@ -92,6 +99,13 @@ let body_of = function
     add_be32 b round;
     add_be32 b value;
     Buffer.contents b
+  | Catchup { instance; value; round } ->
+    let b = Buffer.create 14 in
+    Buffer.add_char b '\x06';
+    add_varint b instance;
+    add_be32 b round;
+    add_be32 b value;
+    Buffer.contents b
 
 let frame_of ~magic1 body =
   let len = String.length body in
@@ -104,7 +118,13 @@ let frame_of ~magic1 body =
   add_be32 out (Int32.to_int (Crc32.string body) land 0xFFFFFFFF);
   Buffer.contents out
 
-let encode frame = frame_of ~magic1:magic1_v2 (body_of frame)
+let encode frame = frame_of ~magic1:magic1_v3 (body_of frame)
+
+let encode_v2 frame =
+  (match frame with
+  | Catchup _ -> invalid_arg "Frame.encode_v2: kind not in v2"
+  | Hello _ | Data _ | Ctl _ | Submit _ | Decide _ -> ());
+  frame_of ~magic1:magic1_v2 (body_of frame)
 
 let body_of_v1 = function
   | Hello { node } ->
@@ -125,13 +145,14 @@ let body_of_v1 = function
     Buffer.add_char b '\x03';
     add_be32 b round;
     Buffer.contents b
-  | Submit _ | Decide _ -> invalid_arg "Frame.encode_v1: kind not in v1"
+  | Submit _ | Decide _ | Catchup _ ->
+    invalid_arg "Frame.encode_v1: kind not in v1"
 
 let encode_v1 frame = frame_of ~magic1:magic1_v1 (body_of_v1 frame)
 
 (* --- Incremental decoding ------------------------------------------------- *)
 
-type kind = K_hello | K_data | K_ctl | K_submit | K_decide
+type kind = K_hello | K_data | K_ctl | K_submit | K_decide | K_catchup
 
 type view = {
   mutable kind : kind;
@@ -262,7 +283,7 @@ let parse_body d ~version ~off ~stop =
         v.round <- be32 d.buf off;
         `View v
       end
-    | 2, '\x02' -> begin
+    | (2 | 3), '\x02' -> begin
       match read_varint d.buf ~off ~stop with
       | None -> fail d "bad varint instance id"
       | Some (instance, off) ->
@@ -277,7 +298,7 @@ let parse_body d ~version ~off ~stop =
           `View v
         end
     end
-    | 2, '\x03' -> begin
+    | (2 | 3), '\x03' -> begin
       match read_varint d.buf ~off ~stop with
       | None -> fail d "bad varint instance id"
       | Some (instance, off) ->
@@ -289,7 +310,7 @@ let parse_body d ~version ~off ~stop =
           `View v
         end
     end
-    | 2, '\x04' -> begin
+    | (2 | 3), '\x04' -> begin
       match read_varint d.buf ~off ~stop with
       | None -> fail d "bad varint instance id"
       | Some (instance, off) ->
@@ -301,13 +322,26 @@ let parse_body d ~version ~off ~stop =
           `View v
         end
     end
-    | 2, '\x05' -> begin
+    | (2 | 3), '\x05' -> begin
       match read_varint d.buf ~off ~stop with
       | None -> fail d "bad varint instance id"
       | Some (instance, off) ->
         if stop - off <> 8 then fail d "decide body has trailing bytes"
         else begin
           v.kind <- K_decide;
+          v.instance <- instance;
+          v.round <- be32 d.buf off;
+          v.value <- be32 d.buf (off + 4);
+          `View v
+        end
+    end
+    | 3, '\x06' -> begin
+      match read_varint d.buf ~off ~stop with
+      | None -> fail d "bad varint instance id"
+      | Some (instance, off) ->
+        if stop - off <> 8 then fail d "catchup body has trailing bytes"
+        else begin
+          v.kind <- K_catchup;
           v.instance <- instance;
           v.round <- be32 d.buf off;
           v.value <- be32 d.buf (off + 4);
@@ -327,7 +361,10 @@ let pop_view d =
     else
       let version =
         let m1 = Bytes.get d.buf (d.start + 1) in
-        if m1 = magic1_v1 then 1 else if m1 = magic1_v2 then 2 else 0
+        if m1 = magic1_v1 then 1
+        else if m1 = magic1_v2 then 2
+        else if m1 = magic1_v3 then 3
+        else 0
       in
       if version = 0 then fail d "bad frame magic"
       else
@@ -366,6 +403,8 @@ let frame_of_view v =
   | K_ctl -> Ctl { instance = v.instance; round = v.round }
   | K_submit -> Submit { instance = v.instance; proposal = v.value }
   | K_decide -> Decide { instance = v.instance; value = v.value; round = v.round }
+  | K_catchup ->
+    Catchup { instance = v.instance; value = v.value; round = v.round }
 
 let pop d =
   match pop_view d with

@@ -8,15 +8,16 @@
       +------+------+----------------+-------+
     v}
 
-    The second magic byte is the codec version: [0xCF] is the current (v2)
-    wire format, whose Data/Ctl bodies carry an LEB128 varint instance id so
-    thousands of concurrent agreement instances can share one socket mesh.
-    The decoder also accepts the original single-instance v1 frames
-    ([0xCE], no instance field — decoded as instance 0), so transcripts and
-    captures from older builds still parse; the encoder always emits v2
-    ([encode_v1] exists for compatibility tests).
+    The second magic byte is the codec version: [0xD0] is the current (v3)
+    wire format, which extends v2 with a Catchup kind so a restarted engine
+    can be brought up to date on decisions taken while it was down.  The
+    decoder also accepts v2 frames ([0xCF], same bodies minus Catchup) and
+    the original single-instance v1 frames ([0xCE], no instance field —
+    decoded as instance 0), so transcripts, captures and WAL files from
+    older builds still parse; the encoder always emits v3 ([encode_v1] and
+    [encode_v2] exist for compatibility tests).
 
-    The v2 body starts with a one-byte kind tag:
+    The v3 body starts with a one-byte kind tag:
     - [0x01] Hello:  node id (4 bytes) — sent once per direction when a
       connection opens, so the receiving end learns who is talking; node id
       0 identifies a client connection rather than a mesh peer;
@@ -26,7 +27,10 @@
     - [0x04] Submit: varint instance + proposal (4 bytes) — client asks the
       receiving node to start that agreement instance with this proposal;
     - [0x05] Decide: varint instance + round (4 bytes) + value (4 bytes) —
-      node reports its decision for the instance back to clients.
+      node reports its decision for the instance back to clients;
+    - [0x06] Catchup: varint instance + round (4 bytes) + value (4 bytes) —
+      a peer replays one entry of its decision log to a node that
+      re-handshook into the mesh after a restart (v3 only).
 
     The same encoder/decoder pair runs under both the socket transport and
     the in-memory loopback, so loopback tests exercise the exact bytes that
@@ -44,14 +48,20 @@ type t =
   | Ctl of { instance : int; round : int }
   | Submit of { instance : int; proposal : int }
   | Decide of { instance : int; value : int; round : int }
+  | Catchup of { instance : int; value : int; round : int }
 
 val encode : t -> string
-(** One full v2 frame, ready for a single sequential write. *)
+(** One full v3 frame, ready for a single sequential write. *)
 
 val encode_v1 : t -> string
 (** The pre-instance-id v1 encoding, kept so tests can pin backward
     compatibility.  Raises [Invalid_argument] on a nonzero instance id or a
-    kind v1 cannot express (Submit/Decide). *)
+    kind v1 cannot express (Submit/Decide/Catchup). *)
+
+val encode_v2 : t -> string
+(** The pre-catchup v2 encoding, kept so tests can pin backward
+    compatibility.  Raises [Invalid_argument] on a kind v2 cannot express
+    (Catchup). *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
@@ -96,7 +106,7 @@ type view = private {
   mutable payload_len : int;
 }
 
-and kind = K_hello | K_data | K_ctl | K_submit | K_decide
+and kind = K_hello | K_data | K_ctl | K_submit | K_decide | K_catchup
 
 val pop_view : decoder -> [ `View of view | `Need_more | `Corrupt of string ]
 (** Like {!pop} but without materializing: no allocation per frame.  The

@@ -99,7 +99,8 @@ module Make (A : Binding.ALGO) = struct
                 match Frame.pop d with
                 | `Need_more -> ()
                 | `Corrupt why -> failwith ("Loopback: corrupt stream: " ^ why)
-                | `Frame (Frame.Hello _ | Frame.Submit _ | Frame.Decide _) ->
+                | `Frame (Frame.Hello _ | Frame.Submit _ | Frame.Decide _
+                         | Frame.Catchup _) ->
                   drain ()
                 | `Frame (Frame.Data { round = fr; payload; _ }) ->
                   if fr <> round then

@@ -207,7 +207,8 @@ module Make (A : Binding.ALGO) = struct
       | `Corrupt why -> mark_dead cfg peer ("corrupt stream: " ^ why)
       | `Frame f ->
         (match f with
-        | Frame.Hello _ | Frame.Submit _ | Frame.Decide _ -> ()
+        | Frame.Hello _ | Frame.Submit _ | Frame.Decide _ | Frame.Catchup _ ->
+          ()
         | Frame.Data { round = fr; payload; _ } ->
           if fr = round then consume peer (Data_item payload)
           else if fr > round then

@@ -54,7 +54,17 @@ let listen ?(backlog = 16) addr =
   | exception Unix.Unix_error (errno, op, _) ->
     err ~errno op (string_of_sockaddr addr)
 
-let connect_retry ?(backoff = 0.02) ?(backoff_max = 0.32) ~deadline addr =
+(* The wait before retry attempt: the exponential backoff level, scaled —
+   when a jitter stream is given — by a uniform draw in [0.5, 1.5).  A mass
+   respawn (a fleet's worth of engines re-dialing one listener) then spreads
+   its retries across the envelope instead of hammering in lockstep. *)
+let retry_wait ?jitter backoff =
+  match jitter with
+  | None -> backoff
+  | Some rng -> backoff *. (0.5 +. Prng.Rng.float rng 1.0)
+
+let connect_retry ?(backoff = 0.02) ?(backoff_max = 0.32) ?jitter ~deadline addr
+    =
   let rec go backoff =
     let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
     Unix.set_close_on_exec fd;
@@ -72,7 +82,7 @@ let connect_retry ?(backoff = 0.02) ?(backoff_max = 0.32) ~deadline addr =
           (Printf.sprintf "peer %s never came up before the deadline"
              (string_of_sockaddr addr))
       else begin
-        sleep_until (Float.min deadline (now () +. backoff));
+        sleep_until (Float.min deadline (now () +. retry_wait ?jitter backoff));
         go (Float.min backoff_max (backoff *. 2.0))
       end
     | exception Unix.Unix_error (errno, _, _) ->

@@ -41,13 +41,23 @@ val listen : ?backlog:int -> Unix.sockaddr -> (Unix.file_descr, error) result
 val connect_retry :
   ?backoff:float ->
   ?backoff_max:float ->
+  ?jitter:Prng.Rng.t ->
   deadline:float ->
   Unix.sockaddr ->
   (Unix.file_descr, error) result
 (** Connect with retry and bounded exponential backoff (default 20 ms
     doubling to 320 ms) until the overall [deadline]; refused / not-yet-bound
     addresses are retried, anything else is an error.  [EINTR] during the
-    connect or the backoff sleep restarts the attempt, it never leaks out. *)
+    connect or the backoff sleep restarts the attempt, it never leaks out.
+    With [jitter], each wait is the backoff level scaled by a uniform draw
+    in [0.5, 1.5) from the seeded stream, so a mass respawn doesn't
+    thundering-herd the listener; see {!retry_wait}. *)
+
+val retry_wait : ?jitter:Prng.Rng.t -> float -> float
+(** The wait {!connect_retry} sleeps before a retry at backoff level
+    [backoff]: [backoff] itself, or — with [jitter] — a draw from the
+    envelope [\[0.5 * backoff, 1.5 * backoff)].  Exposed so tests can pin
+    the envelope. *)
 
 val accept_timeout :
   deadline:float -> Unix.file_descr -> (Unix.file_descr, error) result

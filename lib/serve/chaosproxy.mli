@@ -1,0 +1,80 @@
+(** A socket-level chaos proxy for one directed mesh link.
+
+    [spawn] forks a tiny proxy process that listens on a per-link
+    address; the dialing engine is pointed at it through
+    {!Engine.config.dial}, and every byte of the [src -> dst] connection
+    then flows through the proxy's select loop, where a seeded, timed
+    action script injects the faults the transport layer must survive:
+
+    - {b Cut}: for the duration, the proxy stops moving bytes in either
+      direction.  TCP flow control backs the sender up (the engine's
+      {!Outq} absorbs the backlog) and delivery resumes when the cut
+      heals — a partition with retransmit semantics, not message loss.
+    - {b Reset}: both sides of the relay are closed abruptly; each
+      engine sees a dead link and marks the other crashed.  A later
+      rejoin re-dials through the same proxy (the listener survives
+      sessions).
+    - {b Throttle}: forwarded bytes are token-bucket limited per
+      direction for the window — a slow link, not a dead one.
+    - {b Corrupt}: a bit is flipped in each of the next [bytes] payload
+      bytes moving [src -> dst].  The CRC framing downstream must reject
+      the frame and kill the stream; this is the wire-level test that it
+      does.
+
+    Action times are seconds since the proxy process started, so a
+    script is deterministic given the spawn order.  {!generate} derives
+    a script from a seed in the {!Net.Fault_plan} style: same seed, same
+    faults. *)
+
+type action =
+  | Cut of { at : float; duration : float }
+  | Reset of { at : float }
+  | Throttle of { at : float; duration : float; bytes_per_sec : int }
+  | Corrupt of { at : float; bytes : int }
+
+val pp_action : Format.formatter -> action -> unit
+
+type link = {
+  src : int;  (** the dialing node — its {!Engine.config.dial} is overridden *)
+  dst : int;  (** the listening node the proxy relays to *)
+  actions : action list;
+}
+
+val proxy_addr :
+  transport:[ `Unix of string | `Tcp of int ] ->
+  n:int ->
+  src:int ->
+  dst:int ->
+  Unix.sockaddr
+(** The per-link proxy rendezvous: [dir/chaos-<src>-<dst>.sock], or TCP
+    port [base + n + (src - 1) * n + dst] — the block just above the
+    engine listeners, so one [base] covers mesh and proxies. *)
+
+val generate :
+  seed:int ->
+  horizon:float ->
+  ?cuts:int ->
+  ?cut_len:float ->
+  ?resets:int ->
+  ?throttles:int ->
+  ?corrupts:int ->
+  unit ->
+  action list
+(** A seeded random script: [cuts] cuts of [cut_len] (default 0.05 s),
+    [resets] link resets, [throttles] 50 KiB/s slow-downs, and
+    [corrupts] single-byte corruptions, all at uniform times in
+    [(0, horizon)].  Deterministic in [seed]. *)
+
+val spawn :
+  transport:[ `Unix of string | `Tcp of int ] ->
+  n:int ->
+  link ->
+  (int, string) result
+(** Fork the proxy for [link]; returns its OS pid.  The listener is
+    bound before [spawn] returns, so the dialer can connect immediately.
+    The proxy serves relay sessions forever (a reset or a dead engine
+    ends a session, not the proxy) — the supervisor SIGKILLs it at
+    teardown. *)
+
+val cleanup : transport:[ `Unix of string | `Tcp of int ] -> n:int -> link -> unit
+(** Unlink the proxy's Unix-domain socket path, if any. *)

@@ -6,6 +6,7 @@ type config = {
   window : int;
   proposals : int -> int -> int;
   timeout : float;  (** overall wall-clock budget, seconds *)
+  reconnect : bool;  (** re-dial dead engines with jittered backoff *)
 }
 
 type outcome = {
@@ -14,16 +15,23 @@ type outcome = {
   elapsed : float;
   undecided : int list;
   dead_nodes : int list;
+  reconnects : int;
+  resubmits : int;
 }
 
 type node = {
   pid : int;
   mutable fd : Unix.file_descr option;
-  decoder : Live.Frame.decoder;
+  mutable decoder : Live.Frame.decoder;
+  mutable attempts : int;  (* reconnect attempts since the last success *)
+  mutable next_try : float;  (* infinity = no reconnect pending *)
 }
 
 let connect_timeout = 10.0
 let send_timeout = 2.0
+let reconnect_budget = 10
+let reconnect_backoff = 0.05
+let reconnect_backoff_max = 1.0
 
 let run ?on_idle ?tick cfg =
   if cfg.n < 2 then Error "serve client: need n >= 2"
@@ -33,8 +41,15 @@ let run ?on_idle ?tick cfg =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let nodes =
       Array.init cfg.n (fun i ->
-          { pid = i + 1; fd = None; decoder = Live.Frame.decoder () })
+          {
+            pid = i + 1;
+            fd = None;
+            decoder = Live.Frame.decoder ();
+            attempts = 0;
+            next_try = infinity;
+          })
     in
+    let jitter = Prng.Rng.of_int 0x5eed in
     let hello = Live.Frame.encode (Live.Frame.Hello { node = 0 }) in
     let deadline = Live.Sockets.now () +. connect_timeout in
     let connect_err = ref None in
@@ -81,13 +96,16 @@ let run ?on_idle ?tick cfg =
       let submit_t = Array.make (max 1 cfg.instances) 0.0 in
       (* [missing.(idx)] = live nodes that have not yet reported a Decide
          for instance [first + idx]; reaching zero *is* settlement — no
-         rescans, the bookkeeping is O(1) per Decide. *)
+         rescans, the bookkeeping is O(1) per Decide.  A reconnect that
+         resubmits an instance re-adds the revived node to its count. *)
       let missing = Array.make (max 1 cfg.instances) max_int in
       let settled = Array.make (max 1 cfg.instances) false in
       let inflight : (int, unit) Hashtbl.t = Hashtbl.create 64 in
       let latencies = ref [] in
       let next_submit = ref 0 in
       let settled_count = ref 0 in
+      let reconnects = ref 0 in
+      let resubmits = ref 0 in
       let settle idx =
         if not settled.(idx) then begin
           settled.(idx) <- true;
@@ -144,7 +162,8 @@ let run ?on_idle ?tick cfg =
         done;
         if !fresh <> [] then submit_batch (List.rev !fresh)
       in
-      (* A node death un-blocks every instance waiting only on it. *)
+      (* A node death un-blocks every instance waiting only on it — and,
+         with [reconnect], schedules a jittered backoff re-dial. *)
       let mark_dead node =
         match node.fd with
         | None -> ()
@@ -152,6 +171,14 @@ let run ?on_idle ?tick cfg =
           (try Unix.close fd with Unix.Unix_error _ -> ());
           node.fd <- None;
           decr live;
+          if cfg.reconnect && node.attempts < reconnect_budget then begin
+            let backoff =
+              Float.min reconnect_backoff_max
+                (reconnect_backoff *. (2.0 ** float_of_int node.attempts))
+            in
+            node.next_try <-
+              Live.Sockets.now () +. Live.Sockets.retry_wait ~jitter backoff
+          end;
           let freed = ref [] in
           Hashtbl.iter
             (fun idx () ->
@@ -161,6 +188,78 @@ let run ?on_idle ?tick cfg =
               end)
             inflight;
           List.iter settle !freed
+      in
+      (* Every unsettled instance the revived node has not answered goes
+         back to it — a re-Submit is idempotent on the engine side (a
+         decided instance is re-answered from the log, a lost one is
+         simply run).  The node re-joins each such instance's missing
+         count; a failed send unwinds through [mark_dead] symmetrically. *)
+      let resubmit node fd =
+        let buf = Buffer.create 256 in
+        let count = ref 0 in
+        Hashtbl.iter
+          (fun idx () ->
+            if decisions.(idx).(node.pid - 1) = None then begin
+              incr count;
+              missing.(idx) <- missing.(idx) + 1;
+              let i = cfg.first + idx in
+              Buffer.add_string buf
+                (Live.Frame.encode
+                   (Live.Frame.Submit
+                      { instance = i; proposal = cfg.proposals i node.pid }))
+            end)
+          inflight;
+        resubmits := !resubmits + !count;
+        if Buffer.length buf > 0 then
+          match
+            Live.Sockets.write_all
+              ~deadline:(Live.Sockets.now () +. send_timeout)
+              fd (Buffer.contents buf)
+          with
+          | Ok () -> ()
+          | Error _ -> mark_dead node
+      in
+      let try_reconnects () =
+        Array.iter
+          (fun node ->
+            if node.fd = None && Live.Sockets.now () >= node.next_try then begin
+              node.next_try <- infinity;
+              match
+                Live.Sockets.connect_retry
+                  ~deadline:(Live.Sockets.now () +. 0.2)
+                  (Live.Sockets.addr_of ~transport:cfg.transport node.pid)
+              with
+              | Error _ ->
+                node.attempts <- node.attempts + 1;
+                if node.attempts < reconnect_budget then begin
+                  let backoff =
+                    Float.min reconnect_backoff_max
+                      (reconnect_backoff
+                      *. (2.0 ** float_of_int node.attempts))
+                  in
+                  node.next_try <-
+                    Live.Sockets.now ()
+                    +. Live.Sockets.retry_wait ~jitter backoff
+                end
+              | Ok fd -> (
+                match
+                  Live.Sockets.write_all
+                    ~deadline:(Live.Sockets.now () +. send_timeout)
+                    fd hello
+                with
+                | Error _ ->
+                  (try Unix.close fd with Unix.Unix_error _ -> ());
+                  node.attempts <- node.attempts + 1
+                | Ok () ->
+                  Unix.set_nonblock fd;
+                  node.fd <- Some fd;
+                  node.decoder <- Live.Frame.decoder ();
+                  node.attempts <- 0;
+                  incr live;
+                  incr reconnects;
+                  resubmit node fd)
+            end)
+          nodes
       in
       let drain node =
         let rec go () =
@@ -194,16 +293,28 @@ let run ?on_idle ?tick cfg =
       while
         !settled_count < cfg.instances
         && Live.Sockets.now () < wall_deadline
-        && Array.exists (fun node -> node.fd <> None) nodes
+        && Array.exists
+             (fun node -> node.fd <> None || node.next_try < infinity)
+             nodes
       do
         let fds =
           Array.to_list nodes |> List.filter_map (fun node -> node.fd)
         in
-        (* Sleep until data or the wall deadline — no fixed tick, so a
-           Decide settles (and refills) the instant it arrives.  A [tick]
-           cap exists for callers whose [on_idle] polls side channels. *)
+        (* Sleep until data, the next reconnect attempt, or the wall
+           deadline — no fixed tick, so a Decide settles (and refills)
+           the instant it arrives.  A [tick] cap exists for callers whose
+           [on_idle] polls side channels. *)
         let timeout =
-          let dt = Float.max 0.0 (wall_deadline -. Live.Sockets.now ()) in
+          let now = Live.Sockets.now () in
+          let dt = Float.max 0.0 (wall_deadline -. now) in
+          let dt =
+            Array.fold_left
+              (fun acc node ->
+                if node.next_try < infinity then
+                  Float.min acc (Float.max 0.0 (node.next_try -. now))
+                else acc)
+              dt nodes
+          in
           match tick with None -> Float.min dt 1.0 | Some t -> Float.min dt t
         in
         (match Unix.select fds [] [] timeout with
@@ -222,6 +333,7 @@ let run ?on_idle ?tick cfg =
               | _ -> ())
             nodes
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        try_reconnects ();
         refill ();
         match on_idle with Some f -> f () | None -> ()
       done;
@@ -233,11 +345,27 @@ let run ?on_idle ?tick cfg =
         done;
         !acc
       in
+      (* Nodes still down when the storm closed: with [reconnect] these
+         are exactly the ones that never came back (a revived node holds
+         a live fd here). *)
       let dead_nodes =
         Array.to_list nodes
         |> List.filter_map (fun node ->
                if node.fd = None then Some node.pid else None)
       in
-      Array.iter mark_dead nodes;
-      Ok { decisions; latencies = !latencies; elapsed; undecided; dead_nodes }
+      Array.iter
+        (fun node ->
+          node.next_try <- infinity;
+          mark_dead node)
+        nodes;
+      Ok
+        {
+          decisions;
+          latencies = !latencies;
+          elapsed;
+          undecided;
+          dead_nodes;
+          reconnects = !reconnects;
+          resubmits = !resubmits;
+        }
   end

@@ -14,7 +14,14 @@
     50 ms tick: a storm's p50 latency reflects the mesh, not the client's
     polling interval.  Callers that need periodic service (the fleet
     pumps engine status pipes and catches the victim's SIGSTOP via
-    [on_idle]) pass [tick] to cap the sleep. *)
+    [on_idle]) pass [tick] to cap the sleep.
+
+    With [reconnect], a dead socket is re-dialed under a bounded
+    jittered backoff ({!Live.Sockets.retry_wait}); on success the client
+    re-Hellos, swaps in a fresh decoder, and resubmits every unsettled
+    instance the node has not answered — engines answer re-Submits of
+    decided instances idempotently from their WAL, so a respawned node's
+    verdict column fills back in instead of staying dead. *)
 
 type config = {
   n : int;
@@ -24,6 +31,7 @@ type config = {
   window : int;
   proposals : int -> int -> int;  (** instance -> node -> proposal *)
   timeout : float;  (** overall wall-clock budget, seconds *)
+  reconnect : bool;  (** re-dial dead engines with jittered backoff *)
 }
 
 type outcome = {
@@ -32,7 +40,11 @@ type outcome = {
   latencies : float list;  (** submit-to-settle, settled instances only *)
   elapsed : float;  (** first submit to loop exit *)
   undecided : int list;  (** absolute instance ids that never settled *)
-  dead_nodes : int list;  (** nodes whose socket died during the run *)
+  dead_nodes : int list;
+      (** nodes down when the run closed — with [reconnect], the ones
+          that never came back *)
+  reconnects : int;  (** successful re-dials of dead engines *)
+  resubmits : int;  (** instances re-Submitted after a reconnect *)
 }
 
 val run :

@@ -9,11 +9,24 @@ type config = {
   backend : Evloop.backend;
   kill_after : int option;
   linger : bool;
+  wal_dir : string option;
+  rejoin : bool;
+  dial : (int -> Unix.sockaddr) option;
   status : out_channel;
   log : out_channel;
 }
 
 let handshake_timeout = 10.0
+
+(* A rejoining engine gives each peer this long to come up; a peer that is
+   itself dead (or also mid-respawn) just stays disconnected — it will dial
+   us when it recovers. *)
+let rejoin_dial_timeout = 2.0
+
+(* Fallback for the catch-up gate: if a dialed peer never sends its
+   end-of-batch marker (killed mid-push), the rejoining engine starts
+   serving clients anyway after this long. *)
+let catchup_timeout = 5.0
 
 (* A freshly accepted connection has this long to say Hello before the
    loop drops it — a slow-loris fd costs a map entry, never a stall. *)
@@ -36,7 +49,9 @@ module Make (A : Binding.ALGO) = struct
   type peer = {
     pid : int;
     mutable fd : Unix.file_descr option;
-    decoder : Live.Frame.decoder;
+    mutable decoder : Live.Frame.decoder;
+        (* replaced wholesale when a restarted peer re-handshakes: the new
+           connection is a fresh byte stream *)
     outq : Outq.t;
   }
 
@@ -164,13 +179,28 @@ module Make (A : Binding.ALGO) = struct
     lp.pendings <- List.filter (fun q -> q != p) lp.pendings;
     drop_fd lp p.pfd
 
+  let dial_addr cfg p =
+    match cfg.dial with
+    | Some f -> f p
+    | None -> Live.Sockets.addr_of ~transport:cfg.transport p
+
   (* The mesh handshake, with one serve-specific twist: the listen fd stays
      open for the engine's whole life (clients rendezvous on the same
      address), and a Hello carrying node 0 — a client racing the mesh — is
-     accepted into the client list instead of failing the handshake. *)
+     accepted into the client list instead of failing the handshake.
+
+     A rejoining engine (restart after a crash) instead dials {e every}
+     peer — the static dial-up/accept-down orientation only holds at fleet
+     birth — with a bounded per-peer timeout, tolerating peers that are
+     themselves down, and expects no accepts: its peers will push their
+     decision logs as Catchup batches on the new connections.  Returns the
+     listen fd and the number of peers reached (the number of catch-up
+     end markers to wait for). *)
   let establish lp =
     let cfg = lp.cfg in
-    let deadline = Live.Sockets.now () +. handshake_timeout in
+    let jitter =
+      Some (Prng.Rng.of_int ((cfg.me * 7919) lxor Unix.getpid ()))
+    in
     let lfd =
       match
         Live.Sockets.listen ~backlog:128
@@ -180,46 +210,69 @@ module Make (A : Binding.ALGO) = struct
       | Error e -> failwith ("listen: " ^ Live.Sockets.error_to_string e)
     in
     let hello = Live.Frame.encode (Live.Frame.Hello { node = cfg.me }) in
-    for p = cfg.me + 1 to cfg.n do
-      match
-        Live.Sockets.connect_retry ~deadline
-          (Live.Sockets.addr_of ~transport:cfg.transport p)
-      with
-      | Error e ->
-        failwith
-          (Printf.sprintf "connect to p%d: %s" p (Live.Sockets.error_to_string e))
-      | Ok fd -> (
-        match Live.Sockets.write_all ~deadline fd hello with
-        | Ok () ->
-          lp.peers.(p - 1).fd <- Some fd;
-          logf cfg "dialed p%d" p
+    if cfg.rejoin then begin
+      let dialed = ref 0 in
+      for p = 1 to cfg.n do
+        if p <> cfg.me then begin
+          let deadline = Live.Sockets.now () +. rejoin_dial_timeout in
+          match Live.Sockets.connect_retry ?jitter ~deadline (dial_addr cfg p) with
+          | Error e ->
+            logf cfg "rejoin: p%d unreachable (%s)" p
+              (Live.Sockets.error_to_string e)
+          | Ok fd -> (
+            match Live.Sockets.write_all ~deadline fd hello with
+            | Ok () ->
+              lp.peers.(p - 1).fd <- Some fd;
+              incr dialed;
+              logf cfg "rejoin: dialed p%d" p
+            | Error e ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              logf cfg "rejoin: hello to p%d failed (%s)" p
+                (Live.Sockets.error_to_string e))
+        end
+      done;
+      (lfd, !dialed)
+    end
+    else begin
+      let deadline = Live.Sockets.now () +. handshake_timeout in
+      for p = cfg.me + 1 to cfg.n do
+        match Live.Sockets.connect_retry ?jitter ~deadline (dial_addr cfg p) with
         | Error e ->
           failwith
-            (Printf.sprintf "hello to p%d: %s" p (Live.Sockets.error_to_string e)))
-    done;
-    let expected = ref (cfg.me - 1) in
-    while !expected > 0 do
-      match Live.Sockets.accept_timeout ~deadline lfd with
-      | Error e -> failwith (Live.Sockets.error_to_string e)
-      | Ok fd -> (
-        match read_exact ~deadline fd hello_size with
-        | Error why -> failwith why
-        | Ok bytes -> (
-          match hello_of bytes with
+            (Printf.sprintf "connect to p%d: %s" p (Live.Sockets.error_to_string e))
+        | Ok fd -> (
+          match Live.Sockets.write_all ~deadline fd hello with
+          | Ok () ->
+            lp.peers.(p - 1).fd <- Some fd;
+            logf cfg "dialed p%d" p
+          | Error e ->
+            failwith
+              (Printf.sprintf "hello to p%d: %s" p (Live.Sockets.error_to_string e)))
+      done;
+      let expected = ref (cfg.me - 1) in
+      while !expected > 0 do
+        match Live.Sockets.accept_timeout ~deadline lfd with
+        | Error e -> failwith (Live.Sockets.error_to_string e)
+        | Ok fd -> (
+          match read_exact ~deadline fd hello_size with
           | Error why -> failwith why
-          | Ok 0 ->
-            Unix.set_nonblock fd;
-            ignore (new_client lp fd);
-            logf cfg "client connected during handshake"
-          | Ok node when node >= 1 && node < cfg.me ->
-            if lp.peers.(node - 1).fd <> None then
-              failwith (Printf.sprintf "handshake: duplicate hello from p%d" node);
-            lp.peers.(node - 1).fd <- Some fd;
-            decr expected;
-            logf cfg "accepted p%d" node
-          | Ok node -> failwith (Printf.sprintf "handshake: bad hello node %d" node)))
-    done;
-    lfd
+          | Ok bytes -> (
+            match hello_of bytes with
+            | Error why -> failwith why
+            | Ok 0 ->
+              Unix.set_nonblock fd;
+              ignore (new_client lp fd);
+              logf cfg "client connected during handshake"
+            | Ok node when node >= 1 && node < cfg.me ->
+              if lp.peers.(node - 1).fd <> None then
+                failwith (Printf.sprintf "handshake: duplicate hello from p%d" node);
+              lp.peers.(node - 1).fd <- Some fd;
+              decr expected;
+              logf cfg "accepted p%d" node
+            | Ok node -> failwith (Printf.sprintf "handshake: bad hello node %d" node)))
+      done;
+      (lfd, 0)
+    end
 
   let halt_forever () =
     Unix.kill (Unix.getpid ()) Sys.sigstop;
@@ -237,6 +290,28 @@ module Make (A : Binding.ALGO) = struct
 
   let main cfg =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* Recover the durable decision log before touching the network: a
+       rejected WAL (torn header, foreign node, unknown version) degrades
+       to a clean fresh join — delete and re-create — never to replaying
+       suspect decisions. *)
+    let wal, recovered =
+      match cfg.wal_dir with
+      | None -> (None, [])
+      | Some dir -> (
+        let path = Wal.path ~dir ~node:cfg.me in
+        match Wal.recover ~path ~node:cfg.me with
+        | Ok (w, r) ->
+          if r.Wal.discarded > 0 then
+            logf cfg "wal: rejected %d torn/corrupt trailing bytes"
+              r.Wal.discarded;
+          (Some w, r.Wal.entries)
+        | Error why ->
+          logf cfg "wal rejected (%s); degrading to a fresh join" why;
+          (try Sys.remove path with Sys_error _ -> ());
+          (match Wal.recover ~path ~node:cfg.me with
+          | Ok (w, r) -> (Some w, r.Wal.entries)
+          | Error why -> failwith ("wal: " ^ why)))
+    in
     let lp =
       {
         cfg;
@@ -257,7 +332,7 @@ module Make (A : Binding.ALGO) = struct
         had_client = false;
       }
     in
-    let lfd = establish lp in
+    let lfd, rejoin_dialed = establish lp in
     Unix.set_nonblock lfd;
     Hashtbl.replace lp.registry lfd K_listen;
     Evloop.register lp.ev lfd ~read:true ~write:false;
@@ -311,14 +386,64 @@ module Make (A : Binding.ALGO) = struct
           max_rounds = cfg.max_rounds;
           kill_after = cfg.kill_after;
         }
+        ?persist:
+          (Option.map
+             (fun w ~instance ~value ~round ->
+               Wal.append w ~instance ~value ~round)
+             wal)
         ~emit:(fun ~dest frame ->
           Batch.add (the_batch ()) ~dest (Live.Frame.encode frame))
+        ()
     in
+    List.iter
+      (fun e ->
+        M.seed_decision mux ~instance:e.Wal.instance ~value:e.Wal.value
+          ~round:e.Wal.round)
+      recovered;
+    if recovered <> [] then
+      logf cfg "wal: replayed %d decisions" (List.length recovered);
     let batch =
       Batch.create ~n:cfg.n ~batch:cfg.batch ~stats:(M.stats mux) ~send
     in
     batch_cell := Some batch;
     let stats = M.stats mux in
+    (* Rejoin catch-up gate: until every reached peer has pushed its
+       decision-log batch (or the fallback deadline passes), client
+       Submits stay unread — re-running an instance the mesh already
+       decided, alone and from round 1, could converge on a different
+       value.  Mesh traffic flows normally throughout. *)
+    let catchup_expect = ref rejoin_dialed in
+    let catchup_got = ref 0 in
+    let catchup_deadline = Live.Sockets.now () +. catchup_timeout in
+    let caught_up = ref (not cfg.rejoin || rejoin_dialed = 0) in
+    let check_caught_up () =
+      if not !caught_up then
+        if !catchup_got >= !catchup_expect then begin
+          caught_up := true;
+          logf cfg "caught up: %d peer batches, %d decisions adopted"
+            !catchup_got stats.Stats.catchup_in
+        end
+        else if Live.Sockets.now () > catchup_deadline then begin
+          caught_up := true;
+          logf cfg "catch-up timed out (%d of %d batches); serving anyway"
+            !catchup_got !catchup_expect
+        end
+    in
+    (* Peers that recently rejoined keep receiving every new decision as a
+       Catchup mirror until the instances that straddled their outage have
+       drained — one full horizon plus slack. *)
+    let mirror_window =
+      (float_of_int (cfg.max_rounds + 2) *. cfg.big_d) +. 1.0
+    in
+    let mirror_until = Array.make cfg.n 0.0 in
+    let mirror_refresh () =
+      let now = Live.Sockets.now () in
+      let live = ref [] in
+      for p = cfg.n downto 1 do
+        if p <> cfg.me && mirror_until.(p - 1) > now then live := p :: !live
+      done;
+      M.set_mirror mux !live
+    in
     (* Drain one destination's queue opportunistically and keep its write
        interest armed exactly while bytes remain. *)
     let pump_peer peer =
@@ -359,7 +484,11 @@ module Make (A : Binding.ALGO) = struct
         lp.clients
     in
     status_event cfg
-      [ ("event", Obs.Json.String "ready"); ("node", Obs.Json.Int cfg.me) ];
+      [
+        ("event", Obs.Json.String "ready");
+        ("node", Obs.Json.Int cfg.me);
+        ("recovered", Obs.Json.Int (List.length recovered));
+      ];
     logf cfg "mesh up; serving (%s backend)" (Evloop.backend_to_string cfg.backend);
     let buf = Bytes.create 65536 in
     let drain_peer peer =
@@ -367,7 +496,18 @@ module Make (A : Binding.ALGO) = struct
         if not (M.halted mux) then
           match Live.Frame.pop_view peer.decoder with
           | `View v ->
-            M.on_view mux ~now:(Live.Sockets.now ()) ~from:peer.pid v;
+            (* A Catchup with round 0 is a peer's end-of-batch marker for
+               the rejoin gate, not a decision. *)
+            if
+              v.Live.Frame.kind = Live.Frame.K_catchup
+              && v.Live.Frame.round = 0
+            then begin
+              incr catchup_got;
+              logf lp.cfg "catch-up batch from p%d: %d decisions" peer.pid
+                v.Live.Frame.value;
+              check_caught_up ()
+            end
+            else M.on_view mux ~now:(Live.Sockets.now ()) ~from:peer.pid v;
             go ()
           | `Need_more -> ()
           | `Corrupt why -> mark_dead lp peer ("corrupt stream: " ^ why)
@@ -451,6 +591,34 @@ module Make (A : Binding.ALGO) = struct
             Evloop.deregister lp.ev p.pfd;
             ignore (new_client lp p.pfd);
             logf cfg "client connected"
+          | Ok node when node >= 1 && node <= cfg.n && node <> cfg.me ->
+            (* A restarted peer re-handshaking into the mesh.  Reattach it
+               on the fresh connection (the old one, if still registered,
+               is from its previous life), then replay the whole decision
+               log as a Catchup batch — FIFO on the new link, so the
+               batch and its end marker arrive before any round traffic
+               we send the peer afterwards — and mirror new decisions to
+               it for a full horizon. *)
+            let peer = lp.peers.(node - 1) in
+            mark_dead lp peer "replaced by rejoin";
+            Hashtbl.remove lp.registry p.pfd;
+            Evloop.deregister lp.ev p.pfd;
+            peer.fd <- Some p.pfd;
+            peer.decoder <- Live.Frame.decoder ();
+            Hashtbl.replace lp.registry p.pfd (K_peer peer);
+            Evloop.register lp.ev p.pfd ~read:true ~write:false;
+            let count = M.decided_count mux in
+            M.iter_decided mux (fun ~instance ~value ~round ->
+                stats.Stats.catchup_out <- stats.Stats.catchup_out + 1;
+                Batch.add (the_batch ()) ~dest:node
+                  (Live.Frame.encode
+                     (Live.Frame.Catchup { instance; value; round })));
+            Batch.add (the_batch ()) ~dest:node
+              (Live.Frame.encode
+                 (Live.Frame.Catchup { instance = 0; value = count; round = 0 }));
+            mirror_until.(node - 1) <- Live.Sockets.now () +. mirror_window;
+            mirror_refresh ();
+            logf cfg "p%d rejoined; replaying %d decisions" node count
           | Ok node ->
             logf cfg "unexpected mesh hello from p%d after startup; dropped" node;
             drop_fd lp p.pfd
@@ -504,10 +672,13 @@ module Make (A : Binding.ALGO) = struct
       (* Fair client service: rotate the starting point, read one chunk
          from each client that signalled, then decode under the shared
          budget — backlogged clients rejoin even without new bytes. *)
+      check_caught_up ();
       let service =
-        List.filter
-          (fun c -> c.alive && (c.backlog || List.memq c !ready_clients))
-          lp.clients
+        if not !caught_up then []
+        else
+          List.filter
+            (fun c -> c.alive && (c.backlog || List.memq c !ready_clients))
+            lp.clients
       in
       (match service with
       | [] -> ()
@@ -529,6 +700,17 @@ module Make (A : Binding.ALGO) = struct
         (fun p ->
           if p.pdeadline <= now1 then drop_pending lp p "hello timed out")
         lp.pendings;
+      (* Retire mirrors whose horizon has drained. *)
+      let nowm = Live.Sockets.now () in
+      let mirror_changed = ref false in
+      Array.iteri
+        (fun i u ->
+          if u > 0.0 && u <= nowm then begin
+            mirror_until.(i) <- 0.0;
+            mirror_changed := true
+          end)
+        mirror_until;
+      if !mirror_changed then mirror_refresh ();
       M.expire mux ~now:(Live.Sockets.now ());
       (* Everything this iteration produced goes to the queues — including,
          on a halt, the pre-crash prefix the budget allowed (the kernel
@@ -578,7 +760,8 @@ module Make (A : Binding.ALGO) = struct
       end
     done;
     (try Unix.close lfd with Unix.Unix_error _ -> ());
-    Array.iter (fun p -> mark_dead lp p "shutdown") lp.peers
+    Array.iter (fun p -> mark_dead lp p "shutdown") lp.peers;
+    Option.iter Wal.close wal
 end
 
 module Rwwc = Make (Binding.Rwwc)

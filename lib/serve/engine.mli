@@ -28,7 +28,20 @@
 
     Without [linger], the engine exits cleanly once it has seen at least
     one client, the last client has disconnected, and no instance is
-    active — after emitting a final ["stats"] status event. *)
+    active — after emitting a final ["stats"] status event.
+
+    {b Crash recovery.}  With [wal_dir] set, every decision is appended
+    (fsync'd) to a per-node {!Wal} before its Decide frame is emitted.  A
+    respawned engine sets [rejoin]: it replays its WAL into the mux,
+    re-listens on its own address, dials {e every} peer (tolerating the
+    dead ones), and holds client Submits until each reached peer has
+    replayed its decision log as a Catchup batch — so re-submitted
+    instances are answered from a log, never re-run.  Symmetrically, any
+    engine accepts a post-startup mesh Hello as a peer rejoin: it
+    reattaches the peer on the fresh connection, pushes its own decision
+    log as Catchup frames (plus a round-0 end marker), and mirrors new
+    decisions to the rejoined peer for a full round horizon, covering the
+    instances that were in flight during the outage. *)
 
 type config = {
   me : int;
@@ -41,6 +54,11 @@ type config = {
   backend : Evloop.backend;  (** readiness backend: [Select] or [Poll] *)
   kill_after : int option;  (** mesh-frame kill budget (see {!Mux}) *)
   linger : bool;  (** keep serving after the last client disconnects *)
+  wal_dir : string option;  (** durable decision log directory (see {!Wal}) *)
+  rejoin : bool;  (** restart: replay WAL, dial everyone, gate on catch-up *)
+  dial : (int -> Unix.sockaddr) option;
+      (** peer dial-address override (a chaos proxy interposes here);
+          defaults to {!Live.Sockets.addr_of} *)
   status : out_channel;  (** JSON-lines: ready / halted / stats events *)
   log : out_channel;
 }

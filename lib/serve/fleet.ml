@@ -12,6 +12,11 @@ type config = {
   max_rounds : int option;
   proposals : int -> int -> int;
   client_timeout : float option;
+  respawn : bool;
+  respawn_budget : int;
+  respawn_backoff : float;
+  wal : bool;
+  chaos : Chaosproxy.link list;
   verbose : bool;
 }
 
@@ -28,13 +33,15 @@ let vlog cfg fmt =
 
 type child = {
   node : int;
-  os_pid : int;
+  mutable os_pid : int;
   mutable status_fd : Unix.file_descr option;
   buf : Buffer.t;
   mutable ready : bool;
   mutable realized : Mux.realized list option;  (* from a "halted" event *)
-  mutable stats : Stats.t option;
+  mutable stats : Stats.t option;  (* summed across lives *)
   mutable reaped : bool;
+  mutable respawns : int;  (* respawn-budget consumed, Supervisor-style *)
+  mutable respawn_at : float;  (* 0.0 = no respawn pending *)
 }
 
 let close_parent_fd parent_fds fd =
@@ -45,17 +52,26 @@ let handle_event c line =
   match Obs.Json.of_string line with
   | Error _ -> ()
   | Ok j -> (
-    let stats_of () =
+    (* A respawned engine reports a fresh stats block at its own exit;
+       sum across lives so the report sees the node's total work. *)
+    let merge_stats () =
       match Obs.Json.member "stats" j with
       | Some sj -> (
-        match Stats.of_json sj with Ok s -> Some s | Error _ -> None)
-      | None -> None
+        match Stats.of_json sj with
+        | Error _ -> ()
+        | Ok s -> (
+          match c.stats with
+          | None -> c.stats <- Some s
+          | Some old ->
+            Stats.add old s;
+            c.stats <- Some old))
+      | None -> ()
     in
     match Obs.Json.member "event" j with
     | Some (Obs.Json.String "ready") -> c.ready <- true
-    | Some (Obs.Json.String "stats") -> c.stats <- stats_of ()
+    | Some (Obs.Json.String "stats") -> merge_stats ()
     | Some (Obs.Json.String "halted") ->
-      c.stats <- stats_of ();
+      merge_stats ();
       (match Obs.Json.member "realized" j with
       | Some (Obs.Json.List items) ->
         let rs =
@@ -118,9 +134,27 @@ let select_pump ~timeout parent_fds children =
         children
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
+(* A killed engine (SIGSTOP answered with SIGKILL, or a direct SIGKILL
+   from the driver / a chaos script) is eligible for a supervised
+   respawn: budgeted attempts with exponential backoff, the
+   {!Live.Supervisor} idiom.  A clean exit is never respawned. *)
+let schedule_respawn cfg ~accepting c =
+  if cfg.respawn && accepting then
+    if c.respawns >= cfg.respawn_budget then
+      vlog cfg "node %d: respawn budget (%d) exhausted" c.node
+        cfg.respawn_budget
+    else begin
+      let backoff =
+        cfg.respawn_backoff *. (2.0 ** float_of_int c.respawns)
+      in
+      c.respawn_at <- Live.Sockets.now () +. backoff;
+      vlog cfg "node %d died; respawn in %.2fs (attempt %d of %d)" c.node
+        backoff (c.respawns + 1) cfg.respawn_budget
+    end
+
 (* SIGSTOP from a kill-budget halt is answered with the real SIGKILL;
    normal exits are just reaped. *)
-let reap_one cfg c =
+let reap_one cfg ~accepting c =
   if not c.reaped then
     match Unix.waitpid [ Unix.WNOHANG; Unix.WUNTRACED ] c.os_pid with
     | 0, _ -> ()
@@ -128,11 +162,15 @@ let reap_one cfg c =
       vlog cfg "node %d stopped at its kill point; SIGKILL" c.node;
       (try Unix.kill c.os_pid Sys.sigkill with Unix.Unix_error _ -> ());
       (try ignore (Unix.waitpid [] c.os_pid) with Unix.Unix_error _ -> ());
-      c.reaped <- true
-    | _, (Unix.WEXITED _ | Unix.WSIGNALED _) -> c.reaped <- true
+      c.reaped <- true;
+      schedule_respawn cfg ~accepting c
+    | _, Unix.WSIGNALED _ ->
+      c.reaped <- true;
+      schedule_respawn cfg ~accepting c
+    | _, Unix.WEXITED _ -> c.reaped <- true
     | exception Unix.Unix_error (Unix.ECHILD, _, _) -> c.reaped <- true
 
-let cleanup cfg parent_fds children =
+let cleanup cfg parent_fds children proxies =
   Array.iter
     (fun c ->
       if not c.reaped then begin
@@ -142,10 +180,18 @@ let cleanup cfg parent_fds children =
       end)
     children;
   List.iter
+    (fun pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    proxies;
+  List.iter
     (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     !parent_fds;
   parent_fds := [];
   Array.iter (fun c -> c.status_fd <- None) children;
+  List.iter
+    (fun link -> Chaosproxy.cleanup ~transport:cfg.transport ~n:cfg.n link)
+    cfg.chaos;
   match cfg.transport with
   | `Unix dir ->
     for i = 1 to cfg.n do
@@ -157,12 +203,14 @@ let cleanup cfg parent_fds children =
 type mesh = {
   victim : (int * Mux.realized list) option;
   node_stats : (int * Stats.t) list;
+  respawned : (int * int) list;
 }
 
 (* Spawn the engines, wait for every mesh handshake, run [drive] with an
-   [on_idle] that pumps status pipes and answers the victim's SIGSTOP,
-   then drain final stats and tear everything down.  [run] and the soak /
-   multi-client tests are all this skeleton with a different [drive]. *)
+   [on_idle] that pumps status pipes, answers the victim's SIGSTOP, and
+   respawns killed engines, then drain final stats and tear everything
+   down.  [run] and the soak / multi-client tests are all this skeleton
+   with a different [drive]. *)
 let with_mesh cfg drive =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   if cfg.n < 2 then Error "serve fleet: need n >= 2"
@@ -173,147 +221,242 @@ let with_mesh cfg drive =
     in
     mkdir_p cfg.workspace;
     let parent_fds = ref [] in
-    let spawn_child i =
-      let status_r, status_w = Unix.pipe () in
-      match Unix.fork () with
-      | 0 ->
-        (try
-           Unix.close status_r;
-           List.iter
-             (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-             !parent_fds;
-           let log =
-             open_out
-               (Filename.concat cfg.workspace (Printf.sprintf "serve-%d.log" i))
-           in
-           let kill_after =
-             match cfg.kill with
-             | Some k when k.Report.node = i -> Some k.Report.after_frames
-             | _ -> None
-           in
-           Engine.Rwwc.main
-             {
-               Engine.me = i;
-               n = cfg.n;
-               t = cfg.t;
-               transport = cfg.transport;
-               big_d = cfg.big_d;
-               max_rounds;
-               batch = cfg.batch;
-               backend = cfg.backend;
-               kill_after;
-               linger = false;
-               status = Unix.out_channel_of_descr status_w;
-               log;
-             };
-           Unix._exit 0
-         with e ->
-           (try
-              let oc =
-                open_out_gen
-                  [ Open_append; Open_creat ]
-                  0o644
-                  (Filename.concat cfg.workspace
-                     (Printf.sprintf "serve-%d.log" i))
-              in
-              Printf.fprintf oc "fatal: %s\n" (Printexc.to_string e);
-              close_out oc
-            with _ -> ());
-           Unix._exit 3)
-      | pid ->
-        Unix.close status_w;
-        parent_fds := status_r :: !parent_fds;
-        (pid, status_r)
-    in
-    let children =
-      Array.init cfg.n (fun idx ->
-          let i = idx + 1 in
-          let pid, status_r = spawn_child i in
-          {
-            node = i;
-            os_pid = pid;
-            status_fd = Some status_r;
-            buf = Buffer.create 256;
-            ready = false;
-            realized = None;
-            stats = None;
-            reaped = false;
-          })
-    in
-    vlog cfg "spawned %d engines" cfg.n;
-    let body () =
-      (* Startup: every engine reports ready once its mesh is up. *)
-      let start_deadline = Live.Sockets.now () +. 15.0 in
-      let rec wait_ready () =
-        if Array.for_all (fun c -> c.ready) children then Ok ()
-        else if Live.Sockets.now () > start_deadline then
-          Error "serve fleet: startup timeout — not every engine became ready"
-        else begin
-          select_pump ~timeout:0.05 parent_fds children;
-          let died =
-            Array.exists
-              (fun c ->
-                (not c.ready)
-                &&
-                match Unix.waitpid [ Unix.WNOHANG ] c.os_pid with
-                | 0, _ -> false
-                | _, _ ->
-                  c.reaped <- true;
-                  true
-                | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
-                  c.reaped <- true;
-                  true)
-              children
-          in
-          if died then
-            Error "serve fleet: an engine died during startup (see logs)"
-          else wait_ready ()
-        end
+    (* Chaos proxies come up before any engine, so the first dial through
+       an interposed link already finds its listener. *)
+    let proxies = ref [] in
+    let proxy_err = ref None in
+    List.iter
+      (fun link ->
+        if !proxy_err = None then
+          match Chaosproxy.spawn ~transport:cfg.transport ~n:cfg.n link with
+          | Ok pid ->
+            vlog cfg "chaos proxy %d->%d up (pid %d)" link.Chaosproxy.src
+              link.Chaosproxy.dst pid;
+            proxies := pid :: !proxies
+          | Error e -> proxy_err := Some e)
+      cfg.chaos;
+    match !proxy_err with
+    | Some e ->
+      cleanup cfg parent_fds [||] !proxies;
+      Error ("serve fleet: " ^ e)
+    | None ->
+      let wal_dir =
+        if cfg.wal || cfg.respawn then Some cfg.workspace else None
       in
-      match wait_ready () with
-      | Error e -> Error e
-      | Ok () ->
-        vlog cfg "all engines ready";
-        let on_idle () =
-          select_pump ~timeout:0.0 parent_fds children;
-          Array.iter (reap_one cfg) children
-        in
-        (match drive ~on_idle with
-        | Error e -> Error e
-        | Ok v ->
-          (* Engines exit once the last client hangs up; drain their final
-             stats events, answer a late SIGSTOP, then close out. *)
-          let grace = Live.Sockets.now () +. 5.0 in
-          while
-            Array.exists (fun c -> c.status_fd <> None) children
-            && Live.Sockets.now () < grace
-          do
+      let dial_for i =
+        if cfg.chaos = [] then None
+        else
+          Some
+            (fun p ->
+              if
+                List.exists
+                  (fun l -> l.Chaosproxy.src = i && l.Chaosproxy.dst = p)
+                  cfg.chaos
+              then
+                Chaosproxy.proxy_addr ~transport:cfg.transport ~n:cfg.n ~src:i
+                  ~dst:p
+              else Live.Sockets.addr_of ~transport:cfg.transport p)
+      in
+      let spawn_child ~rejoin i =
+        let status_r, status_w = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+          (try
+             Unix.close status_r;
+             List.iter
+               (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+               !parent_fds;
+             let log =
+               open_out_gen
+                 [ Open_append; Open_creat ]
+                 0o644
+                 (Filename.concat cfg.workspace
+                    (Printf.sprintf "serve-%d.log" i))
+             in
+             let kill_after =
+               match cfg.kill with
+               | Some k when k.Report.node = i && not rejoin ->
+                 Some k.Report.after_frames
+               | _ -> None
+             in
+             Engine.Rwwc.main
+               {
+                 Engine.me = i;
+                 n = cfg.n;
+                 t = cfg.t;
+                 transport = cfg.transport;
+                 big_d = cfg.big_d;
+                 max_rounds;
+                 batch = cfg.batch;
+                 backend = cfg.backend;
+                 kill_after;
+                 linger = false;
+                 wal_dir;
+                 rejoin;
+                 dial = dial_for i;
+                 status = Unix.out_channel_of_descr status_w;
+                 log;
+               };
+             Unix._exit 0
+           with e ->
+             (try
+                let oc =
+                  open_out_gen
+                    [ Open_append; Open_creat ]
+                    0o644
+                    (Filename.concat cfg.workspace
+                       (Printf.sprintf "serve-%d.log" i))
+                in
+                Printf.fprintf oc "fatal: %s\n" (Printexc.to_string e);
+                close_out oc
+              with _ -> ());
+             Unix._exit 3)
+        | pid ->
+          Unix.close status_w;
+          parent_fds := status_r :: !parent_fds;
+          (pid, status_r)
+      in
+      let children =
+        Array.init cfg.n (fun idx ->
+            let i = idx + 1 in
+            let pid, status_r = spawn_child ~rejoin:false i in
+            {
+              node = i;
+              os_pid = pid;
+              status_fd = Some status_r;
+              buf = Buffer.create 256;
+              ready = false;
+              realized = None;
+              stats = None;
+              reaped = false;
+              respawns = 0;
+              respawn_at = 0.0;
+            })
+      in
+      vlog cfg "spawned %d engines" cfg.n;
+      (* Respawns stop once the drive is over: a victim dying during
+         teardown stays down. *)
+      let accepting = ref true in
+      let maybe_respawn () =
+        if !accepting then
+          Array.iter
+            (fun c ->
+              if
+                c.reaped && c.respawn_at > 0.0
+                && Live.Sockets.now () >= c.respawn_at
+              then begin
+                (match c.status_fd with
+                | Some fd ->
+                  close_parent_fd parent_fds fd;
+                  c.status_fd <- None
+                | None -> ());
+                let pid, status_r = spawn_child ~rejoin:true c.node in
+                c.os_pid <- pid;
+                c.status_fd <- Some status_r;
+                Buffer.clear c.buf;
+                c.ready <- false;
+                c.reaped <- false;
+                c.respawn_at <- 0.0;
+                c.respawns <- c.respawns + 1;
+                vlog cfg "node %d respawned (attempt %d of %d, pid %d)"
+                  c.node c.respawns cfg.respawn_budget pid
+              end)
+            children
+      in
+      let body () =
+        (* Startup: every engine reports ready once its mesh is up. *)
+        let start_deadline = Live.Sockets.now () +. 15.0 in
+        let rec wait_ready () =
+          if Array.for_all (fun c -> c.ready) children then Ok ()
+          else if Live.Sockets.now () > start_deadline then
+            Error "serve fleet: startup timeout — not every engine became ready"
+          else begin
             select_pump ~timeout:0.05 parent_fds children;
-            Array.iter (reap_one cfg) children
-          done;
-          Array.iter (reap_one cfg) children;
-          let victim =
-            Array.to_list children
-            |> List.find_map (fun c ->
-                   match c.realized with
-                   | Some rs -> Some (c.node, rs)
-                   | None -> None)
+            let died =
+              Array.exists
+                (fun c ->
+                  (not c.ready)
+                  &&
+                  match Unix.waitpid [ Unix.WNOHANG ] c.os_pid with
+                  | 0, _ -> false
+                  | _, _ ->
+                    c.reaped <- true;
+                    true
+                  | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                    c.reaped <- true;
+                    true)
+                children
+            in
+            if died then
+              Error "serve fleet: an engine died during startup (see logs)"
+            else wait_ready ()
+          end
+        in
+        match wait_ready () with
+        | Error e -> Error e
+        | Ok () ->
+          vlog cfg "all engines ready";
+          let on_idle () =
+            select_pump ~timeout:0.0 parent_fds children;
+            Array.iter (reap_one cfg ~accepting:!accepting) children;
+            maybe_respawn ()
           in
-          let node_stats =
-            Array.to_list children
-            |> List.filter_map (fun c ->
-                   match c.stats with
-                   | Some s -> Some (c.node, s)
-                   | None -> None)
+          (* A direct SIGKILL for drivers that storm the fleet with
+             scheduled crashes ([--kill-every]); the reap path then
+             applies the same respawn policy as a budget kill. *)
+          let kill node =
+            match Array.find_opt (fun c -> c.node = node) children with
+            | Some c when not c.reaped -> (
+              vlog cfg "driver kills node %d (pid %d)" node c.os_pid;
+              match Unix.kill c.os_pid Sys.sigkill with
+              | () -> true
+              | exception Unix.Unix_error _ -> false)
+            | _ -> false
           in
-          Ok (v, { victim; node_stats }))
-    in
-    let result =
-      try body ()
-      with e -> Error ("serve fleet: " ^ Printexc.to_string e)
-    in
-    cleanup cfg parent_fds children;
-    result
+          (match drive ~on_idle ~kill with
+          | Error e -> Error e
+          | Ok v ->
+            accepting := false;
+            (* Engines exit once the last client hangs up; drain their
+               final stats events, answer a late SIGSTOP, then close
+               out. *)
+            let grace = Live.Sockets.now () +. 5.0 in
+            while
+              Array.exists (fun c -> c.status_fd <> None) children
+              && Live.Sockets.now () < grace
+            do
+              select_pump ~timeout:0.05 parent_fds children;
+              Array.iter (reap_one cfg ~accepting:false) children
+            done;
+            Array.iter (reap_one cfg ~accepting:false) children;
+            let victim =
+              Array.to_list children
+              |> List.find_map (fun c ->
+                     match c.realized with
+                     | Some rs -> Some (c.node, rs)
+                     | None -> None)
+            in
+            let node_stats =
+              Array.to_list children
+              |> List.filter_map (fun c ->
+                     match c.stats with
+                     | Some s -> Some (c.node, s)
+                     | None -> None)
+            in
+            let respawned =
+              Array.to_list children
+              |> List.filter_map (fun c ->
+                     if c.respawns > 0 then Some (c.node, c.respawns)
+                     else None)
+            in
+            Ok (v, { victim; node_stats; respawned }))
+      in
+      let result =
+        try body ()
+        with e -> Error ("serve fleet: " ^ Printexc.to_string e)
+      in
+      cleanup cfg parent_fds children !proxies;
+      result
   end
 
 let default_timeout cfg =
@@ -328,7 +471,7 @@ let run cfg =
     | Some s -> s
     | None -> default_timeout cfg
   in
-  let drive ~on_idle =
+  let drive ~on_idle ~kill:_ =
     let client_cfg =
       {
         Client.n = cfg.n;
@@ -338,6 +481,7 @@ let run cfg =
         window = cfg.window;
         proposals = cfg.proposals;
         timeout;
+        reconnect = cfg.respawn;
       }
     in
     match Client.run ~on_idle ~tick:0.05 client_cfg with

@@ -49,7 +49,7 @@ module Make (A : Binding.ALGO) = struct
           in
           M.create
             { Mux.me; n; t = cfg.t; big_d = cfg.big_d; max_rounds; kill_after }
-            ~emit)
+            ~emit ())
     in
     Array.iteri
       (fun idx mux ->

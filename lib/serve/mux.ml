@@ -65,14 +65,21 @@ module Make (A : Binding.ALGO) = struct
     decided : (int, int * int) Hashtbl.t;
         (* instance -> (value, round): the durable decision log — a
            re-submitted finished instance is answered from here *)
+    persist : (instance:int -> value:int -> round:int -> unit) option;
+        (* WAL append: runs before the Decide frame is emitted, so a
+           decision a client can observe is already durable *)
     emit : dest:int -> Live.Frame.t -> unit;
+    mutable mirror : int list;
+        (* recently-rejoined peers: every new decision is also sent to
+           them as a Catchup, closing the gap between their rejoin
+           snapshot and the instances still in flight *)
     mutable mesh_writes : int;
     mutable halted : bool;
     mutable realized : realized list;
     mutable gave_up : int;
   }
 
-  let create cfg ~emit =
+  let create cfg ?persist ~emit () =
     {
       cfg;
       stats = Stats.create ();
@@ -80,7 +87,9 @@ module Make (A : Binding.ALGO) = struct
       early = Hashtbl.create 64;
       finished = Bitvec.create ();
       decided = Hashtbl.create 256;
+      persist;
       emit;
+      mirror = [];
       mesh_writes = 0;
       halted = false;
       realized = [];
@@ -95,6 +104,44 @@ module Make (A : Binding.ALGO) = struct
   let mesh_writes t = t.mesh_writes
   let slab_capacity t = Slab.capacity t.slab
   let slab_reused t = Slab.reused t.slab
+  let set_mirror t peers = t.mirror <- peers
+  let decided_count t = Hashtbl.length t.decided
+
+  let iter_decided t f =
+    Hashtbl.iter (fun instance (value, round) -> f ~instance ~value ~round)
+      t.decided
+
+  (* Replay one WAL entry: mark decided without emitting or re-persisting.
+     Runs before any socket exists, so there is no one to tell yet —
+     re-submits and rejoined peers are answered from the table later. *)
+  let seed_decision t ~instance ~value ~round =
+    if not (Hashtbl.mem t.decided instance) then begin
+      t.stats.Stats.wal_replayed <- t.stats.Stats.wal_replayed + 1;
+      Bitvec.set t.finished instance;
+      Hashtbl.replace t.decided instance (value, round)
+    end
+
+  (* Adopt a decision a peer reached (catch-up batch at rejoin, or a
+     mirrored decide for an instance that was in flight while this node
+     was down).  Adopting beats re-running: a lone re-run of an instance
+     the rest of the mesh already finished could converge on a different
+     value.  Also upgrades an instance this node gave up on — the peer's
+     decision is the one its clients saw. *)
+  let adopt t ~now:_ ~instance ~value ~round =
+    if not (Hashtbl.mem t.decided instance) then begin
+      t.stats.Stats.catchup_in <- t.stats.Stats.catchup_in + 1;
+      Bitvec.set t.finished instance;
+      Hashtbl.replace t.decided instance (value, round);
+      (match t.persist with
+      | Some persist ->
+        persist ~instance ~value ~round;
+        t.stats.Stats.wal_appends <- t.stats.Stats.wal_appends + 1
+      | None -> ());
+      Hashtbl.remove t.early instance;
+      if Slab.find t.slab ~instance <> None then
+        Slab.release t.slab ~instance;
+      t.emit ~dest:0 (Live.Frame.Decide { instance; value; round })
+    end
 
   let budget_left t =
     match t.cfg.kill_after with
@@ -211,9 +258,19 @@ module Make (A : Binding.ALGO) = struct
       t.stats.Stats.decides <- t.stats.Stats.decides + 1;
       Bitvec.set t.finished slot.instance;
       Hashtbl.replace t.decided slot.instance (value, round);
-      t.emit ~dest:0
-        (Live.Frame.Decide { instance = slot.instance; value; round });
-      Slab.release t.slab ~instance:slot.instance
+      let instance = slot.instance in
+      (match t.persist with
+      | Some persist ->
+        persist ~instance ~value ~round;
+        t.stats.Stats.wal_appends <- t.stats.Stats.wal_appends + 1
+      | None -> ());
+      t.emit ~dest:0 (Live.Frame.Decide { instance; value; round });
+      List.iter
+        (fun peer ->
+          t.stats.Stats.catchup_out <- t.stats.Stats.catchup_out + 1;
+          t.emit ~dest:peer (Live.Frame.Catchup { instance; value; round }))
+        t.mirror;
+      Slab.release t.slab ~instance
     | None ->
       if round >= t.cfg.max_rounds then begin
         (* Past the horizon nothing can decide (more deaths than [t]);
@@ -303,6 +360,12 @@ module Make (A : Binding.ALGO) = struct
       t.stats.Stats.frames_in <- t.stats.Stats.frames_in + 1;
       match v.Live.Frame.kind with
       | Live.Frame.K_hello | Live.Frame.K_decide -> ()
+      | Live.Frame.K_catchup ->
+        (* Round 0 is the end-of-batch marker, handled by the engine; a
+           real decision always has round >= 1. *)
+        if v.Live.Frame.round >= 1 then
+          adopt t ~now ~instance:v.Live.Frame.instance
+            ~value:v.Live.Frame.value ~round:v.Live.Frame.round
       | Live.Frame.K_submit ->
         submit t ~now ~instance:v.Live.Frame.instance
           ~proposal:v.Live.Frame.value

@@ -40,10 +40,17 @@ val realized_of_json : Obs.Json.t -> (realized, string) result
 module Make (A : Binding.ALGO) : sig
   type t
 
-  val create : config -> emit:(dest:int -> Live.Frame.t -> unit) -> t
+  val create :
+    config ->
+    ?persist:(instance:int -> value:int -> round:int -> unit) ->
+    emit:(dest:int -> Live.Frame.t -> unit) ->
+    unit ->
+    t
   (** [emit] receives every outbound frame; destination 0 means "to the
       clients", otherwise the mesh peer id.  Called synchronously from
-      {!submit}/{!on_view}/{!expire}. *)
+      {!submit}/{!on_view}/{!expire}.  [persist] (the WAL append) runs on
+      every new decision {e before} its Decide frame is emitted, so any
+      decision a client can observe is already durable. *)
 
   val submit : t -> now:float -> instance:int -> proposal:int -> unit
   (** Start (or ignore, if known) an instance with this node's proposal. *)
@@ -54,6 +61,24 @@ module Make (A : Binding.ALGO) : sig
 
   val expire : t -> now:float -> unit
   (** Advance every instance whose round deadline has passed. *)
+
+  val seed_decision : t -> instance:int -> value:int -> round:int -> unit
+  (** Recovery: mark an instance decided (WAL replay) without emitting or
+      re-persisting.  Re-submits are then answered from the decision log
+      instead of re-running the instance. *)
+
+  val iter_decided :
+    t -> (instance:int -> value:int -> round:int -> unit) -> unit
+  (** Every decision in the log, in no particular order — the engine
+      replays these as Catchup frames to a peer that rejoins the mesh. *)
+
+  val decided_count : t -> int
+
+  val set_mirror : t -> int list -> unit
+  (** Peers that recently rejoined: every {e new} decision is also sent to
+      them as a Catchup frame, covering instances that were in flight
+      while they were down.  Mirrored frames don't burn the [kill_after]
+      budget — they are recovery traffic, like client-bound Decides. *)
 
   val next_deadline : t -> float option
   val active : t -> int

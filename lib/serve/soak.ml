@@ -14,6 +14,8 @@ type t = {
   disagreements : int;
   undrained : int;
   decisions_per_sec : float;
+  kills : int;
+  reconnects : int;
   buckets : bucket list;
   ok : bool;
 }
@@ -26,16 +28,28 @@ type flight = {
 }
 
 let drain_grace = 3.0
+let reconnect_backoff = 0.1
+let reconnect_backoff_max = 1.0
 
-let run cfg ~duration ~bucket =
+let run ?kill_every cfg ~duration ~bucket =
   if duration <= 0.0 then Error "serve soak: duration must be positive"
   else if bucket <= 0.0 then Error "serve soak: bucket must be positive"
+  else if kill_every <> None && not cfg.Fleet.respawn then
+    Error "serve soak: --kill-every needs the respawn policy enabled"
   else
-    let drive ~on_idle =
+    let drive ~on_idle ~kill =
       let nodes_fd = Array.make cfg.Fleet.n None in
       let decoders =
         Array.init cfg.Fleet.n (fun _ -> Live.Frame.decoder ())
       in
+      (* Reconnect state mirrors {!Client}: a dead engine is re-dialed
+         under jittered backoff, so a respawned node rejoins the
+         soak's agreement cross-check instead of shrinking it. *)
+      let attempts = Array.make cfg.Fleet.n 0 in
+      let next_try = Array.make cfg.Fleet.n infinity in
+      let jitter = Prng.Rng.of_int 0x50a1 in
+      let reconnects = ref 0 in
+      let kills = ref 0 in
       let hello = Live.Frame.encode (Live.Frame.Hello { node = 0 }) in
       let deadline = Live.Sockets.now () +. 10.0 in
       let connect_err = ref None in
@@ -80,6 +94,13 @@ let run cfg ~duration ~bucket =
         let lat_buckets : (int, float list ref) Hashtbl.t = Hashtbl.create 32 in
         let started = Live.Sockets.now () in
         let soak_end = started +. duration in
+        let next_kill =
+          ref
+            (match kill_every with
+            | Some ke -> started +. ke
+            | None -> infinity)
+        in
+        let next_victim = ref 1 in
         let settle id f =
           Hashtbl.remove inflight id;
           incr settled;
@@ -126,7 +147,7 @@ let run cfg ~duration ~bucket =
             nodes_fd
         in
         let refill () =
-          if Live.Sockets.now () < soak_end then begin
+          if Live.Sockets.now () < soak_end && !live > 0 then begin
             let fresh = ref [] in
             while Hashtbl.length inflight + List.length !fresh < window do
               fresh := !next_id :: !fresh;
@@ -142,6 +163,12 @@ let run cfg ~duration ~bucket =
             (try Unix.close fd with Unix.Unix_error _ -> ());
             nodes_fd.(p - 1) <- None;
             decr live;
+            if cfg.Fleet.respawn then begin
+              attempts.(p - 1) <- 0;
+              next_try.(p - 1) <-
+                Live.Sockets.now ()
+                +. Live.Sockets.retry_wait ~jitter reconnect_backoff
+            end;
             let freed = ref [] in
             Hashtbl.iter
               (fun id f ->
@@ -149,6 +176,47 @@ let run cfg ~duration ~bucket =
                 if f.miss <= 0 then freed := (id, f) :: !freed)
               inflight;
             List.iter (fun (id, f) -> settle id f) !freed
+        in
+        let try_reconnects () =
+          for p = 1 to cfg.Fleet.n do
+            if
+              nodes_fd.(p - 1) = None
+              && Live.Sockets.now () >= next_try.(p - 1)
+            then begin
+              next_try.(p - 1) <- infinity;
+              match
+                Live.Sockets.connect_retry
+                  ~deadline:(Live.Sockets.now () +. 0.2)
+                  (Live.Sockets.addr_of ~transport:cfg.Fleet.transport p)
+              with
+              | Error _ ->
+                attempts.(p - 1) <- attempts.(p - 1) + 1;
+                let backoff =
+                  Float.min reconnect_backoff_max
+                    (reconnect_backoff
+                    *. (2.0 ** float_of_int attempts.(p - 1)))
+                in
+                next_try.(p - 1) <-
+                  Live.Sockets.now () +. Live.Sockets.retry_wait ~jitter backoff
+              | Ok fd -> (
+                match
+                  Live.Sockets.write_all
+                    ~deadline:(Live.Sockets.now () +. 2.0)
+                    fd hello
+                with
+                | Error _ ->
+                  (try Unix.close fd with Unix.Unix_error _ -> ());
+                  attempts.(p - 1) <- attempts.(p - 1) + 1;
+                  next_try.(p - 1) <-
+                    Live.Sockets.now ()
+                    +. Live.Sockets.retry_wait ~jitter reconnect_backoff
+                | Ok () ->
+                  Unix.set_nonblock fd;
+                  nodes_fd.(p - 1) <- Some fd;
+                  decoders.(p - 1) <- Live.Frame.decoder ();
+                  incr reconnects)
+            end
+          done
         in
         let drain p =
           let dec = decoders.(p - 1) in
@@ -182,8 +250,19 @@ let run cfg ~duration ~bucket =
         while
           (Live.Sockets.now () < soak_end
           || (Hashtbl.length inflight > 0 && Live.Sockets.now () < hard_end))
-          && !live > 0
+          && (!live > 0
+             || Array.exists (fun t -> t < infinity) next_try)
         do
+          (* The periodic chaos kill: SIGKILL the next engine round-robin
+             and let the fleet's respawn policy bring it back through the
+             WAL-replay / catch-up path. *)
+          if Live.Sockets.now () >= !next_kill then begin
+            if kill !next_victim then incr kills;
+            next_victim := (!next_victim mod cfg.Fleet.n) + 1;
+            (match kill_every with
+            | Some ke -> next_kill := Live.Sockets.now () +. ke
+            | None -> next_kill := infinity)
+          end;
           let fds =
             Array.to_list nodes_fd |> List.filter_map (fun fdo -> fdo)
           in
@@ -206,6 +285,7 @@ let run cfg ~duration ~bucket =
               | _ -> ()
             done
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          try_reconnects ();
           refill ();
           on_idle ()
         done;
@@ -240,6 +320,8 @@ let run cfg ~duration ~bucket =
             undrained;
             decisions_per_sec =
               (if elapsed > 0.0 then float_of_int !settled /. elapsed else 0.0);
+            kills = !kills;
+            reconnects = !reconnects;
             buckets;
             ok = !disagreements = 0;
           }
@@ -258,6 +340,8 @@ let to_json t =
       ("disagreements", Obs.Json.Int t.disagreements);
       ("undrained", Obs.Json.Int t.undrained);
       ("decisions_per_sec", Obs.Json.Float t.decisions_per_sec);
+      ("kills", Obs.Json.Int t.kills);
+      ("reconnects", Obs.Json.Int t.reconnects);
       ("ok", Obs.Json.Bool t.ok);
       ( "buckets",
         Obs.Json.List
@@ -275,9 +359,12 @@ let to_json t =
     ]
 
 let pp ppf t =
-  Format.fprintf ppf "soak: %.0fs, %d settled (%.1f/s), %d disagreement(s)%s@."
+  Format.fprintf ppf "soak: %.0fs, %d settled (%.1f/s), %d disagreement(s)%s%s@."
     t.duration t.settled t.decisions_per_sec t.disagreements
-    (if t.undrained > 0 then Printf.sprintf ", %d undrained" t.undrained else "");
+    (if t.undrained > 0 then Printf.sprintf ", %d undrained" t.undrained else "")
+    (if t.kills > 0 then
+       Printf.sprintf ", %d kill(s) / %d reconnect(s)" t.kills t.reconnects
+     else "");
   Format.fprintf ppf "  %8s %8s %10s %10s %10s@." "t" "count" "p50" "p90" "p99";
   List.iter
     (fun b ->

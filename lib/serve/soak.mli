@@ -8,7 +8,13 @@
     {!Client}; each settled instance files its submit-to-settle latency
     into the bucket its settle time falls in.  Agreement is checked on
     the fly: any instance where two nodes report different values counts
-    as a disagreement (and fails {!ok}). *)
+    as a disagreement (and fails {!ok}).
+
+    With [kill_every] (requires the fleet's respawn policy), a periodic
+    round-robin SIGKILL storms the mesh: the fleet respawns each victim
+    through the WAL-replay / catch-up path while the soak's own client
+    re-dials it — the bucketed percentiles then show the recovery dips,
+    and {!ok} still demands zero disagreements across every kill. *)
 
 type bucket = {
   since : float;  (** bucket start, seconds from soak start *)
@@ -26,16 +32,24 @@ type t = {
   disagreements : int;
   undrained : int;  (** instances still in flight when the soak closed *)
   decisions_per_sec : float;  (** settled / elapsed *)
+  kills : int;  (** scheduled SIGKILLs delivered ([kill_every]) *)
+  reconnects : int;  (** successful re-dials of respawned engines *)
   buckets : bucket list;  (** ascending by [since]; empty buckets omitted *)
   ok : bool;  (** no disagreements *)
 }
 
 val run :
-  Fleet.config -> duration:float -> bucket:float -> (t, string) result
+  ?kill_every:float ->
+  Fleet.config ->
+  duration:float ->
+  bucket:float ->
+  (t, string) result
 (** Drives [cfg.window]-wide load over the fleet for [duration] seconds
     (ignoring [cfg.instances] — the stream is unbounded), then allows a
     short drain grace for in-flight instances.  [bucket] is the
-    histogram bucket width in seconds. *)
+    histogram bucket width in seconds.  [kill_every] schedules a
+    round-robin engine SIGKILL every that many seconds; it requires
+    [cfg.respawn]. *)
 
 val to_json : t -> Obs.Json.t
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,10 @@ type t = {
   mutable dropped_frames : int;
   mutable slab_capacity : int;
   mutable slab_reused : int;
+  mutable wal_appends : int;
+  mutable wal_replayed : int;
+  mutable catchup_in : int;
+  mutable catchup_out : int;
 }
 
 let create () =
@@ -37,6 +41,10 @@ let create () =
     dropped_frames = 0;
     slab_capacity = 0;
     slab_reused = 0;
+    wal_appends = 0;
+    wal_replayed = 0;
+    catchup_in = 0;
+    catchup_out = 0;
   }
 
 let add a b =
@@ -56,7 +64,11 @@ let add a b =
   a.late_frames <- a.late_frames + b.late_frames;
   a.dropped_frames <- a.dropped_frames + b.dropped_frames;
   a.slab_capacity <- max a.slab_capacity b.slab_capacity;
-  a.slab_reused <- a.slab_reused + b.slab_reused
+  a.slab_reused <- a.slab_reused + b.slab_reused;
+  a.wal_appends <- a.wal_appends + b.wal_appends;
+  a.wal_replayed <- a.wal_replayed + b.wal_replayed;
+  a.catchup_in <- a.catchup_in + b.catchup_in;
+  a.catchup_out <- a.catchup_out + b.catchup_out
 
 let to_json s =
   Obs.Json.Obj
@@ -78,6 +90,10 @@ let to_json s =
       ("dropped_frames", Obs.Json.Int s.dropped_frames);
       ("slab_capacity", Obs.Json.Int s.slab_capacity);
       ("slab_reused", Obs.Json.Int s.slab_reused);
+      ("wal_appends", Obs.Json.Int s.wal_appends);
+      ("wal_replayed", Obs.Json.Int s.wal_replayed);
+      ("catchup_in", Obs.Json.Int s.catchup_in);
+      ("catchup_out", Obs.Json.Int s.catchup_out);
     ]
 
 let of_json json =
@@ -108,6 +124,10 @@ let of_json json =
   let* dropped_frames = int "dropped_frames" in
   let* slab_capacity = int "slab_capacity" in
   let* slab_reused = int "slab_reused" in
+  let* wal_appends = int "wal_appends" in
+  let* wal_replayed = int "wal_replayed" in
+  let* catchup_in = int "catchup_in" in
+  let* catchup_out = int "catchup_out" in
   Ok
     {
       frames_out;
@@ -127,6 +147,10 @@ let of_json json =
       dropped_frames;
       slab_capacity;
       slab_reused;
+      wal_appends;
+      wal_replayed;
+      catchup_in;
+      catchup_out;
     }
 
 let pp ppf s =
@@ -134,11 +158,15 @@ let pp ppf s =
     "out: %d frames / %d bytes in %d writes (%d partial, %d flushes, max \
      batch %d, %d copies saved) · in: %d frames · %d submits, %d decides · \
      rounds: %d fast / %d expired · %d late, %d dropped · slab %d slots (%d \
-     reused)%s"
+     reused)%s%s"
     s.frames_out s.bytes_out s.write_calls s.partial_writes s.flushes
     s.max_batch s.copies_saved s.frames_in s.submits s.decides s.fast_rounds
     s.expired_rounds s.late_frames s.dropped_frames s.slab_capacity
     s.slab_reused
     (if s.overflow_kills > 0 then
        Printf.sprintf " · %d overflow kills" s.overflow_kills
+     else "")
+    (if s.wal_appends + s.wal_replayed + s.catchup_in + s.catchup_out > 0 then
+       Printf.sprintf " · wal %d+%d replayed · catchup %d in / %d out"
+         s.wal_appends s.wal_replayed s.catchup_in s.catchup_out
      else "")

@@ -25,6 +25,10 @@ type t = {
   mutable dropped_frames : int;  (** frames for decided/unknown instances *)
   mutable slab_capacity : int;  (** instance slots ever allocated (gauge) *)
   mutable slab_reused : int;  (** slots recycled through the free list *)
+  mutable wal_appends : int;  (** decisions made durable in the WAL *)
+  mutable wal_replayed : int;  (** decisions recovered from the WAL at restart *)
+  mutable catchup_in : int;  (** peer catch-up decisions adopted *)
+  mutable catchup_out : int;  (** decisions replayed/mirrored to rejoined peers *)
 }
 
 val create : unit -> t

@@ -13,7 +13,7 @@ let column_all table ~col ~expected =
 
 let test_registry_complete () =
   Alcotest.(check (list string)) "experiment ids"
-    [ "F1"; "T1"; "T2"; "S22"; "LB"; "BIV"; "SIM"; "FFD"; "MR99"; "CL"; "ABL"; "UNI"; "LAN"; "EFF"; "OBS"; "CHAOS"; "MC"; "DIFF"; "LIVE"; "DIST"; "SERVE" ]
+    [ "F1"; "T1"; "T2"; "S22"; "LB"; "BIV"; "SIM"; "FFD"; "MR99"; "CL"; "ABL"; "UNI"; "LAN"; "EFF"; "OBS"; "CHAOS"; "MC"; "DIFF"; "LIVE"; "DIST"; "SERVE"; "RECOVER" ]
     Harness.Registry.ids;
   Alcotest.(check bool) "find is case-insensitive" true
     (Harness.Registry.find "t1" <> None);

@@ -176,6 +176,9 @@ let frame_gen =
         map
           (fun value -> Live.Frame.Decide { instance; value; round })
           (int_range 0 100_000);
+        map
+          (fun value -> Live.Frame.Catchup { instance; value; round })
+          (int_range 0 100_000);
       ])
 
 let prop_frame_varint_roundtrip =
@@ -299,7 +302,94 @@ let test_frame_v1_compat () =
       Live.Frame.Data { instance = 1; round = 1; payload = "" };
       Live.Frame.Submit { instance = 0; proposal = 1 };
       Live.Frame.Decide { instance = 0; value = 1; round = 1 };
+      Live.Frame.Catchup { instance = 0; value = 1; round = 1 };
     ]
+
+let test_frame_v2_compat () =
+  (* v2 is v3 minus the Catchup kind: same bodies, older version byte.
+     Pin the byte-level relationship and that the v3 decoder still reads
+     v2 streams unchanged. *)
+  let olds =
+    [
+      Live.Frame.Hello { node = 3 };
+      Live.Frame.Data { instance = 7; round = 2; payload = "\xff\x00" };
+      Live.Frame.Ctl { instance = 12; round = 4 };
+      Live.Frame.Submit { instance = 9; proposal = 41 };
+      Live.Frame.Decide { instance = 9; value = 41; round = 2 };
+    ]
+  in
+  List.iter
+    (fun f ->
+      let v3 = Live.Frame.encode f and v2 = Live.Frame.encode_v2 f in
+      let patched = Bytes.of_string v3 in
+      Bytes.set patched 1 v2.[1];
+      Alcotest.(check string) "v2 = v3 with the older version byte"
+        (Bytes.to_string patched) v2)
+    olds;
+  let d = Live.Frame.decoder () in
+  List.iter
+    (fun f -> Live.Frame.feed_string d (Live.Frame.encode_v2 f))
+    olds;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "v2 frame decodes unchanged" true
+        (Live.Frame.equal f (pop_frame d)))
+    olds;
+  (* Catchup is the one thing v2 cannot say *)
+  match Live.Frame.encode_v2 (Live.Frame.Catchup { instance = 1; value = 2; round = 1 }) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode_v2 accepted a Catchup"
+
+let test_frame_mixed_version_stream () =
+  (* One connection replaying captures from three codec generations: the
+     decoder switches per frame on the version byte. *)
+  let stream =
+    [
+      Live.Frame.encode_v1 (Live.Frame.Hello { node = 1 });
+      Live.Frame.encode_v2 (Live.Frame.Data { instance = 3; round = 1; payload = "x" });
+      Live.Frame.encode (Live.Frame.Catchup { instance = 3; value = 8; round = 2 });
+      Live.Frame.encode_v1 (Live.Frame.Ctl { instance = 0; round = 2 });
+      Live.Frame.encode (Live.Frame.Decide { instance = 3; value = 8; round = 2 });
+    ]
+  in
+  let expect =
+    [
+      Live.Frame.Hello { node = 1 };
+      Live.Frame.Data { instance = 3; round = 1; payload = "x" };
+      Live.Frame.Catchup { instance = 3; value = 8; round = 2 };
+      Live.Frame.Ctl { instance = 0; round = 2 };
+      Live.Frame.Decide { instance = 3; value = 8; round = 2 };
+    ]
+  in
+  let d = Live.Frame.decoder () in
+  Live.Frame.feed_string d (String.concat "" stream);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "mixed-version frame" true
+        (Live.Frame.equal f (pop_frame d)))
+    expect;
+  Alcotest.(check int) "stream fully consumed" 0 (Live.Frame.buffered d)
+
+let test_retry_wait_jitter_envelope () =
+  (* Without a jitter stream the wait is the backoff level itself. *)
+  Alcotest.(check (float 1e-9)) "no jitter = identity" 0.08
+    (Live.Sockets.retry_wait 0.08);
+  (* With one, every draw lands in [0.5b, 1.5b), the stream is
+     deterministic in its seed, and it actually spreads — the envelope a
+     mass respawn relies on to avoid thundering-herd. *)
+  let draws seed =
+    let rng = Prng.Rng.of_int seed in
+    List.init 200 (fun _ -> Live.Sockets.retry_wait ~jitter:rng 0.08)
+  in
+  let a = draws 0x5eed in
+  List.iter
+    (fun w ->
+      if w < 0.04 || w >= 0.12 then
+        Alcotest.fail (Printf.sprintf "wait %.5f outside [0.04, 0.12)" w))
+    a;
+  Alcotest.(check bool) "deterministic per seed" true (a = draws 0x5eed);
+  Alcotest.(check bool) "spread across the envelope" true
+    (List.length (List.sort_uniq compare a) > 100)
 
 let prop_frame_view_equivalence =
   Helpers.qtest ~count:500 "pop_view sees exactly what pop sees"
@@ -691,6 +781,9 @@ let () =
           Alcotest.test_case "bad magic" `Quick test_frame_bad_magic;
           Alcotest.test_case "varint edges" `Quick test_frame_varint_edges;
           Alcotest.test_case "v1 compat" `Quick test_frame_v1_compat;
+          Alcotest.test_case "v2 compat" `Quick test_frame_v2_compat;
+          Alcotest.test_case "mixed-version stream" `Quick
+            test_frame_mixed_version_stream;
           prop_frame_varint_roundtrip;
           prop_frame_fuzz_interleaved_truncation;
           prop_frame_fuzz_corruption;
@@ -722,6 +815,8 @@ let () =
             test_sockets_connect_error;
           Alcotest.test_case "structured listen error" `Quick
             test_sockets_listen_error;
+          Alcotest.test_case "retry-wait jitter envelope" `Quick
+            test_retry_wait_jitter_envelope;
         ] );
       ( "supervisor",
         [
